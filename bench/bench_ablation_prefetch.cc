@@ -1,0 +1,85 @@
+// Ablation A1 (DESIGN.md): the reservoir's eager chunk prefetch keeps
+// disk I/O off the event-processing critical path (paper §4.1.1). We
+// scan a cold reservoir at a paced rate with prefetch on and off and
+// report the synchronous chunk loads plus the per-advance latency tail.
+#include "bench/bench_common.h"
+#include "common/env.h"
+#include "reservoir/reservoir.h"
+#include "workload/generator.h"
+
+using namespace railgun;
+using namespace railgun::bench;
+
+namespace {
+
+struct ScanResult {
+  LatencyHistogram advance_latency;  // Microseconds per 100-event stride.
+  uint64_t sync_loads = 0;
+  uint64_t prefetches = 0;
+};
+
+ScanResult RunScan(bool prefetch_enabled) {
+  const std::string dir = "/tmp/railgun-bench-prefetch";
+  Env::Default()->RemoveDirRecursive(dir);
+
+  reservoir::ReservoirOptions options;
+  options.chunk_target_bytes = 16 * 1024;
+  options.cache_capacity = 4;  // Small: every boundary is a potential miss.
+  options.enable_prefetch = prefetch_enabled;
+  workload::FraudStreamConfig config;
+  config.total_fields = 24;
+  workload::FraudStreamGenerator generator(config);
+  options.schema_fields = generator.schema_fields();
+
+  reservoir::Reservoir res(options, dir);
+  res.Open();
+  const uint64_t total =
+      static_cast<uint64_t>(EnvInt("RAILGUN_BENCH_SEED_EVENTS", 40000));
+  for (uint64_t i = 0; i < total; ++i) {
+    res.Append(generator.Next(static_cast<Micros>(i) * 1000));
+  }
+  res.Sync();
+
+  ScanResult result;
+  auto iter = res.NewIterator();
+  Clock* clock = MonotonicClock::Default();
+  uint64_t scanned = 0;
+  while (!iter->AtEnd()) {
+    const Micros start = clock->NowMicros();
+    for (int k = 0; k < 50 && !iter->AtEnd(); ++k) {
+      iter->Advance();
+      ++scanned;
+    }
+    result.advance_latency.Record(clock->NowMicros() - start);
+    // Paced consumption (~50k ev/s) so the prefetcher has the window it
+    // would have under a real event rate (the paper's tail iterators
+    // consume at the injection rate).
+    clock->SleepMicros(1000);
+  }
+  result.sync_loads = res.stats().sync_chunk_loads;
+  result.prefetches = res.stats().prefetches_issued;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Ablation A1: eager chunk prefetch on/off ===\n");
+  printf("cold scan of the reservoir, paced reader, cache=4 chunks\n\n");
+  printf("%-16s %12s %12s %12s %12s %12s\n", "config", "sync loads",
+         "prefetches", "p50 us", "p99 us", "max us");
+  for (const bool enabled : {true, false}) {
+    const ScanResult result = RunScan(enabled);
+    printf("%-16s %12llu %12llu %12lld %12lld %12lld\n",
+           enabled ? "prefetch ON" : "prefetch OFF",
+           static_cast<unsigned long long>(result.sync_loads),
+           static_cast<unsigned long long>(result.prefetches),
+           static_cast<long long>(result.advance_latency.ValueAtPercentile(50)),
+           static_cast<long long>(result.advance_latency.ValueAtPercentile(99)),
+           static_cast<long long>(result.advance_latency.Max()));
+    fflush(stdout);
+  }
+  printf("\nExpected: prefetch ON turns chunk-boundary stalls (synchronous\n"
+         "loads incl. decompression) into background work.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Ablation A3 (DESIGN.md / paper §4.2): the sticky assignment strategy
+// minimizes data shuffle across rebalances. We replay a churn scenario
+// (nodes joining, failing, rejoining) against the Fig. 7 sticky strategy
+// and a round-robin baseline, counting moved task copies (each move =
+// reservoir + state-store data that must be copied).
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "engine/sticky_assignment.h"
+#include "msg/assignment.h"
+
+using namespace railgun;
+using namespace railgun::bench;
+using engine::ComputeStickyAssignment;
+using engine::TaskAssignmentInput;
+using engine::TaskAssignmentResult;
+using engine::UnitDesc;
+using msg::TopicPartition;
+
+namespace {
+
+std::vector<UnitDesc> MakeUnits(int nodes, int units_per_node) {
+  std::vector<UnitDesc> units;
+  for (int n = 0; n < nodes; ++n) {
+    for (int u = 0; u < units_per_node; ++u) {
+      units.push_back({"n" + std::to_string(n) + "/u" + std::to_string(u),
+                       "n" + std::to_string(n)});
+    }
+  }
+  return units;
+}
+
+// Round-robin baseline, adapted to tasks-with-replicas.
+TaskAssignmentResult RoundRobinAssign(const TaskAssignmentInput& in) {
+  TaskAssignmentResult result;
+  if (in.units.empty()) return result;
+  size_t cursor = 0;
+  for (const auto& task : in.tasks) {
+    std::set<std::string> used_nodes;
+    for (int copy = 0; copy < in.replication_factor; ++copy) {
+      // Next unit on an unused node.
+      for (size_t probe = 0; probe < in.units.size(); ++probe) {
+        const auto& unit = in.units[(cursor + probe) % in.units.size()];
+        if (used_nodes.count(unit.node_id) > 0) continue;
+        used_nodes.insert(unit.node_id);
+        cursor = (cursor + probe + 1) % in.units.size();
+        if (copy == 0) {
+          result.active[task] = unit.unit_id;
+          result.active_by_unit[unit.unit_id].push_back(task);
+          const auto prev = in.prev_active.find(task);
+          if (prev == in.prev_active.end() || prev->second != unit.unit_id) {
+            ++result.moved_active;
+          }
+        } else {
+          result.replicas[task].push_back(unit.unit_id);
+          result.replicas_by_unit[unit.unit_id].push_back(task);
+          const auto prev = in.prev_replicas.find(task);
+          if (prev == in.prev_replicas.end() ||
+              prev->second.count(unit.unit_id) == 0) {
+            ++result.moved_replicas;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+struct ChurnStats {
+  int total_moves = 0;
+  int rebalances = 0;
+};
+
+template <typename AssignFn>
+ChurnStats RunChurn(const AssignFn& assign, int num_tasks) {
+  TaskAssignmentInput in;
+  for (int t = 0; t < num_tasks; ++t) in.tasks.push_back({"t", t});
+  in.replication_factor = 3;  // Paper's production setting.
+
+  ChurnStats stats;
+  auto apply = [&](int nodes) {
+    in.units = MakeUnits(nodes, 4);
+    const TaskAssignmentResult result = assign(in);
+    stats.total_moves += result.moved_active + result.moved_replicas;
+    ++stats.rebalances;
+    in.prev_active = result.active;
+    in.prev_replicas.clear();
+    for (const auto& [task, units] : result.replicas) {
+      in.prev_replicas[task] =
+          std::set<std::string>(units.begin(), units.end());
+    }
+  };
+
+  // Churn scenario: grow 4->8 nodes, lose one, regrow, steady state.
+  for (int nodes : {4, 5, 6, 7, 8, 7, 8, 8, 8, 8}) apply(nodes);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const int num_tasks = static_cast<int>(EnvInt("RAILGUN_BENCH_TASKS", 64));
+  printf("=== Ablation A3: sticky vs round-robin assignment ===\n");
+  printf("%d tasks, replication 3, churn: grow 4->8 nodes, one failure, "
+         "regrow, steady polls\n\n", num_tasks);
+  printf("%-14s %12s %16s %18s\n", "strategy", "rebalances", "task moves",
+         "moves/rebalance");
+
+  const ChurnStats sticky = RunChurn(
+      [](const TaskAssignmentInput& in) { return ComputeStickyAssignment(in); },
+      num_tasks);
+  printf("%-14s %12d %16d %18.1f\n", "sticky(Fig.7)", sticky.rebalances,
+         sticky.total_moves,
+         static_cast<double>(sticky.total_moves) / sticky.rebalances);
+
+  const ChurnStats rr = RunChurn(
+      [](const TaskAssignmentInput& in) { return RoundRobinAssign(in); },
+      num_tasks);
+  printf("%-14s %12d %16d %18.1f\n", "round-robin", rr.rebalances,
+         rr.total_moves,
+         static_cast<double>(rr.total_moves) / rr.rebalances);
+
+  printf("\nExpected: the sticky strategy moves a small fraction of the\n"
+         "copies round-robin does (each move = a reservoir + state-store\n"
+         "copy during recovery), especially in steady state.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benchmarks: percentile
+// table printing in the paper's format and environment-variable scale
+// knobs (defaults keep every bench to a few seconds; export
+// RAILGUN_BENCH_SCALE=paper for longer, closer-to-paper runs).
+#ifndef RAILGUN_BENCH_BENCH_COMMON_H_
+#define RAILGUN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace railgun::bench {
+
+// The percentile grid of Figures 8 and 9.
+inline const std::vector<double>& PaperPercentiles() {
+  static const std::vector<double> p = {0,  50,   75,   90,    95,
+                                        99, 99.9, 99.99, 99.999, 100};
+  return p;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = getenv(name);
+  return value != nullptr ? atof(value) : fallback;
+}
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = getenv(name);
+  return value != nullptr ? atoll(value) : fallback;
+}
+
+// Prints one labeled row of latencies (ms) for the paper's percentile
+// grid.
+inline void PrintPercentileHeader() {
+  printf("%-28s", "series");
+  for (double p : PaperPercentiles()) printf(" %9.5g%%", p);
+  printf("\n");
+}
+
+inline void PrintPercentileRow(const std::string& label,
+                               const LatencyHistogram& hist) {
+  printf("%-28s", label.c_str());
+  for (double p : PaperPercentiles()) {
+    printf(" %9.2f", static_cast<double>(hist.ValueAtPercentile(p)) / 1000.0);
+  }
+  printf("\n");
+  fflush(stdout);
+}
+
+}  // namespace railgun::bench
+
+#endif  // RAILGUN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the messaging layer: produce,
+// fetch, group poll and rebalance costs.
+#include <benchmark/benchmark.h>
+
+#include "msg/broker.h"
+
+using namespace railgun;
+using namespace railgun::msg;
+
+namespace {
+
+BusOptions InstantBus() {
+  BusOptions options;
+  options.delivery_delay = 0;
+  return options;
+}
+
+void BM_Produce(benchmark::State& state) {
+  MessageBus bus(InstantBus());
+  bus.CreateTopic("t", static_cast<int>(state.range(0)));
+  std::string payload(256, 'p');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bus.Produce("t", "key" + std::to_string(i++ % 1000), payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Produce)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_FetchBatch(benchmark::State& state) {
+  MessageBus bus(InstantBus());
+  bus.CreateTopic("t", 1);
+  for (int i = 0; i < 100000; ++i) {
+    bus.ProduceToPartition("t", 0, "k", std::string(128, 'm'));
+  }
+  uint64_t pos = 0;
+  std::vector<Message> batch;
+  for (auto _ : state) {
+    if (bus.Fetch({"t", 0}, pos, static_cast<size_t>(state.range(0)),
+                  &batch)
+            .ok()) {
+      pos = (pos + batch.size()) % 100000;
+    }
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FetchBatch)->Arg(16)->Arg(256);
+
+void BM_GroupPoll(benchmark::State& state) {
+  MessageBus bus(InstantBus());
+  bus.CreateTopic("t", 8);
+  bus.Subscribe("c", "g", {"t"}, "", nullptr, {});
+  std::vector<Message> batch;
+  bus.Poll("c", 1, &batch);  // Absorb the initial assignment.
+  uint64_t produced = 0;
+  for (auto _ : state) {
+    if (produced % 64 == 0) {
+      for (int i = 0; i < 64; ++i) {
+        bus.ProduceToPartition("t", i % 8, "k", "m");
+      }
+    }
+    produced += 64;
+    benchmark::DoNotOptimize(bus.Poll("c", 64, &batch));
+  }
+}
+BENCHMARK(BM_GroupPoll);
+
+void BM_Rebalance(benchmark::State& state) {
+  // Cost of a full join/leave cycle at a given member count.
+  for (auto _ : state) {
+    state.PauseTiming();
+    MessageBus bus(InstantBus());
+    bus.CreateTopic("t", static_cast<int>(state.range(0)) * 4);
+    state.ResumeTiming();
+    for (int m = 0; m < state.range(0); ++m) {
+      bus.Subscribe("c" + std::to_string(m), "g", {"t"}, "", nullptr, {});
+    }
+    benchmark::DoNotOptimize(bus.rebalance_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Rebalance)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

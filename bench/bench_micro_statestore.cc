@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark) for the embedded LSM state store:
+// point writes, read-modify-write (the aggregation-update pattern),
+// point reads across levels, and checkpointing.
+#include <benchmark/benchmark.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "storage/db.h"
+
+using namespace railgun;
+using namespace railgun::storage;
+
+namespace {
+
+std::unique_ptr<DB> OpenFresh(const std::string& dir) {
+  DestroyDB(dir);
+  DBOptions options;
+  options.write_buffer_size = 8 * 1024 * 1024;
+  std::unique_ptr<DB> db;
+  if (!DB::Open(options, dir, &db).ok()) return nullptr;
+  return db;
+}
+
+void BM_StateStorePut(benchmark::State& state) {
+  auto db = OpenFresh("/tmp/railgun-bench-micro-put");
+  Random64 rng(1);
+  char key[32];
+  std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (auto _ : state) {
+    snprintf(key, sizeof(key), "m1|card%08llu",
+             static_cast<unsigned long long>(rng.Uniform(100000)));
+    benchmark::DoNotOptimize(db->Put(0, key, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStorePut)->Arg(16)->Arg(128);
+
+void BM_StateStoreReadModifyWrite(benchmark::State& state) {
+  // The aggregation-update pattern: Get state, decode, bump, Put.
+  auto db = OpenFresh("/tmp/railgun-bench-micro-rmw");
+  Random64 rng(2);
+  char key[32];
+  for (auto _ : state) {
+    snprintf(key, sizeof(key), "m1|card%08llu",
+             static_cast<unsigned long long>(rng.Uniform(50000)));
+    std::string value;
+    double sum = 0;
+    Status s = db->Get(0, key, &value);
+    if (s.ok()) {
+      Slice in(value);
+      GetDouble(&in, &sum);
+    }
+    value.clear();
+    PutDouble(&value, sum + 1.5);
+    benchmark::DoNotOptimize(db->Put(0, key, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStoreReadModifyWrite);
+
+void BM_StateStoreGetAcrossLevels(benchmark::State& state) {
+  static std::unique_ptr<DB> db;
+  if (db == nullptr) {
+    DestroyDB("/tmp/railgun-bench-micro-get");
+    DBOptions options;
+    options.write_buffer_size = 256 * 1024;  // Force many tables.
+    if (!DB::Open(options, "/tmp/railgun-bench-micro-get", &db).ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    char key[32];
+    for (int i = 0; i < 200000; ++i) {
+      snprintf(key, sizeof(key), "k%08d", i);
+      db->Put(0, key, "value-" + std::to_string(i));
+    }
+  }
+  Random64 rng(3);
+  char key[32];
+  for (auto _ : state) {
+    snprintf(key, sizeof(key), "k%08llu",
+             static_cast<unsigned long long>(rng.Uniform(200000)));
+    std::string value;
+    benchmark::DoNotOptimize(db->Get(0, key, &value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStoreGetAcrossLevels);
+
+void BM_StateStoreCheckpoint(benchmark::State& state) {
+  auto db = OpenFresh("/tmp/railgun-bench-micro-ckpt");
+  char key[32];
+  for (int i = 0; i < 20000; ++i) {
+    snprintf(key, sizeof(key), "k%08d", i);
+    db->Put(0, key, "v");
+  }
+  int round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Checkpoint(
+        "/tmp/railgun-bench-micro-ckpt-out" + std::to_string(round++ % 2)));
+  }
+}
+BENCHMARK(BM_StateStoreCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_WriteBatchCommit(benchmark::State& state) {
+  auto db = OpenFresh("/tmp/railgun-bench-micro-batch");
+  Random64 rng(4);
+  for (auto _ : state) {
+    WriteBatch batch;
+    for (int i = 0; i < state.range(0); ++i) {
+      char key[32];
+      snprintf(key, sizeof(key), "k%08llu",
+               static_cast<unsigned long long>(rng.Uniform(100000)));
+      batch.Put(0, key, "v");
+    }
+    benchmark::DoNotOptimize(db->Write(&batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WriteBatchCommit)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Fraud-rule accuracy demo (the paper's Figure 1 and §2.1): the business
+// rule "if the number of transactions of a card in the last 5 minutes is
+// higher than 4, block the transaction" evaluated over (a) a true
+// real-time sliding window (Railgun) and (b) a 5-minute hopping window
+// with a 1-minute hop (the Flink-style approximation).
+//
+// The burst e1..e5 at minutes 0.9, 1.9, 2.9, 3.9 and 5.4 fits inside
+// 5 minutes (span 4.5 min), so the rule must fire on e5 — but no hopping
+// instance contains all five events.
+#include <cstdio>
+
+#include "baseline/hopping_engine.h"
+#include "plan/task_plan.h"
+#include "storage/db.h"
+
+using namespace railgun;
+using reservoir::FieldType;
+using reservoir::FieldValue;
+
+int main() {
+  Env::Default()->RemoveDirRecursive("/tmp/railgun-fraud-rules");
+
+  // --- Railgun: real-time sliding window over an event reservoir.
+  reservoir::ReservoirOptions ropts;
+  ropts.schema_fields = {{"cardId", FieldType::kString},
+                         {"amount", FieldType::kDouble}};
+  reservoir::Reservoir res(ropts, "/tmp/railgun-fraud-rules/reservoir");
+  if (!res.Open().ok()) return 1;
+  std::unique_ptr<storage::DB> db;
+  if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules/db", &db).ok()) {
+    return 1;
+  }
+  plan::TaskPlan plan(&res, db.get());
+  if (!plan.Init().ok()) return 1;
+  auto query = query::ParseQuery(
+      "SELECT count(*) FROM payments GROUP BY cardId "
+      "OVER sliding 5 minutes");
+  if (!plan.AddQuery(query.value()).ok()) return 1;
+
+  // --- Baseline: 5-minute hopping window, 1-minute hop.
+  std::unique_ptr<storage::DB> hop_db;
+  if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules/hopdb", &hop_db)
+           .ok()) {
+    return 1;
+  }
+  baseline::HoppingOptions hopts;
+  hopts.window_size = 5 * kMicrosPerMinute;
+  hopts.hop = kMicrosPerMinute;
+  baseline::HoppingEngine hopping(hopts, hop_db.get());
+
+  printf("rule: block when count(last 5 min) > 4\n\n");
+  printf("%-8s %-22s %-22s\n", "event", "sliding count (rule?)",
+         "hopping count (rule?)");
+
+  const double minutes[] = {0.9, 1.9, 2.9, 3.9, 5.4};
+  uint64_t id = 0;
+  for (double m : minutes) {
+    reservoir::Event e;
+    e.timestamp = static_cast<Micros>(m * kMicrosPerMinute);
+    e.id = ++id;
+    e.offset = id;
+    e.values = {FieldValue("card1"), FieldValue(50.0)};
+
+    bool accepted;
+    res.Append(e, &accepted);
+    std::vector<plan::MetricResult> results;
+    plan.ProcessEvent(e, &results);
+    const double sliding_count = results[0].value.ToNumber();
+
+    baseline::BaselineResult hop_result;
+    hopping.ProcessEvent("card1", e.timestamp, 50.0, &hop_result);
+
+    char label[16];
+    snprintf(label, sizeof(label), "e%llu@%.1fm",
+             static_cast<unsigned long long>(id), m);
+    printf("%-8s %-22s %-22s\n", label,
+           (std::to_string(static_cast<int>(sliding_count)) +
+            (sliding_count > 4 ? "  BLOCK" : "  pass"))
+               .c_str(),
+           (std::to_string(hop_result.count) +
+            (hop_result.count > 4 ? "  BLOCK" : "  pass"))
+               .c_str());
+  }
+
+  printf(
+      "\nThe sliding window catches the burst on e5 (count=5 > 4); the\n"
+      "hopping approximation never sees all five events in one window\n"
+      "(paper Figure 1), so the rule silently fails to fire.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Streaming aggregators (paper Fig. 4 / §4.1.3). Each aggregator updates
+// a serialized state blob on event entry and expiry, exactly mirroring
+// the paper's state layouts: sum/count keep a single value, avg a
+// (sum, count) pair, stdDev the Welford triple, max/min a monotonic
+// deque, and countDistinct per-value counts in an auxiliary column
+// family of the state store.
+#ifndef RAILGUN_AGG_AGGREGATOR_H_
+#define RAILGUN_AGG_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "reservoir/event.h"
+#include "storage/db.h"
+
+namespace railgun::agg {
+
+enum class AggKind : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kStdDev = 3,
+  kMax = 4,
+  kMin = 5,
+  kLast = 6,
+  kPrev = 7,
+  kCountDistinct = 8,
+};
+
+// Parses "count", "sum", ... (case-insensitive).
+StatusOr<AggKind> ParseAggKind(const std::string& name);
+const char* AggKindName(AggKind kind);
+
+// Access to auxiliary storage for aggregators that need it
+// (countDistinct keeps per-value counts in a dedicated column family).
+struct AggContext {
+  storage::DB* db = nullptr;
+  uint32_t aux_cf = 0;
+  // Unique prefix for this (metric, entity) pair's auxiliary keys.
+  std::string aux_key_prefix;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  static std::unique_ptr<Aggregator> Create(AggKind kind);
+
+  // Applies an entering value. `event` supplies ordering metadata
+  // (offset) needed by deque-based aggregators.
+  virtual Status Enter(const reservoir::FieldValue& value,
+                       const reservoir::Event& event, std::string* state,
+                       AggContext* ctx) = 0;
+
+  // Applies an expiring value.
+  virtual Status Expire(const reservoir::FieldValue& value,
+                        const reservoir::Event& event, std::string* state,
+                        AggContext* ctx) = 0;
+
+  // Produces the current aggregation result from the state.
+  virtual StatusOr<reservoir::FieldValue> Result(
+      const std::string& state) const = 0;
+};
+
+}  // namespace railgun::agg
+
+#endif  // RAILGUN_AGG_AGGREGATOR_H_

@@ -1,0 +1,87 @@
+// Hopping-window baseline: the structural model of how Flink & friends
+// approximate sliding windows (paper §2.2). A window of size ws with hop
+// h keeps exactly ws/h live window states per key; every arriving event
+// updates all of them and is then discarded (no event storage, no event
+// expiry — the optimization that makes hopping windows popular, and the
+// per-event cost that blows up as the hop shrinks).
+//
+// States live in the embedded LSM store, mirroring Flink-on-RocksDB.
+#ifndef RAILGUN_BASELINE_HOPPING_ENGINE_H_
+#define RAILGUN_BASELINE_HOPPING_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/db.h"
+
+namespace railgun::baseline {
+
+struct BaselineResult {
+  double sum = 0;
+  int64_t count = 0;
+};
+
+// Common interface so benches can swap engines.
+class BaselineEngine {
+ public:
+  virtual ~BaselineEngine() = default;
+  // Processes one (key, timestamp, amount) event and reports the
+  // engine's best available sum/count for the key's trailing window.
+  virtual Status ProcessEvent(const std::string& key, Micros timestamp,
+                              double amount, BaselineResult* result) = 0;
+  virtual std::string name() const = 0;
+};
+
+struct HoppingOptions {
+  Micros window_size = 60 * kMicrosPerMinute;
+  Micros hop = 5 * kMicrosPerMinute;
+};
+
+class HoppingEngine : public BaselineEngine {
+ public:
+  // Borrows the store; uses its default column family with a
+  // "h|" key prefix.
+  HoppingEngine(const HoppingOptions& options, storage::DB* db);
+
+  Status ProcessEvent(const std::string& key, Micros timestamp,
+                      double amount, BaselineResult* result) override;
+  std::string name() const override;
+
+  // Number of live window states an event touches (= windowSize/hop).
+  int64_t states_per_event() const { return states_per_event_; }
+
+ private:
+  std::string StateKey(const std::string& key, Micros window_start) const;
+
+  HoppingOptions options_;
+  storage::DB* db_;
+  int64_t states_per_event_;
+};
+
+// The "custom Flink solution" for accurate sliding windows [21]: store
+// every event in the state store and, for each arriving event, recompute
+// the aggregation by scanning all stored events of the key inside the
+// window. Quadratic in per-key event count; accurate but slow.
+class QuadraticSlidingEngine : public BaselineEngine {
+ public:
+  QuadraticSlidingEngine(Micros window_size, storage::DB* db);
+
+  Status ProcessEvent(const std::string& key, Micros timestamp,
+                      double amount, BaselineResult* result) override;
+  std::string name() const override { return "flink-custom-quadratic"; }
+
+ private:
+  std::string EventKey(const std::string& key, Micros timestamp,
+                       uint64_t seq) const;
+
+  Micros window_size_;
+  storage::DB* db_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace railgun::baseline
+
+#endif  // RAILGUN_BASELINE_HOPPING_ENGINE_H_

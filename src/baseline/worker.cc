@@ -1,0 +1,87 @@
+#include "baseline/worker.h"
+
+namespace railgun::baseline {
+
+BaselineWorker::BaselineWorker(const WorkerOptions& options,
+                               msg::MessageBus* bus, BaselineEngine* engine,
+                               engine::StreamDef stream, std::string topic,
+                               Clock* clock)
+    : options_(options),
+      bus_(bus),
+      engine_(engine),
+      stream_(std::move(stream)),
+      topic_(std::move(topic)),
+      clock_(clock) {}
+
+BaselineWorker::~BaselineWorker() { Stop(); }
+
+Status BaselineWorker::Start() {
+  const reservoir::Schema schema(0, stream_.fields);
+  key_index_ = schema.FieldIndex(options_.key_field);
+  amount_index_ = schema.FieldIndex(options_.amount_field);
+  if (key_index_ < 0 || amount_index_ < 0) {
+    return Status::InvalidArgument("worker fields not in schema");
+  }
+  for (const auto& tp : bus_->PartitionsOf(topic_)) {
+    positions_[tp] = 0;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void BaselineWorker::Stop() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+}
+
+void BaselineWorker::Run() {
+  const reservoir::Schema schema(0, stream_.fields);
+  std::vector<msg::Message> batch;
+  while (running_) {
+    bool any = false;
+    for (auto& [tp, pos] : positions_) {
+      batch.clear();
+      if (!bus_->Fetch(tp, pos, options_.poll_max, &batch).ok()) continue;
+      pos += batch.size();
+      for (const auto& message : batch) {
+        any = true;
+        engine::EventEnvelope envelope;
+        if (!engine::DecodeEventEnvelope(Slice(message.payload), schema,
+                                         &envelope)
+                 .ok()) {
+          continue;
+        }
+        BaselineResult result;
+        const std::string key =
+            envelope.event.values[static_cast<size_t>(key_index_)].ToString();
+        const double amount =
+            envelope.event.values[static_cast<size_t>(amount_index_)]
+                .ToNumber();
+        if (!engine_
+                 ->ProcessEvent(key, envelope.event.timestamp, amount,
+                                &result)
+                 .ok()) {
+          continue;
+        }
+        ++processed_;
+        if (!envelope.reply_topic.empty()) {
+          engine::ReplyEnvelope reply;
+          reply.request_id = envelope.request_id;
+          reply.results.push_back(
+              {"sum(amount)", key, reservoir::FieldValue(result.sum)});
+          reply.results.push_back(
+              {"count(*)", key,
+               reservoir::FieldValue(static_cast<int64_t>(result.count))});
+          std::string encoded;
+          EncodeReplyEnvelope(reply, &encoded);
+          bus_->Produce(envelope.reply_topic, message.key,
+                        std::move(encoded));
+        }
+      }
+    }
+    if (!any) clock_->SleepMicros(options_.idle_sleep);
+  }
+}
+
+}  // namespace railgun::baseline

@@ -1,0 +1,60 @@
+// BaselineWorker: drives a BaselineEngine over the message bus with the
+// same end-to-end path as a Railgun node (consume event topic -> compute
+// -> produce reply), so Figure 8 compares engines, not plumbing.
+#ifndef RAILGUN_BASELINE_WORKER_H_
+#define RAILGUN_BASELINE_WORKER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/hopping_engine.h"
+#include "engine/stream_def.h"
+#include "msg/broker.h"
+
+namespace railgun::baseline {
+
+struct WorkerOptions {
+  std::string key_field = "cardId";
+  std::string amount_field = "amount";
+  size_t poll_max = 256;
+  Micros idle_sleep = 200;
+};
+
+class BaselineWorker {
+ public:
+  // Borrows the bus and engine. Consumes every partition of `topic`.
+  BaselineWorker(const WorkerOptions& options, msg::MessageBus* bus,
+                 BaselineEngine* engine, engine::StreamDef stream,
+                 std::string topic, Clock* clock);
+  ~BaselineWorker();
+
+  Status Start();
+  void Stop();
+
+  uint64_t processed() const { return processed_.load(); }
+
+ private:
+  void Run();
+
+  WorkerOptions options_;
+  msg::MessageBus* bus_;
+  BaselineEngine* engine_;
+  engine::StreamDef stream_;
+  std::string topic_;
+  Clock* clock_;
+  int key_index_ = -1;
+  int amount_index_ = -1;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> processed_{0};
+  std::map<msg::TopicPartition, uint64_t> positions_;
+};
+
+}  // namespace railgun::baseline
+
+#endif  // RAILGUN_BASELINE_WORKER_H_

@@ -1,0 +1,25 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace railgun {
+
+Micros MonotonicClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void MonotonicClock::SleepMicros(Micros micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+MonotonicClock* MonotonicClock::Default() {
+  static MonotonicClock* clock = new MonotonicClock();
+  return clock;
+}
+
+}  // namespace railgun

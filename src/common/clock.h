@@ -1,0 +1,60 @@
+// Clock abstraction. All engine code takes a Clock* so tests and the
+// multi-node scaling bench can run on simulated time, while latency
+// benches use the monotonic wall clock.
+#ifndef RAILGUN_COMMON_CLOCK_H_
+#define RAILGUN_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace railgun {
+
+// Microsecond resolution throughout.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr Micros kMicrosPerDay = 24 * kMicrosPerHour;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+  // Blocks (or advances simulated time) for the given duration.
+  virtual void SleepMicros(Micros micros) = 0;
+};
+
+// Real clock backed by std::chrono::steady_clock.
+class MonotonicClock : public Clock {
+ public:
+  Micros NowMicros() const override;
+  void SleepMicros(Micros micros) override;
+
+  // Process-wide instance (no ownership transfer).
+  static MonotonicClock* Default();
+};
+
+// Deterministic clock for tests and simulations. Thread-safe.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void SleepMicros(Micros micros) override { Advance(micros); }
+
+  void Advance(Micros micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+  void SetTime(Micros t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_CLOCK_H_

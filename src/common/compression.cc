@@ -1,0 +1,161 @@
+#include "common/compression.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace railgun {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+inline uint32_t HashPos(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitToken(std::string* out, const char* lit, size_t lit_len,
+               size_t match_len, size_t offset) {
+  const size_t match_code = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+  unsigned char ctrl =
+      static_cast<unsigned char>((lit_len < 15 ? lit_len : 15) |
+                                 ((match_code < 15 ? match_code : 15) << 4));
+  out->push_back(static_cast<char>(ctrl));
+  if (lit_len >= 15) PutVarint64(out, lit_len - 15);
+  out->append(lit, lit_len);
+  if (match_len >= kMinMatch) {
+    if (match_code >= 15) PutVarint64(out, match_code - 15);
+    out->push_back(static_cast<char>(offset & 0xff));
+    out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  }
+}
+
+}  // namespace
+
+void LzCompress(const Slice& input, std::string* output) {
+  PutVarint64(output, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n == 0) return;
+
+  std::vector<int64_t> table(kHashSize, -1);
+  size_t pos = 0;
+  size_t lit_start = 0;
+
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = HashPos(base + pos);
+    const int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
+        memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      // Extend the match forward.
+      size_t match_len = kMinMatch;
+      const size_t max_len = n - pos;
+      while (match_len < max_len &&
+             base[cand + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+      EmitToken(output, base + lit_start, pos - lit_start, match_len,
+                pos - static_cast<size_t>(cand));
+      pos += match_len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals with a no-match token.
+  EmitToken(output, base + lit_start, n - lit_start, 0, 0);
+}
+
+Status LzUncompress(const Slice& input, std::string* output) {
+  Slice in = input;
+  uint64_t expected;
+  if (!GetVarint64(&in, &expected)) {
+    return Status::Corruption("compressed block: bad size header");
+  }
+  // A malformed header can claim an absurd size; bound it so corrupt
+  // input cannot drive allocation to OOM. No block in the system (chunk
+  // or SSTable block) approaches this.
+  constexpr uint64_t kMaxUncompressedBlock = 1ull << 30;  // 1 GiB.
+  if (expected > kMaxUncompressedBlock) {
+    return Status::Corruption("compressed block: implausible size header");
+  }
+  const size_t out_start = output->size();
+  output->reserve(out_start + std::min<uint64_t>(expected, 1 << 22));
+
+  while (output->size() - out_start < expected) {
+    if (in.empty()) return Status::Corruption("compressed block: truncated");
+    const unsigned char ctrl = static_cast<unsigned char>(in[0]);
+    in.remove_prefix(1);
+    uint64_t lit_len = ctrl & 0x0f;
+    uint64_t match_code = (ctrl >> 4) & 0x0f;
+    if (lit_len == 15) {
+      uint64_t extra;
+      if (!GetVarint64(&in, &extra)) {
+        return Status::Corruption("compressed block: bad literal length");
+      }
+      lit_len += extra;
+    }
+    if (in.size() < lit_len) {
+      return Status::Corruption("compressed block: literal overrun");
+    }
+    output->append(in.data(), lit_len);
+    in.remove_prefix(lit_len);
+
+    const bool has_match =
+        ctrl >> 4 ? true : false;  // match_code > 0 encodes len>kMinMatch...
+    // A token with match nibble 0 may still be a kMinMatch-length match;
+    // we disambiguate by stream position: the final token carries no
+    // offset bytes. Distinguish by checking output completeness first.
+    if (output->size() - out_start >= expected) break;
+    uint64_t match_len = match_code;
+    if (match_code == 15) {
+      uint64_t extra;
+      if (!GetVarint64(&in, &extra)) {
+        return Status::Corruption("compressed block: bad match length");
+      }
+      match_len += extra;
+    }
+    match_len += kMinMatch;
+    (void)has_match;
+    if (output->size() - out_start + match_len > expected) {
+      return Status::Corruption("compressed block: match overruns size");
+    }
+    if (in.size() < 2) {
+      return Status::Corruption("compressed block: missing offset");
+    }
+    const size_t offset = static_cast<unsigned char>(in[0]) |
+                          (static_cast<size_t>(static_cast<unsigned char>(
+                               in[1]))
+                           << 8);
+    in.remove_prefix(2);
+    if (offset == 0 || offset > output->size() - out_start) {
+      return Status::Corruption("compressed block: bad offset");
+    }
+    // Overlapping copies must proceed byte by byte.
+    size_t src = output->size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      output->push_back((*output)[src + i]);
+    }
+  }
+  if (output->size() - out_start != expected) {
+    return Status::Corruption("compressed block: size mismatch");
+  }
+  return Status::OK();
+}
+
+int64_t LzUncompressedSize(const Slice& input) {
+  Slice in = input;
+  uint64_t expected;
+  if (!GetVarint64(&in, &expected)) return -1;
+  return static_cast<int64_t>(expected);
+}
+
+}  // namespace railgun

@@ -1,0 +1,34 @@
+// A from-scratch LZ77-style block codec used to compress reservoir chunks
+// and SSTable blocks. Format (all varint/raw little-endian):
+//
+//   [varint64 uncompressed_size] [token stream]
+//
+// Token stream: a control byte whose low nibble is the literal run length
+// (15 = extended with varint continuation) and high nibble the match
+// length minus kMinMatch (15 = extended); literals; then for matches a
+// 2-byte little-endian offset. A match length of 0 and offset 0 ends a
+// token without a match (final literals).
+#ifndef RAILGUN_COMMON_COMPRESSION_H_
+#define RAILGUN_COMMON_COMPRESSION_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace railgun {
+
+// Compresses input into *output (appended). Always succeeds; the output
+// may be larger than the input for incompressible data.
+void LzCompress(const Slice& input, std::string* output);
+
+// Decompresses a block produced by LzCompress into *output (appended).
+Status LzUncompress(const Slice& input, std::string* output);
+
+// Convenience: returns the uncompressed size recorded in the header,
+// without decompressing. Returns -1 on malformed input.
+int64_t LzUncompressedSize(const Slice& input);
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_COMPRESSION_H_

@@ -1,0 +1,29 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace railgun {
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  constexpr uint64_t kMul = 0x9ddfea08eb382d69ull;
+  uint64_t h = seed ^ (n * kMul);
+  const char* p = data;
+  const char* end = data + n;
+  while (p + 8 <= end) {
+    uint64_t lane;
+    memcpy(&lane, p, 8);
+    h = MixHash64(h ^ lane) * kMul;
+    p += 8;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  while (p < end) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(*p)) << shift;
+    shift += 8;
+    ++p;
+  }
+  h = MixHash64(h ^ tail);
+  return h;
+}
+
+}  // namespace railgun

@@ -1,0 +1,35 @@
+// 64-bit and 32-bit hashing used for partitioning (event key -> partition),
+// bloom-style filtering and hash indexes.
+#ifndef RAILGUN_COMMON_HASH_H_
+#define RAILGUN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace railgun {
+
+// A 64-bit mixing hash (splitmix-style finalizer over 8-byte lanes).
+uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+inline uint32_t Hash32(std::string_view s, uint32_t seed = 0) {
+  return static_cast<uint32_t>(Hash64(s.data(), s.size(), seed));
+}
+
+// Finalizer usable for integer keys.
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_HASH_H_

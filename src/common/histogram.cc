@@ -1,0 +1,140 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace railgun {
+
+namespace {
+// Highest representable value: 2^62 is far beyond any latency we record.
+constexpr int kMaxExponent = 62;
+
+int Log2Floor(uint64_t v) {
+  return v == 0 ? 0 : 63 - __builtin_clzll(v);
+}
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_bucket_count_(int64_t{1} << sub_bucket_bits) {
+  // One linear region for values < sub_bucket_count_, then one set of
+  // sub-buckets per power of two above it.
+  const size_t log_regions = kMaxExponent - sub_bucket_bits_;
+  buckets_.assign(sub_bucket_count_ + log_regions * (sub_bucket_count_ / 2),
+                  0);
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t value) const {
+  if (value < 0) value = 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < static_cast<uint64_t>(sub_bucket_count_)) {
+    return static_cast<size_t>(v);
+  }
+  const int exponent = Log2Floor(v);  // >= sub_bucket_bits_
+  const int region = exponent - sub_bucket_bits_;  // 0-based log region
+  // Within a region, the top (bits-1) fractional bits select the slot.
+  const int shift = exponent - (sub_bucket_bits_ - 1);
+  const uint64_t slot = (v >> shift) & ((sub_bucket_count_ / 2) - 1);
+  size_t index = sub_bucket_count_ +
+                 static_cast<size_t>(region) * (sub_bucket_count_ / 2) +
+                 static_cast<size_t>(slot);
+  if (index >= buckets_.size()) index = buckets_.size() - 1;
+  return index;
+}
+
+int64_t LatencyHistogram::BucketUpperBound(size_t index) const {
+  if (index < static_cast<size_t>(sub_bucket_count_)) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t rel = index - sub_bucket_count_;
+  const size_t region = rel / (sub_bucket_count_ / 2);
+  const size_t slot = rel % (sub_bucket_count_ / 2);
+  const int exponent = static_cast<int>(region) + sub_bucket_bits_;
+  const int shift = exponent - (sub_bucket_bits_ - 1);
+  const uint64_t base = uint64_t{1} << exponent;
+  const uint64_t lower =
+      base | (static_cast<uint64_t>(slot) << shift);
+  const uint64_t width = uint64_t{1} << shift;
+  return static_cast<int64_t>(lower + width - 1);
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void LatencyHistogram::RecordCorrected(int64_t value,
+                                       int64_t expected_interval) {
+  Record(value);
+  if (expected_interval <= 0) return;
+  for (int64_t missed = value - expected_interval; missed >= expected_interval;
+       missed -= expected_interval) {
+    Record(missed);
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+int64_t LatencyHistogram::ValueAtPercentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 *
+                                                          count_)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+std::string LatencyHistogram::Summary(
+    const std::vector<double>& percentiles) const {
+  std::string out;
+  char line[128];
+  for (double p : percentiles) {
+    snprintf(line, sizeof(line), "p%-7.3f = %10lld us\n", p,
+             static_cast<long long>(ValueAtPercentile(p)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace railgun

@@ -1,0 +1,60 @@
+// HDR-style latency histogram: logarithmic buckets with linear
+// sub-buckets, bounded relative error, percentile queries, and
+// coordinated-omission correction (the paper's §5 requires latencies to
+// be "corrected to take into account the coordination omission problem").
+#ifndef RAILGUN_COMMON_HISTOGRAM_H_
+#define RAILGUN_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace railgun {
+
+class LatencyHistogram {
+ public:
+  // sub_bucket_bits controls relative precision: 2^bits linear sub-buckets
+  // per power of two, i.e. relative error <= 1/2^bits.
+  explicit LatencyHistogram(int sub_bucket_bits = 7);
+
+  // Records a single value (e.g. latency in microseconds). Values < 0
+  // clamp to 0.
+  void Record(int64_t value);
+
+  // Coordinated-omission correction: when a recorded value exceeds the
+  // expected interval between requests, the stalled requests that *would*
+  // have been issued are recorded with linearly decreasing latencies.
+  void RecordCorrected(int64_t value, int64_t expected_interval);
+
+  // Merges another histogram into this one (must have identical bits).
+  void Merge(const LatencyHistogram& other);
+
+  // Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
+  int64_t ValueAtPercentile(double p) const;
+
+  int64_t Count() const { return count_; }
+  int64_t Min() const { return count_ == 0 ? 0 : min_; }
+  int64_t Max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  void Reset();
+
+  // One line per requested percentile: "p99.9 = 1234 us".
+  std::string Summary(const std::vector<double>& percentiles) const;
+
+ private:
+  int64_t BucketUpperBound(size_t index) const;
+  size_t BucketIndex(int64_t value) const;
+
+  int sub_bucket_bits_;
+  int64_t sub_bucket_count_;  // 2^bits
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_HISTOGRAM_H_

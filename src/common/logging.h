@@ -1,0 +1,28 @@
+// Minimal assertion/logging macros. CHECK failures abort: they indicate
+// invariant violations, never expected runtime errors (those use Status).
+#ifndef RAILGUN_COMMON_LOGGING_H_
+#define RAILGUN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RAILGUN_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+              #cond);                                                    \
+      abort();                                                           \
+    }                                                                    \
+  } while (0)
+
+#define RAILGUN_CHECK_OK(expr)                                             \
+  do {                                                                     \
+    const ::railgun::Status _st = (expr);                                  \
+    if (!_st.ok()) {                                                       \
+      fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,          \
+              __LINE__, _st.ToString().c_str());                           \
+      abort();                                                             \
+    }                                                                      \
+  } while (0)
+
+#endif  // RAILGUN_COMMON_LOGGING_H_

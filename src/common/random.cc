@@ -1,0 +1,59 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace railgun {
+
+Random64::Random64(uint64_t seed) {
+  // Split the seed into two non-zero state words.
+  s0_ = seed ^ 0x9E3779B97F4A7C15ull;
+  s1_ = (seed << 1) | 1;
+  for (int i = 0; i < 4; ++i) Next();  // Warm up.
+}
+
+uint64_t Random64::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+double Random64::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Random64::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+double Random64::NextGaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0) u1 = 1e-12;
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), rng_(seed), cdf_(n) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace railgun

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generators for workload synthesis:
+// xorshift128+ core, uniform helpers, and a Zipf sampler used to model
+// real-world card/merchant cardinality skew (paper §5).
+#ifndef RAILGUN_COMMON_RANDOM_H_
+#define RAILGUN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace railgun {
+
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed = 0x2545F4914F6CDD1Dull);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Exponentially distributed with the given mean.
+  double NextExponential(double mean);
+
+  // Normally distributed (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipf-distributed sampler over [0, n) with exponent theta, using the
+// precomputed-CDF + binary-search method (exact, O(log n) per sample).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Random64 rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_RANDOM_H_

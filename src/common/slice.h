@@ -1,0 +1,72 @@
+// A Slice is a non-owning view over a byte range, with helpers used by the
+// storage and reservoir serialization code.
+#ifndef RAILGUN_COMMON_SLICE_H_
+#define RAILGUN_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace railgun {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& b) const {
+    const size_t min_len = (size_ < b.size_) ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) {
+        r = -1;
+      } else if (size_ > b.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& x) const {
+    return (size_ >= x.size_) && (memcmp(data_, x.data_, x.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& x, const Slice& y) {
+  return (x.size() == y.size()) &&
+         (memcmp(x.data(), y.data(), x.size()) == 0);
+}
+inline bool operator!=(const Slice& x, const Slice& y) { return !(x == y); }
+inline bool operator<(const Slice& x, const Slice& y) {
+  return x.compare(y) < 0;
+}
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_SLICE_H_

@@ -1,0 +1,153 @@
+// Status and StatusOr: exception-free error propagation used across the
+// entire Railgun codebase. Modeled on the conventions of LevelDB/Abseil.
+#ifndef RAILGUN_COMMON_STATUS_H_
+#define RAILGUN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace railgun {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kNotSupported = 5,
+  kAborted = 6,
+  kBusy = 7,
+  kOutOfRange = 8,
+  kAlreadyExists = 9,
+  kUnavailable = 10,
+};
+
+// A Status encapsulates the result of an operation: success, or an error
+// code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// StatusOr<T> holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit on purpose (error returns)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+  StatusOr(T value)  // NOLINT: implicit on purpose (value returns)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace railgun
+
+// Propagates a non-OK status to the caller.
+#define RAILGUN_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::railgun::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Evaluates a StatusOr expression; assigns the value or returns the error.
+#define RAILGUN_ASSIGN_OR_RETURN(lhs, expr)      \
+  RAILGUN_ASSIGN_OR_RETURN_IMPL_(                \
+      RAILGUN_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define RAILGUN_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                   \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value()
+#define RAILGUN_STATUS_CONCAT_(a, b) RAILGUN_STATUS_CONCAT_IMPL_(a, b)
+#define RAILGUN_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // RAILGUN_COMMON_STATUS_H_

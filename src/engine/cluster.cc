@@ -1,0 +1,110 @@
+#include "engine/cluster.h"
+
+namespace railgun::engine {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : MonotonicClock::Default()) {
+  msg::BusOptions bus_options = options_.bus;
+  bus_options.clock = clock_;
+  bus_.reset(new msg::MessageBus(bus_options));
+  coordinator_.reset(new Coordinator(options_.replication_factor));
+}
+
+Cluster::~Cluster() { Stop(); }
+
+Status Cluster::Start() {
+  if (options_.wipe_base_dir) {
+    RAILGUN_RETURN_IF_ERROR(
+        Env::Default()->RemoveDirRecursive(options_.base_dir));
+  }
+  RAILGUN_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.base_dir));
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    RAILGUN_RETURN_IF_ERROR(AddNode().status());
+  }
+  return Status::OK();
+}
+
+void Cluster::Stop() {
+  for (auto& node : nodes_) {
+    if (node->alive()) node->Stop();
+  }
+}
+
+StatusOr<RailgunNode*> Cluster::AddNode() {
+  const std::string node_id = "node" + std::to_string(next_node_index_++);
+  auto node = std::make_unique<RailgunNode>(
+      options_.node, node_id, options_.base_dir + "/" + node_id, bus_.get(),
+      coordinator_.get(), clock_);
+  RAILGUN_RETURN_IF_ERROR(node->Start());
+  for (const auto& stream : streams_) {
+    RAILGUN_RETURN_IF_ERROR(node->RegisterStream(stream));
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().get();
+}
+
+Status Cluster::KillNode(int index, bool immediate_detection) {
+  nodes_[static_cast<size_t>(index)]->Kill(immediate_detection);
+  return Status::OK();
+}
+
+Status Cluster::StopNode(int index) {
+  nodes_[static_cast<size_t>(index)]->Stop();
+  return Status::OK();
+}
+
+Status Cluster::RegisterStream(const StreamDef& stream) {
+  streams_.push_back(stream);
+  for (auto& node : nodes_) {
+    if (!node->alive()) continue;
+    RAILGUN_RETURN_IF_ERROR(node->RegisterStream(stream));
+  }
+  return Status::OK();
+}
+
+uint64_t Cluster::WaitForQuiescence(Micros timeout) {
+  const Micros deadline = clock_->NowMicros() + timeout;
+  uint64_t produced = 0;
+  while (clock_->NowMicros() < deadline) {
+    produced = 0;
+    for (const auto& stream : streams_) {
+      for (const auto& p : stream.partitioners) {
+        for (const auto& tp : bus_->PartitionsOf(stream.TopicFor(p))) {
+          auto end = bus_->EndOffset(tp);
+          if (end.ok()) produced += end.value();
+        }
+      }
+    }
+    uint64_t processed = 0;
+    for (const auto& node : nodes_) {
+      if (!node->alive()) continue;
+      for (int u = 0; u < node->num_units(); ++u) {
+        processed += node->unit(u)->stats().active_messages;
+      }
+    }
+    if (processed >= produced && produced > 0) return processed;
+    clock_->SleepMicros(2000);
+  }
+  return 0;
+}
+
+UnitStats Cluster::TotalStats() const {
+  UnitStats total;
+  for (const auto& node : nodes_) {
+    for (int u = 0; u < node->num_units(); ++u) {
+      const UnitStats s =
+          const_cast<RailgunNode*>(node.get())->unit(u)->stats();
+      total.active_messages += s.active_messages;
+      total.replica_messages += s.replica_messages;
+      total.replies_sent += s.replies_sent;
+      total.recoveries += s.recoveries;
+      total.fresh_tasks += s.fresh_tasks;
+      total.bytes_recovered += s.bytes_recovered;
+    }
+  }
+  return total;
+}
+
+}  // namespace railgun::engine

@@ -1,0 +1,72 @@
+// Cluster harness: wires a message bus, a coordinator and N Railgun
+// nodes into a running system. This is the substitute for the paper's
+// Kubernetes deployment — same topology, in one process (see DESIGN.md).
+#ifndef RAILGUN_ENGINE_CLUSTER_H_
+#define RAILGUN_ENGINE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/node.h"
+
+namespace railgun::engine {
+
+struct ClusterOptions {
+  int num_nodes = 1;
+  int replication_factor = 1;
+  NodeOptions node;
+  msg::BusOptions bus;
+  std::string base_dir = "/tmp/railgun-cluster";
+  Clock* clock = nullptr;  // Defaults to the monotonic clock.
+  bool wipe_base_dir = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // Registers a stream (with its metric queries) on every node.
+  Status RegisterStream(const StreamDef& stream);
+
+  // Adds one more node to the running cluster (elastic scale-out).
+  StatusOr<RailgunNode*> AddNode();
+  // Fault injection.
+  Status KillNode(int index, bool immediate_detection = true);
+  Status StopNode(int index);
+
+  RailgunNode* node(int index) {
+    return nodes_[static_cast<size_t>(index)].get();
+  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  msg::MessageBus* bus() { return bus_.get(); }
+  Coordinator* coordinator() { return coordinator_.get(); }
+
+  // Blocks until every event topic has been fully consumed by the
+  // active units (all processed), or the timeout elapses. Returns the
+  // total processed message count.
+  uint64_t WaitForQuiescence(Micros timeout);
+
+  // Aggregate unit statistics.
+  UnitStats TotalStats() const;
+
+ private:
+  ClusterOptions options_;
+  Clock* clock_;
+  std::unique_ptr<msg::MessageBus> bus_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<RailgunNode>> nodes_;
+  std::vector<StreamDef> streams_;
+  int next_node_index_ = 0;
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_CLUSTER_H_

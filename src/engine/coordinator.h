@@ -1,0 +1,74 @@
+// Group coordinator (paper §4.2): bridges the message bus's rebalance
+// protocol to Railgun's sticky assignment. The bus invokes Assign() for
+// the active consumer group; the coordinator simultaneously computes the
+// replica assignment (replica consumers do not use group subscription —
+// they fetch their partitions directly, mirroring how the paper gives
+// every replica consumer its own group), tracks stale data holders, and
+// answers donor queries during recovery.
+#ifndef RAILGUN_ENGINE_COORDINATOR_H_
+#define RAILGUN_ENGINE_COORDINATOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/sticky_assignment.h"
+#include "msg/assignment.h"
+
+namespace railgun::engine {
+
+class Coordinator : public msg::AssignmentStrategy {
+ public:
+  explicit Coordinator(int replication_factor)
+      : replication_factor_(replication_factor) {}
+
+  // msg::AssignmentStrategy. Member metadata carries "node=<node_id>".
+  msg::Assignment Assign(
+      const std::vector<msg::MemberInfo>& members,
+      const std::vector<msg::TopicPartition>& partitions) override;
+  std::string name() const override { return "railgun-sticky"; }
+
+  // Units register the directory that holds their task data so donors
+  // can be located during recovery.
+  void RegisterUnitDir(const std::string& unit_id, const std::string& dir);
+
+  // Replica tasks of a unit under the current generation.
+  std::vector<msg::TopicPartition> ReplicaTasksFor(
+      const std::string& unit_id);
+  uint64_t generation() const { return generation_.load(); }
+
+  // Directory of a unit that has data for the task (active first, then
+  // replicas, then stale holders), excluding the requester. Empty if no
+  // donor exists.
+  std::string FindDonorDir(const msg::TopicPartition& task,
+                           const std::string& requesting_unit);
+
+  // Cumulative stickiness metrics (rebalance ablation).
+  int total_moved_active() const { return total_moved_active_.load(); }
+  int total_moved_replicas() const { return total_moved_replicas_.load(); }
+
+  // Task subdirectory naming shared by units and donors.
+  static std::string TaskSubdir(const msg::TopicPartition& task) {
+    return "task-" + task.topic + "-" + std::to_string(task.partition);
+  }
+
+ private:
+  const int replication_factor_;
+
+  std::mutex mu_;
+  std::map<msg::TopicPartition, std::string> prev_active_;
+  std::map<msg::TopicPartition, std::set<std::string>> prev_replicas_;
+  std::map<msg::TopicPartition, std::set<std::string>> stale_;
+  std::map<std::string, std::vector<msg::TopicPartition>> replicas_by_unit_;
+  std::map<std::string, std::string> unit_dirs_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<int> total_moved_active_{0};
+  std::atomic<int> total_moved_replicas_{0};
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_COORDINATOR_H_

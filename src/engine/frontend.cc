@@ -1,0 +1,157 @@
+#include "engine/frontend.h"
+
+#include "common/hash.h"
+
+namespace railgun::engine {
+
+FrontEnd::FrontEnd(const FrontEndOptions& options, std::string node_id,
+                   msg::MessageBus* bus, Clock* clock)
+    : options_(options),
+      node_id_(std::move(node_id)),
+      bus_(bus),
+      clock_(clock),
+      reply_topic_("replies." + node_id_) {}
+
+FrontEnd::~FrontEnd() { Stop(); }
+
+Status FrontEnd::Start() {
+  Status s = bus_->CreateTopic(reply_topic_, 1);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void FrontEnd::Stop() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+}
+
+Status FrontEnd::RegisterStream(const StreamDef& stream) {
+  for (const auto& p : stream.partitioners) {
+    Status s =
+        bus_->CreateTopic(stream.TopicFor(p), stream.partitions_per_topic);
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_[stream.name] = stream;
+  return Status::OK();
+}
+
+Status FrontEnd::Submit(const std::string& stream_name,
+                        const reservoir::Event& event,
+                        ReplyCallback callback) {
+  StreamDef stream;
+  uint64_t request_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream_name);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + stream_name);
+    }
+    stream = it->second;
+    // Request ids must be unique per reply topic; salt with the node id.
+    request_id = (Hash64(node_id_) & 0xffff000000000000ull) |
+                 (next_request_id_++ & 0x0000ffffffffffffull);
+    if (request_id == 0) request_id = next_request_id_++;
+
+    Pending pending;
+    pending.expected = static_cast<int>(stream.partitioners.size());
+    pending.callback = std::move(callback);
+    pending.deadline = clock_->NowMicros() + options_.request_timeout;
+    pending_[request_id] = std::move(pending);
+  }
+  return Publish(stream, event, request_id, reply_topic_);
+}
+
+Status FrontEnd::SubmitNoReply(const std::string& stream_name,
+                               const reservoir::Event& event) {
+  StreamDef stream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream_name);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + stream_name);
+    }
+    stream = it->second;
+  }
+  return Publish(stream, event, /*request_id=*/0, /*reply_topic=*/"");
+}
+
+Status FrontEnd::Publish(const StreamDef& stream,
+                         const reservoir::Event& event, uint64_t request_id,
+                         const std::string& reply_topic) {
+  // Step 2 of Figure 3: replicate the event to all partitioner topics,
+  // keyed by the partitioner field so an entity's events colocate.
+  const reservoir::Schema schema(0, stream.fields);
+  EventEnvelope envelope;
+  envelope.request_id = request_id;
+  envelope.reply_topic = reply_topic;
+  envelope.event = event;
+
+  std::string payload;
+  EncodeEventEnvelope(envelope, schema, &payload);
+
+  for (const auto& partitioner : stream.partitioners) {
+    const int field = schema.FieldIndex(partitioner);
+    if (field < 0) {
+      return Status::InvalidArgument("partitioner not in schema: " +
+                                     partitioner);
+    }
+    const std::string key = event.values[field].ToString();
+    RAILGUN_RETURN_IF_ERROR(
+        bus_->Produce(stream.TopicFor(partitioner), key, payload).status());
+  }
+  return Status::OK();
+}
+
+void FrontEnd::Run() {
+  const msg::TopicPartition reply_tp{reply_topic_, 0};
+  std::vector<msg::Message> batch;
+  while (running_) {
+    batch.clear();
+    bus_->Fetch(reply_tp, reply_position_, options_.poll_max, &batch);
+    reply_position_ += batch.size();
+
+    std::vector<std::pair<ReplyCallback, std::vector<MetricReply>>> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& message : batch) {
+        ReplyEnvelope reply;
+        if (!DecodeReplyEnvelope(Slice(message.payload), &reply).ok()) {
+          continue;
+        }
+        auto it = pending_.find(reply.request_id);
+        if (it == pending_.end()) continue;  // Timed out already.
+        Pending& pending = it->second;
+        for (auto& r : reply.results) {
+          pending.results.push_back(std::move(r));
+        }
+        if (++pending.received >= pending.expected) {
+          done.emplace_back(std::move(pending.callback),
+                            std::move(pending.results));
+          pending_.erase(it);
+          ++completed_;
+        }
+      }
+      // Expire overdue requests.
+      const Micros now = clock_->NowMicros();
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.deadline <= now) {
+          done.emplace_back(std::move(it->second.callback),
+                            std::move(it->second.results));
+          it = pending_.erase(it);
+          ++timed_out_;
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& [callback, results] : done) {
+      if (callback) callback(Status::OK(), results);
+    }
+    if (batch.empty()) clock_->SleepMicros(options_.idle_sleep);
+  }
+}
+
+}  // namespace railgun::engine

@@ -1,0 +1,96 @@
+// Front-end layer (paper §3.1): accepts client events, routes them to
+// every partitioner topic of the stream, collects the per-topic
+// aggregation replies from its dedicated reply topic, and completes the
+// client request with all computed metrics in a single response.
+#ifndef RAILGUN_ENGINE_FRONTEND_H_
+#define RAILGUN_ENGINE_FRONTEND_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/stream_def.h"
+#include "msg/broker.h"
+
+namespace railgun::engine {
+
+struct FrontEndOptions {
+  // Pending requests older than this complete with what has arrived
+  // (late aggregation replies are discarded upstream, paper §5).
+  Micros request_timeout = 10 * kMicrosPerSecond;
+  Micros idle_sleep = 100;
+  size_t poll_max = 1024;
+};
+
+class FrontEnd {
+ public:
+  using ReplyCallback =
+      std::function<void(Status, const std::vector<MetricReply>&)>;
+
+  FrontEnd(const FrontEndOptions& options, std::string node_id,
+           msg::MessageBus* bus, Clock* clock);
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // Creates the stream's topics (idempotent) and remembers its schema.
+  Status RegisterStream(const StreamDef& stream);
+
+  // Step 1-2 of Figure 3: publish the event to every partitioner topic.
+  // The callback fires on the front-end thread when all expected replies
+  // arrived (or on timeout, with the partial set).
+  Status Submit(const std::string& stream_name,
+                const reservoir::Event& event, ReplyCallback callback);
+
+  // Fire-and-forget variant used by throughput-oriented benchmarks.
+  Status SubmitNoReply(const std::string& stream_name,
+                       const reservoir::Event& event);
+
+  const std::string& reply_topic() const { return reply_topic_; }
+  uint64_t completed_requests() const { return completed_; }
+  uint64_t timed_out_requests() const { return timed_out_; }
+
+ private:
+  struct Pending {
+    int expected = 0;
+    int received = 0;
+    std::vector<MetricReply> results;
+    ReplyCallback callback;
+    Micros deadline = 0;
+  };
+
+  void Run();
+  Status Publish(const StreamDef& stream, const reservoir::Event& event,
+                 uint64_t request_id, const std::string& reply_topic);
+
+  FrontEndOptions options_;
+  std::string node_id_;
+  msg::MessageBus* bus_;
+  Clock* clock_;
+  std::string reply_topic_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;
+  std::map<std::string, StreamDef> streams_;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t next_request_id_ = 1;
+  uint64_t reply_position_ = 0;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> timed_out_{0};
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_FRONTEND_H_

@@ -1,0 +1,55 @@
+#include "engine/node.h"
+
+namespace railgun::engine {
+
+RailgunNode::RailgunNode(const NodeOptions& options, std::string node_id,
+                         std::string dir, msg::MessageBus* bus,
+                         Coordinator* coordinator, Clock* clock)
+    : options_(options),
+      node_id_(std::move(node_id)),
+      dir_(std::move(dir)),
+      bus_(bus),
+      clock_(clock) {
+  frontend_.reset(
+      new FrontEnd(options_.frontend, node_id_, bus_, clock_));
+  for (int i = 0; i < options_.num_processor_units; ++i) {
+    const std::string unit_id = node_id_ + "/u" + std::to_string(i);
+    units_.emplace_back(new ProcessorUnit(
+        options_.unit, unit_id, node_id_,
+        dir_ + "/u" + std::to_string(i), bus_, coordinator, clock_));
+  }
+}
+
+Status RailgunNode::Start() {
+  RAILGUN_RETURN_IF_ERROR(frontend_->Start());
+  for (auto& unit : units_) {
+    RAILGUN_RETURN_IF_ERROR(unit->Start());
+  }
+  alive_ = true;
+  return Status::OK();
+}
+
+void RailgunNode::Stop() {
+  for (auto& unit : units_) unit->Stop();
+  frontend_->Stop();
+  alive_ = false;
+}
+
+void RailgunNode::Kill(bool immediate_detection) {
+  for (auto& unit : units_) {
+    unit->Kill();
+    if (immediate_detection) bus_->KillConsumer(unit->unit_id());
+  }
+  frontend_->Stop();
+  alive_ = false;
+}
+
+Status RailgunNode::RegisterStream(const StreamDef& stream) {
+  RAILGUN_RETURN_IF_ERROR(frontend_->RegisterStream(stream));
+  for (auto& unit : units_) {
+    unit->EnqueueRegisterStream(stream);
+  }
+  return Status::OK();
+}
+
+}  // namespace railgun::engine

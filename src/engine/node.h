@@ -1,0 +1,62 @@
+// A Railgun node (paper Fig. 3): one front-end layer plus a set of
+// processor units, all communicating exclusively through the messaging
+// layer. In this reproduction every node lives in-process with a private
+// data directory, preserving the paper's topology (N nodes x U units).
+#ifndef RAILGUN_ENGINE_NODE_H_
+#define RAILGUN_ENGINE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/frontend.h"
+#include "engine/processor_unit.h"
+
+namespace railgun::engine {
+
+struct NodeOptions {
+  int num_processor_units = 2;
+  UnitOptions unit;
+  FrontEndOptions frontend;
+};
+
+class RailgunNode {
+ public:
+  RailgunNode(const NodeOptions& options, std::string node_id,
+              std::string dir, msg::MessageBus* bus,
+              Coordinator* coordinator, Clock* clock);
+
+  RailgunNode(const RailgunNode&) = delete;
+  RailgunNode& operator=(const RailgunNode&) = delete;
+
+  Status Start();
+  // Graceful shutdown: units leave the consumer group (clean rebalance).
+  void Stop();
+  // Abrupt failure: unit threads die; the bus fences them after their
+  // heartbeats expire. Pass immediate=true to also report the failure
+  // to the bus right away (models fast failure detection).
+  void Kill(bool immediate_detection = true);
+
+  Status RegisterStream(const StreamDef& stream);
+
+  FrontEnd* frontend() { return frontend_.get(); }
+  ProcessorUnit* unit(int i) { return units_[static_cast<size_t>(i)].get(); }
+  int num_units() const { return static_cast<int>(units_.size()); }
+  const std::string& id() const { return node_id_; }
+  bool alive() const { return alive_; }
+
+ private:
+  NodeOptions options_;
+  std::string node_id_;
+  std::string dir_;
+  msg::MessageBus* bus_;
+  Clock* clock_;
+
+  std::unique_ptr<FrontEnd> frontend_;
+  std::vector<std::unique_ptr<ProcessorUnit>> units_;
+  bool alive_ = false;
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_NODE_H_

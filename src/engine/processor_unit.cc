@@ -1,0 +1,335 @@
+#include "engine/processor_unit.h"
+
+#include <algorithm>
+
+namespace railgun::engine {
+
+ProcessorUnit::ProcessorUnit(const UnitOptions& options, std::string unit_id,
+                             std::string node_id, std::string dir,
+                             msg::MessageBus* bus, Coordinator* coordinator,
+                             Clock* clock)
+    : options_(options),
+      unit_id_(std::move(unit_id)),
+      node_id_(std::move(node_id)),
+      dir_(std::move(dir)),
+      bus_(bus),
+      coordinator_(coordinator),
+      clock_(clock) {}
+
+ProcessorUnit::~ProcessorUnit() {
+  Stop();
+}
+
+Status ProcessorUnit::Start() {
+  coordinator_->RegisterUnitDir(unit_id_, dir_);
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void ProcessorUnit::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  bus_->Unsubscribe(unit_id_);
+}
+
+void ProcessorUnit::Kill() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+  // No Unsubscribe: the bus discovers the death via heartbeat expiry
+  // (or the harness calls KillConsumer for immediate detection).
+}
+
+void ProcessorUnit::EnqueueRegisterStream(const StreamDef& stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_streams_.push_back(stream);
+}
+
+UnitStats ProcessorUnit::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<msg::TopicPartition> ProcessorUnit::active_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_tasks_;
+}
+
+std::vector<msg::TopicPartition> ProcessorUnit::replica_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<msg::TopicPartition> result;
+  for (const auto& [tp, pos] : replica_positions_) result.push_back(tp);
+  return result;
+}
+
+TaskProcessor* ProcessorUnit::FindProcessor(const msg::TopicPartition& tp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = processors_.find(Coordinator::TaskSubdir(tp));
+  return it == processors_.end() ? nullptr : it->second.get();
+}
+
+const StreamDef* ProcessorUnit::StreamForTopic(
+    const std::string& topic) const {
+  for (const auto& [name, stream] : streams_) {
+    for (const auto& p : stream.partitioners) {
+      if (stream.TopicFor(p) == topic) return &stream;
+    }
+  }
+  return nullptr;
+}
+
+void ProcessorUnit::DrainOperationalRequests() {
+  std::deque<StreamDef> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_streams_);
+  }
+  if (pending.empty()) return;
+
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& stream : pending) {
+      streams_[stream.name] = std::move(stream);
+      changed = true;
+    }
+  }
+  if (!changed) return;
+
+  // Propagate updated stream definitions into live task processors:
+  // queries added at runtime are planned and backfilled (paper §3.1
+  // operational requests / §6 metric backfill).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, processor] : processors_) {
+      const StreamDef* stream = StreamForTopic(processor->topic());
+      if (stream != nullptr) {
+        processor->SyncQueries(*stream);
+      }
+    }
+  }
+
+  // (Re-)subscribe to the union of all event topics.
+  std::vector<std::string> topics;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, stream] : streams_) {
+      for (const auto& p : stream.partitioners) {
+        topics.push_back(stream.TopicFor(p));
+      }
+    }
+  }
+  msg::RebalanceListener listener;
+  listener.on_assigned = [this](const std::vector<msg::TopicPartition>& a) {
+    HandleAssigned(a);
+  };
+  listener.on_revoked = [this](const std::vector<msg::TopicPartition>& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& tp : r) {
+      active_tasks_.erase(
+          std::remove(active_tasks_.begin(), active_tasks_.end(), tp),
+          active_tasks_.end());
+    }
+  };
+  bus_->Subscribe(unit_id_, "railgun-active", topics,
+                  "node=" + node_id_ + ";unit=" + unit_id_, coordinator_,
+                  std::move(listener));
+}
+
+void ProcessorUnit::HandleAssigned(
+    const std::vector<msg::TopicPartition>& assigned) {
+  for (const auto& tp : assigned) {
+    uint64_t replay_offset = 0;
+    auto proc_or = GetOrCreateProcessor(tp, &replay_offset);
+    if (!proc_or.ok()) continue;
+    bus_->Seek(unit_id_, tp, replay_offset);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(active_tasks_.begin(), active_tasks_.end(), tp) ==
+        active_tasks_.end()) {
+      active_tasks_.push_back(tp);
+    }
+  }
+}
+
+StatusOr<TaskProcessor*> ProcessorUnit::GetOrCreateProcessor(
+    const msg::TopicPartition& tp, uint64_t* replay_offset) {
+  const std::string key = Coordinator::TaskSubdir(tp);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = processors_.find(key);
+    if (it != processors_.end()) {
+      *replay_offset = it->second->replay_offset();
+      return it->second.get();
+    }
+  }
+
+  const StreamDef* stream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stream = StreamForTopic(tp.topic);
+  }
+  if (stream == nullptr) {
+    return Status::NotFound("no stream registered for topic " + tp.topic);
+  }
+
+  Env* env = options_.task.db.env != nullptr ? options_.task.db.env
+                                             : Env::Default();
+  const std::string task_dir = dir_ + "/" + key;
+  const bool have_local_data =
+      env->FileExists(task_dir + "/reservoir") ||
+      env->FileExists(task_dir + "/ckpt/CURRENT");
+
+  bool recovered_from_donor = false;
+  uint64_t copied_bytes = 0;
+  if (!have_local_data) {
+    // Recovery (paper §4.2): copy reservoir + state store checkpoint
+    // from a unit that still has data for this task.
+    const std::string donor = coordinator_->FindDonorDir(tp, unit_id_);
+    if (!donor.empty() && env->FileExists(donor)) {
+      RAILGUN_RETURN_IF_ERROR(
+          TaskProcessor::CloneData(env, donor, task_dir));
+      recovered_from_donor = true;
+      std::vector<std::string> children;
+      if (env->ListDir(task_dir + "/reservoir", &children).ok()) {
+        for (const auto& c : children) {
+          uint64_t size = 0;
+          if (env->GetFileSize(task_dir + "/reservoir/" + c, &size).ok()) {
+            copied_bytes += size;
+          }
+        }
+      }
+    }
+  }
+
+  auto processor = std::make_unique<TaskProcessor>(options_.task, task_dir,
+                                                   *stream, tp.topic);
+  RAILGUN_RETURN_IF_ERROR(processor->Open());
+  *replay_offset = processor->replay_offset();
+
+  TaskProcessor* raw = processor.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    processors_[key] = std::move(processor);
+    if (recovered_from_donor) {
+      ++stats_.recoveries;
+      stats_.bytes_recovered += copied_bytes;
+    } else if (!have_local_data) {
+      ++stats_.fresh_tasks;
+    }
+  }
+  return raw;
+}
+
+void ProcessorUnit::SyncReplicaTasks() {
+  const uint64_t generation = coordinator_->generation();
+  if (generation == seen_generation_) return;
+  seen_generation_ = generation;
+
+  const std::vector<msg::TopicPartition> replicas =
+      coordinator_->ReplicaTasksFor(unit_id_);
+
+  std::map<msg::TopicPartition, uint64_t> new_positions;
+  for (const auto& tp : replicas) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = replica_positions_.find(tp);
+    if (it != replica_positions_.end()) {
+      new_positions[tp] = it->second;  // Keep progress.
+    } else {
+      new_positions[tp] = UINT64_MAX;  // Lazily initialized below.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replica_positions_ = std::move(new_positions);
+  }
+}
+
+void ProcessorUnit::Run() {
+  while (running_) {
+    DrainOperationalRequests();
+    SyncReplicaTasks();
+
+    // Active tasks: poll through the consumer group (heartbeat).
+    std::vector<msg::Message> active_messages;
+    bus_->Poll(unit_id_, options_.poll_max, &active_messages);
+
+    // Replica tasks: direct fetch, tracked positions.
+    std::vector<msg::Message> replica_messages;
+    std::vector<std::pair<msg::TopicPartition, uint64_t>> replica_list;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [tp, pos] : replica_positions_) {
+        replica_list.push_back({tp, pos});
+      }
+    }
+    for (auto& [tp, pos] : replica_list) {
+      if (pos == UINT64_MAX) {
+        // First contact with this replica task: build the processor
+        // (recovering data if needed) and start from its replay offset.
+        uint64_t replay_offset = 0;
+        auto proc_or = GetOrCreateProcessor(tp, &replay_offset);
+        if (!proc_or.ok()) continue;
+        pos = replay_offset;
+      }
+      std::vector<msg::Message> batch;
+      if (bus_->Fetch(tp, pos, options_.poll_max, &batch).ok()) {
+        pos += batch.size();
+        for (auto& m : batch) replica_messages.push_back(std::move(m));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = replica_positions_.find(tp);
+      if (it != replica_positions_.end()) it->second = pos;
+    }
+
+    const bool idle = active_messages.empty() && replica_messages.empty();
+
+    // Process: active tasks reply, replicas stay silent (Algorithm 1).
+    ReplyEnvelope reply;
+    for (const auto& message : active_messages) {
+      uint64_t replay_offset = 0;
+      auto proc_or = GetOrCreateProcessor(
+          {message.topic, message.partition}, &replay_offset);
+      if (!proc_or.ok()) continue;
+      if (!proc_or.value()->ProcessMessage(message, &reply).ok()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.active_messages;
+      }
+      if (reply.request_id != 0) {
+        EventEnvelope env_probe;
+        // The reply topic travels in the envelope; re-extract cheaply.
+        Slice payload(message.payload);
+        uint64_t rid;
+        Slice reply_topic;
+        if (GetFixed64(&payload, &rid) &&
+            GetLengthPrefixedSlice(&payload, &reply_topic) &&
+            !reply_topic.empty()) {
+          std::string encoded;
+          EncodeReplyEnvelope(reply, &encoded);
+          bus_->Produce(reply_topic.ToString(), message.key,
+                        std::move(encoded));
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.replies_sent;
+        }
+        (void)env_probe;
+      }
+    }
+    for (const auto& message : replica_messages) {
+      uint64_t replay_offset = 0;
+      auto proc_or = GetOrCreateProcessor(
+          {message.topic, message.partition}, &replay_offset);
+      if (!proc_or.ok()) continue;
+      if (proc_or.value()->ProcessMessage(message, &reply).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replica_messages;
+      }
+    }
+
+    if (idle) clock_->SleepMicros(options_.idle_sleep);
+  }
+}
+
+}  // namespace railgun::engine

@@ -1,0 +1,103 @@
+// ProcessorUnit (paper §3.2, Algorithm 1): a single-threaded worker that
+// handles operational requests, polls its active tasks through the
+// consumer group, fetches its replica tasks directly, routes messages to
+// their task processors, and replies for active tasks only.
+#ifndef RAILGUN_ENGINE_PROCESSOR_UNIT_H_
+#define RAILGUN_ENGINE_PROCESSOR_UNIT_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/coordinator.h"
+#include "engine/stream_def.h"
+#include "engine/task_processor.h"
+#include "msg/broker.h"
+
+namespace railgun::engine {
+
+struct UnitOptions {
+  TaskProcessorOptions task;
+  size_t poll_max = 256;
+  // Idle backoff between empty polls.
+  Micros idle_sleep = 200;
+};
+
+struct UnitStats {
+  uint64_t active_messages = 0;
+  uint64_t replica_messages = 0;
+  uint64_t replies_sent = 0;
+  uint64_t recoveries = 0;       // Task processors built from a donor.
+  uint64_t fresh_tasks = 0;      // Task processors built from nothing.
+  uint64_t bytes_recovered = 0;  // Approximate donor copy volume.
+};
+
+class ProcessorUnit {
+ public:
+  ProcessorUnit(const UnitOptions& options, std::string unit_id,
+                std::string node_id, std::string dir, msg::MessageBus* bus,
+                Coordinator* coordinator, Clock* clock);
+  ~ProcessorUnit();
+
+  ProcessorUnit(const ProcessorUnit&) = delete;
+  ProcessorUnit& operator=(const ProcessorUnit&) = delete;
+
+  // Registers with the bus and starts the processing thread.
+  Status Start();
+  // Graceful shutdown (leaves the consumer group).
+  void Stop();
+  // Abrupt shutdown (fault injection): the thread dies without leaving
+  // the group, so failure is detected through missed heartbeats.
+  void Kill();
+
+  // Operational requests (paper Algorithm 1 line 2) are queued and
+  // handled at the top of the loop.
+  void EnqueueRegisterStream(const StreamDef& stream);
+
+  const std::string& unit_id() const { return unit_id_; }
+  UnitStats stats() const;
+  std::vector<msg::TopicPartition> active_tasks() const;
+  std::vector<msg::TopicPartition> replica_tasks() const;
+
+  // Test hook: direct access to a task processor (nullptr if absent).
+  TaskProcessor* FindProcessor(const msg::TopicPartition& tp);
+
+ private:
+  void Run();
+  void DrainOperationalRequests();
+  void SyncReplicaTasks();
+  StatusOr<TaskProcessor*> GetOrCreateProcessor(
+      const msg::TopicPartition& tp, uint64_t* replay_offset);
+  const StreamDef* StreamForTopic(const std::string& topic) const;
+  void HandleAssigned(const std::vector<msg::TopicPartition>& assigned);
+
+  UnitOptions options_;
+  std::string unit_id_;
+  std::string node_id_;
+  std::string dir_;
+  msg::MessageBus* bus_;
+  Coordinator* coordinator_;
+  Clock* clock_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mu_;
+  std::deque<StreamDef> pending_streams_;
+  std::map<std::string, StreamDef> streams_;  // By stream name.
+  std::map<std::string, std::unique_ptr<TaskProcessor>> processors_;
+  std::vector<msg::TopicPartition> active_tasks_;
+  std::map<msg::TopicPartition, uint64_t> replica_positions_;
+  uint64_t seen_generation_ = 0;
+  UnitStats stats_;
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_PROCESSOR_UNIT_H_

@@ -1,0 +1,140 @@
+#include "engine/stream_def.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace railgun::engine {
+
+StatusOr<std::string> StreamDef::PartitionerForQuery(
+    const query::QueryDef& query) const {
+  if (query.group_by.empty()) {
+    // Global metrics can live on any single topic; use the first.
+    if (partitioners.empty()) {
+      return Status::InvalidArgument("stream has no partitioners");
+    }
+    return partitioners[0];
+  }
+  for (const auto& p : partitioners) {
+    if (std::find(query.group_by.begin(), query.group_by.end(), p) !=
+        query.group_by.end()) {
+      return p;
+    }
+  }
+  return Status::InvalidArgument(
+      "no partitioner covers the query's group-by fields");
+}
+
+void EncodeEventEnvelope(const EventEnvelope& env,
+                         const reservoir::Schema& schema, std::string* out) {
+  PutFixed64(out, env.request_id);
+  PutLengthPrefixedSlice(out, env.reply_topic);
+  const reservoir::EventCodec codec(&schema);
+  codec.Encode(env.event, /*base_ts=*/0, out);
+}
+
+Status DecodeEventEnvelope(const Slice& data,
+                           const reservoir::Schema& schema,
+                           EventEnvelope* env) {
+  Slice in = data;
+  uint64_t request_id;
+  Slice reply_topic;
+  if (!GetFixed64(&in, &request_id) ||
+      !GetLengthPrefixedSlice(&in, &reply_topic)) {
+    return Status::Corruption("bad event envelope");
+  }
+  env->request_id = request_id;
+  env->reply_topic = reply_topic.ToString();
+  const reservoir::EventCodec codec(&schema);
+  return codec.Decode(&in, /*base_ts=*/0, &env->event);
+}
+
+namespace {
+void EncodeFieldValue(const reservoir::FieldValue& v, std::string* out) {
+  if (v.is_int()) {
+    out->push_back(0);
+    PutVarsint64(out, v.as_int());
+  } else if (v.is_double()) {
+    out->push_back(1);
+    PutDouble(out, v.as_double());
+  } else if (v.is_bool()) {
+    out->push_back(2);
+    out->push_back(v.as_bool() ? 1 : 0);
+  } else {
+    out->push_back(3);
+    PutLengthPrefixedSlice(out, v.as_string());
+  }
+}
+
+Status DecodeFieldValue(Slice* in, reservoir::FieldValue* v) {
+  if (in->empty()) return Status::Corruption("bad field value");
+  const char tag = (*in)[0];
+  in->remove_prefix(1);
+  switch (tag) {
+    case 0: {
+      int64_t x;
+      if (!GetVarsint64(in, &x)) return Status::Corruption("bad int value");
+      *v = reservoir::FieldValue(x);
+      return Status::OK();
+    }
+    case 1: {
+      double x;
+      if (!GetDouble(in, &x)) return Status::Corruption("bad double value");
+      *v = reservoir::FieldValue(x);
+      return Status::OK();
+    }
+    case 2: {
+      if (in->empty()) return Status::Corruption("bad bool value");
+      *v = reservoir::FieldValue((*in)[0] != 0);
+      in->remove_prefix(1);
+      return Status::OK();
+    }
+    case 3: {
+      Slice s;
+      if (!GetLengthPrefixedSlice(in, &s)) {
+        return Status::Corruption("bad string value");
+      }
+      *v = reservoir::FieldValue(s.ToString());
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown field value tag");
+}
+}  // namespace
+
+void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out) {
+  PutFixed64(out, env.request_id);
+  PutVarint32(out, static_cast<uint32_t>(env.results.size()));
+  for (const auto& r : env.results) {
+    PutLengthPrefixedSlice(out, r.metric_name);
+    PutLengthPrefixedSlice(out, r.group_key);
+    EncodeFieldValue(r.value, out);
+  }
+}
+
+Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env) {
+  Slice in = data;
+  uint64_t request_id;
+  uint32_t count;
+  if (!GetFixed64(&in, &request_id) || !GetVarint32(&in, &count)) {
+    return Status::Corruption("bad reply envelope");
+  }
+  env->request_id = request_id;
+  env->results.clear();
+  env->results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MetricReply r;
+    Slice name, group;
+    if (!GetLengthPrefixedSlice(&in, &name) ||
+        !GetLengthPrefixedSlice(&in, &group)) {
+      return Status::Corruption("bad metric reply");
+    }
+    r.metric_name = name.ToString();
+    r.group_key = group.ToString();
+    RAILGUN_RETURN_IF_ERROR(DecodeFieldValue(&in, &r.value));
+    env->results.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace railgun::engine

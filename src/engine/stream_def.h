@@ -1,0 +1,70 @@
+// Stream registration model and the wire format used on the message bus.
+//
+// A stream maps to one topic per *partitioner* (top-level group-by
+// entity, paper §4): topic name "<stream>.<partitioner>", keyed by that
+// field's value so all events of an entity land in one partition.
+#ifndef RAILGUN_ENGINE_STREAM_DEF_H_
+#define RAILGUN_ENGINE_STREAM_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "reservoir/event.h"
+
+namespace railgun::engine {
+
+struct StreamDef {
+  std::string name;
+  std::vector<reservoir::SchemaField> fields;
+  // Partitioner fields (each becomes a topic). Must cover a subset of
+  // every metric's group-by keys (paper §4: metrics hash by a subset).
+  std::vector<std::string> partitioners;
+  int partitions_per_topic = 1;
+  // Registered metric statements over this stream.
+  std::vector<query::QueryDef> queries;
+
+  std::string TopicFor(const std::string& partitioner) const {
+    return name + "." + partitioner;
+  }
+
+  // The partitioner whose topic a query's metrics should be computed on:
+  // the first partitioner contained in the query's group-by set.
+  StatusOr<std::string> PartitionerForQuery(
+      const query::QueryDef& query) const;
+};
+
+// ----- Wire envelopes -----
+
+// Event envelope published to every partitioner topic.
+struct EventEnvelope {
+  uint64_t request_id = 0;
+  std::string reply_topic;  // Empty = fire-and-forget (no reply).
+  reservoir::Event event;
+};
+
+void EncodeEventEnvelope(const EventEnvelope& env,
+                         const reservoir::Schema& schema, std::string* out);
+Status DecodeEventEnvelope(const Slice& data,
+                           const reservoir::Schema& schema,
+                           EventEnvelope* env);
+
+// Aggregation reply from a task processor to the originating front-end.
+struct MetricReply {
+  std::string metric_name;
+  std::string group_key;
+  reservoir::FieldValue value;
+};
+
+struct ReplyEnvelope {
+  uint64_t request_id = 0;
+  std::vector<MetricReply> results;
+};
+
+void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out);
+Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env);
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_STREAM_DEF_H_

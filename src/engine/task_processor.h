@@ -1,0 +1,99 @@
+// TaskProcessor (paper §4.1): computes every metric of one
+// (topic, partition). Owns a share-nothing event reservoir, an embedded
+// LSM state store and a task plan. Supports synchronized checkpointing
+// of both stores (plus window iterator positions) and recovery by
+// rolling the state store back to its last checkpoint and replaying the
+// message log from the checkpointed offset.
+#ifndef RAILGUN_ENGINE_TASK_PROCESSOR_H_
+#define RAILGUN_ENGINE_TASK_PROCESSOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/stream_def.h"
+#include "msg/broker.h"
+#include "plan/task_plan.h"
+#include "reservoir/reservoir.h"
+#include "storage/db.h"
+
+namespace railgun::engine {
+
+struct TaskProcessorOptions {
+  reservoir::ReservoirOptions reservoir;
+  storage::DBOptions db;
+  // Take a synchronized checkpoint every this many processed messages.
+  uint64_t checkpoint_interval_events = 50000;
+};
+
+class TaskProcessor {
+ public:
+  // dir: private directory for this task's data. The stream supplies the
+  // schema; only queries routed to this task's topic are planned.
+  TaskProcessor(const TaskProcessorOptions& options, std::string dir,
+                const StreamDef& stream, std::string topic);
+
+  TaskProcessor(const TaskProcessor&) = delete;
+  TaskProcessor& operator=(const TaskProcessor&) = delete;
+
+  // Opens (or recovers) the processor. On return, replay_offset() is the
+  // first message-log offset to consume.
+  Status Open();
+
+  // Processes one message from the task's partition. Fills *reply with
+  // the metrics for the arriving event (valid for active tasks to send
+  // back). Idempotent across replays: offsets at or below the recovered
+  // positions skip the reservoir append / plan processing respectively.
+  Status ProcessMessage(const msg::Message& message, ReplyEnvelope* reply);
+
+  // Synchronized checkpoint of reservoir + state store (paper §4.1.3).
+  Status Checkpoint();
+
+  // Installs any queries from the updated stream definition that are
+  // routed to this task's topic and not yet planned, backfilling their
+  // aggregation state from the reservoir (runtime metric addition,
+  // paper §3.1 operational requests + §6 backfill).
+  Status SyncQueries(const StreamDef& updated);
+
+  uint64_t replay_offset() const { return replay_offset_; }
+  uint64_t processed_count() const { return processed_count_; }
+  const std::string& topic() const { return topic_; }
+
+  reservoir::Reservoir* reservoir() { return reservoir_.get(); }
+  storage::DB* db() { return db_.get(); }
+  plan::TaskPlan* task_plan() { return plan_.get(); }
+
+  // Copies this task's durable state (reservoir segments + last state
+  // store checkpoint) into target_dir, for replica recovery. Safe to
+  // call on a *directory* of a processor that is not running.
+  static Status CloneData(Env* env, const std::string& source_dir,
+                          const std::string& target_dir);
+
+ private:
+  Status RollBackToCheckpoint();
+
+  TaskProcessorOptions options_;
+  std::string dir_;
+  StreamDef stream_;
+  std::string topic_;
+  Env* env_;
+  std::set<std::string> installed_queries_;  // By raw statement text.
+
+  std::unique_ptr<reservoir::Reservoir> reservoir_;
+  std::unique_ptr<storage::DB> db_;
+  std::unique_ptr<plan::TaskPlan> plan_;
+
+  uint64_t replay_offset_ = 0;
+  // Offsets at or below these thresholds are skipped on replay.
+  int64_t plan_skip_threshold_ = -1;
+  int64_t reservoir_skip_threshold_ = -1;
+  int64_t last_processed_offset_ = -1;
+  uint64_t processed_count_ = 0;
+  uint64_t events_since_checkpoint_ = 0;
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_TASK_PROCESSOR_H_

@@ -1,0 +1,28 @@
+#include "msg/assignment.h"
+
+#include <algorithm>
+
+namespace railgun::msg {
+
+Assignment RoundRobinStrategy::Assign(
+    const std::vector<MemberInfo>& members,
+    const std::vector<TopicPartition>& partitions) {
+  Assignment result;
+  if (members.empty()) return result;
+
+  std::vector<std::string> ids;
+  for (const auto& m : members) ids.push_back(m.member_id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<TopicPartition> sorted = partitions;
+  std::sort(sorted.begin(), sorted.end());
+
+  size_t i = 0;
+  for (const auto& tp : sorted) {
+    result[ids[i % ids.size()]].push_back(tp);
+    ++i;
+  }
+  return result;
+}
+
+}  // namespace railgun::msg

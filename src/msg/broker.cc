@@ -1,0 +1,353 @@
+#include "msg/broker.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace railgun::msg {
+
+MessageBus::MessageBus(const BusOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : MonotonicClock::Default()) {}
+
+Status MessageBus::CreateTopic(const std::string& topic, int partitions) {
+  if (partitions <= 0) {
+    return Status::InvalidArgument("partitions must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) > 0) {
+    return Status::AlreadyExists("topic exists: " + topic);
+  }
+  topics_[topic].partitions.resize(static_cast<size_t>(partitions));
+
+  // New partitions affect every group subscribed to this topic.
+  for (auto& [name, group] : groups_) {
+    for (const auto& member : group.members) {
+      const auto& consumer = consumers_[member];
+      if (std::find(consumer.topics.begin(), consumer.topics.end(), topic) !=
+          consumer.topics.end()) {
+        RebalanceGroupLocked(name);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MessageBus::DeleteTopic(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.erase(topic) == 0) {
+    return Status::NotFound("no topic: " + topic);
+  }
+  return Status::OK();
+}
+
+StatusOr<int> MessageBus::NumPartitions(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  return static_cast<int>(it->second.partitions.size());
+}
+
+std::vector<TopicPartition> MessageBus::PartitionsOf(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TopicPartition> result;
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return result;
+  for (size_t p = 0; p < it->second.partitions.size(); ++p) {
+    result.push_back({topic, static_cast<int>(p)});
+  }
+  return result;
+}
+
+StatusOr<uint64_t> MessageBus::Produce(const std::string& topic,
+                                       const std::string& key,
+                                       std::string payload) {
+  int partition;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+    partition = static_cast<int>(Hash64(key) %
+                                 it->second.partitions.size());
+  }
+  return ProduceToPartition(topic, partition, key, std::move(payload));
+}
+
+StatusOr<uint64_t> MessageBus::ProduceToPartition(const std::string& topic,
+                                                  int partition,
+                                                  std::string key,
+                                                  std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  if (partition < 0 ||
+      static_cast<size_t>(partition) >= it->second.partitions.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  auto& log = it->second.partitions[static_cast<size_t>(partition)];
+  Message m;
+  m.topic = topic;
+  m.partition = partition;
+  m.offset = log.messages.size();
+  m.key = std::move(key);
+  m.payload = std::move(payload);
+  m.publish_time = clock_->NowMicros();
+  m.visible_time = m.publish_time + options_.delivery_delay;
+  log.messages.push_back(std::move(m));
+  return log.messages.back().offset;
+}
+
+Status MessageBus::Subscribe(const std::string& consumer_id,
+                             const std::string& group,
+                             const std::vector<std::string>& topics,
+                             const std::string& metadata,
+                             AssignmentStrategy* strategy,
+                             RebalanceListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConsumerState& consumer = consumers_[consumer_id];
+  consumer.group = group;
+  consumer.topics = topics;
+  consumer.metadata = metadata;
+  consumer.listener = std::move(listener);
+  consumer.last_heartbeat = clock_->NowMicros();
+  consumer.alive = true;
+
+  Group& g = groups_[group];
+  if (g.strategy == nullptr) {
+    g.strategy = strategy != nullptr ? strategy : &default_strategy_;
+  }
+  g.members.insert(consumer_id);
+  RebalanceGroupLocked(group);
+  return Status::OK();
+}
+
+Status MessageBus::Unsubscribe(const std::string& consumer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) return Status::NotFound("no consumer");
+  const std::string group = it->second.group;
+  consumers_.erase(it);
+  auto git = groups_.find(group);
+  if (git != groups_.end()) {
+    git->second.members.erase(consumer_id);
+    if (git->second.members.empty()) {
+      groups_.erase(git);
+    } else {
+      RebalanceGroupLocked(group);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<TopicPartition> MessageBus::GroupPartitionsLocked(
+    const Group& group) const {
+  std::set<std::string> topic_names;
+  for (const auto& member : group.members) {
+    auto it = consumers_.find(member);
+    if (it == consumers_.end()) continue;
+    for (const auto& t : it->second.topics) topic_names.insert(t);
+  }
+  std::vector<TopicPartition> partitions;
+  for (const auto& name : topic_names) {
+    auto it = topics_.find(name);
+    if (it == topics_.end()) continue;
+    for (size_t p = 0; p < it->second.partitions.size(); ++p) {
+      partitions.push_back({name, static_cast<int>(p)});
+    }
+  }
+  return partitions;
+}
+
+void MessageBus::RebalanceGroupLocked(const std::string& group_name) {
+  Group& group = groups_[group_name];
+  std::vector<MemberInfo> members;
+  for (const auto& member_id : group.members) {
+    auto it = consumers_.find(member_id);
+    if (it == consumers_.end() || !it->second.alive) continue;
+    MemberInfo info;
+    info.member_id = member_id;
+    info.metadata = it->second.metadata;
+    auto prev = group.current.find(member_id);
+    if (prev != group.current.end()) {
+      info.previous_assignment = prev->second;
+    }
+    members.push_back(std::move(info));
+  }
+  group.current = group.strategy->Assign(members,
+                                         GroupPartitionsLocked(group));
+  ++group.generation;
+  ++rebalance_count_;
+}
+
+void MessageBus::CheckLiveness() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckLivenessLocked();
+}
+
+void MessageBus::CheckLivenessLocked() {
+  const Micros now = clock_->NowMicros();
+  std::vector<std::string> dead;
+  for (auto& [id, consumer] : consumers_) {
+    if (consumer.alive &&
+        now - consumer.last_heartbeat > options_.session_timeout) {
+      consumer.alive = false;
+      dead.push_back(id);
+    }
+  }
+  std::set<std::string> groups_to_rebalance;
+  for (const auto& id : dead) {
+    auto git = groups_.find(consumers_[id].group);
+    if (git != groups_.end()) {
+      git->second.members.erase(id);
+      groups_to_rebalance.insert(git->first);
+    }
+  }
+  for (const auto& g : groups_to_rebalance) RebalanceGroupLocked(g);
+}
+
+Status MessageBus::Poll(const std::string& consumer_id, size_t max_messages,
+                        std::vector<Message>* out) {
+  out->clear();
+  std::vector<TopicPartition> revoked, assigned;
+  RebalanceListener listener;
+  bool deliver_callbacks = false;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = consumers_.find(consumer_id);
+    if (it == consumers_.end()) return Status::NotFound("no consumer");
+    ConsumerState& consumer = it->second;
+    if (!consumer.alive) return Status::Unavailable("consumer fenced");
+    consumer.last_heartbeat = clock_->NowMicros();
+    CheckLivenessLocked();
+
+    Group& group = groups_[consumer.group];
+    if (consumer.seen_generation != group.generation) {
+      // Deliver the rebalance: revoke old, assign new.
+      const auto new_it = group.current.find(consumer_id);
+      const std::vector<TopicPartition> new_assignment =
+          new_it == group.current.end() ? std::vector<TopicPartition>{}
+                                        : new_it->second;
+      for (const auto& tp : consumer.assignment) {
+        if (std::find(new_assignment.begin(), new_assignment.end(), tp) ==
+            new_assignment.end()) {
+          revoked.push_back(tp);
+        }
+      }
+      for (const auto& tp : new_assignment) {
+        if (std::find(consumer.assignment.begin(), consumer.assignment.end(),
+                      tp) == consumer.assignment.end()) {
+          assigned.push_back(tp);
+          if (consumer.positions.count(tp) == 0) {
+            consumer.positions[tp] = 0;
+          }
+        }
+      }
+      consumer.assignment = new_assignment;
+      consumer.seen_generation = group.generation;
+      listener = consumer.listener;
+      deliver_callbacks = true;
+    }
+
+    // A poll that observed a rebalance delivers only the callbacks: the
+    // consumer may reposition (seek) newly assigned partitions before
+    // its next fetch.
+    const Micros now = clock_->NowMicros();
+    if (!deliver_callbacks)
+    for (const auto& tp : consumer.assignment) {
+      if (out->size() >= max_messages) break;
+      auto topic_it = topics_.find(tp.topic);
+      if (topic_it == topics_.end()) continue;
+      const auto& log =
+          topic_it->second.partitions[static_cast<size_t>(tp.partition)];
+      uint64_t& pos = consumer.positions[tp];
+      while (pos < log.messages.size() && out->size() < max_messages) {
+        const Message& m = log.messages[pos];
+        if (m.visible_time > now) break;
+        out->push_back(m);
+        ++pos;
+      }
+    }
+  }
+
+  if (deliver_callbacks) {
+    if (!revoked.empty() && listener.on_revoked) listener.on_revoked(revoked);
+    if (!assigned.empty() && listener.on_assigned) {
+      listener.on_assigned(assigned);
+    }
+  }
+  return Status::OK();
+}
+
+Status MessageBus::Fetch(const TopicPartition& tp, uint64_t offset,
+                         size_t max_messages,
+                         std::vector<Message>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(tp.topic);
+  if (it == topics_.end()) return Status::NotFound("no topic: " + tp.topic);
+  if (tp.partition < 0 ||
+      static_cast<size_t>(tp.partition) >= it->second.partitions.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  const auto& log = it->second.partitions[static_cast<size_t>(tp.partition)];
+  const Micros now = clock_->NowMicros();
+  for (uint64_t i = offset;
+       i < log.messages.size() && out->size() < max_messages; ++i) {
+    if (log.messages[i].visible_time > now) break;
+    out->push_back(log.messages[i]);
+  }
+  return Status::OK();
+}
+
+Status MessageBus::Commit(const std::string& consumer_id,
+                          const TopicPartition& tp, uint64_t next_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) return Status::NotFound("no consumer");
+  it->second.positions[tp] = next_offset;
+  return Status::OK();
+}
+
+Status MessageBus::Seek(const std::string& consumer_id,
+                        const TopicPartition& tp, uint64_t offset) {
+  return Commit(consumer_id, tp, offset);
+}
+
+StatusOr<uint64_t> MessageBus::EndOffset(const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(tp.topic);
+  if (it == topics_.end()) return Status::NotFound("no topic");
+  return static_cast<uint64_t>(
+      it->second.partitions[static_cast<size_t>(tp.partition)]
+          .messages.size());
+}
+
+Status MessageBus::KillConsumer(const std::string& consumer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) return Status::NotFound("no consumer");
+  it->second.alive = false;
+  auto git = groups_.find(it->second.group);
+  if (git != groups_.end()) {
+    git->second.members.erase(consumer_id);
+    RebalanceGroupLocked(git->first);
+  }
+  return Status::OK();
+}
+
+std::vector<TopicPartition> MessageBus::AssignmentOf(
+    const std::string& consumer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) return {};
+  const Group& group = groups_[it->second.group];
+  auto ait = group.current.find(consumer_id);
+  return ait == group.current.end() ? std::vector<TopicPartition>{}
+                                    : ait->second;
+}
+
+}  // namespace railgun::msg

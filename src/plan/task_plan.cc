@@ -1,0 +1,311 @@
+#include "plan/task_plan.h"
+
+#include "common/coding.h"
+
+#include <algorithm>
+
+namespace railgun::plan {
+
+using reservoir::Event;
+using reservoir::FieldValue;
+using window::WindowDelta;
+using window::WindowKind;
+
+TaskPlan::TaskPlan(reservoir::Reservoir* reservoir, storage::DB* db)
+    : reservoir_(reservoir), db_(db) {}
+
+Status TaskPlan::Init() {
+  auto cf_or = db_->FindColumnFamily("agg_aux");
+  if (cf_or.ok()) {
+    aux_cf_ = cf_or.value();
+  } else {
+    RAILGUN_ASSIGN_OR_RETURN(aux_cf_, db_->CreateColumnFamily("agg_aux"));
+  }
+  islands_.push_back(std::make_unique<Island>(reservoir_));
+  return Status::OK();
+}
+
+Status TaskPlan::AddQuery(const query::QueryDef& query) {
+  return AddQueryToIsland(query, islands_[0].get());
+}
+
+Status TaskPlan::AddQueryToIsland(const query::QueryDef& query,
+                                  Island* island) {
+  const reservoir::Schema* schema = reservoir_->schema();
+
+  // Window node (prefix level 1).
+  WindowNode* wnode = nullptr;
+  for (auto& w : island->windows) {
+    if (w.spec == query.window) {
+      wnode = &w;
+      break;
+    }
+  }
+  if (wnode == nullptr) {
+    island->windows.emplace_back();
+    wnode = &island->windows.back();
+    wnode->spec = query.window;
+    wnode->op = island->windows_mgr.GetOrCreate(query.window);
+  }
+
+  // Filter node (prefix level 2).
+  const std::string filter_key =
+      query.filter == nullptr ? "" : query.filter->ToString();
+  FilterNode* fnode = nullptr;
+  for (auto& f : wnode->filters) {
+    if (f.key == filter_key) {
+      fnode = &f;
+      break;
+    }
+  }
+  if (fnode == nullptr) {
+    wnode->filters.emplace_back();
+    fnode = &wnode->filters.back();
+    fnode->key = filter_key;
+    fnode->expr = query.filter;
+    if (fnode->expr != nullptr) {
+      RAILGUN_RETURN_IF_ERROR(fnode->expr->Bind(*schema));
+    }
+  }
+
+  // Group node (prefix level 3).
+  std::string group_key_id;
+  for (const auto& f : query.group_by) group_key_id += f + ",";
+  GroupNode* gnode = nullptr;
+  for (auto& g : fnode->groups) {
+    if (g.key == group_key_id) {
+      gnode = &g;
+      break;
+    }
+  }
+  if (gnode == nullptr) {
+    fnode->groups.emplace_back();
+    gnode = &fnode->groups.back();
+    gnode->key = group_key_id;
+    gnode->fields = query.group_by;
+    for (const auto& field : query.group_by) {
+      const int idx = schema->FieldIndex(field);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown group-by field: " + field);
+      }
+      gnode->field_indices.push_back(idx);
+    }
+  }
+
+  // Aggregator leaves.
+  for (const auto& agg_spec : query.aggs) {
+    MetricLeaf leaf;
+    leaf.metric_id = next_metric_id_++;
+    leaf.kind = agg_spec.kind;
+    leaf.field_index = -1;
+    if (!agg_spec.field.empty()) {
+      leaf.field_index = schema->FieldIndex(agg_spec.field);
+      if (leaf.field_index < 0) {
+        return Status::InvalidArgument("unknown aggregation field: " +
+                                       agg_spec.field);
+      }
+    }
+    leaf.name = agg_spec.name + " over " + query.window.ToString();
+    if (!query.group_by.empty()) {
+      leaf.name += " by " + group_key_id.substr(0, group_key_id.size() - 1);
+    }
+    leaf.aggregator = agg::Aggregator::Create(agg_spec.kind);
+    gnode->metrics.push_back(std::move(leaf));
+    ++num_metrics_;
+  }
+  return Status::OK();
+}
+
+Status TaskPlan::AddQueryBackfilled(const query::QueryDef& query) {
+  auto island = std::make_unique<Island>(reservoir_);
+  RAILGUN_RETURN_IF_ERROR(AddQueryToIsland(query, island.get()));
+
+  // Replay history through the new island only. The island's iterators
+  // start at the oldest event, so the window mechanics replay exactly.
+  auto replay_iter = reservoir_->NewIterator();
+  while (!replay_iter->AtEnd()) {
+    const Event event = replay_iter->event();  // Copy: we advance below.
+    RAILGUN_RETURN_IF_ERROR(
+        ProcessEventInIsland(event, island.get(), /*results=*/nullptr));
+    replay_iter->Advance();
+  }
+  islands_.push_back(std::move(island));
+  return Status::OK();
+}
+
+Status TaskPlan::ProcessEvent(const Event& event,
+                              std::vector<MetricResult>* results) {
+  for (auto& island : islands_) {
+    RAILGUN_RETURN_IF_ERROR(
+        ProcessEventInIsland(event, island.get(), results));
+  }
+  return Status::OK();
+}
+
+Status TaskPlan::ProcessEventInIsland(const Event& event, Island* island,
+                                      std::vector<MetricResult>* results) {
+  window::EdgeDeltas edges;
+  island->windows_mgr.Advance(event.timestamp, &edges);
+
+  WindowDelta delta;
+  for (auto& wnode : island->windows) {
+    wnode.op->Collect(event.timestamp, edges, &delta);
+    RAILGUN_RETURN_IF_ERROR(ApplyDelta(delta, &wnode));
+
+    // Report the (updated) aggregations for the arriving event's entity.
+    if (results == nullptr) continue;
+    const Micros epoch =
+        wnode.spec.kind == WindowKind::kTumbling ? delta.epoch : 0;
+    for (auto& fnode : wnode.filters) {
+      if (fnode.expr != nullptr && !fnode.expr->EvalBool(event)) continue;
+      for (auto& gnode : fnode.groups) {
+        const std::string group_key = GroupKeyOf(event, gnode);
+        for (auto& leaf : gnode.metrics) {
+          const std::string key =
+              StateKey(leaf.metric_id, epoch, group_key);
+          std::string state;
+          Status s = db_->Get(storage::kDefaultColumnFamily, key, &state);
+          if (!s.ok() && !s.IsNotFound()) return s;
+          RAILGUN_ASSIGN_OR_RETURN(FieldValue value,
+                                   leaf.aggregator->Result(state));
+          results->push_back(
+              MetricResult{leaf.metric_id, leaf.name, group_key, value});
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TaskPlan::ApplyDelta(const WindowDelta& delta, WindowNode* node) {
+  const Micros epoch =
+      node->spec.kind == WindowKind::kTumbling ? delta.epoch : 0;
+  for (auto& fnode : node->filters) {
+    for (const Event* e : delta.entered) {
+      if (fnode.expr != nullptr && !fnode.expr->EvalBool(*e)) continue;
+      for (auto& gnode : fnode.groups) {
+        for (auto& leaf : gnode.metrics) {
+          RAILGUN_RETURN_IF_ERROR(
+              ApplyEventToLeaf(*e, /*entering=*/true, epoch, gnode, &leaf));
+        }
+      }
+    }
+    for (const Event* e : delta.expired) {
+      if (fnode.expr != nullptr && !fnode.expr->EvalBool(*e)) continue;
+      for (auto& gnode : fnode.groups) {
+        for (auto& leaf : gnode.metrics) {
+          RAILGUN_RETURN_IF_ERROR(
+              ApplyEventToLeaf(*e, /*entering=*/false, epoch, gnode, &leaf));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TaskPlan::ApplyEventToLeaf(const Event& event, bool entering,
+                                  Micros epoch, const GroupNode& group,
+                                  MetricLeaf* leaf) {
+  const std::string group_key = GroupKeyOf(event, group);
+  const std::string key = StateKey(leaf->metric_id, epoch, group_key);
+
+  std::string state;
+  Status s = db_->Get(storage::kDefaultColumnFamily, key, &state);
+  if (!s.ok() && !s.IsNotFound()) return s;
+
+  const FieldValue value =
+      leaf->field_index >= 0 ? event.values[leaf->field_index]
+                             : FieldValue(int64_t{1});
+
+  agg::AggContext ctx;
+  ctx.db = db_;
+  ctx.aux_cf = aux_cf_;
+  ctx.aux_key_prefix = key + "|";
+
+  if (entering) {
+    RAILGUN_RETURN_IF_ERROR(
+        leaf->aggregator->Enter(value, event, &state, &ctx));
+  } else {
+    RAILGUN_RETURN_IF_ERROR(
+        leaf->aggregator->Expire(value, event, &state, &ctx));
+  }
+  return db_->Put(storage::kDefaultColumnFamily, key, state);
+}
+
+std::string TaskPlan::StateKey(uint64_t metric_id, Micros epoch,
+                               const std::string& group_key) {
+  std::string key = "m";
+  key += std::to_string(metric_id);
+  if (epoch != 0) {
+    key += "@";
+    key += std::to_string(epoch);
+  }
+  key += "|";
+  key += group_key;
+  return key;
+}
+
+std::string TaskPlan::GroupKeyOf(const Event& event, const GroupNode& group) {
+  std::string key;
+  for (size_t i = 0; i < group.field_indices.size(); ++i) {
+    if (i > 0) key.push_back('\x1f');
+    key += event.values[group.field_indices[i]].ToString();
+  }
+  return key;
+}
+
+void TaskPlan::SaveWindowPositions(std::string* blob) const {
+  std::string tmp;
+  for (const auto& island : islands_) {
+    tmp.clear();
+    island->windows_mgr.SavePositions(&tmp);
+    PutLengthPrefixedSlice(blob, tmp);
+  }
+}
+
+Status TaskPlan::RestoreWindowPositions(const std::string& blob) {
+  Slice in(blob);
+  for (auto& island : islands_) {
+    Slice island_blob;
+    if (!GetLengthPrefixedSlice(&in, &island_blob)) {
+      return Status::Corruption("window position blob too short");
+    }
+    RAILGUN_RETURN_IF_ERROR(
+        island->windows_mgr.RestorePositions(island_blob.ToString()));
+  }
+  return Status::OK();
+}
+
+size_t TaskPlan::num_window_nodes() const {
+  size_t n = 0;
+  for (const auto& island : islands_) n += island->windows.size();
+  return n;
+}
+
+size_t TaskPlan::num_filter_nodes() const {
+  size_t n = 0;
+  for (const auto& island : islands_) {
+    for (const auto& w : island->windows) n += w.filters.size();
+  }
+  return n;
+}
+
+size_t TaskPlan::num_group_nodes() const {
+  size_t n = 0;
+  for (const auto& island : islands_) {
+    for (const auto& w : island->windows) {
+      for (const auto& f : w.filters) n += f.groups.size();
+    }
+  }
+  return n;
+}
+
+size_t TaskPlan::num_edge_iterators() const {
+  size_t n = 0;
+  for (const auto& island : islands_) {
+    n += island->windows_mgr.num_edge_iterators();
+  }
+  return n;
+}
+
+}  // namespace railgun::plan

@@ -1,0 +1,338 @@
+#include "query/expr.h"
+
+#include <cmath>
+
+#include "query/tokenizer.h"
+
+namespace railgun::query {
+
+using reservoir::Event;
+using reservoir::FieldValue;
+using reservoir::Schema;
+
+std::unique_ptr<Expr> Expr::Literal(FieldValue value) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Field(std::string name) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kField;
+  e->field_name_ = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(ExprOp op, std::unique_ptr<Expr> child) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->lhs_ = std::move(child);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(ExprOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+Status Expr::Bind(const Schema& schema) {
+  if (op_ == ExprOp::kField) {
+    field_index_ = schema.FieldIndex(field_name_);
+    if (field_index_ < 0) {
+      return Status::InvalidArgument("unknown field: " + field_name_);
+    }
+  }
+  if (lhs_ != nullptr) RAILGUN_RETURN_IF_ERROR(lhs_->Bind(schema));
+  if (rhs_ != nullptr) RAILGUN_RETURN_IF_ERROR(rhs_->Bind(schema));
+  return Status::OK();
+}
+
+namespace {
+bool Truthy(const FieldValue& v) {
+  if (v.is_bool()) return v.as_bool();
+  if (v.is_string()) return !v.as_string().empty();
+  return v.ToNumber() != 0;
+}
+
+bool ValuesEqual(const FieldValue& a, const FieldValue& b) {
+  if (a.is_string() && b.is_string()) return a.as_string() == b.as_string();
+  if (a.is_string() || b.is_string()) return a.ToString() == b.ToString();
+  return a.ToNumber() == b.ToNumber();
+}
+
+int CompareValues(const FieldValue& a, const FieldValue& b) {
+  if (a.is_string() && b.is_string()) {
+    return a.as_string().compare(b.as_string());
+  }
+  const double x = a.ToNumber();
+  const double y = b.ToNumber();
+  if (x < y) return -1;
+  if (x > y) return +1;
+  return 0;
+}
+}  // namespace
+
+StatusOr<FieldValue> Expr::Eval(const Event& event) const {
+  switch (op_) {
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kField:
+      if (field_index_ < 0 ||
+          static_cast<size_t>(field_index_) >= event.values.size()) {
+        return Status::InvalidArgument("unbound field: " + field_name_);
+      }
+      return event.values[field_index_];
+    case ExprOp::kNot: {
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue v, lhs_->Eval(event));
+      return FieldValue(!Truthy(v));
+    }
+    case ExprOp::kNeg: {
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue v, lhs_->Eval(event));
+      return FieldValue(-v.ToNumber());
+    }
+    case ExprOp::kAnd: {
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue l, lhs_->Eval(event));
+      if (!Truthy(l)) return FieldValue(false);
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue r, rhs_->Eval(event));
+      return FieldValue(Truthy(r));
+    }
+    case ExprOp::kOr: {
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue l, lhs_->Eval(event));
+      if (Truthy(l)) return FieldValue(true);
+      RAILGUN_ASSIGN_OR_RETURN(FieldValue r, rhs_->Eval(event));
+      return FieldValue(Truthy(r));
+    }
+    default:
+      break;
+  }
+
+  RAILGUN_ASSIGN_OR_RETURN(FieldValue l, lhs_->Eval(event));
+  RAILGUN_ASSIGN_OR_RETURN(FieldValue r, rhs_->Eval(event));
+  switch (op_) {
+    case ExprOp::kEq:
+      return FieldValue(ValuesEqual(l, r));
+    case ExprOp::kNe:
+      return FieldValue(!ValuesEqual(l, r));
+    case ExprOp::kLt:
+      return FieldValue(CompareValues(l, r) < 0);
+    case ExprOp::kLe:
+      return FieldValue(CompareValues(l, r) <= 0);
+    case ExprOp::kGt:
+      return FieldValue(CompareValues(l, r) > 0);
+    case ExprOp::kGe:
+      return FieldValue(CompareValues(l, r) >= 0);
+    case ExprOp::kAdd:
+      return FieldValue(l.ToNumber() + r.ToNumber());
+    case ExprOp::kSub:
+      return FieldValue(l.ToNumber() - r.ToNumber());
+    case ExprOp::kMul:
+      return FieldValue(l.ToNumber() * r.ToNumber());
+    case ExprOp::kDiv: {
+      const double d = r.ToNumber();
+      return FieldValue(d == 0 ? 0.0 : l.ToNumber() / d);
+    }
+    default:
+      return Status::InvalidArgument("bad expression op");
+  }
+}
+
+bool Expr::EvalBool(const Event& event) const {
+  auto v = Eval(event);
+  return v.ok() && Truthy(v.value());
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kLiteral:
+      if (literal_.is_string()) return "'" + literal_.as_string() + "'";
+      return literal_.ToString();
+    case ExprOp::kField:
+      return field_name_;
+    case ExprOp::kNot:
+      return "(not " + lhs_->ToString() + ")";
+    case ExprOp::kNeg:
+      return "(-" + lhs_->ToString() + ")";
+    default:
+      break;
+  }
+  const char* name = "?";
+  switch (op_) {
+    case ExprOp::kAnd: name = "and"; break;
+    case ExprOp::kOr: name = "or"; break;
+    case ExprOp::kEq: name = "=="; break;
+    case ExprOp::kNe: name = "!="; break;
+    case ExprOp::kLt: name = "<"; break;
+    case ExprOp::kLe: name = "<="; break;
+    case ExprOp::kGt: name = ">"; break;
+    case ExprOp::kGe: name = ">="; break;
+    case ExprOp::kAdd: name = "+"; break;
+    case ExprOp::kSub: name = "-"; break;
+    case ExprOp::kMul: name = "*"; break;
+    case ExprOp::kDiv: name = "/"; break;
+    default: break;
+  }
+  return "(" + lhs_->ToString() + " " + name + " " + rhs_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------
+// Recursive-descent expression parser. Precedence (low to high):
+//   or | and | not | comparison | additive | multiplicative | unary.
+
+namespace {
+
+class ExprParser {
+ public:
+  explicit ExprParser(Tokenizer* tokens) : tokens_(tokens) {}
+
+  StatusOr<std::unique_ptr<Expr>> Parse() { return ParseOr(); }
+
+ private:
+  StatusOr<std::unique_ptr<Expr>> ParseOr() {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (tokens_->TryConsume("or") || tokens_->TryConsume("||")) {
+      RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = Expr::Binary(ExprOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAnd() {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNot());
+    while (tokens_->TryConsume("and") || tokens_->TryConsume("&&")) {
+      RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNot());
+      lhs = Expr::Binary(ExprOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseNot() {
+    if (tokens_->TryConsume("not") || tokens_->TryConsume("!")) {
+      RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseNot());
+      return Expr::Unary(ExprOp::kNot, std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseComparison() {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+    struct OpMap {
+      const char* text;
+      ExprOp op;
+    };
+    static const OpMap kOps[] = {{"==", ExprOp::kEq}, {"=", ExprOp::kEq},
+                                 {"!=", ExprOp::kNe}, {"<=", ExprOp::kLe},
+                                 {">=", ExprOp::kGe}, {"<", ExprOp::kLt},
+                                 {">", ExprOp::kGt}};
+    for (const auto& entry : kOps) {
+      if (tokens_->TryConsume(entry.text)) {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+        return Expr::Binary(entry.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAdditive() {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+    while (true) {
+      if (tokens_->TryConsume("+")) {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs,
+                                 ParseMultiplicative());
+        lhs = Expr::Binary(ExprOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (tokens_->TryConsume("-")) {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs,
+                                 ParseMultiplicative());
+        lhs = Expr::Binary(ExprOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseMultiplicative() {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (true) {
+      if (tokens_->TryConsume("*")) {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+        lhs = Expr::Binary(ExprOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (tokens_->TryConsume("/")) {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+        lhs = Expr::Binary(ExprOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseUnary() {
+    if (tokens_->TryConsume("-")) {
+      RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
+      return Expr::Unary(ExprOp::kNeg, std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& tok = tokens_->Peek();
+    switch (tok.type) {
+      case TokenType::kNumber: {
+        const Token t = tokens_->Next();
+        if (t.raw.find('.') == std::string::npos) {
+          return Expr::Literal(
+              FieldValue(static_cast<int64_t>(t.number)));
+        }
+        return Expr::Literal(FieldValue(t.number));
+      }
+      case TokenType::kString: {
+        const Token t = tokens_->Next();
+        return Expr::Literal(FieldValue(t.text));
+      }
+      case TokenType::kIdentifier: {
+        const Token t = tokens_->Next();
+        if (t.text == "true") return Expr::Literal(FieldValue(true));
+        if (t.text == "false") return Expr::Literal(FieldValue(false));
+        return Expr::Field(t.raw);
+      }
+      case TokenType::kSymbol:
+        if (tok.text == "(") {
+          tokens_->Next();
+          RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+          RAILGUN_RETURN_IF_ERROR(tokens_->Expect(")"));
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::InvalidArgument("unexpected token in expression: '" +
+                                   tok.raw + "'");
+  }
+
+  Tokenizer* tokens_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Expr>> ParseExpr(const std::string& text) {
+  Tokenizer tokens(text);
+  RAILGUN_RETURN_IF_ERROR(tokens.status());
+  ExprParser parser(&tokens);
+  RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, parser.Parse());
+  if (!tokens.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after expression");
+  }
+  return expr;
+}
+
+// Exposed for the query parser (parses from an existing tokenizer).
+StatusOr<std::unique_ptr<Expr>> ParseExprFrom(Tokenizer* tokens) {
+  ExprParser parser(tokens);
+  return parser.Parse();
+}
+
+}  // namespace railgun::query

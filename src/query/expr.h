@@ -1,0 +1,80 @@
+// Filter expression language (the role JEXL plays in the paper §3.4):
+// arithmetic, comparisons and boolean logic over event fields, bound to a
+// schema once and evaluated per event.
+#ifndef RAILGUN_QUERY_EXPR_H_
+#define RAILGUN_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reservoir/event.h"
+
+namespace railgun::query {
+
+enum class ExprOp : uint8_t {
+  kLiteral,
+  kField,
+  kAnd,
+  kOr,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+};
+
+class Expr {
+ public:
+  static std::unique_ptr<Expr> Literal(reservoir::FieldValue value);
+  static std::unique_ptr<Expr> Field(std::string name);
+  static std::unique_ptr<Expr> Unary(ExprOp op, std::unique_ptr<Expr> child);
+  static std::unique_ptr<Expr> Binary(ExprOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+
+  ExprOp op() const { return op_; }
+  const std::string& field_name() const { return field_name_; }
+
+  // Resolves field references against the schema. Must be called before
+  // Eval.
+  Status Bind(const reservoir::Schema& schema);
+
+  StatusOr<reservoir::FieldValue> Eval(const reservoir::Event& event) const;
+
+  // Convenience: evaluates and coerces to bool (errors -> false).
+  bool EvalBool(const reservoir::Event& event) const;
+
+  // Canonical text form, used as the DAG prefix-sharing key.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprOp op_ = ExprOp::kLiteral;
+  reservoir::FieldValue literal_;
+  std::string field_name_;
+  int field_index_ = -1;
+  std::unique_ptr<Expr> lhs_;
+  std::unique_ptr<Expr> rhs_;
+};
+
+// Parses a standalone filter expression (also used by the query parser
+// for WHERE clauses).
+StatusOr<std::unique_ptr<Expr>> ParseExpr(const std::string& text);
+
+// Parses an expression from an in-progress tokenizer (stops at the first
+// token that cannot extend the expression).
+class Tokenizer;
+StatusOr<std::unique_ptr<Expr>> ParseExprFrom(Tokenizer* tokens);
+
+}  // namespace railgun::query
+
+#endif  // RAILGUN_QUERY_EXPR_H_

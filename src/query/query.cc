@@ -1,0 +1,150 @@
+#include "query/query.h"
+
+#include "query/tokenizer.h"
+
+namespace railgun::query {
+
+namespace {
+
+// Parses "N unit" into microseconds. Units: ms, second(s), minute(s),
+// hour(s), day(s), week(s).
+StatusOr<Micros> ParseDuration(Tokenizer* tokens) {
+  const Token count = tokens->Next();
+  if (count.type != TokenType::kNumber) {
+    return Status::InvalidArgument("expected a number in window duration");
+  }
+  const Token unit = tokens->Next();
+  if (unit.type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected a time unit");
+  }
+  Micros per = 0;
+  const std::string& u = unit.text;
+  if (u == "us" || u == "microsecond" || u == "microseconds") {
+    per = 1;
+  } else if (u == "ms" || u == "millisecond" || u == "milliseconds") {
+    per = kMicrosPerMilli;
+  } else if (u == "s" || u == "sec" || u == "second" || u == "seconds") {
+    per = kMicrosPerSecond;
+  } else if (u == "m" || u == "min" || u == "minute" || u == "minutes") {
+    per = kMicrosPerMinute;
+  } else if (u == "h" || u == "hour" || u == "hours") {
+    per = kMicrosPerHour;
+  } else if (u == "d" || u == "day" || u == "days") {
+    per = kMicrosPerDay;
+  } else if (u == "week" || u == "weeks") {
+    per = 7 * kMicrosPerDay;
+  } else {
+    return Status::InvalidArgument("unknown time unit: " + unit.raw);
+  }
+  return static_cast<Micros>(count.number * static_cast<double>(per));
+}
+
+StatusOr<window::WindowSpec> ParseWindow(Tokenizer* tokens) {
+  window::WindowSpec spec;
+  if (tokens->TryConsume("sliding")) {
+    // Either "sliding N events" (count window) or "sliding N unit".
+    if (tokens->Peek().type == TokenType::kNumber &&
+        tokens->Peek(1).type == TokenType::kIdentifier &&
+        (tokens->Peek(1).text == "events" || tokens->Peek(1).text == "event")) {
+      const Token count = tokens->Next();
+      tokens->Next();  // "events"
+      spec = window::WindowSpec::CountSliding(
+          static_cast<uint64_t>(count.number));
+    } else {
+      RAILGUN_ASSIGN_OR_RETURN(Micros size, ParseDuration(tokens));
+      spec = window::WindowSpec::Sliding(size);
+    }
+  } else if (tokens->TryConsume("tumbling")) {
+    RAILGUN_ASSIGN_OR_RETURN(Micros size, ParseDuration(tokens));
+    spec = window::WindowSpec::Tumbling(size);
+  } else if (tokens->TryConsume("infinite")) {
+    spec = window::WindowSpec::Infinite();
+  } else {
+    return Status::InvalidArgument("expected window expression, found '" +
+                                   tokens->Peek().raw + "'");
+  }
+
+  if (tokens->TryConsume("delayed")) {
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("by"));
+    RAILGUN_ASSIGN_OR_RETURN(Micros delay, ParseDuration(tokens));
+    spec.delay = delay;
+  }
+  return spec;
+}
+
+}  // namespace
+
+StatusOr<QueryDef> ParseQuery(const std::string& statement) {
+  Tokenizer tokens(statement);
+  RAILGUN_RETURN_IF_ERROR(tokens.status());
+
+  QueryDef def;
+  def.raw = statement;
+
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("select"));
+
+  // Aggregation list.
+  while (true) {
+    const Token agg_name = tokens.Next();
+    if (agg_name.type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected aggregation name, found '" +
+                                     agg_name.raw + "'");
+    }
+    RAILGUN_ASSIGN_OR_RETURN(agg::AggKind kind, agg::ParseAggKind(agg_name.text));
+    RAILGUN_RETURN_IF_ERROR(tokens.Expect("("));
+    AggSpec spec;
+    spec.kind = kind;
+    if (tokens.TryConsume("*")) {
+      if (kind != agg::AggKind::kCount) {
+        return Status::InvalidArgument("only count(*) may use '*'");
+      }
+    } else {
+      const Token field = tokens.Next();
+      if (field.type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected field name in aggregation");
+      }
+      spec.field = field.raw;
+    }
+    RAILGUN_RETURN_IF_ERROR(tokens.Expect(")"));
+    spec.name = std::string(agg::AggKindName(kind)) + "(" +
+                (spec.field.empty() ? "*" : spec.field) + ")";
+    def.aggs.push_back(std::move(spec));
+    if (!tokens.TryConsume(",")) break;
+  }
+
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("from"));
+  const Token stream = tokens.Next();
+  if (stream.type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected stream name after FROM");
+  }
+  def.stream = stream.raw;
+
+  if (tokens.TryConsume("where")) {
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> filter,
+                             ParseExprFrom(&tokens));
+    def.filter = std::shared_ptr<Expr>(std::move(filter));
+  }
+
+  if (tokens.TryConsume("group")) {
+    RAILGUN_RETURN_IF_ERROR(tokens.Expect("by"));
+    while (true) {
+      const Token field = tokens.Next();
+      if (field.type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected field in GROUP BY");
+      }
+      def.group_by.push_back(field.raw);
+      if (!tokens.TryConsume(",")) break;
+    }
+  }
+
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("over"));
+  RAILGUN_ASSIGN_OR_RETURN(def.window, ParseWindow(&tokens));
+
+  if (!tokens.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after query: '" +
+                                   tokens.Peek().raw + "'");
+  }
+  return def;
+}
+
+}  // namespace railgun::query

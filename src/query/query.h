@@ -1,0 +1,41 @@
+// Parsed form of a Railgun query statement (paper Fig. 4):
+//
+//   SELECT agg(field) [, agg(field)]... FROM stream
+//     [WHERE filterExpression]
+//     [GROUP BY field [, field]...]
+//     OVER (sliding N unit | tumbling N unit | infinite
+//           | sliding N events) [delayed by N unit]
+#ifndef RAILGUN_QUERY_QUERY_H_
+#define RAILGUN_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.h"
+#include "common/status.h"
+#include "query/expr.h"
+#include "window/window.h"
+
+namespace railgun::query {
+
+struct AggSpec {
+  agg::AggKind kind;
+  std::string field;  // Empty for count(*).
+  std::string name;   // Display name, e.g. "sum(amount)".
+};
+
+struct QueryDef {
+  std::string stream;
+  std::vector<AggSpec> aggs;
+  std::shared_ptr<Expr> filter;  // Null when no WHERE clause.
+  std::vector<std::string> group_by;
+  window::WindowSpec window;
+  std::string raw;
+};
+
+StatusOr<QueryDef> ParseQuery(const std::string& statement);
+
+}  // namespace railgun::query
+
+#endif  // RAILGUN_QUERY_QUERY_H_

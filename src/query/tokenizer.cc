@@ -1,0 +1,112 @@
+#include "query/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace railgun::query {
+
+Tokenizer::Tokenizer(const std::string& input) { TokenizeAll(input); }
+
+void Tokenizer::TokenizeAll(const std::string& input) {
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '.')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.raw = input.substr(i, j - i);
+      for (char ch : tok.raw) {
+        tok.text.push_back(static_cast<char>(tolower(ch)));
+      }
+      i = j;
+    } else if (isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      while (j < n && (isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.raw = input.substr(i, j - i);
+      tok.text = tok.raw;
+      tok.number = strtod(tok.raw.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && input[j] != quote) {
+        value.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        status_ = Status::InvalidArgument("unterminated string literal");
+        return;
+      }
+      tok.type = TokenType::kString;
+      tok.text = value;
+      tok.raw = input.substr(i, j - i + 1);
+      i = j + 1;
+    } else {
+      // Multi-character operators first.
+      static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+      std::string sym(1, c);
+      if (i + 1 < n) {
+        const std::string two = input.substr(i, 2);
+        for (const char* op : kTwoChar) {
+          if (two == op) {
+            sym = two;
+            break;
+          }
+        }
+      }
+      tok.type = TokenType::kSymbol;
+      tok.text = sym;
+      tok.raw = sym;
+      i += sym.size();
+    }
+    tokens_.push_back(std::move(tok));
+  }
+}
+
+const Token& Tokenizer::Peek(size_t lookahead) const {
+  const size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) return end_token_;
+  return tokens_[idx];
+}
+
+Token Tokenizer::Next() {
+  if (pos_ >= tokens_.size()) return end_token_;
+  return tokens_[pos_++];
+}
+
+bool Tokenizer::AtEnd() const { return pos_ >= tokens_.size(); }
+
+bool Tokenizer::TryConsume(const std::string& keyword) {
+  const Token& tok = Peek();
+  if (tok.type == TokenType::kEnd) return false;
+  if (tok.text == keyword) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status Tokenizer::Expect(const std::string& keyword) {
+  if (TryConsume(keyword)) return Status::OK();
+  return Status::InvalidArgument("expected '" + keyword + "' but found '" +
+                                 Peek().raw + "'");
+}
+
+}  // namespace railgun::query

@@ -1,0 +1,54 @@
+// Shared tokenizer for the query parser and expression language.
+#ifndef RAILGUN_QUERY_TOKENIZER_H_
+#define RAILGUN_QUERY_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace railgun::query {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // foo, SELECT (keywords are identifiers; match by text)
+  kNumber,      // 123, 4.5
+  kString,      // 'abc'
+  kSymbol,      // ( ) , * == != <= >= < > + - / and or not
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Identifier/symbol text, lowercased for keywords.
+  double number = 0;  // For kNumber.
+  std::string raw;    // Original spelling.
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& input);
+
+  Status status() const { return status_; }
+
+  const Token& Peek(size_t lookahead = 0) const;
+  Token Next();
+  bool AtEnd() const;
+
+  // Consumes the next token if it is an identifier matching `keyword`
+  // case-insensitively (or a symbol with that exact text).
+  bool TryConsume(const std::string& keyword);
+  // Like TryConsume but errors if absent.
+  Status Expect(const std::string& keyword);
+
+ private:
+  void TokenizeAll(const std::string& input);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Status status_;
+  Token end_token_;
+};
+
+}  // namespace railgun::query
+
+#endif  // RAILGUN_QUERY_TOKENIZER_H_

@@ -1,0 +1,92 @@
+#include "reservoir/chunk.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/compression.h"
+#include "common/logging.h"
+
+namespace railgun::reservoir {
+
+void Chunk::Add(Event event) {
+  RAILGUN_CHECK(state_ != ChunkState::kClosed);
+  if (events_.empty()) {
+    min_ts_ = max_ts_ = event.timestamp;
+  } else {
+    min_ts_ = std::min(min_ts_, event.timestamp);
+    max_ts_ = std::max(max_ts_, event.timestamp);
+  }
+  max_offset_ = std::max(max_offset_, event.offset);
+  // 16 header bytes + ~12 bytes per numeric field + string sizes.
+  estimated_bytes_ += 16 + event.values.size() * 12;
+  for (const auto& v : event.values) {
+    if (v.is_string()) estimated_bytes_ += v.as_string().size();
+  }
+  events_.push_back(std::move(event));
+}
+
+void Chunk::Close() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.offset < b.offset;
+                   });
+  state_ = ChunkState::kClosed;
+}
+
+void Chunk::SerializeTo(const Schema& schema, std::string* dst) const {
+  RAILGUN_CHECK(state_ == ChunkState::kClosed);
+  PutVarint32(dst, schema_id_);
+  PutVarint32(dst, static_cast<uint32_t>(events_.size()));
+  PutVarsint64(dst, min_ts_);
+  PutVarsint64(dst, max_ts_);
+  PutVarint64(dst, max_offset_);
+
+  std::string payload;
+  const EventCodec codec(&schema);
+  for (const auto& e : events_) {
+    codec.Encode(e, min_ts_, &payload);
+  }
+  LzCompress(Slice(payload), dst);
+}
+
+Status Chunk::Deserialize(ChunkSeq seq, const Schema& schema, Slice payload,
+                          std::unique_ptr<Chunk>* chunk) {
+  uint32_t schema_id, count;
+  int64_t min_ts, max_ts;
+  uint64_t max_offset;
+  if (!GetVarint32(&payload, &schema_id) || !GetVarint32(&payload, &count) ||
+      !GetVarsint64(&payload, &min_ts) || !GetVarsint64(&payload, &max_ts) ||
+      !GetVarint64(&payload, &max_offset)) {
+    return Status::Corruption("bad chunk header");
+  }
+  if (schema_id != schema.id()) {
+    return Status::InvalidArgument("schema mismatch during chunk decode");
+  }
+
+  std::string uncompressed;
+  RAILGUN_RETURN_IF_ERROR(LzUncompress(payload, &uncompressed));
+
+  auto c = std::make_unique<Chunk>(seq, schema_id);
+  Slice input(uncompressed);
+  const EventCodec codec(&schema);
+  for (uint32_t i = 0; i < count; ++i) {
+    Event e;
+    RAILGUN_RETURN_IF_ERROR(codec.Decode(&input, min_ts, &e));
+    c->Add(std::move(e));
+  }
+  c->state_ = ChunkState::kClosed;  // Already sorted when serialized.
+  *chunk = std::move(c);
+  return Status::OK();
+}
+
+bool Chunk::ContainsId(uint64_t id) const {
+  for (const auto& e : events_) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace railgun::reservoir

@@ -1,0 +1,91 @@
+// A chunk groups contiguous events (paper §4.1.1). Chunks are built
+// in-memory (kOpen), optionally held in a grace window for late events
+// (kTransition), then sorted, serialized, compressed and persisted
+// (kClosed). Closed chunks are the unit of reservoir I/O and caching.
+#ifndef RAILGUN_RESERVOIR_CHUNK_H_
+#define RAILGUN_RESERVOIR_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "reservoir/event.h"
+
+namespace railgun::reservoir {
+
+enum class ChunkState : uint8_t {
+  kOpen = 0,        // Accepting new events.
+  kTransition = 1,  // Closed for recent events, open for late arrivals.
+  kClosed = 2,      // Immutable; sorted and serializable.
+};
+
+// Global, monotonically increasing chunk number within a reservoir.
+using ChunkSeq = uint64_t;
+
+class Chunk {
+ public:
+  Chunk(ChunkSeq seq, uint32_t schema_id)
+      : seq_(seq), schema_id_(schema_id) {}
+
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
+
+  ChunkSeq seq() const { return seq_; }
+  uint32_t schema_id() const { return schema_id_; }
+  ChunkState state() const { return state_; }
+
+  // Appends an event. REQUIRES: state != kClosed.
+  void Add(Event event);
+
+  size_t num_events() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& event(size_t i) const { return events_[i]; }
+
+  Micros min_timestamp() const { return min_ts_; }
+  Micros max_timestamp() const { return max_ts_; }
+  uint64_t max_offset() const { return max_offset_; }
+
+  // Rough serialized-size estimate driving chunk closure.
+  size_t EstimatedBytes() const { return estimated_bytes_; }
+
+  void MarkTransition(Micros deadline) {
+    state_ = ChunkState::kTransition;
+    transition_deadline_ = deadline;
+  }
+  Micros transition_deadline() const { return transition_deadline_; }
+
+  // Sorts events by (timestamp, offset) and freezes the chunk.
+  void Close();
+
+  // Serializes a closed chunk (header + compressed payload).
+  // Layout: schema_id (varint32) | count (varint32) | min_ts (varsint64)
+  //         | max_ts (varsint64) | max_offset (varint64)
+  //         | compressed event payload.
+  void SerializeTo(const Schema& schema, std::string* dst) const;
+
+  // Rebuilds a closed chunk from SerializeTo output.
+  static Status Deserialize(ChunkSeq seq, const Schema& schema,
+                            Slice payload, std::unique_ptr<Chunk>* chunk);
+
+  // True if an event with this id is present (dedup probe).
+  bool ContainsId(uint64_t id) const;
+
+ private:
+  ChunkSeq seq_;
+  uint32_t schema_id_;
+  ChunkState state_ = ChunkState::kOpen;
+  std::vector<Event> events_;
+  Micros min_ts_ = 0;
+  Micros max_ts_ = 0;
+  uint64_t max_offset_ = 0;
+  size_t estimated_bytes_ = 0;
+  Micros transition_deadline_ = 0;
+};
+
+}  // namespace railgun::reservoir
+
+#endif  // RAILGUN_RESERVOIR_CHUNK_H_

@@ -1,0 +1,61 @@
+#include "reservoir/chunk_cache.h"
+
+namespace railgun::reservoir {
+
+void ChunkCache::Insert(const std::shared_ptr<Chunk>& chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ChunkSeq seq = chunk->seq();
+  auto it = map_.find(seq);
+  if (it != map_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(seq);
+    it->second.lru_pos = lru_.begin();
+    it->second.chunk = chunk;
+    return;
+  }
+  while (map_.size() >= capacity_ && !lru_.empty()) {
+    const ChunkSeq victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(seq);
+  map_[seq] = Entry{chunk, lru_.begin()};
+  ++stats_.inserts;
+}
+
+std::shared_ptr<Chunk> ChunkCache::Get(ChunkSeq seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(seq);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(seq);
+  it->second.lru_pos = lru_.begin();
+  return it->second.chunk;
+}
+
+bool ChunkCache::Contains(ChunkSeq seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.count(seq) > 0;
+}
+
+size_t ChunkCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ChunkCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats();
+}
+
+}  // namespace railgun::reservoir

@@ -1,0 +1,62 @@
+#include "reservoir/schema_registry.h"
+
+#include "common/coding.h"
+
+namespace railgun::reservoir {
+
+SchemaRegistry::SchemaRegistry(Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)), path_(JoinPath(dir_, "SCHEMAS")) {}
+
+Status SchemaRegistry::Open() {
+  RAILGUN_RETURN_IF_ERROR(env_->CreateDir(dir_));
+  if (!env_->FileExists(path_)) return Status::OK();
+
+  std::string data;
+  RAILGUN_RETURN_IF_ERROR(ReadFileToString(env_, path_, &data));
+  Slice input(data);
+  while (!input.empty()) {
+    Slice record;
+    if (!GetLengthPrefixedSlice(&input, &record)) {
+      return Status::Corruption("bad schema registry record");
+    }
+    auto schema = std::make_unique<Schema>();
+    RAILGUN_RETURN_IF_ERROR(Schema::DecodeFrom(&record, schema.get()));
+    const uint32_t id = schema->id();
+    schemas_[id] = std::move(schema);
+    current_id_ = id;  // Records are appended in registration order.
+    next_id_ = id + 1;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint32_t> SchemaRegistry::Register(
+    const std::vector<SchemaField>& fields) {
+  const uint32_t id = next_id_++;
+  auto schema = std::make_unique<Schema>(id, fields);
+  RAILGUN_RETURN_IF_ERROR(Persist(*schema));
+  schemas_[id] = std::move(schema);
+  current_id_ = id;
+  return id;
+}
+
+const Schema* SchemaRegistry::Get(uint32_t id) const {
+  auto it = schemas_.find(id);
+  return it == schemas_.end() ? nullptr : it->second.get();
+}
+
+const Schema* SchemaRegistry::Current() const { return Get(current_id_); }
+
+Status SchemaRegistry::Persist(const Schema& schema) {
+  std::string record;
+  schema.EncodeTo(&record);
+  std::string framed;
+  PutLengthPrefixedSlice(&framed, record);
+
+  std::unique_ptr<WritableFile> file;
+  RAILGUN_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &file));
+  RAILGUN_RETURN_IF_ERROR(file->Append(framed));
+  RAILGUN_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+}  // namespace railgun::reservoir

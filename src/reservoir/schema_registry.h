@@ -1,0 +1,50 @@
+// Schema registry (paper §4.1.1): chunks are persisted referencing their
+// schema id, so a chunk written under an old schema can always be decoded
+// after the stream's schema evolves. The registry itself is persisted as
+// an append-only file next to the reservoir segments.
+#ifndef RAILGUN_RESERVOIR_SCHEMA_REGISTRY_H_
+#define RAILGUN_RESERVOIR_SCHEMA_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "reservoir/event.h"
+
+namespace railgun::reservoir {
+
+class SchemaRegistry {
+ public:
+  // dir: directory holding the registry file; created if missing.
+  SchemaRegistry(Env* env, std::string dir);
+
+  // Loads previously registered schemas from disk.
+  Status Open();
+
+  // Registers a new schema version built from the given fields and makes
+  // it current. Returns the assigned schema id.
+  StatusOr<uint32_t> Register(const std::vector<SchemaField>& fields);
+
+  // nullptr if unknown.
+  const Schema* Get(uint32_t id) const;
+  const Schema* Current() const;
+  uint32_t current_id() const { return current_id_; }
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  Status Persist(const Schema& schema);
+
+  Env* env_;
+  std::string dir_;
+  std::string path_;
+  std::map<uint32_t, std::unique_ptr<Schema>> schemas_;
+  uint32_t next_id_ = 1;
+  uint32_t current_id_ = 0;  // 0 = none registered yet.
+};
+
+}  // namespace railgun::reservoir
+
+#endif  // RAILGUN_RESERVOIR_SCHEMA_REGISTRY_H_

@@ -1,0 +1,39 @@
+// Bump-pointer allocator backing the memtable skip list. All memory is
+// released at once when the memtable is dropped after a flush.
+#ifndef RAILGUN_STORAGE_ARENA_H_
+#define RAILGUN_STORAGE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace railgun::storage {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  char* AllocateAligned(size_t bytes);
+
+  // Total memory footprint of the arena (used for flush triggers).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_ARENA_H_

@@ -1,0 +1,47 @@
+// Builds an SSTable block: entries with shared-key-prefix compression and
+// restart points every kRestartInterval entries for binary search.
+//
+// Entry:  shared (varint32) | non_shared (varint32) | value_len (varint32)
+//         | key_delta | value
+// Trailer: restart offsets (fixed32 each) | num_restarts (fixed32)
+#ifndef RAILGUN_STORAGE_BLOCK_BUILDER_H_
+#define RAILGUN_STORAGE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace railgun::storage {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  // REQUIRES: key is greater than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finishes the block and returns a slice valid until Reset().
+  Slice Finish();
+
+  void Reset();
+
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_BLOCK_BUILDER_H_

@@ -1,0 +1,784 @@
+#include "storage/db.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/log_reader.h"
+#include "storage/log_writer.h"
+
+namespace railgun::storage {
+
+namespace {
+
+uint64_t MaxBytesForLevel(const DBOptions& options, int level) {
+  uint64_t result = options.max_bytes_for_level_base;
+  for (int i = 1; i < level; ++i) result *= 10;
+  return result;
+}
+
+// Parses "000012.log" / "000007.sst" style names.
+bool ParseFileName(const std::string& name, uint64_t* number,
+                   std::string* suffix) {
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string num_part = name.substr(0, dot);
+  if (num_part.empty() ||
+      num_part.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *number = std::stoull(num_part);
+  *suffix = name.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
+DB::DB(const DBOptions& options, std::string dbname)
+    : options_(options),
+      dbname_(std::move(dbname)),
+      env_(options.env != nullptr ? options.env : Env::Default()) {
+  versions_.reset(new VersionSet(env_, dbname_));
+}
+
+DB::~DB() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_file_ != nullptr) log_file_->Close();
+}
+
+Status DB::Open(const DBOptions& options, const std::string& path,
+                std::unique_ptr<DB>* db) {
+  std::unique_ptr<DB> impl(new DB(options, path));
+  RAILGUN_RETURN_IF_ERROR(impl->Recover());
+  *db = std::move(impl);
+  return Status::OK();
+}
+
+Status DB::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILGUN_RETURN_IF_ERROR(versions_->Recover(options_.create_if_missing));
+
+  for (const auto& [id, cf] : versions_->families()) {
+    mems_[id] = std::make_unique<MemTable>();
+  }
+
+  // Replay any WAL at or after the manifest's log number, in order.
+  std::vector<std::string> children;
+  RAILGUN_RETURN_IF_ERROR(env_->ListDir(dbname_, &children));
+  std::vector<uint64_t> logs;
+  for (const auto& child : children) {
+    uint64_t number;
+    std::string suffix;
+    if (ParseFileName(child, &number, &suffix) && suffix == "log" &&
+        number >= versions_->log_number()) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+  for (uint64_t number : logs) {
+    RAILGUN_RETURN_IF_ERROR(ReplayLog(number));
+  }
+
+  // Start a fresh WAL.
+  log_number_ = versions_->NewFileNumber();
+  RAILGUN_RETURN_IF_ERROR(
+      env_->NewWritableFile(LogFileName(dbname_, log_number_), &log_file_));
+  log_.reset(new log::Writer(log_file_.get()));
+  versions_->SetLogNumber(log_number_);
+
+  // Replayed writes exist only in the pre-recovery WALs, which are
+  // garbage-collected below: persist them to L0 first or a second
+  // recovery would lose them.
+  for (auto& [id, mem] : mems_) {
+    if (!mem->Empty()) {
+      RAILGUN_RETURN_IF_ERROR(FlushMemTable(id, mem.get()));
+      mem = std::make_unique<MemTable>();
+    }
+  }
+
+  RAILGUN_RETURN_IF_ERROR(versions_->LogAndApply());
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+Status DB::ReplayLog(uint64_t log_number) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(LogFileName(dbname_, log_number), &file);
+  if (s.IsNotFound()) return Status::OK();
+  RAILGUN_RETURN_IF_ERROR(s);
+
+  // Applies batch records into the memtables.
+  class Inserter : public WriteBatch::Handler {
+   public:
+    Inserter(std::map<uint32_t, std::unique_ptr<MemTable>>* mems,
+             SequenceNumber seq)
+        : seq_(seq), mems_(mems) {}
+    void Put(uint32_t cf_id, const Slice& key, const Slice& value) override {
+      auto it = mems_->find(cf_id);
+      if (it != mems_->end()) {
+        it->second->Add(seq_, kTypeValue, key, value);
+      }
+      ++seq_;
+    }
+    void Delete(uint32_t cf_id, const Slice& key) override {
+      auto it = mems_->find(cf_id);
+      if (it != mems_->end()) {
+        it->second->Add(seq_, kTypeDeletion, key, Slice());
+      }
+      ++seq_;
+    }
+    SequenceNumber seq_;
+
+   private:
+    std::map<uint32_t, std::unique_ptr<MemTable>>* mems_;
+  };
+
+  log::Reader reader(file.get());
+  Slice record;
+  std::string scratch;
+  SequenceNumber max_seq = versions_->last_sequence();
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (record.size() < 12) continue;
+    WriteBatch batch;
+    batch.SetRep(record.ToString());
+    Inserter inserter(&mems_, batch.Sequence());
+    RAILGUN_RETURN_IF_ERROR(batch.Iterate(&inserter));
+    const SequenceNumber last =
+        batch.Sequence() + static_cast<uint64_t>(batch.Count()) - 1;
+    max_seq = std::max(max_seq, last);
+  }
+  versions_->SetLastSequence(max_seq);
+  return Status::OK();
+}
+
+Status DB::Put(uint32_t cf, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(cf, key, value);
+  return Write(&batch);
+}
+
+Status DB::Delete(uint32_t cf, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(cf, key);
+  return Write(&batch);
+}
+
+Status DB::Write(WriteBatch* batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(batch);
+}
+
+Status DB::WriteLocked(WriteBatch* batch) {
+  const SequenceNumber seq = versions_->last_sequence() + 1;
+  batch->SetSequence(seq);
+
+  RAILGUN_RETURN_IF_ERROR(log_->AddRecord(Slice(batch->rep())));
+  if (options_.sync_writes) RAILGUN_RETURN_IF_ERROR(log_file_->Sync());
+
+  class Inserter : public WriteBatch::Handler {
+   public:
+    Inserter(DB* db, SequenceNumber seq) : db_(db), seq_(seq) {}
+    void Put(uint32_t cf_id, const Slice& key, const Slice& value) override {
+      auto it = db_->mems_.find(cf_id);
+      if (it != db_->mems_.end()) {
+        it->second->Add(seq_, kTypeValue, key, value);
+      }
+      ++seq_;
+    }
+    void Delete(uint32_t cf_id, const Slice& key) override {
+      auto it = db_->mems_.find(cf_id);
+      if (it != db_->mems_.end()) {
+        it->second->Add(seq_, kTypeDeletion, key, Slice());
+      }
+      ++seq_;
+    }
+
+   private:
+    DB* db_;
+    SequenceNumber seq_;
+  };
+  Inserter inserter(this, seq);
+  RAILGUN_RETURN_IF_ERROR(batch->Iterate(&inserter));
+  versions_->SetLastSequence(seq + static_cast<uint64_t>(batch->Count()) - 1);
+
+  return MaybeScheduleFlush();
+}
+
+Status DB::MaybeScheduleFlush() {
+  size_t total = 0;
+  for (const auto& [id, mem] : mems_) total += mem->ApproximateMemoryUsage();
+  if (total >= options_.write_buffer_size) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status DB::Get(uint32_t cf, const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mems_.find(cf);
+  if (it == mems_.end()) {
+    return Status::InvalidArgument("unknown column family");
+  }
+  const LookupKey lkey(key, versions_->last_sequence());
+  bool is_deleted = false;
+  if (it->second->Get(lkey, value, &is_deleted)) {
+    return is_deleted ? Status::NotFound("deleted") : Status::OK();
+  }
+  return GetFromTables(cf, lkey, value);
+}
+
+Status DB::GetFromTables(uint32_t cf_id, const LookupKey& lkey,
+                         std::string* value) {
+  ColumnFamilyMeta* cf = versions_->GetFamily(cf_id);
+  if (cf == nullptr) return Status::InvalidArgument("unknown column family");
+
+  const Slice user_key = lkey.user_key();
+  const InternalKeyComparator icmp;
+
+  auto check_file = [&](const FileMetaData& f) -> Status {
+    // Quick range reject on user keys.
+    if (user_key.compare(ExtractUserKey(Slice(f.smallest))) < 0 ||
+        user_key.compare(ExtractUserKey(Slice(f.largest))) > 0) {
+      return Status::NotFound("");
+    }
+    RAILGUN_ASSIGN_OR_RETURN(Table * table, GetTable(f.number));
+    std::string found_key, found_value;
+    Status s =
+        table->InternalGet(lkey.internal_key(), &found_key, &found_value);
+    if (!s.ok()) return s;
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(Slice(found_key), &parsed)) {
+      return Status::Corruption("bad internal key in table");
+    }
+    if (parsed.user_key != user_key) return Status::NotFound("");
+    if (parsed.type == kTypeDeletion) return Status::NotFound("deleted");
+    *value = std::move(found_value);
+    return Status::OK();
+  };
+
+  // L0: newest file first (files may overlap).
+  std::vector<const FileMetaData*> l0;
+  for (const auto& f : cf->levels[0]) l0.push_back(&f);
+  std::sort(l0.begin(), l0.end(),
+            [](const FileMetaData* a, const FileMetaData* b) {
+              return a->number > b->number;
+            });
+  for (const FileMetaData* f : l0) {
+    Status s = check_file(*f);
+    if (!s.IsNotFound() || s.message() == "deleted") {
+      if (s.message() == "deleted") return Status::NotFound("deleted");
+      if (!s.IsNotFound()) return s;
+    }
+  }
+
+  // L1+: files are non-overlapping and sorted; binary search by range.
+  for (int level = 1; level < kNumLevels; ++level) {
+    const auto& files = cf->levels[level];
+    if (files.empty()) continue;
+    // Find the first file whose largest user key >= user_key.
+    auto iter = std::lower_bound(
+        files.begin(), files.end(), user_key,
+        [&icmp](const FileMetaData& f, const Slice& k) {
+          return ExtractUserKey(Slice(f.largest)).compare(k) < 0;
+        });
+    if (iter == files.end()) continue;
+    Status s = check_file(*iter);
+    if (s.message() == "deleted") return Status::NotFound("deleted");
+    if (!s.IsNotFound()) return s;
+  }
+  return Status::NotFound("");
+}
+
+StatusOr<Table*> DB::GetTable(uint64_t file_number) {
+  auto it = table_cache_.find(file_number);
+  if (it != table_cache_.end()) return it->second.get();
+
+  std::unique_ptr<RandomAccessFile> file;
+  RAILGUN_RETURN_IF_ERROR(
+      env_->NewRandomAccessFile(SstFileName(dbname_, file_number), &file));
+  std::unique_ptr<Table> table;
+  RAILGUN_RETURN_IF_ERROR(Table::Open(std::move(file), &table));
+  Table* raw = table.get();
+  table_cache_[file_number] = std::move(table);
+  return raw;
+}
+
+StatusOr<uint32_t> DB::CreateColumnFamily(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILGUN_ASSIGN_OR_RETURN(uint32_t id, versions_->CreateColumnFamily(name));
+  mems_[id] = std::make_unique<MemTable>();
+  return id;
+}
+
+StatusOr<uint32_t> DB::FindColumnFamily(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ColumnFamilyMeta* cf = versions_->FindFamilyByName(name);
+  if (cf == nullptr) return Status::NotFound("no column family: " + name);
+  return cf->id;
+}
+
+Status DB::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status DB::FlushLocked() {
+  bool any = false;
+  for (auto& [id, mem] : mems_) {
+    if (!mem->Empty()) {
+      RAILGUN_RETURN_IF_ERROR(FlushMemTable(id, mem.get()));
+      any = true;
+    }
+  }
+  if (!any) return Status::OK();
+
+  // Rotate the WAL: everything in the old log is now in SSTables.
+  RAILGUN_RETURN_IF_ERROR(log_file_->Close());
+  const uint64_t old_log = log_number_;
+  log_number_ = versions_->NewFileNumber();
+  RAILGUN_RETURN_IF_ERROR(
+      env_->NewWritableFile(LogFileName(dbname_, log_number_), &log_file_));
+  log_.reset(new log::Writer(log_file_.get()));
+  versions_->SetLogNumber(log_number_);
+  RAILGUN_RETURN_IF_ERROR(versions_->LogAndApply());
+  env_->RemoveFile(LogFileName(dbname_, old_log));
+
+  // Fresh memtables.
+  for (auto& [id, mem] : mems_) {
+    mem = std::make_unique<MemTable>();
+  }
+
+  for (auto& [id, mem] : mems_) {
+    RAILGUN_RETURN_IF_ERROR(MaybeCompact(id));
+  }
+  return Status::OK();
+}
+
+Status DB::FlushMemTable(uint32_t cf_id, MemTable* mem) {
+  const uint64_t file_number = versions_->NewFileNumber();
+  const std::string fname = SstFileName(dbname_, file_number);
+
+  std::unique_ptr<WritableFile> file;
+  RAILGUN_RETURN_IF_ERROR(env_->NewWritableFile(fname, &file));
+
+  TableBuilderOptions topts;
+  topts.block_size = options_.block_size;
+  topts.compression = options_.compression;
+  TableBuilder builder(topts, file.get());
+
+  FileMetaData meta;
+  meta.number = file_number;
+
+  MemTable::Iterator iter(mem);
+  iter.SeekToFirst();
+  bool first = true;
+  while (iter.Valid()) {
+    const Slice key = iter.internal_key();
+    if (first) {
+      meta.smallest = key.ToString();
+      first = false;
+    }
+    meta.largest = key.ToString();
+    builder.Add(key, iter.value());
+    iter.Next();
+  }
+  RAILGUN_RETURN_IF_ERROR(builder.Finish());
+  RAILGUN_RETURN_IF_ERROR(file->Sync());
+  RAILGUN_RETURN_IF_ERROR(file->Close());
+
+  meta.file_size = builder.FileSize();
+  versions_->AddFile(cf_id, 0, std::move(meta));
+  return Status::OK();
+}
+
+Status DB::MaybeCompact(uint32_t cf_id) {
+  while (true) {
+    ColumnFamilyMeta* cf = versions_->GetFamily(cf_id);
+
+    // L0 -> L1 when too many overlapping L0 files accumulate.
+    if (static_cast<int>(cf->levels[0].size()) >=
+        options_.l0_compaction_trigger) {
+      std::vector<FileMetaData> l0_inputs = cf->levels[0];
+      // All L1 files overlapping the union of L0 ranges participate.
+      std::string smallest, largest;
+      for (const auto& f : l0_inputs) {
+        if (smallest.empty() ||
+            ExtractUserKey(Slice(f.smallest))
+                    .compare(ExtractUserKey(Slice(smallest))) < 0) {
+          smallest = f.smallest;
+        }
+        if (largest.empty() ||
+            ExtractUserKey(Slice(f.largest))
+                    .compare(ExtractUserKey(Slice(largest))) > 0) {
+          largest = f.largest;
+        }
+      }
+      std::vector<FileMetaData> l1_inputs;
+      for (const FileMetaData* f : cf->OverlappingFiles(
+               1, ExtractUserKey(Slice(smallest)),
+               ExtractUserKey(Slice(largest)))) {
+        l1_inputs.push_back(*f);
+      }
+      RAILGUN_RETURN_IF_ERROR(CompactRange(cf_id, 0, l0_inputs, l1_inputs));
+      continue;
+    }
+
+    // Size-triggered compactions down the levels.
+    bool compacted = false;
+    for (int level = 1; level + 1 < kNumLevels; ++level) {
+      if (cf->LevelBytes(level) > MaxBytesForLevel(options_, level) &&
+          !cf->levels[level].empty()) {
+        const FileMetaData input = cf->levels[level][0];
+        std::vector<FileMetaData> next_inputs;
+        for (const FileMetaData* f : cf->OverlappingFiles(
+                 level + 1, ExtractUserKey(Slice(input.smallest)),
+                 ExtractUserKey(Slice(input.largest)))) {
+          next_inputs.push_back(*f);
+        }
+        RAILGUN_RETURN_IF_ERROR(
+            CompactRange(cf_id, level, {input}, next_inputs));
+        compacted = true;
+        break;
+      }
+    }
+    if (!compacted) return Status::OK();
+  }
+}
+
+Status DB::CompactRange(uint32_t cf_id, int level,
+                        const std::vector<FileMetaData>& inputs_level,
+                        const std::vector<FileMetaData>& inputs_next) {
+  const int output_level = level + 1;
+
+  // Tombstones can be dropped when no level below the output can still
+  // hold an older version of the key.
+  ColumnFamilyMeta* cf = versions_->GetFamily(cf_id);
+  bool deeper_data = false;
+  for (int l = output_level + 1; l < kNumLevels; ++l) {
+    if (!cf->levels[l].empty()) {
+      deeper_data = true;
+      break;
+    }
+  }
+
+  // Open iterators over every input table.
+  std::vector<std::unique_ptr<Table::Iterator>> iters;
+  for (const auto& f : inputs_level) {
+    RAILGUN_ASSIGN_OR_RETURN(Table * t, GetTable(f.number));
+    iters.emplace_back(new Table::Iterator(t));
+    iters.back()->SeekToFirst();
+  }
+  for (const auto& f : inputs_next) {
+    RAILGUN_ASSIGN_OR_RETURN(Table * t, GetTable(f.number));
+    iters.emplace_back(new Table::Iterator(t));
+    iters.back()->SeekToFirst();
+  }
+
+  const InternalKeyComparator icmp;
+  auto pick_min = [&]() -> Table::Iterator* {
+    Table::Iterator* best = nullptr;
+    for (auto& it : iters) {
+      if (!it->Valid()) continue;
+      if (best == nullptr || icmp.Compare(it->key(), best->key()) < 0) {
+        best = it.get();
+      }
+    }
+    return best;
+  };
+
+  // Merge, keeping the newest version of each user key.
+  std::vector<FileMetaData> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaData current_out;
+
+  TableBuilderOptions topts;
+  topts.block_size = options_.block_size;
+  topts.compression = options_.compression;
+
+  auto open_output = [&]() -> Status {
+    current_out = FileMetaData();
+    current_out.number = versions_->NewFileNumber();
+    RAILGUN_RETURN_IF_ERROR(env_->NewWritableFile(
+        SstFileName(dbname_, current_out.number), &out_file));
+    builder.reset(new TableBuilder(topts, out_file.get()));
+    return Status::OK();
+  };
+  auto close_output = [&]() -> Status {
+    if (builder == nullptr || builder->NumEntries() == 0) {
+      if (out_file != nullptr) {
+        out_file->Close();
+        env_->RemoveFile(SstFileName(dbname_, current_out.number));
+        out_file.reset();
+        builder.reset();
+      }
+      return Status::OK();
+    }
+    RAILGUN_RETURN_IF_ERROR(builder->Finish());
+    RAILGUN_RETURN_IF_ERROR(out_file->Sync());
+    RAILGUN_RETURN_IF_ERROR(out_file->Close());
+    current_out.file_size = builder->FileSize();
+    outputs.push_back(current_out);
+    out_file.reset();
+    builder.reset();
+    return Status::OK();
+  };
+
+  std::string last_user_key;
+  bool has_last = false;
+  while (Table::Iterator* it = pick_min()) {
+    const Slice ikey = it->key();
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(ikey, &parsed)) {
+      return Status::Corruption("bad key during compaction");
+    }
+    const bool shadowed =
+        has_last && parsed.user_key == Slice(last_user_key);
+    if (!shadowed) {
+      last_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_last = true;
+      const bool drop_tombstone =
+          parsed.type == kTypeDeletion && !deeper_data;
+      if (!drop_tombstone) {
+        if (builder == nullptr) RAILGUN_RETURN_IF_ERROR(open_output());
+        if (current_out.smallest.empty()) {
+          current_out.smallest = ikey.ToString();
+        }
+        current_out.largest = ikey.ToString();
+        builder->Add(ikey, it->value());
+        if (builder->FileSize() >= options_.target_file_size) {
+          RAILGUN_RETURN_IF_ERROR(close_output());
+        }
+      }
+    }
+    it->Next();
+  }
+  RAILGUN_RETURN_IF_ERROR(close_output());
+
+  // Install: remove inputs, add outputs.
+  for (const auto& f : inputs_level) {
+    versions_->RemoveFile(cf_id, level, f.number);
+    table_cache_.erase(f.number);
+  }
+  for (const auto& f : inputs_next) {
+    versions_->RemoveFile(cf_id, output_level, f.number);
+    table_cache_.erase(f.number);
+  }
+  for (auto& f : outputs) {
+    versions_->AddFile(cf_id, output_level, std::move(f));
+  }
+  RAILGUN_RETURN_IF_ERROR(versions_->LogAndApply());
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+void DB::RemoveObsoleteFiles() {
+  std::vector<std::string> children;
+  if (!env_->ListDir(dbname_, &children).ok()) return;
+  const std::vector<uint64_t> live = versions_->LiveFiles();
+  for (const auto& child : children) {
+    uint64_t number;
+    std::string suffix;
+    if (!ParseFileName(child, &number, &suffix)) continue;
+    if (suffix == "sst" &&
+        std::find(live.begin(), live.end(), number) == live.end()) {
+      env_->RemoveFile(dbname_ + "/" + child);
+      table_cache_.erase(number);
+    }
+    if (suffix == "log" && number < versions_->log_number()) {
+      env_->RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+Status DB::Checkpoint(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILGUN_RETURN_IF_ERROR(FlushLocked());
+  RAILGUN_RETURN_IF_ERROR(env_->RemoveDirRecursive(dir));
+  RAILGUN_RETURN_IF_ERROR(env_->CreateDir(dir));
+
+  // Copy live SSTs plus manifest state.
+  for (uint64_t number : versions_->LiveFiles()) {
+    RAILGUN_RETURN_IF_ERROR(env_->CopyFile(
+        SstFileName(dbname_, number), SstFileName(dir, number)));
+  }
+  std::vector<std::string> children;
+  RAILGUN_RETURN_IF_ERROR(env_->ListDir(dbname_, &children));
+  for (const auto& child : children) {
+    if (child.rfind("MANIFEST-", 0) == 0 || child == "CURRENT") {
+      RAILGUN_RETURN_IF_ERROR(
+          env_->CopyFile(dbname_ + "/" + child, dir + "/" + child));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<DB::LevelStats> DB::GetLevelStats(uint32_t cf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LevelStats> stats(kNumLevels);
+  ColumnFamilyMeta* meta = versions_->GetFamily(cf);
+  if (meta == nullptr) return stats;
+  for (int level = 0; level < kNumLevels; ++level) {
+    stats[level].num_files = static_cast<int>(meta->levels[level].size());
+    stats[level].bytes = meta->LevelBytes(level);
+  }
+  return stats;
+}
+
+uint64_t DB::TotalSstBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [id, cf] : versions_->families()) {
+    for (const auto& level : cf.levels) {
+      for (const auto& f : level) total += f.file_size;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------
+// DB iterator: merges the memtable with every table of the family and
+// exposes user keys with newest-version / tombstone semantics.
+
+class DBIterImpl : public DB::Iterator {
+ public:
+  DBIterImpl(DB* db, uint32_t cf_id) : db_(db) {
+    std::lock_guard<std::mutex> lock(db->mu_);
+    auto mem_it = db->mems_.find(cf_id);
+    if (mem_it != db->mems_.end()) {
+      mem_iter_.reset(new MemTable::Iterator(mem_it->second.get()));
+    }
+    ColumnFamilyMeta* cf = db->versions_->GetFamily(cf_id);
+    if (cf != nullptr) {
+      for (const auto& level : cf->levels) {
+        for (const auto& f : level) {
+          auto table_or = db->GetTable(f.number);
+          if (table_or.ok()) {
+            table_iters_.emplace_back(
+                new Table::Iterator(table_or.value()));
+          }
+        }
+      }
+    }
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    if (mem_iter_ != nullptr) mem_iter_->SeekToFirst();
+    for (auto& it : table_iters_) it->SeekToFirst();
+    FindNextUserKey(/*skip_current=*/false);
+  }
+
+  void Seek(const Slice& user_key) override {
+    std::string target;
+    AppendInternalKey(&target, user_key, kMaxSequenceNumber, kTypeValue);
+    if (mem_iter_ != nullptr) mem_iter_->Seek(Slice(target));
+    for (auto& it : table_iters_) it->Seek(Slice(target));
+    FindNextUserKey(/*skip_current=*/false);
+  }
+
+  void Next() override { FindNextUserKey(/*skip_current=*/true); }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+
+ private:
+  // Positions at the next visible user key. If skip_current is true, all
+  // versions of key_ are skipped first.
+  void FindNextUserKey(bool skip_current) {
+    const InternalKeyComparator icmp;
+    std::string prev_key = skip_current ? key_ : std::string();
+    bool have_prev = skip_current;
+
+    while (true) {
+      // Find the child with the smallest internal key.
+      Slice best;
+      bool found = false;
+      if (mem_iter_ != nullptr && mem_iter_->Valid()) {
+        best = mem_iter_->internal_key();
+        found = true;
+      }
+      for (auto& it : table_iters_) {
+        if (!it->Valid()) continue;
+        if (!found || icmp.Compare(it->key(), best) < 0) {
+          best = it->key();
+          found = true;
+        }
+      }
+      if (!found) {
+        valid_ = false;
+        return;
+      }
+
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(best, &parsed)) {
+        valid_ = false;
+        return;
+      }
+      const std::string user_key = parsed.user_key.ToString();
+
+      if (have_prev && user_key == prev_key) {
+        AdvancePast(best);
+        continue;
+      }
+
+      // This is the newest version of user_key (internal order puts the
+      // highest sequence first).
+      if (parsed.type == kTypeDeletion) {
+        prev_key = user_key;
+        have_prev = true;
+        AdvancePast(best);
+        continue;
+      }
+
+      key_ = user_key;
+      value_ = CurrentValueFor(best);
+      valid_ = true;
+      AdvancePast(best);
+      return;
+    }
+  }
+
+  std::string CurrentValueFor(const Slice& internal_key) {
+    if (mem_iter_ != nullptr && mem_iter_->Valid() &&
+        mem_iter_->internal_key() == internal_key) {
+      return mem_iter_->value().ToString();
+    }
+    for (auto& it : table_iters_) {
+      if (it->Valid() && it->key() == internal_key) {
+        return it->value().ToString();
+      }
+    }
+    return std::string();
+  }
+
+  // Advances every child positioned exactly at internal_key.
+  void AdvancePast(const Slice& internal_key) {
+    const std::string snapshot = internal_key.ToString();
+    if (mem_iter_ != nullptr && mem_iter_->Valid() &&
+        mem_iter_->internal_key() == Slice(snapshot)) {
+      mem_iter_->Next();
+    }
+    for (auto& it : table_iters_) {
+      if (it->Valid() && it->key() == Slice(snapshot)) it->Next();
+    }
+  }
+
+  DB* db_;
+  std::unique_ptr<MemTable::Iterator> mem_iter_;
+  std::vector<std::unique_ptr<Table::Iterator>> table_iters_;
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+};
+
+std::unique_ptr<DB::Iterator> DB::NewIterator(uint32_t cf) {
+  return std::make_unique<DBIterImpl>(this, cf);
+}
+
+Status DestroyDB(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->RemoveDirRecursive(path);
+}
+
+}  // namespace railgun::storage

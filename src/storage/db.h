@@ -1,0 +1,141 @@
+// Embedded LSM key-value store: Railgun's metric state store substrate
+// (the role RocksDB plays in the paper, built from scratch here).
+//
+// Concurrency model: a coarse mutex guards all state. Flushes and
+// compactions run synchronously on the writing thread — Railgun task
+// processors are single-threaded by design (paper §3.2), so background
+// compaction threads would only add nondeterminism.
+#ifndef RAILGUN_STORAGE_DB_H_
+#define RAILGUN_STORAGE_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+#include "storage/log_writer.h"
+#include "storage/memtable.h"
+#include "storage/table.h"
+#include "storage/table_builder.h"
+#include "storage/version.h"
+#include "storage/write_batch.h"
+
+namespace railgun::storage {
+
+struct DBOptions {
+  bool create_if_missing = true;
+  // Total memtable bytes (across column families) that trigger a flush.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+  // Number of L0 files that triggers an L0->L1 compaction.
+  int l0_compaction_trigger = 4;
+  // Max bytes for L1; each further level is 10x larger.
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  // Target size of one compaction output file.
+  uint64_t target_file_size = 2 * 1024 * 1024;
+  size_t block_size = 4096;
+  CompressionType compression = kLzCompression;
+  // fdatasync the WAL on every write (off by default: the paper's
+  // durability story is Kafka replay from the last checkpoint).
+  bool sync_writes = false;
+  Env* env = nullptr;  // Defaults to Env::Default().
+};
+
+// Default column family id.
+constexpr uint32_t kDefaultColumnFamily = 0;
+
+class DB {
+ public:
+  static Status Open(const DBOptions& options, const std::string& path,
+                     std::unique_ptr<DB>* db);
+
+  ~DB();
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(uint32_t cf, const Slice& key, const Slice& value);
+  Status Delete(uint32_t cf, const Slice& key);
+  Status Write(WriteBatch* batch);
+  Status Get(uint32_t cf, const Slice& key, std::string* value);
+
+  // Column families.
+  StatusOr<uint32_t> CreateColumnFamily(const std::string& name);
+  // Returns the id, or NotFound.
+  StatusOr<uint32_t> FindColumnFamily(const std::string& name);
+
+  // Forces all memtables to SSTables and rotates the WAL.
+  Status Flush();
+
+  // Consistent on-disk snapshot: flush, then copy live files into dir,
+  // which can be opened as a regular database.
+  Status Checkpoint(const std::string& dir);
+
+  // Scan iterator over one column family (user keys, newest versions,
+  // tombstones elided). Snapshot semantics: operates over the files and
+  // memtable present at creation; concurrent writes to the same DB from
+  // other threads are not reflected.
+  class Iterator {
+   public:
+    virtual ~Iterator() = default;
+    virtual bool Valid() const = 0;
+    virtual void SeekToFirst() = 0;
+    virtual void Seek(const Slice& user_key) = 0;
+    virtual void Next() = 0;
+    virtual Slice key() const = 0;
+    virtual Slice value() const = 0;
+  };
+  std::unique_ptr<Iterator> NewIterator(uint32_t cf);
+
+  // Introspection for tests/benchmarks.
+  struct LevelStats {
+    int num_files = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<LevelStats> GetLevelStats(uint32_t cf);
+  uint64_t TotalSstBytes();
+
+  const std::string& path() const { return dbname_; }
+
+ private:
+  DB(const DBOptions& options, std::string dbname);
+
+  Status Recover();
+  Status ReplayLog(uint64_t log_number);
+  Status WriteLocked(WriteBatch* batch);
+  Status MaybeScheduleFlush();
+  Status FlushLocked();
+  Status FlushMemTable(uint32_t cf_id, MemTable* mem);
+  Status MaybeCompact(uint32_t cf_id);
+  Status CompactRange(uint32_t cf_id, int level,
+                      const std::vector<FileMetaData>& inputs_level,
+                      const std::vector<FileMetaData>& inputs_next);
+  StatusOr<Table*> GetTable(uint64_t file_number);
+  Status GetFromTables(uint32_t cf_id, const LookupKey& lkey,
+                       std::string* value);
+  void RemoveObsoleteFiles();
+
+  DBOptions options_;
+  std::string dbname_;
+  Env* env_;
+
+  std::mutex mu_;
+  std::map<uint32_t, std::unique_ptr<MemTable>> mems_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<WritableFile> log_file_;
+  std::unique_ptr<log::Writer> log_;
+  uint64_t log_number_ = 0;
+  std::map<uint64_t, std::unique_ptr<Table>> table_cache_;
+  friend class DBIterImpl;
+};
+
+// Removes the database directory and all its contents.
+Status DestroyDB(const std::string& path, Env* env = nullptr);
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_DB_H_

@@ -1,0 +1,26 @@
+// Write-ahead-log record layout (LevelDB-style): the log is a sequence of
+// 32 KiB blocks; each record fragment carries a CRC32C, a 2-byte length
+// and a 1-byte type so records can span block boundaries and torn tails
+// are detected on replay.
+#ifndef RAILGUN_STORAGE_LOG_FORMAT_H_
+#define RAILGUN_STORAGE_LOG_FORMAT_H_
+
+namespace railgun::storage::log {
+
+enum RecordType {
+  kZeroType = 0,  // Preallocated zeroed space.
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+
+// checksum (4) + length (2) + type (1).
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace railgun::storage::log
+
+#endif  // RAILGUN_STORAGE_LOG_FORMAT_H_

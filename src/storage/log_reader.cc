@@ -1,0 +1,125 @@
+#include "storage/log_reader.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace railgun::storage::log {
+
+Reader::Reader(SequentialFile* file, bool checksum)
+    : file_(file),
+      checksum_(checksum),
+      backing_store_(new char[kBlockSize]) {}
+
+bool Reader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  *record = Slice();
+  bool in_fragmented_record = false;
+
+  while (true) {
+    Slice fragment;
+    const int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case kFullType:
+        *record = fragment;
+        return true;
+
+      case kFirstType:
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case kMiddleType:
+        if (!in_fragmented_record) {
+          ++dropped_records_;
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case kLastType:
+        if (!in_fragmented_record) {
+          ++dropped_records_;
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        return false;
+
+      case kBadRecord:
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+
+      default:
+        ++dropped_records_;
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+int Reader::ReadPhysicalRecord(Slice* result) {
+  while (true) {
+    if (buffer_.size() < static_cast<size_t>(kHeaderSize)) {
+      if (!eof_) {
+        buffer_ = Slice();
+        const Status status =
+            file_->Read(kBlockSize, &buffer_, backing_store_.get());
+        if (!status.ok()) {
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < static_cast<size_t>(kBlockSize)) eof_ = true;
+        continue;
+      }
+      // Truncated header at EOF: likely a torn write; drop it.
+      buffer_ = Slice();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t a = static_cast<unsigned char>(header[4]);
+    const uint32_t b = static_cast<unsigned char>(header[5]);
+    const unsigned int type = static_cast<unsigned char>(header[6]);
+    const uint32_t length = a | (b << 8);
+
+    if (kHeaderSize + length > buffer_.size()) {
+      // Torn record.
+      buffer_ = Slice();
+      if (!eof_) {
+        ++dropped_records_;
+        return kBadRecord;
+      }
+      return kEof;
+    }
+
+    if (type == kZeroType && length == 0) {
+      // Zero-filled block trailer; skip the rest of the block.
+      buffer_ = Slice();
+      continue;
+    }
+
+    if (checksum_) {
+      const uint32_t expected = crc32c::Unmask(DecodeFixed32(header));
+      const uint32_t actual =
+          crc32c::Extend(crc32c::Value(header + 6, 1), header + kHeaderSize,
+                         length);
+      if (expected != actual) {
+        buffer_ = Slice();
+        ++dropped_records_;
+        return kBadRecord;
+      }
+    }
+
+    *result = Slice(header + kHeaderSize, length);
+    buffer_.remove_prefix(kHeaderSize + length);
+    return static_cast<int>(type);
+  }
+}
+
+}  // namespace railgun::storage::log

@@ -1,0 +1,48 @@
+#ifndef RAILGUN_STORAGE_LOG_READER_H_
+#define RAILGUN_STORAGE_LOG_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/log_format.h"
+
+namespace railgun::storage::log {
+
+class Reader {
+ public:
+  // Borrows the file. If checksum is true, verifies CRCs. Corrupt or torn
+  // tails terminate iteration rather than erroring (standard WAL replay
+  // semantics: everything after a torn write is discarded).
+  explicit Reader(SequentialFile* file, bool checksum = true);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  // Reads the next record into *record (backed by *scratch). Returns
+  // false at EOF or on unrecoverable corruption.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+  // Number of records dropped due to corruption so far.
+  uint64_t dropped_records() const { return dropped_records_; }
+
+ private:
+  static constexpr int kEof = kMaxRecordType + 1;
+  static constexpr int kBadRecord = kMaxRecordType + 2;
+
+  int ReadPhysicalRecord(Slice* result);
+
+  SequentialFile* file_;
+  bool checksum_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+  uint64_t dropped_records_ = 0;
+};
+
+}  // namespace railgun::storage::log
+
+#endif  // RAILGUN_STORAGE_LOG_READER_H_

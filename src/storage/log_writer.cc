@@ -1,0 +1,78 @@
+#include "storage/log_writer.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace railgun::storage::log {
+
+Writer::Writer(WritableFile* dest, uint64_t dest_length)
+    : dest_(dest),
+      block_offset_(static_cast<int>(dest_length % kBlockSize)) {}
+
+Status Writer::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Fill the block trailer with zeroes and switch to a new block.
+      if (leftover > 0) {
+        static const char kZeroes[kHeaderSize] = {0};
+        s = dest_->Append(Slice(kZeroes, static_cast<size_t>(leftover)));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail =
+        static_cast<size_t>(kBlockSize - block_offset_ - kHeaderSize);
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    const bool end = (left == fragment_length);
+    RecordType type;
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  char buf[kHeaderSize];
+  buf[4] = static_cast<char>(length & 0xff);
+  buf[5] = static_cast<char>(length >> 8);
+  buf[6] = static_cast<char>(type);
+
+  uint32_t crc = crc32c::Extend(
+      crc32c::Value(&buf[6], 1), ptr, length);  // Covers type + payload.
+  EncodeFixed32(buf, crc32c::Mask(crc));
+
+  Status s = dest_->Append(Slice(buf, kHeaderSize));
+  if (s.ok()) {
+    s = dest_->Append(Slice(ptr, length));
+    // No per-record flush: Railgun's durability story replays the
+    // message log from the last checkpoint (paper §3.3), so the WAL only
+    // needs to reach the OS on sync/close, not per write.
+  }
+  block_offset_ += static_cast<int>(kHeaderSize + length);
+  return s;
+}
+
+}  // namespace railgun::storage::log

@@ -1,0 +1,34 @@
+#ifndef RAILGUN_STORAGE_LOG_WRITER_H_
+#define RAILGUN_STORAGE_LOG_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/log_format.h"
+
+namespace railgun::storage::log {
+
+class Writer {
+ public:
+  // Takes a borrowed destination; the file must be empty (or pass the
+  // current length for reopened logs).
+  explicit Writer(WritableFile* dest, uint64_t dest_length = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& record);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset within the block.
+};
+
+}  // namespace railgun::storage::log
+
+#endif  // RAILGUN_STORAGE_LOG_WRITER_H_

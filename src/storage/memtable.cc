@@ -1,0 +1,90 @@
+#include "storage/memtable.h"
+
+#include "common/coding.h"
+
+namespace railgun::storage {
+
+namespace {
+
+// Decodes the length-prefixed slice starting at p.
+Slice GetLengthPrefixed(const char* p) {
+  uint32_t len = 0;
+  const char* q = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(q, len);
+}
+
+}  // namespace
+
+int MemTableKeyComparator::operator()(const char* a, const char* b) const {
+  const Slice ka = GetLengthPrefixed(a);
+  const Slice kb = GetLengthPrefixed(b);
+  return InternalKeyComparator().Compare(ka, kb);
+}
+
+MemTable::MemTable() : table_(MemTableKeyComparator(), &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
+                   const Slice& value) {
+  // Layout: klen | internal_key | vlen | value.
+  const size_t key_size = key.size();
+  const size_t val_size = value.size();
+  const size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size + VarintLength(val_size) +
+                             val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  std::string tmp;
+  tmp.reserve(encoded_len);
+  PutVarint32(&tmp, static_cast<uint32_t>(internal_key_size));
+  tmp.append(key.data(), key_size);
+  PutFixed64(&tmp, PackSequenceAndType(seq, type));
+  PutVarint32(&tmp, static_cast<uint32_t>(val_size));
+  tmp.append(value.data(), val_size);
+  memcpy(buf, tmp.data(), encoded_len);
+  table_.Insert(buf);
+  empty_ = false;
+}
+
+bool MemTable::Get(const LookupKey& lkey, std::string* found_value,
+                   bool* is_deleted) {
+  SkipList<const char*, MemTableKeyComparator>::Iterator iter(&table_);
+  iter.Seek(lkey.memtable_key().data());
+  if (!iter.Valid()) return false;
+
+  // The seek landed at the first entry >= (user_key, seq). Verify the
+  // user key matches.
+  const char* entry = iter.key();
+  uint32_t klen = 0;
+  const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &klen);
+  const Slice found_user_key(key_ptr, klen - 8);
+  if (found_user_key != lkey.user_key()) return false;
+
+  const uint64_t tag = DecodeFixed64(key_ptr + klen - 8);
+  const ValueType type = static_cast<ValueType>(tag & 0xff);
+  if (type == kTypeDeletion) {
+    *is_deleted = true;
+    return true;
+  }
+  *is_deleted = false;
+  const Slice value = GetLengthPrefixed(key_ptr + klen);
+  found_value->assign(value.data(), value.size());
+  return true;
+}
+
+void MemTable::Iterator::Seek(const Slice& internal_key) {
+  seek_buf_.clear();
+  PutVarint32(&seek_buf_, static_cast<uint32_t>(internal_key.size()));
+  seek_buf_.append(internal_key.data(), internal_key.size());
+  iter_.Seek(seek_buf_.data());
+}
+
+Slice MemTable::Iterator::internal_key() const {
+  return GetLengthPrefixed(iter_.key());
+}
+
+Slice MemTable::Iterator::value() const {
+  const Slice k = internal_key();
+  return GetLengthPrefixed(k.data() + k.size());
+}
+
+}  // namespace railgun::storage

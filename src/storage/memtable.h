@@ -1,0 +1,67 @@
+// In-memory sorted buffer of recent writes for one column family, backed
+// by an arena-allocated skip list over internal keys.
+#ifndef RAILGUN_STORAGE_MEMTABLE_H_
+#define RAILGUN_STORAGE_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/arena.h"
+#include "storage/dbformat.h"
+#include "storage/skiplist.h"
+
+namespace railgun::storage {
+
+// Compares length-prefixed internal keys stored in the skip list.
+class MemTableKeyComparator {
+ public:
+  int operator()(const char* a, const char* b) const;
+};
+
+class MemTable {
+ public:
+  MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If the user key exists: returns true and sets *found_value /
+  // *is_deleted. Returns false if the memtable has no entry for the key.
+  bool Get(const LookupKey& lkey, std::string* found_value, bool* is_deleted);
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  bool Empty() const { return empty_; }
+
+  // Iterates entries in internal-key order. Entry layout in the skip
+  // list: klen (varint32) internal_key vlen (varint32) value.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mem) : iter_(&mem->table_) {}
+
+    bool Valid() const { return iter_.Valid(); }
+    void SeekToFirst() { iter_.SeekToFirst(); }
+    void Seek(const Slice& internal_key);
+    void Next() { iter_.Next(); }
+    Slice internal_key() const;
+    Slice value() const;
+
+   private:
+    std::string seek_buf_;
+    SkipList<const char*, MemTableKeyComparator>::Iterator iter_;
+  };
+
+ private:
+  friend class Iterator;
+
+  Arena arena_;
+  SkipList<const char*, MemTableKeyComparator> table_;
+  bool empty_ = true;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_MEMTABLE_H_

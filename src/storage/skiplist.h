@@ -1,0 +1,178 @@
+// Skip list used by the memtable. Single-writer / multi-reader safe in
+// Railgun because each task processor owns its store exclusively, but
+// node publication still uses release stores for safety under readers.
+#ifndef RAILGUN_STORAGE_SKIPLIST_H_
+#define RAILGUN_STORAGE_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/random.h"
+#include "storage/arena.h"
+
+namespace railgun::storage {
+
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(Key(), kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // REQUIRES: nothing equal to key is currently in the list.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, prev);
+    assert(x == nullptr || !Equal(key, x->key));
+    (void)x;
+
+    const int height = RandomHeight();
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; ++i) prev[i] = head_;
+      max_height_.store(height, std::memory_order_relaxed);
+    }
+
+    Node* node = NewNode(key, height);
+    for (int i = 0; i < height; ++i) {
+      node->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, node);
+    }
+  }
+
+  bool Contains(const Key& key) const {
+    Node* x = FindGreaterOrEqual(key, nullptr);
+    return x != nullptr && Equal(key, x->key);
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+    Key const key;
+
+    Node* Next(int n) const {
+      return next_[n].load(std::memory_order_acquire);
+    }
+    void SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_release);
+    }
+
+    // Variable-length tail; next_[0] is level 0.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.OneIn(4)) ++height;
+    return height;
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  bool Equal(const Key& a, const Key& b) const {
+    return compare_(a, b) == 0;
+  }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Node* FindLessThan(const Key& key) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (level == 0) return x;
+        --level;
+      }
+    }
+  }
+
+  Node* FindLast() const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    while (true) {
+      Node* next = x->Next(level);
+      if (next != nullptr) {
+        x = next;
+      } else {
+        if (level == 0) return x;
+        --level;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Random64 rnd_;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_SKIPLIST_H_

@@ -1,0 +1,74 @@
+// Read side of an SSTable: index lookup + block fetch with an LRU-free
+// simple per-table block cache (tables are small in the state store; the
+// index is kept resident and data blocks are cached by offset).
+#ifndef RAILGUN_STORAGE_TABLE_H_
+#define RAILGUN_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/table_format.h"
+
+namespace railgun::storage {
+
+class Table {
+ public:
+  // Opens a table over the given file (takes ownership).
+  static Status Open(std::unique_ptr<RandomAccessFile> file,
+                     std::unique_ptr<Table>* table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Point lookup: finds the first entry with internal key >= target and
+  // invokes the callback-free result contract below.
+  // Returns NotFound if no entry in this table can match.
+  Status InternalGet(const Slice& target_internal_key,
+                     std::string* found_internal_key,
+                     std::string* found_value);
+
+  // Forward iterator over all entries.
+  class Iterator {
+   public:
+    explicit Iterator(Table* table);
+
+    bool Valid() const;
+    void SeekToFirst();
+    void Seek(const Slice& internal_key);
+    void Next();
+    Slice key() const;
+    Slice value() const;
+    Status status() const { return status_; }
+
+   private:
+    void InitDataBlock();
+    void SkipEmptyBlocks();
+
+    Table* table_;
+    std::unique_ptr<Block::Iter> index_iter_;
+    std::shared_ptr<Block> data_block_;
+    std::unique_ptr<Block::Iter> data_iter_;
+    Status status_;
+  };
+
+ private:
+  Table() = default;
+
+  Status ReadDataBlock(const Slice& index_value,
+                       std::shared_ptr<Block>* block);
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<Block> index_block_;
+  // Tiny cache keyed by block offset.
+  std::map<uint64_t, std::shared_ptr<Block>> block_cache_;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_TABLE_H_

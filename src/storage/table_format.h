@@ -1,0 +1,55 @@
+// SSTable physical layout:
+//
+//   [data block + trailer]*
+//   [index block + trailer]
+//   footer (fixed size, at file end)
+//
+// Block trailer: compression type (1 byte) + masked CRC32C (4 bytes) of
+// the compressed payload. Footer: index BlockHandle (offset, size as
+// varint64s, zero-padded) + magic number.
+#ifndef RAILGUN_STORAGE_TABLE_FORMAT_H_
+#define RAILGUN_STORAGE_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/env.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace railgun::storage {
+
+enum CompressionType : uint8_t {
+  kNoCompression = 0,
+  kLzCompression = 1,
+};
+
+constexpr uint64_t kTableMagicNumber = 0x7261696c67756e21ull;  // "railgun!"
+constexpr size_t kBlockTrailerSize = 5;  // type (1) + crc (4)
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+};
+
+struct Footer {
+  BlockHandle index_handle;
+
+  // 10 + 10 varint bytes padded + 8 magic.
+  static constexpr size_t kEncodedLength = 28;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+};
+
+// Reads a block (verifying its trailer CRC, decompressing if needed) into
+// *contents.
+Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
+                         std::string* contents);
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_TABLE_FORMAT_H_

@@ -1,0 +1,244 @@
+#include "storage/version.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace railgun::storage {
+
+std::string SstFileName(const std::string& dbname, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06" PRIu64 ".sst", number);
+  return dbname + buf;
+}
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06" PRIu64 ".log", number);
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string VersionSet::ManifestPath(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/MANIFEST-%06" PRIu64, number);
+  return dbname_ + buf;
+}
+
+uint64_t ColumnFamilyMeta::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels[level]) total += f.file_size;
+  return total;
+}
+
+std::vector<const FileMetaData*> ColumnFamilyMeta::OverlappingFiles(
+    int level, const Slice& smallest_user_key,
+    const Slice& largest_user_key) const {
+  std::vector<const FileMetaData*> result;
+  for (const auto& f : levels[level]) {
+    const Slice file_smallest = ExtractUserKey(Slice(f.smallest));
+    const Slice file_largest = ExtractUserKey(Slice(f.largest));
+    if (!smallest_user_key.empty() &&
+        file_largest.compare(smallest_user_key) < 0) {
+      continue;
+    }
+    if (!largest_user_key.empty() &&
+        file_smallest.compare(largest_user_key) > 0) {
+      continue;
+    }
+    result.push_back(&f);
+  }
+  return result;
+}
+
+VersionSet::VersionSet(Env* env, std::string dbname)
+    : env_(env), dbname_(std::move(dbname)) {}
+
+Status VersionSet::Recover(bool create_if_missing) {
+  const std::string current = CurrentFileName(dbname_);
+  if (!env_->FileExists(current)) {
+    if (!create_if_missing) {
+      return Status::NotFound("database does not exist: " + dbname_);
+    }
+    RAILGUN_RETURN_IF_ERROR(env_->CreateDir(dbname_));
+    // Fresh database: default column family, first manifest.
+    ColumnFamilyMeta def;
+    def.id = 0;
+    def.name = "default";
+    families_[0] = std::move(def);
+    return LogAndApply();
+  }
+
+  std::string manifest_name;
+  RAILGUN_RETURN_IF_ERROR(ReadFileToString(env_, current, &manifest_name));
+  while (!manifest_name.empty() &&
+         (manifest_name.back() == '\n' || manifest_name.back() == '\r')) {
+    manifest_name.pop_back();
+  }
+  return ReadSnapshot(dbname_ + "/" + manifest_name);
+}
+
+Status VersionSet::LogAndApply() {
+  const uint64_t manifest_number = next_file_number_++;
+  RAILGUN_RETURN_IF_ERROR(WriteSnapshot(manifest_number));
+
+  // Point CURRENT at the new manifest atomically.
+  char buf[40];
+  snprintf(buf, sizeof(buf), "MANIFEST-%06" PRIu64 "\n", manifest_number);
+  const std::string tmp = dbname_ + "/CURRENT.tmp";
+  RAILGUN_RETURN_IF_ERROR(WriteStringToFile(env_, buf, tmp, /*sync=*/true));
+  RAILGUN_RETURN_IF_ERROR(env_->RenameFile(tmp, CurrentFileName(dbname_)));
+
+  // Garbage-collect older manifests.
+  std::vector<std::string> children;
+  if (env_->ListDir(dbname_, &children).ok()) {
+    char keep[40];
+    snprintf(keep, sizeof(keep), "MANIFEST-%06" PRIu64, manifest_number);
+    for (const auto& child : children) {
+      if (child.rfind("MANIFEST-", 0) == 0 && child != keep) {
+        env_->RemoveFile(dbname_ + "/" + child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VersionSet::WriteSnapshot(uint64_t manifest_number) {
+  std::string rep;
+  PutVarint64(&rep, next_file_number_);
+  PutVarint64(&rep, last_sequence_);
+  PutVarint64(&rep, log_number_);
+  PutVarint32(&rep, next_cf_id_);
+  PutVarint32(&rep, static_cast<uint32_t>(families_.size()));
+  for (const auto& [id, cf] : families_) {
+    PutVarint32(&rep, id);
+    PutLengthPrefixedSlice(&rep, cf.name);
+    for (int level = 0; level < kNumLevels; ++level) {
+      PutVarint32(&rep, static_cast<uint32_t>(cf.levels[level].size()));
+      for (const auto& f : cf.levels[level]) {
+        PutVarint64(&rep, f.number);
+        PutVarint64(&rep, f.file_size);
+        PutLengthPrefixedSlice(&rep, f.smallest);
+        PutLengthPrefixedSlice(&rep, f.largest);
+      }
+    }
+  }
+  return WriteStringToFile(env_, rep, ManifestPath(manifest_number),
+                           /*sync=*/true);
+}
+
+Status VersionSet::ReadSnapshot(const std::string& path) {
+  std::string rep;
+  RAILGUN_RETURN_IF_ERROR(ReadFileToString(env_, path, &rep));
+  Slice input(rep);
+
+  uint64_t last_seq;
+  uint32_t num_families;
+  if (!GetVarint64(&input, &next_file_number_) ||
+      !GetVarint64(&input, &last_seq) ||
+      !GetVarint64(&input, &log_number_) ||
+      !GetVarint32(&input, &next_cf_id_) ||
+      !GetVarint32(&input, &num_families)) {
+    return Status::Corruption("bad manifest header");
+  }
+  last_sequence_ = last_seq;
+
+  families_.clear();
+  for (uint32_t i = 0; i < num_families; ++i) {
+    ColumnFamilyMeta cf;
+    Slice name;
+    if (!GetVarint32(&input, &cf.id) ||
+        !GetLengthPrefixedSlice(&input, &name)) {
+      return Status::Corruption("bad manifest family");
+    }
+    cf.name = name.ToString();
+    for (int level = 0; level < kNumLevels; ++level) {
+      uint32_t num_files;
+      if (!GetVarint32(&input, &num_files)) {
+        return Status::Corruption("bad manifest level");
+      }
+      for (uint32_t j = 0; j < num_files; ++j) {
+        FileMetaData meta;
+        Slice smallest, largest;
+        if (!GetVarint64(&input, &meta.number) ||
+            !GetVarint64(&input, &meta.file_size) ||
+            !GetLengthPrefixedSlice(&input, &smallest) ||
+            !GetLengthPrefixedSlice(&input, &largest)) {
+          return Status::Corruption("bad manifest file entry");
+        }
+        meta.smallest = smallest.ToString();
+        meta.largest = largest.ToString();
+        cf.levels[level].push_back(std::move(meta));
+      }
+    }
+    const uint32_t id = cf.id;
+    families_[id] = std::move(cf);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint32_t> VersionSet::CreateColumnFamily(const std::string& name) {
+  if (FindFamilyByName(name) != nullptr) {
+    return Status::AlreadyExists("column family exists: " + name);
+  }
+  const uint32_t id = next_cf_id_++;
+  ColumnFamilyMeta cf;
+  cf.id = id;
+  cf.name = name;
+  families_[id] = std::move(cf);
+  RAILGUN_RETURN_IF_ERROR(LogAndApply());
+  return id;
+}
+
+ColumnFamilyMeta* VersionSet::GetFamily(uint32_t id) {
+  auto it = families_.find(id);
+  return it == families_.end() ? nullptr : &it->second;
+}
+
+const ColumnFamilyMeta* VersionSet::FindFamilyByName(
+    const std::string& name) const {
+  for (const auto& [id, cf] : families_) {
+    if (cf.name == name) return &cf;
+  }
+  return nullptr;
+}
+
+void VersionSet::AddFile(uint32_t cf_id, int level, FileMetaData meta) {
+  auto* cf = GetFamily(cf_id);
+  cf->levels[level].push_back(std::move(meta));
+  if (level > 0) {
+    // Non-L0 levels stay sorted by smallest key and non-overlapping.
+    std::sort(cf->levels[level].begin(), cf->levels[level].end(),
+              [](const FileMetaData& a, const FileMetaData& b) {
+                return InternalKeyComparator().Compare(
+                           Slice(a.smallest), Slice(b.smallest)) < 0;
+              });
+  }
+}
+
+void VersionSet::RemoveFile(uint32_t cf_id, int level, uint64_t number) {
+  auto* cf = GetFamily(cf_id);
+  auto& files = cf->levels[level];
+  files.erase(std::remove_if(files.begin(), files.end(),
+                             [number](const FileMetaData& f) {
+                               return f.number == number;
+                             }),
+              files.end());
+}
+
+std::vector<uint64_t> VersionSet::LiveFiles() const {
+  std::vector<uint64_t> live;
+  for (const auto& [id, cf] : families_) {
+    for (const auto& level : cf.levels) {
+      for (const auto& f : level) live.push_back(f.number);
+    }
+  }
+  return live;
+}
+
+}  // namespace railgun::storage

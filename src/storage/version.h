@@ -1,0 +1,102 @@
+// Version state of the LSM tree: per-column-family leveled file lists,
+// persisted as full-snapshot manifests (MANIFEST-N + CURRENT pointer).
+// Full-snapshot manifests trade write amplification for simplicity; the
+// state store's table counts are small enough that this is negligible.
+#ifndef RAILGUN_STORAGE_VERSION_H_
+#define RAILGUN_STORAGE_VERSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+
+namespace railgun::storage {
+
+constexpr int kNumLevels = 7;
+
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // Smallest internal key.
+  std::string largest;   // Largest internal key.
+};
+
+struct ColumnFamilyMeta {
+  uint32_t id = 0;
+  std::string name;
+  std::vector<std::vector<FileMetaData>> levels{
+      static_cast<size_t>(kNumLevels)};
+
+  // Total bytes at a level.
+  uint64_t LevelBytes(int level) const;
+  // Files in [smallest_user_key, largest_user_key] at a level.
+  std::vector<const FileMetaData*> OverlappingFiles(
+      int level, const Slice& smallest_user_key,
+      const Slice& largest_user_key) const;
+};
+
+// VersionSet owns the durable metadata: column families, file lists,
+// next file number and last sequence number.
+class VersionSet {
+ public:
+  VersionSet(Env* env, std::string dbname);
+
+  // Loads CURRENT -> MANIFEST, or initializes a fresh database with the
+  // default column family.
+  Status Recover(bool create_if_missing);
+
+  // Writes a new manifest snapshot and repoints CURRENT.
+  Status LogAndApply();
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t next_file_number() const { return next_file_number_; }
+
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+
+  uint64_t log_number() const { return log_number_; }
+  void SetLogNumber(uint64_t n) { log_number_ = n; }
+
+  // Column family registry.
+  StatusOr<uint32_t> CreateColumnFamily(const std::string& name);
+  const std::map<uint32_t, ColumnFamilyMeta>& families() const {
+    return families_;
+  }
+  ColumnFamilyMeta* GetFamily(uint32_t id);
+  const ColumnFamilyMeta* FindFamilyByName(const std::string& name) const;
+
+  // File bookkeeping helpers used by flush/compaction.
+  void AddFile(uint32_t cf_id, int level, FileMetaData meta);
+  void RemoveFile(uint32_t cf_id, int level, uint64_t number);
+
+  // All live SST file numbers across families (for GC and checkpoints).
+  std::vector<uint64_t> LiveFiles() const;
+
+  std::string ManifestPath(uint64_t number) const;
+
+ private:
+  Status WriteSnapshot(uint64_t manifest_number);
+  Status ReadSnapshot(const std::string& path);
+
+  Env* env_;
+  std::string dbname_;
+  uint64_t next_file_number_ = 2;  // 1 is reserved for the first manifest.
+  uint64_t log_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  uint32_t next_cf_id_ = 1;  // 0 = default CF.
+  std::map<uint32_t, ColumnFamilyMeta> families_;
+};
+
+// File name helpers.
+std::string SstFileName(const std::string& dbname, uint64_t number);
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_VERSION_H_

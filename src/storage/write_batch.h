@@ -1,0 +1,54 @@
+// A WriteBatch groups updates (possibly across column families) that are
+// applied atomically: one WAL record, then memtable inserts.
+//
+// Serialized layout:
+//   sequence (fixed64) | count (fixed32) | record*
+//   record := kTypeValue    cf (varint32) key (lp) value (lp)
+//           | kTypeDeletion cf (varint32) key (lp)
+#ifndef RAILGUN_STORAGE_WRITE_BATCH_H_
+#define RAILGUN_STORAGE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+
+namespace railgun::storage {
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(uint32_t cf_id, const Slice& key, const Slice& value);
+  void Delete(uint32_t cf_id, const Slice& key);
+  void Clear();
+
+  int Count() const;
+  size_t ByteSize() const { return rep_.size(); }
+
+  // Applies every record in order through the handler.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(uint32_t cf_id, const Slice& key, const Slice& value) = 0;
+    virtual void Delete(uint32_t cf_id, const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  SequenceNumber Sequence() const;
+  void SetSequence(SequenceNumber seq);
+
+  const std::string& rep() const { return rep_; }
+  void SetRep(std::string rep) { rep_ = std::move(rep); }
+
+ private:
+  void SetCount(int n);
+
+  std::string rep_;
+};
+
+}  // namespace railgun::storage
+
+#endif  // RAILGUN_STORAGE_WRITE_BATCH_H_

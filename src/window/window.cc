@@ -1,0 +1,55 @@
+#include "window/window.h"
+
+#include <cstdio>
+
+namespace railgun::window {
+
+namespace {
+std::string FormatMicros(Micros us) {
+  char buf[40];
+  if (us % kMicrosPerDay == 0 && us != 0) {
+    snprintf(buf, sizeof(buf), "%lldd", static_cast<long long>(us / kMicrosPerDay));
+  } else if (us % kMicrosPerHour == 0 && us != 0) {
+    snprintf(buf, sizeof(buf), "%lldh", static_cast<long long>(us / kMicrosPerHour));
+  } else if (us % kMicrosPerMinute == 0 && us != 0) {
+    snprintf(buf, sizeof(buf), "%lldm", static_cast<long long>(us / kMicrosPerMinute));
+  } else if (us % kMicrosPerSecond == 0) {
+    snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us / kMicrosPerSecond));
+  } else if (us % kMicrosPerMilli == 0) {
+    snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us / kMicrosPerMilli));
+  } else {
+    snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string WindowSpec::ToString() const {
+  std::string result;
+  switch (kind) {
+    case WindowKind::kSliding:
+      result = "sliding " + FormatMicros(size);
+      break;
+    case WindowKind::kTumbling:
+      result = "tumbling " + FormatMicros(size);
+      break;
+    case WindowKind::kInfinite:
+      result = "infinite";
+      break;
+    case WindowKind::kCountSliding:
+      result = "sliding " + std::to_string(count) + " events";
+      break;
+  }
+  if (delay > 0) result += " delayed by " + FormatMicros(delay);
+  return result;
+}
+
+std::string WindowSpec::Key() const {
+  char buf[80];
+  snprintf(buf, sizeof(buf), "w:%d:%lld:%llu:%lld", static_cast<int>(kind),
+           static_cast<long long>(size), static_cast<unsigned long long>(count),
+           static_cast<long long>(delay));
+  return buf;
+}
+
+}  // namespace railgun::window

@@ -1,0 +1,106 @@
+// WindowOperator advances a window over the reservoir for every arriving
+// event (real-time sliding: T_eval is the moment right after arrival) and
+// reports the entering / expiring event sets to downstream operators.
+//
+// Iterator sharing (paper §4.1.1: "we reuse iterators among windows"):
+// windows whose leading edges align (same delay) share one head
+// iterator, and windows whose trailing edges align (same delay + size)
+// share one tail iterator. WindowManager drains every shared iterator
+// exactly once per arriving event and *broadcasts* the drained events to
+// all windows subscribed to that edge.
+#ifndef RAILGUN_WINDOW_WINDOW_OPERATOR_H_
+#define RAILGUN_WINDOW_WINDOW_OPERATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reservoir/reservoir.h"
+#include "window/window.h"
+
+namespace railgun::window {
+
+// One advancement step's output for one window. Entered/expired point
+// into the EdgeDeltas storage (or `owned`) and are valid until the next
+// WindowManager::Advance — the plan consumes them within the same step.
+struct WindowDelta {
+  std::vector<const reservoir::Event*> entered;
+  std::vector<const reservoir::Event*> expired;
+  // Backing storage for events not owned by EdgeDeltas (count-window
+  // tails drain a private iterator).
+  std::vector<reservoir::Event> owned;
+  // Tumbling windows: set when the window rolled over; downstream
+  // aggregation state must reset before applying `entered`.
+  bool reset = false;
+  // Epoch identifying the tumbling window instance (window start time).
+  Micros epoch = 0;
+};
+
+// Drained edge events per arriving event, keyed by edge offset.
+struct EdgeDeltas {
+  std::map<Micros, std::vector<reservoir::Event>> entered_by_offset;
+  std::map<Micros, std::vector<reservoir::Event>> expired_by_offset;
+};
+
+class WindowOperator;
+
+// Owns the window operators of one task plan plus the shared edge
+// iterators, and drives them per arriving event.
+class WindowManager {
+ public:
+  explicit WindowManager(reservoir::Reservoir* reservoir)
+      : reservoir_(reservoir) {}
+
+  // Returns the operator for the spec, creating (and wiring shared
+  // iterators) if needed.
+  WindowOperator* GetOrCreate(const WindowSpec& spec);
+
+  // Advances all shared edges to the arrival timestamp `now` and fills
+  // the per-offset deltas consumed by WindowOperator::Collect.
+  void Advance(Micros now, EdgeDeltas* deltas);
+
+  size_t num_operators() const { return operators_.size(); }
+  // Distinct reservoir iterators in use (the Figure 9(b) x-axis).
+  size_t num_edge_iterators() const { return heads_.size() + tails_.size(); }
+
+  // Serializes / restores the position of every edge iterator (used by
+  // checkpointing so recovered windows resume exactly where they were).
+  void SavePositions(std::string* blob) const;
+  Status RestorePositions(const std::string& blob);
+
+ private:
+  friend class WindowOperator;
+
+  reservoir::Reservoir* reservoir_;
+  std::map<std::string, std::unique_ptr<WindowOperator>> operators_;
+  // Shared head/tail iterators keyed by edge offset.
+  std::map<Micros, std::unique_ptr<reservoir::ReservoirIterator>> heads_;
+  std::map<Micros, std::unique_ptr<reservoir::ReservoirIterator>> tails_;
+};
+
+class WindowOperator {
+ public:
+  WindowOperator(WindowSpec spec, reservoir::Reservoir* reservoir);
+
+  const WindowSpec& spec() const { return spec_; }
+
+  // Extracts this window's delta for the evaluation at `now` from the
+  // shared edge deltas.
+  void Collect(Micros now, const EdgeDeltas& deltas, WindowDelta* out);
+
+ private:
+  friend class WindowManager;
+
+  WindowSpec spec_;
+  reservoir::Reservoir* reservoir_;
+  // Tumbling state.
+  Micros current_epoch_ = -1;
+  // Count-window state: its tail is count-driven, so it cannot share.
+  std::unique_ptr<reservoir::ReservoirIterator> count_tail_;
+  uint64_t in_window_ = 0;
+};
+
+}  // namespace railgun::window
+
+#endif  // RAILGUN_WINDOW_WINDOW_OPERATOR_H_

@@ -1,0 +1,72 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+namespace railgun::workload {
+
+using reservoir::FieldType;
+using reservoir::FieldValue;
+
+FraudStreamGenerator::FraudStreamGenerator(const FraudStreamConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      card_sampler_(config.num_cards, config.zipf_theta, config.seed + 1),
+      merchant_sampler_(config.num_merchants, config.zipf_theta,
+                        config.seed + 2) {
+  fields_.push_back({"cardId", FieldType::kString});
+  fields_.push_back({"merchantId", FieldType::kString});
+  fields_.push_back({"amount", FieldType::kDouble});
+  for (int i = 3; i < config_.total_fields; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    switch (i % 4) {
+      case 0:
+        fields_.push_back({name, FieldType::kInt64});
+        break;
+      case 1:
+        fields_.push_back({name, FieldType::kDouble});
+        break;
+      case 2:
+        fields_.push_back({name, FieldType::kString});
+        break;
+      default:
+        fields_.push_back({name, FieldType::kBool});
+        break;
+    }
+  }
+}
+
+reservoir::Event FraudStreamGenerator::Next(Micros timestamp) {
+  reservoir::Event event;
+  event.timestamp = timestamp;
+  event.id = next_id_++;
+
+  event.values.reserve(fields_.size());
+  event.values.emplace_back("card" + std::to_string(card_sampler_.Next()));
+  event.values.emplace_back("merch" +
+                            std::to_string(merchant_sampler_.Next()));
+  // Log-normal-ish transaction amounts: most small, a heavy tail.
+  const double amount =
+      std::round(std::exp(rng_.NextGaussian(3.0, 1.2)) * 100.0) / 100.0;
+  event.values.emplace_back(amount);
+
+  for (size_t i = 3; i < fields_.size(); ++i) {
+    switch (fields_[i].type) {
+      case FieldType::kInt64:
+        event.values.emplace_back(
+            static_cast<int64_t>(rng_.Uniform(1000000)));
+        break;
+      case FieldType::kDouble:
+        event.values.emplace_back(rng_.NextDouble() * 1000.0);
+        break;
+      case FieldType::kString:
+        event.values.emplace_back("v" + std::to_string(rng_.Uniform(9999)));
+        break;
+      case FieldType::kBool:
+        event.values.emplace_back(rng_.OneIn(2));
+        break;
+    }
+  }
+  return event;
+}
+
+}  // namespace railgun::workload

@@ -1,0 +1,52 @@
+// Synthetic fraud-stream generator. Substitutes the paper's real client
+// dataset (§5): 103 fields, Zipf-skewed card/merchant cardinalities (the
+// properties the experiments actually exploit: aggregation-state
+// dictionary sizes and per-partition load imbalance).
+#ifndef RAILGUN_WORKLOAD_GENERATOR_H_
+#define RAILGUN_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "reservoir/event.h"
+
+namespace railgun::workload {
+
+struct FraudStreamConfig {
+  uint64_t num_cards = 100000;
+  uint64_t num_merchants = 5000;
+  double zipf_theta = 0.99;
+  // Total fields including cardId, merchantId, amount (paper: 103).
+  int total_fields = 103;
+  uint64_t seed = 42;
+};
+
+class FraudStreamGenerator {
+ public:
+  explicit FraudStreamGenerator(const FraudStreamConfig& config);
+
+  // Field 0 = cardId (string), 1 = merchantId (string),
+  // 2 = amount (double), 3.. = filler fields of mixed types.
+  const std::vector<reservoir::SchemaField>& schema_fields() const {
+    return fields_;
+  }
+
+  // Generates the next event with the given timestamp. Event ids are
+  // sequential and unique.
+  reservoir::Event Next(Micros timestamp);
+
+ private:
+  FraudStreamConfig config_;
+  std::vector<reservoir::SchemaField> fields_;
+  Random64 rng_;
+  ZipfGenerator card_sampler_;
+  ZipfGenerator merchant_sampler_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace railgun::workload
+
+#endif  // RAILGUN_WORKLOAD_GENERATOR_H_

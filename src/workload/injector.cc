@@ -1,0 +1,64 @@
+#include "workload/injector.h"
+
+#include <memory>
+#include <mutex>
+
+namespace railgun::workload {
+
+Status OpenLoopInjector::Run(FraudStreamGenerator* generator,
+                             const SubmitFn& submit,
+                             InjectorReport* report) {
+  const Micros interval =
+      static_cast<Micros>(1e6 / options_.events_per_second);
+
+  struct Shared {
+    std::mutex mu;
+    LatencyHistogram hist;
+    uint64_t completed = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  const Micros start = clock_->NowMicros();
+  uint64_t submitted = 0;
+
+  for (uint64_t i = 0; i < options_.total_events; ++i) {
+    const Micros scheduled = start + static_cast<Micros>(i) * interval;
+    const Micros now = clock_->NowMicros();
+    if (scheduled > now) clock_->SleepMicros(scheduled - now);
+
+    reservoir::Event event = generator->Next(scheduled);
+    const bool measured = i >= options_.warmup_events;
+    Clock* clock = clock_;
+    auto done = [shared, scheduled, measured, clock]() {
+      const Micros latency = clock->NowMicros() - scheduled;
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (measured) shared->hist.Record(latency);
+      ++shared->completed;
+    };
+    RAILGUN_RETURN_IF_ERROR(submit(event, std::move(done)));
+    ++submitted;
+  }
+
+  // Drain stragglers.
+  const Micros drain_deadline =
+      clock_->NowMicros() + options_.completion_timeout;
+  while (clock_->NowMicros() < drain_deadline) {
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (shared->completed >= submitted) break;
+    }
+    clock_->SleepMicros(5000);
+  }
+
+  const Micros elapsed = clock_->NowMicros() - start;
+  std::lock_guard<std::mutex> lock(shared->mu);
+  report->latencies = shared->hist;
+  report->submitted = submitted;
+  report->completed = shared->completed;
+  report->timed_out = submitted - shared->completed;
+  report->achieved_rate =
+      elapsed > 0 ? submitted * 1e6 / static_cast<double>(elapsed) : 0;
+  return Status::OK();
+}
+
+}  // namespace railgun::workload

@@ -1,0 +1,61 @@
+// Open-loop injector (paper §5): events are submitted on a fixed
+// schedule derived from the target rate, and each latency is measured
+// against the *scheduled* send time — the standard correction for the
+// coordinated-omission problem the paper applies [26]. A slow system
+// therefore accumulates backlogged latency instead of silently slowing
+// the injector down.
+#ifndef RAILGUN_WORKLOAD_INJECTOR_H_
+#define RAILGUN_WORKLOAD_INJECTOR_H_
+
+#include <atomic>
+#include <functional>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "reservoir/event.h"
+#include "workload/generator.h"
+
+namespace railgun::workload {
+
+struct InjectorOptions {
+  double events_per_second = 500;
+  uint64_t total_events = 10000;
+  // Warmup events excluded from the histogram (paper: first 5 of 35
+  // minutes).
+  uint64_t warmup_events = 0;
+  Micros completion_timeout = 30 * kMicrosPerSecond;
+};
+
+struct InjectorReport {
+  LatencyHistogram latencies;  // Microseconds, CO-corrected by schedule.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t timed_out = 0;
+  double achieved_rate = 0;  // Submissions per second of wall time.
+};
+
+class OpenLoopInjector {
+ public:
+  // submit(event, done): submit one event; invoke done() exactly once
+  // when the system's reply arrives.
+  using SubmitFn = std::function<Status(
+      const reservoir::Event& event, std::function<void()> done)>;
+
+  OpenLoopInjector(const InjectorOptions& options, Clock* clock)
+      : options_(options), clock_(clock) {}
+
+  // Runs the schedule to completion and waits (bounded) for stragglers.
+  // Event timestamps advance in step with the schedule so event time and
+  // processing time share the same rate.
+  Status Run(FraudStreamGenerator* generator, const SubmitFn& submit,
+             InjectorReport* report);
+
+ private:
+  InjectorOptions options_;
+  Clock* clock_;
+};
+
+}  // namespace railgun::workload
+
+#endif  // RAILGUN_WORKLOAD_INJECTOR_H_

@@ -1,0 +1,283 @@
+// Tests for every aggregator (paper Fig. 4), including expiry semantics
+// and a property sweep comparing the incremental aggregators against
+// brute-force recomputation over a sliding window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "agg/aggregator.h"
+#include "common/random.h"
+#include "storage/db.h"
+
+namespace railgun::agg {
+namespace {
+
+using reservoir::Event;
+using reservoir::FieldValue;
+
+Event MakeEvent(uint64_t offset) {
+  Event e;
+  e.offset = offset;
+  e.id = offset;
+  e.timestamp = static_cast<Micros>(offset) * 1000;
+  return e;
+}
+
+double ResultOf(Aggregator* agg, const std::string& state) {
+  auto r = agg->Result(state);
+  EXPECT_TRUE(r.ok());
+  return r.value().ToNumber();
+}
+
+TEST(AggKindTest, ParseAllNames) {
+  EXPECT_EQ(ParseAggKind("count").value(), AggKind::kCount);
+  EXPECT_EQ(ParseAggKind("SUM").value(), AggKind::kSum);
+  EXPECT_EQ(ParseAggKind("Avg").value(), AggKind::kAvg);
+  EXPECT_EQ(ParseAggKind("stdDev").value(), AggKind::kStdDev);
+  EXPECT_EQ(ParseAggKind("max").value(), AggKind::kMax);
+  EXPECT_EQ(ParseAggKind("min").value(), AggKind::kMin);
+  EXPECT_EQ(ParseAggKind("last").value(), AggKind::kLast);
+  EXPECT_EQ(ParseAggKind("prev").value(), AggKind::kPrev);
+  EXPECT_EQ(ParseAggKind("countDistinct").value(), AggKind::kCountDistinct);
+  EXPECT_FALSE(ParseAggKind("median").ok());
+}
+
+TEST(CountTest, EnterExpire) {
+  auto agg = Aggregator::Create(AggKind::kCount);
+  std::string state;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        agg->Enter(FieldValue(1.0), MakeEvent(i), &state, nullptr).ok());
+  }
+  EXPECT_EQ(ResultOf(agg.get(), state), 5);
+  ASSERT_TRUE(
+      agg->Expire(FieldValue(1.0), MakeEvent(0), &state, nullptr).ok());
+  EXPECT_EQ(ResultOf(agg.get(), state), 4);
+}
+
+TEST(SumTest, EnterExpireWithNegatives) {
+  auto agg = Aggregator::Create(AggKind::kSum);
+  std::string state;
+  ASSERT_TRUE(agg->Enter(FieldValue(10.5), MakeEvent(1), &state, nullptr).ok());
+  ASSERT_TRUE(agg->Enter(FieldValue(-3.25), MakeEvent(2), &state, nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), 7.25);
+  ASSERT_TRUE(agg->Expire(FieldValue(10.5), MakeEvent(1), &state, nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), -3.25);
+}
+
+TEST(AvgTest, TracksSumAndCount) {
+  auto agg = Aggregator::Create(AggKind::kAvg);
+  std::string state;
+  for (double v : {2.0, 4.0, 6.0}) {
+    ASSERT_TRUE(agg->Enter(FieldValue(v), MakeEvent(1), &state, nullptr).ok());
+  }
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), 4.0);
+  ASSERT_TRUE(agg->Expire(FieldValue(2.0), MakeEvent(1), &state, nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), 5.0);
+}
+
+TEST(AvgTest, EmptyWindowIsZero) {
+  auto agg = Aggregator::Create(AggKind::kAvg);
+  std::string state;
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), 0.0);
+  ASSERT_TRUE(agg->Enter(FieldValue(5.0), MakeEvent(1), &state, nullptr).ok());
+  ASSERT_TRUE(agg->Expire(FieldValue(5.0), MakeEvent(1), &state, nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(agg.get(), state), 0.0);
+}
+
+TEST(StdDevTest, MatchesClosedForm) {
+  auto agg = Aggregator::Create(AggKind::kStdDev);
+  std::string state;
+  const double values[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double v : values) {
+    ASSERT_TRUE(agg->Enter(FieldValue(v), MakeEvent(1), &state, nullptr).ok());
+  }
+  // Sample stddev of this classic set: sqrt(32/7).
+  EXPECT_NEAR(ResultOf(agg.get(), state), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(StdDevTest, ExpiryInvertsWelford) {
+  auto agg = Aggregator::Create(AggKind::kStdDev);
+  std::string state;
+  // Enter 1..6, expire 1: result equals stddev of 2..6.
+  for (int v = 1; v <= 6; ++v) {
+    ASSERT_TRUE(agg->Enter(FieldValue(static_cast<double>(v)), MakeEvent(1),
+                           &state, nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(agg->Expire(FieldValue(1.0), MakeEvent(1), &state, nullptr).ok());
+  // stddev({2,3,4,5,6}) = sqrt(10/4).
+  EXPECT_NEAR(ResultOf(agg.get(), state), std::sqrt(10.0 / 4.0), 1e-9);
+}
+
+TEST(MaxMinTest, MonotonicDequeExactUnderExpiry) {
+  auto max_agg = Aggregator::Create(AggKind::kMax);
+  auto min_agg = Aggregator::Create(AggKind::kMin);
+  std::string max_state, min_state;
+
+  const double values[] = {5, 3, 8, 1, 8, 2};
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(max_agg->Enter(FieldValue(values[i]), MakeEvent(i),
+                               &max_state, nullptr).ok());
+    ASSERT_TRUE(min_agg->Enter(FieldValue(values[i]), MakeEvent(i),
+                               &min_state, nullptr).ok());
+  }
+  EXPECT_DOUBLE_EQ(ResultOf(max_agg.get(), max_state), 8);
+  EXPECT_DOUBLE_EQ(ResultOf(min_agg.get(), min_state), 1);
+
+  // Expire events 0..3 (FIFO): window = {8, 2}.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(max_agg->Expire(FieldValue(values[i]), MakeEvent(i),
+                                &max_state, nullptr).ok());
+    ASSERT_TRUE(min_agg->Expire(FieldValue(values[i]), MakeEvent(i),
+                                &min_state, nullptr).ok());
+  }
+  EXPECT_DOUBLE_EQ(ResultOf(max_agg.get(), max_state), 8);
+  EXPECT_DOUBLE_EQ(ResultOf(min_agg.get(), min_state), 2);
+}
+
+TEST(LastPrevTest, TracksRecency) {
+  auto last_agg = Aggregator::Create(AggKind::kLast);
+  auto prev_agg = Aggregator::Create(AggKind::kPrev);
+  std::string last_state, prev_state;
+
+  ASSERT_TRUE(last_agg->Enter(FieldValue(1.0), MakeEvent(1), &last_state,
+                              nullptr).ok());
+  ASSERT_TRUE(prev_agg->Enter(FieldValue(1.0), MakeEvent(1), &prev_state,
+                              nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(last_agg.get(), last_state), 1.0);
+  EXPECT_DOUBLE_EQ(ResultOf(prev_agg.get(), prev_state), 0.0);  // No prev yet.
+
+  ASSERT_TRUE(last_agg->Enter(FieldValue(2.0), MakeEvent(2), &last_state,
+                              nullptr).ok());
+  ASSERT_TRUE(prev_agg->Enter(FieldValue(2.0), MakeEvent(2), &prev_state,
+                              nullptr).ok());
+  EXPECT_DOUBLE_EQ(ResultOf(last_agg.get(), last_state), 2.0);
+  EXPECT_DOUBLE_EQ(ResultOf(prev_agg.get(), prev_state), 1.0);
+}
+
+class CountDistinctTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(storage::DestroyDB("/tmp/railgun_agg_cd_test").ok());
+    storage::DBOptions options;
+    ASSERT_TRUE(
+        storage::DB::Open(options, "/tmp/railgun_agg_cd_test", &db_).ok());
+    auto cf = db_->CreateColumnFamily("aux");
+    ASSERT_TRUE(cf.ok());
+    ctx_.db = db_.get();
+    ctx_.aux_cf = cf.value();
+    ctx_.aux_key_prefix = "m1|card9|";
+  }
+  std::unique_ptr<storage::DB> db_;
+  AggContext ctx_;
+};
+
+TEST_F(CountDistinctTest, CountsDistinctWithRefCounts) {
+  auto agg = Aggregator::Create(AggKind::kCountDistinct);
+  std::string state;
+  // addr1, addr2, addr1 => 2 distinct.
+  ASSERT_TRUE(agg->Enter(FieldValue("addr1"), MakeEvent(1), &state, &ctx_).ok());
+  ASSERT_TRUE(agg->Enter(FieldValue("addr2"), MakeEvent(2), &state, &ctx_).ok());
+  ASSERT_TRUE(agg->Enter(FieldValue("addr1"), MakeEvent(3), &state, &ctx_).ok());
+  EXPECT_EQ(ResultOf(agg.get(), state), 2);
+
+  // Expire one addr1: still 2 distinct (refcount 1 left).
+  ASSERT_TRUE(agg->Expire(FieldValue("addr1"), MakeEvent(1), &state, &ctx_).ok());
+  EXPECT_EQ(ResultOf(agg.get(), state), 2);
+  // Expire the second addr1: down to 1.
+  ASSERT_TRUE(agg->Expire(FieldValue("addr1"), MakeEvent(3), &state, &ctx_).ok());
+  EXPECT_EQ(ResultOf(agg.get(), state), 1);
+}
+
+TEST_F(CountDistinctTest, RequiresContext) {
+  auto agg = Aggregator::Create(AggKind::kCountDistinct);
+  std::string state;
+  EXPECT_FALSE(
+      agg->Enter(FieldValue("x"), MakeEvent(1), &state, nullptr).ok());
+}
+
+// Property sweep: every aggregator matches brute-force recomputation
+// over a sliding count-window of random data.
+class AggPropertyTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(AggPropertyTest, MatchesBruteForceUnderSlidingWindow) {
+  const AggKind kind = GetParam();
+  auto agg = Aggregator::Create(kind);
+  std::string state;
+  Random64 rng(static_cast<uint64_t>(kind) + 100);
+
+  std::deque<std::pair<uint64_t, double>> window;  // (offset, value)
+  const size_t window_size = 20;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const double v = std::floor(rng.NextDouble() * 100) / 4.0;
+    ASSERT_TRUE(
+        agg->Enter(FieldValue(v), MakeEvent(i), &state, nullptr).ok());
+    window.push_back({i, v});
+    if (window.size() > window_size) {
+      auto [off, old] = window.front();
+      window.pop_front();
+      ASSERT_TRUE(
+          agg->Expire(FieldValue(old), MakeEvent(off), &state, nullptr).ok());
+    }
+
+    // Brute force over the window contents.
+    double expected = 0;
+    switch (kind) {
+      case AggKind::kCount:
+        expected = static_cast<double>(window.size());
+        break;
+      case AggKind::kSum:
+        for (auto& [o, x] : window) expected += x;
+        break;
+      case AggKind::kAvg: {
+        double sum = 0;
+        for (auto& [o, x] : window) sum += x;
+        expected = sum / static_cast<double>(window.size());
+        break;
+      }
+      case AggKind::kMax: {
+        expected = window.front().second;
+        for (auto& [o, x] : window) expected = std::max(expected, x);
+        break;
+      }
+      case AggKind::kMin: {
+        expected = window.front().second;
+        for (auto& [o, x] : window) expected = std::min(expected, x);
+        break;
+      }
+      case AggKind::kStdDev: {
+        if (window.size() < 2) {
+          expected = 0;
+        } else {
+          double mean = 0;
+          for (auto& [o, x] : window) mean += x;
+          mean /= static_cast<double>(window.size());
+          double m2 = 0;
+          for (auto& [o, x] : window) m2 += (x - mean) * (x - mean);
+          expected = std::sqrt(m2 / static_cast<double>(window.size() - 1));
+        }
+        break;
+      }
+      case AggKind::kLast:
+        expected = window.back().second;
+        break;
+      default:
+        return;  // prev / countDistinct covered elsewhere.
+    }
+    ASSERT_NEAR(ResultOf(agg.get(), state), expected, 1e-6)
+        << AggKindName(kind) << " diverged at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggPropertyTest,
+                         ::testing::Values(AggKind::kCount, AggKind::kSum,
+                                           AggKind::kAvg, AggKind::kStdDev,
+                                           AggKind::kMax, AggKind::kMin,
+                                           AggKind::kLast));
+
+}  // namespace
+}  // namespace railgun::agg

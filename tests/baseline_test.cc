@@ -1,0 +1,141 @@
+// Tests for the hopping-window and quadratic baselines, including the
+// paper's central accuracy argument: hopping windows miss bursts that a
+// true sliding window catches (Figure 1), regardless of hop size.
+#include <gtest/gtest.h>
+
+#include "baseline/hopping_engine.h"
+#include "storage/db.h"
+
+namespace railgun::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(storage::DestroyDB("/tmp/railgun_baseline_test").ok());
+    storage::DBOptions options;
+    ASSERT_TRUE(
+        storage::DB::Open(options, "/tmp/railgun_baseline_test", &db_).ok());
+  }
+  std::unique_ptr<storage::DB> db_;
+};
+
+TEST_F(BaselineTest, HoppingStateCountMatchesRatio) {
+  HoppingOptions options;
+  options.window_size = 60 * kMicrosPerMinute;
+  options.hop = 5 * kMicrosPerMinute;
+  HoppingEngine engine(options, db_.get());
+  EXPECT_EQ(engine.states_per_event(), 12);
+
+  options.hop = kMicrosPerSecond;
+  HoppingEngine fine(options, db_.get());
+  EXPECT_EQ(fine.states_per_event(), 3600);
+}
+
+TEST_F(BaselineTest, HoppingCountsWithinOneWindowInstance) {
+  HoppingOptions options;
+  options.window_size = 5 * kMicrosPerMinute;
+  options.hop = kMicrosPerMinute;
+  HoppingEngine engine(options, db_.get());
+
+  // Events well inside one window instance: counts accumulate.
+  BaselineResult result;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine
+                    .ProcessEvent("card1",
+                                  10 * kMicrosPerSecond +
+                                      i * kMicrosPerSecond,
+                                  1.0, &result)
+                    .ok());
+  }
+  EXPECT_EQ(result.count, 4);
+  EXPECT_DOUBLE_EQ(result.sum, 4.0);
+}
+
+TEST_F(BaselineTest, Figure1HoppingMissesTheBurst) {
+  // The paper's Figure 1: five events within 4.5 minutes, placed
+  // strictly *between* hop boundaries (as drawn in the figure). The
+  // true 5-minute sliding window contains all five at the last arrival,
+  // but no 1-minute-hop instance does.
+  HoppingOptions options;
+  options.window_size = 5 * kMicrosPerMinute;
+  options.hop = kMicrosPerMinute;
+  HoppingEngine engine(options, db_.get());
+
+  const double minutes[] = {0.9, 1.9, 2.9, 3.9, 5.4};
+  BaselineResult result;
+  for (double m : minutes) {
+    ASSERT_TRUE(engine
+                    .ProcessEvent("card1",
+                                  static_cast<Micros>(m * kMicrosPerMinute),
+                                  1.0, &result)
+                    .ok());
+  }
+  // The rule "count in last 5 min > 4" should fire (5 events within
+  // 4.5 minutes) but hopping reports fewer.
+  EXPECT_LT(result.count, 5);
+}
+
+TEST_F(BaselineTest, QuadraticEngineIsAccurateOnTheFigure1Burst) {
+  QuadraticSlidingEngine engine(5 * kMicrosPerMinute, db_.get());
+  const double minutes[] = {0.9, 1.9, 2.9, 3.9, 5.4};
+  BaselineResult result;
+  for (double m : minutes) {
+    ASSERT_TRUE(engine
+                    .ProcessEvent("card1",
+                                  static_cast<Micros>(m * kMicrosPerMinute),
+                                  1.0, &result)
+                    .ok());
+  }
+  EXPECT_EQ(result.count, 5);  // Accurate, unlike hopping...
+  EXPECT_DOUBLE_EQ(result.sum, 5.0);
+}
+
+TEST_F(BaselineTest, QuadraticEngineExpiresOldEvents) {
+  QuadraticSlidingEngine engine(kMicrosPerMinute, db_.get());
+  BaselineResult result;
+  ASSERT_TRUE(engine.ProcessEvent("c", 0, 1.0, &result).ok());
+  ASSERT_TRUE(engine.ProcessEvent("c", 30 * kMicrosPerSecond, 1.0, &result)
+                  .ok());
+  EXPECT_EQ(result.count, 2);
+  // 90 s later: the first two are out of the 60 s window.
+  ASSERT_TRUE(engine.ProcessEvent("c", 120 * kMicrosPerSecond, 1.0, &result)
+                  .ok());
+  EXPECT_EQ(result.count, 1);
+}
+
+TEST_F(BaselineTest, KeysAreIndependent) {
+  HoppingOptions options;
+  options.window_size = 5 * kMicrosPerMinute;
+  options.hop = kMicrosPerMinute;
+  HoppingEngine engine(options, db_.get());
+  BaselineResult a, b;
+  ASSERT_TRUE(engine.ProcessEvent("cardA", 1000, 10.0, &a).ok());
+  ASSERT_TRUE(engine.ProcessEvent("cardB", 2000, 20.0, &b).ok());
+  EXPECT_DOUBLE_EQ(a.sum, 10.0);
+  EXPECT_DOUBLE_EQ(b.sum, 20.0);
+}
+
+// Property: per-event state-store writes scale linearly with ws/hop —
+// the structural cost the paper's Figure 8 measures.
+class HoppingCostTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HoppingCostTest, PerEventWorkScalesWithRatio) {
+  ASSERT_TRUE(storage::DestroyDB("/tmp/railgun_hopcost_test").ok());
+  std::unique_ptr<storage::DB> db;
+  ASSERT_TRUE(storage::DB::Open(storage::DBOptions(),
+                                "/tmp/railgun_hopcost_test", &db).ok());
+  HoppingOptions options;
+  options.window_size = 60 * kMicrosPerMinute;
+  options.hop = options.window_size / GetParam();
+  HoppingEngine engine(options, db.get());
+  EXPECT_EQ(engine.states_per_event(), GetParam());
+  BaselineResult result;
+  ASSERT_TRUE(engine.ProcessEvent("c", kMicrosPerHour, 1.0, &result).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, HoppingCostTest,
+                         ::testing::Values(6, 12, 60, 240, 720));
+
+}  // namespace
+}  // namespace railgun::baseline

@@ -1,0 +1,169 @@
+// Tests for the front-end layer in isolation: event routing to
+// partitioner topics, reply collection and completion, and the timeout
+// path for replies that never arrive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/frontend.h"
+
+namespace railgun::engine {
+namespace {
+
+using reservoir::Event;
+using reservoir::FieldType;
+using reservoir::FieldValue;
+
+StreamDef TwoPartitionerStream() {
+  StreamDef stream;
+  stream.name = "payments";
+  stream.fields = {{"cardId", FieldType::kString},
+                   {"merchantId", FieldType::kString},
+                   {"amount", FieldType::kDouble}};
+  stream.partitioners = {"cardId", "merchantId"};
+  stream.partitions_per_topic = 2;
+  return stream;
+}
+
+Event SampleEvent() {
+  Event e;
+  e.timestamp = 1000;
+  e.id = 1;
+  e.values = {FieldValue("card7"), FieldValue("m3"), FieldValue(5.0)};
+  return e;
+}
+
+class FrontEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    msg::BusOptions bus_options;
+    bus_options.delivery_delay = 0;
+    bus_.reset(new msg::MessageBus(bus_options));
+    FrontEndOptions options;
+    options.request_timeout = 300 * kMicrosPerMilli;
+    frontend_.reset(new FrontEnd(options, "nodeT", bus_.get(),
+                                 MonotonicClock::Default()));
+    ASSERT_TRUE(frontend_->Start().ok());
+    ASSERT_TRUE(frontend_->RegisterStream(TwoPartitionerStream()).ok());
+  }
+
+  void TearDown() override { frontend_->Stop(); }
+
+  std::unique_ptr<msg::MessageBus> bus_;
+  std::unique_ptr<FrontEnd> frontend_;
+};
+
+TEST_F(FrontEndTest, RoutesEventToEveryPartitionerTopic) {
+  ASSERT_TRUE(frontend_->SubmitNoReply("payments", SampleEvent()).ok());
+  uint64_t card_total = 0, merchant_total = 0;
+  for (const auto& tp : bus_->PartitionsOf("payments.cardId")) {
+    card_total += bus_->EndOffset(tp).value();
+  }
+  for (const auto& tp : bus_->PartitionsOf("payments.merchantId")) {
+    merchant_total += bus_->EndOffset(tp).value();
+  }
+  EXPECT_EQ(card_total, 1u);
+  EXPECT_EQ(merchant_total, 1u);
+}
+
+TEST_F(FrontEndTest, UnknownStreamRejected) {
+  EXPECT_TRUE(frontend_->SubmitNoReply("nope", SampleEvent()).IsNotFound());
+  EXPECT_TRUE(
+      frontend_
+          ->Submit("nope", SampleEvent(),
+                   [](Status, const std::vector<MetricReply>&) {})
+          .IsNotFound());
+}
+
+TEST_F(FrontEndTest, CompletesWhenAllPartitionerRepliesArrive) {
+  std::atomic<int> calls{0};
+  std::atomic<size_t> results_seen{0};
+  ASSERT_TRUE(frontend_
+                  ->Submit("payments", SampleEvent(),
+                           [&](Status s,
+                               const std::vector<MetricReply>& results) {
+                             EXPECT_TRUE(s.ok());
+                             results_seen = results.size();
+                             ++calls;
+                           })
+                  .ok());
+
+  // Simulate the two task processors answering: read the envelopes to
+  // learn the request id, then produce replies to the reply topic.
+  std::vector<msg::Message> batch;
+  uint64_t request_id = 0;
+  for (const auto& topic : {"payments.cardId", "payments.merchantId"}) {
+    for (const auto& tp : bus_->PartitionsOf(topic)) {
+      ASSERT_TRUE(bus_->Fetch(tp, 0, 10, &batch).ok());
+      for (const auto& message : batch) {
+        EventEnvelope env;
+        const reservoir::Schema schema(0, TwoPartitionerStream().fields);
+        ASSERT_TRUE(
+            DecodeEventEnvelope(Slice(message.payload), schema, &env).ok());
+        request_id = env.request_id;
+        EXPECT_EQ(env.reply_topic, frontend_->reply_topic());
+        ReplyEnvelope reply;
+        reply.request_id = request_id;
+        reply.results.push_back(
+            {"count(*)", "card7", FieldValue(int64_t{1})});
+        std::string encoded;
+        EncodeReplyEnvelope(reply, &encoded);
+        ASSERT_TRUE(
+            bus_->Produce(env.reply_topic, "k", std::move(encoded)).ok());
+      }
+    }
+  }
+  ASSERT_NE(request_id, 0u);
+
+  for (int i = 0; i < 200 && calls == 0; ++i) {
+    MonotonicClock::Default()->SleepMicros(5000);
+  }
+  EXPECT_EQ(calls.load(), 1);  // Exactly one completion.
+  EXPECT_EQ(results_seen.load(), 2u);  // One result per partitioner reply.
+  EXPECT_EQ(frontend_->completed_requests(), 1u);
+  EXPECT_EQ(frontend_->timed_out_requests(), 0u);
+}
+
+TEST_F(FrontEndTest, TimesOutWithPartialResults) {
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(frontend_
+                  ->Submit("payments", SampleEvent(),
+                           [&](Status, const std::vector<MetricReply>&) {
+                             ++calls;
+                           })
+                  .ok());
+  // Nobody replies: the 300 ms deadline must fire exactly once.
+  for (int i = 0; i < 300 && calls == 0; ++i) {
+    MonotonicClock::Default()->SleepMicros(5000);
+  }
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(frontend_->timed_out_requests(), 1u);
+}
+
+TEST_F(FrontEndTest, LateRepliesAfterTimeoutAreDiscarded) {
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(frontend_
+                  ->Submit("payments", SampleEvent(),
+                           [&](Status, const std::vector<MetricReply>&) {
+                             ++calls;
+                           })
+                  .ok());
+  for (int i = 0; i < 300 && calls == 0; ++i) {
+    MonotonicClock::Default()->SleepMicros(5000);
+  }
+  ASSERT_EQ(calls.load(), 1);  // Timed out.
+
+  // A straggler reply arrives afterwards: no double completion, no crash
+  // (paper §5: late aggregation replies are discarded upstream).
+  ReplyEnvelope reply;
+  reply.request_id = 12345;  // Unknown/expired id.
+  std::string encoded;
+  EncodeReplyEnvelope(reply, &encoded);
+  ASSERT_TRUE(
+      bus_->Produce(frontend_->reply_topic(), "k", std::move(encoded)).ok());
+  MonotonicClock::Default()->SleepMicros(50000);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace railgun::engine

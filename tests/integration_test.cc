@@ -1,0 +1,305 @@
+// End-to-end integration tests: full cluster (front-end -> bus ->
+// processor units -> reply), aggregation accuracy against a reference
+// model, node failure + recovery without losing accuracy, and elastic
+// scale-out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "engine/cluster.h"
+
+namespace railgun::engine {
+namespace {
+
+using reservoir::Event;
+using reservoir::FieldType;
+using reservoir::FieldValue;
+
+StreamDef PaymentsStream(int partitions) {
+  StreamDef stream;
+  stream.name = "payments";
+  stream.fields = {{"cardId", FieldType::kString},
+                   {"merchantId", FieldType::kString},
+                   {"amount", FieldType::kDouble}};
+  stream.partitioners = {"cardId"};
+  stream.partitions_per_topic = partitions;
+  auto q = query::ParseQuery(
+      "SELECT sum(amount), count(*) FROM payments GROUP BY cardId "
+      "OVER sliding 5 minutes");
+  stream.queries = {q.value()};
+  return stream;
+}
+
+Event PaymentEvent(Micros ts, uint64_t id, const std::string& card,
+                   double amount) {
+  Event e;
+  e.timestamp = ts;
+  e.id = id;
+  e.values = {FieldValue(card), FieldValue("m"), FieldValue(amount)};
+  return e;
+}
+
+// Reference: exact sliding-window sum/count per card.
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(Micros window) : window_(window) {}
+
+  std::pair<double, int64_t> Apply(const std::string& card, Micros ts,
+                                   double amount) {
+    auto& events = per_card_[card];
+    events.push_back({ts, amount});
+    double sum = 0;
+    int64_t count = 0;
+    for (const auto& [t, a] : events) {
+      if (t >= ts - window_ /* inclusive boundary */) {
+        sum += a;
+        ++count;
+      }
+    }
+    return {sum, count};
+  }
+
+ private:
+  Micros window_;
+  std::map<std::string, std::vector<std::pair<Micros, double>>> per_card_;
+};
+
+ClusterOptions FastClusterOptions(const std::string& dir, int nodes,
+                                  int replication) {
+  ClusterOptions options;
+  options.num_nodes = nodes;
+  options.replication_factor = replication;
+  options.node.num_processor_units = 2;
+  options.node.unit.task.reservoir.chunk_target_bytes = 4096;
+  options.node.unit.task.checkpoint_interval_events = 500;
+  options.node.unit.idle_sleep = 100;
+  options.bus.delivery_delay = 50;
+  options.base_dir = dir;
+  return options;
+}
+
+TEST(IntegrationTest, EndToEndAccuracyMatchesReferenceModel) {
+  Cluster cluster(
+      FastClusterOptions("/tmp/railgun_int_accuracy", 2, 1));
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.RegisterStream(PaymentsStream(4)).ok());
+
+  ReferenceModel reference(5 * kMicrosPerMinute);
+
+  struct Outcome {
+    double sum;
+    int64_t count;
+    double expected_sum;
+    int64_t expected_count;
+  };
+  std::mutex mu;
+  std::vector<Outcome> outcomes;
+  std::atomic<int> replies{0};
+
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const std::string card = "card" + std::to_string(i % 13);
+    const Micros ts = static_cast<Micros>(i) * 3 * kMicrosPerSecond;
+    const double amount = 1.0 + (i % 10);
+    const auto [expected_sum, expected_count] =
+        reference.Apply(card, ts, amount);
+
+    ASSERT_TRUE(
+        cluster.node(i % 2)
+            ->frontend()
+            ->Submit("payments", PaymentEvent(ts, static_cast<uint64_t>(i + 1),
+                                              card, amount),
+                     [&, expected_sum, expected_count](
+                         Status s, const std::vector<MetricReply>& results) {
+                       ASSERT_TRUE(s.ok());
+                       Outcome outcome{0, 0, expected_sum, expected_count};
+                       for (const auto& r : results) {
+                         if (r.metric_name.rfind("sum", 0) == 0) {
+                           outcome.sum = r.value.ToNumber();
+                         } else if (r.metric_name.rfind("count", 0) == 0) {
+                           outcome.count =
+                               static_cast<int64_t>(r.value.ToNumber());
+                         }
+                       }
+                       std::lock_guard<std::mutex> lock(mu);
+                       outcomes.push_back(outcome);
+                       ++replies;
+                     })
+            .ok());
+    // Paced injection so ordering is deterministic per card partition.
+    MonotonicClock::Default()->SleepMicros(1500);
+  }
+
+  for (int waited = 0; waited < 2000 && replies < n; ++waited) {
+    MonotonicClock::Default()->SleepMicros(10000);
+  }
+  ASSERT_EQ(replies.load(), n);
+
+  std::lock_guard<std::mutex> lock(mu);
+  int mismatches = 0;
+  for (const auto& o : outcomes) {
+    if (o.count != o.expected_count ||
+        std::abs(o.sum - o.expected_sum) > 1e-6) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0)
+      << mismatches << " of " << outcomes.size()
+      << " replies diverged from the exact sliding-window reference";
+  cluster.Stop();
+}
+
+TEST(IntegrationTest, NodeFailureRecoversWithoutLosingAccuracy) {
+  Cluster cluster(
+      FastClusterOptions("/tmp/railgun_int_failover", 3, 2));
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.RegisterStream(PaymentsStream(6)).ok());
+
+  std::atomic<int> replies{0};
+  std::mutex mu;
+  std::map<std::string, std::pair<double, int64_t>> last_per_card;
+
+  auto submit = [&](int node, int i) {
+    const std::string card = "card" + std::to_string(i % 7);
+    const Micros ts = static_cast<Micros>(i) * kMicrosPerSecond;
+    ASSERT_TRUE(
+        cluster.node(node)
+            ->frontend()
+            ->Submit("payments",
+                     PaymentEvent(ts, static_cast<uint64_t>(i + 1), card, 1.0),
+                     [&, card](Status, const std::vector<MetricReply>& rs) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       for (const auto& r : rs) {
+                         if (r.metric_name.rfind("count", 0) == 0) {
+                           last_per_card[card].second =
+                               static_cast<int64_t>(r.value.ToNumber());
+                         } else if (r.metric_name.rfind("sum", 0) == 0) {
+                           last_per_card[card].first = r.value.ToNumber();
+                         }
+                       }
+                       ++replies;
+                     })
+            .ok());
+    MonotonicClock::Default()->SleepMicros(2000);
+  };
+
+  for (int i = 0; i < 150; ++i) submit(0, i);
+  ASSERT_TRUE(cluster.KillNode(2).ok());
+  for (int i = 150; i < 300; ++i) submit(0, i);
+
+  for (int waited = 0; waited < 3000 && replies < 300; ++waited) {
+    MonotonicClock::Default()->SleepMicros(10000);
+  }
+  EXPECT_EQ(replies.load(), 300);
+
+  // Every event after the kill still got exact values: with a 1-second
+  // cadence round-robin over 7 cards, the 5-minute window holds all of
+  // a card's events until i ~ 300 (43 per card) — so counts must equal
+  // the number of that card's submissions.
+  std::lock_guard<std::mutex> lock(mu);
+  for (int c = 0; c < 7; ++c) {
+    const std::string card = "card" + std::to_string(c);
+    const int64_t expected = 300 / 7 + (c < 300 % 7 ? 1 : 0);
+    EXPECT_EQ(last_per_card[card].second, expected) << card;
+  }
+  const auto stats = cluster.TotalStats();
+  EXPECT_GT(stats.recoveries + stats.fresh_tasks, 0u);
+  cluster.Stop();
+}
+
+TEST(IntegrationTest, ElasticScaleOutRebalancesTasks) {
+  Cluster cluster(FastClusterOptions("/tmp/railgun_int_elastic", 1, 1));
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.RegisterStream(PaymentsStream(8)).ok());
+
+  std::atomic<int> replies{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cluster.node(0)
+                    ->frontend()
+                    ->Submit("payments",
+                             PaymentEvent(i * kMicrosPerSecond,
+                                          static_cast<uint64_t>(i + 1),
+                                          "card" + std::to_string(i % 5), 1.0),
+                             [&](Status, const std::vector<MetricReply>&) {
+                               ++replies;
+                             })
+                    .ok());
+    MonotonicClock::Default()->SleepMicros(2000);
+  }
+
+  auto node_or = cluster.AddNode();
+  ASSERT_TRUE(node_or.ok());
+
+  for (int i = 50; i < 150; ++i) {
+    ASSERT_TRUE(cluster.node(0)
+                    ->frontend()
+                    ->Submit("payments",
+                             PaymentEvent(i * kMicrosPerSecond,
+                                          static_cast<uint64_t>(i + 1),
+                                          "card" + std::to_string(i % 5), 1.0),
+                             [&](Status, const std::vector<MetricReply>&) {
+                               ++replies;
+                             })
+                    .ok());
+    MonotonicClock::Default()->SleepMicros(2000);
+  }
+  for (int waited = 0; waited < 2000 && replies < 150; ++waited) {
+    MonotonicClock::Default()->SleepMicros(10000);
+  }
+  EXPECT_EQ(replies.load(), 150);
+
+  // The new node's units actually picked up work.
+  int new_node_tasks = 0;
+  RailgunNode* added = node_or.value();
+  for (int u = 0; u < added->num_units(); ++u) {
+    new_node_tasks +=
+        static_cast<int>(added->unit(u)->active_tasks().size());
+  }
+  EXPECT_GT(new_node_tasks, 0);
+  cluster.Stop();
+}
+
+TEST(IntegrationTest, MultiplePartitionersRouteToBothTopics) {
+  ClusterOptions options =
+      FastClusterOptions("/tmp/railgun_int_partitioners", 1, 1);
+  Cluster cluster(options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  StreamDef stream = PaymentsStream(2);
+  stream.partitioners = {"cardId", "merchantId"};
+  auto q2 = query::ParseQuery(
+      "SELECT avg(amount) FROM payments GROUP BY merchantId "
+      "OVER sliding 5 minutes");
+  stream.queries.push_back(q2.value());
+  ASSERT_TRUE(cluster.RegisterStream(stream).ok());
+
+  std::atomic<int> replies{0};
+  std::atomic<int> total_metrics{0};
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        cluster.node(0)
+            ->frontend()
+            ->Submit("payments",
+                     PaymentEvent(i * kMicrosPerSecond,
+                                  static_cast<uint64_t>(i + 1), "cardX", 2.0),
+                     [&](Status, const std::vector<MetricReply>& rs) {
+                       total_metrics += static_cast<int>(rs.size());
+                       ++replies;
+                     })
+            .ok());
+    MonotonicClock::Default()->SleepMicros(2000);
+  }
+  for (int waited = 0; waited < 2000 && replies < 30; ++waited) {
+    MonotonicClock::Default()->SleepMicros(10000);
+  }
+  ASSERT_EQ(replies.load(), 30);
+  // Each event must report Q1's two metrics (card topic) + Q2's one
+  // metric (merchant topic).
+  EXPECT_EQ(total_metrics.load(), 30 * 3);
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace railgun::engine

@@ -1,0 +1,224 @@
+// Tests for the messaging layer: topics, keyed partitioning, offsets and
+// replay, visibility delay, consumer groups, heartbeat failure detection
+// and rebalancing.
+#include <gtest/gtest.h>
+
+#include "msg/broker.h"
+
+namespace railgun::msg {
+namespace {
+
+BusOptions FastBus(Clock* clock = nullptr) {
+  BusOptions options;
+  options.delivery_delay = 0;
+  options.clock = clock;
+  return options;
+}
+
+TEST(BusTest, TopicAdministration) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 4).ok());
+  EXPECT_TRUE(bus.CreateTopic("t", 4).IsAlreadyExists());
+  EXPECT_FALSE(bus.CreateTopic("bad", 0).ok());
+  EXPECT_EQ(bus.NumPartitions("t").value(), 4);
+  EXPECT_EQ(bus.PartitionsOf("t").size(), 4u);
+  ASSERT_TRUE(bus.DeleteTopic("t").ok());
+  EXPECT_TRUE(bus.NumPartitions("t").status().IsNotFound());
+}
+
+TEST(BusTest, KeyedPartitioningIsStable) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 8).ok());
+  // Same key always lands in the same partition.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(bus.Produce("t", "card42", "m" + std::to_string(round)).ok());
+  }
+  int with_data = 0;
+  for (const auto& tp : bus.PartitionsOf("t")) {
+    const uint64_t end = bus.EndOffset(tp).value();
+    if (end > 0) {
+      ++with_data;
+      EXPECT_EQ(end, 3u);
+    }
+  }
+  EXPECT_EQ(with_data, 1);
+}
+
+TEST(BusTest, FetchByOffsetSupportsReplay) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto off = bus.ProduceToPartition("t", 0, "k", "m" + std::to_string(i));
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(off.value(), static_cast<uint64_t>(i));
+  }
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 5, 100, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].payload, "m5");
+  EXPECT_EQ(out[0].offset, 5u);
+  // Replay from zero re-reads everything.
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(BusTest, DeliveryDelayHidesFreshMessages) {
+  SimulatedClock clock(1000);
+  BusOptions options;
+  options.delivery_delay = 500;
+  options.clock = &clock;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", "m").ok());
+
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 0, 10, &out).ok());
+  EXPECT_TRUE(out.empty());  // Not yet visible.
+  clock.Advance(500);
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 0, 10, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(GroupTest, SinglePartitionOwnershipWithinGroup) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 4).ok());
+  ASSERT_TRUE(
+      bus.Subscribe("c1", "g", {"t"}, "node=a", nullptr, {}).ok());
+  ASSERT_TRUE(
+      bus.Subscribe("c2", "g", {"t"}, "node=b", nullptr, {}).ok());
+
+  // Trigger assignment delivery.
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  ASSERT_TRUE(bus.Poll("c2", 10, &out).ok());
+
+  auto a1 = bus.AssignmentOf("c1");
+  auto a2 = bus.AssignmentOf("c2");
+  EXPECT_EQ(a1.size() + a2.size(), 4u);
+  for (const auto& tp : a1) {
+    EXPECT_EQ(std::count(a2.begin(), a2.end(), tp), 0);
+  }
+}
+
+TEST(GroupTest, PollDeliversOnlyAssignedPartitions) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", i % 2, "k", "m").ok());
+  }
+  std::vector<Message> from1, from2, batch;
+  // First polls deliver the assignment, subsequent polls the messages.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus.Poll("c1", 100, &batch).ok());
+    from1.insert(from1.end(), batch.begin(), batch.end());
+    ASSERT_TRUE(bus.Poll("c2", 100, &batch).ok());
+    from2.insert(from2.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(from1.size() + from2.size(), 20u);
+  EXPECT_EQ(from1.size(), 10u);
+  EXPECT_EQ(from2.size(), 10u);
+}
+
+TEST(GroupTest, RebalanceCallbacksFireOnMembershipChange) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 4).ok());
+
+  std::vector<TopicPartition> assigned1, revoked1;
+  RebalanceListener listener;
+  listener.on_assigned = [&](const std::vector<TopicPartition>& a) {
+    assigned1.insert(assigned1.end(), a.begin(), a.end());
+  };
+  listener.on_revoked = [&](const std::vector<TopicPartition>& r) {
+    revoked1.insert(revoked1.end(), r.begin(), r.end());
+  };
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t"}, "", nullptr, listener).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  EXPECT_EQ(assigned1.size(), 4u);  // Sole member owns everything.
+
+  // A second member takes over some partitions: c1 sees revocations.
+  ASSERT_TRUE(bus.Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  EXPECT_EQ(revoked1.size(), 2u);
+}
+
+TEST(GroupTest, HeartbeatTimeoutFencesDeadConsumer) {
+  SimulatedClock clock(0);
+  BusOptions options = FastBus(&clock);
+  options.session_timeout = 1000;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(bus.Subscribe("alive", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Subscribe("dead", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("alive", 10, &out).ok());
+  ASSERT_TRUE(bus.Poll("dead", 10, &out).ok());
+  EXPECT_EQ(bus.AssignmentOf("dead").size(), 1u);
+
+  // "dead" stops polling; time passes; "alive" keeps polling.
+  clock.Advance(2000);
+  ASSERT_TRUE(bus.Poll("alive", 10, &out).ok());  // Triggers liveness check.
+  ASSERT_TRUE(bus.Poll("alive", 10, &out).ok());  // Picks up new assignment.
+  EXPECT_EQ(bus.AssignmentOf("alive").size(), 2u);
+  EXPECT_TRUE(bus.Poll("dead", 10, &out).IsUnavailable());
+}
+
+TEST(GroupTest, KillConsumerRebalancesImmediately) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  const uint64_t before = bus.rebalance_count();
+  ASSERT_TRUE(bus.KillConsumer("c2").ok());
+  EXPECT_GT(bus.rebalance_count(), before);
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  EXPECT_EQ(bus.AssignmentOf("c1").size(), 2u);
+}
+
+TEST(GroupTest, SeekRewindsConsumption) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", std::to_string(i)).ok());
+  }
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Assignment.
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+  ASSERT_TRUE(bus.Seek("c", {"t", 0}, 2).ok());
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].payload, "2");
+}
+
+TEST(GroupTest, UnsubscribeTriggersRebalance) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(bus.Unsubscribe("c2").ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  EXPECT_EQ(bus.AssignmentOf("c1").size(), 2u);
+  EXPECT_TRUE(bus.Poll("c2", 10, &out).IsNotFound());
+}
+
+TEST(RoundRobinTest, SpreadsPartitionsEvenly) {
+  RoundRobinStrategy strategy;
+  std::vector<MemberInfo> members = {{"m1", "", {}}, {"m2", "", {}},
+                                     {"m3", "", {}}};
+  std::vector<TopicPartition> partitions;
+  for (int p = 0; p < 9; ++p) partitions.push_back({"t", p});
+  const Assignment result = strategy.Assign(members, partitions);
+  for (const auto& [member, tps] : result) {
+    EXPECT_EQ(tps.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace railgun::msg

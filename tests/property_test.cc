@@ -1,0 +1,222 @@
+// Cross-cutting property tests: codec round-trips over randomized
+// inputs, decompressor robustness against arbitrary bytes, expression
+// parser canonicalization, and window-spec stability.
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "common/compression.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "engine/stream_def.h"
+#include "query/expr.h"
+#include "query/query.h"
+#include "reservoir/event.h"
+#include "workload/generator.h"
+
+namespace railgun {
+namespace {
+
+// ---------------------------------------------------------------- LZ codec
+
+class LzFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LzFuzzTest, DecompressorNeverCrashesOnGarbage) {
+  Random64 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t n = rng.Uniform(2048);
+    for (size_t i = 0; i < n; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    std::string out;
+    // Must return a Status (usually Corruption), never crash or hang.
+    LzUncompress(garbage, &out);
+  }
+  SUCCEED();
+}
+
+TEST_P(LzFuzzTest, TruncatedValidStreamsRejected) {
+  Random64 rng(GetParam() + 1000);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>('a' + rng.Uniform(4)));
+  }
+  std::string compressed;
+  LzCompress(input, &compressed);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t cut = 1 + rng.Uniform(compressed.size() - 1);
+    std::string truncated = compressed.substr(0, cut);
+    std::string out;
+    const Status s = LzUncompress(truncated, &out);
+    // Either detected corruption, or (if the cut landed on a token
+    // boundary past all data) produced a strict prefix — never garbage
+    // beyond the original.
+    if (s.ok()) {
+      EXPECT_LE(out.size(), input.size());
+      EXPECT_EQ(out, input.substr(0, out.size()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzFuzzTest, ::testing::Values(1, 2, 3));
+
+// ------------------------------------------------------------ event codec
+
+TEST(EventCodecProperty, RandomEventsRoundTripExactly) {
+  workload::FraudStreamConfig config;
+  config.total_fields = 103;
+  workload::FraudStreamGenerator generator(config);
+  const reservoir::Schema schema(1, generator.schema_fields());
+  const reservoir::EventCodec codec(&schema);
+
+  Random64 rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    reservoir::Event original =
+        generator.Next(static_cast<Micros>(rng.Uniform(1ull << 50)));
+    original.offset = rng.Next();
+
+    std::string buf;
+    const Micros base = static_cast<Micros>(rng.Uniform(1ull << 50));
+    codec.Encode(original, base, &buf);
+    Slice in(buf);
+    reservoir::Event decoded;
+    ASSERT_TRUE(codec.Decode(&in, base, &decoded).ok());
+    EXPECT_TRUE(in.empty()) << "trailing bytes after decode";
+
+    EXPECT_EQ(decoded.timestamp, original.timestamp);
+    EXPECT_EQ(decoded.id, original.id);
+    EXPECT_EQ(decoded.offset, original.offset);
+    ASSERT_EQ(decoded.values.size(), original.values.size());
+    for (size_t i = 0; i < original.values.size(); ++i) {
+      EXPECT_TRUE(decoded.values[i] == original.values[i]) << "field " << i;
+    }
+  }
+}
+
+TEST(EventCodecProperty, TruncatedEventsRejected) {
+  const reservoir::Schema schema(
+      1, {{"a", reservoir::FieldType::kString},
+          {"b", reservoir::FieldType::kDouble},
+          {"c", reservoir::FieldType::kInt64}});
+  const reservoir::EventCodec codec(&schema);
+  reservoir::Event e;
+  e.timestamp = 123;
+  e.id = 5;
+  e.values = {reservoir::FieldValue("hello"), reservoir::FieldValue(2.5),
+              reservoir::FieldValue(int64_t{-9})};
+  std::string buf;
+  codec.Encode(e, 0, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    reservoir::Event decoded;
+    EXPECT_FALSE(codec.Decode(&in, 0, &decoded).ok()) << "cut=" << cut;
+  }
+}
+
+// ------------------------------------------------------- wire envelopes
+
+TEST(WireProperty, ReplyEnvelopeRoundTripsRandomPayloads) {
+  Random64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    engine::ReplyEnvelope original;
+    original.request_id = rng.Next();
+    const int n = static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < n; ++i) {
+      engine::MetricReply r;
+      r.metric_name = "metric" + std::to_string(rng.Uniform(100));
+      r.group_key = std::string(rng.Uniform(30), 'k');
+      switch (rng.Uniform(4)) {
+        case 0: r.value = reservoir::FieldValue(static_cast<int64_t>(
+                    rng.Next())); break;
+        case 1: r.value = reservoir::FieldValue(rng.NextDouble()); break;
+        case 2: r.value = reservoir::FieldValue(rng.OneIn(2)); break;
+        default: r.value = reservoir::FieldValue("s" +
+                     std::to_string(rng.Uniform(1000))); break;
+      }
+      original.results.push_back(std::move(r));
+    }
+    std::string encoded;
+    EncodeReplyEnvelope(original, &encoded);
+    engine::ReplyEnvelope decoded;
+    ASSERT_TRUE(engine::DecodeReplyEnvelope(encoded, &decoded).ok());
+    EXPECT_EQ(decoded.request_id, original.request_id);
+    ASSERT_EQ(decoded.results.size(), original.results.size());
+    for (size_t i = 0; i < original.results.size(); ++i) {
+      EXPECT_EQ(decoded.results[i].metric_name,
+                original.results[i].metric_name);
+      EXPECT_TRUE(decoded.results[i].value == original.results[i].value);
+    }
+  }
+}
+
+// ------------------------------------------------------ expression parser
+
+TEST(ExprProperty, CanonicalFormIsAFixedPoint) {
+  // Parsing an expression's ToString() must yield the same ToString()
+  // (the canonical form is stable — the property the DAG prefix-sharing
+  // keys rely on).
+  const char* expressions[] = {
+      "a > 1",
+      "a + b * c - d / 2 >= 10",
+      "not (x == 'lisbon' or y != 3.5) and z",
+      "-a < -(b)",
+      "f1 > 1 and f2 > 2 and f3 > 3 or f4 == 0",
+      "amount / count > 100 and flagged",
+  };
+  for (const char* text : expressions) {
+    auto first = query::ParseExpr(text);
+    ASSERT_TRUE(first.ok()) << text;
+    const std::string canon = first.value()->ToString();
+    auto second = query::ParseExpr(canon);
+    ASSERT_TRUE(second.ok()) << canon;
+    EXPECT_EQ(second.value()->ToString(), canon) << text;
+  }
+}
+
+TEST(QueryProperty, ParsedWindowsSurviveToStringRoundTrip) {
+  const char* windows[] = {
+      "sliding 5 minutes", "sliding 90 seconds", "tumbling 2 hours",
+      "infinite",          "sliding 7 days",     "sliding 250 ms",
+      "sliding 5 minutes delayed by 30 seconds",
+  };
+  for (const char* w : windows) {
+    const std::string sql =
+        std::string("SELECT count(*) FROM s OVER ") + w;
+    auto q1 = query::ParseQuery(sql);
+    ASSERT_TRUE(q1.ok()) << sql;
+    // Re-parse via the spec's own rendering.
+    const std::string sql2 =
+        "SELECT count(*) FROM s OVER " + q1->window.ToString();
+    auto q2 = query::ParseQuery(sql2);
+    ASSERT_TRUE(q2.ok()) << sql2;
+    EXPECT_EQ(q2->window, q1->window) << w;
+  }
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(HistogramProperty, PercentilesBoundedByRecordedRange) {
+  Random64 rng(21);
+  LatencyHistogram hist;
+  int64_t min = INT64_MAX, max = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Uniform(1ull << 30));
+    hist.Record(v);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  int64_t prev = 0;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const int64_t v = hist.ValueAtPercentile(p);
+    EXPECT_GE(v, prev) << "percentiles must be monotonic";
+    EXPECT_LE(v, max);
+    prev = v;
+  }
+  // Relative error bound from the bucket geometry (2^-7).
+  const int64_t p100 = hist.ValueAtPercentile(100);
+  EXPECT_LE(p100, max);
+  EXPECT_GE(p100, max - (max >> 6));
+}
+
+}  // namespace
+}  // namespace railgun

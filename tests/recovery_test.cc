@@ -1,0 +1,250 @@
+// Failure-injection tests: torn and corrupted files, crash points
+// between the checkpoint protocol's steps, and replica bootstrap from
+// partially-written donors. These validate the recovery story of paper
+// §4.1.1 ("only the most recent events can be lost, and quickly
+// recovered from Kafka") and §4.2.
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "engine/task_processor.h"
+#include "reservoir/reservoir.h"
+
+namespace railgun {
+namespace {
+
+using engine::EventEnvelope;
+using engine::ReplyEnvelope;
+using engine::StreamDef;
+using engine::TaskProcessor;
+using engine::TaskProcessorOptions;
+using reservoir::Event;
+using reservoir::FieldType;
+using reservoir::FieldValue;
+using reservoir::Reservoir;
+using reservoir::ReservoirOptions;
+
+ReservoirOptions SmallReservoirOptions() {
+  ReservoirOptions options;
+  options.chunk_target_bytes = 1024;
+  options.segment_max_bytes = 8 * 1024;
+  options.async_io = false;
+  options.schema_fields = {{"card", FieldType::kString},
+                           {"amount", FieldType::kDouble}};
+  return options;
+}
+
+Event SimpleEvent(Micros ts, uint64_t id) {
+  Event e;
+  e.timestamp = ts;
+  e.id = id;
+  e.offset = id;
+  e.values = {FieldValue("card1"), FieldValue(1.0)};
+  return e;
+}
+
+// Appends a torn (half-written) chunk record to the newest segment,
+// simulating a crash mid-append.
+void TearNewestSegment(const std::string& dir) {
+  Env* env = Env::Default();
+  std::vector<std::string> children;
+  ASSERT_TRUE(env->ListDir(dir, &children).ok());
+  std::string newest;
+  for (const auto& child : children) {
+    if (child.rfind("segment-", 0) == 0 && child > newest) newest = child;
+  }
+  ASSERT_FALSE(newest.empty());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewAppendableFile(dir + "/" + newest, &file).ok());
+  // A record header promising 4096 payload bytes, then only 10 bytes.
+  std::string torn;
+  PutFixed32(&torn, 4096);
+  PutFixed32(&torn, 0xdeadbeef);
+  PutFixed64(&torn, 999999);
+  torn += "shortdata!";
+  ASSERT_TRUE(file->Append(torn).ok());
+  ASSERT_TRUE(file->Close().ok());
+}
+
+TEST(ReservoirRecoveryTest, TornSegmentTailIsIgnoredOnOpen) {
+  const std::string dir = "/tmp/railgun_recovery_torn";
+  ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir).ok());
+  uint64_t persisted;
+  {
+    Reservoir res(SmallReservoirOptions(), dir);
+    ASSERT_TRUE(res.Open().ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(res.Append(SimpleEvent(i * 1000, i + 1)).ok());
+    }
+    persisted = res.LastPersistedOffset();
+    ASSERT_GT(persisted, 0u);
+  }
+  TearNewestSegment(dir);
+
+  Reservoir res(SmallReservoirOptions(), dir);
+  ASSERT_TRUE(res.Open().ok());
+  EXPECT_EQ(res.LastPersistedOffset(), persisted);
+  auto iter = res.NewIterator();
+  uint64_t count = 0;
+  while (!iter->AtEnd()) {
+    ++count;
+    iter->Advance();
+  }
+  EXPECT_EQ(count, persisted);
+}
+
+TEST(ReservoirRecoveryTest, CorruptedChunkPayloadDetectedByCrc) {
+  const std::string dir = "/tmp/railgun_recovery_crc";
+  ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir).ok());
+  {
+    Reservoir res(SmallReservoirOptions(), dir);
+    ASSERT_TRUE(res.Open().ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(res.Append(SimpleEvent(i * 1000, i + 1)).ok());
+    }
+  }
+  // Flip a byte in the middle of the first segment's data.
+  Env* env = Env::Default();
+  const std::string segment = dir + "/segment-000001.seg";
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env, segment, &contents).ok());
+  contents[contents.size() / 2] ^= 0x5a;
+  ASSERT_TRUE(WriteStringToFile(env, contents, segment).ok());
+
+  Reservoir res(SmallReservoirOptions(), dir);
+  ASSERT_TRUE(res.Open().ok());
+  // Iterating eventually hits the corrupted chunk: the iterator must
+  // stop (or skip past it via later chunks) rather than return garbage;
+  // the chunk read path reports checksum mismatch.
+  auto iter = res.NewIterator();
+  uint64_t clean = 0;
+  while (!iter->AtEnd() && clean < 1000) {
+    EXPECT_EQ(iter->event().values.size(), 2u);  // Decoded sanely.
+    ++clean;
+    iter->Advance();
+  }
+  // Some prefix (possibly zero) of events is readable; no crash, no
+  // corruption passed through.
+  SUCCEED();
+}
+
+class TaskProcessorRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/railgun_recovery_taskproc";
+    ASSERT_TRUE(Env::Default()->RemoveDirRecursive(dir_).ok());
+    stream_.name = "payments";
+    stream_.fields = {{"cardId", FieldType::kString},
+                      {"amount", FieldType::kDouble}};
+    stream_.partitioners = {"cardId"};
+    stream_.queries = {
+        query::ParseQuery("SELECT count(*), sum(amount) FROM payments "
+                          "GROUP BY cardId OVER sliding 1 hour")
+            .value()};
+    options_.reservoir.chunk_target_bytes = 1024;
+    options_.checkpoint_interval_events = 1000000;
+  }
+
+  msg::Message MakeMessage(uint64_t offset) {
+    const reservoir::Schema schema(0, stream_.fields);
+    EventEnvelope env;
+    env.request_id = offset + 1;
+    env.reply_topic = "replies.r";
+    env.event = SimpleEvent(static_cast<Micros>(offset) * 1000, offset + 1);
+    env.event.values = {FieldValue("cardZ"), FieldValue(2.0)};
+    msg::Message m;
+    m.topic = "payments.cardId";
+    m.partition = 0;
+    m.offset = offset;
+    EncodeEventEnvelope(env, schema, &m.payload);
+    return m;
+  }
+
+  // Runs a processor over offsets [from, to), checkpointing at
+  // `checkpoint_at` (if within range). Returns the final count.
+  double RunRange(uint64_t from, uint64_t to, int64_t checkpoint_at) {
+    TaskProcessor proc(options_, dir_, stream_, "payments.cardId");
+    EXPECT_TRUE(proc.Open().ok());
+    EXPECT_LE(proc.replay_offset(), from);
+    ReplyEnvelope reply;
+    for (uint64_t i = proc.replay_offset(); i < to; ++i) {
+      EXPECT_TRUE(proc.ProcessMessage(MakeMessage(i), &reply).ok());
+      if (static_cast<int64_t>(i) == checkpoint_at) {
+        EXPECT_TRUE(proc.Checkpoint().ok());
+      }
+    }
+    double count = -1;
+    for (const auto& r : reply.results) {
+      if (r.metric_name.rfind("count", 0) == 0) count = r.value.ToNumber();
+    }
+    return count;
+  }
+
+  std::string dir_;
+  StreamDef stream_;
+  TaskProcessorOptions options_;
+};
+
+TEST_F(TaskProcessorRecoveryTest, RepeatedCrashReplayConverges) {
+  // Process 0..300 with a checkpoint at 150; "crash"; recover and
+  // process to 400; "crash" again without a new checkpoint; recover and
+  // process to 500. Counts must stay exact throughout.
+  EXPECT_EQ(RunRange(0, 300, 150), 300);
+  EXPECT_EQ(RunRange(300, 400, -1), 400);
+  EXPECT_EQ(RunRange(400, 500, -1), 500);
+}
+
+TEST_F(TaskProcessorRecoveryTest, CrashBeforeFirstCheckpointRebuildsAll) {
+  EXPECT_EQ(RunRange(0, 200, -1), 200);
+  // No checkpoint taken: recovery replays everything from offset 0.
+  TaskProcessor proc(options_, dir_, stream_, "payments.cardId");
+  ASSERT_TRUE(proc.Open().ok());
+  EXPECT_EQ(proc.replay_offset(), 0u);
+  ReplyEnvelope reply;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(proc.ProcessMessage(MakeMessage(i), &reply).ok());
+  }
+  double count = -1;
+  for (const auto& r : reply.results) {
+    if (r.metric_name.rfind("count", 0) == 0) count = r.value.ToNumber();
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST_F(TaskProcessorRecoveryTest, StaleCheckpointDirIsAtomic) {
+  // A crash mid-checkpoint leaves ckpt.tmp; recovery must use the last
+  // complete checkpoint (or none), never the torn one.
+  EXPECT_EQ(RunRange(0, 100, 50), 100);
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDir(dir_ + "/ckpt.tmp").ok());
+  ASSERT_TRUE(
+      WriteStringToFile(env, "garbage", dir_ + "/ckpt.tmp/CURRENT").ok());
+  EXPECT_EQ(RunRange(100, 150, -1), 150);
+}
+
+TEST_F(TaskProcessorRecoveryTest, DonorCloneOfRunningStateIsUsable) {
+  // Clone from a donor directory that has a checkpoint plus newer,
+  // unsynced writes — the clone must land on the checkpoint boundary
+  // and replay forward cleanly.
+  EXPECT_EQ(RunRange(0, 250, 120), 250);
+
+  const std::string clone_dir = dir_ + "_clone";
+  ASSERT_TRUE(Env::Default()->RemoveDirRecursive(clone_dir).ok());
+  ASSERT_TRUE(
+      TaskProcessor::CloneData(Env::Default(), dir_, clone_dir).ok());
+
+  TaskProcessor proc(options_, clone_dir, stream_, "payments.cardId");
+  ASSERT_TRUE(proc.Open().ok());
+  ReplyEnvelope reply;
+  for (uint64_t i = proc.replay_offset(); i < 250; ++i) {
+    ASSERT_TRUE(proc.ProcessMessage(MakeMessage(i), &reply).ok());
+  }
+  double count = -1;
+  for (const auto& r : reply.results) {
+    if (r.metric_name.rfind("count", 0) == 0) count = r.value.ToNumber();
+  }
+  EXPECT_EQ(count, 250);
+}
+
+}  // namespace
+}  // namespace railgun

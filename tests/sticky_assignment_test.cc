@@ -1,0 +1,179 @@
+// Tests for the Fig. 7 sticky assignment strategy: the two invariants
+// (one copy per physical node, budget respected), the preference order
+// (previous active -> previous replica -> stale -> least loaded), and
+// stickiness under churn.
+#include <gtest/gtest.h>
+
+#include "engine/sticky_assignment.h"
+
+namespace railgun::engine {
+namespace {
+
+using msg::TopicPartition;
+
+std::vector<TopicPartition> MakeTasks(int n) {
+  std::vector<TopicPartition> tasks;
+  for (int i = 0; i < n; ++i) tasks.push_back({"t", i});
+  return tasks;
+}
+
+// Units: two per node across `nodes` nodes.
+std::vector<UnitDesc> MakeUnits(int nodes, int units_per_node) {
+  std::vector<UnitDesc> units;
+  for (int n = 0; n < nodes; ++n) {
+    for (int u = 0; u < units_per_node; ++u) {
+      units.push_back({"n" + std::to_string(n) + "/u" + std::to_string(u),
+                       "n" + std::to_string(n)});
+    }
+  }
+  return units;
+}
+
+TEST(StickyAssignmentTest, AssignsEveryTaskExactlyOnce) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(8);
+  in.units = MakeUnits(2, 2);
+  in.replication_factor = 1;
+  const auto result = ComputeStickyAssignment(in);
+  EXPECT_EQ(result.active.size(), 8u);
+  EXPECT_TRUE(result.replicas.empty());
+}
+
+TEST(StickyAssignmentTest, BudgetBalancesLoad) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(8);
+  in.units = MakeUnits(2, 2);  // 4 units, budget = 2.
+  const auto result = ComputeStickyAssignment(in);
+  for (const auto& [unit, tasks] : result.active_by_unit) {
+    EXPECT_LE(tasks.size(), 2u) << unit;
+  }
+}
+
+TEST(StickyAssignmentTest, ReplicasNeverColocateWithActiveOnSameNode) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(6);
+  in.units = MakeUnits(3, 2);
+  in.replication_factor = 2;
+  const auto result = ComputeStickyAssignment(in);
+  ASSERT_EQ(result.active.size(), 6u);
+  for (const auto& [task, active_unit] : result.active) {
+    const std::string active_node =
+        active_unit.substr(0, active_unit.find('/'));
+    const auto reps = result.replicas.find(task);
+    ASSERT_NE(reps, result.replicas.end());
+    EXPECT_EQ(reps->second.size(), 1u);
+    for (const auto& replica_unit : reps->second) {
+      const std::string replica_node =
+          replica_unit.substr(0, replica_unit.find('/'));
+      EXPECT_NE(replica_node, active_node) << task.ToString();
+    }
+  }
+}
+
+TEST(StickyAssignmentTest, StickinessKeepsPreviousActives) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(8);
+  in.units = MakeUnits(4, 1);
+  const auto first = ComputeStickyAssignment(in);
+
+  // Re-run with the previous assignment: nothing should move.
+  in.prev_active = first.active;
+  const auto second = ComputeStickyAssignment(in);
+  EXPECT_EQ(second.moved_active, 0);
+  EXPECT_EQ(second.active, first.active);
+}
+
+TEST(StickyAssignmentTest, FailedNodesTasksGoToTheirReplicas) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(4);
+  in.units = MakeUnits(3, 1);
+  in.replication_factor = 2;
+  const auto first = ComputeStickyAssignment(in);
+
+  // Remove node n0's unit; its active tasks must land on a unit that was
+  // previously a replica for them (Fig. 7 second preference).
+  TaskAssignmentInput in2 = in;
+  in2.units.clear();
+  for (const auto& u : in.units) {
+    if (u.node_id != "n0") in2.units.push_back(u);
+  }
+  in2.prev_active = first.active;
+  for (const auto& [task, units] : first.replicas) {
+    in2.prev_replicas[task] =
+        std::set<std::string>(units.begin(), units.end());
+  }
+  const auto second = ComputeStickyAssignment(in2);
+  for (const auto& [task, unit] : first.active) {
+    if (unit.rfind("n0/", 0) != 0) continue;  // Survivor, stays.
+    const auto& new_unit = second.active.at(task);
+    EXPECT_TRUE(in2.prev_replicas[task].count(new_unit) > 0)
+        << task.ToString() << " went to " << new_unit
+        << " which was not a previous replica";
+  }
+  // Survivors keep their tasks.
+  for (const auto& [task, unit] : first.active) {
+    if (unit.rfind("n0/", 0) == 0) continue;
+    EXPECT_EQ(second.active.at(task), unit);
+  }
+}
+
+TEST(StickyAssignmentTest, StalePreferredOverCold) {
+  // One task, two candidate units; u_stale previously held the task.
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(1);
+  in.units = {{"u_stale", "nA"}, {"u_cold", "nB"}};
+  in.stale[{"t", 0}] = {"u_stale"};
+  const auto result = ComputeStickyAssignment(in);
+  EXPECT_EQ(result.active.at({"t", 0}), "u_stale");
+}
+
+TEST(StickyAssignmentTest, WeightedTasksReduceColocation) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(4);
+  in.units = MakeUnits(2, 1);
+  in.weights[{"t", 0}] = 3.0;  // One heavy task.
+  const auto result = ComputeStickyAssignment(in);
+  // The heavy task's unit should carry fewer additional tasks than the
+  // other unit: total weight 6, budget 3 per unit.
+  const std::string heavy_unit = result.active.at({"t", 0});
+  EXPECT_LE(result.active_by_unit.at(heavy_unit).size(), 2u);
+}
+
+TEST(StickyAssignmentTest, MoreUnitsThanTasksLeavesSomeIdle) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(2);
+  in.units = MakeUnits(4, 2);
+  const auto result = ComputeStickyAssignment(in);
+  EXPECT_EQ(result.active.size(), 2u);
+  size_t assigned_units = result.active_by_unit.size();
+  EXPECT_LE(assigned_units, 2u);
+}
+
+TEST(StickyAssignmentTest, ReplicationCappedByNodeCount) {
+  // 2 nodes, replication 3: at most 2 copies can respect the
+  // one-copy-per-node invariant; the assigner falls back gracefully.
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(2);
+  in.units = MakeUnits(2, 2);
+  in.replication_factor = 3;
+  const auto result = ComputeStickyAssignment(in);
+  for (const auto& [task, units] : result.replicas) {
+    std::set<std::string> nodes;
+    nodes.insert(result.active.at(task).substr(0, 2));
+    for (const auto& u : units) {
+      nodes.insert(u.substr(0, 2));
+    }
+    // No node carries two copies.
+    EXPECT_EQ(nodes.size(), 1u + units.size());
+  }
+}
+
+TEST(StickyAssignmentTest, EmptyClusterProducesEmptyAssignment) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(4);
+  const auto result = ComputeStickyAssignment(in);
+  EXPECT_TRUE(result.active.empty());
+}
+
+}  // namespace
+}  // namespace railgun::engine

@@ -1,0 +1,235 @@
+// Tests for the full LSM store: put/get/delete, column families, flush,
+// compaction, recovery, checkpoints and iterators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/db.h"
+
+namespace railgun::storage {
+namespace {
+
+class DBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/railgun_db_test";
+    ASSERT_TRUE(DestroyDB(dir_).ok());
+    options_.write_buffer_size = 32 * 1024;  // Flush often.
+    options_.max_bytes_for_level_base = 128 * 1024;
+    options_.target_file_size = 32 * 1024;
+    Open();
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, dir_, &db_).ok()); }
+  void Reopen() {
+    db_.reset();
+    Open();
+  }
+
+  std::string Get(uint32_t cf, const std::string& key) {
+    std::string value;
+    Status s = db_->Get(cf, key, &value);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR:" + s.ToString();
+    return value;
+  }
+
+  DBOptions options_;
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTest, PutGetDelete) {
+  ASSERT_TRUE(db_->Put(0, "key", "value").ok());
+  EXPECT_EQ(Get(0, "key"), "value");
+  ASSERT_TRUE(db_->Put(0, "key", "value2").ok());
+  EXPECT_EQ(Get(0, "key"), "value2");
+  ASSERT_TRUE(db_->Delete(0, "key").ok());
+  EXPECT_EQ(Get(0, "key"), "NOT_FOUND");
+  EXPECT_EQ(Get(0, "never"), "NOT_FOUND");
+}
+
+TEST_F(DBTest, EmptyValueAndBinaryKeys) {
+  ASSERT_TRUE(db_->Put(0, "empty", "").ok());
+  EXPECT_EQ(Get(0, "empty"), "");
+  const std::string binary_key("\x00\x01\xff\x7f", 4);
+  ASSERT_TRUE(db_->Put(0, binary_key, "bin").ok());
+  EXPECT_EQ(Get(0, binary_key), "bin");
+}
+
+TEST_F(DBTest, ColumnFamiliesAreIsolated) {
+  auto cf_or = db_->CreateColumnFamily("aux");
+  ASSERT_TRUE(cf_or.ok());
+  const uint32_t aux = cf_or.value();
+
+  ASSERT_TRUE(db_->Put(0, "k", "default").ok());
+  ASSERT_TRUE(db_->Put(aux, "k", "aux").ok());
+  EXPECT_EQ(Get(0, "k"), "default");
+  EXPECT_EQ(Get(aux, "k"), "aux");
+  ASSERT_TRUE(db_->Delete(aux, "k").ok());
+  EXPECT_EQ(Get(0, "k"), "default");
+  EXPECT_EQ(Get(aux, "k"), "NOT_FOUND");
+
+  EXPECT_TRUE(db_->CreateColumnFamily("aux").status().IsAlreadyExists());
+  EXPECT_TRUE(db_->FindColumnFamily("aux").ok());
+  EXPECT_TRUE(db_->FindColumnFamily("nope").status().IsNotFound());
+}
+
+TEST_F(DBTest, WriteBatchIsAtomicallyVisible) {
+  WriteBatch batch;
+  batch.Put(0, "a", "1");
+  batch.Put(0, "b", "2");
+  batch.Delete(0, "a");
+  ASSERT_TRUE(db_->Write(&batch).ok());
+  EXPECT_EQ(Get(0, "a"), "NOT_FOUND");
+  EXPECT_EQ(Get(0, "b"), "2");
+}
+
+TEST_F(DBTest, SurvivesFlushAndCompaction) {
+  Random64 rng(11);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 30000; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06llu",
+             static_cast<unsigned long long>(rng.Uniform(3000)));
+    if (rng.OneIn(10)) {
+      ASSERT_TRUE(db_->Delete(0, key).ok());
+      model.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(db_->Put(0, key, value).ok());
+      model[key] = value;
+    }
+  }
+  // Verify every model key and a sample of absent keys.
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(Get(0, key), value) << key;
+  }
+  EXPECT_EQ(Get(0, "key999999"), "NOT_FOUND");
+
+  // Compaction actually happened (data beyond L0).
+  auto stats = db_->GetLevelStats(0);
+  int total_files = 0;
+  for (int level = 1; level < static_cast<int>(stats.size()); ++level) {
+    total_files += stats[level].num_files;
+  }
+  EXPECT_GT(total_files, 0);
+}
+
+TEST_F(DBTest, RecoversFromWalAfterReopen) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db_->Put(0, "k" + std::to_string(i),
+                         "v" + std::to_string(i)).ok());
+  }
+  Reopen();  // Destructor closes cleanly; WAL replays buffered tail.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(Get(0, "k" + std::to_string(i)), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(DBTest, RecoversColumnFamiliesAfterReopen) {
+  auto cf_or = db_->CreateColumnFamily("metrics");
+  ASSERT_TRUE(cf_or.ok());
+  const uint32_t cf = cf_or.value();
+  ASSERT_TRUE(db_->Put(cf, "m1", "42").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  Reopen();
+  auto found = db_->FindColumnFamily("metrics");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), cf);
+  EXPECT_EQ(Get(cf, "m1"), "42");
+}
+
+TEST_F(DBTest, CheckpointIsConsistentSnapshot) {
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db_->Put(0, "k" + std::to_string(i), "pre").ok());
+  }
+  const std::string ckpt_dir = dir_ + "_ckpt";
+  ASSERT_TRUE(db_->Checkpoint(ckpt_dir).ok());
+
+  // Writes after the checkpoint must not appear in it.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db_->Put(0, "k" + std::to_string(i), "post").ok());
+  }
+
+  std::unique_ptr<DB> snapshot;
+  ASSERT_TRUE(DB::Open(options_, ckpt_dir, &snapshot).ok());
+  std::string value;
+  ASSERT_TRUE(snapshot->Get(0, "k0", &value).ok());
+  EXPECT_EQ(value, "pre");
+  ASSERT_TRUE(db_->Get(0, "k0", &value).ok());
+  EXPECT_EQ(value, "post");
+  snapshot.reset();
+  ASSERT_TRUE(DestroyDB(ckpt_dir).ok());
+}
+
+TEST_F(DBTest, IteratorSkipsTombstonesAndOldVersions) {
+  ASSERT_TRUE(db_->Put(0, "a", "1").ok());
+  ASSERT_TRUE(db_->Put(0, "b", "old").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Put(0, "b", "new").ok());
+  ASSERT_TRUE(db_->Put(0, "c", "3").ok());
+  ASSERT_TRUE(db_->Delete(0, "a").ok());
+
+  auto iter = db_->NewIterator(0);
+  std::string scanned;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    scanned += iter->key().ToString() + "=" + iter->value().ToString() + ";";
+  }
+  EXPECT_EQ(scanned, "b=new;c=3;");
+}
+
+TEST_F(DBTest, IteratorSeekPositionsAtLowerBound) {
+  for (int i = 0; i < 100; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(db_->Put(0, key, std::to_string(i)).ok());
+  }
+  auto iter = db_->NewIterator(0);
+  iter->Seek("k051");  // Odd: between k050 and k052.
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k052");
+  iter->Seek("k050");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k050");
+  iter->Seek("k999");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(DBTest, LargeValuesRoundTrip) {
+  const std::string big(512 * 1024, 'B');
+  ASSERT_TRUE(db_->Put(0, "big", big).ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(Get(0, "big"), big);
+}
+
+TEST_F(DBTest, ManyColumnFamiliesUnderChurn) {
+  std::vector<uint32_t> cfs;
+  for (int i = 0; i < 8; ++i) {
+    auto cf = db_->CreateColumnFamily("cf" + std::to_string(i));
+    ASSERT_TRUE(cf.ok());
+    cfs.push_back(cf.value());
+  }
+  for (int round = 0; round < 2000; ++round) {
+    const uint32_t cf = cfs[static_cast<size_t>(round) % cfs.size()];
+    ASSERT_TRUE(db_->Put(cf, "k" + std::to_string(round % 50),
+                         std::to_string(round)).ok());
+  }
+  Reopen();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db_->FindColumnFamily("cf" + std::to_string(i)).ok());
+  }
+}
+
+TEST(DBOpenTest, MissingDbFailsWithoutCreateIfMissing) {
+  DBOptions options;
+  options.create_if_missing = false;
+  std::unique_ptr<DB> db;
+  EXPECT_TRUE(
+      DB::Open(options, "/tmp/railgun_db_never_created", &db).IsNotFound());
+}
+
+}  // namespace
+}  // namespace railgun::storage

@@ -1,0 +1,143 @@
+// Model-based randomized testing of the LSM store: a long random
+// sequence of puts/deletes/batches/flushes/reopens/checkpoints is
+// mirrored into an in-memory reference model; the store must agree with
+// the model at every probe point, across column families.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/db.h"
+
+namespace railgun::storage {
+namespace {
+
+class ModelTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/railgun_model_test_" + std::to_string(GetParam());
+    ASSERT_TRUE(DestroyDB(dir_).ok());
+    options_.write_buffer_size = 16 * 1024;  // Aggressive flushing.
+    options_.max_bytes_for_level_base = 64 * 1024;
+    options_.target_file_size = 16 * 1024;
+    Open();
+  }
+
+  void TearDown() override {
+    db_.reset();
+    ASSERT_TRUE(DestroyDB(dir_).ok());
+  }
+
+  void Open() {
+    db_.reset();  // Close (flushing the WAL) before reopening.
+    ASSERT_TRUE(DB::Open(options_, dir_, &db_).ok());
+  }
+
+  std::string RandomKey(Random64* rng) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "key%06llu",
+             static_cast<unsigned long long>(rng->Uniform(800)));
+    return buf;
+  }
+
+  DBOptions options_;
+  std::string dir_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(ModelTest, AgreesWithReferenceModelUnderChurn) {
+  Random64 rng(GetParam());
+  // Model: cf -> key -> value.
+  std::map<uint32_t, std::map<std::string, std::string>> model;
+  std::vector<uint32_t> cfs = {kDefaultColumnFamily};
+  auto aux = db_->CreateColumnFamily("aux");
+  ASSERT_TRUE(aux.ok());
+  cfs.push_back(aux.value());
+
+  for (int step = 0; step < 8000; ++step) {
+    const uint32_t cf = cfs[rng.Uniform(cfs.size())];
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (action < 55) {  // Put.
+      const std::string key = RandomKey(&rng);
+      const std::string value =
+          "v" + std::to_string(step) + std::string(rng.Uniform(64), 'x');
+      ASSERT_TRUE(db_->Put(cf, key, value).ok());
+      model[cf][key] = value;
+    } else if (action < 75) {  // Delete (possibly nonexistent).
+      const std::string key = RandomKey(&rng);
+      ASSERT_TRUE(db_->Delete(cf, key).ok());
+      model[cf].erase(key);
+    } else if (action < 90) {  // Batched update.
+      WriteBatch batch;
+      std::map<uint32_t, std::map<std::string, std::string>> staged;
+      std::map<uint32_t, std::vector<std::string>> deleted;
+      for (int i = 0; i < 5; ++i) {
+        const uint32_t bcf = cfs[rng.Uniform(cfs.size())];
+        const std::string key = RandomKey(&rng);
+        if (rng.OneIn(4)) {
+          batch.Delete(bcf, key);
+          staged[bcf].erase(key);
+          deleted[bcf].push_back(key);
+        } else {
+          const std::string value = "b" + std::to_string(step * 10 + i);
+          batch.Put(bcf, key, value);
+          staged[bcf][key] = value;
+          auto& dels = deleted[bcf];
+          dels.erase(std::remove(dels.begin(), dels.end(), key),
+                     dels.end());
+        }
+      }
+      ASSERT_TRUE(db_->Write(&batch).ok());
+      for (auto& [bcf, dels] : deleted) {
+        for (const auto& key : dels) model[bcf].erase(key);
+      }
+      for (auto& [bcf, kvs] : staged) {
+        for (auto& [key, value] : kvs) model[bcf][key] = value;
+      }
+    } else if (action < 94) {  // Flush.
+      ASSERT_TRUE(db_->Flush().ok());
+    } else if (action < 97) {  // Probe a batch of random keys.
+      for (int i = 0; i < 10; ++i) {
+        const uint32_t pcf = cfs[rng.Uniform(cfs.size())];
+        const std::string key = RandomKey(&rng);
+        std::string value;
+        const Status s = db_->Get(pcf, key, &value);
+        auto it = model[pcf].find(key);
+        if (it == model[pcf].end()) {
+          EXPECT_TRUE(s.IsNotFound())
+              << "step " << step << " cf " << pcf << " key " << key
+              << ": store has a value the model does not";
+        } else {
+          ASSERT_TRUE(s.ok()) << "step " << step << " key " << key << ": "
+                              << s.ToString();
+          EXPECT_EQ(value, it->second) << "step " << step;
+        }
+      }
+    } else {  // Reopen (clean close + WAL replay path).
+      Open();
+    }
+  }
+
+  // Final full audit including a scan comparison.
+  for (const uint32_t cf : cfs) {
+    auto iter = db_->NewIterator(cf);
+    auto expected = model[cf].begin();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      ASSERT_NE(expected, model[cf].end())
+          << "store iterates beyond the model in cf " << cf << " at key "
+          << iter->key().ToString();
+      EXPECT_EQ(iter->key().ToString(), expected->first);
+      EXPECT_EQ(iter->value().ToString(), expected->second);
+      ++expected;
+    }
+    EXPECT_EQ(expected, model[cf].end())
+        << "model has keys the store's scan missed in cf " << cf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace railgun::storage
