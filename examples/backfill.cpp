@@ -1,84 +1,78 @@
 // Metric backfill demo (paper §6 future work): add a new metric to a
-// task whose reservoir already holds history, and fill its aggregation
-// state from the stored events — possible precisely because Railgun
-// keeps raw events in the reservoir (hopping systems discarded them).
+// stream whose reservoirs already hold history, and watch its
+// aggregation state get filled from the stored events — possible
+// precisely because Railgun keeps raw events in the reservoir (hopping
+// systems discarded them). The whole flow runs through the client API:
+// ADD METRIC on a live stream backfills on the running tasks.
 #include <cstdio>
 
-#include "plan/task_plan.h"
-#include "storage/db.h"
+#include "api/client.h"
 
 using namespace railgun;
-using reservoir::FieldType;
-using reservoir::FieldValue;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::Row;
 
 int main() {
-  Env::Default()->RemoveDirRecursive("/tmp/railgun-backfill-example");
+  ClientOptions options;
+  options.num_nodes = 1;
+  options.processor_units_per_node = 1;
+  options.base_dir = "/tmp/railgun-backfill-example";
+  Client client(options);
+  if (!client.Start().ok()) return 1;
 
-  reservoir::ReservoirOptions ropts;
-  ropts.schema_fields = {{"cardId", FieldType::kString},
-                         {"amount", FieldType::kDouble}};
-  ropts.chunk_target_bytes = 8 * 1024;
-  reservoir::Reservoir res(ropts, "/tmp/railgun-backfill-example/reservoir");
-  if (!res.Open().ok()) return 1;
-  std::unique_ptr<storage::DB> db;
-  if (!storage::DB::Open({}, "/tmp/railgun-backfill-example/db", &db).ok()) {
+  if (!client
+           .CreateStream("CREATE STREAM payments (cardId STRING, "
+                         "amount DOUBLE) PARTITION BY cardId")
+           .ok() ||
+      !client
+           .Query("ADD METRIC SELECT count(*) FROM payments "
+                  "GROUP BY cardId OVER sliding 1 hour")
+           .ok()) {
     return 1;
   }
 
-  plan::TaskPlan plan(&res, db.get());
-  if (!plan.Init().ok()) return 1;
-  plan.AddQuery(query::ParseQuery("SELECT count(*) FROM payments "
-                                  "GROUP BY cardId OVER sliding 1 hour")
-                    .value());
-
   // Phase 1: a day of history with only count(*) computed.
   printf("phase 1: ingesting 5000 historical events (count(*) only)\n");
-  uint64_t id = 0;
-  std::vector<plan::MetricResult> results;
   for (int i = 0; i < 5000; ++i) {
-    reservoir::Event e;
-    e.timestamp = static_cast<Micros>(i) * 17 * kMicrosPerSecond;
-    e.id = ++id;
-    e.offset = id;
-    e.values = {FieldValue("card" + std::to_string(i % 3)),
-                FieldValue(2.5)};
-    bool accepted;
-    res.Append(e, &accepted);
-    results.clear();
-    plan.ProcessEvent(e, &results);
+    client.SubmitNoReply(
+        "payments",
+        Row()
+            .At(static_cast<Micros>(i) * 17 * kMicrosPerSecond)
+            .Set("cardId", "card" + std::to_string(i % 3))
+            .Set("amount", 2.5));
   }
-  printf("  reservoir now holds %llu persisted + buffered events\n",
-         static_cast<unsigned long long>(res.LastPersistedOffset()));
+  const uint64_t processed =
+      client.admin().WaitForQuiescence(30 * kMicrosPerSecond);
+  printf("  cluster processed %llu events\n",
+         static_cast<unsigned long long>(processed));
 
-  // Phase 2: the analyst adds sum(amount) — and backfills it.
+  // Phase 2: the analyst adds sum(amount) — the running task backfills
+  // it from the reservoir history.
   printf("\nphase 2: adding sum(amount) with backfill from the reservoir\n");
-  auto new_metric =
-      query::ParseQuery("SELECT sum(amount) FROM payments "
-                        "GROUP BY cardId OVER sliding 1 hour");
-  if (!plan.AddQueryBackfilled(new_metric.value()).ok()) {
+  if (!client
+           .Query("ADD METRIC SELECT sum(amount) FROM payments "
+                  "GROUP BY cardId OVER sliding 1 hour")
+           .ok()) {
     fprintf(stderr, "backfill failed\n");
     return 1;
   }
 
-  // Phase 3: the very next event reports a fully-warmed sum.
-  reservoir::Event e;
-  e.timestamp = static_cast<Micros>(5000) * 17 * kMicrosPerSecond;
-  e.id = ++id;
-  e.offset = id;
-  e.values = {FieldValue("card0"), FieldValue(2.5)};
-  bool accepted;
-  res.Append(e, &accepted);
-  results.clear();
-  plan.ProcessEvent(e, &results);
+  // Phase 3: the very next event reports a fully-warmed sum (DDL is
+  // synchronous: Query() returned after every unit applied it).
+  const EventResult result = client.SubmitSync(
+      "payments", Row()
+                      .At(static_cast<Micros>(5000) * 17 * kMicrosPerSecond)
+                      .Set("cardId", "card0")
+                      .Set("amount", 2.5));
 
-  printf("\nfirst event after backfill reports:\n");
-  for (const auto& r : results) {
-    printf("    %-40s [%s] = %s\n", r.metric_name.c_str(),
-           r.group_key.c_str(), r.value.ToString().c_str());
-  }
+  printf("\nfirst event after backfill reports:\n%s",
+         result.ToString().c_str());
   // The 1-hour window at t=5000*17s covers floor(3600/17)+1 = 212
   // events round-robined over 3 cards, ~71 for card0, plus this one.
   printf("\n(sum == 2.5 x count for card0 proves the backfilled state\n"
          " matches the count metric that lived through the history)\n");
+  client.Stop();
   return 0;
 }

@@ -2,109 +2,80 @@
 // factor 2 keeps serving accurate metrics through a node failure. The
 // example prints the task assignment before and after the failure and
 // verifies that a card's transaction count stays exact across the kill.
-#include <atomic>
+// Everything runs through railgun::api::Client / Admin.
 #include <cstdio>
 
-#include "engine/cluster.h"
+#include "api/client.h"
 
 using namespace railgun;
-using namespace railgun::engine;
-using reservoir::FieldType;
-using reservoir::FieldValue;
-
-namespace {
-
-void PrintAssignments(Cluster& cluster, const char* label) {
-  printf("\n--- task assignment %s ---\n", label);
-  for (int n = 0; n < cluster.num_nodes(); ++n) {
-    RailgunNode* node = cluster.node(n);
-    if (!node->alive()) {
-      printf("  %s: DEAD\n", node->id().c_str());
-      continue;
-    }
-    for (int u = 0; u < node->num_units(); ++u) {
-      ProcessorUnit* unit = node->unit(u);
-      printf("  %s: %zu active, %zu replica tasks\n",
-             unit->unit_id().c_str(), unit->active_tasks().size(),
-             unit->replica_tasks().size());
-    }
-  }
-}
-
-}  // namespace
+using api::Client;
+using api::ClientOptions;
+using api::ClusterStats;
+using api::EventResult;
+using api::MetricValue;
+using api::Row;
 
 int main() {
-  ClusterOptions options;
+  ClientOptions options;
   options.num_nodes = 3;
   options.replication_factor = 2;
-  options.node.num_processor_units = 2;
-  options.node.unit.task.checkpoint_interval_events = 100;
+  options.processor_units_per_node = 2;
+  options.engine.node.unit.task.checkpoint_interval_events = 100;
   options.base_dir = "/tmp/railgun-failover-example";
-  Cluster cluster(options);
-  if (!cluster.Start().ok()) return 1;
+  Client client(options);
+  if (!client.Start().ok()) return 1;
 
-  StreamDef stream;
-  stream.name = "payments";
-  stream.fields = {{"cardId", FieldType::kString},
-                   {"amount", FieldType::kDouble}};
-  stream.partitioners = {"cardId"};
-  stream.partitions_per_topic = 6;
-  stream.queries = {
-      query::ParseQuery("SELECT count(*), sum(amount) FROM payments "
-                        "GROUP BY cardId OVER sliding 1 hour")
-          .value()};
-  if (!cluster.RegisterStream(stream).ok()) return 1;
+  if (!client
+           .CreateStream("CREATE STREAM payments (cardId STRING, "
+                         "amount DOUBLE) PARTITION BY cardId PARTITIONS 6")
+           .ok() ||
+      !client
+           .Query("ADD METRIC SELECT count(*), sum(amount) FROM payments "
+                  "GROUP BY cardId OVER sliding 1 hour")
+           .ok()) {
+    return 1;
+  }
 
-  std::atomic<int> replies{0};
-  std::atomic<long> last_count{0};
+  long last_count = 0;
   auto submit = [&](int i) {
-    reservoir::Event e;
-    e.timestamp = static_cast<Micros>(i) * kMicrosPerSecond;
-    e.id = static_cast<uint64_t>(i + 1);
-    e.values = {FieldValue("card-vip"), FieldValue(9.99)};
-    cluster.node(0)->frontend()->Submit(
-        "payments", e,
-        [&](Status, const std::vector<MetricReply>& results) {
-          for (const auto& r : results) {
-            if (r.metric_name.rfind("count", 0) == 0) {
-              last_count = static_cast<long>(r.value.ToNumber());
-            }
-          }
-          ++replies;
-        });
-    MonotonicClock::Default()->SleepMicros(2000);
+    const EventResult result = client.SubmitSync(
+        "payments", Row()
+                        .At(static_cast<Micros>(i) * kMicrosPerSecond)
+                        .WithId(static_cast<uint64_t>(i + 1))
+                        .Set("cardId", "card-vip")
+                        .Set("amount", 9.99));
+    if (const MetricValue* count = result.Find("count(*)")) {
+      last_count = static_cast<long>(count->value.ToNumber());
+    }
   };
 
   printf("phase 1: 100 transactions on card-vip across 3 nodes\n");
   for (int i = 0; i < 100; ++i) submit(i);
-  while (replies < 100) MonotonicClock::Default()->SleepMicros(5000);
-  PrintAssignments(cluster, "before failure");
-  printf("count(card-vip) = %ld (expect 100)\n", last_count.load());
+  printf("\n--- task assignment before failure ---\n%s",
+         client.admin().Describe().c_str());
+  printf("count(card-vip) = %ld (expect 100)\n", last_count);
 
   printf("\nphase 2: killing node2 (replication factor 2 covers it)\n");
-  cluster.KillNode(2);
+  client.admin().KillNode(2);
 
   for (int i = 100; i < 200; ++i) submit(i);
-  for (int w = 0; w < 2000 && replies < 200; ++w) {
-    MonotonicClock::Default()->SleepMicros(10000);
-  }
-  PrintAssignments(cluster, "after failure");
+  printf("\n--- task assignment after failure ---\n%s",
+         client.admin().Describe().c_str());
   printf("count(card-vip) = %ld (expect 200 — no lost or double-counted "
-         "events)\n", last_count.load());
+         "events)\n", last_count);
 
-  const UnitStats stats = cluster.TotalStats();
+  const ClusterStats stats = client.admin().TotalStats();
   printf("\nrecoveries from donors: %llu, fresh tasks: %llu, "
          "bytes copied: %llu\n",
          static_cast<unsigned long long>(stats.recoveries),
          static_cast<unsigned long long>(stats.fresh_tasks),
          static_cast<unsigned long long>(stats.bytes_recovered));
-  printf("bus rebalances: %llu, sticky moves (active): %d\n",
-         static_cast<unsigned long long>(cluster.bus()->rebalance_count()),
-         cluster.coordinator()->total_moved_active());
+  printf("bus rebalances: %llu\n",
+         static_cast<unsigned long long>(stats.rebalances));
 
-  cluster.Stop();
-  printf("\n%s\n", last_count.load() == 200 ? "SUCCESS: accuracy preserved "
-                                              "through failure"
-                                            : "FAILURE: count diverged");
-  return last_count.load() == 200 ? 0 : 1;
+  client.Stop();
+  printf("\n%s\n", last_count == 200 ? "SUCCESS: accuracy preserved "
+                                       "through failure"
+                                     : "FAILURE: count diverged");
+  return last_count == 200 ? 0 : 1;
 }

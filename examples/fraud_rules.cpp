@@ -1,45 +1,50 @@
 // Fraud-rule accuracy demo (the paper's Figure 1 and §2.1): the business
 // rule "if the number of transactions of a card in the last 5 minutes is
 // higher than 4, block the transaction" evaluated over (a) a true
-// real-time sliding window (Railgun) and (b) a 5-minute hopping window
-// with a 1-minute hop (the Flink-style approximation).
+// real-time sliding window (Railgun, through the client API) and (b) a
+// 5-minute hopping window with a 1-minute hop (the Flink-style
+// approximation, from src/baseline).
 //
 // The burst e1..e5 at minutes 0.9, 1.9, 2.9, 3.9 and 5.4 fits inside
 // 5 minutes (span 4.5 min), so the rule must fire on e5 — but no hopping
 // instance contains all five events.
 #include <cstdio>
+#include <string>
 
+#include "api/client.h"
 #include "baseline/hopping_engine.h"
-#include "plan/task_plan.h"
 #include "storage/db.h"
 
 using namespace railgun;
-using reservoir::FieldType;
-using reservoir::FieldValue;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::MetricValue;
+using api::Row;
 
 int main() {
-  Env::Default()->RemoveDirRecursive("/tmp/railgun-fraud-rules");
-
-  // --- Railgun: real-time sliding window over an event reservoir.
-  reservoir::ReservoirOptions ropts;
-  ropts.schema_fields = {{"cardId", FieldType::kString},
-                         {"amount", FieldType::kDouble}};
-  reservoir::Reservoir res(ropts, "/tmp/railgun-fraud-rules/reservoir");
-  if (!res.Open().ok()) return 1;
-  std::unique_ptr<storage::DB> db;
-  if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules/db", &db).ok()) {
+  // --- Railgun: real-time sliding window served by a one-node cluster.
+  ClientOptions options;
+  options.num_nodes = 1;
+  options.processor_units_per_node = 1;
+  options.base_dir = "/tmp/railgun-fraud-rules";
+  Client client(options);
+  if (!client.Start().ok()) return 1;
+  if (!client
+           .CreateStream("CREATE STREAM payments (cardId STRING, "
+                         "amount DOUBLE) PARTITION BY cardId")
+           .ok() ||
+      !client
+           .Query("ADD METRIC SELECT count(*) FROM payments "
+                  "GROUP BY cardId OVER sliding 5 minutes")
+           .ok()) {
     return 1;
   }
-  plan::TaskPlan plan(&res, db.get());
-  if (!plan.Init().ok()) return 1;
-  auto query = query::ParseQuery(
-      "SELECT count(*) FROM payments GROUP BY cardId "
-      "OVER sliding 5 minutes");
-  if (!plan.AddQuery(query.value()).ok()) return 1;
 
   // --- Baseline: 5-minute hopping window, 1-minute hop.
+  Env::Default()->RemoveDirRecursive("/tmp/railgun-fraud-rules-hopdb");
   std::unique_ptr<storage::DB> hop_db;
-  if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules/hopdb", &hop_db)
+  if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules-hopdb", &hop_db)
            .ok()) {
     return 1;
   }
@@ -55,26 +60,27 @@ int main() {
   const double minutes[] = {0.9, 1.9, 2.9, 3.9, 5.4};
   uint64_t id = 0;
   for (double m : minutes) {
-    reservoir::Event e;
-    e.timestamp = static_cast<Micros>(m * kMicrosPerMinute);
-    e.id = ++id;
-    e.offset = id;
-    e.values = {FieldValue("card1"), FieldValue(50.0)};
+    const Micros ts = static_cast<Micros>(m * kMicrosPerMinute);
+    ++id;
 
-    bool accepted;
-    res.Append(e, &accepted);
-    std::vector<plan::MetricResult> results;
-    plan.ProcessEvent(e, &results);
-    const double sliding_count = results[0].value.ToNumber();
+    const EventResult result = client.SubmitSync(
+        "payments", Row()
+                        .At(ts)
+                        .WithId(id)
+                        .Set("cardId", "card1")
+                        .Set("amount", 50.0));
+    const MetricValue* count = result.Find("count(*)", "card1");
+    const int sliding_count =
+        count != nullptr ? static_cast<int>(count->value.ToNumber()) : -1;
 
     baseline::BaselineResult hop_result;
-    hopping.ProcessEvent("card1", e.timestamp, 50.0, &hop_result);
+    hopping.ProcessEvent("card1", ts, 50.0, &hop_result);
 
     char label[16];
     snprintf(label, sizeof(label), "e%llu@%.1fm",
              static_cast<unsigned long long>(id), m);
     printf("%-8s %-22s %-22s\n", label,
-           (std::to_string(static_cast<int>(sliding_count)) +
+           (std::to_string(sliding_count) +
             (sliding_count > 4 ? "  BLOCK" : "  pass"))
                .c_str(),
            (std::to_string(hop_result.count) +
@@ -82,6 +88,7 @@ int main() {
                .c_str());
   }
 
+  client.Stop();
   printf(
       "\nThe sliding window catches the burst on e5 (count=5 > 4); the\n"
       "hopping approximation never sees all five events in one window\n"

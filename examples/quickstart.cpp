@@ -1,55 +1,54 @@
-// Quickstart: start a one-node Railgun cluster, register the paper's Q1
-// and Q2 metrics over a payments stream, submit a few events and print
-// the per-event aggregations returned to the client.
+// Quickstart: start a one-node Railgun cluster through the client API,
+// declare the paper's payments stream and its Q1/Q2 metrics with DDL,
+// submit a few events and print the per-event aggregations returned to
+// the client.
 //
 //   SELECT SUM(amount), COUNT(*) FROM payments
 //     GROUP BY cardId OVER sliding 5 minutes                      (Q1)
 //   SELECT AVG(amount) FROM payments
 //     GROUP BY merchantId OVER sliding 5 minutes                  (Q2)
-#include <atomic>
 #include <cstdio>
 
-#include "engine/cluster.h"
+#include "api/client.h"
 
 using namespace railgun;
-using namespace railgun::engine;
-using reservoir::FieldType;
-using reservoir::FieldValue;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::Row;
 
 int main() {
   // 1. A single-node cluster with two processor units.
-  ClusterOptions options;
+  ClientOptions options;
   options.num_nodes = 1;
-  options.node.num_processor_units = 2;
+  options.processor_units_per_node = 2;
   options.base_dir = "/tmp/railgun-quickstart";
-  Cluster cluster(options);
-  if (!cluster.Start().ok()) {
+  Client client(options);
+  if (!client.Start().ok()) {
     fprintf(stderr, "failed to start cluster\n");
     return 1;
   }
 
-  // 2. Register the payments stream: schema, partitioners and metrics.
-  StreamDef stream;
-  stream.name = "payments";
-  stream.fields = {{"cardId", FieldType::kString},
-                   {"merchantId", FieldType::kString},
-                   {"amount", FieldType::kDouble}};
-  stream.partitioners = {"cardId", "merchantId"};
-  stream.partitions_per_topic = 4;
-  stream.queries = {
-      query::ParseQuery("SELECT sum(amount), count(*) FROM payments "
-                        "GROUP BY cardId OVER sliding 5 minutes")
-          .value(),
-      query::ParseQuery("SELECT avg(amount) FROM payments "
-                        "GROUP BY merchantId OVER sliding 5 minutes")
-          .value()};
-  if (!cluster.RegisterStream(stream).ok()) {
-    fprintf(stderr, "failed to register stream\n");
-    return 1;
+  // 2. Declare the payments stream and its metrics — textually,
+  //    end-to-end.
+  const char* ddl[] = {
+      "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+      "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 4",
+      "ADD METRIC SELECT sum(amount), count(*) FROM payments "
+      "GROUP BY cardId OVER sliding 5 minutes",
+      "ADD METRIC SELECT avg(amount) FROM payments "
+      "GROUP BY merchantId OVER sliding 5 minutes",
+  };
+  for (const char* statement : ddl) {
+    const Status s = client.Execute(statement);
+    if (!s.ok()) {
+      fprintf(stderr, "%s\n  while executing: %s\n", s.ToString().c_str(),
+              statement);
+      return 1;
+    }
   }
 
   // 3. Submit events and print each reply.
-  std::atomic<int> outstanding{0};
   struct Payment {
     Micros minute;
     const char* card;
@@ -62,33 +61,18 @@ int main() {
       {7, "card1", "storeB", 60.0},  // The minute-1 event has expired here.
   };
 
-  uint64_t id = 0;
   for (const Payment& p : payments) {
-    reservoir::Event e;
-    e.timestamp = p.minute * kMicrosPerMinute;
-    e.id = ++id;
-    e.values = {FieldValue(p.card), FieldValue(p.merchant),
-                FieldValue(p.amount)};
-    ++outstanding;
-    const Micros ts_minutes = p.minute;
-    cluster.node(0)->frontend()->Submit(
-        "payments", e,
-        [&outstanding, ts_minutes](Status /*status*/,
-                                   const std::vector<MetricReply>& results) {
-          printf("t=%lldmin:\n", static_cast<long long>(ts_minutes));
-          for (const auto& r : results) {
-            printf("    %-45s [%s] = %s\n", r.metric_name.c_str(),
-                   r.group_key.c_str(), r.value.ToString().c_str());
-          }
-          --outstanding;
-        });
-    // Keep output ordered for the demo.
-    while (outstanding > 0) {
-      MonotonicClock::Default()->SleepMicros(1000);
-    }
+    const EventResult result = client.SubmitSync(
+        "payments", Row()
+                        .At(p.minute * kMicrosPerMinute)
+                        .Set("cardId", p.card)
+                        .Set("merchantId", p.merchant)
+                        .Set("amount", p.amount));
+    printf("t=%lldmin:\n%s", static_cast<long long>(p.minute),
+           result.ToString().c_str());
   }
 
-  cluster.Stop();
+  client.Stop();
   printf("done.\n");
   return 0;
 }

@@ -1,224 +1,109 @@
-// Interactive (or scripted) Railgun shell: define streams, register
-// metric queries, feed events and watch per-event aggregations — a
-// minimal operator console over the cluster API.
+// Interactive (or scripted) Railgun shell over railgun::api::Client:
+// declare streams and metrics with DDL, feed events and watch per-event
+// aggregations — a minimal operator console.
 //
 // Commands (one per line; '#' comments):
-//   stream <name> <field>:<type> ...   -- partitioners <field> [...]
-//   query  <railgun SQL statement>
-//   event  <stream> ts=<seconds> <field>=<value> ...
-//   stats
+//   CREATE STREAM <name> (<field> <TYPE>, ...) PARTITION BY <f>[, ...]
+//       [PARTITIONS <n>]
+//   ADD METRIC SELECT ...            (or a bare SELECT statement)
+//   event <stream> ts=<seconds> <field>=<value> ...
+//   streams | stats | addnode | killnode <i>
 //   quit
 //
 // Example session (also works piped from a file):
-//   stream payments cardId:string merchantId:string amount:double \
-//       -- partitioners cardId merchantId
-//   query SELECT sum(amount), count(*) FROM payments GROUP BY cardId \
-//       OVER sliding 5 minutes
+//   CREATE STREAM payments (cardId STRING, merchantId STRING,
+//       amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 4
+//   ADD METRIC SELECT sum(amount), count(*) FROM payments
+//       GROUP BY cardId OVER sliding 5 minutes
 //   event payments ts=60 cardId=card1 merchantId=m1 amount=10.5
-#include <atomic>
+#include <unistd.h>
+
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
-#include "engine/cluster.h"
+#include "api/client.h"
 
 using namespace railgun;
-using namespace railgun::engine;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::Row;
 using reservoir::FieldType;
 using reservoir::FieldValue;
 
 namespace {
 
-struct Repl {
-  Cluster* cluster;
-  std::map<std::string, StreamDef> streams;  // Pending + registered.
-  uint64_t next_event_id = 1;
+bool HandleEvent(Client& client, std::istringstream& in) {
+  std::string stream_name;
+  in >> stream_name;
+  auto schema_or = client.GetSchema(stream_name);
+  if (!schema_or.ok()) {
+    printf("! %s\n", schema_or.status().ToString().c_str());
+    return false;
+  }
+  const reservoir::Schema& schema = schema_or.value();
 
-  bool HandleStream(std::istringstream& in) {
-    StreamDef stream;
-    in >> stream.name;
-    std::string token;
-    bool in_partitioners = false;
-    while (in >> token) {
-      if (token == "--") continue;
-      if (token == "partitioners") {
-        in_partitioners = true;
-        continue;
-      }
-      if (in_partitioners) {
-        stream.partitioners.push_back(token);
-        continue;
-      }
-      const size_t colon = token.find(':');
-      if (colon == std::string::npos) {
-        printf("! field must be <name>:<type>: %s\n", token.c_str());
-        return false;
-      }
-      const std::string name = token.substr(0, colon);
-      const std::string type = token.substr(colon + 1);
-      FieldType ft;
-      if (type == "string") {
-        ft = FieldType::kString;
-      } else if (type == "double" || type == "float") {
-        ft = FieldType::kDouble;
-      } else if (type == "int" || type == "int64") {
-        ft = FieldType::kInt64;
-      } else if (type == "bool") {
-        ft = FieldType::kBool;
-      } else {
-        printf("! unknown type: %s\n", type.c_str());
-        return false;
-      }
-      stream.fields.push_back({name, ft});
+  Row row;
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "ts") {
+      row.At(static_cast<Micros>(atof(value.c_str()) * kMicrosPerSecond));
+      continue;
     }
-    if (stream.name.empty() || stream.fields.empty() ||
-        stream.partitioners.empty()) {
-      printf("! usage: stream <name> <field>:<type>... -- partitioners "
-             "<field>...\n");
+    const int index = schema.FieldIndex(key);
+    if (index < 0) {
+      printf("! unknown field: %s\n", key.c_str());
       return false;
     }
-    stream.partitions_per_topic = 4;
-    streams[stream.name] = stream;
-    const Status s = cluster->RegisterStream(stream);
-    if (!s.ok()) {
-      printf("! %s\n", s.ToString().c_str());
-      return false;
+    switch (schema.fields()[static_cast<size_t>(index)].type) {
+      case FieldType::kString:
+        row.Set(key, FieldValue(value));
+        break;
+      case FieldType::kDouble:
+        row.Set(key, FieldValue(atof(value.c_str())));
+        break;
+      case FieldType::kInt64:
+        row.Set(key, FieldValue(static_cast<int64_t>(atoll(value.c_str()))));
+        break;
+      case FieldType::kBool:
+        row.Set(key, FieldValue(value == "true" || value == "1"));
+        break;
     }
-    printf("stream '%s' registered (%zu fields, %zu partitioners)\n",
-           stream.name.c_str(), stream.fields.size(),
-           stream.partitioners.size());
-    return true;
   }
 
-  bool HandleQuery(const std::string& sql) {
-    auto parsed = query::ParseQuery(sql);
-    if (!parsed.ok()) {
-      printf("! parse error: %s\n", parsed.status().ToString().c_str());
-      return false;
-    }
-    auto it = streams.find(parsed->stream);
-    if (it == streams.end()) {
-      printf("! unknown stream: %s\n", parsed->stream.c_str());
-      return false;
-    }
-    it->second.queries.push_back(parsed.value());
-    const Status s = cluster->RegisterStream(it->second);
-    if (!s.ok()) {
-      printf("! %s\n", s.ToString().c_str());
-      return false;
-    }
-    printf("metric registered over '%s': %s\n", parsed->stream.c_str(),
-           parsed->window.ToString().c_str());
-    return true;
+  const EventResult result = client.SubmitSync(stream_name, row);
+  if (!result.ok() && result.metrics.empty()) {
+    printf("! %s\n", result.status.ToString().c_str());
+    return false;
   }
-
-  bool HandleEvent(std::istringstream& in) {
-    std::string stream_name;
-    in >> stream_name;
-    auto it = streams.find(stream_name);
-    if (it == streams.end()) {
-      printf("! unknown stream: %s\n", stream_name.c_str());
-      return false;
-    }
-    const StreamDef& stream = it->second;
-    const reservoir::Schema schema(0, stream.fields);
-
-    reservoir::Event event;
-    event.id = next_event_id++;
-    event.values.resize(stream.fields.size());
-    std::string token;
-    while (in >> token) {
-      const size_t eq = token.find('=');
-      if (eq == std::string::npos) continue;
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      if (key == "ts") {
-        event.timestamp =
-            static_cast<Micros>(atof(value.c_str()) * kMicrosPerSecond);
-        continue;
-      }
-      const int index = schema.FieldIndex(key);
-      if (index < 0) {
-        printf("! unknown field: %s\n", key.c_str());
-        return false;
-      }
-      switch (stream.fields[static_cast<size_t>(index)].type) {
-        case FieldType::kString:
-          event.values[static_cast<size_t>(index)] = FieldValue(value);
-          break;
-        case FieldType::kDouble:
-          event.values[static_cast<size_t>(index)] =
-              FieldValue(atof(value.c_str()));
-          break;
-        case FieldType::kInt64:
-          event.values[static_cast<size_t>(index)] =
-              FieldValue(static_cast<int64_t>(atoll(value.c_str())));
-          break;
-        case FieldType::kBool:
-          event.values[static_cast<size_t>(index)] =
-              FieldValue(value == "true" || value == "1");
-          break;
-      }
-    }
-
-    std::atomic<bool> done{false};
-    const Status s = cluster->node(0)->frontend()->Submit(
-        stream_name, event,
-        [&done](Status, const std::vector<MetricReply>& results) {
-          for (const auto& r : results) {
-            printf("    %-45s [%s] = %s\n", r.metric_name.c_str(),
-                   r.group_key.c_str(), r.value.ToString().c_str());
-          }
-          if (results.empty()) printf("    (no metrics registered)\n");
-          done = true;
-        });
-    if (!s.ok()) {
-      printf("! %s\n", s.ToString().c_str());
-      return false;
-    }
-    while (!done) MonotonicClock::Default()->SleepMicros(500);
-    return true;
-  }
-
-  void HandleStats() {
-    const UnitStats stats = cluster->TotalStats();
-    printf("cluster: %d node(s)\n", cluster->num_nodes());
-    printf("  messages processed (active): %llu\n",
-           static_cast<unsigned long long>(stats.active_messages));
-    printf("  replies sent: %llu\n",
-           static_cast<unsigned long long>(stats.replies_sent));
-    printf("  rebalances: %llu\n",
-           static_cast<unsigned long long>(
-               cluster->bus()->rebalance_count()));
-    for (int n = 0; n < cluster->num_nodes(); ++n) {
-      RailgunNode* node = cluster->node(n);
-      for (int u = 0; u < node->num_units(); ++u) {
-        printf("  %s: %zu active / %zu replica tasks\n",
-               node->unit(u)->unit_id().c_str(),
-               node->unit(u)->active_tasks().size(),
-               node->unit(u)->replica_tasks().size());
-      }
-    }
-  }
-};
+  printf("%s", result.ToString().c_str());
+  return true;
+}
 
 }  // namespace
 
 int main() {
-  ClusterOptions options;
+  ClientOptions options;
   options.num_nodes = 1;
-  options.node.num_processor_units = 2;
+  options.processor_units_per_node = 2;
   options.base_dir = "/tmp/railgun-repl";
-  Cluster cluster(options);
-  if (!cluster.Start().ok()) {
+  Client client(options);
+  if (!client.Start().ok()) {
     fprintf(stderr, "failed to start cluster\n");
     return 1;
   }
-  Repl repl{&cluster, {}, 1};
 
   const bool interactive = isatty(0);
   if (interactive) {
-    printf("railgun shell — commands: stream, query, event, stats, quit\n");
+    printf("railgun shell — CREATE STREAM / ADD METRIC / SELECT, "
+           "event, streams, stats, addnode, killnode, quit\n");
   }
   std::string line;
   while (true) {
@@ -234,21 +119,41 @@ int main() {
     std::istringstream in(line);
     std::string command;
     in >> command;
+    for (auto& c : command) {
+      c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+    }
     if (command == "quit" || command == "exit") break;
-    if (command == "stream") {
-      repl.HandleStream(in);
-    } else if (command == "query") {
-      std::string rest;
-      std::getline(in, rest);
-      repl.HandleQuery(rest);
+    if (command == "create" || command == "add" || command == "select") {
+      const Status s = client.Execute(line);
+      if (!s.ok()) {
+        printf("! %s\n", s.ToString().c_str());
+      } else {
+        printf("ok\n");
+      }
     } else if (command == "event") {
-      repl.HandleEvent(in);
+      HandleEvent(client, in);
+    } else if (command == "streams") {
+      for (const auto& name : client.ListStreams()) {
+        printf("  %s\n", name.c_str());
+      }
     } else if (command == "stats") {
-      repl.HandleStats();
+      printf("%s", client.admin().Describe().c_str());
+    } else if (command == "addnode") {
+      auto index = client.admin().AddNode();
+      if (index.ok()) {
+        printf("node%d added\n", index.value());
+      } else {
+        printf("! %s\n", index.status().ToString().c_str());
+      }
+    } else if (command == "killnode") {
+      int index = -1;
+      in >> index;
+      const Status s = client.admin().KillNode(index);
+      printf("%s\n", s.ok() ? "killed" : s.ToString().c_str());
     } else {
       printf("! unknown command: %s\n", command.c_str());
     }
   }
-  cluster.Stop();
+  client.Stop();
   return 0;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# clang-format gate over the first-party C++ sources (src/, tests/,
+# examples/, bench/). Exits non-zero when any file needs reformatting;
+# run `scripts/check_format.sh --fix` to apply the formatting in place.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+mapfile -t files < <(find src tests examples bench \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) | sort)
+
+clang-format "${mode[@]}" --style=file "${files[@]}"
+echo "check_format: ${#files[@]} files checked"

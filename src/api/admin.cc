@@ -1,0 +1,83 @@
+#include "api/admin.h"
+
+#include "engine/cluster.h"
+
+namespace railgun::api {
+
+StatusOr<int> Admin::AddNode() {
+  RAILGUN_RETURN_IF_ERROR(cluster_->AddNode().status());
+  return cluster_->num_nodes() - 1;
+}
+
+Status Admin::KillNode(int node_index, bool immediate_detection) {
+  if (node_index < 0 || node_index >= cluster_->num_nodes()) {
+    return Status::NotFound("no such node: " + std::to_string(node_index));
+  }
+  return cluster_->KillNode(node_index, immediate_detection);
+}
+
+Status Admin::StopNode(int node_index) {
+  if (node_index < 0 || node_index >= cluster_->num_nodes()) {
+    return Status::NotFound("no such node: " + std::to_string(node_index));
+  }
+  return cluster_->StopNode(node_index);
+}
+
+int Admin::num_nodes() const { return cluster_->num_nodes(); }
+
+bool Admin::NodeAlive(int node_index) const {
+  if (node_index < 0 || node_index >= cluster_->num_nodes()) return false;
+  return cluster_->node(node_index)->alive();
+}
+
+ClusterStats Admin::TotalStats() const {
+  const engine::UnitStats stats = cluster_->TotalStats();
+  ClusterStats out;
+  out.nodes_total = cluster_->num_nodes();
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->node(n)->alive()) ++out.nodes_alive;
+  }
+  out.events_processed = stats.active_messages;
+  out.replica_events = stats.replica_messages;
+  out.replies_sent = stats.replies_sent;
+  out.recoveries = stats.recoveries;
+  out.fresh_tasks = stats.fresh_tasks;
+  out.bytes_recovered = stats.bytes_recovered;
+  out.rebalances = cluster_->bus()->rebalance_count();
+  return out;
+}
+
+uint64_t Admin::WaitForQuiescence(Micros timeout) {
+  return cluster_->WaitForQuiescence(timeout);
+}
+
+std::string Admin::Describe() const {
+  const ClusterStats stats = TotalStats();
+  std::string out;
+  out += "cluster: " + std::to_string(stats.nodes_alive) + "/" +
+         std::to_string(stats.nodes_total) + " node(s) alive\n";
+  out += "  events processed (active): " +
+         std::to_string(stats.events_processed) + "\n";
+  out += "  replies sent: " + std::to_string(stats.replies_sent) + "\n";
+  out += "  recoveries: " + std::to_string(stats.recoveries) +
+         ", fresh tasks: " + std::to_string(stats.fresh_tasks) +
+         ", bytes recovered: " + std::to_string(stats.bytes_recovered) + "\n";
+  out += "  bus rebalances: " + std::to_string(stats.rebalances) + "\n";
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    engine::RailgunNode* node = cluster_->node(n);
+    if (!node->alive()) {
+      out += "  " + node->id() + ": DEAD\n";
+      continue;
+    }
+    for (int u = 0; u < node->num_units(); ++u) {
+      engine::ProcessorUnit* unit = node->unit(u);
+      out += "  " + unit->unit_id() + ": " +
+             std::to_string(unit->active_tasks().size()) + " active / " +
+             std::to_string(unit->replica_tasks().size()) +
+             " replica tasks\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace railgun::api

@@ -1,0 +1,63 @@
+// Administrative surface over a running cluster: elasticity, fault
+// injection and observability, behind a stable API so operators (and
+// the REPL / examples) never touch engine internals directly.
+#ifndef RAILGUN_API_ADMIN_H_
+#define RAILGUN_API_ADMIN_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace railgun::engine {
+class Cluster;
+}  // namespace railgun::engine
+
+namespace railgun::api {
+
+// A stable, plain-data snapshot of cluster-wide counters.
+struct ClusterStats {
+  int nodes_total = 0;
+  int nodes_alive = 0;
+  uint64_t events_processed = 0;  // Active-task messages.
+  uint64_t replica_events = 0;    // Replica (shadow) messages.
+  uint64_t replies_sent = 0;
+  uint64_t recoveries = 0;        // Tasks recovered from a donor.
+  uint64_t fresh_tasks = 0;       // Tasks started with empty state.
+  uint64_t bytes_recovered = 0;
+  uint64_t rebalances = 0;        // Bus consumer-group rebalances.
+};
+
+class Admin {
+ public:
+  explicit Admin(engine::Cluster* cluster) : cluster_(cluster) {}
+
+  // Elastic scale-out: starts one more node and registers every known
+  // stream on it. Returns the new node's index.
+  StatusOr<int> AddNode();
+
+  // Fault injection: abrupt node death (unit threads stop heartbeating;
+  // with immediate_detection the bus fences them right away).
+  Status KillNode(int node_index, bool immediate_detection = true);
+  // Graceful shutdown (clean consumer-group leave).
+  Status StopNode(int node_index);
+
+  int num_nodes() const;
+  bool NodeAlive(int node_index) const;
+
+  ClusterStats TotalStats() const;
+
+  // Blocks until every event topic is fully consumed or the timeout
+  // elapses; returns the processed message count (0 on timeout).
+  uint64_t WaitForQuiescence(Micros timeout);
+
+  // Multi-line human-readable topology + counters summary.
+  std::string Describe() const;
+
+ private:
+  engine::Cluster* cluster_;
+};
+
+}  // namespace railgun::api
+
+#endif  // RAILGUN_API_ADMIN_H_

@@ -1,0 +1,262 @@
+#include "api/client.h"
+
+#include "query/ddl.h"
+
+namespace railgun::api {
+
+engine::ClusterOptions ClientOptions::ToClusterOptions() const {
+  engine::ClusterOptions out = engine;
+  out.num_nodes = num_nodes;
+  out.node.num_processor_units = processor_units_per_node;
+  out.replication_factor = replication_factor;
+  out.base_dir = base_dir;
+  out.node.frontend.request_timeout = request_timeout;
+  if (clock != nullptr) out.clock = clock;
+  return out;
+}
+
+Client::Client(const ClientOptions& options)
+    : options_(options),
+      owned_cluster_(new engine::Cluster(options.ToClusterOptions())),
+      cluster_(owned_cluster_.get()),
+      admin_(new Admin(cluster_)),
+      clock_(options.clock != nullptr ? options.clock
+                                      : MonotonicClock::Default()) {}
+
+Client::Client(engine::Cluster* cluster)
+    : cluster_(cluster),
+      admin_(new Admin(cluster_)),
+      clock_(MonotonicClock::Default()) {}
+
+Client::~Client() { Stop(); }
+
+Status Client::Start() {
+  if (owned_cluster_ == nullptr || started_) return Status::OK();
+  RAILGUN_RETURN_IF_ERROR(owned_cluster_->Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void Client::Stop() {
+  if (owned_cluster_ == nullptr || !started_) return;
+  owned_cluster_->Stop();
+  started_ = false;
+}
+
+// --- Stream DDL ------------------------------------------------------
+
+Status Client::AddStream(engine::StreamDef stream) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_.count(stream.name) > 0) {
+      return Status::AlreadyExists("stream already exists: " + stream.name);
+    }
+    RAILGUN_RETURN_IF_ERROR(cluster_->RegisterStream(stream));
+    streams_[stream.name] = std::move(stream);
+  }
+  return WaitForRegistration(options_.request_timeout);
+}
+
+Status Client::AddMetric(query::QueryDef metric) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(metric.stream);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + metric.stream);
+    }
+    // Validate against a copy; the client's view must not change unless
+    // the cluster accepted the registration.
+    engine::StreamDef updated = it->second;
+    // Fail fast when no partitioner covers the metric's group-by set
+    // (paper §4: metrics hash by a subset of the partitioners).
+    RAILGUN_RETURN_IF_ERROR(updated.PartitionerForQuery(metric).status());
+    for (const auto& existing : updated.queries) {
+      if (existing.raw == metric.raw) {
+        return Status::AlreadyExists("metric already registered: " +
+                                     metric.raw);
+      }
+    }
+    updated.queries.push_back(std::move(metric));
+    RAILGUN_RETURN_IF_ERROR(cluster_->RegisterStream(updated));
+    it->second = std::move(updated);
+  }
+  return WaitForRegistration(options_.request_timeout);
+}
+
+Status Client::WaitForRegistration(Micros timeout) {
+  const Micros deadline = clock_->NowMicros() + timeout;
+  while (true) {
+    bool pending = false;
+    const int n = cluster_->num_nodes();
+    for (int i = 0; i < n && !pending; ++i) {
+      engine::RailgunNode* node = cluster_->node(i);
+      if (!node->alive()) continue;  // Dead units never drain.
+      for (int u = 0; u < node->num_units(); ++u) {
+        if (node->unit(u)->has_pending_streams()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending) return Status::OK();
+    if (clock_->NowMicros() >= deadline) {
+      return Status::Unavailable(
+          "stream registration accepted but not yet applied by every "
+          "processor unit");
+    }
+    clock_->SleepMicros(kMicrosPerMilli);
+  }
+}
+
+Status Client::CreateStream(const std::string& ddl) {
+  RAILGUN_ASSIGN_OR_RETURN(query::StreamSchemaDef schema,
+                           query::ParseCreateStream(ddl));
+  engine::StreamDef stream;
+  stream.name = std::move(schema.name);
+  stream.fields = std::move(schema.fields);
+  stream.partitioners = std::move(schema.partitioners);
+  stream.partitions_per_topic = schema.partitions_per_topic;
+  return AddStream(std::move(stream));
+}
+
+Status Client::Query(const std::string& statement) {
+  if (query::IsDdlStatement(statement)) {
+    RAILGUN_ASSIGN_OR_RETURN(query::DdlStatement ddl,
+                             query::ParseDdl(statement));
+    if (ddl.kind != query::DdlKind::kAddMetric) {
+      return Status::InvalidArgument(
+          "Query() takes ADD METRIC / SELECT statements; use "
+          "CreateStream() for CREATE STREAM");
+    }
+    return AddMetric(std::move(ddl.metric));
+  }
+  RAILGUN_ASSIGN_OR_RETURN(query::QueryDef metric,
+                           query::ParseQuery(statement));
+  return AddMetric(std::move(metric));
+}
+
+Status Client::Execute(const std::string& statement) {
+  if (query::IsDdlStatement(statement)) {
+    RAILGUN_ASSIGN_OR_RETURN(query::DdlStatement ddl,
+                             query::ParseDdl(statement));
+    if (ddl.kind == query::DdlKind::kCreateStream) {
+      engine::StreamDef stream;
+      stream.name = std::move(ddl.create_stream.name);
+      stream.fields = std::move(ddl.create_stream.fields);
+      stream.partitioners = std::move(ddl.create_stream.partitioners);
+      stream.partitions_per_topic = ddl.create_stream.partitions_per_topic;
+      return AddStream(std::move(stream));
+    }
+    return AddMetric(std::move(ddl.metric));
+  }
+  RAILGUN_ASSIGN_OR_RETURN(query::QueryDef metric,
+                           query::ParseQuery(statement));
+  return AddMetric(std::move(metric));
+}
+
+std::vector<std::string> Client::ListStreams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
+}
+
+StatusOr<reservoir::Schema> Client::GetSchema(
+    const std::string& stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + stream);
+  }
+  return reservoir::Schema(0, it->second.fields);
+}
+
+// --- Event submission ------------------------------------------------
+
+StatusOr<reservoir::Event> Client::BindRow(const std::string& stream_name,
+                                           const Row& row) const {
+  std::vector<reservoir::SchemaField> fields;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream_name);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + stream_name);
+    }
+    fields = it->second.fields;
+  }
+  const reservoir::Schema schema(0, std::move(fields));
+  RAILGUN_ASSIGN_OR_RETURN(reservoir::Event event, row.Bind(schema));
+  event.timestamp =
+      row.has_timestamp() ? row.timestamp() : clock_->NowMicros();
+  event.id = row.has_id() ? row.id() : next_event_id_.fetch_add(1);
+  return event;
+}
+
+engine::FrontEnd* Client::PickFrontEnd() {
+  const int n = cluster_->num_nodes();
+  if (n == 0) return nullptr;
+  // Round-robin over alive nodes so attached multi-node clusters spread
+  // client load the way independent per-node clients would.
+  const uint64_t start = next_frontend_.fetch_add(1);
+  for (int i = 0; i < n; ++i) {
+    engine::RailgunNode* node =
+        cluster_->node(static_cast<int>((start + i) % n));
+    if (node->alive()) return node->frontend();
+  }
+  return nullptr;
+}
+
+ResultFuture Client::Submit(const std::string& stream_name, const Row& row) {
+  auto reject = [](Status status) {
+    EventResult result;
+    result.status = std::move(status);
+    return ResultFuture::Ready(std::move(result));
+  };
+
+  auto event_or = BindRow(stream_name, row);
+  if (!event_or.ok()) return reject(event_or.status());
+
+  engine::FrontEnd* frontend = PickFrontEnd();
+  if (frontend == nullptr) {
+    return reject(Status::Unavailable("no alive node to submit to"));
+  }
+
+  auto state = std::make_shared<ResultFuture::State>();
+  const Status submitted = frontend->Submit(
+      stream_name, event_or.value(),
+      [state](Status status,
+              const std::vector<engine::MetricReply>& replies) {
+        EventResult result;
+        result.status = std::move(status);
+        result.metrics.reserve(replies.size());
+        for (const auto& reply : replies) {
+          result.metrics.push_back(
+              {reply.metric_name, reply.group_key, reply.value});
+        }
+        ResultFuture::Complete(state, std::move(result));
+      });
+  if (!submitted.ok()) return reject(submitted);
+  return ResultFuture(std::move(state));
+}
+
+EventResult Client::SubmitSync(const std::string& stream_name,
+                               const Row& row) {
+  ResultFuture future = Submit(stream_name, row);
+  // Every accepted request completes — with replies, with the
+  // front-end's own deadline, or with Unavailable on shutdown — so an
+  // unbounded wait cannot hang.
+  return future.Get();
+}
+
+Status Client::SubmitNoReply(const std::string& stream_name, const Row& row) {
+  RAILGUN_ASSIGN_OR_RETURN(reservoir::Event event,
+                           BindRow(stream_name, row));
+  engine::FrontEnd* frontend = PickFrontEnd();
+  if (frontend == nullptr) {
+    return Status::Unavailable("no alive node to submit to");
+  }
+  return frontend->SubmitNoReply(stream_name, event);
+}
+
+}  // namespace railgun::api

@@ -1,0 +1,140 @@
+// railgun::api::Client — the single supported way to use Railgun.
+//
+// The client owns (or attaches to) a cluster and exposes the service
+// surface of the paper: declare a stream and its metrics textually,
+// push events, get the per-event aggregations back:
+//
+//   ClientOptions options;
+//   Client client(options);
+//   client.Start();
+//   client.CreateStream(
+//       "CREATE STREAM payments (cardId STRING, amount DOUBLE) "
+//       "PARTITION BY cardId PARTITIONS 4");
+//   client.Query(
+//       "ADD METRIC SELECT sum(amount) FROM payments "
+//       "GROUP BY cardId OVER sliding 5 minutes");
+//   EventResult r = client.SubmitSync(
+//       "payments", Row().Set("cardId", "c1").Set("amount", 10.0));
+//
+// FrontEnd / Cluster / StreamDef stay internal layers behind this
+// facade (see DESIGN.md).
+#ifndef RAILGUN_API_CLIENT_H_
+#define RAILGUN_API_CLIENT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/admin.h"
+#include "api/result.h"
+#include "api/row.h"
+#include "engine/cluster.h"
+
+namespace railgun::api {
+
+struct ClientOptions {
+  // Topology of the owned cluster.
+  int num_nodes = 1;
+  int processor_units_per_node = 2;
+  int replication_factor = 1;
+  std::string base_dir = "/tmp/railgun-client";
+  // Per-request reply deadline; a request past it completes with
+  // Status::Unavailable and whatever partial metrics arrived.
+  Micros request_timeout = 10 * kMicrosPerSecond;
+  Clock* clock = nullptr;  // Defaults to the monotonic clock.
+
+  // Escape hatch: advanced engine tuning on top of the fields above.
+  // Applied first; the named fields then override.
+  engine::ClusterOptions engine;
+
+  engine::ClusterOptions ToClusterOptions() const;
+};
+
+class Client {
+ public:
+  // Owns a cluster built from the options; Start() launches it.
+  explicit Client(const ClientOptions& options);
+  // Attaches to an externally managed cluster (must already be started
+  // or be started by its owner; Start()/Stop() become no-ops for it).
+  explicit Client(engine::Cluster* cluster);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // --- Stream DDL ----------------------------------------------------
+  // DDL is synchronous: when a call returns OK, the registration has
+  // been applied by every alive processor unit, so the next submitted
+  // event is evaluated against the new definition.
+
+  // Executes a CREATE STREAM statement. AlreadyExists when the stream
+  // name is taken; InvalidArgument on grammar/validation errors.
+  Status CreateStream(const std::string& ddl);
+
+  // Registers a metric: "ADD METRIC SELECT ..." or a bare SELECT
+  // statement. The FROM stream must have been created; the engine
+  // backfills the new metric from reservoir history on live tasks.
+  Status Query(const std::string& statement);
+
+  // Routes any statement (CREATE STREAM / ADD METRIC / SELECT) to the
+  // right handler — the REPL's single entry point.
+  Status Execute(const std::string& statement);
+
+  std::vector<std::string> ListStreams() const;
+  StatusOr<reservoir::Schema> GetSchema(const std::string& stream) const;
+
+  // --- Event submission ----------------------------------------------
+  // Binds the row against the stream schema and publishes it; the
+  // future completes with every registered metric's value for this
+  // event. Submission errors (unknown stream, bad row) come back as an
+  // already-completed future carrying the typed status.
+  ResultFuture Submit(const std::string& stream, const Row& row);
+
+  // Blocking variant. The front end guarantees every accepted request
+  // completes (reply, deadline, or shutdown), so this returns as soon
+  // as the result is determined.
+  EventResult SubmitSync(const std::string& stream, const Row& row);
+
+  // Fire-and-forget path for throughput-oriented callers: no reply is
+  // requested or collected.
+  Status SubmitNoReply(const std::string& stream, const Row& row);
+
+  // --- Administration ------------------------------------------------
+  Admin& admin() { return *admin_; }
+
+  // Internal escape hatch for benches/tests; application code should
+  // not need it.
+  engine::Cluster* cluster() { return cluster_; }
+
+ private:
+  Status AddStream(engine::StreamDef stream);
+  Status AddMetric(query::QueryDef metric);
+  // Blocks until every alive processor unit has applied its enqueued
+  // stream registrations (or the timeout elapses).
+  Status WaitForRegistration(Micros timeout);
+  StatusOr<reservoir::Event> BindRow(const std::string& stream_name,
+                                     const Row& row) const;
+  engine::FrontEnd* PickFrontEnd();
+
+  ClientOptions options_;
+  std::unique_ptr<engine::Cluster> owned_cluster_;
+  engine::Cluster* cluster_;
+  std::unique_ptr<Admin> admin_;
+  Clock* clock_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, engine::StreamDef> streams_;
+  mutable std::atomic<uint64_t> next_event_id_{1};
+  std::atomic<uint64_t> next_frontend_{0};
+};
+
+}  // namespace railgun::api
+
+#endif  // RAILGUN_API_CLIENT_H_

@@ -1,0 +1,91 @@
+// Result types for the client API: the per-event aggregation answer
+// (EventResult) and the future handed back by Client::Submit, which
+// replaces the raw FrontEnd callback + atomic idiom.
+#ifndef RAILGUN_API_RESULT_H_
+#define RAILGUN_API_RESULT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "reservoir/event.h"
+
+namespace railgun::api {
+
+// One computed metric for a submitted event.
+struct MetricValue {
+  std::string metric;  // Display name, e.g. "sum(amount)".
+  std::string group;   // Group-key value, e.g. "card17".
+  reservoir::FieldValue value;
+};
+
+// Everything Railgun returned for one submitted event. `status` is OK
+// when every partitioner replied in time; Unavailable when the request
+// timed out (with whatever partial metrics arrived); NotFound /
+// InvalidArgument when submission itself was rejected.
+struct EventResult {
+  Status status;
+  std::vector<MetricValue> metrics;
+
+  bool ok() const { return status.ok(); }
+
+  // First metric matching `metric` (and `group`, when given); null when
+  // absent. Full display names are "<agg> over <window> by <groups>"
+  // (e.g. "count(*) over sliding 5m by cardId"); the bare aggregation
+  // name ("count(*)") also matches, as a prefix.
+  const MetricValue* Find(const std::string& metric) const;
+  const MetricValue* Find(const std::string& metric,
+                          const std::string& group) const;
+
+  // Multi-line human-readable rendering, one metric per line.
+  std::string ToString() const;
+};
+
+// A one-shot future for an EventResult. Copyable; all copies share the
+// same completion state. Default-constructed futures are invalid.
+class ResultFuture {
+ public:
+  ResultFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  // True once the result is available (never blocks).
+  bool ready() const;
+
+  // Blocks until the result is ready or `timeout` elapses. A negative
+  // timeout waits forever. Returns whether the result became ready.
+  bool Wait(Micros timeout = -1) const;
+
+  // Blocks like Wait, then returns the result. If the wait times out
+  // (or the future is invalid) the returned result carries
+  // Status::Unavailable.
+  EventResult Get(Micros timeout = -1) const;
+
+  // An already-completed future (used for synchronous rejections).
+  static ResultFuture Ready(EventResult result);
+
+ private:
+  friend class Client;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    EventResult result;
+  };
+
+  explicit ResultFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  static void Complete(const std::shared_ptr<State>& state,
+                       EventResult result);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace railgun::api
+
+#endif  // RAILGUN_API_RESULT_H_

@@ -1,0 +1,73 @@
+// Fluent event construction for the client API: named field values bound
+// against the stream schema at submit time, replacing hand-built
+// positional FieldValue vectors.
+//
+//   client.Submit("payments", Row()
+//                                 .At(5 * kMicrosPerMinute)
+//                                 .Set("cardId", "card1")
+//                                 .Set("merchantId", "storeA")
+//                                 .Set("amount", 25.0));
+#ifndef RAILGUN_API_ROW_H_
+#define RAILGUN_API_ROW_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "reservoir/event.h"
+
+namespace railgun::api {
+
+class Row {
+ public:
+  Row() = default;
+
+  // Event time. Defaults to the client clock's now at submit.
+  Row& At(Micros timestamp) {
+    timestamp_ = timestamp;
+    has_timestamp_ = true;
+    return *this;
+  }
+
+  // Deduplication id. Defaults to a client-assigned sequence number.
+  Row& WithId(uint64_t id) {
+    id_ = id;
+    has_id_ = true;
+    return *this;
+  }
+
+  // Sets a field by name. FieldValue's implicit constructors accept
+  // int64_t, double, bool, std::string and const char*.
+  Row& Set(std::string field, reservoir::FieldValue value) {
+    values_.emplace_back(std::move(field), std::move(value));
+    return *this;
+  }
+
+  bool has_timestamp() const { return has_timestamp_; }
+  Micros timestamp() const { return timestamp_; }
+  bool has_id() const { return has_id_; }
+  uint64_t id() const { return id_; }
+  const std::vector<std::pair<std::string, reservoir::FieldValue>>& values()
+      const {
+    return values_;
+  }
+
+  // Binds the named values into schema field order. Every schema field
+  // must be set exactly once; ints coerce to double where the schema
+  // asks for one; any other mismatch is an InvalidArgument. Timestamp
+  // and id are left for the caller to fill from the Row accessors.
+  StatusOr<reservoir::Event> Bind(const reservoir::Schema& schema) const;
+
+ private:
+  Micros timestamp_ = 0;
+  bool has_timestamp_ = false;
+  uint64_t id_ = 0;
+  bool has_id_ = false;
+  std::vector<std::pair<std::string, reservoir::FieldValue>> values_;
+};
+
+}  // namespace railgun::api
+
+#endif  // RAILGUN_API_ROW_H_

@@ -20,19 +20,36 @@ Status Cluster::Start() {
         Env::Default()->RemoveDirRecursive(options_.base_dir));
   }
   RAILGUN_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.base_dir));
+  std::lock_guard<std::mutex> lock(mu_);
   for (int i = 0; i < options_.num_nodes; ++i) {
-    RAILGUN_RETURN_IF_ERROR(AddNode().status());
+    RAILGUN_RETURN_IF_ERROR(AddNodeLocked().status());
   }
   return Status::OK();
 }
 
 void Cluster::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& node : nodes_) {
     if (node->alive()) node->Stop();
   }
 }
 
+RailgunNode* Cluster::node(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_[static_cast<size_t>(index)].get();
+}
+
+int Cluster::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(nodes_.size());
+}
+
 StatusOr<RailgunNode*> Cluster::AddNode() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddNodeLocked();
+}
+
+StatusOr<RailgunNode*> Cluster::AddNodeLocked() {
   const std::string node_id = "node" + std::to_string(next_node_index_++);
   auto node = std::make_unique<RailgunNode>(
       options_.node, node_id, options_.base_dir + "/" + node_id, bus_.get(),
@@ -46,17 +63,31 @@ StatusOr<RailgunNode*> Cluster::AddNode() {
 }
 
 Status Cluster::KillNode(int index, bool immediate_detection) {
+  std::lock_guard<std::mutex> lock(mu_);
   nodes_[static_cast<size_t>(index)]->Kill(immediate_detection);
   return Status::OK();
 }
 
 Status Cluster::StopNode(int index) {
+  std::lock_guard<std::mutex> lock(mu_);
   nodes_[static_cast<size_t>(index)]->Stop();
   return Status::OK();
 }
 
 Status Cluster::RegisterStream(const StreamDef& stream) {
-  streams_.push_back(stream);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-registration (e.g. a metric added to an existing stream) updates
+  // in place; duplicate entries would double-count topics in
+  // WaitForQuiescence.
+  bool updated = false;
+  for (auto& existing : streams_) {
+    if (existing.name == stream.name) {
+      existing = stream;
+      updated = true;
+      break;
+    }
+  }
+  if (!updated) streams_.push_back(stream);
   for (auto& node : nodes_) {
     if (!node->alive()) continue;
     RAILGUN_RETURN_IF_ERROR(node->RegisterStream(stream));
@@ -66,22 +97,24 @@ Status Cluster::RegisterStream(const StreamDef& stream) {
 
 uint64_t Cluster::WaitForQuiescence(Micros timeout) {
   const Micros deadline = clock_->NowMicros() + timeout;
-  uint64_t produced = 0;
   while (clock_->NowMicros() < deadline) {
-    produced = 0;
-    for (const auto& stream : streams_) {
-      for (const auto& p : stream.partitioners) {
-        for (const auto& tp : bus_->PartitionsOf(stream.TopicFor(p))) {
-          auto end = bus_->EndOffset(tp);
-          if (end.ok()) produced += end.value();
+    uint64_t produced = 0;
+    uint64_t processed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& stream : streams_) {
+        for (const auto& p : stream.partitioners) {
+          for (const auto& tp : bus_->PartitionsOf(stream.TopicFor(p))) {
+            auto end = bus_->EndOffset(tp);
+            if (end.ok()) produced += end.value();
+          }
         }
       }
-    }
-    uint64_t processed = 0;
-    for (const auto& node : nodes_) {
-      if (!node->alive()) continue;
-      for (int u = 0; u < node->num_units(); ++u) {
-        processed += node->unit(u)->stats().active_messages;
+      for (const auto& node : nodes_) {
+        if (!node->alive()) continue;
+        for (int u = 0; u < node->num_units(); ++u) {
+          processed += node->unit(u)->stats().active_messages;
+        }
       }
     }
     if (processed >= produced && produced > 0) return processed;
@@ -91,11 +124,11 @@ uint64_t Cluster::WaitForQuiescence(Micros timeout) {
 }
 
 UnitStats Cluster::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   UnitStats total;
   for (const auto& node : nodes_) {
     for (int u = 0; u < node->num_units(); ++u) {
-      const UnitStats s =
-          const_cast<RailgunNode*>(node.get())->unit(u)->stats();
+      const UnitStats s = node->unit(u)->stats();
       total.active_messages += s.active_messages;
       total.replica_messages += s.replica_messages;
       total.replies_sent += s.replies_sent;

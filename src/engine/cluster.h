@@ -5,6 +5,7 @@
 #define RAILGUN_ENGINE_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,10 +43,10 @@ class Cluster {
   Status KillNode(int index, bool immediate_detection = true);
   Status StopNode(int index);
 
-  RailgunNode* node(int index) {
-    return nodes_[static_cast<size_t>(index)].get();
-  }
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  // Node pointers stay valid for the cluster's lifetime (the node list
+  // only grows; killed nodes are marked dead, not erased).
+  RailgunNode* node(int index) const;
+  int num_nodes() const;
   msg::MessageBus* bus() { return bus_.get(); }
   Coordinator* coordinator() { return coordinator_.get(); }
 
@@ -58,10 +59,15 @@ class Cluster {
   UnitStats TotalStats() const;
 
  private:
+  StatusOr<RailgunNode*> AddNodeLocked();
+
   ClusterOptions options_;
   Clock* clock_;
   std::unique_ptr<msg::MessageBus> bus_;
   std::unique_ptr<Coordinator> coordinator_;
+  // Guards the topology (nodes_, streams_) against concurrent
+  // submission and admin operations (AddNode during Submit etc).
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<RailgunNode>> nodes_;
   std::vector<StreamDef> streams_;
   int next_node_index_ = 0;

@@ -25,6 +25,19 @@ Status FrontEnd::Start() {
 void FrontEnd::Stop() {
   running_ = false;
   if (thread_.joinable()) thread_.join();
+  // Fail outstanding requests so no caller blocks on a reply that can
+  // never arrive.
+  std::map<uint64_t, Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, pending] : orphaned) {
+    if (pending.callback) {
+      pending.callback(Status::Unavailable("front end stopped"),
+                       pending.results);
+    }
+  }
 }
 
 Status FrontEnd::RegisterStream(const StreamDef& stream) {
@@ -41,6 +54,9 @@ Status FrontEnd::RegisterStream(const StreamDef& stream) {
 Status FrontEnd::Submit(const std::string& stream_name,
                         const reservoir::Event& event,
                         ReplyCallback callback) {
+  if (!running_) {
+    return Status::Unavailable("front end is not running");
+  }
   StreamDef stream;
   uint64_t request_id;
   {
@@ -61,7 +77,14 @@ Status FrontEnd::Submit(const std::string& stream_name,
     pending.deadline = clock_->NowMicros() + options_.request_timeout;
     pending_[request_id] = std::move(pending);
   }
-  return Publish(stream, event, request_id, reply_topic_);
+  Status s = Publish(stream, event, request_id, reply_topic_);
+  if (!s.ok()) {
+    // The caller sees the typed error synchronously; drop the pending
+    // entry so the callback does not also fire on the timeout path.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(request_id);
+  }
+  return s;
 }
 
 Status FrontEnd::SubmitNoReply(const std::string& stream_name,
@@ -113,7 +136,12 @@ void FrontEnd::Run() {
     bus_->Fetch(reply_tp, reply_position_, options_.poll_max, &batch);
     reply_position_ += batch.size();
 
-    std::vector<std::pair<ReplyCallback, std::vector<MetricReply>>> done;
+    struct Completion {
+      ReplyCallback callback;
+      std::vector<MetricReply> results;
+      Status status;
+    };
+    std::vector<Completion> done;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (const auto& message : batch) {
@@ -128,18 +156,26 @@ void FrontEnd::Run() {
           pending.results.push_back(std::move(r));
         }
         if (++pending.received >= pending.expected) {
-          done.emplace_back(std::move(pending.callback),
-                            std::move(pending.results));
+          done.push_back({std::move(pending.callback),
+                          std::move(pending.results), Status::OK()});
           pending_.erase(it);
           ++completed_;
         }
       }
-      // Expire overdue requests.
+      // Expire overdue requests: the callback fires with a typed error
+      // and whatever partial results arrived (late aggregation replies
+      // are discarded upstream, paper §5).
       const Micros now = clock_->NowMicros();
       for (auto it = pending_.begin(); it != pending_.end();) {
         if (it->second.deadline <= now) {
-          done.emplace_back(std::move(it->second.callback),
-                            std::move(it->second.results));
+          Pending& pending = it->second;
+          done.push_back({std::move(pending.callback),
+                          std::move(pending.results),
+                          Status::Unavailable(
+                              "request timed out: " +
+                              std::to_string(pending.received) + "/" +
+                              std::to_string(pending.expected) +
+                              " partitioner replies arrived")});
           it = pending_.erase(it);
           ++timed_out_;
         } else {
@@ -147,8 +183,10 @@ void FrontEnd::Run() {
         }
       }
     }
-    for (auto& [callback, results] : done) {
-      if (callback) callback(Status::OK(), results);
+    for (auto& completion : done) {
+      if (completion.callback) {
+        completion.callback(completion.status, completion.results);
+      }
     }
     if (batch.empty()) clock_->SleepMicros(options_.idle_sleep);
   }

@@ -41,14 +41,20 @@ class FrontEnd {
   FrontEnd& operator=(const FrontEnd&) = delete;
 
   Status Start();
+  // Joins the reply thread and fails every outstanding request's
+  // callback with Unavailable — after Stop returns, every accepted
+  // Submit has completed exactly once.
   void Stop();
 
   // Creates the stream's topics (idempotent) and remembers its schema.
   Status RegisterStream(const StreamDef& stream);
 
   // Step 1-2 of Figure 3: publish the event to every partitioner topic.
-  // The callback fires on the front-end thread when all expected replies
-  // arrived (or on timeout, with the partial set).
+  // Returns NotFound for unregistered streams and Unavailable when the
+  // front end is not running (the callback never fires). The callback
+  // fires on the front-end thread with OK when all expected replies
+  // arrived, or with Unavailable and the partial set on timeout or
+  // Stop — every accepted request completes exactly once.
   Status Submit(const std::string& stream_name,
                 const reservoir::Event& event, ReplyCallback callback);
 

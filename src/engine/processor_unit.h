@@ -59,6 +59,12 @@ class ProcessorUnit {
   // Operational requests (paper Algorithm 1 line 2) are queued and
   // handled at the top of the loop.
   void EnqueueRegisterStream(const StreamDef& stream);
+  // True while an enqueued registration has not yet been applied by the
+  // unit loop (used to make DDL synchronous at the API layer).
+  bool has_pending_streams() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !pending_streams_.empty();
+  }
 
   const std::string& unit_id() const { return unit_id_; }
   UnitStats stats() const;

@@ -10,6 +10,7 @@ Tokenizer::Tokenizer(const std::string& input) { TokenizeAll(input); }
 void Tokenizer::TokenizeAll(const std::string& input) {
   size_t i = 0;
   const size_t n = input.size();
+  input_size_ = n;
   while (i < n) {
     const char c = input[i];
     if (isspace(static_cast<unsigned char>(c))) {
@@ -17,6 +18,7 @@ void Tokenizer::TokenizeAll(const std::string& input) {
       continue;
     }
     Token tok;
+    tok.offset = i;
     if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t j = i;
       while (j < n && (isalnum(static_cast<unsigned char>(input[j])) ||
@@ -107,6 +109,30 @@ Status Tokenizer::Expect(const std::string& keyword) {
   if (TryConsume(keyword)) return Status::OK();
   return Status::InvalidArgument("expected '" + keyword + "' but found '" +
                                  Peek().raw + "'");
+}
+
+StatusOr<Token> Tokenizer::ExpectIdentifier(const std::string& what) {
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected " + what + " but found '" +
+                                   Peek().raw + "'");
+  }
+  return Next();
+}
+
+StatusOr<int64_t> Tokenizer::ExpectInteger(const std::string& what) {
+  const Token& tok = Peek();
+  if (tok.type != TokenType::kNumber || tok.number < 0 ||
+      tok.number != static_cast<double>(static_cast<int64_t>(tok.number))) {
+    return Status::InvalidArgument("expected " + what +
+                                   " (a non-negative integer) but found '" +
+                                   tok.raw + "'");
+  }
+  return static_cast<int64_t>(Next().number);
+}
+
+size_t Tokenizer::NextTokenOffset() const {
+  if (pos_ >= tokens_.size()) return input_size_;
+  return tokens_[pos_].offset;
 }
 
 }  // namespace railgun::query

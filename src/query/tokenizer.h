@@ -22,6 +22,7 @@ struct Token {
   std::string text;   // Identifier/symbol text, lowercased for keywords.
   double number = 0;  // For kNumber.
   std::string raw;    // Original spelling.
+  size_t offset = 0;  // Byte offset of the token in the input.
 };
 
 class Tokenizer {
@@ -40,11 +41,24 @@ class Tokenizer {
   // Like TryConsume but errors if absent.
   Status Expect(const std::string& keyword);
 
+  // Consumes and returns the next token, which must be an identifier.
+  // `what` names the expected construct for the error message.
+  StatusOr<Token> ExpectIdentifier(const std::string& what);
+  // Consumes the next token, which must be a non-negative integer
+  // literal.
+  StatusOr<int64_t> ExpectInteger(const std::string& what);
+
+  // Byte offset into the original input where the next token starts
+  // (input size when at end). Lets statement-level parsers hand the
+  // unconsumed suffix to a sub-parser.
+  size_t NextTokenOffset() const;
+
  private:
   void TokenizeAll(const std::string& input);
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t input_size_ = 0;
   Status status_;
   Token end_token_;
 };

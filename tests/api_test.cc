@@ -1,0 +1,325 @@
+// Tests for the public client API (api/client.h): DDL-driven stream
+// creation, row binding, future-based submission, typed error statuses
+// and the admin surface.
+#include <gtest/gtest.h>
+
+#include "api/client.h"
+
+namespace railgun::api {
+namespace {
+
+using reservoir::FieldType;
+using reservoir::FieldValue;
+
+ClientOptions TestOptions(const std::string& name) {
+  ClientOptions options;
+  options.num_nodes = 1;
+  options.processor_units_per_node = 2;
+  options.base_dir = "/tmp/railgun-api-test-" + name;
+  return options;
+}
+
+constexpr const char* kPaymentsDdl =
+    "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+    "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 2";
+
+TEST(ClientTest, CreateStreamSubmitAggregateRoundTrip) {
+  Client client(TestOptions("roundtrip"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Query("ADD METRIC SELECT sum(amount), count(*) FROM "
+                         "payments GROUP BY cardId OVER sliding 5 minutes")
+                  .ok());
+
+  EventResult first = client.SubmitSync(
+      "payments", Row()
+                      .At(1 * kMicrosPerMinute)
+                      .Set("cardId", "card1")
+                      .Set("merchantId", "m1")
+                      .Set("amount", 10.0));
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  ASSERT_NE(first.Find("count(*)", "card1"), nullptr);
+  EXPECT_DOUBLE_EQ(first.Find("count(*)", "card1")->value.ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(first.Find("sum(amount)", "card1")->value.ToNumber(),
+                   10.0);
+
+  EventResult second = client.SubmitSync(
+      "payments", Row()
+                      .At(2 * kMicrosPerMinute)
+                      .Set("cardId", "card1")
+                      .Set("merchantId", "m2")
+                      .Set("amount", 4.5));
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second.Find("count(*)", "card1")->value.ToNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(second.Find("sum(amount)", "card1")->value.ToNumber(),
+                   14.5);
+  client.Stop();
+}
+
+TEST(ClientTest, SubmitToUnknownStreamIsNotFound) {
+  Client client(TestOptions("unknown-stream"));
+  ASSERT_TRUE(client.Start().ok());
+
+  ResultFuture future =
+      client.Submit("nope", Row().Set("cardId", "c").Set("amount", 1.0));
+  ASSERT_TRUE(future.valid());
+  EXPECT_TRUE(future.ready());  // Rejected synchronously.
+  EXPECT_TRUE(future.Get().status.IsNotFound());
+
+  EXPECT_TRUE(client.SubmitSync("nope", Row()).status.IsNotFound());
+  EXPECT_TRUE(client.SubmitNoReply("nope", Row()).IsNotFound());
+  client.Stop();
+}
+
+TEST(ClientTest, BadRowsAreRejectedWithInvalidArgument) {
+  Client client(TestOptions("bad-row"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+
+  // Missing fields.
+  EXPECT_TRUE(client.SubmitSync("payments", Row().Set("cardId", "c"))
+                  .status.IsInvalidArgument());
+  // Unknown field.
+  EXPECT_TRUE(client
+                  .SubmitSync("payments", Row()
+                                              .Set("cardId", "c")
+                                              .Set("merchantId", "m")
+                                              .Set("amount", 1.0)
+                                              .Set("bogus", 1.0))
+                  .status.IsInvalidArgument());
+  // Type mismatch: string where a double is declared.
+  EXPECT_TRUE(client
+                  .SubmitSync("payments", Row()
+                                              .Set("cardId", "c")
+                                              .Set("merchantId", "m")
+                                              .Set("amount", "a lot"))
+                  .status.IsInvalidArgument());
+  // Field set twice.
+  EXPECT_TRUE(client
+                  .SubmitSync("payments", Row()
+                                              .Set("cardId", "c")
+                                              .Set("cardId", "d")
+                                              .Set("merchantId", "m")
+                                              .Set("amount", 1.0))
+                  .status.IsInvalidArgument());
+  // Int coerces to a declared double.
+  ASSERT_TRUE(client
+                  .Query("SELECT count(*) FROM payments GROUP BY cardId "
+                         "OVER infinite")
+                  .ok());
+  EXPECT_TRUE(client
+                  .SubmitSync("payments", Row()
+                                              .Set("cardId", "c")
+                                              .Set("merchantId", "m")
+                                              .Set("amount", int64_t{3}))
+                  .ok());
+  client.Stop();
+}
+
+TEST(ClientTest, DdlErrorsAreTyped) {
+  Client client(TestOptions("ddl-errors"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+
+  // Duplicate stream.
+  EXPECT_TRUE(client.CreateStream(kPaymentsDdl).IsAlreadyExists());
+  // Metric over an unknown stream.
+  EXPECT_TRUE(client
+                  .Query("SELECT count(*) FROM nope GROUP BY cardId "
+                         "OVER infinite")
+                  .IsNotFound());
+  // Metric whose group-by is not covered by any partitioner.
+  EXPECT_FALSE(client
+                   .Query("SELECT count(*) FROM payments GROUP BY amount "
+                          "OVER infinite")
+                   .ok());
+  // Duplicate metric registration.
+  const char* metric =
+      "SELECT count(*) FROM payments GROUP BY cardId OVER infinite";
+  ASSERT_TRUE(client.Query(metric).ok());
+  EXPECT_TRUE(client.Query(metric).IsAlreadyExists());
+  // CreateStream() refuses non-CREATE statements, Query() refuses
+  // CREATE STREAM.
+  EXPECT_TRUE(client.CreateStream(metric).IsInvalidArgument());
+  EXPECT_TRUE(client.Query(kPaymentsDdl).IsInvalidArgument());
+  client.Stop();
+}
+
+TEST(ClientTest, ExecuteRoutesDdlAndListsStreams) {
+  Client client(TestOptions("execute"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.Execute(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Execute("ADD METRIC SELECT count(*) FROM payments "
+                           "GROUP BY cardId OVER sliding 1 hour")
+                  .ok());
+  EXPECT_EQ(client.ListStreams(), std::vector<std::string>{"payments"});
+
+  auto schema = client.GetSchema("payments");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 3u);
+  EXPECT_EQ(schema->fields()[2].name, "amount");
+  EXPECT_EQ(schema->fields()[2].type, FieldType::kDouble);
+  EXPECT_TRUE(client.GetSchema("nope").status().IsNotFound());
+  client.Stop();
+}
+
+// With no processor units, no aggregation replies ever arrive: the
+// request must complete with a typed Unavailable, both through the
+// front-end deadline and through a shorter future-side wait.
+TEST(ClientTest, ResultFutureTimesOutWithTypedStatus) {
+  ClientOptions options = TestOptions("timeout");
+  options.processor_units_per_node = 0;
+  options.request_timeout = 300 * kMicrosPerMilli;
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+
+  Row row = Row()
+                .At(kMicrosPerMinute)
+                .Set("cardId", "c")
+                .Set("merchantId", "m")
+                .Set("amount", 1.0);
+
+  // Future-side wait shorter than the request deadline.
+  ResultFuture impatient = client.Submit("payments", row);
+  ASSERT_TRUE(impatient.valid());
+  EXPECT_FALSE(impatient.ready());
+  EXPECT_TRUE(impatient.Get(10 * kMicrosPerMilli).status.IsUnavailable());
+
+  // Front-end deadline: the same future completes with Unavailable.
+  EXPECT_TRUE(impatient.Wait(5 * kMicrosPerSecond));
+  EXPECT_TRUE(impatient.Get().status.IsUnavailable());
+
+  // The blocking submit path reports the same typed status.
+  EXPECT_TRUE(client.SubmitSync("payments", row).status.IsUnavailable());
+  client.Stop();
+}
+
+TEST(ClientTest, AdminSurfaceReportsTopologyAndScalesOut) {
+  ClientOptions options = TestOptions("admin");
+  options.processor_units_per_node = 1;
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Query("SELECT count(*) FROM payments GROUP BY cardId "
+                         "OVER sliding 1 hour")
+                  .ok());
+
+  EXPECT_EQ(client.admin().num_nodes(), 1);
+  EXPECT_TRUE(client.admin().NodeAlive(0));
+  EXPECT_FALSE(client.admin().NodeAlive(7));
+
+  auto added = client.admin().AddNode();
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 1);
+  EXPECT_EQ(client.admin().num_nodes(), 2);
+
+  // The scaled-out node serves submissions too (round-robin picks it).
+  for (int i = 0; i < 4; ++i) {
+    EventResult result = client.SubmitSync(
+        "payments", Row()
+                        .At((i + 1) * kMicrosPerMinute)
+                        .Set("cardId", "c")
+                        .Set("merchantId", "m")
+                        .Set("amount", 2.0));
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+  }
+
+  ClusterStats stats = client.admin().TotalStats();
+  EXPECT_EQ(stats.nodes_total, 2);
+  EXPECT_EQ(stats.nodes_alive, 2);
+  EXPECT_GE(stats.events_processed, 4u);
+  EXPECT_FALSE(client.admin().Describe().empty());
+
+  EXPECT_TRUE(client.admin().KillNode(42).IsNotFound());
+  ASSERT_TRUE(client.admin().KillNode(1).ok());
+  EXPECT_FALSE(client.admin().NodeAlive(1));
+  EXPECT_EQ(client.admin().TotalStats().nodes_alive, 1);
+
+  // Submissions keep flowing through the surviving node.
+  EventResult after = client.SubmitSync(
+      "payments", Row()
+                      .At(10 * kMicrosPerMinute)
+                      .Set("cardId", "c")
+                      .Set("merchantId", "m")
+                      .Set("amount", 2.0));
+  EXPECT_TRUE(after.ok()) << after.status.ToString();
+  client.Stop();
+}
+
+TEST(ClientTest, AttachesToExternallyOwnedCluster) {
+  engine::ClusterOptions cluster_options;
+  cluster_options.num_nodes = 1;
+  cluster_options.base_dir = "/tmp/railgun-api-test-attach";
+  engine::Cluster cluster(cluster_options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  Client client(&cluster);
+  ASSERT_TRUE(client.Start().ok());  // No-op for attached clusters.
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Query("SELECT count(*) FROM payments GROUP BY cardId "
+                         "OVER infinite")
+                  .ok());
+  EventResult result = client.SubmitSync(
+      "payments", Row()
+                      .At(kMicrosPerMinute)
+                      .Set("cardId", "c")
+                      .Set("merchantId", "m")
+                      .Set("amount", 1.0));
+  EXPECT_TRUE(result.ok()) << result.status.ToString();
+  client.Stop();  // Must not stop the externally owned cluster.
+  EXPECT_TRUE(cluster.node(0)->alive());
+  cluster.Stop();
+}
+
+TEST(ResultFutureTest, DefaultFutureIsInvalid) {
+  ResultFuture future;
+  EXPECT_FALSE(future.valid());
+  EXPECT_FALSE(future.ready());
+  EXPECT_FALSE(future.Wait(0));
+  EXPECT_TRUE(future.Get(0).status.IsUnavailable());
+}
+
+TEST(ResultFutureTest, ReadyFutureCompletesImmediately) {
+  EventResult result;
+  result.status = Status::NotFound("nope");
+  ResultFuture future = ResultFuture::Ready(std::move(result));
+  EXPECT_TRUE(future.valid());
+  EXPECT_TRUE(future.ready());
+  EXPECT_TRUE(future.Wait(0));
+  EXPECT_TRUE(future.Get(0).status.IsNotFound());
+}
+
+TEST(RowTest, BindsBySchemaOrderWithCoercion) {
+  const reservoir::Schema schema(0, {{"a", FieldType::kInt64},
+                                     {"b", FieldType::kDouble},
+                                     {"c", FieldType::kBool},
+                                     {"d", FieldType::kString}});
+  auto event = Row()
+                   .Set("d", "x")
+                   .Set("b", int64_t{2})  // int -> double coercion
+                   .Set("a", int64_t{1})
+                   .Set("c", true)
+                   .Bind(schema);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_EQ(event->values[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(event->values[1].as_double(), 2.0);
+  EXPECT_TRUE(event->values[2].as_bool());
+  EXPECT_EQ(event->values[3].as_string(), "x");
+
+  // Double does not silently narrow to int.
+  EXPECT_FALSE(Row()
+                   .Set("a", 1.5)
+                   .Set("b", 1.0)
+                   .Set("c", true)
+                   .Set("d", "x")
+                   .Bind(schema)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace railgun::api

@@ -124,19 +124,23 @@ TEST_F(FrontEndTest, CompletesWhenAllPartitionerRepliesArrive) {
   EXPECT_EQ(frontend_->timed_out_requests(), 0u);
 }
 
-TEST_F(FrontEndTest, TimesOutWithPartialResults) {
+TEST_F(FrontEndTest, TimesOutWithTypedStatusAndPartialResults) {
   std::atomic<int> calls{0};
+  std::atomic<bool> unavailable{false};
   ASSERT_TRUE(frontend_
                   ->Submit("payments", SampleEvent(),
-                           [&](Status, const std::vector<MetricReply>&) {
+                           [&](Status s, const std::vector<MetricReply>&) {
+                             unavailable = s.IsUnavailable();
                              ++calls;
                            })
                   .ok());
-  // Nobody replies: the 300 ms deadline must fire exactly once.
+  // Nobody replies: the 300 ms deadline must fire exactly once, with a
+  // typed Unavailable status (not a silent OK).
   for (int i = 0; i < 300 && calls == 0; ++i) {
     MonotonicClock::Default()->SleepMicros(5000);
   }
   EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(unavailable.load());
   EXPECT_EQ(frontend_->timed_out_requests(), 1u);
 }
 
@@ -163,6 +167,35 @@ TEST_F(FrontEndTest, LateRepliesAfterTimeoutAreDiscarded) {
       bus_->Produce(frontend_->reply_topic(), "k", std::move(encoded)).ok());
   MonotonicClock::Default()->SleepMicros(50000);
   EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(FrontEndTest, StopFailsOutstandingRequests) {
+  std::atomic<int> calls{0};
+  std::atomic<bool> unavailable{false};
+  ASSERT_TRUE(frontend_
+                  ->Submit("payments", SampleEvent(),
+                           [&](Status s, const std::vector<MetricReply>&) {
+                             unavailable = s.IsUnavailable();
+                             ++calls;
+                           })
+                  .ok());
+  frontend_->Stop();
+  // Every accepted request completes exactly once, with a typed error.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(unavailable.load());
+}
+
+TEST(FrontEndLifecycleTest, SubmitBeforeStartIsUnavailable) {
+  msg::BusOptions bus_options;
+  bus_options.delivery_delay = 0;
+  msg::MessageBus bus(bus_options);
+  FrontEnd frontend(FrontEndOptions{}, "nodeL", &bus,
+                    MonotonicClock::Default());
+  ASSERT_TRUE(frontend.RegisterStream(TwoPartitionerStream()).ok());
+  EXPECT_TRUE(frontend
+                  .Submit("payments", SampleEvent(),
+                          [](Status, const std::vector<MetricReply>&) {})
+                  .IsUnavailable());
 }
 
 }  // namespace

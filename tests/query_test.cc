@@ -1,7 +1,8 @@
-// Tests for the query parser (paper Fig. 4 grammar) and the filter
-// expression language.
+// Tests for the query parser (paper Fig. 4 grammar), the filter
+// expression language and the stream DDL.
 #include <gtest/gtest.h>
 
+#include "query/ddl.h"
 #include "query/expr.h"
 #include "query/query.h"
 
@@ -172,6 +173,101 @@ TEST(QueryParserTest, CaseInsensitiveKeywords) {
       "over Sliding 5 Minutes");
   ASSERT_TRUE(q.ok());
   EXPECT_EQ(q->aggs[0].kind, agg::AggKind::kSum);
+}
+
+TEST(DdlTest, ParseCreateStream) {
+  auto def = ParseCreateStream(
+      "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+      "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 4");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->name, "payments");
+  ASSERT_EQ(def->fields.size(), 3u);
+  EXPECT_EQ(def->fields[0].name, "cardId");
+  EXPECT_EQ(def->fields[0].type, FieldType::kString);
+  EXPECT_EQ(def->fields[2].name, "amount");
+  EXPECT_EQ(def->fields[2].type, FieldType::kDouble);
+  ASSERT_EQ(def->partitioners.size(), 2u);
+  EXPECT_EQ(def->partitioners[0], "cardId");
+  EXPECT_EQ(def->partitioners[1], "merchantId");
+  EXPECT_EQ(def->partitions_per_topic, 4);
+}
+
+TEST(DdlTest, CreateStreamDefaultsAndCaseInsensitivity) {
+  auto def = ParseCreateStream(
+      "create stream s (a int, b bool, c text, d BIGINT) partition by a");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->partitions_per_topic, 1);  // No PARTITIONS clause.
+  EXPECT_EQ(def->fields[0].type, FieldType::kInt64);
+  EXPECT_EQ(def->fields[1].type, FieldType::kBool);
+  EXPECT_EQ(def->fields[2].type, FieldType::kString);
+  EXPECT_EQ(def->fields[3].type, FieldType::kInt64);
+}
+
+TEST(DdlTest, CreateStreamErrors) {
+  // Bad field type.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a BLOB) PARTITION BY a")
+                   .ok());
+  // Duplicate field.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT, a DOUBLE) PARTITION BY a")
+                   .ok());
+  // Missing PARTITION BY.
+  EXPECT_FALSE(ParseCreateStream("CREATE STREAM s (a INT)").ok());
+  // Partitioner not a declared field.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT) PARTITION BY b")
+                   .ok());
+  // Duplicate partitioner.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT, b INT) PARTITION BY a, a")
+                   .ok());
+  // Bad partition count.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT) PARTITION BY a PARTITIONS 0")
+                   .ok());
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT) PARTITION BY a PARTITIONS 1.5")
+                   .ok());
+  // Trailing junk / malformed clauses.
+  EXPECT_FALSE(ParseCreateStream(
+                   "CREATE STREAM s (a INT) PARTITION BY a junk")
+                   .ok());
+  EXPECT_FALSE(ParseCreateStream("CREATE STREAM s a INT PARTITION BY a")
+                   .ok());
+  EXPECT_FALSE(ParseCreateStream("CREATE TABLE s (a INT) PARTITION BY a")
+                   .ok());
+}
+
+TEST(DdlTest, ParseDdlRoutesBothForms) {
+  auto create = ParseDdl(
+      "CREATE STREAM s (a STRING, v DOUBLE) PARTITION BY a");
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ(create->kind, DdlKind::kCreateStream);
+  EXPECT_EQ(create->create_stream.name, "s");
+
+  auto metric = ParseDdl(
+      "ADD METRIC SELECT sum(v) FROM s GROUP BY a OVER sliding 5 minutes");
+  ASSERT_TRUE(metric.ok()) << metric.status().ToString();
+  EXPECT_EQ(metric->kind, DdlKind::kAddMetric);
+  EXPECT_EQ(metric->metric.stream, "s");
+  ASSERT_EQ(metric->metric.aggs.size(), 1u);
+  EXPECT_EQ(metric->metric.aggs[0].kind, agg::AggKind::kSum);
+  EXPECT_EQ(metric->metric.window,
+            window::WindowSpec::Sliding(5 * kMicrosPerMinute));
+
+  EXPECT_FALSE(ParseDdl("ADD METRIC sum(v) FROM s OVER infinite").ok());
+  EXPECT_FALSE(ParseDdl("DROP STREAM s").ok());
+  EXPECT_FALSE(
+      ParseDdl("SELECT sum(v) FROM s GROUP BY a OVER infinite").ok());
+}
+
+TEST(DdlTest, IsDdlStatement) {
+  EXPECT_TRUE(IsDdlStatement("CREATE STREAM s (a INT) PARTITION BY a"));
+  EXPECT_TRUE(IsDdlStatement("  add metric select count(*) from s"));
+  EXPECT_FALSE(IsDdlStatement("SELECT count(*) FROM s OVER infinite"));
+  EXPECT_FALSE(IsDdlStatement(""));
+  EXPECT_FALSE(IsDdlStatement("42"));
 }
 
 }  // namespace
