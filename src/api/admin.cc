@@ -44,6 +44,9 @@ ClusterStats Admin::TotalStats() const {
   out.fresh_tasks = stats.fresh_tasks;
   out.bytes_recovered = stats.bytes_recovered;
   out.rebalances = cluster_->bus()->rebalance_count();
+  out.poll_errors = stats.poll_errors;
+  out.publish_errors = stats.publish_errors;
+  out.process_failures = stats.process_failures;
   return out;
 }
 
@@ -63,6 +66,12 @@ std::string Admin::Describe() const {
          ", fresh tasks: " + std::to_string(stats.fresh_tasks) +
          ", bytes recovered: " + std::to_string(stats.bytes_recovered) + "\n";
   out += "  bus rebalances: " + std::to_string(stats.rebalances) + "\n";
+  if (stats.poll_errors + stats.publish_errors + stats.process_failures >
+      0) {
+    out += "  errors: " + std::to_string(stats.poll_errors) + " poll, " +
+           std::to_string(stats.publish_errors) + " publish, " +
+           std::to_string(stats.process_failures) + " process\n";
+  }
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
     engine::RailgunNode* node = cluster_->node(n);
     if (!node->alive()) {

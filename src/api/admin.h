@@ -26,6 +26,9 @@ struct ClusterStats {
   uint64_t fresh_tasks = 0;       // Tasks started with empty state.
   uint64_t bytes_recovered = 0;
   uint64_t rebalances = 0;        // Bus consumer-group rebalances.
+  uint64_t poll_errors = 0;       // Failed bus polls / replica fetches.
+  uint64_t publish_errors = 0;    // Failed reply publishes.
+  uint64_t process_failures = 0;  // Messages rejected by task processors.
 };
 
 class Admin {

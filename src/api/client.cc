@@ -240,6 +240,63 @@ ResultFuture Client::Submit(const std::string& stream_name, const Row& row) {
   return ResultFuture(std::move(state));
 }
 
+std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
+                                              const std::vector<Row>& rows) {
+  std::vector<ResultFuture> futures(rows.size());
+  auto reject = [](const Status& status) {
+    EventResult result;
+    result.status = status;
+    return ResultFuture::Ready(std::move(result));
+  };
+
+  // Bind every row up front; individual binding failures complete that
+  // row's future without sinking the batch.
+  std::vector<reservoir::Event> events;
+  std::vector<engine::FrontEnd::ReplyCallback> callbacks;
+  std::vector<size_t> accepted;  // Index into rows/futures.
+  events.reserve(rows.size());
+  callbacks.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto event_or = BindRow(stream_name, rows[i]);
+    if (!event_or.ok()) {
+      futures[i] = reject(event_or.status());
+      continue;
+    }
+    auto state = std::make_shared<ResultFuture::State>();
+    futures[i] = ResultFuture(state);
+    accepted.push_back(i);
+    events.push_back(std::move(event_or).value());
+    callbacks.push_back(
+        [state](Status status,
+                const std::vector<engine::MetricReply>& replies) {
+          EventResult result;
+          result.status = std::move(status);
+          result.metrics.reserve(replies.size());
+          for (const auto& reply : replies) {
+            result.metrics.push_back(
+                {reply.metric_name, reply.group_key, reply.value});
+          }
+          ResultFuture::Complete(state, std::move(result));
+        });
+  }
+  if (events.empty()) return futures;
+
+  engine::FrontEnd* frontend = PickFrontEnd();
+  if (frontend == nullptr) {
+    const Status unavailable =
+        Status::Unavailable("no alive node to submit to");
+    for (size_t i : accepted) futures[i] = reject(unavailable);
+    return futures;
+  }
+  const Status submitted =
+      frontend->SubmitBatch(stream_name, events, std::move(callbacks));
+  if (!submitted.ok()) {
+    // Synchronous rejection: no callback fires for this batch.
+    for (size_t i : accepted) futures[i] = reject(submitted);
+  }
+  return futures;
+}
+
 EventResult Client::SubmitSync(const std::string& stream_name,
                                const Row& row) {
   ResultFuture future = Submit(stream_name, row);

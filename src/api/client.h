@@ -96,13 +96,24 @@ class Client {
   // already-completed future carrying the typed status.
   ResultFuture Submit(const std::string& stream, const Row& row);
 
+  // Batched submission: all rows are bound, routed to one front end and
+  // handed over as a single batch, which the engine fans out with one
+  // broker write per partitioner topic. Returns one future per row, in
+  // order; rows that fail binding come back as already-completed
+  // futures carrying the typed status (the rest of the batch still
+  // ships). This is the throughput path — per-event pipelining costs
+  // collapse across the batch.
+  std::vector<ResultFuture> SubmitBatch(const std::string& stream,
+                                        const std::vector<Row>& rows);
+
   // Blocking variant. The front end guarantees every accepted request
   // completes (reply, deadline, or shutdown), so this returns as soon
   // as the result is determined.
   EventResult SubmitSync(const std::string& stream, const Row& row);
 
   // Fire-and-forget path for throughput-oriented callers: no reply is
-  // requested or collected.
+  // requested or collected; the event is pipelined through the
+  // front-end submission queue, so this never waits on the broker.
   Status SubmitNoReply(const std::string& stream, const Row& row);
 
   // --- Administration ------------------------------------------------

@@ -135,6 +135,9 @@ UnitStats Cluster::TotalStats() const {
       total.recoveries += s.recoveries;
       total.fresh_tasks += s.fresh_tasks;
       total.bytes_recovered += s.bytes_recovered;
+      total.poll_errors += s.poll_errors;
+      total.publish_errors += s.publish_errors;
+      total.process_failures += s.process_failures;
     }
   }
   return total;

@@ -1,5 +1,7 @@
 #include "engine/frontend.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace railgun::engine {
@@ -10,13 +12,26 @@ FrontEnd::FrontEnd(const FrontEndOptions& options, std::string node_id,
       node_id_(std::move(node_id)),
       bus_(bus),
       clock_(clock),
-      reply_topic_("replies." + node_id_) {}
+      reply_topic_("replies." + node_id_),
+      consumer_id_("fe." + node_id_) {}
 
 FrontEnd::~FrontEnd() { Stop(); }
 
 Status FrontEnd::Start() {
   Status s = bus_->CreateTopic(reply_topic_, 1);
   if (!s.ok() && !s.IsAlreadyExists()) return s;
+  // The front end consumes its reply topic through a private group so
+  // its loop can park in a blocking Poll (wake-on-arrival) instead of
+  // fetch-and-sleep polling.
+  RAILGUN_RETURN_IF_ERROR(bus_->Subscribe(consumer_id_, "fe." + node_id_,
+                                          {reply_topic_}, "", nullptr, {}));
+  {
+    // A submit that raced a previous Stop may have left queued
+    // submissions whose callbacks were already failed; never publish
+    // them on restart.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    submit_queue_.clear();
+  }
   running_ = true;
   thread_ = std::thread([this] { Run(); });
   return Status::OK();
@@ -24,18 +39,28 @@ Status FrontEnd::Start() {
 
 void FrontEnd::Stop() {
   running_ = false;
+  bus_->WakeConsumer(consumer_id_);  // Cut a parked reply poll short.
   if (thread_.joinable()) thread_.join();
-  // Fail outstanding requests so no caller blocks on a reply that can
-  // never arrive.
-  std::map<uint64_t, Pending> orphaned;
+  bus_->Unsubscribe(consumer_id_);  // NotFound when never started: fine.
+  // Drop queued submissions and fail outstanding requests so no caller
+  // blocks on a reply that can never arrive.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    orphaned.swap(pending_);
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    submit_queue_.clear();
   }
-  for (auto& [id, pending] : orphaned) {
-    if (pending.callback) {
-      pending.callback(Status::Unavailable("front end stopped"),
-                       pending.results);
+  std::vector<Completion> orphaned;
+  for (auto& shard : pending_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, pending] : shard.entries) {
+      orphaned.push_back({std::move(pending.callback),
+                          std::move(pending.results),
+                          Status::Unavailable("front end stopped")});
+    }
+    shard.entries.clear();
+  }
+  for (auto& completion : orphaned) {
+    if (completion.callback) {
+      completion.callback(completion.status, completion.results);
     }
   }
 }
@@ -46,127 +71,239 @@ Status FrontEnd::RegisterStream(const StreamDef& stream) {
         bus_->CreateTopic(stream.TopicFor(p), stream.partitions_per_topic);
     if (!s.ok() && !s.IsAlreadyExists()) return s;
   }
+  Route route;
+  route.stream = stream;
+  route.schema = reservoir::Schema(0, stream.fields);
+  for (const auto& p : stream.partitioners) {
+    const int field = route.schema.FieldIndex(p);
+    if (field < 0) {
+      return Status::InvalidArgument("partitioner not in schema: " + p);
+    }
+    route.targets.push_back({stream.TopicFor(p), field});
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  streams_[stream.name] = stream;
+  routes_[stream.name] = std::move(route);
+  return Status::OK();
+}
+
+Status FrontEnd::Enqueue(const Route& route, const reservoir::Event& event,
+                         ReplyCallback callback,
+                         std::vector<Submission>* out) {
+  Submission submission;
+  submission.targets.reserve(route.targets.size());
+  for (const auto& [topic, field] : route.targets) {
+    if (static_cast<size_t>(field) >= event.values.size()) {
+      return Status::InvalidArgument("event is missing partitioner field");
+    }
+    submission.targets.push_back({topic, event.values[field].ToString()});
+  }
+
+  EventEnvelope envelope;
+  if (callback != nullptr) {
+    // Request ids must be unique per reply topic; salt with the node id.
+    uint64_t request_id =
+        (Hash64(node_id_) & 0xffff000000000000ull) |
+        (next_request_id_.fetch_add(1) & 0x0000ffffffffffffull);
+    if (request_id == 0) request_id = next_request_id_.fetch_add(1);
+    submission.request_id = request_id;
+    envelope.request_id = request_id;
+    envelope.reply_topic = reply_topic_;
+
+    Pending pending;
+    pending.expected = static_cast<int>(route.targets.size());
+    pending.callback = std::move(callback);
+    pending.deadline = clock_->NowMicros() + options_.request_timeout;
+    PendingShard& shard = ShardFor(request_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries[request_id] = std::move(pending);
+  }
+  envelope.event = event;
+  EncodeEventEnvelope(envelope, route.schema, &submission.payload);
+  out->push_back(std::move(submission));
   return Status::OK();
 }
 
 Status FrontEnd::Submit(const std::string& stream_name,
                         const reservoir::Event& event,
                         ReplyCallback callback) {
+  std::vector<reservoir::Event> events = {event};
+  std::vector<ReplyCallback> callbacks;
+  callbacks.push_back(std::move(callback));
+  return SubmitBatch(stream_name, events, std::move(callbacks));
+}
+
+Status FrontEnd::SubmitBatch(const std::string& stream_name,
+                             const std::vector<reservoir::Event>& events,
+                             std::vector<ReplyCallback> callbacks) {
   if (!running_) {
     return Status::Unavailable("front end is not running");
   }
-  StreamDef stream;
-  uint64_t request_id;
+  Route route;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = streams_.find(stream_name);
-    if (it == streams_.end()) {
+    auto it = routes_.find(stream_name);
+    if (it == routes_.end()) {
       return Status::NotFound("unknown stream: " + stream_name);
     }
-    stream = it->second;
-    // Request ids must be unique per reply topic; salt with the node id.
-    request_id = (Hash64(node_id_) & 0xffff000000000000ull) |
-                 (next_request_id_++ & 0x0000ffffffffffffull);
-    if (request_id == 0) request_id = next_request_id_++;
-
-    Pending pending;
-    pending.expected = static_cast<int>(stream.partitioners.size());
-    pending.callback = std::move(callback);
-    pending.deadline = clock_->NowMicros() + options_.request_timeout;
-    pending_[request_id] = std::move(pending);
+    route = it->second;
   }
-  Status s = Publish(stream, event, request_id, reply_topic_);
-  if (!s.ok()) {
-    // The caller sees the typed error synchronously; drop the pending
-    // entry so the callback does not also fire on the timeout path.
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.erase(request_id);
-  }
-  return s;
-}
 
-Status FrontEnd::SubmitNoReply(const std::string& stream_name,
-                               const reservoir::Event& event) {
-  StreamDef stream;
+  std::vector<Submission> prepared;
+  prepared.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    ReplyCallback callback =
+        i < callbacks.size() ? std::move(callbacks[i]) : nullptr;
+    const Status s = Enqueue(route, events[i], std::move(callback),
+                             &prepared);
+    if (!s.ok()) {
+      // Roll back this batch's already-registered pendings: the caller
+      // sees the typed error synchronously, so no callback may fire.
+      for (const auto& submission : prepared) {
+        if (submission.request_id == 0) continue;
+        PendingShard& shard = ShardFor(submission.request_id);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.entries.erase(submission.request_id);
+      }
+      return s;
+    }
+  }
+
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = streams_.find(stream_name);
-    if (it == streams_.end()) {
-      return Status::NotFound("unknown stream: " + stream_name);
-    }
-    stream = it->second;
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    submit_queue_.insert(submit_queue_.end(),
+                         std::make_move_iterator(prepared.begin()),
+                         std::make_move_iterator(prepared.end()));
   }
-  return Publish(stream, event, /*request_id=*/0, /*reply_topic=*/"");
-}
-
-Status FrontEnd::Publish(const StreamDef& stream,
-                         const reservoir::Event& event, uint64_t request_id,
-                         const std::string& reply_topic) {
-  // Step 2 of Figure 3: replicate the event to all partitioner topics,
-  // keyed by the partitioner field so an entity's events colocate.
-  const reservoir::Schema schema(0, stream.fields);
-  EventEnvelope envelope;
-  envelope.request_id = request_id;
-  envelope.reply_topic = reply_topic;
-  envelope.event = event;
-
-  std::string payload;
-  EncodeEventEnvelope(envelope, schema, &payload);
-
-  for (const auto& partitioner : stream.partitioners) {
-    const int field = schema.FieldIndex(partitioner);
-    if (field < 0) {
-      return Status::InvalidArgument("partitioner not in schema: " +
-                                     partitioner);
+  // One wake-up per batch: the front-end thread drains the queue and
+  // fans out one ProduceBatch per partitioner topic. Level-triggered,
+  // so a wake landing between the thread's queue check and its park is
+  // consumed by the next Poll, not lost.
+  bus_->WakeConsumer(consumer_id_);
+  if (!running_) {
+    // Stopped while enqueueing: the run thread may already have drained
+    // its last cycle, so complete the stragglers here (FailPending is
+    // exactly-once under the shard lock).
+    for (const auto& submission : prepared) {
+      if (submission.request_id != 0) {
+        FailPending(submission.request_id,
+                    Status::Unavailable("front end stopped"));
+      }
     }
-    const std::string key = event.values[field].ToString();
-    RAILGUN_RETURN_IF_ERROR(
-        bus_->Produce(stream.TopicFor(partitioner), key, payload).status());
   }
   return Status::OK();
 }
 
+Status FrontEnd::SubmitNoReply(const std::string& stream_name,
+                               const reservoir::Event& event) {
+  if (!running_) {
+    return Status::Unavailable("front end is not running");
+  }
+  return SubmitBatch(stream_name, {event}, {});
+}
+
+void FrontEnd::FailPending(uint64_t request_id, const Status& status) {
+  Completion completion;
+  {
+    PendingShard& shard = ShardFor(request_id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(request_id);
+    if (it == shard.entries.end()) return;  // Already completed.
+    completion = {std::move(it->second.callback),
+                  std::move(it->second.results), status};
+    shard.entries.erase(it);
+  }
+  if (completion.callback) {
+    completion.callback(completion.status, completion.results);
+  }
+}
+
+void FrontEnd::DrainSubmissions() {
+  std::vector<Submission> drained;
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    drained.swap(submit_queue_);
+  }
+  if (drained.empty()) return;
+
+  // Step 2 of Figure 3, batched: replicate every queued event to its
+  // partitioner topics with one ProduceBatch per topic per cycle.
+  std::map<std::string, std::vector<msg::ProduceRecord>> batches;
+  std::map<std::string, std::vector<uint64_t>> requests_by_topic;
+  for (auto& submission : drained) {
+    for (size_t t = 0; t < submission.targets.size(); ++t) {
+      auto& [topic, key] = submission.targets[t];
+      const bool last_target = t + 1 == submission.targets.size();
+      batches[topic].push_back(
+          {std::move(key), last_target ? std::move(submission.payload)
+                                       : submission.payload});
+      if (submission.request_id != 0) {
+        requests_by_topic[topic].push_back(submission.request_id);
+      }
+    }
+  }
+  for (auto& [topic, records] : batches) {
+    const Status published = bus_->ProduceBatch(topic, std::move(records));
+    if (published.ok()) continue;
+    ++publish_errors_;
+    // Fail every request that fanned out to this topic; their other
+    // topics' late replies are discarded (the pending entry is gone).
+    auto it = requests_by_topic.find(topic);
+    if (it == requests_by_topic.end()) continue;
+    for (uint64_t request_id : it->second) {
+      FailPending(request_id, published);
+    }
+  }
+}
+
 void FrontEnd::Run() {
-  const msg::TopicPartition reply_tp{reply_topic_, 0};
   std::vector<msg::Message> batch;
   while (running_) {
-    batch.clear();
-    bus_->Fetch(reply_tp, reply_position_, options_.poll_max, &batch);
-    reply_position_ += batch.size();
+    DrainSubmissions();
 
-    struct Completion {
-      ReplyCallback callback;
-      std::vector<MetricReply> results;
-      Status status;
-    };
-    std::vector<Completion> done;
+    Micros wait = options_.poll_wait;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& message : batch) {
-        ReplyEnvelope reply;
-        if (!DecodeReplyEnvelope(Slice(message.payload), &reply).ok()) {
-          continue;
-        }
-        auto it = pending_.find(reply.request_id);
-        if (it == pending_.end()) continue;  // Timed out already.
-        Pending& pending = it->second;
-        for (auto& r : reply.results) {
-          pending.results.push_back(std::move(r));
-        }
-        if (++pending.received >= pending.expected) {
-          done.push_back({std::move(pending.callback),
-                          std::move(pending.results), Status::OK()});
-          pending_.erase(it);
-          ++completed_;
-        }
+      // Submissions raced in while draining: don't park on them.
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      if (!submit_queue_.empty()) wait = 0;
+    }
+    const Status polled =
+        bus_->Poll(consumer_id_, options_.poll_max, &batch, wait);
+    if (!polled.ok()) {
+      // Error-recovery path (consumer fenced), not the hot loop:
+      // bounded backoff, then keep expiring deadlines below.
+      batch.clear();
+      clock_->SleepMicros(options_.poll_wait);
+    }
+
+    std::vector<Completion> done;
+    for (const auto& message : batch) {
+      ReplyEnvelope reply;
+      if (!DecodeReplyEnvelope(Slice(message.payload), &reply).ok()) {
+        continue;
       }
-      // Expire overdue requests: the callback fires with a typed error
-      // and whatever partial results arrived (late aggregation replies
-      // are discarded upstream, paper §5).
-      const Micros now = clock_->NowMicros();
-      for (auto it = pending_.begin(); it != pending_.end();) {
+      PendingShard& shard = ShardFor(reply.request_id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(reply.request_id);
+      if (it == shard.entries.end()) continue;  // Timed out already.
+      Pending& pending = it->second;
+      for (auto& r : reply.results) {
+        pending.results.push_back(std::move(r));
+      }
+      if (++pending.received >= pending.expected) {
+        done.push_back({std::move(pending.callback),
+                        std::move(pending.results), Status::OK()});
+        shard.entries.erase(it);
+        ++completed_;
+      }
+    }
+
+    // Expire overdue requests: the callback fires with a typed error
+    // and whatever partial results arrived (late aggregation replies
+    // are discarded upstream, paper §5).
+    const Micros now = clock_->NowMicros();
+    for (auto& shard : pending_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.entries.begin(); it != shard.entries.end();) {
         if (it->second.deadline <= now) {
           Pending& pending = it->second;
           done.push_back({std::move(pending.callback),
@@ -176,19 +313,19 @@ void FrontEnd::Run() {
                               std::to_string(pending.received) + "/" +
                               std::to_string(pending.expected) +
                               " partitioner replies arrived")});
-          it = pending_.erase(it);
+          it = shard.entries.erase(it);
           ++timed_out_;
         } else {
           ++it;
         }
       }
     }
+
     for (auto& completion : done) {
       if (completion.callback) {
         completion.callback(completion.status, completion.results);
       }
     }
-    if (batch.empty()) clock_->SleepMicros(options_.idle_sleep);
   }
 }
 

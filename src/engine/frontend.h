@@ -2,9 +2,17 @@
 // every partitioner topic of the stream, collects the per-topic
 // aggregation replies from its dedicated reply topic, and completes the
 // client request with all computed metrics in a single response.
+//
+// The data path is batched and wake-on-arrival: Submit/SubmitBatch
+// encode the event on the caller's thread and enqueue it; the front-end
+// thread drains the queue into one ProduceBatch per partitioner topic
+// per cycle, then parks in a blocking bus Poll on its reply topic until
+// replies or new submissions arrive. The pending-request table is
+// sharded so concurrent submitters don't contend with reply collection.
 #ifndef RAILGUN_ENGINE_FRONTEND_H_
 #define RAILGUN_ENGINE_FRONTEND_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -24,7 +32,10 @@ struct FrontEndOptions {
   // Pending requests older than this complete with what has arrived
   // (late aggregation replies are discarded upstream, paper §5).
   Micros request_timeout = 10 * kMicrosPerSecond;
-  Micros idle_sleep = 100;
+  // Max real time the front-end thread parks in its blocking reply poll
+  // before re-checking deadlines and shutdown. Replies and submissions
+  // wake it immediately; this only bounds the idle park.
+  Micros poll_wait = 5 * kMicrosPerMilli;
   size_t poll_max = 1024;
 };
 
@@ -46,25 +57,39 @@ class FrontEnd {
   // Submit has completed exactly once.
   void Stop();
 
-  // Creates the stream's topics (idempotent) and remembers its schema.
+  // Creates the stream's topics (idempotent), remembers its schema and
+  // precomputes the fan-out routing (per-partitioner topic + key field).
   Status RegisterStream(const StreamDef& stream);
 
-  // Step 1-2 of Figure 3: publish the event to every partitioner topic.
-  // Returns NotFound for unregistered streams and Unavailable when the
-  // front end is not running (the callback never fires). The callback
-  // fires on the front-end thread with OK when all expected replies
-  // arrived, or with Unavailable and the partial set on timeout or
-  // Stop — every accepted request completes exactly once.
+  // Step 1-2 of Figure 3: queue the event for publication to every
+  // partitioner topic. Returns NotFound for unregistered streams,
+  // InvalidArgument for events that don't match the schema, and
+  // Unavailable when the front end is not running (the callback never
+  // fires for any of these). Once accepted, the callback fires on the
+  // front-end thread with OK when all expected replies arrived, or with
+  // Unavailable and the partial set on timeout, publish failure or Stop
+  // — every accepted request completes exactly once.
   Status Submit(const std::string& stream_name,
                 const reservoir::Event& event, ReplyCallback callback);
 
-  // Fire-and-forget variant used by throughput-oriented benchmarks.
+  // Batch submission: accepts all events under one queue lock and one
+  // wake-up. callbacks[i] belongs to events[i] and follows the same
+  // exactly-once contract; with fewer callbacks than events the
+  // remainder are fire-and-forget.
+  Status SubmitBatch(const std::string& stream_name,
+                     const std::vector<reservoir::Event>& events,
+                     std::vector<ReplyCallback> callbacks);
+
+  // Fire-and-forget fast path: the event is pipelined through the same
+  // submission queue (no reply requested), so callers never wait on the
+  // messaging hop.
   Status SubmitNoReply(const std::string& stream_name,
                        const reservoir::Event& event);
 
   const std::string& reply_topic() const { return reply_topic_; }
   uint64_t completed_requests() const { return completed_; }
   uint64_t timed_out_requests() const { return timed_out_; }
+  uint64_t publish_errors() const { return publish_errors_; }
 
  private:
   struct Pending {
@@ -74,27 +99,66 @@ class FrontEnd {
     ReplyCallback callback;
     Micros deadline = 0;
   };
+  // The pending table is sharded by request id so submitters, the reply
+  // loop and the timeout scan contend at 1/kPendingShards granularity.
+  static constexpr size_t kPendingShards = 16;
+  struct PendingShard {
+    std::mutex mu;
+    std::map<uint64_t, Pending> entries;
+  };
+  // Precomputed fan-out for one stream: the schema plus one
+  // (topic, key-field index) per partitioner.
+  struct Route {
+    StreamDef stream;
+    reservoir::Schema schema;
+    std::vector<std::pair<std::string, int>> targets;
+  };
+  // One encoded, routed event waiting for the fan-out cycle.
+  struct Submission {
+    uint64_t request_id = 0;  // 0 = fire-and-forget.
+    std::string payload;
+    std::vector<std::pair<std::string, std::string>> targets;  // topic,key
+  };
+  struct Completion {
+    ReplyCallback callback;
+    std::vector<MetricReply> results;
+    Status status;
+  };
 
   void Run();
-  Status Publish(const StreamDef& stream, const reservoir::Event& event,
-                 uint64_t request_id, const std::string& reply_topic);
+  // Encodes and routes one event against its stream; registers a
+  // pending entry when callback is non-null.
+  Status Enqueue(const Route& route, const reservoir::Event& event,
+                 ReplyCallback callback,
+                 std::vector<Submission>* out);
+  // Publishes every queued submission, one ProduceBatch per topic.
+  void DrainSubmissions();
+  void FailPending(uint64_t request_id, const Status& status);
+  PendingShard& ShardFor(uint64_t request_id) {
+    return pending_[request_id % kPendingShards];
+  }
 
   FrontEndOptions options_;
   std::string node_id_;
   msg::MessageBus* bus_;
   Clock* clock_;
   std::string reply_topic_;
+  std::string consumer_id_;
 
   std::thread thread_;
   std::atomic<bool> running_{false};
 
-  std::mutex mu_;
-  std::map<std::string, StreamDef> streams_;
-  std::map<uint64_t, Pending> pending_;
-  uint64_t next_request_id_ = 1;
-  uint64_t reply_position_ = 0;
+  mutable std::mutex mu_;  // Guards streams_/routes_.
+  std::map<std::string, Route> routes_;
+
+  std::mutex submit_mu_;
+  std::vector<Submission> submit_queue_;
+
+  std::array<PendingShard, kPendingShards> pending_;
+  std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> publish_errors_{0};
 };
 
 }  // namespace railgun::engine

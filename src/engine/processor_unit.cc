@@ -1,6 +1,7 @@
 #include "engine/processor_unit.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace railgun::engine {
 
@@ -32,20 +33,29 @@ void ProcessorUnit::Stop() {
     if (thread_.joinable()) thread_.join();
     return;
   }
+  op_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   bus_->Unsubscribe(unit_id_);
 }
 
 void ProcessorUnit::Kill() {
   running_ = false;
+  op_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   // No Unsubscribe: the bus discovers the death via heartbeat expiry
   // (or the harness calls KillConsumer for immediate detection).
 }
 
 void ProcessorUnit::EnqueueRegisterStream(const StreamDef& stream) {
-  std::lock_guard<std::mutex> lock(mu_);
-  pending_streams_.push_back(stream);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_streams_.push_back(stream);
+  }
+  op_cv_.notify_all();
+  // A loop parked in a blocking bus poll applies the registration on
+  // its next pass; interrupt it so DDL takes effect promptly (NotFound
+  // before the first subscription: the op_cv_ park covers that phase).
+  bus_->WakeConsumer(unit_id_);
 }
 
 UnitStats ProcessorUnit::stats() const {
@@ -134,9 +144,16 @@ void ProcessorUnit::DrainOperationalRequests() {
           active_tasks_.end());
     }
   };
-  bus_->Subscribe(unit_id_, "railgun-active", topics,
-                  "node=" + node_id_ + ";unit=" + unit_id_, coordinator_,
-                  std::move(listener));
+  const Status subscribed = bus_->Subscribe(
+      unit_id_, "railgun-active", topics,
+      "node=" + node_id_ + ";unit=" + unit_id_, coordinator_,
+      std::move(listener));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subscribed.ok()) {
+    subscribed_ = true;
+  } else {
+    ++stats_.poll_errors;
+  }
 }
 
 void ProcessorUnit::HandleAssigned(
@@ -247,17 +264,91 @@ void ProcessorUnit::SyncReplicaTasks() {
   }
 }
 
+void ProcessorUnit::ProcessGrouped(
+    const std::map<msg::TopicPartition, std::vector<msg::Message>>& groups,
+    bool active) {
+  // Replies for active tasks are batched per reply topic and published
+  // with one ProduceBatch each; replicas stay silent (Algorithm 1).
+  std::map<std::string, std::vector<msg::ProduceRecord>> reply_batches;
+  for (const auto& [tp, messages] : groups) {
+    uint64_t replay_offset = 0;
+    auto proc_or = GetOrCreateProcessor(tp, &replay_offset);
+    if (!proc_or.ok()) continue;
+    std::vector<ReplyEnvelope> replies;
+    size_t failed = 0;
+    if (!proc_or.value()->ProcessBatch(messages, &replies, &failed).ok()) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.process_failures += failed;
+      if (active) {
+        stats_.active_messages += messages.size() - failed;
+      } else {
+        stats_.replica_messages += messages.size() - failed;
+      }
+    }
+    if (!active) continue;
+    for (size_t i = 0; i < messages.size(); ++i) {
+      ReplyEnvelope& reply = replies[i];
+      if (reply.request_id == 0 || reply.reply_topic.empty()) continue;
+      std::string encoded;
+      EncodeReplyEnvelope(reply, &encoded);
+      reply_batches[reply.reply_topic].push_back(
+          {messages[i].key, std::move(encoded)});
+    }
+  }
+  for (auto& [topic, records] : reply_batches) {
+    const uint64_t count = records.size();
+    const Status published = bus_->ProduceBatch(topic, std::move(records));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (published.ok()) {
+      stats_.replies_sent += count;
+    } else {
+      ++stats_.publish_errors;
+    }
+  }
+}
+
 void ProcessorUnit::Run() {
   while (running_) {
     DrainOperationalRequests();
     SyncReplicaTasks();
 
-    // Active tasks: poll through the consumer group (heartbeat).
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!subscribed_) {
+        // Not yet a group member, so there is no consumer to block in:
+        // park until the first stream registration (or shutdown).
+        if (pending_streams_.empty() && running_) {
+          op_cv_.wait_for(lock, std::chrono::microseconds(
+                                    options_.poll_wait));
+        }
+        continue;
+      }
+    }
+
+    // Active tasks: blocking poll through the consumer group. Acts as
+    // the heartbeat and parks (wake-on-arrival) when nothing is ready.
     std::vector<msg::Message> active_messages;
-    bus_->Poll(unit_id_, options_.poll_max, &active_messages);
+    const Status poll_status = bus_->Poll(
+        unit_id_, options_.poll_max, &active_messages, options_.poll_wait);
+    if (!poll_status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.poll_errors;
+      }
+      // A failed poll (e.g. fenced consumer) returns immediately: park
+      // briefly so replica duty continues without hot-spinning.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (running_) {
+        op_cv_.wait_for(lock,
+                        std::chrono::microseconds(options_.poll_wait));
+      }
+    }
 
     // Replica tasks: direct fetch, tracked positions.
-    std::vector<msg::Message> replica_messages;
+    std::map<msg::TopicPartition, std::vector<msg::Message>> replica_groups;
     std::vector<std::pair<msg::TopicPartition, uint64_t>> replica_list;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -275,60 +366,33 @@ void ProcessorUnit::Run() {
         pos = replay_offset;
       }
       std::vector<msg::Message> batch;
-      if (bus_->Fetch(tp, pos, options_.poll_max, &batch).ok()) {
-        pos += batch.size();
-        for (auto& m : batch) replica_messages.push_back(std::move(m));
+      const Status fetched = bus_->Fetch(tp, pos, options_.poll_max, &batch);
+      if (fetched.ok()) {
+        // Advance past what was actually read: retention may have
+        // clamped the fetch forward of pos (offsets are absolute).
+        if (!batch.empty()) {
+          pos = batch.back().offset + 1;
+          replica_groups[tp] = std::move(batch);
+        }
+      } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.poll_errors;
       }
       std::lock_guard<std::mutex> lock(mu_);
       auto it = replica_positions_.find(tp);
       if (it != replica_positions_.end()) it->second = pos;
     }
 
-    const bool idle = active_messages.empty() && replica_messages.empty();
-
-    // Process: active tasks reply, replicas stay silent (Algorithm 1).
-    ReplyEnvelope reply;
-    for (const auto& message : active_messages) {
-      uint64_t replay_offset = 0;
-      auto proc_or = GetOrCreateProcessor(
-          {message.topic, message.partition}, &replay_offset);
-      if (!proc_or.ok()) continue;
-      if (!proc_or.value()->ProcessMessage(message, &reply).ok()) continue;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.active_messages;
-      }
-      if (reply.request_id != 0) {
-        EventEnvelope env_probe;
-        // The reply topic travels in the envelope; re-extract cheaply.
-        Slice payload(message.payload);
-        uint64_t rid;
-        Slice reply_topic;
-        if (GetFixed64(&payload, &rid) &&
-            GetLengthPrefixedSlice(&payload, &reply_topic) &&
-            !reply_topic.empty()) {
-          std::string encoded;
-          EncodeReplyEnvelope(reply, &encoded);
-          bus_->Produce(reply_topic.ToString(), message.key,
-                        std::move(encoded));
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.replies_sent;
-        }
-        (void)env_probe;
-      }
-    }
-    for (const auto& message : replica_messages) {
-      uint64_t replay_offset = 0;
-      auto proc_or = GetOrCreateProcessor(
-          {message.topic, message.partition}, &replay_offset);
-      if (!proc_or.ok()) continue;
-      if (proc_or.value()->ProcessMessage(message, &reply).ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.replica_messages;
-      }
+    // Group active messages by task so each task processor handles its
+    // slice of the poll as one batch.
+    std::map<msg::TopicPartition, std::vector<msg::Message>> active_groups;
+    for (auto& message : active_messages) {
+      active_groups[{message.topic, message.partition}].push_back(
+          std::move(message));
     }
 
-    if (idle) clock_->SleepMicros(options_.idle_sleep);
+    ProcessGrouped(active_groups, /*active=*/true);
+    ProcessGrouped(replica_groups, /*active=*/false);
   }
 }
 

@@ -6,6 +6,7 @@
 #define RAILGUN_ENGINE_PROCESSOR_UNIT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
@@ -25,8 +26,11 @@ namespace railgun::engine {
 struct UnitOptions {
   TaskProcessorOptions task;
   size_t poll_max = 256;
-  // Idle backoff between empty polls.
-  Micros idle_sleep = 200;
+  // Max real time the unit loop parks inside a blocking bus poll before
+  // re-checking shutdown, operational requests and replica fetches. The
+  // loop wakes immediately when a message arrives (wake-on-arrival);
+  // this only bounds the idle park.
+  Micros poll_wait = 10 * kMicrosPerMilli;
 };
 
 struct UnitStats {
@@ -36,6 +40,9 @@ struct UnitStats {
   uint64_t recoveries = 0;       // Task processors built from a donor.
   uint64_t fresh_tasks = 0;      // Task processors built from nothing.
   uint64_t bytes_recovered = 0;  // Approximate donor copy volume.
+  uint64_t poll_errors = 0;      // Failed bus polls / replica fetches.
+  uint64_t publish_errors = 0;   // Failed reply publishes.
+  uint64_t process_failures = 0;  // Messages a task processor rejected.
 };
 
 class ProcessorUnit {
@@ -76,6 +83,9 @@ class ProcessorUnit {
 
  private:
   void Run();
+  void ProcessGrouped(
+      const std::map<msg::TopicPartition, std::vector<msg::Message>>& groups,
+      bool active);
   void DrainOperationalRequests();
   void SyncReplicaTasks();
   StatusOr<TaskProcessor*> GetOrCreateProcessor(
@@ -95,6 +105,10 @@ class ProcessorUnit {
   std::atomic<bool> running_{false};
 
   mutable std::mutex mu_;
+  // Parks the loop before its first subscription (no consumer to block
+  // in yet); EnqueueRegisterStream and Stop/Kill notify it.
+  std::condition_variable op_cv_;
+  bool subscribed_ = false;
   std::deque<StreamDef> pending_streams_;
   std::map<std::string, StreamDef> streams_;  // By stream name.
   std::map<std::string, std::unique_ptr<TaskProcessor>> processors_;

@@ -59,6 +59,9 @@ struct MetricReply {
 
 struct ReplyEnvelope {
   uint64_t request_id = 0;
+  // Routing hint filled in by the task processor when it decodes the
+  // event envelope; not part of the encoded reply wire format.
+  std::string reply_topic;
   std::vector<MetricReply> results;
 };
 

@@ -118,6 +118,7 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
                                      ReplyEnvelope* reply) {
   reply->results.clear();
   reply->request_id = 0;
+  reply->reply_topic.clear();
 
   EventEnvelope env;
   RAILGUN_RETURN_IF_ERROR(
@@ -125,6 +126,7 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
                           &env));
   env.event.offset = message.offset;
   reply->request_id = env.request_id;
+  reply->reply_topic = env.reply_topic;
 
   const int64_t offset = static_cast<int64_t>(message.offset);
   if (offset > reservoir_skip_threshold_) {
@@ -151,6 +153,24 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
   if (++events_since_checkpoint_ >= options_.checkpoint_interval_events) {
     events_since_checkpoint_ = 0;
     RAILGUN_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status TaskProcessor::ProcessBatch(const std::vector<msg::Message>& messages,
+                                   std::vector<ReplyEnvelope>* replies,
+                                   size_t* failed) {
+  replies->clear();
+  replies->resize(messages.size());
+  *failed = 0;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    // A message that fails to decode or process is skipped — its reply
+    // slot keeps request_id 0, so no reply is routed for it — without
+    // aborting the rest of the batch.
+    if (!ProcessMessage(messages[i], &(*replies)[i]).ok()) {
+      (*replies)[i] = ReplyEnvelope();
+      ++*failed;
+    }
   }
   return Status::OK();
 }

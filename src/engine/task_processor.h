@@ -48,6 +48,13 @@ class TaskProcessor {
   // positions skip the reservoir append / plan processing respectively.
   Status ProcessMessage(const msg::Message& message, ReplyEnvelope* reply);
 
+  // Batched variant for the wake-on-arrival pipeline: processes the
+  // messages in arrival order and fills *replies 1:1 with the inputs
+  // (entries with request_id 0 need no reply). Per-message failures are
+  // counted in *failed and skipped instead of aborting the batch.
+  Status ProcessBatch(const std::vector<msg::Message>& messages,
+                      std::vector<ReplyEnvelope>* replies, size_t* failed);
+
   // Synchronized checkpoint of reservoir + state store (paper §4.1.3).
   Status Checkpoint();
 

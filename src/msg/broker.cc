@@ -1,6 +1,7 @@
 #include "msg/broker.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/hash.h"
 
@@ -11,32 +12,76 @@ MessageBus::MessageBus(const BusOptions& options)
       clock_(options.clock != nullptr ? options.clock
                                       : MonotonicClock::Default()) {}
 
+std::shared_ptr<MessageBus::Topic> MessageBus::FindTopic(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second;
+}
+
+void MessageBus::NotifyArrival() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++wake_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+Status MessageBus::WakeConsumer(const std::string& consumer_id) {
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    auto it = consumers_.find(consumer_id);
+    if (it == consumers_.end()) return Status::NotFound("no consumer");
+    it->second.interrupted = true;
+  }
+  NotifyArrival();
+  return Status::OK();
+}
+
+void MessageBus::Wake() {
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    for (auto& [id, consumer] : consumers_) consumer.interrupted = true;
+  }
+  NotifyArrival();
+}
+
 Status MessageBus::CreateTopic(const std::string& topic, int partitions) {
   if (partitions <= 0) {
     return Status::InvalidArgument("partitions must be positive");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (topics_.count(topic) > 0) {
-    return Status::AlreadyExists("topic exists: " + topic);
+  {
+    std::lock_guard<std::mutex> lock(topics_mu_);
+    if (topics_.count(topic) > 0) {
+      return Status::AlreadyExists("topic exists: " + topic);
+    }
+    auto t = std::make_shared<Topic>();
+    for (int p = 0; p < partitions; ++p) {
+      t->partitions.push_back(std::make_unique<PartitionLog>());
+    }
+    topics_[topic] = std::move(t);
   }
-  topics_[topic].partitions.resize(static_cast<size_t>(partitions));
 
   // New partitions affect every group subscribed to this topic.
-  for (auto& [name, group] : groups_) {
-    for (const auto& member : group.members) {
-      const auto& consumer = consumers_[member];
-      if (std::find(consumer.topics.begin(), consumer.topics.end(), topic) !=
-          consumer.topics.end()) {
-        RebalanceGroupLocked(name);
-        break;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    for (auto& [name, group] : groups_) {
+      for (const auto& member : group.members) {
+        const auto& consumer = consumers_[member];
+        if (std::find(consumer.topics.begin(), consumer.topics.end(),
+                      topic) != consumer.topics.end()) {
+          RebalanceGroupLocked(name);
+          break;
+        }
       }
     }
   }
+  NotifyArrival();
   return Status::OK();
 }
 
 Status MessageBus::DeleteTopic(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(topics_mu_);
   if (topics_.erase(topic) == 0) {
     return Status::NotFound("no topic: " + topic);
   }
@@ -44,60 +89,121 @@ Status MessageBus::DeleteTopic(const std::string& topic) {
 }
 
 StatusOr<int> MessageBus::NumPartitions(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
-  return static_cast<int>(it->second.partitions.size());
+  auto t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + topic);
+  return static_cast<int>(t->partitions.size());
 }
 
 std::vector<TopicPartition> MessageBus::PartitionsOf(
     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TopicPartition> result;
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return result;
-  for (size_t p = 0; p < it->second.partitions.size(); ++p) {
+  auto t = FindTopic(topic);
+  if (t == nullptr) return result;
+  for (size_t p = 0; p < t->partitions.size(); ++p) {
     result.push_back({topic, static_cast<int>(p)});
   }
   return result;
 }
 
+void MessageBus::AppendLocked(PartitionLog* log, const std::string& topic,
+                              int partition, std::string key,
+                              std::string payload, Micros now) {
+  Message m;
+  m.topic = topic;
+  m.partition = partition;
+  m.offset = log->end_offset.load(std::memory_order_relaxed);
+  m.key = std::move(key);
+  m.payload = std::move(payload);
+  m.publish_time = now;
+  m.visible_time = m.publish_time + options_.delivery_delay;
+  log->messages.push_back(std::move(m));
+  log->end_offset.store(log->messages.back().offset + 1,
+                        std::memory_order_release);
+  TruncateLocked(log);
+}
+
+void MessageBus::TruncateLocked(PartitionLog* log) {
+  if (options_.retention_messages == 0) return;
+  if (log->messages.size() <= options_.retention_messages) return;
+  const uint64_t cap_base =
+      log->end_offset.load(std::memory_order_relaxed) -
+      options_.retention_messages;
+  const uint64_t floor =
+      log->committed_floor.load(std::memory_order_acquire);
+  const uint64_t new_base = std::min(cap_base, floor);
+  while (log->base_offset < new_base && !log->messages.empty()) {
+    log->messages.pop_front();
+    ++log->base_offset;
+  }
+}
+
 StatusOr<uint64_t> MessageBus::Produce(const std::string& topic,
                                        const std::string& key,
                                        std::string payload) {
-  int partition;
+  auto t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + topic);
+  const int partition =
+      static_cast<int>(Hash64(key) % t->partitions.size());
+  PartitionLog* log = t->partitions[static_cast<size_t>(partition)].get();
+  uint64_t offset;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
-    partition = static_cast<int>(Hash64(key) %
-                                 it->second.partitions.size());
+    std::lock_guard<std::mutex> lock(log->mu);
+    AppendLocked(log, topic, partition, key, std::move(payload),
+                 clock_->NowMicros());
+    offset = log->end_offset.load(std::memory_order_relaxed) - 1;
   }
-  return ProduceToPartition(topic, partition, key, std::move(payload));
+  NotifyArrival();
+  return offset;
 }
 
 StatusOr<uint64_t> MessageBus::ProduceToPartition(const std::string& topic,
                                                   int partition,
                                                   std::string key,
                                                   std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) return Status::NotFound("no topic: " + topic);
+  auto t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + topic);
   if (partition < 0 ||
-      static_cast<size_t>(partition) >= it->second.partitions.size()) {
+      static_cast<size_t>(partition) >= t->partitions.size()) {
     return Status::InvalidArgument("bad partition");
   }
-  auto& log = it->second.partitions[static_cast<size_t>(partition)];
-  Message m;
-  m.topic = topic;
-  m.partition = partition;
-  m.offset = log.messages.size();
-  m.key = std::move(key);
-  m.payload = std::move(payload);
-  m.publish_time = clock_->NowMicros();
-  m.visible_time = m.publish_time + options_.delivery_delay;
-  log.messages.push_back(std::move(m));
-  return log.messages.back().offset;
+  PartitionLog* log = t->partitions[static_cast<size_t>(partition)].get();
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(log->mu);
+    AppendLocked(log, topic, partition, std::move(key), std::move(payload),
+                 clock_->NowMicros());
+    offset = log->end_offset.load(std::memory_order_relaxed) - 1;
+  }
+  NotifyArrival();
+  return offset;
+}
+
+Status MessageBus::ProduceBatch(const std::string& topic,
+                                std::vector<ProduceRecord> records) {
+  if (records.empty()) return Status::OK();
+  auto t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + topic);
+
+  // Bucket records by partition in input order: same key -> same
+  // partition, so per-key order is preserved within each bucket.
+  std::vector<std::vector<size_t>> buckets(t->partitions.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    buckets[Hash64(records[i].key) % t->partitions.size()].push_back(i);
+  }
+
+  const Micros now = clock_->NowMicros();
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    if (buckets[p].empty()) continue;
+    PartitionLog* log = t->partitions[p].get();
+    std::lock_guard<std::mutex> lock(log->mu);
+    for (size_t i : buckets[p]) {
+      AppendLocked(log, topic, static_cast<int>(p),
+                   std::move(records[i].key), std::move(records[i].payload),
+                   now);
+    }
+  }
+  NotifyArrival();
+  return Status::OK();
 }
 
 Status MessageBus::Subscribe(const std::string& consumer_id,
@@ -106,39 +212,48 @@ Status MessageBus::Subscribe(const std::string& consumer_id,
                              const std::string& metadata,
                              AssignmentStrategy* strategy,
                              RebalanceListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ConsumerState& consumer = consumers_[consumer_id];
-  consumer.group = group;
-  consumer.topics = topics;
-  consumer.metadata = metadata;
-  consumer.listener = std::move(listener);
-  consumer.last_heartbeat = clock_->NowMicros();
-  consumer.alive = true;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    ConsumerState& consumer = consumers_[consumer_id];
+    consumer.group = group;
+    consumer.topics = topics;
+    consumer.metadata = metadata;
+    consumer.listener = std::move(listener);
+    consumer.last_heartbeat = clock_->NowMicros();
+    consumer.alive = true;
 
-  Group& g = groups_[group];
-  if (g.strategy == nullptr) {
-    g.strategy = strategy != nullptr ? strategy : &default_strategy_;
+    Group& g = groups_[group];
+    if (g.strategy == nullptr) {
+      g.strategy = strategy != nullptr ? strategy : &default_strategy_;
+    }
+    g.members.insert(consumer_id);
+    RebalanceGroupLocked(group);
   }
-  g.members.insert(consumer_id);
-  RebalanceGroupLocked(group);
+  NotifyArrival();
   return Status::OK();
 }
 
 Status MessageBus::Unsubscribe(const std::string& consumer_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = consumers_.find(consumer_id);
-  if (it == consumers_.end()) return Status::NotFound("no consumer");
-  const std::string group = it->second.group;
-  consumers_.erase(it);
-  auto git = groups_.find(group);
-  if (git != groups_.end()) {
-    git->second.members.erase(consumer_id);
-    if (git->second.members.empty()) {
-      groups_.erase(git);
-    } else {
-      RebalanceGroupLocked(group);
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    auto it = consumers_.find(consumer_id);
+    if (it == consumers_.end()) return Status::NotFound("no consumer");
+    const std::string group = it->second.group;
+    std::vector<TopicPartition> tracked;
+    for (const auto& [tp, pos] : it->second.positions) tracked.push_back(tp);
+    consumers_.erase(it);
+    for (const auto& tp : tracked) RecomputeCommittedFloorLocked(tp);
+    auto git = groups_.find(group);
+    if (git != groups_.end()) {
+      git->second.members.erase(consumer_id);
+      if (git->second.members.empty()) {
+        groups_.erase(git);
+      } else {
+        RebalanceGroupLocked(group);
+      }
     }
   }
+  NotifyArrival();
   return Status::OK();
 }
 
@@ -152,9 +267,9 @@ std::vector<TopicPartition> MessageBus::GroupPartitionsLocked(
   }
   std::vector<TopicPartition> partitions;
   for (const auto& name : topic_names) {
-    auto it = topics_.find(name);
-    if (it == topics_.end()) continue;
-    for (size_t p = 0; p < it->second.partitions.size(); ++p) {
+    auto t = FindTopic(name);
+    if (t == nullptr) continue;
+    for (size_t p = 0; p < t->partitions.size(); ++p) {
       partitions.push_back({name, static_cast<int>(p)});
     }
   }
@@ -183,7 +298,7 @@ void MessageBus::RebalanceGroupLocked(const std::string& group_name) {
 }
 
 void MessageBus::CheckLiveness() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(group_mu_);
   CheckLivenessLocked();
 }
 
@@ -199,7 +314,11 @@ void MessageBus::CheckLivenessLocked() {
   }
   std::set<std::string> groups_to_rebalance;
   for (const auto& id : dead) {
-    auto git = groups_.find(consumers_[id].group);
+    ConsumerState& consumer = consumers_[id];
+    for (const auto& [tp, pos] : consumer.positions) {
+      RecomputeCommittedFloorLocked(tp);
+    }
+    auto git = groups_.find(consumer.group);
     if (git != groups_.end()) {
       git->second.members.erase(id);
       groups_to_rebalance.insert(git->first);
@@ -208,20 +327,84 @@ void MessageBus::CheckLivenessLocked() {
   for (const auto& g : groups_to_rebalance) RebalanceGroupLocked(g);
 }
 
+void MessageBus::RecomputeCommittedFloorLocked(const TopicPartition& tp) {
+  uint64_t floor = UINT64_MAX;
+  for (const auto& [id, consumer] : consumers_) {
+    if (!consumer.alive) continue;  // Fenced consumers don't pin the log.
+    auto it = consumer.positions.find(tp);
+    if (it != consumer.positions.end()) {
+      floor = std::min(floor, it->second);
+    }
+  }
+  auto t = FindTopic(tp.topic);
+  if (t == nullptr || tp.partition < 0 ||
+      static_cast<size_t>(tp.partition) >= t->partitions.size()) {
+    return;
+  }
+  t->partitions[static_cast<size_t>(tp.partition)]->committed_floor.store(
+      floor, std::memory_order_release);
+}
+
 Status MessageBus::Poll(const std::string& consumer_id, size_t max_messages,
-                        std::vector<Message>* out) {
+                        std::vector<Message>* out, Micros max_wait) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(std::max<Micros>(max_wait, 0));
+  for (;;) {
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      epoch = wake_epoch_;
+    }
+    bool delivered_callbacks = false;
+    bool interrupted = false;
+    Micros earliest_visible = 0;
+    RAILGUN_RETURN_IF_ERROR(PollOnce(consumer_id, max_messages, out,
+                                     &delivered_callbacks,
+                                     &earliest_visible, &interrupted));
+    if (!out->empty() || delivered_callbacks || interrupted ||
+        max_wait <= 0) {
+      return Status::OK();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Status::OK();
+    // Park until something arrives, but never longer than a bounded
+    // slice: the consumer keeps heartbeating (every PollOnce refreshes
+    // it), re-checks delivery-delay visibility, and honors max_wait.
+    auto until = now + std::chrono::milliseconds(10);
+    if (earliest_visible > 0) {
+      const Micros delta = earliest_visible - clock_->NowMicros();
+      if (delta <= 0) continue;  // Became visible while scanning.
+      const auto visible_at = now + std::chrono::microseconds(delta);
+      if (visible_at < until) until = visible_at;
+    }
+    if (deadline < until) until = deadline;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (wake_epoch_ == epoch) wake_cv_.wait_until(lock, until);
+  }
+}
+
+Status MessageBus::PollOnce(const std::string& consumer_id,
+                            size_t max_messages, std::vector<Message>* out,
+                            bool* delivered_callbacks,
+                            Micros* earliest_visible, bool* interrupted) {
   out->clear();
+  *delivered_callbacks = false;
+  *earliest_visible = 0;
+  *interrupted = false;
   std::vector<TopicPartition> revoked, assigned;
   RebalanceListener listener;
-  bool deliver_callbacks = false;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(group_mu_);
     auto it = consumers_.find(consumer_id);
     if (it == consumers_.end()) return Status::NotFound("no consumer");
     ConsumerState& consumer = it->second;
     if (!consumer.alive) return Status::Unavailable("consumer fenced");
     consumer.last_heartbeat = clock_->NowMicros();
+    if (consumer.interrupted) {
+      consumer.interrupted = false;
+      *interrupted = true;
+    }
     CheckLivenessLocked();
 
     Group& group = groups_[consumer.group];
@@ -243,37 +426,51 @@ Status MessageBus::Poll(const std::string& consumer_id, size_t max_messages,
           assigned.push_back(tp);
           if (consumer.positions.count(tp) == 0) {
             consumer.positions[tp] = 0;
+            RecomputeCommittedFloorLocked(tp);
           }
         }
       }
       consumer.assignment = new_assignment;
       consumer.seen_generation = group.generation;
       listener = consumer.listener;
-      deliver_callbacks = true;
+      *delivered_callbacks = true;
     }
 
     // A poll that observed a rebalance delivers only the callbacks: the
     // consumer may reposition (seek) newly assigned partitions before
     // its next fetch.
     const Micros now = clock_->NowMicros();
-    if (!deliver_callbacks)
-    for (const auto& tp : consumer.assignment) {
-      if (out->size() >= max_messages) break;
-      auto topic_it = topics_.find(tp.topic);
-      if (topic_it == topics_.end()) continue;
-      const auto& log =
-          topic_it->second.partitions[static_cast<size_t>(tp.partition)];
-      uint64_t& pos = consumer.positions[tp];
-      while (pos < log.messages.size() && out->size() < max_messages) {
-        const Message& m = log.messages[pos];
-        if (m.visible_time > now) break;
-        out->push_back(m);
-        ++pos;
+    if (!*delivered_callbacks) {
+      for (const auto& tp : consumer.assignment) {
+        if (out->size() >= max_messages) break;
+        auto t = FindTopic(tp.topic);
+        if (t == nullptr ||
+            static_cast<size_t>(tp.partition) >= t->partitions.size()) {
+          continue;
+        }
+        PartitionLog* log =
+            t->partitions[static_cast<size_t>(tp.partition)].get();
+        uint64_t& pos = consumer.positions[tp];
+        std::lock_guard<std::mutex> log_lock(log->mu);
+        if (pos < log->base_offset) pos = log->base_offset;  // Truncated.
+        while (pos < log->end_offset.load(std::memory_order_relaxed) &&
+               out->size() < max_messages) {
+          const Message& m = log->messages[pos - log->base_offset];
+          if (m.visible_time > now) {
+            if (*earliest_visible == 0 ||
+                m.visible_time < *earliest_visible) {
+              *earliest_visible = m.visible_time;
+            }
+            break;
+          }
+          out->push_back(m);
+          ++pos;
+        }
       }
     }
   }
 
-  if (deliver_callbacks) {
+  if (*delivered_callbacks) {
     if (!revoked.empty() && listener.on_revoked) listener.on_revoked(revoked);
     if (!assigned.empty() && listener.on_assigned) {
       listener.on_assigned(assigned);
@@ -286,29 +483,33 @@ Status MessageBus::Fetch(const TopicPartition& tp, uint64_t offset,
                          size_t max_messages,
                          std::vector<Message>* out) const {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(tp.topic);
-  if (it == topics_.end()) return Status::NotFound("no topic: " + tp.topic);
+  auto t = FindTopic(tp.topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + tp.topic);
   if (tp.partition < 0 ||
-      static_cast<size_t>(tp.partition) >= it->second.partitions.size()) {
+      static_cast<size_t>(tp.partition) >= t->partitions.size()) {
     return Status::InvalidArgument("bad partition");
   }
-  const auto& log = it->second.partitions[static_cast<size_t>(tp.partition)];
+  PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
   const Micros now = clock_->NowMicros();
-  for (uint64_t i = offset;
-       i < log.messages.size() && out->size() < max_messages; ++i) {
-    if (log.messages[i].visible_time > now) break;
-    out->push_back(log.messages[i]);
+  std::lock_guard<std::mutex> lock(log->mu);
+  uint64_t pos = std::max(offset, log->base_offset);
+  const uint64_t end = log->end_offset.load(std::memory_order_relaxed);
+  while (pos < end && out->size() < max_messages) {
+    const Message& m = log->messages[pos - log->base_offset];
+    if (m.visible_time > now) break;
+    out->push_back(m);
+    ++pos;
   }
   return Status::OK();
 }
 
 Status MessageBus::Commit(const std::string& consumer_id,
                           const TopicPartition& tp, uint64_t next_offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return Status::NotFound("no consumer");
   it->second.positions[tp] = next_offset;
+  RecomputeCommittedFloorLocked(tp);
   return Status::OK();
 }
 
@@ -318,30 +519,50 @@ Status MessageBus::Seek(const std::string& consumer_id,
 }
 
 StatusOr<uint64_t> MessageBus::EndOffset(const TopicPartition& tp) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(tp.topic);
-  if (it == topics_.end()) return Status::NotFound("no topic");
-  return static_cast<uint64_t>(
-      it->second.partitions[static_cast<size_t>(tp.partition)]
-          .messages.size());
+  auto t = FindTopic(tp.topic);
+  if (t == nullptr) return Status::NotFound("no topic");
+  if (tp.partition < 0 ||
+      static_cast<size_t>(tp.partition) >= t->partitions.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  return t->partitions[static_cast<size_t>(tp.partition)]
+      ->end_offset.load(std::memory_order_acquire);
+}
+
+StatusOr<uint64_t> MessageBus::BaseOffset(const TopicPartition& tp) const {
+  auto t = FindTopic(tp.topic);
+  if (t == nullptr) return Status::NotFound("no topic");
+  if (tp.partition < 0 ||
+      static_cast<size_t>(tp.partition) >= t->partitions.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
+  std::lock_guard<std::mutex> lock(log->mu);
+  return log->base_offset;
 }
 
 Status MessageBus::KillConsumer(const std::string& consumer_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = consumers_.find(consumer_id);
-  if (it == consumers_.end()) return Status::NotFound("no consumer");
-  it->second.alive = false;
-  auto git = groups_.find(it->second.group);
-  if (git != groups_.end()) {
-    git->second.members.erase(consumer_id);
-    RebalanceGroupLocked(git->first);
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    auto it = consumers_.find(consumer_id);
+    if (it == consumers_.end()) return Status::NotFound("no consumer");
+    it->second.alive = false;
+    for (const auto& [tp, pos] : it->second.positions) {
+      RecomputeCommittedFloorLocked(tp);
+    }
+    auto git = groups_.find(it->second.group);
+    if (git != groups_.end()) {
+      git->second.members.erase(consumer_id);
+      RebalanceGroupLocked(git->first);
+    }
   }
+  NotifyArrival();
   return Status::OK();
 }
 
 std::vector<TopicPartition> MessageBus::AssignmentOf(
     const std::string& consumer_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return {};
   const Group& group = groups_[it->second.group];

@@ -5,10 +5,20 @@
 // detection, and coordinator-driven rebalances with a pluggable
 // assignment strategy. A configurable delivery delay models broker and
 // network latency so end-to-end measurements include the messaging hop.
+//
+// Concurrency model: broker state is sharded. Each partition log has a
+// private mutex, so producers to different partitions never contend;
+// group coordination (membership, assignments, positions, heartbeats)
+// lives behind a separate lock. Consumers may park inside Poll on a
+// condition variable; every produce, rebalance and Wake() call notifies
+// parked consumers, so the engine's hot loops block on arrival instead
+// of sleep-polling. Lock order: group_mu_ -> topics_mu_ -> PartitionLog
+// mutexes (innermost); never the reverse.
 #ifndef RAILGUN_MSG_BROKER_H_
 #define RAILGUN_MSG_BROKER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,6 +43,16 @@ struct BusOptions {
   // A consumer missing heartbeats (polls) for longer than this is
   // declared dead and its group rebalances.
   Micros session_timeout = 3 * kMicrosPerSecond;
+  // Per-partition retention cap: when a log exceeds this many messages,
+  // its head is truncated down to the cap — but never past the minimum
+  // committed position of the consumers tracking that partition, so no
+  // group member loses unread data. Direct Fetch readers (replica
+  // shadowing, replay) are not tracked: a fetch below the trimmed head
+  // clamps forward to the earliest retained message, so lagging
+  // replicas skip the gap and re-sync from a donor on promotion.
+  // 0 retains everything (needed for unbounded replay-from-zero
+  // recovery).
+  uint64_t retention_messages = 0;
   Clock* clock = nullptr;  // Defaults to MonotonicClock.
 };
 
@@ -40,6 +60,12 @@ struct BusOptions {
 struct RebalanceListener {
   std::function<void(const std::vector<TopicPartition>& revoked)> on_revoked;
   std::function<void(const std::vector<TopicPartition>& assigned)> on_assigned;
+};
+
+// One keyed record of a producer batch.
+struct ProduceRecord {
+  std::string key;
+  std::string payload;
 };
 
 class MessageBus {
@@ -61,6 +87,12 @@ class MessageBus {
   StatusOr<uint64_t> ProduceToPartition(const std::string& topic,
                                         int partition, std::string key,
                                         std::string payload);
+  // Publishes a whole batch with one partition-lock acquisition per
+  // touched partition and one consumer wake-up. Records with the same
+  // key keep their relative order (same key -> same partition, appended
+  // in input order).
+  Status ProduceBatch(const std::string& topic,
+                      std::vector<ProduceRecord> records);
 
   // ----- Group management -----
   // Registers a consumer in a group. The strategy pointer is shared by
@@ -78,11 +110,17 @@ class MessageBus {
   // starting at its committed/next offsets. Acts as the heartbeat.
   // Delivers rebalance callbacks (revoke/assign) synchronously before
   // returning when the group generation advanced.
+  //
+  // With max_wait > 0 an empty poll parks on the bus's condition
+  // variable (wake-on-arrival) until a message becomes visible, a
+  // rebalance is delivered, Wake() is called, or max_wait (real time)
+  // elapses — heartbeating and re-running liveness checks while parked.
   Status Poll(const std::string& consumer_id, size_t max_messages,
-              std::vector<Message>* out);
+              std::vector<Message>* out, Micros max_wait = 0);
 
   // Direct partition read (used for replay during recovery and by the
-  // injectors, outside any group).
+  // injectors, outside any group). Offsets below the retention-trimmed
+  // log head are clamped to the earliest retained message.
   Status Fetch(const TopicPartition& tp, uint64_t offset,
                size_t max_messages, std::vector<Message>* out) const;
 
@@ -94,6 +132,8 @@ class MessageBus {
               uint64_t offset);
 
   StatusOr<uint64_t> EndOffset(const TopicPartition& tp) const;
+  // First offset still retained (> 0 once retention truncated the log).
+  StatusOr<uint64_t> BaseOffset(const TopicPartition& tp) const;
 
   // Declares a consumer dead immediately (fault injection), as if its
   // heartbeats timed out.
@@ -103,16 +143,36 @@ class MessageBus {
   // available to tests driving simulated time.
   void CheckLiveness();
 
+  // Interrupts a consumer's blocking Poll: its next (or current) Poll
+  // returns (possibly empty) instead of waiting out max_wait. The
+  // interrupt is level-triggered — a wake issued while the consumer is
+  // between polls is consumed by its next Poll, never lost. Arrival
+  // notifications from producers are internal — a parked consumer
+  // re-scans and re-parks if the message was not for it — whereas this
+  // is the engine's lever for loops that multiplex bus polling with
+  // local work (e.g. a front end with queued submissions to fan out).
+  Status WakeConsumer(const std::string& consumer_id);
+  // Interrupts every consumer (shutdown sweep).
+  void Wake();
+
   // Introspection.
   std::vector<TopicPartition> AssignmentOf(const std::string& consumer_id);
   uint64_t rebalance_count() const { return rebalance_count_; }
 
  private:
   struct PartitionLog {
-    std::vector<Message> messages;
+    mutable std::mutex mu;
+    std::deque<Message> messages;   // messages.front() is at base_offset.
+    uint64_t base_offset = 0;
+    std::atomic<uint64_t> end_offset{0};  // Next offset to assign.
+    // Minimum committed position across the consumers tracking this
+    // partition; retention never truncates past it. UINT64_MAX when no
+    // consumer tracks the partition (retention cap applies alone).
+    std::atomic<uint64_t> committed_floor{UINT64_MAX};
   };
   struct Topic {
-    std::vector<PartitionLog> partitions;
+    // unique_ptr elements keep per-partition mutexes address-stable.
+    std::vector<std::unique_ptr<PartitionLog>> partitions;
   };
   struct ConsumerState {
     std::string group;
@@ -123,6 +183,8 @@ class MessageBus {
     std::map<TopicPartition, uint64_t> positions;
     Micros last_heartbeat = 0;
     uint64_t seen_generation = 0;
+    // Level-triggered WakeConsumer flag; consumed by the next Poll.
+    bool interrupted = false;
     bool alive = true;
   };
   struct Group {
@@ -132,18 +194,46 @@ class MessageBus {
     Assignment current;  // member -> partitions.
   };
 
+  std::shared_ptr<Topic> FindTopic(const std::string& topic) const;
+  void AppendLocked(PartitionLog* log, const std::string& topic,
+                    int partition, std::string key, std::string payload,
+                    Micros now);
+  void TruncateLocked(PartitionLog* log);
   void RebalanceGroupLocked(const std::string& group_name);
   void CheckLivenessLocked();
+  void RecomputeCommittedFloorLocked(const TopicPartition& tp);
   std::vector<TopicPartition> GroupPartitionsLocked(const Group& group) const;
+  // One non-blocking poll attempt. On an empty result, *earliest_visible
+  // is the soonest visible_time among the consumer's pending messages
+  // (or 0 when it has none buffered). Consumes a pending WakeConsumer
+  // interrupt into *interrupted.
+  Status PollOnce(const std::string& consumer_id, size_t max_messages,
+                  std::vector<Message>* out, bool* delivered_callbacks,
+                  Micros* earliest_visible, bool* interrupted);
+  void NotifyArrival();
 
   BusOptions options_;
   Clock* clock_;
   RoundRobinStrategy default_strategy_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, Topic> topics_;
+  // Guards the topics_ map structure only; per-partition data is behind
+  // each PartitionLog's own mutex. shared_ptr keeps a topic alive for
+  // producers that looked it up concurrently with DeleteTopic.
+  mutable std::mutex topics_mu_;
+  std::map<std::string, std::shared_ptr<Topic>> topics_;
+
+  // Group-coordination lock: consumers, groups, assignments, positions.
+  mutable std::mutex group_mu_;
   std::map<std::string, ConsumerState> consumers_;
   std::map<std::string, Group> groups_;
+
+  // Wake-on-arrival channel for blocking Poll: parked consumers re-scan
+  // whenever the epoch advances (new message, rebalance, or a
+  // WakeConsumer interrupt flagged in their ConsumerState).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  uint64_t wake_epoch_ = 0;  // Guarded by wake_mu_.
+
   std::atomic<uint64_t> rebalance_count_{0};
 };
 

@@ -57,6 +57,72 @@ TEST(ClientTest, CreateStreamSubmitAggregateRoundTrip) {
   client.Stop();
 }
 
+TEST(ClientTest, SubmitBatchCompletesEveryRowInOrder) {
+  Client client(TestOptions("submit-batch"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Query("ADD METRIC SELECT sum(amount), count(*) FROM "
+                         "payments GROUP BY cardId OVER sliding 5 minutes")
+                  .ok());
+
+  std::vector<Row> rows;
+  for (int i = 1; i <= 16; ++i) {
+    rows.push_back(Row()
+                       .At(i * kMicrosPerSecond)
+                       .Set("cardId", "cardB")
+                       .Set("merchantId", "m" + std::to_string(i % 3))
+                       .Set("amount", 2.0));
+  }
+  std::vector<ResultFuture> futures = client.SubmitBatch("payments", rows);
+  ASSERT_EQ(futures.size(), rows.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].valid());
+    EventResult r = futures[i].Get();
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    ASSERT_NE(r.Find("count(*)", "cardB"), nullptr);
+    // Events were produced in batch order: the per-key counts ascend.
+    EXPECT_DOUBLE_EQ(r.Find("count(*)", "cardB")->value.ToNumber(),
+                     static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(r.Find("sum(amount)", "cardB")->value.ToNumber(),
+                     2.0 * static_cast<double>(i + 1));
+  }
+  client.Stop();
+}
+
+TEST(ClientTest, SubmitBatchRejectsBadRowsWithoutSinkingTheBatch) {
+  Client client(TestOptions("submit-batch-mixed"));
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .Query("ADD METRIC SELECT count(*) FROM payments "
+                         "GROUP BY cardId OVER sliding 5 minutes")
+                  .ok());
+
+  std::vector<Row> rows = {
+      Row().Set("cardId", "cardC").Set("merchantId", "m").Set("amount", 1.0),
+      Row().Set("cardId", "cardC"),  // Missing fields: rejected.
+      Row().Set("cardId", "cardC").Set("merchantId", "m").Set("amount", 3.0),
+  };
+  std::vector<ResultFuture> futures = client.SubmitBatch("payments", rows);
+  ASSERT_EQ(futures.size(), 3u);
+  EXPECT_TRUE(futures[0].Get().ok());
+  EXPECT_TRUE(futures[1].Get().status.IsInvalidArgument());
+  EventResult last = futures[2].Get();
+  ASSERT_TRUE(last.ok());
+  EXPECT_DOUBLE_EQ(last.Find("count(*)", "cardC")->value.ToNumber(), 2.0);
+
+  // Whole-batch synchronous rejection: unknown stream.
+  std::vector<ResultFuture> rejected = client.SubmitBatch("nope", rows);
+  ASSERT_EQ(rejected.size(), 3u);
+  for (auto& future : rejected) {
+    ASSERT_TRUE(future.valid());
+    EXPECT_TRUE(future.ready());
+    EXPECT_TRUE(future.Get().status.IsNotFound());
+  }
+  client.Stop();
+}
+
 TEST(ClientTest, SubmitToUnknownStreamIsNotFound) {
   Client client(TestOptions("unknown-stream"));
   ASSERT_TRUE(client.Start().ok());

@@ -33,6 +33,22 @@ Event SampleEvent() {
   return e;
 }
 
+// Submission is pipelined: the front-end thread fans queued events out
+// in batches, so tests wait for the publishes to land on the bus.
+uint64_t WaitForTopicTotal(msg::MessageBus* bus, const std::string& topic,
+                           uint64_t expected) {
+  uint64_t total = 0;
+  for (int i = 0; i < 500; ++i) {
+    total = 0;
+    for (const auto& tp : bus->PartitionsOf(topic)) {
+      total += bus->EndOffset(tp).value();
+    }
+    if (total >= expected) break;
+    MonotonicClock::Default()->SleepMicros(1000);
+  }
+  return total;
+}
+
 class FrontEndTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -55,15 +71,8 @@ class FrontEndTest : public ::testing::Test {
 
 TEST_F(FrontEndTest, RoutesEventToEveryPartitionerTopic) {
   ASSERT_TRUE(frontend_->SubmitNoReply("payments", SampleEvent()).ok());
-  uint64_t card_total = 0, merchant_total = 0;
-  for (const auto& tp : bus_->PartitionsOf("payments.cardId")) {
-    card_total += bus_->EndOffset(tp).value();
-  }
-  for (const auto& tp : bus_->PartitionsOf("payments.merchantId")) {
-    merchant_total += bus_->EndOffset(tp).value();
-  }
-  EXPECT_EQ(card_total, 1u);
-  EXPECT_EQ(merchant_total, 1u);
+  EXPECT_EQ(WaitForTopicTotal(bus_.get(), "payments.cardId", 1), 1u);
+  EXPECT_EQ(WaitForTopicTotal(bus_.get(), "payments.merchantId", 1), 1u);
 }
 
 TEST_F(FrontEndTest, UnknownStreamRejected) {
@@ -90,6 +99,8 @@ TEST_F(FrontEndTest, CompletesWhenAllPartitionerRepliesArrive) {
 
   // Simulate the two task processors answering: read the envelopes to
   // learn the request id, then produce replies to the reply topic.
+  ASSERT_EQ(WaitForTopicTotal(bus_.get(), "payments.cardId", 1), 1u);
+  ASSERT_EQ(WaitForTopicTotal(bus_.get(), "payments.merchantId", 1), 1u);
   std::vector<msg::Message> batch;
   uint64_t request_id = 0;
   for (const auto& topic : {"payments.cardId", "payments.merchantId"}) {

@@ -1,7 +1,13 @@
 // Tests for the messaging layer: topics, keyed partitioning, offsets and
 // replay, visibility delay, consumer groups, heartbeat failure detection
-// and rebalancing.
+// and rebalancing — plus the batched, wake-on-arrival path: blocking
+// Poll, ProduceBatch ordering, rebalance delivery to parked consumers,
+// and retention truncation.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
 
 #include "msg/broker.h"
 
@@ -206,6 +212,218 @@ TEST(GroupTest, UnsubscribeTriggersRebalance) {
   ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
   EXPECT_EQ(bus.AssignmentOf("c1").size(), 2u);
   EXPECT_TRUE(bus.Poll("c2", 10, &out).IsNotFound());
+}
+
+TEST(BlockingPollTest, WakesOnProduce) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Absorb the assignment.
+
+  std::thread producer([&bus] {
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+    EXPECT_TRUE(bus.ProduceToPartition("t", 0, "k", "wake").ok());
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  // Park with a generous deadline: the produce must cut it short.
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 5 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  producer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "wake");
+  EXPECT_LT(elapsed, kMicrosPerSecond);
+}
+
+TEST(BlockingPollTest, HonorsMaxWaitWhenNothingArrives) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Absorb the assignment.
+
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 50 * kMicrosPerMilli).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(elapsed, 40 * kMicrosPerMilli);
+}
+
+TEST(BlockingPollTest, WakeInterruptsParkedPoll) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Absorb the assignment.
+
+  std::thread waker([&bus] {
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+    bus.Wake();
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 5 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  waker.join();
+  EXPECT_TRUE(out.empty());  // Interrupted, not satisfied.
+  EXPECT_LT(elapsed, kMicrosPerSecond);
+}
+
+TEST(BlockingPollTest, WakeConsumerIsLevelTriggered) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Absorb the assignment.
+
+  EXPECT_TRUE(bus.WakeConsumer("nobody").IsNotFound());
+  // A wake issued while the consumer is between polls is consumed by
+  // the NEXT poll (no lost-wakeup window): it returns immediately.
+  ASSERT_TRUE(bus.WakeConsumer("c").ok());
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 5 * kMicrosPerSecond).ok());
+  EXPECT_LT(MonotonicClock::Default()->NowMicros() - start,
+            kMicrosPerSecond);
+  EXPECT_TRUE(out.empty());
+
+  // Consumed: the next blocking poll waits normally again.
+  const Micros start2 = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 50 * kMicrosPerMilli).ok());
+  EXPECT_GE(MonotonicClock::Default()->NowMicros() - start2,
+            40 * kMicrosPerMilli);
+}
+
+TEST(ProduceBatchTest, PreservesPerKeyPartitionOrdering) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 8).ok());
+  // Interleave 16 keys, 32 records each, in one batch.
+  std::vector<ProduceRecord> records;
+  for (int seq = 0; seq < 32; ++seq) {
+    for (int k = 0; k < 16; ++k) {
+      records.push_back({"key" + std::to_string(k),
+                         "key" + std::to_string(k) + ":" +
+                             std::to_string(seq)});
+    }
+  }
+  ASSERT_TRUE(bus.ProduceBatch("t", std::move(records)).ok());
+
+  // Each key lands in exactly one partition, with its sequence intact.
+  std::map<std::string, int> next_seq;
+  std::map<std::string, int> partition_of;
+  for (const auto& tp : bus.PartitionsOf("t")) {
+    std::vector<Message> out;
+    ASSERT_TRUE(bus.Fetch(tp, 0, 1000, &out).ok());
+    for (const auto& m : out) {
+      auto it = partition_of.find(m.key);
+      if (it == partition_of.end()) {
+        partition_of[m.key] = tp.partition;
+      } else {
+        EXPECT_EQ(it->second, tp.partition) << "key split across partitions";
+      }
+      const int seq = atoi(m.payload.substr(m.payload.find(':') + 1).c_str());
+      EXPECT_EQ(seq, next_seq[m.key]) << "out of order for " << m.key;
+      next_seq[m.key] = seq + 1;
+    }
+  }
+  EXPECT_EQ(partition_of.size(), 16u);
+  for (const auto& [key, seq] : next_seq) EXPECT_EQ(seq, 32) << key;
+}
+
+TEST(ProduceBatchTest, UnknownTopicRejected) {
+  MessageBus bus(FastBus());
+  std::vector<ProduceRecord> records = {{"k", "v"}};
+  EXPECT_TRUE(bus.ProduceBatch("nope", std::move(records)).IsNotFound());
+}
+
+TEST(BlockingPollTest, RebalanceWhileParkedDeliversCallbacksExactlyOnce) {
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 4).ok());
+
+  std::atomic<int> revoked_calls{0}, assigned_calls{0};
+  std::atomic<int> revoked_total{0};
+  RebalanceListener listener;
+  listener.on_revoked = [&](const std::vector<TopicPartition>& r) {
+    ++revoked_calls;
+    revoked_total += static_cast<int>(r.size());
+  };
+  listener.on_assigned = [&](const std::vector<TopicPartition>& a) {
+    ++assigned_calls;
+    (void)a;
+  };
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t"}, "", nullptr, listener).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());  // Initial assignment.
+  ASSERT_EQ(assigned_calls.load(), 1);
+
+  // Park c1 in a blocking poll, then trigger a rebalance from another
+  // thread: the parked poll must wake and deliver the revocations.
+  std::thread joiner([&bus] {
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+    EXPECT_TRUE(bus.Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c1", 10, &out, 5 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  joiner.join();
+  EXPECT_LT(elapsed, kMicrosPerSecond);
+  EXPECT_EQ(revoked_calls.load(), 1);
+  EXPECT_EQ(revoked_total.load(), 2);
+
+  // Subsequent polls observe no further generation change: the
+  // callbacks fired exactly once.
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  EXPECT_EQ(revoked_calls.load(), 1);
+  EXPECT_EQ(assigned_calls.load(), 1);
+}
+
+TEST(RetentionTest, TruncatesBelowMinimumCommittedOffset) {
+  BusOptions options = FastBus();
+  options.retention_messages = 5;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Assignment (position 0).
+
+  // The consumer's committed position pins the log head even past the
+  // retention cap: nothing it hasn't read may be dropped.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(bus.BaseOffset({"t", 0}).value(), 0u);
+
+  // Once the consumer commits, the next produce trims to the cap.
+  ASSERT_TRUE(bus.Commit("c", {"t", 0}, 20).ok());
+  ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", "21st").ok());
+  const uint64_t base = bus.BaseOffset({"t", 0}).value();
+  EXPECT_EQ(base, 21u - 5u);
+  // Replay from zero clamps to the earliest retained message.
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 0, 100, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].offset, base);
+}
+
+TEST(RetentionTest, PartiallyCommittedConsumerPinsTheFloor) {
+  BusOptions options = FastBus();
+  options.retention_messages = 3;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(bus.Commit("c", {"t", 0}, 4).ok());
+  for (int i = 10; i < 20; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", std::to_string(i)).ok());
+  }
+  // Cap would allow base 17, but offset 4 is the consumer's floor.
+  EXPECT_EQ(bus.BaseOffset({"t", 0}).value(), 4u);
+  ASSERT_TRUE(bus.Poll("c", 100, &out).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].offset, 4u);  // Nothing unread was lost.
 }
 
 TEST(RoundRobinTest, SpreadsPartitionsEvenly) {
