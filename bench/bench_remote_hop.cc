@@ -1,0 +1,159 @@
+// bench_remote_hop: the cost of a real messaging hop.
+//
+// Measures produce -> poll delivery through (a) the in-process bus with
+// its simulated delivery_delay and (b) the same broker behind a
+// BusServer, reached through RemoteBus over a loopback TCP socket.
+// Reports events/sec for a batched pipeline and per-event p50/p99
+// latency for a sequential request/response loop.
+//
+//   RAILGUN_BENCH_EVENTS  pipeline events per series (default 20000)
+//   RAILGUN_BENCH_PINGS   sequential latency samples (default 2000)
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "msg/broker.h"
+#include "msg/remote/bus_server.h"
+#include "msg/remote/remote_bus.h"
+
+using namespace railgun;
+using msg::Bus;
+using msg::Message;
+using msg::ProduceRecord;
+
+namespace {
+
+struct HopResult {
+  double events_per_sec = 0;
+  LatencyHistogram latency;
+};
+
+// Sequential ping latency + batched pipeline throughput over any Bus.
+HopResult DriveHop(Bus* producer_bus, Bus* consumer_bus, int64_t pings,
+                   int64_t events) {
+  HopResult result;
+  Clock* clock = MonotonicClock::Default();
+  const char* kTopic = "hop";
+  {
+    const Status s = producer_bus->CreateTopic(kTopic, 1);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      fprintf(stderr, "CreateTopic: %s\n", s.ToString().c_str());
+      return result;
+    }
+  }
+  if (!consumer_bus->Subscribe("hop-consumer", "hop-group", {kTopic}, "",
+                               nullptr, {})
+           .ok()) {
+    return result;
+  }
+  std::vector<Message> batch;
+  consumer_bus->Poll("hop-consumer", 16, &batch);  // Assignment.
+
+  // Phase 1: sequential produce -> blocking poll, per-event latency.
+  for (int64_t i = 0; i < pings; ++i) {
+    const Micros sent = clock->NowMicros();
+    if (!producer_bus->ProduceToPartition(kTopic, 0, "k", "ping").ok()) {
+      return result;
+    }
+    do {
+      if (!consumer_bus->Poll("hop-consumer", 16, &batch, kMicrosPerSecond)
+               .ok()) {
+        return result;
+      }
+    } while (batch.empty());
+    result.latency.Record(clock->NowMicros() - sent);
+  }
+
+  // Phase 2: batched pipeline throughput. A producer thread ships
+  // batches; the consumer drains through blocking polls.
+  const size_t kBatch = 256;
+  std::thread producer([&] {
+    std::vector<ProduceRecord> records;
+    for (int64_t sent = 0; sent < events;) {
+      records.clear();
+      for (size_t b = 0; b < kBatch && sent < events; ++b, ++sent) {
+        records.push_back({"k" + std::to_string(sent % 64), "payload"});
+      }
+      if (!producer_bus->ProduceBatch(kTopic, std::move(records)).ok()) {
+        return;
+      }
+      records = {};
+    }
+  });
+  int64_t received = 0;
+  const Micros start = clock->NowMicros();
+  while (received < events) {
+    if (!consumer_bus->Poll("hop-consumer", 1024, &batch, kMicrosPerSecond)
+             .ok()) {
+      break;
+    }
+    if (batch.empty()) break;  // Producer failed or stalled.
+    received += static_cast<int64_t>(batch.size());
+  }
+  const Micros elapsed = clock->NowMicros() - start;
+  producer.join();
+  consumer_bus->Unsubscribe("hop-consumer");
+  if (elapsed > 0 && received > 0) {
+    result.events_per_sec =
+        static_cast<double>(received) * kMicrosPerSecond /
+        static_cast<double>(elapsed);
+  }
+  return result;
+}
+
+void PrintRow(const char* label, const HopResult& result) {
+  printf("%-26s %12.0f ev/s   p50 %7.1f us   p99 %7.1f us   mean %7.1f us\n",
+         label, result.events_per_sec,
+         static_cast<double>(result.latency.ValueAtPercentile(50)),
+         static_cast<double>(result.latency.ValueAtPercentile(99)),
+         result.latency.Mean());
+  fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t events = bench::EnvInt("RAILGUN_BENCH_EVENTS", 20000);
+  const int64_t pings = bench::EnvInt("RAILGUN_BENCH_PINGS", 2000);
+  printf("bench_remote_hop: %lld pipeline events, %lld latency pings\n",
+         static_cast<long long>(events), static_cast<long long>(pings));
+
+  // (a) In-process broker, default simulated delivery delay.
+  {
+    msg::BusOptions options;  // delivery_delay = 500 us.
+    msg::InProcessBus bus(options);
+    PrintRow("in-process (delay 500us)", DriveHop(&bus, &bus, pings, events));
+  }
+  // (b) In-process broker, no simulated delay — the floor.
+  {
+    msg::BusOptions options;
+    options.delivery_delay = 0;
+    msg::InProcessBus bus(options);
+    PrintRow("in-process (no delay)", DriveHop(&bus, &bus, pings, events));
+  }
+  // (c) The same broker behind a real loopback TCP socket.
+  {
+    msg::BusOptions options;
+    options.delivery_delay = 0;
+    msg::InProcessBus bus(options);
+    msg::remote::BusServer server(msg::remote::BusServerOptions{}, &bus);
+    if (!server.Start().ok()) {
+      fprintf(stderr, "failed to start BusServer\n");
+      return 1;
+    }
+    msg::remote::RemoteBusOptions remote_options;
+    remote_options.address = server.address();
+    msg::remote::RemoteBus remote(remote_options);
+    if (!remote.Connect().ok()) {
+      fprintf(stderr, "failed to connect RemoteBus\n");
+      return 1;
+    }
+    PrintRow("remote (loopback TCP)",
+             DriveHop(&remote, &remote, pings, events));
+    server.Stop();
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Remote cluster: the quickstart flow split across a real TCP hop.
+//
+// The serving side hosts the cluster, a BusServer exposing its message
+// bus, and the DdlService that applies remote DDL. The client side is a
+// plain api::Client with remote_address set — it runs its own front end
+// against a RemoteBus and never links any engine state.
+//
+// Run as two processes:
+//   ./remote_cluster server 7311          # Terminal 1
+//   ./remote_cluster client 127.0.0.1:7311  # Terminal 2
+// or as a self-contained demo (server thread + client in one process):
+//   ./remote_cluster
+#include <cstdio>
+#include <cstring>
+
+#include "api/client.h"
+#include "api/remote_ddl.h"
+#include "msg/remote/bus_server.h"
+
+using namespace railgun;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::Row;
+
+namespace {
+
+struct Server {
+  explicit Server(int port) {
+    engine::ClusterOptions options;
+    options.num_nodes = 1;
+    options.node.num_processor_units = 2;
+    options.base_dir = "/tmp/railgun-remote-cluster";
+    cluster = std::make_unique<engine::Cluster>(options);
+    msg::remote::BusServerOptions server_options;
+    server_options.port = port;
+    bus_server = std::make_unique<msg::remote::BusServer>(server_options,
+                                                          cluster->bus());
+    ddl = std::make_unique<api::DdlService>(cluster.get());
+  }
+
+  Status Start() {
+    RAILGUN_RETURN_IF_ERROR(cluster->Start());
+    RAILGUN_RETURN_IF_ERROR(bus_server->Start());
+    return ddl->Start();
+  }
+
+  void Stop() {
+    ddl->Stop();
+    bus_server->Stop();
+    cluster->Stop();
+  }
+
+  std::unique_ptr<engine::Cluster> cluster;
+  std::unique_ptr<msg::remote::BusServer> bus_server;
+  std::unique_ptr<api::DdlService> ddl;
+};
+
+int RunClient(const std::string& address) {
+  ClientOptions options;
+  options.remote_address = address;
+  Client client(options);
+  Status s = client.Start();
+  if (!s.ok()) {
+    fprintf(stderr, "failed to attach to %s: %s\n", address.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  printf("attached to cluster at %s\n", address.c_str());
+
+  const char* ddl[] = {
+      "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+      "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 4",
+      "ADD METRIC SELECT sum(amount), count(*) FROM payments "
+      "GROUP BY cardId OVER sliding 5 minutes",
+      "ADD METRIC SELECT avg(amount) FROM payments "
+      "GROUP BY merchantId OVER sliding 5 minutes",
+  };
+  for (const char* statement : ddl) {
+    s = client.Execute(statement);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      fprintf(stderr, "%s\n  while executing: %s\n", s.ToString().c_str(),
+              statement);
+      return 1;
+    }
+  }
+
+  struct Payment {
+    Micros minute;
+    const char* card;
+    const char* merchant;
+    double amount;
+  };
+  const Payment payments[] = {
+      {1, "card1", "storeA", 10.0}, {2, "card1", "storeB", 25.0},
+      {3, "card2", "storeA", 99.0}, {4, "card1", "storeA", 5.0},
+      {7, "card1", "storeB", 60.0},
+  };
+  for (const Payment& p : payments) {
+    const EventResult result = client.SubmitSync(
+        "payments", Row()
+                        .At(p.minute * kMicrosPerMinute)
+                        .Set("cardId", p.card)
+                        .Set("merchantId", p.merchant)
+                        .Set("amount", p.amount));
+    printf("t=%lldmin:\n%s", static_cast<long long>(p.minute),
+           result.ToString().c_str());
+  }
+  client.Stop();
+  printf("done.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && strcmp(argv[1], "server") == 0) {
+    const int port = argc >= 3 ? atoi(argv[2]) : 7311;
+    Server server(port);
+    if (!server.Start().ok()) {
+      fprintf(stderr, "failed to start server\n");
+      return 1;
+    }
+    printf("serving railgun cluster on %s (ctrl-c to stop)\n",
+           server.bus_server->address().c_str());
+    for (;;) MonotonicClock::Default()->SleepMicros(kMicrosPerSecond);
+  }
+  if (argc >= 3 && strcmp(argv[1], "client") == 0) {
+    return RunClient(argv[2]);
+  }
+
+  // Self-contained demo: server and client in one process, still over a
+  // real loopback socket.
+  Server server(0);
+  if (!server.Start().ok()) {
+    fprintf(stderr, "failed to start server\n");
+    return 1;
+  }
+  printf("serving railgun cluster on %s\n",
+         server.bus_server->address().c_str());
+  const int rc = RunClient(server.bus_server->address());
+  server.Stop();
+  return rc;
+}

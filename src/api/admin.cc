@@ -5,11 +5,17 @@
 namespace railgun::api {
 
 StatusOr<int> Admin::AddNode() {
+  if (cluster_ == nullptr) {
+    return Status::Unavailable("admin requires a local cluster");
+  }
   RAILGUN_RETURN_IF_ERROR(cluster_->AddNode().status());
   return cluster_->num_nodes() - 1;
 }
 
 Status Admin::KillNode(int node_index, bool immediate_detection) {
+  if (cluster_ == nullptr) {
+    return Status::Unavailable("admin requires a local cluster");
+  }
   if (node_index < 0 || node_index >= cluster_->num_nodes()) {
     return Status::NotFound("no such node: " + std::to_string(node_index));
   }
@@ -17,20 +23,27 @@ Status Admin::KillNode(int node_index, bool immediate_detection) {
 }
 
 Status Admin::StopNode(int node_index) {
+  if (cluster_ == nullptr) {
+    return Status::Unavailable("admin requires a local cluster");
+  }
   if (node_index < 0 || node_index >= cluster_->num_nodes()) {
     return Status::NotFound("no such node: " + std::to_string(node_index));
   }
   return cluster_->StopNode(node_index);
 }
 
-int Admin::num_nodes() const { return cluster_->num_nodes(); }
+int Admin::num_nodes() const {
+  return cluster_ == nullptr ? 0 : cluster_->num_nodes();
+}
 
 bool Admin::NodeAlive(int node_index) const {
+  if (cluster_ == nullptr) return false;
   if (node_index < 0 || node_index >= cluster_->num_nodes()) return false;
   return cluster_->node(node_index)->alive();
 }
 
 ClusterStats Admin::TotalStats() const {
+  if (cluster_ == nullptr) return ClusterStats{};
   const engine::UnitStats stats = cluster_->TotalStats();
   ClusterStats out;
   out.nodes_total = cluster_->num_nodes();
@@ -51,10 +64,14 @@ ClusterStats Admin::TotalStats() const {
 }
 
 uint64_t Admin::WaitForQuiescence(Micros timeout) {
+  if (cluster_ == nullptr) return 0;
   return cluster_->WaitForQuiescence(timeout);
 }
 
 std::string Admin::Describe() const {
+  if (cluster_ == nullptr) {
+    return "remote client: no local cluster to administer\n";
+  }
   const ClusterStats stats = TotalStats();
   std::string out;
   out += "cluster: " + std::to_string(stats.nodes_alive) + "/" +

@@ -33,6 +33,9 @@ struct ClusterStats {
 
 class Admin {
  public:
+  // cluster may be nullptr (a remote api::Client has no local cluster):
+  // mutating calls then return Unavailable and queries report an empty
+  // topology.
   explicit Admin(engine::Cluster* cluster) : cluster_(cluster) {}
 
   // Elastic scale-out: starts one more node and registers every known

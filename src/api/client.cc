@@ -1,8 +1,34 @@
 #include "api/client.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "api/remote_ddl.h"
+#include "common/random.h"
+#include "msg/remote/remote_bus.h"
 #include "query/ddl.h"
 
 namespace railgun::api {
+
+namespace {
+
+// Process-unique id for a remote client: names its reply topics and
+// salts its request ids, so independent clients (and restarts of the
+// same client) never collide on the shared bus. The per-process
+// counter keeps clients created within the same microsecond distinct.
+std::string RandomClientId() {
+  static std::atomic<uint64_t> sequence{0};
+  Random64 rng(static_cast<uint64_t>(MonotonicClock::Default()->NowMicros()) ^
+               (static_cast<uint64_t>(::getpid()) << 32) ^
+               (sequence.fetch_add(1) << 16));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(rng.Next()));
+  return buf;
+}
+
+}  // namespace
 
 engine::ClusterOptions ClientOptions::ToClusterOptions() const {
   engine::ClusterOptions out = engine;
@@ -17,11 +43,26 @@ engine::ClusterOptions ClientOptions::ToClusterOptions() const {
 
 Client::Client(const ClientOptions& options)
     : options_(options),
-      owned_cluster_(new engine::Cluster(options.ToClusterOptions())),
-      cluster_(owned_cluster_.get()),
-      admin_(new Admin(cluster_)),
       clock_(options.clock != nullptr ? options.clock
-                                      : MonotonicClock::Default()) {}
+                                      : MonotonicClock::Default()) {
+  if (options_.remote_address.empty()) {
+    owned_cluster_.reset(new engine::Cluster(options.ToClusterOptions()));
+    cluster_ = owned_cluster_.get();
+  } else {
+    client_id_ = RandomClientId();
+    msg::remote::RemoteBusOptions bus_options;
+    bus_options.address = options_.remote_address;
+    remote_bus_.reset(new msg::remote::RemoteBus(bus_options));
+    engine::FrontEndOptions frontend_options;
+    frontend_options.request_timeout = options_.request_timeout;
+    remote_frontend_.reset(new engine::FrontEnd(
+        frontend_options, "client-" + client_id_, remote_bus_.get(),
+        clock_));
+    remote_ddl_.reset(
+        new RemoteDdlClient(remote_bus_.get(), client_id_, clock_));
+  }
+  admin_.reset(new Admin(cluster_));
+}
 
 Client::Client(engine::Cluster* cluster)
     : cluster_(cluster),
@@ -31,14 +72,28 @@ Client::Client(engine::Cluster* cluster)
 Client::~Client() { Stop(); }
 
 Status Client::Start() {
-  if (owned_cluster_ == nullptr || started_) return Status::OK();
+  if (started_) return Status::OK();
+  if (remote()) {
+    RAILGUN_RETURN_IF_ERROR(remote_bus_->Connect());
+    RAILGUN_RETURN_IF_ERROR(remote_frontend_->Start());
+    started_ = true;
+    return Status::OK();
+  }
+  if (owned_cluster_ == nullptr) return Status::OK();
   RAILGUN_RETURN_IF_ERROR(owned_cluster_->Start());
   started_ = true;
   return Status::OK();
 }
 
 void Client::Stop() {
-  if (owned_cluster_ == nullptr || !started_) return;
+  if (!started_) return;
+  if (remote()) {
+    remote_frontend_->Stop();
+    remote_ddl_->Shutdown();
+    started_ = false;
+    return;
+  }
+  if (owned_cluster_ == nullptr) return;
   owned_cluster_->Stop();
   started_ = false;
 }
@@ -83,6 +138,68 @@ Status Client::AddMetric(query::QueryDef metric) {
   return WaitForRegistration(options_.request_timeout);
 }
 
+Status Client::RemoteAddStream(const std::string& statement,
+                               engine::StreamDef stream) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_.count(stream.name) > 0) {
+      return Status::AlreadyExists("stream already exists: " + stream.name);
+    }
+  }
+  // The DdlService replies only after the cluster applied the statement
+  // on every alive unit, so no second registration wait is needed.
+  // AlreadyExists means the cluster has the stream (e.g. this client
+  // reattached after a restart): still register it locally so the
+  // client can bind and submit rows, and let the caller see the typed
+  // status.
+  const Status executed =
+      remote_ddl_->Execute(statement, options_.request_timeout);
+  if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
+  // Teach the client's own front end the fan-out routing (topic
+  // creation over the remote bus is idempotent).
+  RAILGUN_RETURN_IF_ERROR(remote_frontend_->RegisterStream(stream));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    streams_[stream.name] = std::move(stream);
+  }
+  return executed;
+}
+
+Status Client::RemoteAddMetric(const std::string& statement,
+                               query::QueryDef metric) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(metric.stream);
+    if (it == streams_.end()) {
+      // The client can only bind rows for streams it declared itself;
+      // fetching foreign schemas over the wire is the next transport
+      // milestone (see ROADMAP.md).
+      return Status::NotFound("unknown stream: " + metric.stream);
+    }
+    RAILGUN_RETURN_IF_ERROR(
+        it->second.PartitionerForQuery(metric).status());
+    for (const auto& existing : it->second.queries) {
+      if (existing.raw == metric.raw) {
+        return Status::AlreadyExists("metric already registered: " +
+                                     metric.raw);
+      }
+    }
+  }
+  // As with streams, AlreadyExists still syncs the client's local view
+  // (the cluster knows this metric from a previous attachment).
+  const Status executed =
+      remote_ddl_->Execute(statement, options_.request_timeout);
+  if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(metric.stream);
+    if (it != streams_.end()) {
+      it->second.queries.push_back(std::move(metric));
+    }
+  }
+  return executed;
+}
+
 Status Client::WaitForRegistration(Micros timeout) {
   const Micros deadline = clock_->NowMicros() + timeout;
   while (true) {
@@ -116,6 +233,7 @@ Status Client::CreateStream(const std::string& ddl) {
   stream.fields = std::move(schema.fields);
   stream.partitioners = std::move(schema.partitioners);
   stream.partitions_per_topic = schema.partitions_per_topic;
+  if (remote()) return RemoteAddStream(ddl, std::move(stream));
   return AddStream(std::move(stream));
 }
 
@@ -128,10 +246,12 @@ Status Client::Query(const std::string& statement) {
           "Query() takes ADD METRIC / SELECT statements; use "
           "CreateStream() for CREATE STREAM");
     }
+    if (remote()) return RemoteAddMetric(statement, std::move(ddl.metric));
     return AddMetric(std::move(ddl.metric));
   }
   RAILGUN_ASSIGN_OR_RETURN(query::QueryDef metric,
                            query::ParseQuery(statement));
+  if (remote()) return RemoteAddMetric(statement, std::move(metric));
   return AddMetric(std::move(metric));
 }
 
@@ -145,12 +265,15 @@ Status Client::Execute(const std::string& statement) {
       stream.fields = std::move(ddl.create_stream.fields);
       stream.partitioners = std::move(ddl.create_stream.partitioners);
       stream.partitions_per_topic = ddl.create_stream.partitions_per_topic;
+      if (remote()) return RemoteAddStream(statement, std::move(stream));
       return AddStream(std::move(stream));
     }
+    if (remote()) return RemoteAddMetric(statement, std::move(ddl.metric));
     return AddMetric(std::move(ddl.metric));
   }
   RAILGUN_ASSIGN_OR_RETURN(query::QueryDef metric,
                            query::ParseQuery(statement));
+  if (remote()) return RemoteAddMetric(statement, std::move(metric));
   return AddMetric(std::move(metric));
 }
 
@@ -194,6 +317,7 @@ StatusOr<reservoir::Event> Client::BindRow(const std::string& stream_name,
 }
 
 engine::FrontEnd* Client::PickFrontEnd() {
+  if (remote()) return started_ ? remote_frontend_.get() : nullptr;
   const int n = cluster_->num_nodes();
   if (n == 0) return nullptr;
   // Round-robin over alive nodes so attached multi-node clusters spread

@@ -33,7 +33,13 @@
 #include "api/row.h"
 #include "engine/cluster.h"
 
+namespace railgun::msg::remote {
+class RemoteBus;
+}  // namespace railgun::msg::remote
+
 namespace railgun::api {
+
+class RemoteDdlClient;
 
 struct ClientOptions {
   // Topology of the owned cluster.
@@ -45,6 +51,13 @@ struct ClientOptions {
   // Status::Unavailable and whatever partial metrics arrived.
   Micros request_timeout = 10 * kMicrosPerSecond;
   Clock* clock = nullptr;  // Defaults to the monotonic clock.
+
+  // When set ("host:port" of a msg::remote::BusServer), the client owns
+  // no cluster: it attaches to the remote one over the network, running
+  // its own front end against a RemoteBus and shipping DDL through the
+  // bus to the cluster's DdlService (see src/api/remote_ddl.h). The
+  // topology fields above are ignored; admin() degrades to Unavailable.
+  std::string remote_address;
 
   // Escape hatch: advanced engine tuning on top of the fields above.
   // Applied first; the named fields then override.
@@ -126,19 +139,34 @@ class Client {
  private:
   Status AddStream(engine::StreamDef stream);
   Status AddMetric(query::QueryDef metric);
+  // Remote-mode DDL: ships the raw statement to the cluster's
+  // DdlService, then applies the already-parsed definition to the
+  // client's local registry and front end.
+  Status RemoteAddStream(const std::string& statement,
+                         engine::StreamDef stream);
+  Status RemoteAddMetric(const std::string& statement,
+                         query::QueryDef metric);
   // Blocks until every alive processor unit has applied its enqueued
   // stream registrations (or the timeout elapses).
   Status WaitForRegistration(Micros timeout);
   StatusOr<reservoir::Event> BindRow(const std::string& stream_name,
                                      const Row& row) const;
   engine::FrontEnd* PickFrontEnd();
+  bool remote() const { return remote_bus_ != nullptr; }
 
   ClientOptions options_;
   std::unique_ptr<engine::Cluster> owned_cluster_;
-  engine::Cluster* cluster_;
+  engine::Cluster* cluster_ = nullptr;
   std::unique_ptr<Admin> admin_;
   Clock* clock_;
   bool started_ = false;
+
+  // Remote mode (ClientOptions::remote_address): the client's own front
+  // end speaks to the cluster through a RemoteBus.
+  std::string client_id_;
+  std::unique_ptr<msg::remote::RemoteBus> remote_bus_;
+  std::unique_ptr<engine::FrontEnd> remote_frontend_;
+  std::unique_ptr<RemoteDdlClient> remote_ddl_;
 
   mutable std::mutex mu_;
   std::map<std::string, engine::StreamDef> streams_;

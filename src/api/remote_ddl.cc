@@ -1,0 +1,152 @@
+#include "api/remote_ddl.h"
+
+#include "common/coding.h"
+#include "msg/remote/wire.h"
+
+namespace railgun::api {
+
+void EncodeDdlRequest(const DdlRequest& request, std::string* out) {
+  PutVarint64(out, request.request_id);
+  PutLengthPrefixedSlice(out, request.reply_topic);
+  PutLengthPrefixedSlice(out, request.statement);
+}
+
+Status DecodeDdlRequest(const Slice& data, DdlRequest* request) {
+  Slice in = data;
+  Slice reply_topic, statement;
+  if (!GetVarint64(&in, &request->request_id) ||
+      !GetLengthPrefixedSlice(&in, &reply_topic) ||
+      !GetLengthPrefixedSlice(&in, &statement)) {
+    return Status::Corruption("malformed DDL request");
+  }
+  request->reply_topic = reply_topic.ToString();
+  request->statement = statement.ToString();
+  return Status::OK();
+}
+
+void EncodeDdlReply(const DdlReply& reply, std::string* out) {
+  PutVarint64(out, reply.request_id);
+  msg::remote::PutStatus(out, reply.result);
+}
+
+Status DecodeDdlReply(const Slice& data, DdlReply* reply) {
+  Slice in = data;
+  if (!GetVarint64(&in, &reply->request_id) ||
+      !msg::remote::GetStatus(&in, &reply->result)) {
+    return Status::Corruption("malformed DDL reply");
+  }
+  return Status::OK();
+}
+
+// --- RemoteDdlClient -------------------------------------------------
+
+RemoteDdlClient::RemoteDdlClient(msg::Bus* bus, std::string client_id,
+                                 Clock* clock)
+    : bus_(bus),
+      client_id_(std::move(client_id)),
+      reply_topic_(std::string(kDdlTopic) + ".replies." + client_id_),
+      consumer_id_("ddlc." + client_id_),
+      clock_(clock) {}
+
+Status RemoteDdlClient::EnsureSubscribedLocked() {
+  if (subscribed_) return Status::OK();
+  Status s = bus_->CreateTopic(kDdlTopic, 1);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  s = bus_->CreateTopic(reply_topic_, 1);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  RAILGUN_RETURN_IF_ERROR(bus_->Subscribe(
+      consumer_id_, "ddl." + client_id_, {reply_topic_}, "", nullptr, {}));
+  subscribed_ = true;
+  return Status::OK();
+}
+
+Status RemoteDdlClient::Execute(const std::string& statement,
+                                Micros timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAILGUN_RETURN_IF_ERROR(EnsureSubscribedLocked());
+
+  DdlRequest request;
+  // The reply topic is private to this client, so a plain counter
+  // cannot collide.
+  request.request_id = next_request_id_++;
+  request.reply_topic = reply_topic_;
+  request.statement = statement;
+  std::string encoded;
+  EncodeDdlRequest(request, &encoded);
+  RAILGUN_RETURN_IF_ERROR(
+      bus_->Produce(kDdlTopic, client_id_, std::move(encoded)).status());
+
+  const Micros deadline = clock_->NowMicros() + timeout;
+  std::vector<msg::Message> replies;
+  while (clock_->NowMicros() < deadline) {
+    RAILGUN_RETURN_IF_ERROR(
+        bus_->Poll(consumer_id_, 16, &replies, 50 * kMicrosPerMilli));
+    for (const auto& message : replies) {
+      DdlReply reply;
+      if (!DecodeDdlReply(Slice(message.payload), &reply).ok()) continue;
+      if (reply.request_id == request.request_id) return reply.result;
+    }
+  }
+  return Status::Unavailable("DDL request timed out: " + statement);
+}
+
+void RemoteDdlClient::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!subscribed_) return;
+  bus_->Unsubscribe(consumer_id_);
+  subscribed_ = false;
+}
+
+// --- DdlService ------------------------------------------------------
+
+DdlService::DdlService(engine::Cluster* cluster)
+    : bus_(cluster->bus()), client_(cluster) {}
+
+DdlService::~DdlService() { Stop(); }
+
+Status DdlService::Start() {
+  Status s = bus_->CreateTopic(kDdlTopic, 1);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  RAILGUN_RETURN_IF_ERROR(bus_->Subscribe(consumer_id_, "ddl.svc",
+                                          {kDdlTopic}, "", nullptr, {}));
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void DdlService::Stop() {
+  if (!running_.exchange(false)) return;
+  bus_->WakeConsumer(consumer_id_);  // Cut a parked poll short.
+  if (thread_.joinable()) thread_.join();
+  bus_->Unsubscribe(consumer_id_);
+}
+
+void DdlService::Run() {
+  std::vector<msg::Message> batch;
+  while (running_) {
+    const Status polled =
+        bus_->Poll(consumer_id_, 16, &batch, 50 * kMicrosPerMilli);
+    if (!polled.ok()) {
+      // Fenced or unreachable: back off without spinning; statements
+      // in flight simply time out on the client.
+      batch.clear();
+      MonotonicClock::Default()->SleepMicros(10 * kMicrosPerMilli);
+      continue;
+    }
+    for (const auto& message : batch) {
+      DdlRequest request;
+      if (!DecodeDdlRequest(Slice(message.payload), &request).ok()) continue;
+      DdlReply reply;
+      reply.request_id = request.request_id;
+      reply.result = client_.Execute(request.statement);
+      std::string encoded;
+      EncodeDdlReply(reply, &encoded);
+      // Best effort: an unreachable reply topic means the client died;
+      // it would have timed out anyway.
+      bus_->Produce(request.reply_topic, request.reply_topic,
+                    std::move(encoded));
+    }
+  }
+}
+
+}  // namespace railgun::api

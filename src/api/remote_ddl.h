@@ -1,0 +1,101 @@
+// DDL over the message bus: the control channel that lets a remote
+// api::Client declare streams and metrics on a cluster it can only
+// reach through a Bus (paper §3.1 operational requests, stretched
+// across the network hop).
+//
+// Topology: clients publish statements to the single-partition
+// "__railgun.ddl" topic with a private reply topic; the cluster-owning
+// process runs one DdlService, which executes each statement through an
+// attached api::Client (so validation, metric merging and
+// applied-by-every-unit synchronization are exactly the local DDL path)
+// and publishes the typed result back. Requests from one client execute
+// in submission order.
+#ifndef RAILGUN_API_REMOTE_DDL_H_
+#define RAILGUN_API_REMOTE_DDL_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/client.h"
+#include "msg/bus.h"
+
+namespace railgun::api {
+
+inline constexpr char kDdlTopic[] = "__railgun.ddl";
+
+// ----- Wire format (exposed for tests) -----
+
+struct DdlRequest {
+  uint64_t request_id = 0;
+  std::string reply_topic;
+  std::string statement;
+};
+
+void EncodeDdlRequest(const DdlRequest& request, std::string* out);
+Status DecodeDdlRequest(const Slice& data, DdlRequest* request);
+
+struct DdlReply {
+  uint64_t request_id = 0;
+  Status result;
+};
+
+void EncodeDdlReply(const DdlReply& reply, std::string* out);
+Status DecodeDdlReply(const Slice& data, DdlReply* reply);
+
+// Client side: ships one statement and blocks for its reply (or the
+// timeout). Used by api::Client in remote mode; DDL is rare and
+// synchronous, so requests are serialized.
+class RemoteDdlClient {
+ public:
+  // client_id must be unique per attached client process (it names the
+  // private reply topic).
+  RemoteDdlClient(msg::Bus* bus, std::string client_id, Clock* clock);
+
+  Status Execute(const std::string& statement, Micros timeout);
+
+  // Leaves the reply consumer group (idempotent).
+  void Shutdown();
+
+ private:
+  Status EnsureSubscribedLocked();
+
+  msg::Bus* bus_;
+  std::string client_id_;
+  std::string reply_topic_;
+  std::string consumer_id_;
+  Clock* clock_;
+
+  std::mutex mu_;
+  bool subscribed_ = false;
+  uint64_t next_request_id_ = 1;
+};
+
+// Server side: consumes the DDL topic and applies statements to the
+// cluster through an attached Client. Run exactly one per cluster,
+// in the process that owns it (next to the BusServer).
+class DdlService {
+ public:
+  explicit DdlService(engine::Cluster* cluster);
+  ~DdlService();
+
+  DdlService(const DdlService&) = delete;
+  DdlService& operator=(const DdlService&) = delete;
+
+  Status Start();
+  void Stop();
+
+ private:
+  void Run();
+
+  msg::Bus* bus_;
+  Client client_;  // Attached to the served cluster.
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  const std::string consumer_id_ = "ddl.svc";
+};
+
+}  // namespace railgun::api
+
+#endif  // RAILGUN_API_REMOTE_DDL_H_

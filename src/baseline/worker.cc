@@ -3,7 +3,7 @@
 namespace railgun::baseline {
 
 BaselineWorker::BaselineWorker(const WorkerOptions& options,
-                               msg::MessageBus* bus, BaselineEngine* engine,
+                               msg::Bus* bus, BaselineEngine* engine,
                                engine::StreamDef stream, std::string topic,
                                Clock* clock)
     : options_(options),

@@ -27,7 +27,7 @@ struct WorkerOptions {
 class BaselineWorker {
  public:
   // Borrows the bus and engine. Consumes every partition of `topic`.
-  BaselineWorker(const WorkerOptions& options, msg::MessageBus* bus,
+  BaselineWorker(const WorkerOptions& options, msg::Bus* bus,
                  BaselineEngine* engine, engine::StreamDef stream,
                  std::string topic, Clock* clock);
   ~BaselineWorker();
@@ -41,7 +41,7 @@ class BaselineWorker {
   void Run();
 
   WorkerOptions options_;
-  msg::MessageBus* bus_;
+  msg::Bus* bus_;
   BaselineEngine* engine_;
   engine::StreamDef stream_;
   std::string topic_;

@@ -24,6 +24,10 @@ class Clock {
   virtual Micros NowMicros() const = 0;
   // Blocks (or advances simulated time) for the given duration.
   virtual void SleepMicros(Micros micros) = 0;
+  // True when this clock's durations are exchangeable with real
+  // (wall/steady) time. Simulated clocks return false so waiters never
+  // convert a virtual-time delta into a real-time sleep.
+  virtual bool IsRealTime() const { return true; }
 };
 
 // Real clock backed by std::chrono::steady_clock.
@@ -45,6 +49,7 @@ class SimulatedClock : public Clock {
     return now_.load(std::memory_order_acquire);
   }
   void SleepMicros(Micros micros) override { Advance(micros); }
+  bool IsRealTime() const override { return false; }
 
   void Advance(Micros micros) {
     now_.fetch_add(micros, std::memory_order_acq_rel);

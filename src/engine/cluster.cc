@@ -8,7 +8,7 @@ Cluster::Cluster(const ClusterOptions& options)
                                       : MonotonicClock::Default()) {
   msg::BusOptions bus_options = options_.bus;
   bus_options.clock = clock_;
-  bus_.reset(new msg::MessageBus(bus_options));
+  bus_.reset(new msg::InProcessBus(bus_options));
   coordinator_.reset(new Coordinator(options_.replication_factor));
 }
 

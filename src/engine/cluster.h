@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/node.h"
+#include "msg/broker.h"
 
 namespace railgun::engine {
 
@@ -47,7 +48,7 @@ class Cluster {
   // only grows; killed nodes are marked dead, not erased).
   RailgunNode* node(int index) const;
   int num_nodes() const;
-  msg::MessageBus* bus() { return bus_.get(); }
+  msg::Bus* bus() { return bus_.get(); }
   Coordinator* coordinator() { return coordinator_.get(); }
 
   // Blocks until every event topic has been fully consumed by the
@@ -63,7 +64,7 @@ class Cluster {
 
   ClusterOptions options_;
   Clock* clock_;
-  std::unique_ptr<msg::MessageBus> bus_;
+  std::unique_ptr<msg::InProcessBus> bus_;
   std::unique_ptr<Coordinator> coordinator_;
   // Guards the topology (nodes_, streams_) against concurrent
   // submission and admin operations (AddNode during Submit etc).

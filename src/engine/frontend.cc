@@ -7,7 +7,7 @@
 namespace railgun::engine {
 
 FrontEnd::FrontEnd(const FrontEndOptions& options, std::string node_id,
-                   msg::MessageBus* bus, Clock* clock)
+                   msg::Bus* bus, Clock* clock)
     : options_(options),
       node_id_(std::move(node_id)),
       bus_(bus),

@@ -24,7 +24,7 @@
 
 #include "common/clock.h"
 #include "engine/stream_def.h"
-#include "msg/broker.h"
+#include "msg/bus.h"
 
 namespace railgun::engine {
 
@@ -45,7 +45,7 @@ class FrontEnd {
       std::function<void(Status, const std::vector<MetricReply>&)>;
 
   FrontEnd(const FrontEndOptions& options, std::string node_id,
-           msg::MessageBus* bus, Clock* clock);
+           msg::Bus* bus, Clock* clock);
   ~FrontEnd();
 
   FrontEnd(const FrontEnd&) = delete;
@@ -140,7 +140,7 @@ class FrontEnd {
 
   FrontEndOptions options_;
   std::string node_id_;
-  msg::MessageBus* bus_;
+  msg::Bus* bus_;
   Clock* clock_;
   std::string reply_topic_;
   std::string consumer_id_;

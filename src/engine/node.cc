@@ -3,7 +3,7 @@
 namespace railgun::engine {
 
 RailgunNode::RailgunNode(const NodeOptions& options, std::string node_id,
-                         std::string dir, msg::MessageBus* bus,
+                         std::string dir, msg::Bus* bus,
                          Coordinator* coordinator, Clock* clock)
     : options_(options),
       node_id_(std::move(node_id)),

@@ -23,7 +23,7 @@ struct NodeOptions {
 class RailgunNode {
  public:
   RailgunNode(const NodeOptions& options, std::string node_id,
-              std::string dir, msg::MessageBus* bus,
+              std::string dir, msg::Bus* bus,
               Coordinator* coordinator, Clock* clock);
 
   RailgunNode(const RailgunNode&) = delete;
@@ -49,7 +49,7 @@ class RailgunNode {
   NodeOptions options_;
   std::string node_id_;
   std::string dir_;
-  msg::MessageBus* bus_;
+  msg::Bus* bus_;
   Clock* clock_;
 
   std::unique_ptr<FrontEnd> frontend_;

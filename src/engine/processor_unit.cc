@@ -7,7 +7,7 @@ namespace railgun::engine {
 
 ProcessorUnit::ProcessorUnit(const UnitOptions& options, std::string unit_id,
                              std::string node_id, std::string dir,
-                             msg::MessageBus* bus, Coordinator* coordinator,
+                             msg::Bus* bus, Coordinator* coordinator,
                              Clock* clock)
     : options_(options),
       unit_id_(std::move(unit_id)),

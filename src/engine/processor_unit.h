@@ -19,7 +19,7 @@
 #include "engine/coordinator.h"
 #include "engine/stream_def.h"
 #include "engine/task_processor.h"
-#include "msg/broker.h"
+#include "msg/bus.h"
 
 namespace railgun::engine {
 
@@ -48,7 +48,7 @@ struct UnitStats {
 class ProcessorUnit {
  public:
   ProcessorUnit(const UnitOptions& options, std::string unit_id,
-                std::string node_id, std::string dir, msg::MessageBus* bus,
+                std::string node_id, std::string dir, msg::Bus* bus,
                 Coordinator* coordinator, Clock* clock);
   ~ProcessorUnit();
 
@@ -97,7 +97,7 @@ class ProcessorUnit {
   std::string unit_id_;
   std::string node_id_;
   std::string dir_;
-  msg::MessageBus* bus_;
+  msg::Bus* bus_;
   Coordinator* coordinator_;
   Clock* clock_;
 

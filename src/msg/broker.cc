@@ -7,19 +7,19 @@
 
 namespace railgun::msg {
 
-MessageBus::MessageBus(const BusOptions& options)
+InProcessBus::InProcessBus(const BusOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : MonotonicClock::Default()) {}
 
-std::shared_ptr<MessageBus::Topic> MessageBus::FindTopic(
+std::shared_ptr<InProcessBus::Topic> InProcessBus::FindTopic(
     const std::string& topic) const {
   std::lock_guard<std::mutex> lock(topics_mu_);
   auto it = topics_.find(topic);
   return it == topics_.end() ? nullptr : it->second;
 }
 
-void MessageBus::NotifyArrival() {
+void InProcessBus::NotifyArrival() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     ++wake_epoch_;
@@ -27,7 +27,7 @@ void MessageBus::NotifyArrival() {
   wake_cv_.notify_all();
 }
 
-Status MessageBus::WakeConsumer(const std::string& consumer_id) {
+Status InProcessBus::WakeConsumer(const std::string& consumer_id) {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
     auto it = consumers_.find(consumer_id);
@@ -38,7 +38,7 @@ Status MessageBus::WakeConsumer(const std::string& consumer_id) {
   return Status::OK();
 }
 
-void MessageBus::Wake() {
+void InProcessBus::Wake() {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
     for (auto& [id, consumer] : consumers_) consumer.interrupted = true;
@@ -46,7 +46,7 @@ void MessageBus::Wake() {
   NotifyArrival();
 }
 
-Status MessageBus::CreateTopic(const std::string& topic, int partitions) {
+Status InProcessBus::CreateTopic(const std::string& topic, int partitions) {
   if (partitions <= 0) {
     return Status::InvalidArgument("partitions must be positive");
   }
@@ -80,7 +80,7 @@ Status MessageBus::CreateTopic(const std::string& topic, int partitions) {
   return Status::OK();
 }
 
-Status MessageBus::DeleteTopic(const std::string& topic) {
+Status InProcessBus::DeleteTopic(const std::string& topic) {
   std::lock_guard<std::mutex> lock(topics_mu_);
   if (topics_.erase(topic) == 0) {
     return Status::NotFound("no topic: " + topic);
@@ -88,13 +88,13 @@ Status MessageBus::DeleteTopic(const std::string& topic) {
   return Status::OK();
 }
 
-StatusOr<int> MessageBus::NumPartitions(const std::string& topic) const {
+StatusOr<int> InProcessBus::NumPartitions(const std::string& topic) const {
   auto t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("no topic: " + topic);
   return static_cast<int>(t->partitions.size());
 }
 
-std::vector<TopicPartition> MessageBus::PartitionsOf(
+std::vector<TopicPartition> InProcessBus::PartitionsOf(
     const std::string& topic) const {
   std::vector<TopicPartition> result;
   auto t = FindTopic(topic);
@@ -105,9 +105,9 @@ std::vector<TopicPartition> MessageBus::PartitionsOf(
   return result;
 }
 
-void MessageBus::AppendLocked(PartitionLog* log, const std::string& topic,
-                              int partition, std::string key,
-                              std::string payload, Micros now) {
+void InProcessBus::AppendLocked(PartitionLog* log, const std::string& topic,
+                                int partition, std::string key,
+                                std::string payload, Micros now) {
   Message m;
   m.topic = topic;
   m.partition = partition;
@@ -122,7 +122,7 @@ void MessageBus::AppendLocked(PartitionLog* log, const std::string& topic,
   TruncateLocked(log);
 }
 
-void MessageBus::TruncateLocked(PartitionLog* log) {
+void InProcessBus::TruncateLocked(PartitionLog* log) {
   if (options_.retention_messages == 0) return;
   if (log->messages.size() <= options_.retention_messages) return;
   const uint64_t cap_base =
@@ -137,9 +137,9 @@ void MessageBus::TruncateLocked(PartitionLog* log) {
   }
 }
 
-StatusOr<uint64_t> MessageBus::Produce(const std::string& topic,
-                                       const std::string& key,
-                                       std::string payload) {
+StatusOr<uint64_t> InProcessBus::Produce(const std::string& topic,
+                                         const std::string& key,
+                                         std::string payload) {
   auto t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("no topic: " + topic);
   const int partition =
@@ -156,10 +156,10 @@ StatusOr<uint64_t> MessageBus::Produce(const std::string& topic,
   return offset;
 }
 
-StatusOr<uint64_t> MessageBus::ProduceToPartition(const std::string& topic,
-                                                  int partition,
-                                                  std::string key,
-                                                  std::string payload) {
+StatusOr<uint64_t> InProcessBus::ProduceToPartition(const std::string& topic,
+                                                    int partition,
+                                                    std::string key,
+                                                    std::string payload) {
   auto t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("no topic: " + topic);
   if (partition < 0 ||
@@ -178,8 +178,8 @@ StatusOr<uint64_t> MessageBus::ProduceToPartition(const std::string& topic,
   return offset;
 }
 
-Status MessageBus::ProduceBatch(const std::string& topic,
-                                std::vector<ProduceRecord> records) {
+Status InProcessBus::ProduceBatch(const std::string& topic,
+                                  std::vector<ProduceRecord> records) {
   if (records.empty()) return Status::OK();
   auto t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("no topic: " + topic);
@@ -206,12 +206,12 @@ Status MessageBus::ProduceBatch(const std::string& topic,
   return Status::OK();
 }
 
-Status MessageBus::Subscribe(const std::string& consumer_id,
-                             const std::string& group,
-                             const std::vector<std::string>& topics,
-                             const std::string& metadata,
-                             AssignmentStrategy* strategy,
-                             RebalanceListener listener) {
+Status InProcessBus::Subscribe(const std::string& consumer_id,
+                               const std::string& group,
+                               const std::vector<std::string>& topics,
+                               const std::string& metadata,
+                               AssignmentStrategy* strategy,
+                               RebalanceListener listener) {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
     ConsumerState& consumer = consumers_[consumer_id];
@@ -233,7 +233,7 @@ Status MessageBus::Subscribe(const std::string& consumer_id,
   return Status::OK();
 }
 
-Status MessageBus::Unsubscribe(const std::string& consumer_id) {
+Status InProcessBus::Unsubscribe(const std::string& consumer_id) {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
     auto it = consumers_.find(consumer_id);
@@ -257,7 +257,7 @@ Status MessageBus::Unsubscribe(const std::string& consumer_id) {
   return Status::OK();
 }
 
-std::vector<TopicPartition> MessageBus::GroupPartitionsLocked(
+std::vector<TopicPartition> InProcessBus::GroupPartitionsLocked(
     const Group& group) const {
   std::set<std::string> topic_names;
   for (const auto& member : group.members) {
@@ -276,7 +276,7 @@ std::vector<TopicPartition> MessageBus::GroupPartitionsLocked(
   return partitions;
 }
 
-void MessageBus::RebalanceGroupLocked(const std::string& group_name) {
+void InProcessBus::RebalanceGroupLocked(const std::string& group_name) {
   Group& group = groups_[group_name];
   std::vector<MemberInfo> members;
   for (const auto& member_id : group.members) {
@@ -297,12 +297,12 @@ void MessageBus::RebalanceGroupLocked(const std::string& group_name) {
   ++rebalance_count_;
 }
 
-void MessageBus::CheckLiveness() {
+void InProcessBus::CheckLiveness() {
   std::lock_guard<std::mutex> lock(group_mu_);
   CheckLivenessLocked();
 }
 
-void MessageBus::CheckLivenessLocked() {
+void InProcessBus::CheckLivenessLocked() {
   const Micros now = clock_->NowMicros();
   std::vector<std::string> dead;
   for (auto& [id, consumer] : consumers_) {
@@ -327,7 +327,7 @@ void MessageBus::CheckLivenessLocked() {
   for (const auto& g : groups_to_rebalance) RebalanceGroupLocked(g);
 }
 
-void MessageBus::RecomputeCommittedFloorLocked(const TopicPartition& tp) {
+void InProcessBus::RecomputeCommittedFloorLocked(const TopicPartition& tp) {
   uint64_t floor = UINT64_MAX;
   for (const auto& [id, consumer] : consumers_) {
     if (!consumer.alive) continue;  // Fenced consumers don't pin the log.
@@ -345,10 +345,14 @@ void MessageBus::RecomputeCommittedFloorLocked(const TopicPartition& tp) {
       floor, std::memory_order_release);
 }
 
-Status MessageBus::Poll(const std::string& consumer_id, size_t max_messages,
-                        std::vector<Message>* out, Micros max_wait) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(std::max<Micros>(max_wait, 0));
+Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
+                          std::vector<Message>* out, Micros max_wait) {
+  // The park deadline lives entirely in the bus clock's domain, the same
+  // domain as message visibility: under a simulated clock both elapse in
+  // virtual time, so a parked consumer never sleeps real-time slices
+  // waiting on virtual-time visibility (or vice versa).
+  const Micros deadline =
+      clock_->NowMicros() + std::max<Micros>(max_wait, 0);
   for (;;) {
     uint64_t epoch;
     {
@@ -365,28 +369,34 @@ Status MessageBus::Poll(const std::string& consumer_id, size_t max_messages,
         max_wait <= 0) {
       return Status::OK();
     }
-    const auto now = std::chrono::steady_clock::now();
+    const Micros now = clock_->NowMicros();
     if (now >= deadline) return Status::OK();
     // Park until something arrives, but never longer than a bounded
-    // slice: the consumer keeps heartbeating (every PollOnce refreshes
-    // it), re-checks delivery-delay visibility, and honors max_wait.
-    auto until = now + std::chrono::milliseconds(10);
-    if (earliest_visible > 0) {
-      const Micros delta = earliest_visible - clock_->NowMicros();
-      if (delta <= 0) continue;  // Became visible while scanning.
-      const auto visible_at = now + std::chrono::microseconds(delta);
-      if (visible_at < until) until = visible_at;
+    // real-time slice: the consumer keeps heartbeating (every PollOnce
+    // refreshes it), re-checks delivery-delay visibility and the
+    // deadline — which is how a simulated clock advanced by another
+    // thread is noticed without any wake-up.
+    Micros horizon = deadline;
+    if (earliest_visible > 0 && earliest_visible < horizon) {
+      horizon = earliest_visible;
     }
-    if (deadline < until) until = deadline;
+    const Micros delta = horizon - now;
+    if (delta <= 0) continue;  // Became visible while scanning.
+    Micros slice = 10 * kMicrosPerMilli;
+    // Only a real-time clock's deltas are meaningful as condition-
+    // variable wait bounds; a simulated clock re-checks each slice.
+    if (clock_->IsRealTime() && delta < slice) slice = delta;
     std::unique_lock<std::mutex> lock(wake_mu_);
-    if (wake_epoch_ == epoch) wake_cv_.wait_until(lock, until);
+    if (wake_epoch_ == epoch) {
+      wake_cv_.wait_for(lock, std::chrono::microseconds(slice));
+    }
   }
 }
 
-Status MessageBus::PollOnce(const std::string& consumer_id,
-                            size_t max_messages, std::vector<Message>* out,
-                            bool* delivered_callbacks,
-                            Micros* earliest_visible, bool* interrupted) {
+Status InProcessBus::PollOnce(const std::string& consumer_id,
+                              size_t max_messages, std::vector<Message>* out,
+                              bool* delivered_callbacks,
+                              Micros* earliest_visible, bool* interrupted) {
   out->clear();
   *delivered_callbacks = false;
   *earliest_visible = 0;
@@ -479,9 +489,9 @@ Status MessageBus::PollOnce(const std::string& consumer_id,
   return Status::OK();
 }
 
-Status MessageBus::Fetch(const TopicPartition& tp, uint64_t offset,
-                         size_t max_messages,
-                         std::vector<Message>* out) const {
+Status InProcessBus::Fetch(const TopicPartition& tp, uint64_t offset,
+                           size_t max_messages,
+                           std::vector<Message>* out) const {
   out->clear();
   auto t = FindTopic(tp.topic);
   if (t == nullptr) return Status::NotFound("no topic: " + tp.topic);
@@ -503,8 +513,8 @@ Status MessageBus::Fetch(const TopicPartition& tp, uint64_t offset,
   return Status::OK();
 }
 
-Status MessageBus::Commit(const std::string& consumer_id,
-                          const TopicPartition& tp, uint64_t next_offset) {
+Status InProcessBus::Commit(const std::string& consumer_id,
+                            const TopicPartition& tp, uint64_t next_offset) {
   std::lock_guard<std::mutex> lock(group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return Status::NotFound("no consumer");
@@ -513,12 +523,23 @@ Status MessageBus::Commit(const std::string& consumer_id,
   return Status::OK();
 }
 
-Status MessageBus::Seek(const std::string& consumer_id,
-                        const TopicPartition& tp, uint64_t offset) {
+Status InProcessBus::Seek(const std::string& consumer_id,
+                          const TopicPartition& tp, uint64_t offset) {
+  // Clamp forward to the retention-trimmed head, exactly like Fetch: a
+  // position inside truncated data is unreadable and — because committed
+  // positions floor retention — would freeze truncation at the stale
+  // offset forever.
+  auto t = FindTopic(tp.topic);
+  if (t != nullptr && tp.partition >= 0 &&
+      static_cast<size_t>(tp.partition) < t->partitions.size()) {
+    PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
+    std::lock_guard<std::mutex> lock(log->mu);
+    offset = std::max(offset, log->base_offset);
+  }
   return Commit(consumer_id, tp, offset);
 }
 
-StatusOr<uint64_t> MessageBus::EndOffset(const TopicPartition& tp) const {
+StatusOr<uint64_t> InProcessBus::EndOffset(const TopicPartition& tp) const {
   auto t = FindTopic(tp.topic);
   if (t == nullptr) return Status::NotFound("no topic");
   if (tp.partition < 0 ||
@@ -529,7 +550,7 @@ StatusOr<uint64_t> MessageBus::EndOffset(const TopicPartition& tp) const {
       ->end_offset.load(std::memory_order_acquire);
 }
 
-StatusOr<uint64_t> MessageBus::BaseOffset(const TopicPartition& tp) const {
+StatusOr<uint64_t> InProcessBus::BaseOffset(const TopicPartition& tp) const {
   auto t = FindTopic(tp.topic);
   if (t == nullptr) return Status::NotFound("no topic");
   if (tp.partition < 0 ||
@@ -541,7 +562,7 @@ StatusOr<uint64_t> MessageBus::BaseOffset(const TopicPartition& tp) const {
   return log->base_offset;
 }
 
-Status MessageBus::KillConsumer(const std::string& consumer_id) {
+Status InProcessBus::KillConsumer(const std::string& consumer_id) {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
     auto it = consumers_.find(consumer_id);
@@ -560,7 +581,19 @@ Status MessageBus::KillConsumer(const std::string& consumer_id) {
   return Status::OK();
 }
 
-std::vector<TopicPartition> MessageBus::AssignmentOf(
+StatusOr<uint64_t> InProcessBus::PositionOf(const std::string& consumer_id,
+                                            const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  auto it = consumers_.find(consumer_id);
+  if (it == consumers_.end()) return Status::NotFound("no consumer");
+  auto pos = it->second.positions.find(tp);
+  if (pos == it->second.positions.end()) {
+    return Status::NotFound("consumer does not track " + tp.ToString());
+  }
+  return pos->second;
+}
+
+std::vector<TopicPartition> InProcessBus::AssignmentOf(
     const std::string& consumer_id) {
   std::lock_guard<std::mutex> lock(group_mu_);
   auto it = consumers_.find(consumer_id);

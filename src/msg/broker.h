@@ -1,10 +1,12 @@
-// In-process message bus implementing the messaging-layer contract the
-// paper requires of Kafka (§3.3): partitioned topics, keyed publishing,
-// pull-based consumption by offset, replay, consumer groups with
+// In-process implementation of the msg::Bus contract (see msg/bus.h):
+// partitioned topics, keyed publishing, pull-based consumption by
+// offset, replay, consumer groups with
 // exactly-one-active-consumer-per-partition, heartbeat failure
 // detection, and coordinator-driven rebalances with a pluggable
 // assignment strategy. A configurable delivery delay models broker and
 // network latency so end-to-end measurements include the messaging hop.
+// BusServer (src/msg/remote/bus_server.h) hosts an InProcessBus behind a
+// TCP listener to make it a real network broker.
 //
 // Concurrency model: broker state is sharded. Each partition log has a
 // private mutex, so producers to different partitions never contend;
@@ -21,7 +23,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,7 +32,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
-#include "msg/assignment.h"
+#include "msg/bus.h"
 #include "msg/message.h"
 
 namespace railgun::msg {
@@ -56,54 +57,37 @@ struct BusOptions {
   Clock* clock = nullptr;  // Defaults to MonotonicClock.
 };
 
-// Callbacks a consumer registers to learn about rebalances.
-struct RebalanceListener {
-  std::function<void(const std::vector<TopicPartition>& revoked)> on_revoked;
-  std::function<void(const std::vector<TopicPartition>& assigned)> on_assigned;
-};
-
-// One keyed record of a producer batch.
-struct ProduceRecord {
-  std::string key;
-  std::string payload;
-};
-
-class MessageBus {
+class InProcessBus : public Bus {
  public:
-  explicit MessageBus(const BusOptions& options = BusOptions());
-  MessageBus(const MessageBus&) = delete;
-  MessageBus& operator=(const MessageBus&) = delete;
+  explicit InProcessBus(const BusOptions& options = BusOptions());
+  InProcessBus(const InProcessBus&) = delete;
+  InProcessBus& operator=(const InProcessBus&) = delete;
 
   // ----- Topic administration -----
-  Status CreateTopic(const std::string& topic, int partitions);
-  Status DeleteTopic(const std::string& topic);
-  StatusOr<int> NumPartitions(const std::string& topic) const;
-  std::vector<TopicPartition> PartitionsOf(const std::string& topic) const;
+  Status CreateTopic(const std::string& topic, int partitions) override;
+  Status DeleteTopic(const std::string& topic) override;
+  StatusOr<int> NumPartitions(const std::string& topic) const override;
+  std::vector<TopicPartition> PartitionsOf(
+      const std::string& topic) const override;
 
   // ----- Producing -----
-  // Publishes to partition = Hash(key) % partitions. Returns the offset.
   StatusOr<uint64_t> Produce(const std::string& topic, const std::string& key,
-                             std::string payload);
+                             std::string payload) override;
   StatusOr<uint64_t> ProduceToPartition(const std::string& topic,
                                         int partition, std::string key,
-                                        std::string payload);
+                                        std::string payload) override;
   // Publishes a whole batch with one partition-lock acquisition per
-  // touched partition and one consumer wake-up. Records with the same
-  // key keep their relative order (same key -> same partition, appended
-  // in input order).
+  // touched partition and one consumer wake-up.
   Status ProduceBatch(const std::string& topic,
-                      std::vector<ProduceRecord> records);
+                      std::vector<ProduceRecord> records) override;
 
   // ----- Group management -----
-  // Registers a consumer in a group. The strategy pointer is shared by
-  // the whole group (the first subscriber's strategy wins); pass nullptr
-  // for the default round-robin.
   Status Subscribe(const std::string& consumer_id, const std::string& group,
                    const std::vector<std::string>& topics,
                    const std::string& metadata,
                    AssignmentStrategy* strategy,
-                   RebalanceListener listener);
-  Status Unsubscribe(const std::string& consumer_id);
+                   RebalanceListener listener) override;
+  Status Unsubscribe(const std::string& consumer_id) override;
 
   // ----- Consuming -----
   // Pulls up to max_messages across the consumer's assigned partitions,
@@ -113,35 +97,42 @@ class MessageBus {
   //
   // With max_wait > 0 an empty poll parks on the bus's condition
   // variable (wake-on-arrival) until a message becomes visible, a
-  // rebalance is delivered, Wake() is called, or max_wait (real time)
-  // elapses — heartbeating and re-running liveness checks while parked.
+  // rebalance is delivered, Wake() is called, or max_wait elapses.
+  // max_wait, like every other duration here, is interpreted in the
+  // bus clock's domain: virtual time under a simulated clock, real time
+  // under the monotonic clock. The consumer keeps heartbeating and
+  // re-running liveness checks while parked.
   Status Poll(const std::string& consumer_id, size_t max_messages,
-              std::vector<Message>* out, Micros max_wait = 0);
+              std::vector<Message>* out, Micros max_wait = 0) override;
 
   // Direct partition read (used for replay during recovery and by the
   // injectors, outside any group). Offsets below the retention-trimmed
   // log head are clamped to the earliest retained message.
   Status Fetch(const TopicPartition& tp, uint64_t offset,
-               size_t max_messages, std::vector<Message>* out) const;
+               size_t max_messages, std::vector<Message>* out) const override;
 
   // Commits the consumer's position for a partition.
   Status Commit(const std::string& consumer_id, const TopicPartition& tp,
-                uint64_t next_offset);
-  // Rewinds the consumer's position (recovery replay).
+                uint64_t next_offset) override;
+  // Rewinds the consumer's position (recovery replay). Offsets below the
+  // retention-trimmed log head clamp forward to the earliest retained
+  // message — the same rule as Fetch — so a replaying consumer can never
+  // be positioned inside truncated data (which would also pin the
+  // committed floor there and stall retention forever).
   Status Seek(const std::string& consumer_id, const TopicPartition& tp,
-              uint64_t offset);
+              uint64_t offset) override;
 
-  StatusOr<uint64_t> EndOffset(const TopicPartition& tp) const;
+  StatusOr<uint64_t> EndOffset(const TopicPartition& tp) const override;
   // First offset still retained (> 0 once retention truncated the log).
-  StatusOr<uint64_t> BaseOffset(const TopicPartition& tp) const;
+  StatusOr<uint64_t> BaseOffset(const TopicPartition& tp) const override;
 
   // Declares a consumer dead immediately (fault injection), as if its
   // heartbeats timed out.
-  Status KillConsumer(const std::string& consumer_id);
+  Status KillConsumer(const std::string& consumer_id) override;
 
   // Runs heartbeat expiry checks; called internally on every Poll and
   // available to tests driving simulated time.
-  void CheckLiveness();
+  void CheckLiveness() override;
 
   // Interrupts a consumer's blocking Poll: its next (or current) Poll
   // returns (possibly empty) instead of waiting out max_wait. The
@@ -151,13 +142,18 @@ class MessageBus {
   // re-scans and re-parks if the message was not for it — whereas this
   // is the engine's lever for loops that multiplex bus polling with
   // local work (e.g. a front end with queued submissions to fan out).
-  Status WakeConsumer(const std::string& consumer_id);
+  Status WakeConsumer(const std::string& consumer_id) override;
   // Interrupts every consumer (shutdown sweep).
-  void Wake();
+  void Wake() override;
 
   // Introspection.
-  std::vector<TopicPartition> AssignmentOf(const std::string& consumer_id);
-  uint64_t rebalance_count() const { return rebalance_count_; }
+  std::vector<TopicPartition> AssignmentOf(
+      const std::string& consumer_id) override;
+  uint64_t rebalance_count() const override { return rebalance_count_; }
+  // The consumer's tracked position for a partition (its committed
+  // floor contribution). NotFound when the consumer does not track it.
+  StatusOr<uint64_t> PositionOf(const std::string& consumer_id,
+                                const TopicPartition& tp) const;
 
  private:
   struct PartitionLog {
@@ -236,6 +232,10 @@ class MessageBus {
 
   std::atomic<uint64_t> rebalance_count_{0};
 };
+
+// Historical name of the in-process broker, kept for call sites that
+// construct one directly (tests, benches, the baseline engine).
+using MessageBus = InProcessBus;
 
 }  // namespace railgun::msg
 

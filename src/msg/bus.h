@@ -1,0 +1,129 @@
+// Abstract messaging-layer contract (the role Kafka plays in the paper
+// §3.3). Engine layers (FrontEnd, ProcessorUnit, the baseline worker)
+// program against this interface so the broker behind it is swappable:
+// InProcessBus (src/msg/broker.h) keeps the whole cluster in one
+// process, RemoteBus (src/msg/remote/remote_bus.h) speaks the binary
+// wire protocol to a BusServer hosting the broker in another process.
+//
+// Contract highlights every implementation must honor:
+//  - Partitioned, offset-addressed, replayable logs; Produce returns the
+//    assigned offset; per-key order is preserved within ProduceBatch.
+//  - Consumer groups with exactly-one-active-consumer-per-partition,
+//    heartbeat liveness (Poll is the heartbeat) and coordinator-driven
+//    rebalances delivered synchronously inside Poll via the listener.
+//  - Poll(max_wait > 0) blocks (wake-on-arrival) until a message becomes
+//    visible, a rebalance is delivered, WakeConsumer fires, or max_wait
+//    elapses. WakeConsumer is level-triggered: a wake issued between
+//    polls is consumed by the next Poll, never lost.
+//  - Seek/Fetch never position a consumer below the retention-trimmed
+//    log head: offsets inside truncated data clamp forward.
+#ifndef RAILGUN_MSG_BUS_H_
+#define RAILGUN_MSG_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "msg/assignment.h"
+#include "msg/message.h"
+
+namespace railgun::msg {
+
+// Callbacks a consumer registers to learn about rebalances.
+struct RebalanceListener {
+  std::function<void(const std::vector<TopicPartition>& revoked)> on_revoked;
+  std::function<void(const std::vector<TopicPartition>& assigned)> on_assigned;
+};
+
+// One keyed record of a producer batch.
+struct ProduceRecord {
+  std::string key;
+  std::string payload;
+};
+
+class Bus {
+ public:
+  virtual ~Bus() = default;
+
+  // ----- Topic administration -----
+  virtual Status CreateTopic(const std::string& topic, int partitions) = 0;
+  virtual Status DeleteTopic(const std::string& topic) = 0;
+  virtual StatusOr<int> NumPartitions(const std::string& topic) const = 0;
+  virtual std::vector<TopicPartition> PartitionsOf(
+      const std::string& topic) const = 0;
+
+  // ----- Producing -----
+  // Publishes to partition = Hash(key) % partitions. Returns the offset.
+  virtual StatusOr<uint64_t> Produce(const std::string& topic,
+                                     const std::string& key,
+                                     std::string payload) = 0;
+  virtual StatusOr<uint64_t> ProduceToPartition(const std::string& topic,
+                                                int partition,
+                                                std::string key,
+                                                std::string payload) = 0;
+  // Publishes a whole batch; records with the same key keep their
+  // relative order (same key -> same partition, appended in input
+  // order).
+  virtual Status ProduceBatch(const std::string& topic,
+                              std::vector<ProduceRecord> records) = 0;
+
+  // ----- Group management -----
+  // Registers a consumer in a group. The strategy pointer is shared by
+  // the whole group (the first subscriber's strategy wins); pass nullptr
+  // for the broker's default. Remote implementations cannot ship a
+  // strategy across the wire and always use the server-side default.
+  virtual Status Subscribe(const std::string& consumer_id,
+                           const std::string& group,
+                           const std::vector<std::string>& topics,
+                           const std::string& metadata,
+                           AssignmentStrategy* strategy,
+                           RebalanceListener listener) = 0;
+  virtual Status Unsubscribe(const std::string& consumer_id) = 0;
+
+  // ----- Consuming -----
+  // Pulls up to max_messages across the consumer's assigned partitions;
+  // acts as the heartbeat; delivers rebalance callbacks synchronously
+  // before returning. With max_wait > 0 an empty poll blocks
+  // (wake-on-arrival) until data, a rebalance, a wake, or the deadline.
+  virtual Status Poll(const std::string& consumer_id, size_t max_messages,
+                      std::vector<Message>* out, Micros max_wait = 0) = 0;
+
+  // Direct partition read outside any group (replay, replica shadowing).
+  // Offsets below the retention-trimmed head clamp forward.
+  virtual Status Fetch(const TopicPartition& tp, uint64_t offset,
+                       size_t max_messages,
+                       std::vector<Message>* out) const = 0;
+
+  virtual Status Commit(const std::string& consumer_id,
+                        const TopicPartition& tp, uint64_t next_offset) = 0;
+  // Rewinds the consumer's position (recovery replay). Clamps to the
+  // earliest retained offset.
+  virtual Status Seek(const std::string& consumer_id,
+                      const TopicPartition& tp, uint64_t offset) = 0;
+
+  virtual StatusOr<uint64_t> EndOffset(const TopicPartition& tp) const = 0;
+  // First offset still retained (> 0 once retention truncated the log).
+  virtual StatusOr<uint64_t> BaseOffset(const TopicPartition& tp) const = 0;
+
+  // Declares a consumer dead immediately (fault injection).
+  virtual Status KillConsumer(const std::string& consumer_id) = 0;
+
+  // Runs heartbeat expiry checks (tests driving simulated time).
+  virtual void CheckLiveness() = 0;
+
+  // Interrupts a consumer's blocking Poll (level-triggered).
+  virtual Status WakeConsumer(const std::string& consumer_id) = 0;
+  // Interrupts every consumer (shutdown sweep).
+  virtual void Wake() = 0;
+
+  // Introspection.
+  virtual std::vector<TopicPartition> AssignmentOf(
+      const std::string& consumer_id) = 0;
+  virtual uint64_t rebalance_count() const = 0;
+};
+
+}  // namespace railgun::msg
+
+#endif  // RAILGUN_MSG_BUS_H_

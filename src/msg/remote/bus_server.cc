@@ -1,0 +1,330 @@
+#include "msg/remote/bus_server.h"
+
+#include <utility>
+
+#include "common/coding.h"
+
+namespace railgun::msg::remote {
+
+BusServer::BusServer(const BusServerOptions& options, Bus* bus)
+    : options_(options), bus_(bus) {}
+
+BusServer::~BusServer() { Stop(); }
+
+Status BusServer::Start() {
+  RAILGUN_ASSIGN_OR_RETURN(listener_,
+                           ListenSocket::Listen(options_.host, options_.port));
+  port_ = listener_.port();
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void BusServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Close();  // Unblocks the parked accept.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, sock] : conns_) sock->ShutdownBoth();
+  }
+  // Unpark server-side blocking Polls so their connection threads notice
+  // the shut-down sockets. The wake is level-triggered and consumed, so
+  // local consumers of the same bus just re-scan once.
+  bus_->Wake();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  conns_drained_.wait(lock, [this] { return live_connections_ == 0; });
+}
+
+void BusServer::AcceptLoop() {
+  while (running_) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (!running_) return;
+      continue;  // Transient accept failure; keep serving.
+    }
+    auto sock = std::make_shared<Socket>(std::move(accepted).value());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    const uint64_t conn_id = next_conn_id_++;
+    conns_[conn_id] = sock;
+    ++live_connections_;
+    // Detached: each connection reaps itself on exit (long-running
+    // servers see connection churn); Stop() waits for the live count
+    // to drain, so no thread outlives the server.
+    std::thread([this, conn_id, sock] {
+      ServeConnection(conn_id, sock);
+    }).detach();
+  }
+}
+
+void BusServer::ServeConnection(uint64_t conn_id,
+                                std::shared_ptr<Socket> sock) {
+  while (running_) {
+    Frame request;
+    // A framing failure (bad length or checksum) means the byte stream
+    // itself can't be trusted; drop the connection rather than guess.
+    if (!ReadFrame(sock.get(), &request).ok()) break;
+    const Frame response = HandleRequest(request);
+    std::string encoded;
+    EncodeFrame(response, &encoded);
+    if (!sock->SendAll(encoded.data(), encoded.size()).ok()) break;
+  }
+  sock->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(conn_id);
+  --live_connections_;
+  conns_drained_.notify_all();
+}
+
+std::shared_ptr<BusServer::RebalanceBuffer> BusServer::BufferFor(
+    const std::string& consumer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& buffer = rebalances_[consumer_id];
+  if (buffer == nullptr) buffer = std::make_shared<RebalanceBuffer>();
+  return buffer;
+}
+
+Frame BusServer::HandleRequest(const Frame& request) {
+  Frame response;
+  response.correlation_id = request.correlation_id;
+  response.opcode = request.opcode | kResponseBit;
+
+  Slice in(request.payload);
+  Status status;
+  std::string result;  // RPC-specific fields, appended after the status.
+  bool parsed = true;
+
+  switch (static_cast<OpCode>(request.opcode)) {
+    case OpCode::kCreateTopic: {
+      Slice topic;
+      uint32_t partitions;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic) &&
+                    GetVarint32(&in, &partitions) &&
+                    partitions <= static_cast<uint32_t>(INT32_MAX))) {
+        status = bus_->CreateTopic(topic.ToString(),
+                                   static_cast<int>(partitions));
+      }
+      break;
+    }
+    case OpCode::kDeleteTopic: {
+      Slice topic;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic))) {
+        status = bus_->DeleteTopic(topic.ToString());
+      }
+      break;
+    }
+    case OpCode::kNumPartitions: {
+      Slice topic;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic))) {
+        auto n = bus_->NumPartitions(topic.ToString());
+        status = n.status();
+        if (n.ok()) PutVarint32(&result, static_cast<uint32_t>(n.value()));
+      }
+      break;
+    }
+    case OpCode::kPartitionsOf: {
+      Slice topic;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic))) {
+        PutTopicPartitionList(&result, bus_->PartitionsOf(topic.ToString()));
+      }
+      break;
+    }
+    case OpCode::kProduce: {
+      Slice topic, key, payload;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic) &&
+                    GetLengthPrefixedSlice(&in, &key) &&
+                    GetLengthPrefixedSlice(&in, &payload))) {
+        auto offset = bus_->Produce(topic.ToString(), key.ToString(),
+                                    payload.ToString());
+        status = offset.status();
+        if (offset.ok()) PutVarint64(&result, offset.value());
+      }
+      break;
+    }
+    case OpCode::kProduceToPartition: {
+      Slice topic, key, payload;
+      uint32_t partition;
+      if ((parsed = GetLengthPrefixedSlice(&in, &topic) &&
+                    GetVarint32(&in, &partition) &&
+                    partition <= static_cast<uint32_t>(INT32_MAX) &&
+                    GetLengthPrefixedSlice(&in, &key) &&
+                    GetLengthPrefixedSlice(&in, &payload))) {
+        auto offset = bus_->ProduceToPartition(
+            topic.ToString(), static_cast<int>(partition), key.ToString(),
+            payload.ToString());
+        status = offset.status();
+        if (offset.ok()) PutVarint64(&result, offset.value());
+      }
+      break;
+    }
+    case OpCode::kProduceBatch: {
+      Slice topic;
+      uint32_t n = 0;
+      std::vector<ProduceRecord> records;
+      parsed = GetLengthPrefixedSlice(&in, &topic) && GetVarint32(&in, &n);
+      for (uint32_t i = 0; parsed && i < n; ++i) {
+        Slice key, payload;
+        if ((parsed = GetLengthPrefixedSlice(&in, &key) &&
+                      GetLengthPrefixedSlice(&in, &payload))) {
+          records.push_back({key.ToString(), payload.ToString()});
+        }
+      }
+      if (parsed) status = bus_->ProduceBatch(topic.ToString(),
+                                              std::move(records));
+      break;
+    }
+    case OpCode::kSubscribe: {
+      Slice consumer, group, metadata;
+      uint32_t n = 0;
+      std::vector<std::string> topics;
+      parsed = GetLengthPrefixedSlice(&in, &consumer) &&
+               GetLengthPrefixedSlice(&in, &group) && GetVarint32(&in, &n);
+      for (uint32_t i = 0; parsed && i < n; ++i) {
+        Slice topic;
+        if ((parsed = GetLengthPrefixedSlice(&in, &topic))) {
+          topics.push_back(topic.ToString());
+        }
+      }
+      parsed = parsed && GetLengthPrefixedSlice(&in, &metadata);
+      if (parsed) {
+        // The buffering listener feeds rebalances into this consumer's
+        // Poll responses; the client-side strategy cannot cross the
+        // wire, so the group runs the server default.
+        auto buffer = BufferFor(consumer.ToString());
+        RebalanceListener listener;
+        listener.on_revoked =
+            [buffer](const std::vector<TopicPartition>& revoked) {
+              std::lock_guard<std::mutex> lock(buffer->mu);
+              buffer->revoked.insert(buffer->revoked.end(), revoked.begin(),
+                                     revoked.end());
+            };
+        listener.on_assigned =
+            [buffer](const std::vector<TopicPartition>& assigned) {
+              std::lock_guard<std::mutex> lock(buffer->mu);
+              buffer->assigned.insert(buffer->assigned.end(),
+                                      assigned.begin(), assigned.end());
+            };
+        status = bus_->Subscribe(consumer.ToString(), group.ToString(),
+                                 topics, metadata.ToString(), nullptr,
+                                 std::move(listener));
+      }
+      break;
+    }
+    case OpCode::kUnsubscribe: {
+      Slice consumer;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer))) {
+        status = bus_->Unsubscribe(consumer.ToString());
+        std::lock_guard<std::mutex> lock(mu_);
+        rebalances_.erase(consumer.ToString());
+      }
+      break;
+    }
+    case OpCode::kPoll: {
+      Slice consumer;
+      uint64_t max_messages;
+      int64_t max_wait;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer) &&
+                    GetVarint64(&in, &max_messages) &&
+                    GetVarsint64(&in, &max_wait))) {
+        std::vector<Message> messages;
+        status = bus_->Poll(consumer.ToString(),
+                            static_cast<size_t>(max_messages), &messages,
+                            max_wait);
+        if (status.ok()) {
+          std::vector<TopicPartition> revoked, assigned;
+          auto buffer = BufferFor(consumer.ToString());
+          {
+            std::lock_guard<std::mutex> lock(buffer->mu);
+            revoked.swap(buffer->revoked);
+            assigned.swap(buffer->assigned);
+          }
+          PutTopicPartitionList(&result, revoked);
+          PutTopicPartitionList(&result, assigned);
+          PutWireMessageList(&result, messages);
+        }
+      }
+      break;
+    }
+    case OpCode::kFetch: {
+      TopicPartition tp;
+      uint64_t offset, max_messages;
+      if ((parsed = GetTopicPartition(&in, &tp) &&
+                    GetVarint64(&in, &offset) &&
+                    GetVarint64(&in, &max_messages))) {
+        std::vector<Message> messages;
+        status = bus_->Fetch(tp, offset, static_cast<size_t>(max_messages),
+                             &messages);
+        if (status.ok()) PutWireMessageList(&result, messages);
+      }
+      break;
+    }
+    case OpCode::kCommit:
+    case OpCode::kSeek: {
+      Slice consumer;
+      TopicPartition tp;
+      uint64_t offset;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer) &&
+                    GetTopicPartition(&in, &tp) &&
+                    GetVarint64(&in, &offset))) {
+        status = static_cast<OpCode>(request.opcode) == OpCode::kCommit
+                     ? bus_->Commit(consumer.ToString(), tp, offset)
+                     : bus_->Seek(consumer.ToString(), tp, offset);
+      }
+      break;
+    }
+    case OpCode::kEndOffset:
+    case OpCode::kBaseOffset: {
+      TopicPartition tp;
+      if ((parsed = GetTopicPartition(&in, &tp))) {
+        auto offset = static_cast<OpCode>(request.opcode) == OpCode::kEndOffset
+                          ? bus_->EndOffset(tp)
+                          : bus_->BaseOffset(tp);
+        status = offset.status();
+        if (offset.ok()) PutVarint64(&result, offset.value());
+      }
+      break;
+    }
+    case OpCode::kKillConsumer: {
+      Slice consumer;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer))) {
+        status = bus_->KillConsumer(consumer.ToString());
+      }
+      break;
+    }
+    case OpCode::kWakeConsumer: {
+      Slice consumer;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer))) {
+        status = bus_->WakeConsumer(consumer.ToString());
+      }
+      break;
+    }
+    case OpCode::kWake:
+      bus_->Wake();
+      break;
+    case OpCode::kCheckLiveness:
+      bus_->CheckLiveness();
+      break;
+    case OpCode::kAssignmentOf: {
+      Slice consumer;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer))) {
+        PutTopicPartitionList(&result, bus_->AssignmentOf(consumer.ToString()));
+      }
+      break;
+    }
+    case OpCode::kRebalanceCount:
+      PutVarint64(&result, bus_->rebalance_count());
+      break;
+    default:
+      status = Status::Corruption("unknown opcode " +
+                                  std::to_string(request.opcode));
+      break;
+  }
+  if (!parsed) status = Status::Corruption("malformed request payload");
+
+  PutStatus(&response.payload, status);
+  if (status.ok()) response.payload.append(result);
+  return response;
+}
+
+}  // namespace railgun::msg::remote

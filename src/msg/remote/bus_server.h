@@ -1,0 +1,96 @@
+// BusServer hosts any msg::Bus (in practice an InProcessBus, typically
+// the one owned by an engine::Cluster) behind a TCP listener speaking
+// the wire protocol of msg/remote/wire.h.
+//
+// Threading: one accept thread plus one thread per connection, each
+// handling its connection's requests strictly in order. Blocking Poll
+// parks *server-side* inside the hosted bus — the paired RemoteBus uses
+// a dedicated connection per consumer, so a parked poll never stalls
+// control traffic, and a WakeConsumer arriving on another connection
+// wakes it through the bus's own wake channel.
+//
+// Rebalance callbacks are streamed to clients piggybacked on Poll
+// responses: the server subscribes with a buffering listener, and the
+// hosted bus delivers revoke/assign synchronously inside that consumer's
+// own Poll, so the buffer is drained into the very response that poll
+// produces.
+#ifndef RAILGUN_MSG_REMOTE_BUS_SERVER_H_
+#define RAILGUN_MSG_REMOTE_BUS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msg/bus.h"
+#include "msg/remote/socket.h"
+#include "msg/remote/wire.h"
+
+namespace railgun::msg::remote {
+
+struct BusServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; port() reports the bound one.
+};
+
+class BusServer {
+ public:
+  BusServer(const BusServerOptions& options, Bus* bus);
+  ~BusServer();
+
+  BusServer(const BusServer&) = delete;
+  BusServer& operator=(const BusServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+  // "host:port" suitable for RemoteBusOptions::address.
+  std::string address() const {
+    return options_.host + ":" + std::to_string(port_);
+  }
+
+  // Decodes one request and executes it against `bus`, producing the
+  // response frame (same correlation id, opcode | kResponseBit).
+  // Malformed payloads and unknown opcodes yield a Corruption response;
+  // this never crashes on hostile input. Exposed for wire-level tests.
+  Frame HandleRequest(const Frame& request);
+
+ private:
+  // Revoke/assign lists buffered by the server-side listener until the
+  // consumer's next Poll response carries them to the client.
+  struct RebalanceBuffer {
+    std::mutex mu;
+    std::vector<TopicPartition> revoked;
+    std::vector<TopicPartition> assigned;
+  };
+
+  void AcceptLoop();
+  // Runs detached; erases its conns_ entry and drops the live count on
+  // exit so long-running servers don't accumulate per-connection state.
+  void ServeConnection(uint64_t conn_id, std::shared_ptr<Socket> sock);
+  std::shared_ptr<RebalanceBuffer> BufferFor(const std::string& consumer_id);
+
+  BusServerOptions options_;
+  Bus* bus_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+
+  ListenSocket listener_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // Guards conns_, live_connections_, rebalances_.
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Socket>> conns_;
+  size_t live_connections_ = 0;
+  std::condition_variable conns_drained_;  // Stop waits for count == 0.
+  std::map<std::string, std::shared_ptr<RebalanceBuffer>> rebalances_;
+};
+
+}  // namespace railgun::msg::remote
+
+#endif  // RAILGUN_MSG_REMOTE_BUS_SERVER_H_

@@ -1,0 +1,355 @@
+#include "msg/remote/remote_bus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/coding.h"
+
+namespace railgun::msg::remote {
+
+RemoteBus::RemoteBus(const RemoteBusOptions& options) : options_(options) {
+  address_status_ = ParseAddress(options_.address, &host_, &port_);
+}
+
+RemoteBus::~RemoteBus() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, conn] : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    conn->sock.Close();
+  }
+}
+
+Status RemoteBus::Connect() {
+  RAILGUN_RETURN_IF_ERROR(address_status_);
+  auto conn = ConnFor("");
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->connected) return Status::OK();
+  RAILGUN_ASSIGN_OR_RETURN(conn->sock, Socket::Connect(host_, port_));
+  conn->connected = true;
+  return Status::OK();
+}
+
+std::shared_ptr<RemoteBus::Conn> RemoteBus::ConnFor(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& conn = conns_[key];
+  if (conn == nullptr) conn = std::make_shared<Conn>();
+  return conn;
+}
+
+Status RemoteBus::Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
+                       const std::string& payload,
+                       std::string* result) const {
+  RAILGUN_RETURN_IF_ERROR(address_status_);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->connected) {
+    // (Re)connect once per call: cheap when the server is back, a fast
+    // Unavailable when it is not.
+    auto sock = Socket::Connect(host_, port_);
+    if (!sock.ok()) return sock.status();
+    conn->sock = std::move(sock).value();
+    conn->connected = true;
+  }
+
+  Frame request;
+  request.correlation_id = conn->next_correlation++;
+  request.opcode = static_cast<uint8_t>(opcode);
+  request.payload = payload;
+  std::string encoded;
+  EncodeFrame(request, &encoded);
+
+  auto fail = [&conn](Status status) {
+    conn->sock.Close();
+    conn->connected = false;
+    return status;
+  };
+
+  Status sent = conn->sock.SendAll(encoded.data(), encoded.size());
+  if (!sent.ok()) return fail(std::move(sent));
+
+  Frame response;
+  Status received = ReadFrame(&conn->sock, &response);
+  if (!received.ok()) return fail(std::move(received));
+  if (response.correlation_id != request.correlation_id ||
+      response.opcode != (request.opcode | kResponseBit)) {
+    return fail(Status::Corruption("response does not match request"));
+  }
+
+  Slice in(response.payload);
+  Status remote;
+  if (!GetStatus(&in, &remote)) {
+    return fail(Status::Corruption("malformed response status"));
+  }
+  RAILGUN_RETURN_IF_ERROR(remote);
+  if (result != nullptr) result->assign(in.data(), in.size());
+  return Status::OK();
+}
+
+Status RemoteBus::CallControl(OpCode opcode, const std::string& payload,
+                              std::string* result) const {
+  return Call(ConnFor(""), opcode, payload, result);
+}
+
+// --- Topic administration --------------------------------------------
+
+Status RemoteBus::CreateTopic(const std::string& topic, int partitions) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, topic);
+  PutVarint32(&payload, static_cast<uint32_t>(std::max(partitions, 0)));
+  return CallControl(OpCode::kCreateTopic, payload, nullptr);
+}
+
+Status RemoteBus::DeleteTopic(const std::string& topic) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, topic);
+  return CallControl(OpCode::kDeleteTopic, payload, nullptr);
+}
+
+StatusOr<int> RemoteBus::NumPartitions(const std::string& topic) const {
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, topic);
+  RAILGUN_RETURN_IF_ERROR(
+      CallControl(OpCode::kNumPartitions, payload, &result));
+  Slice in(result);
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) {
+    return Status::Corruption("malformed NumPartitions response");
+  }
+  return static_cast<int>(n);
+}
+
+std::vector<TopicPartition> RemoteBus::PartitionsOf(
+    const std::string& topic) const {
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, topic);
+  std::vector<TopicPartition> tps;
+  if (!CallControl(OpCode::kPartitionsOf, payload, &result).ok()) return tps;
+  Slice in(result);
+  GetTopicPartitionList(&in, &tps);
+  return tps;
+}
+
+// --- Producing -------------------------------------------------------
+
+StatusOr<uint64_t> RemoteBus::Produce(const std::string& topic,
+                                      const std::string& key,
+                                      std::string payload_bytes) {
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, topic);
+  PutLengthPrefixedSlice(&payload, key);
+  PutLengthPrefixedSlice(&payload, payload_bytes);
+  RAILGUN_RETURN_IF_ERROR(CallControl(OpCode::kProduce, payload, &result));
+  Slice in(result);
+  uint64_t offset;
+  if (!GetVarint64(&in, &offset)) {
+    return Status::Corruption("malformed Produce response");
+  }
+  return offset;
+}
+
+StatusOr<uint64_t> RemoteBus::ProduceToPartition(const std::string& topic,
+                                                 int partition,
+                                                 std::string key,
+                                                 std::string payload_bytes) {
+  // Same contract as the in-process bus: never silently reroute a bad
+  // partition.
+  if (partition < 0) return Status::InvalidArgument("bad partition");
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, topic);
+  PutVarint32(&payload, static_cast<uint32_t>(partition));
+  PutLengthPrefixedSlice(&payload, key);
+  PutLengthPrefixedSlice(&payload, payload_bytes);
+  RAILGUN_RETURN_IF_ERROR(
+      CallControl(OpCode::kProduceToPartition, payload, &result));
+  Slice in(result);
+  uint64_t offset;
+  if (!GetVarint64(&in, &offset)) {
+    return Status::Corruption("malformed Produce response");
+  }
+  return offset;
+}
+
+Status RemoteBus::ProduceBatch(const std::string& topic,
+                               std::vector<ProduceRecord> records) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, topic);
+  PutVarint32(&payload, static_cast<uint32_t>(records.size()));
+  for (const auto& record : records) {
+    PutLengthPrefixedSlice(&payload, record.key);
+    PutLengthPrefixedSlice(&payload, record.payload);
+  }
+  return CallControl(OpCode::kProduceBatch, payload, nullptr);
+}
+
+// --- Group management ------------------------------------------------
+
+Status RemoteBus::Subscribe(const std::string& consumer_id,
+                            const std::string& group,
+                            const std::vector<std::string>& topics,
+                            const std::string& metadata,
+                            AssignmentStrategy* strategy,
+                            RebalanceListener listener) {
+  (void)strategy;  // Cannot cross the wire; the server default applies.
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  PutLengthPrefixedSlice(&payload, group);
+  PutVarint32(&payload, static_cast<uint32_t>(topics.size()));
+  for (const auto& topic : topics) PutLengthPrefixedSlice(&payload, topic);
+  PutLengthPrefixedSlice(&payload, metadata);
+  {
+    // Installed before the RPC: the first poll may already carry the
+    // initial assignment.
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners_[consumer_id] = std::move(listener);
+  }
+  const Status subscribed = CallControl(OpCode::kSubscribe, payload, nullptr);
+  if (!subscribed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners_.erase(consumer_id);
+  }
+  return subscribed;
+}
+
+Status RemoteBus::Unsubscribe(const std::string& consumer_id) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  const Status status = CallControl(OpCode::kUnsubscribe, payload, nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(consumer_id);
+  conns_.erase(consumer_id);  // Drop the dedicated poll connection.
+  return status;
+}
+
+// --- Consuming -------------------------------------------------------
+
+Status RemoteBus::Poll(const std::string& consumer_id, size_t max_messages,
+                       std::vector<Message>* out, Micros max_wait) {
+  out->clear();
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  PutVarint64(&payload, max_messages);
+  PutVarsint64(&payload, max_wait);
+  // The dedicated per-consumer connection lets the server park this
+  // poll without stalling control traffic (wakes, produces, commits).
+  RAILGUN_RETURN_IF_ERROR(
+      Call(ConnFor(consumer_id), OpCode::kPoll, payload, &result));
+
+  Slice in(result);
+  std::vector<TopicPartition> revoked, assigned;
+  if (!GetTopicPartitionList(&in, &revoked) ||
+      !GetTopicPartitionList(&in, &assigned) ||
+      !GetWireMessageList(&in, out)) {
+    return Status::Corruption("malformed Poll response");
+  }
+  if (!revoked.empty() || !assigned.empty()) {
+    RebalanceListener listener;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = listeners_.find(consumer_id);
+      if (it != listeners_.end()) listener = it->second;
+    }
+    if (!revoked.empty() && listener.on_revoked) listener.on_revoked(revoked);
+    if (!assigned.empty() && listener.on_assigned) {
+      listener.on_assigned(assigned);
+    }
+  }
+  return Status::OK();
+}
+
+Status RemoteBus::Fetch(const TopicPartition& tp, uint64_t offset,
+                        size_t max_messages,
+                        std::vector<Message>* out) const {
+  out->clear();
+  std::string payload, result;
+  PutTopicPartition(&payload, tp);
+  PutVarint64(&payload, offset);
+  PutVarint64(&payload, max_messages);
+  RAILGUN_RETURN_IF_ERROR(CallControl(OpCode::kFetch, payload, &result));
+  Slice in(result);
+  if (!GetWireMessageList(&in, out)) {
+    return Status::Corruption("malformed Fetch response");
+  }
+  return Status::OK();
+}
+
+Status RemoteBus::Commit(const std::string& consumer_id,
+                         const TopicPartition& tp, uint64_t next_offset) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  PutTopicPartition(&payload, tp);
+  PutVarint64(&payload, next_offset);
+  return CallControl(OpCode::kCommit, payload, nullptr);
+}
+
+Status RemoteBus::Seek(const std::string& consumer_id,
+                       const TopicPartition& tp, uint64_t offset) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  PutTopicPartition(&payload, tp);
+  PutVarint64(&payload, offset);
+  return CallControl(OpCode::kSeek, payload, nullptr);
+}
+
+StatusOr<uint64_t> RemoteBus::EndOffset(const TopicPartition& tp) const {
+  std::string payload, result;
+  PutTopicPartition(&payload, tp);
+  RAILGUN_RETURN_IF_ERROR(CallControl(OpCode::kEndOffset, payload, &result));
+  Slice in(result);
+  uint64_t offset;
+  if (!GetVarint64(&in, &offset)) {
+    return Status::Corruption("malformed EndOffset response");
+  }
+  return offset;
+}
+
+StatusOr<uint64_t> RemoteBus::BaseOffset(const TopicPartition& tp) const {
+  std::string payload, result;
+  PutTopicPartition(&payload, tp);
+  RAILGUN_RETURN_IF_ERROR(CallControl(OpCode::kBaseOffset, payload, &result));
+  Slice in(result);
+  uint64_t offset;
+  if (!GetVarint64(&in, &offset)) {
+    return Status::Corruption("malformed BaseOffset response");
+  }
+  return offset;
+}
+
+Status RemoteBus::KillConsumer(const std::string& consumer_id) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  return CallControl(OpCode::kKillConsumer, payload, nullptr);
+}
+
+void RemoteBus::CheckLiveness() {
+  CallControl(OpCode::kCheckLiveness, "", nullptr);
+}
+
+Status RemoteBus::WakeConsumer(const std::string& consumer_id) {
+  std::string payload;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  return CallControl(OpCode::kWakeConsumer, payload, nullptr);
+}
+
+void RemoteBus::Wake() { CallControl(OpCode::kWake, "", nullptr); }
+
+std::vector<TopicPartition> RemoteBus::AssignmentOf(
+    const std::string& consumer_id) {
+  std::string payload, result;
+  PutLengthPrefixedSlice(&payload, consumer_id);
+  std::vector<TopicPartition> tps;
+  if (!CallControl(OpCode::kAssignmentOf, payload, &result).ok()) return tps;
+  Slice in(result);
+  GetTopicPartitionList(&in, &tps);
+  return tps;
+}
+
+uint64_t RemoteBus::rebalance_count() const {
+  std::string result;
+  if (!CallControl(OpCode::kRebalanceCount, "", &result).ok()) return 0;
+  Slice in(result);
+  uint64_t count = 0;
+  GetVarint64(&in, &count);
+  return count;
+}
+
+}  // namespace railgun::msg::remote

@@ -1,0 +1,128 @@
+// RemoteBus: a msg::Bus implementation that forwards every call to a
+// BusServer over TCP, so front ends and processor units attach to a
+// broker in another process without touching engine/ or api/ code.
+//
+// Connection model: one control connection for administrative and
+// producer traffic, plus one lazily created connection per consumer for
+// Poll — a blocking poll parks server-side on the consumer connection
+// while WakeConsumer/Produce traffic flows on the control connection,
+// mirroring the in-process wake-on-arrival contract. Each connection
+// carries one outstanding request at a time (correlation ids are still
+// checked defensively).
+//
+// Failure model: any transport error marks the connection broken and
+// surfaces Status::Unavailable; subsequent calls retry the connect once
+// per call. Consumer-group state does not survive a server restart — the
+// engine's poll-error paths (backoff + request deadlines) handle that,
+// exactly as they would a fenced consumer.
+//
+// Rebalance callbacks arrive piggybacked on Poll responses and are
+// invoked synchronously before Poll returns, preserving the Bus
+// contract. The client-side AssignmentStrategy cannot cross the wire:
+// remote subscribers always run the server's default strategy.
+#ifndef RAILGUN_MSG_REMOTE_REMOTE_BUS_H_
+#define RAILGUN_MSG_REMOTE_REMOTE_BUS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "msg/bus.h"
+#include "msg/remote/socket.h"
+#include "msg/remote/wire.h"
+
+namespace railgun::msg::remote {
+
+struct RemoteBusOptions {
+  std::string address;  // "host:port" of a BusServer.
+};
+
+class RemoteBus : public Bus {
+ public:
+  explicit RemoteBus(const RemoteBusOptions& options);
+  ~RemoteBus() override;
+
+  RemoteBus(const RemoteBus&) = delete;
+  RemoteBus& operator=(const RemoteBus&) = delete;
+
+  // Establishes the control connection (also validates the address).
+  // Calls made without (or after a failed) Connect lazily retry.
+  Status Connect();
+
+  // --- Bus interface -------------------------------------------------
+  Status CreateTopic(const std::string& topic, int partitions) override;
+  Status DeleteTopic(const std::string& topic) override;
+  StatusOr<int> NumPartitions(const std::string& topic) const override;
+  std::vector<TopicPartition> PartitionsOf(
+      const std::string& topic) const override;
+
+  StatusOr<uint64_t> Produce(const std::string& topic, const std::string& key,
+                             std::string payload) override;
+  StatusOr<uint64_t> ProduceToPartition(const std::string& topic,
+                                        int partition, std::string key,
+                                        std::string payload) override;
+  Status ProduceBatch(const std::string& topic,
+                      std::vector<ProduceRecord> records) override;
+
+  Status Subscribe(const std::string& consumer_id, const std::string& group,
+                   const std::vector<std::string>& topics,
+                   const std::string& metadata, AssignmentStrategy* strategy,
+                   RebalanceListener listener) override;
+  Status Unsubscribe(const std::string& consumer_id) override;
+
+  Status Poll(const std::string& consumer_id, size_t max_messages,
+              std::vector<Message>* out, Micros max_wait = 0) override;
+  Status Fetch(const TopicPartition& tp, uint64_t offset,
+               size_t max_messages, std::vector<Message>* out) const override;
+
+  Status Commit(const std::string& consumer_id, const TopicPartition& tp,
+                uint64_t next_offset) override;
+  Status Seek(const std::string& consumer_id, const TopicPartition& tp,
+              uint64_t offset) override;
+
+  StatusOr<uint64_t> EndOffset(const TopicPartition& tp) const override;
+  StatusOr<uint64_t> BaseOffset(const TopicPartition& tp) const override;
+
+  Status KillConsumer(const std::string& consumer_id) override;
+  void CheckLiveness() override;
+  Status WakeConsumer(const std::string& consumer_id) override;
+  void Wake() override;
+
+  std::vector<TopicPartition> AssignmentOf(
+      const std::string& consumer_id) override;
+  uint64_t rebalance_count() const override;
+
+ private:
+  struct Conn {
+    std::mutex mu;
+    Socket sock;
+    uint64_t next_correlation = 1;
+    bool connected = false;
+  };
+
+  // Returns the connection for `key` ("" = control, else per-consumer),
+  // creating and connecting it if needed.
+  std::shared_ptr<Conn> ConnFor(const std::string& key) const;
+  // One RPC: send the request on `conn`, await its response, split off
+  // the remote status; *result receives the RPC-specific fields (only
+  // populated when the remote status is OK).
+  Status Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
+              const std::string& payload, std::string* result) const;
+  Status CallControl(OpCode opcode, const std::string& payload,
+                     std::string* result) const;
+
+  RemoteBusOptions options_;
+  std::string host_;
+  int port_ = 0;
+  Status address_status_;  // Result of parsing options_.address.
+
+  mutable std::mutex mu_;  // Guards conns_ and listeners_.
+  mutable std::map<std::string, std::shared_ptr<Conn>> conns_;
+  std::map<std::string, RebalanceListener> listeners_;
+};
+
+}  // namespace railgun::msg::remote
+
+#endif  // RAILGUN_MSG_REMOTE_REMOTE_BUS_H_

@@ -1,0 +1,166 @@
+#include "msg/remote/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace railgun::msg::remote {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Status FillSockaddr(const std::string& host, int port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1), std::memory_order_release);
+  }
+  return *this;
+}
+
+StatusOr<Socket> Socket::Connect(const std::string& host, int port) {
+  sockaddr_in addr;
+  RAILGUN_RETURN_IF_ERROR(FillSockaddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect to " + host + ":" + std::to_string(port));
+  }
+  // The wire protocol is request/response with small frames: latency
+  // matters more than segment coalescing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status Socket::SendAll(const char* data, size_t n) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as a Status, not SIGPIPE.
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return Errno("send");
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(char* data, size_t n) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, data, n, 0);
+    if (got == 0) return Status::Unavailable("connection closed by peer");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    data += got;
+    n -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1), std::memory_order_release);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+StatusOr<ListenSocket> ListenSocket::Listen(const std::string& host,
+                                            int port) {
+  sockaddr_in addr;
+  RAILGUN_RETURN_IF_ERROR(FillSockaddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  ListenSocket sock;
+  sock.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  sock.port_ = ntohs(addr.sin_port);
+  return sock;
+}
+
+StatusOr<Socket> ListenSocket::Accept() {
+  const int fd = ::accept(fd_.load(std::memory_order_acquire), nullptr,
+                          nullptr);
+  if (fd < 0) return Errno("accept");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+void ListenSocket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown on a listening socket unblocks a parked accept (Linux
+    // returns EINVAL to the waiter).
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+Status ParseAddress(const std::string& address, std::string* host,
+                    int* port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument("address must be host:port, got \"" +
+                                   address + "\"");
+  }
+  *host = address.substr(0, colon);
+  char* end = nullptr;
+  const long parsed = std::strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed <= 0 || parsed > 65535) {
+    return Status::InvalidArgument("bad port in address \"" + address +
+                                   "\"");
+  }
+  *port = static_cast<int>(parsed);
+  return Status::OK();
+}
+
+}  // namespace railgun::msg::remote

@@ -1,0 +1,80 @@
+// Minimal RAII TCP helpers for the remote bus transport: blocking
+// sockets with full-buffer send/recv, an ephemeral-port listener, and
+// "host:port" address parsing. POSIX-only, like the rest of the tree.
+#ifndef RAILGUN_MSG_REMOTE_SOCKET_H_
+#define RAILGUN_MSG_REMOTE_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace railgun::msg::remote {
+
+// The descriptor is atomic so another thread may ShutdownBoth() a
+// socket whose owner is parked in RecvAll (the server's Stop path);
+// Close() itself must only race with ShutdownBoth, never with an
+// in-flight Send/Recv on another thread.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  static StatusOr<Socket> Connect(const std::string& host, int port);
+
+  // Blocks until all n bytes are written / read. Returns Unavailable on
+  // EOF or any socket error (the peer is gone, not misbehaving).
+  Status SendAll(const char* data, size_t n);
+  Status RecvAll(char* data, size_t n);
+
+  // Unblocks any thread parked in SendAll/RecvAll on this socket.
+  void ShutdownBoth();
+  void Close();
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // port 0 binds an ephemeral port; port() reports the resolved one.
+  static StatusOr<ListenSocket> Listen(const std::string& host, int port);
+
+  StatusOr<Socket> Accept();
+
+  // Unblocks a thread parked in Accept, then closes.
+  void Close();
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  int port() const { return port_; }
+
+ private:
+  std::atomic<int> fd_{-1};
+  int port_ = 0;
+};
+
+// Splits "host:port". Returns InvalidArgument on malformed input.
+Status ParseAddress(const std::string& address, std::string* host,
+                    int* port);
+
+}  // namespace railgun::msg::remote
+
+#endif  // RAILGUN_MSG_REMOTE_SOCKET_H_

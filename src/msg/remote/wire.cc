@@ -1,0 +1,163 @@
+#include "msg/remote/wire.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace railgun::msg::remote {
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  std::string body;
+  PutVarint64(&body, frame.correlation_id);
+  body.push_back(static_cast<char>(frame.opcode));
+  body.append(frame.payload);
+
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  PutFixed32(out, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  out->append(body);
+}
+
+Status DecodeBody(const Slice& body, uint32_t masked_crc, Frame* out) {
+  const uint32_t expected = crc32c::Unmask(masked_crc);
+  if (crc32c::Value(body.data(), body.size()) != expected) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  Slice in = body;
+  if (!GetVarint64(&in, &out->correlation_id) || in.empty()) {
+    return Status::Corruption("truncated frame body");
+  }
+  out->opcode = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  out->payload.assign(in.data(), in.size());
+  return Status::OK();
+}
+
+Status ReadFrame(Socket* sock, Frame* out) {
+  char header[kFrameHeaderSize];
+  RAILGUN_RETURN_IF_ERROR(sock->RecvAll(header, sizeof(header)));
+  const uint32_t body_len = DecodeFixed32(header);
+  const uint32_t masked_crc = DecodeFixed32(header + 4);
+  if (body_len > kMaxFrameBody) {
+    return Status::Corruption("oversized frame body");
+  }
+  std::string body(body_len, '\0');
+  RAILGUN_RETURN_IF_ERROR(sock->RecvAll(body.data(), body.size()));
+  return DecodeBody(Slice(body), masked_crc, out);
+}
+
+Status DecodeFrame(Slice* in, Frame* out) {
+  if (in->size() < kFrameHeaderSize) {
+    return Status::Corruption("truncated frame header");
+  }
+  uint32_t body_len, masked_crc;
+  GetFixed32(in, &body_len);
+  GetFixed32(in, &masked_crc);
+  if (body_len > kMaxFrameBody) {
+    return Status::Corruption("oversized frame body");
+  }
+  if (in->size() < body_len) {
+    return Status::Corruption("truncated frame body");
+  }
+  const Slice body(in->data(), body_len);
+  in->remove_prefix(body_len);
+  return DecodeBody(body, masked_crc, out);
+}
+
+void PutStatus(std::string* out, const Status& status) {
+  PutVarint32(out, static_cast<uint32_t>(status.code()));
+  PutLengthPrefixedSlice(out, status.message());
+}
+
+bool GetStatus(Slice* in, Status* status) {
+  uint32_t code;
+  Slice message;
+  if (!GetVarint32(in, &code) || !GetLengthPrefixedSlice(in, &message)) {
+    return false;
+  }
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) return false;
+  *status = Status(static_cast<StatusCode>(code), message.ToString());
+  return true;
+}
+
+void PutTopicPartition(std::string* out, const TopicPartition& tp) {
+  PutLengthPrefixedSlice(out, tp.topic);
+  PutVarint32(out, static_cast<uint32_t>(tp.partition));
+}
+
+bool GetTopicPartition(Slice* in, TopicPartition* tp) {
+  Slice topic;
+  uint32_t partition;
+  if (!GetLengthPrefixedSlice(in, &topic) || !GetVarint32(in, &partition) ||
+      partition > static_cast<uint32_t>(INT32_MAX)) {
+    return false;
+  }
+  tp->topic = topic.ToString();
+  tp->partition = static_cast<int>(partition);
+  return true;
+}
+
+void PutTopicPartitionList(std::string* out,
+                           const std::vector<TopicPartition>& tps) {
+  PutVarint32(out, static_cast<uint32_t>(tps.size()));
+  for (const auto& tp : tps) PutTopicPartition(out, tp);
+}
+
+bool GetTopicPartitionList(Slice* in, std::vector<TopicPartition>* tps) {
+  uint32_t n;
+  if (!GetVarint32(in, &n)) return false;
+  tps->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    TopicPartition tp;
+    if (!GetTopicPartition(in, &tp)) return false;
+    tps->push_back(std::move(tp));
+  }
+  return true;
+}
+
+void PutWireMessage(std::string* out, const Message& message) {
+  PutLengthPrefixedSlice(out, message.topic);
+  PutVarint32(out, static_cast<uint32_t>(message.partition));
+  PutVarint64(out, message.offset);
+  PutLengthPrefixedSlice(out, message.key);
+  PutLengthPrefixedSlice(out, message.payload);
+  PutVarsint64(out, message.publish_time);
+  PutVarsint64(out, message.visible_time);
+}
+
+bool GetWireMessage(Slice* in, Message* message) {
+  Slice topic, key, payload;
+  uint32_t partition;
+  if (!GetLengthPrefixedSlice(in, &topic) || !GetVarint32(in, &partition) ||
+      partition > static_cast<uint32_t>(INT32_MAX) ||
+      !GetVarint64(in, &message->offset) ||
+      !GetLengthPrefixedSlice(in, &key) ||
+      !GetLengthPrefixedSlice(in, &payload) ||
+      !GetVarsint64(in, &message->publish_time) ||
+      !GetVarsint64(in, &message->visible_time)) {
+    return false;
+  }
+  message->topic = topic.ToString();
+  message->partition = static_cast<int>(partition);
+  message->key = key.ToString();
+  message->payload = payload.ToString();
+  return true;
+}
+
+void PutWireMessageList(std::string* out,
+                        const std::vector<Message>& messages) {
+  PutVarint32(out, static_cast<uint32_t>(messages.size()));
+  for (const auto& message : messages) PutWireMessage(out, message);
+}
+
+bool GetWireMessageList(Slice* in, std::vector<Message>* messages) {
+  uint32_t n;
+  if (!GetVarint32(in, &n)) return false;
+  messages->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Message message;
+    if (!GetWireMessage(in, &message)) return false;
+    messages->push_back(std::move(message));
+  }
+  return true;
+}
+
+}  // namespace railgun::msg::remote

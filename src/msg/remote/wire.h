@@ -1,0 +1,106 @@
+// Binary wire protocol of the remote message bus. One RPC = one request
+// frame from client to server and one response frame back, matched by
+// correlation id (the client may multiplex connections, the server
+// answers in request order per connection).
+//
+// Frame layout (all integers little-endian / LEB128 varints from
+// common/coding):
+//
+//   [fixed32 body_len][fixed32 masked crc32c(body)][body]
+//   body = [varint64 correlation_id][u8 opcode][payload]
+//
+// Response frames reuse the request opcode with kResponseBit set, and
+// their payload always starts with an encoded Status; RPC-specific
+// result fields follow only when that status is OK. Decoders return
+// Status::Corruption for truncated frames, oversized bodies, checksum
+// mismatches and malformed payloads — never crash, never trust lengths.
+#ifndef RAILGUN_MSG_REMOTE_WIRE_H_
+#define RAILGUN_MSG_REMOTE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "msg/message.h"
+#include "msg/remote/socket.h"
+
+namespace railgun::msg::remote {
+
+// Frames larger than this are rejected as corrupt: nothing the bus
+// exchanges legitimately approaches it, and it bounds what a broken (or
+// hostile) peer can make the other side allocate.
+constexpr uint32_t kMaxFrameBody = 64u << 20;
+
+constexpr size_t kFrameHeaderSize = 8;  // body_len + masked crc.
+
+constexpr uint8_t kResponseBit = 0x80;
+
+enum class OpCode : uint8_t {
+  kCreateTopic = 1,
+  kDeleteTopic = 2,
+  kNumPartitions = 3,
+  kPartitionsOf = 4,
+  kProduce = 5,
+  kProduceToPartition = 6,
+  kProduceBatch = 7,
+  kSubscribe = 8,
+  kUnsubscribe = 9,
+  kPoll = 10,
+  kFetch = 11,
+  kCommit = 12,
+  kSeek = 13,
+  kEndOffset = 14,
+  kBaseOffset = 15,
+  kKillConsumer = 16,
+  kWakeConsumer = 17,
+  kWake = 18,
+  kAssignmentOf = 19,
+  kCheckLiveness = 20,
+  kRebalanceCount = 21,
+};
+
+struct Frame {
+  uint64_t correlation_id = 0;
+  uint8_t opcode = 0;
+  std::string payload;
+};
+
+// Appends the full wire encoding (header + body) of one frame.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+// Parses one frame from *in, advancing past it on success.
+Status DecodeFrame(Slice* in, Frame* out);
+
+// Validates and parses a frame body whose header was already consumed
+// (the socket path reads header and body separately).
+Status DecodeBody(const Slice& body, uint32_t masked_crc, Frame* out);
+
+// Reads exactly one frame off a blocking socket: header, bounds check,
+// body, checksum. Unavailable for transport failures, Corruption for
+// framing violations (after which the stream cannot be trusted).
+Status ReadFrame(Socket* sock, Frame* out);
+
+// ----- Payload building blocks shared by RemoteBus and BusServer -----
+
+void PutStatus(std::string* out, const Status& status);
+bool GetStatus(Slice* in, Status* status);
+
+void PutTopicPartition(std::string* out, const TopicPartition& tp);
+bool GetTopicPartition(Slice* in, TopicPartition* tp);
+
+void PutTopicPartitionList(std::string* out,
+                           const std::vector<TopicPartition>& tps);
+bool GetTopicPartitionList(Slice* in, std::vector<TopicPartition>* tps);
+
+void PutWireMessage(std::string* out, const Message& message);
+bool GetWireMessage(Slice* in, Message* message);
+
+void PutWireMessageList(std::string* out,
+                        const std::vector<Message>& messages);
+bool GetWireMessageList(Slice* in, std::vector<Message>* messages);
+
+}  // namespace railgun::msg::remote
+
+#endif  // RAILGUN_MSG_REMOTE_WIRE_H_

@@ -38,6 +38,20 @@ WindowOperator* WindowManager::GetOrCreate(const WindowSpec& spec) {
       break;
   }
 
+  // State restored before this operator was re-created (recovery may
+  // run RestorePositions first): apply it now, replacing the fresh
+  // count tail with the checkpointed position.
+  auto pending = pending_restores_.find(key);
+  if (pending != pending_restores_.end()) {
+    op->current_epoch_ = pending->second.epoch;
+    op->in_window_ = pending->second.in_window;
+    if (pending->second.has_tail) {
+      op->count_tail_ = reservoir_->NewIteratorAtPosition(
+          pending->second.tail_chunk_seq, pending->second.tail_index);
+    }
+    pending_restores_.erase(pending);
+  }
+
   WindowOperator* raw = op.get();
   operators_[key] = std::move(op);
   return raw;
@@ -148,20 +162,29 @@ Status WindowManager::RestorePositions(const std::string& blob) {
     }
     const bool has_tail = in[0] != 0;
     in.remove_prefix(1);
+    uint64_t seq = 0, index = 0;
+    if (has_tail &&
+        (!GetVarint64(&in, &seq) || !GetVarint64(&in, &index))) {
+      return Status::Corruption("count tail position");
+    }
     auto it = operators_.find(key.ToString());
     if (it != operators_.end()) {
       it->second->current_epoch_ = epoch;
       it->second->in_window_ = in_window;
-    }
-    if (has_tail) {
-      uint64_t seq, index;
-      if (!GetVarint64(&in, &seq) || !GetVarint64(&in, &index)) {
-        return Status::Corruption("count tail position");
-      }
-      if (it != operators_.end()) {
+      if (has_tail) {
         it->second->count_tail_ =
             reservoir_->NewIteratorAtPosition(seq, index);
       }
+    } else {
+      // The operator has not been re-created yet (restore ran before the
+      // plan registered its windows): stash for GetOrCreate instead of
+      // silently dropping recovery state.
+      PendingOperatorState& pending = pending_restores_[key.ToString()];
+      pending.epoch = epoch;
+      pending.in_window = in_window;
+      pending.has_tail = has_tail;
+      pending.tail_chunk_seq = seq;
+      pending.tail_index = index;
     }
   }
   return Status::OK();

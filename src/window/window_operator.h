@@ -66,14 +66,28 @@ class WindowManager {
 
   // Serializes / restores the position of every edge iterator (used by
   // checkpointing so recovered windows resume exactly where they were).
+  // Restore may run before the plan re-creates its operators: entries
+  // with no matching operator are stashed and applied by GetOrCreate, so
+  // recovery state survives either ordering.
   void SavePositions(std::string* blob) const;
   Status RestorePositions(const std::string& blob);
 
  private:
   friend class WindowOperator;
 
+  // Per-operator scalar state parsed by RestorePositions before the
+  // operator itself was re-created; applied (and dropped) on creation.
+  struct PendingOperatorState {
+    Micros epoch = -1;
+    uint64_t in_window = 0;
+    bool has_tail = false;
+    uint64_t tail_chunk_seq = 0;
+    uint64_t tail_index = 0;
+  };
+
   reservoir::Reservoir* reservoir_;
   std::map<std::string, std::unique_ptr<WindowOperator>> operators_;
+  std::map<std::string, PendingOperatorState> pending_restores_;
   // Shared head/tail iterators keyed by edge offset.
   std::map<Micros, std::unique_ptr<reservoir::ReservoirIterator>> heads_;
   std::map<Micros, std::unique_ptr<reservoir::ReservoirIterator>> tails_;

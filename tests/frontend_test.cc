@@ -6,6 +6,7 @@
 #include <atomic>
 
 #include "engine/frontend.h"
+#include "msg/broker.h"
 
 namespace railgun::engine {
 namespace {

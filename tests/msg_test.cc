@@ -376,6 +376,64 @@ TEST(BlockingPollTest, RebalanceWhileParkedDeliversCallbacksExactlyOnce) {
   EXPECT_EQ(assigned_calls.load(), 1);
 }
 
+TEST(BlockingPollTest, ParkDeadlineFollowsTheBusClockDomain) {
+  // A bus on a simulated clock must interpret max_wait in virtual time,
+  // the same domain as message visibility — not as a real-time deadline.
+  SimulatedClock clock(0);
+  BusOptions options = FastBus(&clock);
+  options.session_timeout = kMicrosPerHour;  // Irrelevant here.
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Assignment.
+
+  // Nothing is produced. Poll with a 10-virtual-second max_wait; another
+  // thread advances the simulated clock past the deadline almost
+  // immediately. The poll must return as soon as it notices the virtual
+  // deadline passed — not sleep 10 real seconds.
+  std::thread advancer([&clock] {
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+    clock.Advance(10 * kMicrosPerSecond);
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, 10 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  advancer.join();
+  EXPECT_TRUE(out.empty());
+  EXPECT_LT(elapsed, 2 * kMicrosPerSecond)
+      << "virtual-time max_wait was slept out in real time";
+}
+
+TEST(BlockingPollTest, SimulatedVisibilityWakesParkedConsumer) {
+  // Delivery delay in virtual time: a parked consumer must notice the
+  // message became visible once the simulated clock advances, without
+  // any extra produce or wake.
+  SimulatedClock clock(0);
+  BusOptions options;
+  options.delivery_delay = kMicrosPerSecond;
+  options.session_timeout = kMicrosPerHour;
+  options.clock = &clock;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Assignment.
+  ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", "m").ok());
+
+  std::thread advancer([&clock] {
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+    clock.Advance(kMicrosPerSecond);  // Message becomes visible.
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(bus.Poll("c", 10, &out, kMicrosPerHour).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  advancer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "m");
+  EXPECT_LT(elapsed, 2 * kMicrosPerSecond);
+}
+
 TEST(RetentionTest, TruncatesBelowMinimumCommittedOffset) {
   BusOptions options = FastBus();
   options.retention_messages = 5;
@@ -424,6 +482,41 @@ TEST(RetentionTest, PartiallyCommittedConsumerPinsTheFloor) {
   ASSERT_TRUE(bus.Poll("c", 100, &out).ok());
   ASSERT_FALSE(out.empty());
   EXPECT_EQ(out[0].offset, 4u);  // Nothing unread was lost.
+}
+
+TEST(RetentionTest, SeekClampsToRetainedBase) {
+  BusOptions options = FastBus();
+  options.retention_messages = 10;
+  MessageBus bus(options);
+  ASSERT_TRUE(bus.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c", 10, &out).ok());  // Assignment.
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(bus.Commit("c", {"t", 0}, 100).ok());
+  ASSERT_TRUE(bus.ProduceToPartition("t", 0, "k", "100").ok());
+  const uint64_t base = bus.BaseOffset({"t", 0}).value();
+  ASSERT_GT(base, 0u);
+
+  // A replaying consumer seeking below the trimmed head must be clamped
+  // to the earliest retained message, like Fetch — never positioned (and
+  // its committed floor never pinned) inside truncated data.
+  ASSERT_TRUE(bus.Seek("c", {"t", 0}, 0).ok());
+  EXPECT_EQ(bus.PositionOf("c", {"t", 0}).value(), base)
+      << "seek positioned the consumer inside truncated data";
+  ASSERT_TRUE(bus.Poll("c", 1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, base);
+
+  // Seeks into retained data still rewind exactly.
+  ASSERT_TRUE(bus.Seek("c", {"t", 0}, base + 5).ok());
+  EXPECT_EQ(bus.PositionOf("c", {"t", 0}).value(), base + 5);
+  ASSERT_TRUE(bus.Poll("c", 1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, base + 5);
 }
 
 TEST(RoundRobinTest, SpreadsPartitionsEvenly) {

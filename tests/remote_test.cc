@@ -1,0 +1,517 @@
+// Tests for the remote transport: wire-protocol robustness (truncated
+// frames, flipped bits, unknown opcodes must yield Status::Corruption,
+// never crash), RemoteBus <-> BusServer behavior over a loopback socket
+// (produce/poll, blocking poll wake-on-arrival, rebalance callback
+// streaming), the full remote api::Client quickstart flow, and
+// kill-the-server failure handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/client.h"
+#include "api/remote_ddl.h"
+#include "engine/cluster.h"
+#include "msg/broker.h"
+#include "msg/remote/bus_server.h"
+#include "msg/remote/remote_bus.h"
+#include "msg/remote/socket.h"
+#include "msg/remote/wire.h"
+
+namespace railgun::msg::remote {
+namespace {
+
+Frame SampleFrame() {
+  Frame frame;
+  frame.correlation_id = 0x12345;
+  frame.opcode = static_cast<uint8_t>(OpCode::kProduce);
+  PutLengthPrefixedSlice(&frame.payload, "topic");
+  PutLengthPrefixedSlice(&frame.payload, "key");
+  PutLengthPrefixedSlice(&frame.payload, "payload-bytes");
+  return frame;
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const Frame frame = SampleFrame();
+  std::string wire;
+  EncodeFrame(frame, &wire);
+
+  Slice in(wire);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded.correlation_id, frame.correlation_id);
+  EXPECT_EQ(decoded.opcode, frame.opcode);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(WireTest, EveryTruncationIsCorruptionNeverACrash) {
+  std::string wire;
+  EncodeFrame(SampleFrame(), &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    const std::string prefix = wire.substr(0, len);
+    Slice in(prefix);
+    Frame decoded;
+    const Status status = DecodeFrame(&in, &decoded);
+    EXPECT_TRUE(status.IsCorruption()) << "prefix length " << len;
+  }
+}
+
+TEST(WireTest, EveryBitFlipFailsTheChecksum) {
+  std::string wire;
+  EncodeFrame(SampleFrame(), &wire);
+  // Flip one bit per byte across the whole frame. Header corruptions
+  // may surface as bad lengths; body corruptions must fail the CRC.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::string mutated = wire;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1 << (i % 8)));
+    Slice in(mutated);
+    Frame decoded;
+    const Status status = DecodeFrame(&in, &decoded);
+    EXPECT_TRUE(status.IsCorruption()) << "byte " << i;
+  }
+}
+
+TEST(WireTest, OversizedBodyLengthRejectedWithoutAllocating) {
+  std::string wire;
+  PutFixed32(&wire, kMaxFrameBody + 1);
+  PutFixed32(&wire, 0);
+  wire.append(16, 'x');
+  Slice in(wire);
+  Frame decoded;
+  EXPECT_TRUE(DecodeFrame(&in, &decoded).IsCorruption());
+}
+
+TEST(WireTest, MessageListRoundTrip) {
+  std::vector<Message> messages(3);
+  for (int i = 0; i < 3; ++i) {
+    messages[i].topic = "t";
+    messages[i].partition = i;
+    messages[i].offset = static_cast<uint64_t>(100 + i);
+    messages[i].key = "k" + std::to_string(i);
+    messages[i].payload = std::string(i * 7, 'p');
+    messages[i].publish_time = 1000 + i;
+    messages[i].visible_time = 1500 + i;
+  }
+  std::string encoded;
+  PutWireMessageList(&encoded, messages);
+  Slice in(encoded);
+  std::vector<Message> decoded;
+  ASSERT_TRUE(GetWireMessageList(&in, &decoded));
+  ASSERT_EQ(decoded.size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(decoded[i].offset, messages[i].offset);
+    EXPECT_EQ(decoded[i].key, messages[i].key);
+    EXPECT_EQ(decoded[i].payload, messages[i].payload);
+    EXPECT_EQ(decoded[i].visible_time, messages[i].visible_time);
+  }
+}
+
+TEST(BusServerTest, UnknownOpcodeReturnsCorruptionResponse) {
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServer server(BusServerOptions{}, &bus);
+
+  Frame request;
+  request.correlation_id = 7;
+  request.opcode = 99;  // Not a valid OpCode.
+  const Frame response = server.HandleRequest(request);
+  EXPECT_EQ(response.correlation_id, 7u);
+  EXPECT_EQ(response.opcode, 99 | kResponseBit);
+  Slice in(response.payload);
+  Status remote;
+  ASSERT_TRUE(GetStatus(&in, &remote));
+  EXPECT_TRUE(remote.IsCorruption());
+}
+
+TEST(BusServerTest, MalformedPayloadReturnsCorruptionResponse) {
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServer server(BusServerOptions{}, &bus);
+
+  Frame request;
+  request.correlation_id = 8;
+  request.opcode = static_cast<uint8_t>(OpCode::kCreateTopic);
+  request.payload = "\xff\xff\xff";  // Not a length-prefixed topic.
+  const Frame response = server.HandleRequest(request);
+  Slice in(response.payload);
+  Status remote;
+  ASSERT_TRUE(GetStatus(&in, &remote));
+  EXPECT_TRUE(remote.IsCorruption());
+}
+
+TEST(BusServerTest, GarbageBytesOverTheSocketCloseTheConnection) {
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServer server(BusServerOptions{}, &bus);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sock_or = Socket::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(sock_or.ok());
+  Socket sock = std::move(sock_or).value();
+  // A valid-looking header whose body fails the checksum: the server
+  // must drop the connection (it cannot trust the framing) and stay up.
+  std::string junk;
+  PutFixed32(&junk, 8);
+  PutFixed32(&junk, 0xdeadbeef);
+  junk.append(8, 'z');
+  ASSERT_TRUE(sock.SendAll(junk.data(), junk.size()).ok());
+  char byte;
+  EXPECT_FALSE(sock.RecvAll(&byte, 1).ok());  // Closed, no response.
+
+  // The server still serves fresh connections.
+  RemoteBusOptions remote_options;
+  remote_options.address = server.address();
+  RemoteBus remote(remote_options);
+  ASSERT_TRUE(remote.Connect().ok());
+  EXPECT_TRUE(remote.CreateTopic("after-garbage", 1).ok());
+  server.Stop();
+}
+
+class RemoteBusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BusOptions options;
+    options.delivery_delay = 0;
+    bus_ = std::make_unique<InProcessBus>(options);
+    server_ = std::make_unique<BusServer>(BusServerOptions{}, bus_.get());
+    ASSERT_TRUE(server_->Start().ok());
+    RemoteBusOptions remote_options;
+    remote_options.address = server_->address();
+    remote_ = std::make_unique<RemoteBus>(remote_options);
+    ASSERT_TRUE(remote_->Connect().ok());
+  }
+
+  void TearDown() override {
+    remote_.reset();
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<InProcessBus> bus_;
+  std::unique_ptr<BusServer> server_;
+  std::unique_ptr<RemoteBus> remote_;
+};
+
+TEST_F(RemoteBusTest, TopicAdministrationMirrorsTheHostedBus) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 4).ok());
+  EXPECT_TRUE(remote_->CreateTopic("t", 4).IsAlreadyExists());
+  EXPECT_EQ(remote_->NumPartitions("t").value(), 4);
+  EXPECT_EQ(remote_->PartitionsOf("t").size(), 4u);
+  EXPECT_EQ(bus_->NumPartitions("t").value(), 4);  // Same broker.
+  EXPECT_TRUE(remote_->NumPartitions("nope").status().IsNotFound());
+  ASSERT_TRUE(remote_->DeleteTopic("t").ok());
+  EXPECT_TRUE(remote_->NumPartitions("t").status().IsNotFound());
+}
+
+TEST_F(RemoteBusTest, ProducePollCommitSeekAcrossTheWire) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote_->Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());  // Assignment.
+
+  for (int i = 0; i < 5; ++i) {
+    auto offset = remote_->ProduceToPartition("t", 0, "k",
+                                              "m" + std::to_string(i));
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(offset.value(), static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].payload, "m0");
+  EXPECT_EQ(out[4].offset, 4u);
+
+  ASSERT_TRUE(remote_->Commit("c", {"t", 0}, 5).ok());
+  ASSERT_TRUE(remote_->Seek("c", {"t", 0}, 2).ok());
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].payload, "m2");
+  EXPECT_EQ(remote_->EndOffset({"t", 0}).value(), 5u);
+  EXPECT_EQ(remote_->BaseOffset({"t", 0}).value(), 0u);
+
+  ASSERT_TRUE(remote_->Fetch({"t", 0}, 1, 2, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].offset, 1u);
+}
+
+TEST_F(RemoteBusTest, BlockingPollParksServerSideAndWakesOnArrival) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote_->Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());  // Assignment.
+
+  // Producer fires from another thread over the same RemoteBus (its own
+  // control connection) while the consumer parks server-side.
+  std::thread producer([this] {
+    MonotonicClock::Default()->SleepMicros(30 * kMicrosPerMilli);
+    ASSERT_TRUE(remote_->ProduceToPartition("t", 0, "k", "wake").ok());
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(remote_->Poll("c", 10, &out, 5 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  producer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "wake");
+  EXPECT_LT(elapsed, 2 * kMicrosPerSecond);
+}
+
+TEST_F(RemoteBusTest, WakeConsumerInterruptsAParkedRemotePoll) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote_->Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());
+
+  std::thread waker([this] {
+    MonotonicClock::Default()->SleepMicros(30 * kMicrosPerMilli);
+    ASSERT_TRUE(remote_->WakeConsumer("c").ok());
+  });
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  ASSERT_TRUE(remote_->Poll("c", 10, &out, 5 * kMicrosPerSecond).ok());
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  waker.join();
+  EXPECT_TRUE(out.empty());
+  EXPECT_LT(elapsed, 2 * kMicrosPerSecond);
+}
+
+TEST_F(RemoteBusTest, RebalanceCallbacksStreamToTheRemoteClient) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 4).ok());
+  std::atomic<int> assigned_total{0}, revoked_total{0};
+  RebalanceListener listener;
+  listener.on_assigned = [&](const std::vector<TopicPartition>& a) {
+    assigned_total += static_cast<int>(a.size());
+  };
+  listener.on_revoked = [&](const std::vector<TopicPartition>& r) {
+    revoked_total += static_cast<int>(r.size());
+  };
+  ASSERT_TRUE(
+      remote_->Subscribe("c1", "g", {"t"}, "", nullptr, listener).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(remote_->Poll("c1", 10, &out).ok());
+  EXPECT_EQ(assigned_total.load(), 4);  // Sole member owns everything.
+  EXPECT_EQ(remote_->AssignmentOf("c1").size(), 4u);
+
+  // A second member (directly on the hosted bus) takes over partitions:
+  // the remote consumer sees the revocations on its next poll.
+  ASSERT_TRUE(bus_->Subscribe("c2", "g", {"t"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(remote_->Poll("c1", 10, &out).ok());
+  EXPECT_EQ(revoked_total.load(), 2);
+  EXPECT_GT(remote_->rebalance_count(), 0u);
+}
+
+TEST_F(RemoteBusTest, ServerDeathSurfacesUnavailable) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  server_->Stop();
+  server_.reset();
+
+  EXPECT_TRUE(remote_->CreateTopic("x", 1).IsUnavailable());
+  EXPECT_TRUE(remote_->Produce("t", "k", "v").status().IsUnavailable());
+  std::vector<Message> out;
+  EXPECT_TRUE(remote_->Poll("c", 10, &out, kMicrosPerSecond)
+                  .IsUnavailable());
+}
+
+}  // namespace
+}  // namespace railgun::msg::remote
+
+namespace railgun::api {
+namespace {
+
+constexpr const char* kPaymentsDdl =
+    "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+    "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 2";
+constexpr const char* kCardMetric =
+    "ADD METRIC SELECT sum(amount), count(*) FROM payments "
+    "GROUP BY cardId OVER sliding 5 minutes";
+
+// One process playing both roles over a real loopback socket: the
+// serving side (cluster + BusServer + DdlService) and a remote client.
+struct RemoteHarness {
+  explicit RemoteHarness(const std::string& name) {
+    engine::ClusterOptions options;
+    options.num_nodes = 1;
+    options.node.num_processor_units = 2;
+    options.base_dir = "/tmp/railgun-remote-test-" + name;
+    options.bus.delivery_delay = 0;
+    cluster = std::make_unique<engine::Cluster>(options);
+    server = std::make_unique<msg::remote::BusServer>(
+        msg::remote::BusServerOptions{}, cluster->bus());
+    ddl = std::make_unique<DdlService>(cluster.get());
+  }
+
+  Status Start() {
+    RAILGUN_RETURN_IF_ERROR(cluster->Start());
+    RAILGUN_RETURN_IF_ERROR(server->Start());
+    return ddl->Start();
+  }
+
+  void Stop() {
+    ddl->Stop();
+    server->Stop();
+    cluster->Stop();
+  }
+
+  std::unique_ptr<engine::Cluster> cluster;
+  std::unique_ptr<msg::remote::BusServer> server;
+  std::unique_ptr<DdlService> ddl;
+};
+
+TEST(RemoteClientTest, QuickstartFlowOverTheLoopbackTransport) {
+  RemoteHarness harness("quickstart");
+  ASSERT_TRUE(harness.Start().ok());
+
+  ClientOptions options;
+  options.remote_address = harness.server->address();
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  EXPECT_TRUE(client.CreateStream(kPaymentsDdl).IsAlreadyExists());
+  ASSERT_TRUE(client.Query(kCardMetric).ok());
+
+  EventResult first = client.SubmitSync(
+      "payments", Row()
+                      .At(1 * kMicrosPerMinute)
+                      .Set("cardId", "card1")
+                      .Set("merchantId", "m1")
+                      .Set("amount", 10.0));
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  ASSERT_NE(first.Find("count(*)", "card1"), nullptr);
+  EXPECT_DOUBLE_EQ(first.Find("count(*)", "card1")->value.ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(first.Find("sum(amount)", "card1")->value.ToNumber(),
+                   10.0);
+
+  EventResult second = client.SubmitSync(
+      "payments", Row()
+                      .At(2 * kMicrosPerMinute)
+                      .Set("cardId", "card1")
+                      .Set("merchantId", "m2")
+                      .Set("amount", 4.5));
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
+  EXPECT_DOUBLE_EQ(second.Find("count(*)", "card1")->value.ToNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(second.Find("sum(amount)", "card1")->value.ToNumber(),
+                   14.5);
+
+  // Remote mode has no local cluster to administer.
+  EXPECT_TRUE(client.admin().AddNode().status().IsUnavailable());
+  EXPECT_EQ(client.admin().num_nodes(), 0);
+
+  client.Stop();
+  harness.Stop();
+}
+
+TEST(RemoteClientTest, BatchSubmissionOverTheWire) {
+  RemoteHarness harness("batch");
+  ASSERT_TRUE(harness.Start().ok());
+
+  ClientOptions options;
+  options.remote_address = harness.server->address();
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client.Query(kCardMetric).ok());
+
+  std::vector<Row> rows;
+  for (int i = 1; i <= 8; ++i) {
+    rows.push_back(Row()
+                       .At(i * kMicrosPerSecond)
+                       .Set("cardId", "cardB")
+                       .Set("merchantId", "m" + std::to_string(i % 3))
+                       .Set("amount", 2.0));
+  }
+  std::vector<ResultFuture> futures = client.SubmitBatch("payments", rows);
+  ASSERT_EQ(futures.size(), rows.size());
+  double max_count = 0;
+  for (auto& future : futures) {
+    EventResult result = future.Get();
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    const MetricValue* count = result.Find("count(*)", "cardB");
+    ASSERT_NE(count, nullptr);
+    max_count = std::max(max_count, count->value.ToNumber());
+  }
+  EXPECT_DOUBLE_EQ(max_count, 8.0);  // Per-key order preserved end to end.
+
+  client.Stop();
+  harness.Stop();
+}
+
+TEST(RemoteClientTest, ReattachedClientCanSubmitToExistingStream) {
+  RemoteHarness harness("reattach");
+  ASSERT_TRUE(harness.Start().ok());
+
+  ClientOptions options;
+  options.remote_address = harness.server->address();
+  {
+    Client first(options);
+    ASSERT_TRUE(first.Start().ok());
+    ASSERT_TRUE(first.CreateStream(kPaymentsDdl).ok());
+    ASSERT_TRUE(first.Query(kCardMetric).ok());
+    first.Stop();
+  }
+
+  // A new client attaching to the same cluster re-declares the stream:
+  // the cluster answers AlreadyExists, but the client must still learn
+  // the schema and routing so submission works.
+  Client second(options);
+  ASSERT_TRUE(second.Start().ok());
+  EXPECT_TRUE(second.CreateStream(kPaymentsDdl).IsAlreadyExists());
+  EXPECT_TRUE(second.Query(kCardMetric).IsAlreadyExists());
+  EventResult result = second.SubmitSync(
+      "payments", Row()
+                      .At(3 * kMicrosPerMinute)
+                      .Set("cardId", "cardR")
+                      .Set("merchantId", "m1")
+                      .Set("amount", 7.0));
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  ASSERT_NE(result.Find("sum(amount)", "cardR"), nullptr);
+  EXPECT_DOUBLE_EQ(result.Find("sum(amount)", "cardR")->value.ToNumber(),
+                   7.0);
+  second.Stop();
+  harness.Stop();
+}
+
+TEST(RemoteClientTest, ServerDeathTimesOutPendingRequestsCleanly) {
+  auto harness = std::make_unique<RemoteHarness>("kill");
+  ASSERT_TRUE(harness->Start().ok());
+
+  ClientOptions options;
+  options.remote_address = harness->server->address();
+  options.request_timeout = kMicrosPerSecond;
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client.Query(kCardMetric).ok());
+  ASSERT_TRUE(client
+                  .SubmitSync("payments", Row()
+                                              .At(kMicrosPerSecond)
+                                              .Set("cardId", "c1")
+                                              .Set("merchantId", "m1")
+                                              .Set("amount", 1.0))
+                  .ok());
+
+  // Kill the whole serving side. In-flight and subsequent requests must
+  // complete with Unavailable within the request timeout — no hangs, no
+  // crashes.
+  harness->Stop();
+  harness.reset();
+
+  const Micros start = MonotonicClock::Default()->NowMicros();
+  EventResult dead = client.SubmitSync("payments",
+                                       Row()
+                                           .At(2 * kMicrosPerSecond)
+                                           .Set("cardId", "c1")
+                                           .Set("merchantId", "m1")
+                                           .Set("amount", 1.0));
+  const Micros elapsed = MonotonicClock::Default()->NowMicros() - start;
+  EXPECT_TRUE(dead.status.IsUnavailable()) << dead.status.ToString();
+  EXPECT_LT(elapsed, 10 * kMicrosPerSecond);
+
+  // DDL against a dead server reports the failure, typed.
+  EXPECT_FALSE(client.Query("ADD METRIC SELECT avg(amount) FROM payments "
+                            "GROUP BY merchantId OVER sliding 5 minutes")
+                   .ok());
+  client.Stop();
+}
+
+}  // namespace
+}  // namespace railgun::api

@@ -256,5 +256,83 @@ TEST_F(WindowOperatorTest, SaveRestorePositionsResumeExactly) {
   }
 }
 
+TEST_F(WindowOperatorTest, RestoreBeforeOperatorCreationKeepsCountState) {
+  // Fill a 3-event count window past capacity so it carries real
+  // per-operator state: in_window_ == 3 and an advanced count tail.
+  WindowOperator* op = manager_->GetOrCreate(WindowSpec::CountSliding(3));
+  for (int i = 0; i < 5; ++i) {
+    Step(op, i * kMicrosPerSecond, static_cast<uint64_t>(i + 1));
+  }
+  std::string blob;
+  manager_->SavePositions(&blob);
+
+  // Recovery order A: restore BEFORE the plan re-creates the operator.
+  // The stashed state must be applied on creation — a full window
+  // expires exactly one event per arrival, as the original does.
+  WindowManager restored_first(reservoir_.get());
+  ASSERT_TRUE(restored_first.RestorePositions(blob).ok());
+  WindowOperator* op_a =
+      restored_first.GetOrCreate(WindowSpec::CountSliding(3));
+
+  // Recovery order B (the previously working path): create, then
+  // restore.
+  WindowManager created_first(reservoir_.get());
+  WindowOperator* op_b =
+      created_first.GetOrCreate(WindowSpec::CountSliding(3));
+  ASSERT_TRUE(created_first.RestorePositions(blob).ok());
+
+  for (int i = 5; i < 8; ++i) {
+    Event e;
+    e.timestamp = i * kMicrosPerSecond;
+    e.id = static_cast<uint64_t>(i + 1);
+    e.offset = e.id;
+    e.values = {FieldValue(1.0)};
+    bool accepted;
+    ASSERT_TRUE(reservoir_->Append(e, &accepted).ok());
+
+    EdgeDeltas edges0, edges_a, edges_b;
+    manager_->Advance(e.timestamp, &edges0);
+    restored_first.Advance(e.timestamp, &edges_a);
+    created_first.Advance(e.timestamp, &edges_b);
+    WindowDelta d0, da, db;
+    op->Collect(e.timestamp, edges0, &d0);
+    op_a->Collect(e.timestamp, edges_a, &da);
+    op_b->Collect(e.timestamp, edges_b, &db);
+    ASSERT_EQ(d0.expired.size(), 1u);
+    ASSERT_EQ(da.expired.size(), d0.expired.size())
+        << "restore-first lost state";
+    ASSERT_EQ(db.expired.size(), d0.expired.size()) << "create-first regressed";
+    EXPECT_EQ(da.expired[0]->id, d0.expired[0]->id);
+    EXPECT_EQ(db.expired[0]->id, d0.expired[0]->id);
+  }
+}
+
+TEST_F(WindowOperatorTest, RestoreBeforeCreationKeepsTumblingEpoch) {
+  WindowOperator* op =
+      manager_->GetOrCreate(WindowSpec::Tumbling(kMicrosPerMinute));
+  Step(op, 70 * kMicrosPerSecond, 1);  // Epoch = 60 s.
+  std::string blob;
+  manager_->SavePositions(&blob);
+
+  WindowManager restored(reservoir_.get());
+  ASSERT_TRUE(restored.RestorePositions(blob).ok());
+  WindowOperator* restored_op =
+      restored.GetOrCreate(WindowSpec::Tumbling(kMicrosPerMinute));
+
+  // Same epoch: a restored operator must NOT reset (a fresh one would).
+  Event e;
+  e.timestamp = 80 * kMicrosPerSecond;
+  e.id = 2;
+  e.offset = 2;
+  e.values = {FieldValue(1.0)};
+  bool accepted;
+  ASSERT_TRUE(reservoir_->Append(e, &accepted).ok());
+  EdgeDeltas edges;
+  restored.Advance(e.timestamp, &edges);
+  WindowDelta delta;
+  restored_op->Collect(e.timestamp, edges, &delta);
+  EXPECT_FALSE(delta.reset) << "restored epoch was dropped";
+}
+
 }  // namespace
 }  // namespace railgun::window
