@@ -1,0 +1,172 @@
+// bench_membership_churn: what a membership change costs the data
+// plane.
+//
+// One meta::Broker (0 local nodes), workers joining/leaving as
+// meta::WorkerNodes, and a remote api::Client submitting continuously
+// through loopback TCP. Phases alternate steady state with churn —
+// a worker joining mid-stream, then a worker leaving gracefully
+// mid-stream — and each phase reports events/sec, p50/p99 per-event
+// latency and failed submissions, so the rebalance dip is visible
+// next to its neighbours. Join/leave rebalance latency (membership
+// RPC + sticky reassignment + partition-log replay on the new owner)
+// is measured wall-clock around the worker Start()/Stop() calls.
+//
+//   RAILGUN_BENCH_EVENTS  events per phase (default 4000)
+//   RAILGUN_BENCH_UNITS   processor units per worker (default 2)
+#include <thread>
+#include <vector>
+
+#include "api/client.h"
+#include "bench/bench_common.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "meta/broker.h"
+#include "meta/worker_node.h"
+
+using namespace railgun;
+
+namespace {
+
+struct PhaseResult {
+  double events_per_sec = 0;
+  int64_t failures = 0;
+  LatencyHistogram latency;
+};
+
+// Submits `events` payments sequentially, recording per-event acked
+// latency. Failed submissions (e.g. a task mid-move past the request
+// deadline) are counted, not retried — the point is availability.
+PhaseResult DrivePhase(api::Client& client, int64_t events) {
+  PhaseResult result;
+  Clock* clock = MonotonicClock::Default();
+  const Micros start = clock->NowMicros();
+  for (int64_t i = 0; i < events; ++i) {
+    const Micros sent = clock->NowMicros();
+    const api::EventResult r = client.SubmitSync(
+        "payments", api::Row()
+                        .Set("cardId", "card" + std::to_string(i % 64))
+                        .Set("amount", 1.0));
+    if (r.ok()) {
+      result.latency.Record(clock->NowMicros() - sent);
+    } else {
+      ++result.failures;
+    }
+  }
+  const Micros elapsed = clock->NowMicros() - start;
+  if (elapsed > 0) {
+    result.events_per_sec = static_cast<double>(events) *
+                            kMicrosPerSecond /
+                            static_cast<double>(elapsed);
+  }
+  return result;
+}
+
+void PrintRow(const char* label, const PhaseResult& result) {
+  printf("%-28s %10.0f ev/s   p50 %7.1f us   p99 %8.1f us   "
+         "failed %lld\n",
+         label, result.events_per_sec,
+         static_cast<double>(result.latency.ValueAtPercentile(50)),
+         static_cast<double>(result.latency.ValueAtPercentile(99)),
+         static_cast<long long>(result.failures));
+  fflush(stdout);
+}
+
+meta::WorkerNodeOptions WorkerOptions(const std::string& address,
+                                      const std::string& id, int units) {
+  meta::WorkerNodeOptions options;
+  options.broker_address = address;
+  options.node_id = id;
+  options.num_units = units;
+  options.base_dir = "/tmp/railgun-bench-churn-" + id;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t events = bench::EnvInt("RAILGUN_BENCH_EVENTS", 4000);
+  const int units =
+      static_cast<int>(bench::EnvInt("RAILGUN_BENCH_UNITS", 2));
+  Clock* clock = MonotonicClock::Default();
+  printf("bench_membership_churn: %lld events/phase, %d unit(s)/worker\n",
+         static_cast<long long>(events), units);
+
+  meta::BrokerOptions broker_options;
+  broker_options.cluster.base_dir = "/tmp/railgun-bench-churn-broker";
+  broker_options.cluster.bus.delivery_delay = 0;
+  meta::Broker broker(broker_options);
+  if (!broker.Start().ok()) {
+    fprintf(stderr, "failed to start broker\n");
+    return 1;
+  }
+  meta::WorkerNode w1(WorkerOptions(broker.address(), "w1", units));
+  if (!w1.Start().ok()) {
+    fprintf(stderr, "w1 failed to join\n");
+    return 1;
+  }
+
+  api::ClientOptions client_options;
+  client_options.remote_address = broker.address();
+  api::Client client(client_options);
+  if (!client.Start().ok() ||
+      !client
+           .Execute("CREATE STREAM payments (cardId STRING, amount "
+                    "DOUBLE) PARTITION BY cardId PARTITIONS 8")
+           .ok() ||
+      !client
+           .Execute("ADD METRIC SELECT sum(amount), count(*) FROM "
+                    "payments GROUP BY cardId OVER sliding 5 minutes")
+           .ok()) {
+    fprintf(stderr, "client setup failed\n");
+    return 1;
+  }
+  // Warm the path (topic creation, first assignment, schema cache).
+  DrivePhase(client, 64);
+
+  PrintRow("steady (1 worker)", DrivePhase(client, events));
+
+  // A second worker joins mid-stream: its units subscribe, the sticky
+  // coordinator moves half the tasks over, and the new owner replays
+  // partition logs before serving.
+  meta::WorkerNode w2(WorkerOptions(broker.address(), "w2", units));
+  Micros join_latency = 0;
+  {
+    std::thread joiner([&] {
+      const Micros begin = clock->NowMicros();
+      if (!w2.Start().ok()) {
+        fprintf(stderr, "w2 failed to join\n");
+      }
+      join_latency = clock->NowMicros() - begin;
+    });
+    PrintRow("join in flight (1 -> 2)", DrivePhase(client, events));
+    joiner.join();
+  }
+  printf("%-28s %10.1f ms\n", "  join rebalance latency",
+         static_cast<double>(join_latency) / kMicrosPerMilli);
+
+  PrintRow("steady (2 workers)", DrivePhase(client, events));
+
+  // The second worker leaves gracefully mid-stream: metadata Leave +
+  // clean unsubscribe, tasks rebalance back onto w1, which rebuilds
+  // their state from the logs. Acked events must survive, submissions
+  // keep flowing; the dip is the price.
+  Micros leave_latency = 0;
+  {
+    std::thread leaver([&] {
+      const Micros begin = clock->NowMicros();
+      w2.Stop();
+      leave_latency = clock->NowMicros() - begin;
+    });
+    PrintRow("leave in flight (2 -> 1)", DrivePhase(client, events));
+    leaver.join();
+  }
+  printf("%-28s %10.1f ms\n", "  leave rebalance latency",
+         static_cast<double>(leave_latency) / kMicrosPerMilli);
+
+  PrintRow("steady (1 worker again)", DrivePhase(client, events));
+
+  client.Stop();
+  w1.Stop();
+  broker.Stop();
+  return 0;
+}

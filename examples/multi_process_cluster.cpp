@@ -1,0 +1,223 @@
+// Multi-process cluster: the paper's N-machine deployment for real.
+// One broker process (message bus + membership/metadata/DDL services),
+// N railgun_noded worker processes carrying the processor units, and
+// remote api::Client processes submitting events.
+//
+// Run as separate processes (see scripts/multi_process_smoke.sh for the
+// full choreography used by CI):
+//   ./multi_process_cluster broker 7411            # Terminal 1
+//   ./railgun_noded 127.0.0.1:7411 --node-id w1    # Terminal 2
+//   ./railgun_noded 127.0.0.1:7411 --node-id w2    # Terminal 3
+//   ./multi_process_cluster client 127.0.0.1:7411 --phase first
+//   kill -TERM <pid of w2>                         # graceful leave
+//   ./multi_process_cluster client 127.0.0.1:7411 --phase second
+//
+// or self-contained (broker + two workers in-process, still over real
+// loopback TCP, including the node-leave rebalance):
+//   ./multi_process_cluster
+//
+// The client phases prove the two membership guarantees end to end:
+//   first  — client A declares the stream and metric; client B, a
+//            fresh process that never saw the DDL, submits to it (the
+//            schema comes from the metadata service) and the counts
+//            include both clients' events;
+//   second — run after a worker left: earlier acked events still count
+//            (the survivor replayed the partition logs), and new
+//            submissions keep flowing.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/client.h"
+#include "meta/broker.h"
+#include "meta/worker_node.h"
+
+using namespace railgun;
+using api::Client;
+using api::ClientOptions;
+using api::EventResult;
+using api::Row;
+
+namespace {
+
+constexpr const char* kStreamDdl =
+    "CREATE STREAM payments (cardId STRING, merchantId STRING, "
+    "amount DOUBLE) PARTITION BY cardId, merchantId PARTITIONS 4";
+constexpr const char* kMetricDdl =
+    "ADD METRIC SELECT sum(amount), count(*) FROM payments "
+    "GROUP BY cardId OVER sliding 30 minutes";
+
+// Submits one payment for card1 at minute `minute` and returns the
+// exact sliding count(*) observed for card1, or -1 on failure.
+double SubmitAndCount(Client& client, double minute) {
+  const EventResult result = client.SubmitSync(
+      "payments", Row()
+                      .At(static_cast<Micros>(minute * kMicrosPerMinute))
+                      .Set("cardId", "card1")
+                      .Set("merchantId", "storeA")
+                      .Set("amount", 1.0));
+  if (!result.ok()) {
+    fprintf(stderr, "submit failed: %s\n", result.status.ToString().c_str());
+    return -1;
+  }
+  const api::MetricValue* count = result.Find("count(*)", "card1");
+  if (count == nullptr) {
+    fprintf(stderr, "no count(*) reply for card1\n");
+    return -1;
+  }
+  return count->value.ToNumber();
+}
+
+int CheckCount(double got, double want, const char* what) {
+  if (got == want) {
+    printf("  %-34s count(*) card1 = %g\n", what, got);
+    return 0;
+  }
+  fprintf(stderr, "FAIL: %s: count(*) card1 = %g, want %g\n", what, got,
+          want);
+  return 1;
+}
+
+// Phase "first": client A declares, submits 3 events; client B (no
+// DDL) submits 3 more and must see A's events in its counts.
+int RunPhaseFirst(const std::string& address) {
+  ClientOptions options;
+  options.remote_address = address;
+  Client a(options);
+  if (!a.Start().ok()) {
+    fprintf(stderr, "client A failed to attach to %s\n", address.c_str());
+    return 1;
+  }
+  for (const char* ddl : {kStreamDdl, kMetricDdl}) {
+    const Status s = a.Execute(ddl);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      fprintf(stderr, "DDL failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  int failures = 0;
+  failures += CheckCount(SubmitAndCount(a, 1), 1, "client A event 1");
+  failures += CheckCount(SubmitAndCount(a, 2), 2, "client A event 2");
+  failures += CheckCount(SubmitAndCount(a, 3), 3, "client A event 3");
+  a.Stop();
+
+  // A fresh client that never executed the DDL: the schema must come
+  // from the metadata service for submission to even bind.
+  Client b(options);
+  if (!b.Start().ok()) {
+    fprintf(stderr, "client B failed to attach\n");
+    return 1;
+  }
+  failures += CheckCount(SubmitAndCount(b, 4), 4,
+                         "client B (foreign stream) event 4");
+  failures += CheckCount(SubmitAndCount(b, 5), 5,
+                         "client B (foreign stream) event 5");
+  failures += CheckCount(SubmitAndCount(b, 6), 6,
+                         "client B (foreign stream) event 6");
+  b.Stop();
+  return failures;
+}
+
+// Phase "second" (run after a worker left): a fresh client's events
+// must still count on top of the 6 acked in phase one.
+int RunPhaseSecond(const std::string& address) {
+  ClientOptions options;
+  options.remote_address = address;
+  Client c(options);
+  if (!c.Start().ok()) {
+    fprintf(stderr, "client C failed to attach\n");
+    return 1;
+  }
+  int failures = 0;
+  failures += CheckCount(SubmitAndCount(c, 7), 7,
+                         "client C (after node leave) event 7");
+  failures += CheckCount(SubmitAndCount(c, 8), 8,
+                         "client C (after node leave) event 8");
+  c.Stop();
+  return failures;
+}
+
+int RunBroker(int port) {
+  meta::BrokerOptions options;
+  options.port = port;
+  options.cluster.base_dir = "/tmp/railgun-mpc-broker";
+  meta::Broker broker(options);
+  if (!broker.Start().ok()) {
+    fprintf(stderr, "failed to start broker on port %d\n", port);
+    return 1;
+  }
+  printf("railgun broker serving on %s (0 local nodes; waiting for "
+         "railgun_noded workers; ctrl-c to stop)\n",
+         broker.address().c_str());
+  fflush(stdout);
+  for (;;) MonotonicClock::Default()->SleepMicros(kMicrosPerSecond);
+}
+
+meta::WorkerNodeOptions WorkerOptions(const std::string& address,
+                                      const std::string& id) {
+  meta::WorkerNodeOptions options;
+  options.broker_address = address;
+  options.node_id = id;
+  options.num_units = 2;
+  options.base_dir = "/tmp/railgun-mpc-" + id;
+  options.heartbeat_period = 100 * kMicrosPerMilli;
+  return options;
+}
+
+// Self-contained rendition of the whole choreography: one process, but
+// every hop still crosses a real loopback socket.
+int RunSelfContained() {
+  meta::BrokerOptions broker_options;
+  broker_options.cluster.base_dir = "/tmp/railgun-mpc-broker";
+  meta::Broker broker(broker_options);
+  if (!broker.Start().ok()) {
+    fprintf(stderr, "failed to start broker\n");
+    return 1;
+  }
+  printf("broker on %s\n", broker.address().c_str());
+
+  meta::WorkerNode w1(WorkerOptions(broker.address(), "w1"));
+  meta::WorkerNode w2(WorkerOptions(broker.address(), "w2"));
+  if (!w1.Start().ok() || !w2.Start().ok()) {
+    fprintf(stderr, "workers failed to join\n");
+    return 1;
+  }
+  printf("workers w1, w2 joined (2 units each)\n");
+
+  int failures = RunPhaseFirst(broker.address());
+
+  printf("stopping w2 (graceful leave -> rebalance onto w1)\n");
+  w2.Stop();
+  failures += RunPhaseSecond(broker.address());
+
+  w1.Stop();
+  broker.Stop();
+  if (failures == 0) {
+    printf("SUCCESS: foreign-schema submission and node-leave rebalance "
+           "preserved every acked event\n");
+    return 0;
+  }
+  fprintf(stderr, "%d check(s) failed\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && strcmp(argv[1], "broker") == 0) {
+    return RunBroker(argc >= 3 ? atoi(argv[2]) : 7411);
+  }
+  if (argc >= 3 && strcmp(argv[1], "client") == 0) {
+    const std::string address = argv[2];
+    const std::string phase =
+        (argc >= 5 && strcmp(argv[3], "--phase") == 0) ? argv[4] : "first";
+    const int failures = phase == "second" ? RunPhaseSecond(address)
+                                           : RunPhaseFirst(address);
+    if (failures == 0) {
+      printf("phase %s OK\n", phase.c_str());
+      return 0;
+    }
+    return 1;
+  }
+  return RunSelfContained();
+}

@@ -2,12 +2,19 @@
 // declare streams and metrics with DDL, feed events and watch per-event
 // aggregations — a minimal operator console.
 //
+//   railgun_repl              # own an in-process cluster
+//   railgun_repl host:port    # attach to a remote broker over TCP
+//
+// In remote mode, `streams`, `stats` and `nodes` answer from the
+// broker's metadata service, so the console sees streams and worker
+// nodes other processes created; addnode/killnode need a local cluster.
+//
 // Commands (one per line; '#' comments):
 //   CREATE STREAM <name> (<field> <TYPE>, ...) PARTITION BY <f>[, ...]
 //       [PARTITIONS <n>]
 //   ADD METRIC SELECT ...            (or a bare SELECT statement)
 //   event <stream> ts=<seconds> <field>=<value> ...
-//   streams | stats | addnode | killnode <i>
+//   streams | stats | nodes | addnode | killnode <i>
 //   quit
 //
 // Example session (also works piped from a file):
@@ -89,21 +96,28 @@ bool HandleEvent(Client& client, std::istringstream& in) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   ClientOptions options;
   options.num_nodes = 1;
   options.processor_units_per_node = 2;
   options.base_dir = "/tmp/railgun-repl";
+  if (argc >= 2) options.remote_address = argv[1];
   Client client(options);
   if (!client.Start().ok()) {
-    fprintf(stderr, "failed to start cluster\n");
+    fprintf(stderr, "failed to start %s\n",
+            options.remote_address.empty()
+                ? "cluster"
+                : ("client for " + options.remote_address).c_str());
     return 1;
   }
 
   const bool interactive = isatty(0);
   if (interactive) {
-    printf("railgun shell — CREATE STREAM / ADD METRIC / SELECT, "
-           "event, streams, stats, addnode, killnode, quit\n");
+    printf("railgun shell%s — CREATE STREAM / ADD METRIC / SELECT, "
+           "event, streams, stats, nodes, addnode, killnode, quit\n",
+           options.remote_address.empty()
+               ? ""
+               : (" @ " + options.remote_address).c_str());
   }
   std::string line;
   while (true) {
@@ -138,6 +152,8 @@ int main() {
       }
     } else if (command == "stats") {
       printf("%s", client.admin().Describe().c_str());
+    } else if (command == "nodes") {
+      printf("%s", client.admin().DescribeNodes().c_str());
     } else if (command == "addnode") {
       auto index = client.admin().AddNode();
       if (index.ok()) {

@@ -1,9 +1,12 @@
 // Remote cluster: the quickstart flow split across a real TCP hop.
 //
-// The serving side hosts the cluster, a BusServer exposing its message
-// bus, and the DdlService that applies remote DDL. The client side is a
-// plain api::Client with remote_address set — it runs its own front end
-// against a RemoteBus and never links any engine state.
+// The serving side is a meta::Broker — the cluster (here with one
+// colocated processing node), the BusServer exposing its message bus,
+// and the metadata service that applies remote DDL. The client side is
+// a plain api::Client with remote_address set — it runs its own front
+// end against a RemoteBus and never links any engine state. For the
+// fully distributed topology (processor units in their own processes),
+// see examples/multi_process_cluster and tools/railgun_noded.
 //
 // Run as two processes:
 //   ./remote_cluster server 7311          # Terminal 1
@@ -14,8 +17,7 @@
 #include <cstring>
 
 #include "api/client.h"
-#include "api/remote_ddl.h"
-#include "msg/remote/bus_server.h"
+#include "meta/broker.h"
 
 using namespace railgun;
 using api::Client;
@@ -25,36 +27,14 @@ using api::Row;
 
 namespace {
 
-struct Server {
-  explicit Server(int port) {
-    engine::ClusterOptions options;
-    options.num_nodes = 1;
-    options.node.num_processor_units = 2;
-    options.base_dir = "/tmp/railgun-remote-cluster";
-    cluster = std::make_unique<engine::Cluster>(options);
-    msg::remote::BusServerOptions server_options;
-    server_options.port = port;
-    bus_server = std::make_unique<msg::remote::BusServer>(server_options,
-                                                          cluster->bus());
-    ddl = std::make_unique<api::DdlService>(cluster.get());
-  }
-
-  Status Start() {
-    RAILGUN_RETURN_IF_ERROR(cluster->Start());
-    RAILGUN_RETURN_IF_ERROR(bus_server->Start());
-    return ddl->Start();
-  }
-
-  void Stop() {
-    ddl->Stop();
-    bus_server->Stop();
-    cluster->Stop();
-  }
-
-  std::unique_ptr<engine::Cluster> cluster;
-  std::unique_ptr<msg::remote::BusServer> bus_server;
-  std::unique_ptr<api::DdlService> ddl;
-};
+meta::BrokerOptions ServerOptions(int port) {
+  meta::BrokerOptions options;
+  options.port = port;
+  options.cluster.num_nodes = 1;
+  options.cluster.node.num_processor_units = 2;
+  options.cluster.base_dir = "/tmp/railgun-remote-cluster";
+  return options;
+}
 
 int RunClient(const std::string& address) {
   ClientOptions options;
@@ -116,13 +96,13 @@ int RunClient(const std::string& address) {
 int main(int argc, char** argv) {
   if (argc >= 2 && strcmp(argv[1], "server") == 0) {
     const int port = argc >= 3 ? atoi(argv[2]) : 7311;
-    Server server(port);
+    meta::Broker server(ServerOptions(port));
     if (!server.Start().ok()) {
       fprintf(stderr, "failed to start server\n");
       return 1;
     }
     printf("serving railgun cluster on %s (ctrl-c to stop)\n",
-           server.bus_server->address().c_str());
+           server.address().c_str());
     for (;;) MonotonicClock::Default()->SleepMicros(kMicrosPerSecond);
   }
   if (argc >= 3 && strcmp(argv[1], "client") == 0) {
@@ -131,14 +111,13 @@ int main(int argc, char** argv) {
 
   // Self-contained demo: server and client in one process, still over a
   // real loopback socket.
-  Server server(0);
+  meta::Broker server(ServerOptions(0));
   if (!server.Start().ok()) {
     fprintf(stderr, "failed to start server\n");
     return 1;
   }
-  printf("serving railgun cluster on %s\n",
-         server.bus_server->address().c_str());
-  const int rc = RunClient(server.bus_server->address());
+  printf("serving railgun cluster on %s\n", server.address().c_str());
+  const int rc = RunClient(server.address());
   server.Stop();
   return rc;
 }

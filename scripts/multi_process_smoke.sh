@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Multi-process smoke test: the paper's N-machine topology with real
+# separate processes — 1 broker + 2 railgun_noded workers + remote
+# api::Client phases (see examples/multi_process_cluster.cpp).
+#
+# Proves end to end that a client can submit to a stream another
+# client's process created (schema via the metadata service), and that
+# a graceful worker leave rebalances without losing acked events.
+#
+#   BUILD_DIR=build ./scripts/multi_process_smoke.sh
+set -u
+
+BUILD_DIR=${BUILD_DIR:-build}
+WORK=$(mktemp -d /tmp/railgun-smoke.XXXXXX)
+PIDS=()
+
+fail() {
+  echo "FAIL: $*" >&2
+  for log in "${WORK}"/*.log; do
+    echo "--- ${log} ---" >&2
+    cat "${log}" >&2
+  done
+  cleanup
+  exit 1
+}
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "${pid}" 2>/dev/null
+    wait "${pid}" 2>/dev/null
+  done
+  rm -rf "${WORK}" /tmp/railgun-mpc-broker
+}
+trap cleanup EXIT
+
+wait_for() {  # wait_for <seconds> <command...>
+  local deadline=$(( $(date +%s) + $1 )); shift
+  until "$@" 2>/dev/null; do
+    [ "$(date +%s)" -ge "${deadline}" ] && return 1
+    sleep 0.2
+  done
+}
+
+# Port 0 = ephemeral: the kernel picks a free one (no collision with a
+# busy CI host) and the broker prints the bound address.
+echo "== starting broker on an ephemeral port"
+"${BUILD_DIR}/multi_process_cluster" broker 0 \
+    > "${WORK}/broker.log" 2>&1 &
+PIDS+=($!)
+wait_for 15 grep -q "serving on" "${WORK}/broker.log" \
+    || fail "broker never came up"
+ADDRESS=$(grep -o '127\.0\.0\.1:[0-9]*' "${WORK}/broker.log" | head -1)
+[ -n "${ADDRESS}" ] || fail "could not parse broker address"
+echo "== broker on ${ADDRESS}"
+
+echo "== joining workers w1, w2"
+"${BUILD_DIR}/railgun_noded" "${ADDRESS}" --node-id w1 \
+    --dir "${WORK}/w1" > "${WORK}/w1.log" 2>&1 &
+PIDS+=($!)
+W2_PID_INDEX=${#PIDS[@]}
+"${BUILD_DIR}/railgun_noded" "${ADDRESS}" --node-id w2 \
+    --dir "${WORK}/w2" > "${WORK}/w2.log" 2>&1 &
+PIDS+=($!)
+W2_PID=${PIDS[${W2_PID_INDEX}]}
+wait_for 15 grep -q "joined" "${WORK}/w1.log" || fail "w1 never joined"
+wait_for 15 grep -q "joined" "${WORK}/w2.log" || fail "w2 never joined"
+
+echo "== phase first: declare, submit from two client processes"
+timeout 60 "${BUILD_DIR}/multi_process_cluster" client "${ADDRESS}" \
+    --phase first || fail "phase first"
+
+echo "== SIGTERM w2 (graceful leave -> rebalance onto w1)"
+kill -TERM "${W2_PID}" || fail "w2 already dead"
+wait "${W2_PID}"
+[ "$?" -eq 0 ] || fail "w2 did not exit cleanly"
+
+echo "== phase second: acked events survive the leave"
+timeout 60 "${BUILD_DIR}/multi_process_cluster" client "${ADDRESS}" \
+    --phase second || fail "phase second"
+
+echo "SUCCESS: multi-process smoke passed"

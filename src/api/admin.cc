@@ -1,6 +1,7 @@
 #include "api/admin.h"
 
 #include "engine/cluster.h"
+#include "meta/meta_client.h"
 
 namespace railgun::api {
 
@@ -32,14 +33,31 @@ Status Admin::StopNode(int node_index) {
   return cluster_->StopNode(node_index);
 }
 
+StatusOr<meta::ClusterView> Admin::FetchView() const {
+  if (meta_ == nullptr) {
+    return Status::Unavailable("no metadata service to answer from");
+  }
+  return meta_->GetView();
+}
+
 int Admin::num_nodes() const {
-  return cluster_ == nullptr ? 0 : cluster_->num_nodes();
+  if (cluster_ != nullptr) return cluster_->num_nodes();
+  auto view = FetchView();
+  return view.ok() ? static_cast<int>(view.value().nodes.size()) : 0;
 }
 
 bool Admin::NodeAlive(int node_index) const {
-  if (cluster_ == nullptr) return false;
-  if (node_index < 0 || node_index >= cluster_->num_nodes()) return false;
-  return cluster_->node(node_index)->alive();
+  if (cluster_ != nullptr) {
+    if (node_index < 0 || node_index >= cluster_->num_nodes()) return false;
+    return cluster_->node(node_index)->alive();
+  }
+  auto view = FetchView();
+  if (!view.ok()) return false;
+  if (node_index < 0 ||
+      node_index >= static_cast<int>(view.value().nodes.size())) {
+    return false;
+  }
+  return view.value().nodes[static_cast<size_t>(node_index)].alive;
 }
 
 ClusterStats Admin::TotalStats() const {
@@ -68,9 +86,68 @@ uint64_t Admin::WaitForQuiescence(Micros timeout) {
   return cluster_->WaitForQuiescence(timeout);
 }
 
+std::string Admin::DescribeNodes(const meta::ClusterView& view) const {
+  std::string out;
+  for (const auto& node : view.nodes) {
+    out += "  " + node.node_id + ": " + (node.alive ? "alive" : "DEAD") +
+           ", " + std::to_string(node.num_units) + " unit(s)";
+    if (!node.address.empty()) out += " @ " + node.address;
+    out += "\n";
+  }
+  if (view.nodes.empty()) out = "  (no nodes joined)\n";
+  return out;
+}
+
+std::string Admin::DescribeNodes() const {
+  std::string out;
+  if (cluster_ != nullptr) {
+    for (int n = 0; n < cluster_->num_nodes(); ++n) {
+      engine::RailgunNode* node = cluster_->node(n);
+      out += "  " + node->id() + ": " +
+             (node->alive() ? "alive" : "DEAD") + ", " +
+             std::to_string(node->num_units()) + " unit(s)\n";
+    }
+    return out;
+  }
+  auto view = FetchView();
+  if (!view.ok()) {
+    if (meta_ == nullptr) {
+      return "  (no metadata service)\n";
+    }
+    return "  (metadata view unavailable: " + view.status().ToString() +
+           ")\n";
+  }
+  return DescribeNodes(view.value());
+}
+
 std::string Admin::Describe() const {
   if (cluster_ == nullptr) {
-    return "remote client: no local cluster to administer\n";
+    auto view = FetchView();
+    if (!view.ok()) {
+      if (meta_ == nullptr) {
+        return "remote client: no local cluster to administer\n";
+      }
+      // The metadata service exists but this fetch failed (broker
+      // restarting, reconnect backoff): say so, like `nodes` does.
+      return "remote client: metadata view unavailable (" +
+             view.status().ToString() + ")\n";
+    }
+    int alive = 0;
+    for (const auto& node : view.value().nodes) {
+      if (node.alive) ++alive;
+    }
+    std::string out = "cluster (metadata view, generation " +
+                      std::to_string(view.value().generation) + "): " +
+                      std::to_string(alive) + "/" +
+                      std::to_string(view.value().nodes.size()) +
+                      " node(s) alive\n";
+    // One fetch for the whole summary: header and rows must agree.
+    out += DescribeNodes(view.value());
+    out += "  streams:";
+    for (const auto& stream : view.value().streams) out += " " + stream;
+    if (view.value().streams.empty()) out += " (none)";
+    out += "\n";
+    return out;
   }
   const ClusterStats stats = TotalStats();
   std::string out;

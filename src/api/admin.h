@@ -1,6 +1,11 @@
 // Administrative surface over a running cluster: elasticity, fault
 // injection and observability, behind a stable API so operators (and
 // the REPL / examples) never touch engine internals directly.
+//
+// Two backings: a local engine::Cluster (full control), or — for a
+// remote client — the broker's metadata service, which answers topology
+// and stream listings (ClusterView) while mutating calls degrade to
+// Unavailable.
 #ifndef RAILGUN_API_ADMIN_H_
 #define RAILGUN_API_ADMIN_H_
 
@@ -8,10 +13,15 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "meta/cluster_view.h"
 
 namespace railgun::engine {
 class Cluster;
 }  // namespace railgun::engine
+
+namespace railgun::meta {
+class MetaClient;
+}  // namespace railgun::meta
 
 namespace railgun::api {
 
@@ -34,12 +44,15 @@ struct ClusterStats {
 class Admin {
  public:
   // cluster may be nullptr (a remote api::Client has no local cluster):
-  // mutating calls then return Unavailable and queries report an empty
-  // topology.
-  explicit Admin(engine::Cluster* cluster) : cluster_(cluster) {}
+  // mutating calls then return Unavailable, and queries answer from the
+  // metadata service when `meta` is set (empty topology otherwise).
+  explicit Admin(engine::Cluster* cluster,
+                 meta::MetaClient* meta = nullptr)
+      : cluster_(cluster), meta_(meta) {}
 
   // Elastic scale-out: starts one more node and registers every known
-  // stream on it. Returns the new node's index.
+  // stream on it. Returns the new node's index. Local clusters only —
+  // remote deployments scale by launching railgun_noded processes.
   StatusOr<int> AddNode();
 
   // Fault injection: abrupt node death (unit threads stop heartbeating;
@@ -48,8 +61,16 @@ class Admin {
   // Graceful shutdown (clean consumer-group leave).
   Status StopNode(int node_index);
 
+  // Remote-backed, each call fetches a fresh cluster view: when
+  // enumerating topology (count + per-node liveness), call FetchView()
+  // once instead — indices from one snapshot may not match another.
   int num_nodes() const;
   bool NodeAlive(int node_index) const;
+
+  // The deployment-wide membership/schema snapshot from the broker's
+  // metadata service. Unavailable without one (local clusters have no
+  // metadata service; build listings from the cluster instead).
+  StatusOr<meta::ClusterView> FetchView() const;
 
   ClusterStats TotalStats() const;
 
@@ -59,9 +80,16 @@ class Admin {
 
   // Multi-line human-readable topology + counters summary.
   std::string Describe() const;
+  // One line per node: id, liveness, unit count (both backings).
+  std::string DescribeNodes() const;
 
  private:
+  // Renders an already-fetched view (Describe reuses its own fetch so
+  // the summary header and the node rows cannot disagree).
+  std::string DescribeNodes(const meta::ClusterView& view) const;
+
   engine::Cluster* cluster_;
+  meta::MetaClient* meta_;
 };
 
 }  // namespace railgun::api

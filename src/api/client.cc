@@ -4,8 +4,12 @@
 
 #include <cstdio>
 
+#include <algorithm>
+
 #include "api/remote_ddl.h"
+#include "common/hash.h"
 #include "common/random.h"
+#include "meta/meta_client.h"
 #include "msg/remote/remote_bus.h"
 #include "query/ddl.h"
 
@@ -45,13 +49,23 @@ Client::Client(const ClientOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : MonotonicClock::Default()) {
+  client_id_ = RandomClientId();
+  // Reservoirs deduplicate events by id (paper §4.1.1), so ids minted
+  // by independent clients sharing one cluster must not collide: each
+  // client mints from a random 64-bit base (base+1, base+2, ...), so a
+  // collision needs two clients' id ranges to overlap — vanishingly
+  // unlikely, where a narrow per-client prefix would alias entire id
+  // streams on a prefix collision.
+  event_id_base_ = Hash64(client_id_);
   if (options_.remote_address.empty()) {
     owned_cluster_.reset(new engine::Cluster(options.ToClusterOptions()));
     cluster_ = owned_cluster_.get();
   } else {
-    client_id_ = RandomClientId();
     msg::remote::RemoteBusOptions bus_options;
     bus_options.address = options_.remote_address;
+    // One clock domain end to end: reconnect backoff windows must
+    // elapse on the same clock as the front end's deadlines.
+    bus_options.clock = clock_;
     remote_bus_.reset(new msg::remote::RemoteBus(bus_options));
     engine::FrontEndOptions frontend_options;
     frontend_options.request_timeout = options_.request_timeout;
@@ -60,14 +74,23 @@ Client::Client(const ClientOptions& options)
         clock_));
     remote_ddl_.reset(
         new RemoteDdlClient(remote_bus_.get(), client_id_, clock_));
+    // The stub shares the bus's control connection (and so its
+    // reconnect backoff and clock domain).
+    meta_.reset(new meta::MetaClient(remote_bus_.get()));
   }
-  admin_.reset(new Admin(cluster_));
+  admin_.reset(new Admin(cluster_, meta_.get()));
 }
 
 Client::Client(engine::Cluster* cluster)
     : cluster_(cluster),
       admin_(new Admin(cluster_)),
-      clock_(MonotonicClock::Default()) {}
+      clock_(MonotonicClock::Default()) {
+  // Attached clients share the cluster with other clients by
+  // definition — their auto-minted event ids need the same collision
+  // protection as the owning constructor's.
+  client_id_ = RandomClientId();
+  event_id_base_ = Hash64(client_id_);
+}
 
 Client::~Client() { Stop(); }
 
@@ -146,8 +169,9 @@ Status Client::RemoteAddStream(const std::string& statement,
       return Status::AlreadyExists("stream already exists: " + stream.name);
     }
   }
-  // The DdlService replies only after the cluster applied the statement
-  // on every alive unit, so no second registration wait is needed.
+  // The broker's metadata service replies only after the cluster
+  // applied the statement on every alive unit, so no second
+  // registration wait is needed.
   // AlreadyExists means the cluster has the stream (e.g. this client
   // reattached after a restart): still register it locally so the
   // client can bind and submit rows, and let the caller see the typed
@@ -167,13 +191,13 @@ Status Client::RemoteAddStream(const std::string& statement,
 
 Status Client::RemoteAddMetric(const std::string& statement,
                                query::QueryDef metric) {
+  // Foreign streams are fair game: fetch the definition from the
+  // metadata service before validating the metric against it.
+  RAILGUN_RETURN_IF_ERROR(EnsureStream(metric.stream));
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = streams_.find(metric.stream);
     if (it == streams_.end()) {
-      // The client can only bind rows for streams it declared itself;
-      // fetching foreign schemas over the wire is the next transport
-      // milestone (see ROADMAP.md).
       return Status::NotFound("unknown stream: " + metric.stream);
     }
     RAILGUN_RETURN_IF_ERROR(
@@ -198,6 +222,52 @@ Status Client::RemoteAddMetric(const std::string& statement,
     }
   }
   return executed;
+}
+
+Status Client::EnsureStream(const std::string& stream) {
+  const Micros now = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_.count(stream) > 0) return Status::OK();
+    // Negative cache: a producer stuck on a misspelled stream name
+    // must keep failing on a map lookup, not turn every submit into a
+    // metadata round trip.
+    auto it = unknown_streams_.find(stream);
+    if (it != unknown_streams_.end()) {
+      if (now < it->second) {
+        return Status::NotFound("unknown stream: " + stream);
+      }
+      unknown_streams_.erase(it);
+    }
+  }
+  if (!remote()) return Status::NotFound("unknown stream: " + stream);
+  auto def_or = meta_->GetStream(stream);
+  if (!def_or.ok()) {
+    // Transport failures stay Unavailable and wire corruption stays
+    // Corruption (both retryable). A broker without a metadata service
+    // answers the RPC itself with a typed NotSupported ("unknown
+    // opcode"); that and a plain miss both mean the stream cannot be
+    // resolved — keep the submit paths' typed NotFound.
+    const Status& status = def_or.status();
+    if (!status.IsNotFound() && !status.IsNotSupported()) return status;
+    std::lock_guard<std::mutex> lock(mu_);
+    // The negative cache is bounded: expired entries are swept on
+    // insert, so it holds at most the distinct unknown names of the
+    // last TTL window.
+    for (auto it = unknown_streams_.begin();
+         it != unknown_streams_.end();) {
+      it = now < it->second ? std::next(it) : unknown_streams_.erase(it);
+    }
+    unknown_streams_[stream] = now + kUnknownStreamTtl;
+    return Status::NotFound("unknown stream: " + stream + " (metadata: " +
+                            status.ToString() + ")");
+  }
+  engine::StreamDef def = std::move(def_or).value();
+  RAILGUN_RETURN_IF_ERROR(remote_frontend_->RegisterStream(def));
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.emplace(def.name, std::move(def));
+  unknown_streams_.erase(stream);
+  return Status::OK();
 }
 
 Status Client::WaitForRegistration(Micros timeout) {
@@ -278,15 +348,28 @@ Status Client::Execute(const std::string& statement) {
 }
 
 std::vector<std::string> Client::ListStreams() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(streams_.size());
-  for (const auto& [name, stream] : streams_) names.push_back(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(streams_.size());
+    for (const auto& [name, stream] : streams_) names.push_back(name);
+  }
+  if (remote() && meta_ != nullptr) {
+    // Merge in streams other clients declared (best effort: a broker
+    // without a metadata service just yields the local view).
+    auto view = meta_->GetView();
+    if (view.ok()) {
+      names.insert(names.end(), view.value().streams.begin(),
+                   view.value().streams.end());
+      std::sort(names.begin(), names.end());
+      names.erase(std::unique(names.begin(), names.end()), names.end());
+    }
+  }
   return names;
 }
 
-StatusOr<reservoir::Schema> Client::GetSchema(
-    const std::string& stream) const {
+StatusOr<reservoir::Schema> Client::GetSchema(const std::string& stream) {
+  if (remote()) RAILGUN_RETURN_IF_ERROR(EnsureStream(stream));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
@@ -312,7 +395,10 @@ StatusOr<reservoir::Event> Client::BindRow(const std::string& stream_name,
   RAILGUN_ASSIGN_OR_RETURN(reservoir::Event event, row.Bind(schema));
   event.timestamp =
       row.has_timestamp() ? row.timestamp() : clock_->NowMicros();
-  event.id = row.has_id() ? row.id() : next_event_id_.fetch_add(1);
+  // Wrapping add: the counter walks a contiguous range from the
+  // client's random 64-bit base.
+  event.id = row.has_id() ? row.id()
+                          : event_id_base_ + next_event_id_.fetch_add(1);
   return event;
 }
 
@@ -338,6 +424,10 @@ ResultFuture Client::Submit(const std::string& stream_name, const Row& row) {
     return ResultFuture::Ready(std::move(result));
   };
 
+  if (remote()) {
+    const Status known = EnsureStream(stream_name);
+    if (!known.ok()) return reject(known);
+  }
   auto event_or = BindRow(stream_name, row);
   if (!event_or.ok()) return reject(event_or.status());
 
@@ -373,6 +463,13 @@ std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
     return ResultFuture::Ready(std::move(result));
   };
 
+  if (remote()) {
+    const Status known = EnsureStream(stream_name);
+    if (!known.ok()) {
+      for (auto& future : futures) future = reject(known);
+      return futures;
+    }
+  }
   // Bind every row up front; individual binding failures complete that
   // row's future without sinking the batch.
   std::vector<reservoir::Event> events;
@@ -431,6 +528,7 @@ EventResult Client::SubmitSync(const std::string& stream_name,
 }
 
 Status Client::SubmitNoReply(const std::string& stream_name, const Row& row) {
+  if (remote()) RAILGUN_RETURN_IF_ERROR(EnsureStream(stream_name));
   RAILGUN_ASSIGN_OR_RETURN(reservoir::Event event,
                            BindRow(stream_name, row));
   engine::FrontEnd* frontend = PickFrontEnd();

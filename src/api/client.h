@@ -37,6 +37,10 @@ namespace railgun::msg::remote {
 class RemoteBus;
 }  // namespace railgun::msg::remote
 
+namespace railgun::meta {
+class MetaClient;
+}  // namespace railgun::meta
+
 namespace railgun::api {
 
 class RemoteDdlClient;
@@ -55,8 +59,11 @@ struct ClientOptions {
   // When set ("host:port" of a msg::remote::BusServer), the client owns
   // no cluster: it attaches to the remote one over the network, running
   // its own front end against a RemoteBus and shipping DDL through the
-  // bus to the cluster's DdlService (see src/api/remote_ddl.h). The
-  // topology fields above are ignored; admin() degrades to Unavailable.
+  // bus to the broker's metadata service (see src/api/remote_ddl.h and
+  // src/meta/). The topology fields above are ignored. Schemas of
+  // streams this client did not declare are fetched on demand from the
+  // metadata service; admin() answers node/stream listings from the
+  // metadata view and mutating calls degrade to Unavailable.
   std::string remote_address;
 
   // Escape hatch: advanced engine tuning on top of the fields above.
@@ -99,8 +106,12 @@ class Client {
   // right handler — the REPL's single entry point.
   Status Execute(const std::string& statement);
 
+  // In remote mode the listing merges the metadata service's view with
+  // locally declared streams, so foreign streams show up too.
   std::vector<std::string> ListStreams() const;
-  StatusOr<reservoir::Schema> GetSchema(const std::string& stream) const;
+  // Fetches the schema of a foreign stream from the metadata service on
+  // demand in remote mode (hence non-const).
+  StatusOr<reservoir::Schema> GetSchema(const std::string& stream);
 
   // --- Event submission ----------------------------------------------
   // Binds the row against the stream schema and publishes it; the
@@ -139,8 +150,8 @@ class Client {
  private:
   Status AddStream(engine::StreamDef stream);
   Status AddMetric(query::QueryDef metric);
-  // Remote-mode DDL: ships the raw statement to the cluster's
-  // DdlService, then applies the already-parsed definition to the
+  // Remote-mode DDL: ships the raw statement to the broker's metadata
+  // service, then applies the already-parsed definition to the
   // client's local registry and front end.
   Status RemoteAddStream(const std::string& statement,
                          engine::StreamDef stream);
@@ -149,6 +160,13 @@ class Client {
   // Blocks until every alive processor unit has applied its enqueued
   // stream registrations (or the timeout elapses).
   Status WaitForRegistration(Micros timeout);
+  // Remote mode: when `stream` is unknown locally, fetches its
+  // definition from the broker's metadata service and teaches the
+  // local front end its routing — this is what lets a client submit to
+  // (or add metrics on) a stream another client created. NotFound when
+  // neither side knows the stream (or the broker has no metadata
+  // service).
+  Status EnsureStream(const std::string& stream);
   StatusOr<reservoir::Event> BindRow(const std::string& stream_name,
                                      const Row& row) const;
   engine::FrontEnd* PickFrontEnd();
@@ -167,9 +185,21 @@ class Client {
   std::unique_ptr<msg::remote::RemoteBus> remote_bus_;
   std::unique_ptr<engine::FrontEnd> remote_frontend_;
   std::unique_ptr<RemoteDdlClient> remote_ddl_;
+  std::unique_ptr<meta::MetaClient> meta_;
+
+  // How long a metadata miss is cached before re-asking the broker
+  // (bounds both the RPC rate of a misdirected producer and the lag
+  // until a freshly created foreign stream becomes submittable here).
+  static constexpr Micros kUnknownStreamTtl = kMicrosPerSecond;
 
   mutable std::mutex mu_;
   std::map<std::string, engine::StreamDef> streams_;
+  // Stream name -> cache-entry expiry on clock_ (see EnsureStream).
+  std::map<std::string, Micros> unknown_streams_;
+  // Auto-minted event ids count up from a random per-client base (see
+  // BindRow): the reservoirs dedup by id, so two clients must never
+  // mint the same one.
+  uint64_t event_id_base_ = 0;
   mutable std::atomic<uint64_t> next_event_id_{1};
   std::atomic<uint64_t> next_frontend_{0};
 };

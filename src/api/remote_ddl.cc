@@ -97,56 +97,4 @@ void RemoteDdlClient::Shutdown() {
   subscribed_ = false;
 }
 
-// --- DdlService ------------------------------------------------------
-
-DdlService::DdlService(engine::Cluster* cluster)
-    : bus_(cluster->bus()), client_(cluster) {}
-
-DdlService::~DdlService() { Stop(); }
-
-Status DdlService::Start() {
-  Status s = bus_->CreateTopic(kDdlTopic, 1);
-  if (!s.ok() && !s.IsAlreadyExists()) return s;
-  RAILGUN_RETURN_IF_ERROR(bus_->Subscribe(consumer_id_, "ddl.svc",
-                                          {kDdlTopic}, "", nullptr, {}));
-  running_ = true;
-  thread_ = std::thread([this] { Run(); });
-  return Status::OK();
-}
-
-void DdlService::Stop() {
-  if (!running_.exchange(false)) return;
-  bus_->WakeConsumer(consumer_id_);  // Cut a parked poll short.
-  if (thread_.joinable()) thread_.join();
-  bus_->Unsubscribe(consumer_id_);
-}
-
-void DdlService::Run() {
-  std::vector<msg::Message> batch;
-  while (running_) {
-    const Status polled =
-        bus_->Poll(consumer_id_, 16, &batch, 50 * kMicrosPerMilli);
-    if (!polled.ok()) {
-      // Fenced or unreachable: back off without spinning; statements
-      // in flight simply time out on the client.
-      batch.clear();
-      MonotonicClock::Default()->SleepMicros(10 * kMicrosPerMilli);
-      continue;
-    }
-    for (const auto& message : batch) {
-      DdlRequest request;
-      if (!DecodeDdlRequest(Slice(message.payload), &request).ok()) continue;
-      DdlReply reply;
-      reply.request_id = request.request_id;
-      reply.result = client_.Execute(request.statement);
-      std::string encoded;
-      EncodeDdlReply(reply, &encoded);
-      // Best effort: an unreachable reply topic means the client died;
-      // it would have timed out anyway.
-      bus_->Produce(request.reply_topic, request.reply_topic,
-                    std::move(encoded));
-    }
-  }
-}
-
 }  // namespace railgun::api

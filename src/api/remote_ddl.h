@@ -4,8 +4,9 @@
 // across the network hop).
 //
 // Topology: clients publish statements to the single-partition
-// "__railgun.ddl" topic with a private reply topic; the cluster-owning
-// process runs one DdlService, which executes each statement through an
+// "__railgun.ddl" topic with a private reply topic; the broker process
+// consumes it in its MetadataService (src/meta/metadata_service.h,
+// which absorbed PR 3's DdlService), executes each statement through an
 // attached api::Client (so validation, metric merging and
 // applied-by-every-unit synchronization are exactly the local DDL path)
 // and publishes the typed result back. Requests from one client execute
@@ -13,12 +14,12 @@
 #ifndef RAILGUN_API_REMOTE_DDL_H_
 #define RAILGUN_API_REMOTE_DDL_H_
 
-#include <atomic>
 #include <mutex>
 #include <string>
-#include <thread>
 
-#include "api/client.h"
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
 #include "msg/bus.h"
 
 namespace railgun::api {
@@ -70,30 +71,6 @@ class RemoteDdlClient {
   std::mutex mu_;
   bool subscribed_ = false;
   uint64_t next_request_id_ = 1;
-};
-
-// Server side: consumes the DDL topic and applies statements to the
-// cluster through an attached Client. Run exactly one per cluster,
-// in the process that owns it (next to the BusServer).
-class DdlService {
- public:
-  explicit DdlService(engine::Cluster* cluster);
-  ~DdlService();
-
-  DdlService(const DdlService&) = delete;
-  DdlService& operator=(const DdlService&) = delete;
-
-  Status Start();
-  void Stop();
-
- private:
-  void Run();
-
-  msg::Bus* bus_;
-  Client client_;  // Attached to the served cluster.
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  const std::string consumer_id_ = "ddl.svc";
 };
 
 }  // namespace railgun::api

@@ -10,6 +10,10 @@ Cluster::Cluster(const ClusterOptions& options)
   bus_options.clock = clock_;
   bus_.reset(new msg::InProcessBus(bus_options));
   coordinator_.reset(new Coordinator(options_.replication_factor));
+  // Pre-install the sticky strategy server-side: processor units that
+  // join over the network (whose strategy pointer cannot cross the
+  // wire) then get the same placement as local units.
+  bus_->SetGroupStrategy(kActiveGroup, coordinator_.get());
 }
 
 Cluster::~Cluster() { Stop(); }

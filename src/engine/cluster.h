@@ -50,6 +50,9 @@ class Cluster {
   int num_nodes() const;
   msg::Bus* bus() { return bus_.get(); }
   Coordinator* coordinator() { return coordinator_.get(); }
+  // The clock every bus/engine duration is interpreted in (the
+  // metadata service leases nodes on this same clock).
+  Clock* clock() const { return clock_; }
 
   // Blocks until every event topic has been fully consumed by the
   // active units (all processed), or the timeout elapses. Returns the

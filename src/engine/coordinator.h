@@ -20,6 +20,11 @@
 
 namespace railgun::engine {
 
+// Consumer group carrying the active-task assignment. The cluster
+// installs its Coordinator as this group's server-side strategy, so
+// units joining from other processes get the same sticky placement.
+inline constexpr char kActiveGroup[] = "railgun-active";
+
 class Coordinator : public msg::AssignmentStrategy {
  public:
   explicit Coordinator(int replication_factor)

@@ -145,7 +145,7 @@ void ProcessorUnit::DrainOperationalRequests() {
     }
   };
   const Status subscribed = bus_->Subscribe(
-      unit_id_, "railgun-active", topics,
+      unit_id_, kActiveGroup, topics,
       "node=" + node_id_ + ";unit=" + unit_id_, coordinator_,
       std::move(listener));
   std::lock_guard<std::mutex> lock(mu_);

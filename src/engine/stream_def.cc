@@ -25,6 +25,77 @@ StatusOr<std::string> StreamDef::PartitionerForQuery(
       "no partitioner covers the query's group-by fields");
 }
 
+void EncodeStreamDef(const StreamDef& def, std::string* out) {
+  PutLengthPrefixedSlice(out, def.name);
+  PutVarint32(out, static_cast<uint32_t>(def.fields.size()));
+  for (const auto& field : def.fields) {
+    PutLengthPrefixedSlice(out, field.name);
+    out->push_back(static_cast<char>(field.type));
+  }
+  PutVarint32(out, static_cast<uint32_t>(def.partitioners.size()));
+  for (const auto& p : def.partitioners) PutLengthPrefixedSlice(out, p);
+  PutVarint32(out, static_cast<uint32_t>(def.partitions_per_topic));
+  PutVarint32(out, static_cast<uint32_t>(def.queries.size()));
+  for (const auto& q : def.queries) PutLengthPrefixedSlice(out, q.raw);
+}
+
+Status DecodeStreamDef(Slice* in, StreamDef* def) {
+  Slice name;
+  uint32_t num_fields;
+  if (!GetLengthPrefixedSlice(in, &name) || !GetVarint32(in, &num_fields)) {
+    return Status::Corruption("malformed stream definition");
+  }
+  def->name = name.ToString();
+  def->fields.clear();
+  for (uint32_t i = 0; i < num_fields; ++i) {
+    Slice field_name;
+    if (!GetLengthPrefixedSlice(in, &field_name) || in->empty()) {
+      return Status::Corruption("malformed stream field");
+    }
+    const uint8_t type = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    if (type > static_cast<uint8_t>(reservoir::FieldType::kBool)) {
+      return Status::Corruption("unknown stream field type");
+    }
+    def->fields.push_back(
+        {field_name.ToString(), static_cast<reservoir::FieldType>(type)});
+  }
+  uint32_t num_partitioners;
+  if (!GetVarint32(in, &num_partitioners)) {
+    return Status::Corruption("malformed stream definition");
+  }
+  def->partitioners.clear();
+  for (uint32_t i = 0; i < num_partitioners; ++i) {
+    Slice p;
+    if (!GetLengthPrefixedSlice(in, &p)) {
+      return Status::Corruption("malformed stream partitioner");
+    }
+    def->partitioners.push_back(p.ToString());
+  }
+  uint32_t partitions, num_queries;
+  if (!GetVarint32(in, &partitions) || partitions == 0 ||
+      partitions > static_cast<uint32_t>(INT32_MAX) ||
+      !GetVarint32(in, &num_queries)) {
+    return Status::Corruption("malformed stream definition");
+  }
+  def->partitions_per_topic = static_cast<int>(partitions);
+  def->queries.clear();
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    Slice raw;
+    if (!GetLengthPrefixedSlice(in, &raw)) {
+      return Status::Corruption("malformed stream metric");
+    }
+    auto metric = query::ParseQuery(raw.ToString());
+    if (!metric.ok()) {
+      return Status::Corruption("stream definition carries an unparseable "
+                                "metric: " +
+                                metric.status().ToString());
+    }
+    def->queries.push_back(std::move(metric).value());
+  }
+  return Status::OK();
+}
+
 void EncodeEventEnvelope(const EventEnvelope& env,
                          const reservoir::Schema& schema, std::string* out) {
   PutFixed64(out, env.request_id);

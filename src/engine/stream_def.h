@@ -35,6 +35,13 @@ struct StreamDef {
       const query::QueryDef& query) const;
 };
 
+// Wire form of a stream definition, used by the metadata service so a
+// client or worker process can learn streams it did not declare. Metric
+// queries travel as their raw SELECT statements and are re-parsed on
+// decode, so both sides always agree with the DDL grammar.
+void EncodeStreamDef(const StreamDef& def, std::string* out);
+Status DecodeStreamDef(Slice* in, StreamDef* def);
+
 // ----- Wire envelopes -----
 
 // Event envelope published to every partitioner topic.

@@ -1,0 +1,41 @@
+#include "meta/broker.h"
+
+namespace railgun::meta {
+
+Broker::Broker(const BrokerOptions& options) : options_(options) {
+  cluster_ = std::make_unique<engine::Cluster>(options_.cluster);
+  msg::remote::BusServerOptions server_options;
+  server_options.host = options_.host;
+  server_options.port = options_.port;
+  server_ = std::make_unique<msg::remote::BusServer>(server_options,
+                                                     cluster_->bus());
+  meta_ = std::make_unique<MetadataService>(options_.meta, cluster_.get());
+  // Route the kMeta* opcodes into the metadata service (installed
+  // before Start: the server reads the hook unlocked).
+  server_->SetExtension(
+      [this](uint8_t opcode, const Slice& payload, Status* status,
+             std::string* result) {
+        return meta_->HandleWire(opcode, payload, status, result);
+      });
+}
+
+Broker::~Broker() { Stop(); }
+
+Status Broker::Start() {
+  if (started_) return Status::OK();
+  RAILGUN_RETURN_IF_ERROR(cluster_->Start());
+  RAILGUN_RETURN_IF_ERROR(server_->Start());
+  RAILGUN_RETURN_IF_ERROR(meta_->Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void Broker::Stop() {
+  if (!started_) return;
+  started_ = false;
+  meta_->Stop();
+  server_->Stop();
+  cluster_->Stop();
+}
+
+}  // namespace railgun::meta

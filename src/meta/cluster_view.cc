@@ -1,0 +1,91 @@
+#include "meta/cluster_view.h"
+
+#include "common/coding.h"
+
+namespace railgun::meta {
+
+void EncodeNodeAnnouncement(const NodeAnnouncement& announcement,
+                            std::string* out) {
+  PutLengthPrefixedSlice(out, announcement.node_id);
+  PutLengthPrefixedSlice(out, announcement.address);
+  PutVarint32(out, static_cast<uint32_t>(announcement.unit_ids.size()));
+  for (const auto& unit : announcement.unit_ids) {
+    PutLengthPrefixedSlice(out, unit);
+  }
+}
+
+Status DecodeNodeAnnouncement(Slice* in, NodeAnnouncement* announcement) {
+  Slice node_id, address;
+  uint32_t num_units;
+  if (!GetLengthPrefixedSlice(in, &node_id) ||
+      !GetLengthPrefixedSlice(in, &address) ||
+      !GetVarint32(in, &num_units)) {
+    return Status::Corruption("malformed node announcement");
+  }
+  announcement->node_id = node_id.ToString();
+  announcement->address = address.ToString();
+  announcement->unit_ids.clear();
+  for (uint32_t i = 0; i < num_units; ++i) {
+    Slice unit;
+    if (!GetLengthPrefixedSlice(in, &unit)) {
+      return Status::Corruption("malformed node announcement");
+    }
+    announcement->unit_ids.push_back(unit.ToString());
+  }
+  return Status::OK();
+}
+
+void EncodeClusterView(const ClusterView& view, std::string* out) {
+  PutVarint64(out, view.generation);
+  PutVarint32(out, static_cast<uint32_t>(view.nodes.size()));
+  for (const auto& node : view.nodes) {
+    PutLengthPrefixedSlice(out, node.node_id);
+    PutLengthPrefixedSlice(out, node.address);
+    PutVarint32(out, static_cast<uint32_t>(node.num_units));
+    out->push_back(node.alive ? 1 : 0);
+  }
+  PutVarint32(out, static_cast<uint32_t>(view.streams.size()));
+  for (const auto& stream : view.streams) {
+    PutLengthPrefixedSlice(out, stream);
+  }
+}
+
+Status DecodeClusterView(Slice* in, ClusterView* view) {
+  uint32_t num_nodes;
+  if (!GetVarint64(in, &view->generation) || !GetVarint32(in, &num_nodes)) {
+    return Status::Corruption("malformed cluster view");
+  }
+  view->nodes.clear();
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    NodeMember node;
+    Slice node_id, address;
+    uint32_t num_units;
+    if (!GetLengthPrefixedSlice(in, &node_id) ||
+        !GetLengthPrefixedSlice(in, &address) ||
+        !GetVarint32(in, &num_units) ||
+        num_units > static_cast<uint32_t>(INT32_MAX) || in->empty()) {
+      return Status::Corruption("malformed cluster view node");
+    }
+    node.node_id = node_id.ToString();
+    node.address = address.ToString();
+    node.num_units = static_cast<int>(num_units);
+    node.alive = (*in)[0] != 0;
+    in->remove_prefix(1);
+    view->nodes.push_back(std::move(node));
+  }
+  uint32_t num_streams;
+  if (!GetVarint32(in, &num_streams)) {
+    return Status::Corruption("malformed cluster view");
+  }
+  view->streams.clear();
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    Slice stream;
+    if (!GetLengthPrefixedSlice(in, &stream)) {
+      return Status::Corruption("malformed cluster view stream");
+    }
+    view->streams.push_back(stream.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace railgun::meta

@@ -1,0 +1,415 @@
+#include "meta/metadata_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "api/remote_ddl.h"
+#include "common/coding.h"
+#include "msg/remote/wire.h"
+#include "query/ddl.h"
+
+namespace railgun::meta {
+
+MetadataService::MetadataService(const MetadataServiceOptions& options,
+                                 engine::Cluster* cluster)
+    : options_(options),
+      cluster_(cluster),
+      bus_(cluster->bus()),
+      clock_(cluster->clock()),
+      client_(cluster) {}
+
+MetadataService::~MetadataService() { Stop(); }
+
+Status MetadataService::Start() {
+  if (running_.exchange(true)) return Status::OK();
+  if (options_.run_ddl_service) {
+    Status s = bus_->CreateTopic(api::kDdlTopic, 1);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      running_ = false;
+      return s;
+    }
+    // The consumer group is the failover seam: a standby service
+    // joining "ddl.svc" takes over the topic when this member dies.
+    s = bus_->Subscribe(ddl_consumer_id_, "ddl.svc", {api::kDdlTopic}, "",
+                        nullptr, {});
+    if (!s.ok()) {
+      running_ = false;
+      return s;
+    }
+    ddl_thread_ = std::thread([this] { DdlLoop(); });
+  }
+  // Leases are measured on the bus clock; under a simulated clock there
+  // is no real time to sweep on — tests drive CheckLeases directly.
+  if (clock_->IsRealTime()) {
+    sweep_thread_ = std::thread([this] { SweepLoop(); });
+  }
+  return Status::OK();
+}
+
+void MetadataService::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+  }
+  sweep_cv_.notify_all();
+  bus_->WakeConsumer(ddl_consumer_id_);  // Cut a parked DDL poll short.
+  if (ddl_thread_.joinable()) ddl_thread_.join();
+  if (sweep_thread_.joinable()) sweep_thread_.join();
+  if (options_.run_ddl_service) bus_->Unsubscribe(ddl_consumer_id_);
+}
+
+// ----- Membership -----------------------------------------------------
+
+void MetadataService::FenceUnits(const std::vector<std::string>& units,
+                                 const std::vector<std::string>& fenced) {
+  // Best effort: a unit that never subscribed answers NotFound, which
+  // is exactly the desired end state.
+  for (const auto& unit : units) bus_->KillConsumer(unit);
+  if (fenced.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& node_id : fenced) {
+    auto it = nodes_.find(node_id);
+    if (it != nodes_.end()) it->second.fencing = false;
+  }
+}
+
+int MetadataService::CheckLeasesLocked(Micros now,
+                                       std::vector<std::string>* fence,
+                                       std::vector<std::string>* fenced) {
+  int expired = 0;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    NodeRecord& record = it->second;
+    if (!record.alive) {
+      // Prune old tombstones (workers restart under fresh ids; without
+      // a bound the map and every view would grow forever).
+      if (!record.fencing &&
+          now - record.died_at >= options_.dead_node_retention) {
+        it = nodes_.erase(it);
+        continue;
+      }
+      ++it;
+      continue;
+    }
+    if (now - record.last_heartbeat < options_.lease_timeout) {
+      ++it;
+      continue;
+    }
+    record.alive = false;
+    record.died_at = now;
+    record.fencing = true;
+    ++expired;
+    fence->insert(fence->end(), record.info.unit_ids.begin(),
+                  record.info.unit_ids.end());
+    fenced->push_back(it->first);
+    ++it;
+  }
+  if (expired > 0) ++generation_;
+  return expired;
+}
+
+int MetadataService::CheckLeases() {
+  std::vector<std::string> fence, fenced;
+  int expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expired = CheckLeasesLocked(clock_->NowMicros(), &fence, &fenced);
+  }
+  FenceUnits(fence, fenced);
+  return expired;
+}
+
+StatusOr<AnnounceResult> MetadataService::Announce(
+    const NodeAnnouncement& announcement) {
+  std::vector<std::string> fence, fenced;
+  Status status;
+  AnnounceResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Micros now = clock_->NowMicros();
+    CheckLeasesLocked(now, &fence, &fenced);
+    if (announcement.node_id.empty()) {
+      status = Status::InvalidArgument("node announcement without an id");
+    } else {
+      auto it = nodes_.find(announcement.node_id);
+      if (it != nodes_.end() && it->second.alive) {
+        status = Status::AlreadyExists("node already announced and alive: " +
+                                       announcement.node_id);
+      } else if (it != nodes_.end() && it->second.fencing) {
+        // A fence for this id's previous incarnation is in flight
+        // outside mu_; admitting the successor now would let that
+        // fence kill its fresh subscriptions. Retry shortly.
+        status = Status::Unavailable(
+            "previous incarnation still being fenced: " +
+            announcement.node_id);
+      } else {
+        NodeRecord record;
+        record.info = announcement;
+        record.last_heartbeat = now;
+        nodes_[announcement.node_id] = std::move(record);
+        ++generation_;
+        result.lease_timeout = options_.lease_timeout;
+        result.generation = generation_;
+      }
+    }
+  }
+  FenceUnits(fence, fenced);
+  RAILGUN_RETURN_IF_ERROR(status);
+  return result;
+}
+
+StatusOr<uint64_t> MetadataService::Heartbeat(const std::string& node_id) {
+  std::vector<std::string> fence, fenced;
+  Status status;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Micros now = clock_->NowMicros();
+    CheckLeasesLocked(now, &fence, &fenced);
+    auto it = nodes_.find(node_id);
+    if (it == nodes_.end() || !it->second.alive) {
+      // Expired or never announced: the node must re-announce (and
+      // rebuild its tasks) rather than silently resurrect a fenced
+      // lease.
+      status = Status::NotFound("no live lease for node: " + node_id);
+    } else {
+      it->second.last_heartbeat = now;
+      generation = generation_;
+    }
+  }
+  FenceUnits(fence, fenced);
+  RAILGUN_RETURN_IF_ERROR(status);
+  return generation;
+}
+
+Status MetadataService::Leave(const std::string& node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("unknown node: " + node_id);
+  }
+  if (it->second.alive) {
+    it->second.alive = false;
+    it->second.died_at = clock_->NowMicros();
+    ++generation_;
+  }
+  return Status::OK();
+}
+
+ClusterView MetadataService::View() const {
+  ClusterView view;
+  // Broker-local engine nodes first: they are part of the deployment
+  // but never announce (they share the process with this service).
+  const int local = cluster_->num_nodes();
+  for (int i = 0; i < local; ++i) {
+    engine::RailgunNode* node = cluster_->node(i);
+    view.nodes.push_back(
+        {node->id(), "broker-local", node->num_units(), node->alive()});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  view.generation = generation_;
+  const Micros now = clock_->NowMicros();
+  for (const auto& [node_id, record] : nodes_) {
+    // Present expiry immediately even if no CheckLeases ran yet; the
+    // fencing side effect still belongs to CheckLeases.
+    const bool alive =
+        record.alive && now - record.last_heartbeat < options_.lease_timeout;
+    view.nodes.push_back({node_id, record.info.address,
+                          static_cast<int>(record.info.unit_ids.size()),
+                          alive});
+  }
+  for (const auto& [name, def] : streams_) view.streams.push_back(name);
+  return view;
+}
+
+// ----- Schema registry ------------------------------------------------
+
+Status MetadataService::RegisterStream(const engine::StreamDef& stream) {
+  if (stream.name.empty()) {
+    return Status::InvalidArgument("stream definition without a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_[stream.name] = stream;
+  ++generation_;
+  return Status::OK();
+}
+
+StatusOr<engine::StreamDef> MetadataService::GetStream(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream: " + name);
+  }
+  return it->second;
+}
+
+std::vector<engine::StreamDef> MetadataService::ListStreamDefs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<engine::StreamDef> defs;
+  defs.reserve(streams_.size());
+  for (const auto& [name, def] : streams_) defs.push_back(def);
+  return defs;
+}
+
+// ----- DDL ------------------------------------------------------------
+
+Status MetadataService::ExecuteDdl(const std::string& statement) {
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  // The attached client is the source of validation and synchronization
+  // (the statement is applied by every alive broker-local unit before
+  // Execute returns). AlreadyExists still syncs the registry so a
+  // reattaching declarer and the registry agree.
+  const Status executed = client_.Execute(statement);
+  if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
+
+  if (query::IsDdlStatement(statement)) {
+    auto ddl = query::ParseDdl(statement);
+    if (!ddl.ok()) return executed;  // Client accepted it; cannot happen.
+    if (ddl.value().kind == query::DdlKind::kCreateStream) {
+      engine::StreamDef def;
+      query::StreamSchemaDef& schema = ddl.value().create_stream;
+      def.name = std::move(schema.name);
+      def.fields = std::move(schema.fields);
+      def.partitioners = std::move(schema.partitioners);
+      def.partitions_per_topic = schema.partitions_per_topic;
+      std::lock_guard<std::mutex> lock(mu_);
+      // Keep registered metrics when the stream was already known.
+      if (streams_.count(def.name) == 0) {
+        streams_[def.name] = std::move(def);
+        ++generation_;
+      }
+      return executed;
+    }
+    AddMetricToRegistry(std::move(ddl.value().metric));
+    return executed;
+  }
+  auto metric = query::ParseQuery(statement);
+  if (metric.ok()) AddMetricToRegistry(std::move(metric).value());
+  return executed;
+}
+
+void MetadataService::AddMetricToRegistry(query::QueryDef metric) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(metric.stream);
+  if (it == streams_.end()) return;
+  for (const auto& existing : it->second.queries) {
+    if (existing.raw == metric.raw) return;
+  }
+  it->second.queries.push_back(std::move(metric));
+  ++generation_;
+}
+
+void MetadataService::DdlLoop() {
+  std::vector<msg::Message> batch;
+  while (running_) {
+    const Status polled =
+        bus_->Poll(ddl_consumer_id_, 16, &batch, 50 * kMicrosPerMilli);
+    if (!polled.ok()) {
+      // Fenced or unreachable: back off without spinning; statements
+      // in flight simply time out on the client.
+      batch.clear();
+      MonotonicClock::Default()->SleepMicros(10 * kMicrosPerMilli);
+      continue;
+    }
+    for (const auto& message : batch) {
+      api::DdlRequest request;
+      if (!api::DecodeDdlRequest(Slice(message.payload), &request).ok()) {
+        continue;
+      }
+      api::DdlReply reply;
+      reply.request_id = request.request_id;
+      reply.result = ExecuteDdl(request.statement);
+      std::string encoded;
+      api::EncodeDdlReply(reply, &encoded);
+      // Best effort: an unreachable reply topic means the client died;
+      // it would have timed out anyway.
+      bus_->Produce(request.reply_topic, request.reply_topic,
+                    std::move(encoded));
+    }
+  }
+}
+
+void MetadataService::SweepLoop() {
+  const Micros period =
+      std::max<Micros>(options_.lease_timeout / 4, 10 * kMicrosPerMilli);
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (running_) {
+    sweep_cv_.wait_for(lock, std::chrono::microseconds(period));
+    if (!running_) break;
+    lock.unlock();
+    CheckLeases();
+    lock.lock();
+  }
+}
+
+// ----- Wire hook ------------------------------------------------------
+
+bool MetadataService::HandleWire(uint8_t opcode, const Slice& payload,
+                                 Status* status, std::string* result) {
+  using msg::remote::OpCode;
+  Slice in = payload;
+  switch (static_cast<OpCode>(opcode)) {
+    case OpCode::kMetaAnnounce: {
+      NodeAnnouncement announcement;
+      const Status parsed = DecodeNodeAnnouncement(&in, &announcement);
+      if (!parsed.ok()) {
+        *status = parsed;
+        return true;
+      }
+      auto announced = Announce(announcement);
+      *status = announced.status();
+      if (announced.ok()) {
+        PutVarsint64(result, announced.value().lease_timeout);
+        PutVarint64(result, announced.value().generation);
+      }
+      return true;
+    }
+    case OpCode::kMetaHeartbeat: {
+      Slice node_id;
+      if (!GetLengthPrefixedSlice(&in, &node_id)) {
+        *status = Status::Corruption("malformed heartbeat");
+        return true;
+      }
+      auto generation = Heartbeat(node_id.ToString());
+      *status = generation.status();
+      if (generation.ok()) PutVarint64(result, generation.value());
+      return true;
+    }
+    case OpCode::kMetaLeave: {
+      Slice node_id;
+      if (!GetLengthPrefixedSlice(&in, &node_id)) {
+        *status = Status::Corruption("malformed leave");
+        return true;
+      }
+      *status = Leave(node_id.ToString());
+      return true;
+    }
+    case OpCode::kMetaGetView: {
+      EncodeClusterView(View(), result);
+      *status = Status::OK();
+      return true;
+    }
+    case OpCode::kMetaGetStream: {
+      Slice name;
+      if (!GetLengthPrefixedSlice(&in, &name)) {
+        *status = Status::Corruption("malformed stream fetch");
+        return true;
+      }
+      auto def = GetStream(name.ToString());
+      *status = def.status();
+      if (def.ok()) engine::EncodeStreamDef(def.value(), result);
+      return true;
+    }
+    case OpCode::kMetaListStreams: {
+      const std::vector<engine::StreamDef> defs = ListStreamDefs();
+      PutVarint32(result, static_cast<uint32_t>(defs.size()));
+      for (const auto& def : defs) engine::EncodeStreamDef(def, result);
+      *status = Status::OK();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace railgun::meta

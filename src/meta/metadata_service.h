@@ -1,0 +1,161 @@
+// Cluster membership & metadata service: the control plane that turns
+// one BusServer-hosted broker plus N independent worker processes into
+// the paper's real multi-machine deployment.
+//
+// Hosted in the broker process next to the BusServer, it keeps three
+// things behind one generation counter:
+//   - membership: worker nodes announce, heartbeat and leave; a node
+//     whose heartbeats stop loses its lease (measured on the *bus
+//     clock*, so simulated-time tests are exact) and its processor
+//     units are fenced through the bus, triggering a rebalance onto the
+//     survivors;
+//   - a schema registry of wire-serializable StreamDefs, so any client
+//     or worker can fetch streams it did not declare;
+//   - DDL execution (absorbed from PR 3's api::DdlService): statements
+//     arriving on the "__railgun.ddl" topic are executed through an
+//     attached api::Client and folded into the registry. The DDL
+//     consumer runs in a consumer group, which is the failover path: a
+//     standby metadata service joining the same group would take over
+//     the topic when this one dies (leader election is the seeded next
+//     step, see ROADMAP.md).
+//
+// Wire surface: the BusServer extension hook routes the kMeta* opcodes
+// (msg/remote/wire.h) into HandleWire; meta::MetaClient is the client
+// stub.
+#ifndef RAILGUN_META_METADATA_SERVICE_H_
+#define RAILGUN_META_METADATA_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.h"
+#include "engine/cluster.h"
+#include "engine/stream_def.h"
+#include "meta/cluster_view.h"
+#include "msg/bus.h"
+
+namespace railgun::meta {
+
+struct MetadataServiceOptions {
+  // A node missing heartbeats for this long (on the bus clock) loses
+  // its lease: it is marked dead in the view and its units are fenced.
+  Micros lease_timeout = 5 * kMicrosPerSecond;
+  // Dead nodes stay visible in the view this long after leaving or
+  // expiring (so operators see recent departures), then their records
+  // are pruned — workers restart under fresh generated ids, so without
+  // a bound the node map would grow forever.
+  Micros dead_node_retention = 10 * kMicrosPerMinute;
+  // Consume the "__railgun.ddl" topic and execute statements. Disabled
+  // by tests that drive ExecuteDdl directly.
+  bool run_ddl_service = true;
+};
+
+class MetadataService {
+ public:
+  MetadataService(const MetadataServiceOptions& options,
+                  engine::Cluster* cluster);
+  ~MetadataService();
+
+  MetadataService(const MetadataService&) = delete;
+  MetadataService& operator=(const MetadataService&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // ----- Membership ---------------------------------------------------
+  // Registers a joining node. AlreadyExists while another holder of the
+  // same id is alive and inside its lease; rejoining after a leave or
+  // an expiry succeeds. Bumps the view generation.
+  StatusOr<AnnounceResult> Announce(const NodeAnnouncement& announcement);
+  // Renews the lease; returns the current view generation so the node
+  // can cheaply detect membership/schema changes. NotFound for unknown
+  // or expired nodes — the caller should re-announce.
+  StatusOr<uint64_t> Heartbeat(const std::string& node_id);
+  // Graceful departure: the node is marked dead in the view but its
+  // units are NOT fenced (they unsubscribe cleanly themselves).
+  Status Leave(const std::string& node_id);
+
+  // Expires leases against the bus clock; fences the units of every
+  // newly expired node through the bus (one rebalance per fenced unit).
+  // Runs inside Announce/Heartbeat and from a background sweeper on
+  // real-time clocks; simulated-time tests call it directly. Returns
+  // the number of nodes expired by this call.
+  int CheckLeases();
+
+  // Snapshot: broker-local engine nodes first (address "broker-local"),
+  // then announced worker nodes.
+  ClusterView View() const;
+
+  // ----- Schema registry ----------------------------------------------
+  Status RegisterStream(const engine::StreamDef& stream);
+  StatusOr<engine::StreamDef> GetStream(const std::string& name) const;
+  std::vector<engine::StreamDef> ListStreamDefs() const;
+
+  // ----- DDL ----------------------------------------------------------
+  // Executes one statement through the attached client (full
+  // validation, applied-by-every-local-unit synchronization) and folds
+  // the result into the schema registry. AlreadyExists still syncs the
+  // registry, mirroring client reattachment semantics.
+  Status ExecuteDdl(const std::string& statement);
+
+  // ----- Wire hook ----------------------------------------------------
+  // BusServer extension: true when `opcode` is a kMeta* RPC (filling
+  // *status and, on OK, *result), false to fall through.
+  bool HandleWire(uint8_t opcode, const Slice& payload, Status* status,
+                  std::string* result);
+
+ private:
+  struct NodeRecord {
+    NodeAnnouncement info;
+    Micros last_heartbeat = 0;
+    bool alive = true;
+    Micros died_at = 0;  // Leave/expiry time; prunes the tombstone.
+    // True while this node's units are being fenced outside mu_; the
+    // id cannot re-announce until fencing completes, so a fence can
+    // never kill a successor incarnation's fresh subscriptions.
+    bool fencing = false;
+  };
+
+  void DdlLoop();
+  void SweepLoop();
+  // Appends newly expired nodes' unit ids to *fence and their node ids
+  // to *fenced (the caller must hand both to FenceUnits). Also prunes
+  // tombstones past dead_node_retention. Requires mu_.
+  int CheckLeasesLocked(Micros now, std::vector<std::string>* fence,
+                        std::vector<std::string>* fenced);
+  // Kills the listed unit consumers on the bus (never under mu_ — the
+  // bus takes its own group lock and may run listeners), then clears
+  // the named nodes' fencing flags, unblocking re-announces.
+  void FenceUnits(const std::vector<std::string>& units,
+                  const std::vector<std::string>& fenced);
+  void AddMetricToRegistry(query::QueryDef metric);
+
+  MetadataServiceOptions options_;
+  engine::Cluster* cluster_;
+  msg::Bus* bus_;
+  Clock* clock_;  // The cluster's (= bus's) clock.
+  api::Client client_;  // Attached to the cluster; executes DDL.
+
+  mutable std::mutex mu_;  // Guards nodes_, streams_, generation_.
+  std::map<std::string, NodeRecord> nodes_;
+  std::map<std::string, engine::StreamDef> streams_;
+  uint64_t generation_ = 1;
+
+  std::mutex ddl_mu_;  // Serializes ExecuteDdl.
+
+  std::atomic<bool> running_{false};
+  std::thread ddl_thread_;
+  std::thread sweep_thread_;
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  const std::string ddl_consumer_id_ = "ddl.svc";
+};
+
+}  // namespace railgun::meta
+
+#endif  // RAILGUN_META_METADATA_SERVICE_H_

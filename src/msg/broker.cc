@@ -233,6 +233,14 @@ Status InProcessBus::Subscribe(const std::string& consumer_id,
   return Status::OK();
 }
 
+void InProcessBus::SetGroupStrategy(const std::string& group,
+                                    AssignmentStrategy* strategy) {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  Group& g = groups_[group];
+  g.strategy = strategy;
+  g.pinned_strategy = true;
+}
+
 Status InProcessBus::Unsubscribe(const std::string& consumer_id) {
   {
     std::lock_guard<std::mutex> lock(group_mu_);
@@ -247,7 +255,14 @@ Status InProcessBus::Unsubscribe(const std::string& consumer_id) {
     if (git != groups_.end()) {
       git->second.members.erase(consumer_id);
       if (git->second.members.empty()) {
-        groups_.erase(git);
+        if (git->second.pinned_strategy) {
+          // Keep the group record: its pinned strategy must apply to
+          // the next joiner (erasing would silently fall back to the
+          // default policy).
+          git->second.current.clear();
+        } else {
+          groups_.erase(git);
+        }
       } else {
         RebalanceGroupLocked(group);
       }

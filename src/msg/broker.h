@@ -89,6 +89,14 @@ class InProcessBus : public Bus {
                    RebalanceListener listener) override;
   Status Unsubscribe(const std::string& consumer_id) override;
 
+  // Installs (or replaces) the assignment strategy of a group
+  // server-side, before or after members join. Remote subscribers
+  // cannot ship a strategy across the wire, so a broker process
+  // pre-installs the engine's sticky coordinator here and every joining
+  // worker — local or remote — gets the same placement policy.
+  void SetGroupStrategy(const std::string& group,
+                        AssignmentStrategy* strategy);
+
   // ----- Consuming -----
   // Pulls up to max_messages across the consumer's assigned partitions,
   // starting at its committed/next offsets. Acts as the heartbeat.
@@ -185,6 +193,10 @@ class InProcessBus : public Bus {
   };
   struct Group {
     AssignmentStrategy* strategy = nullptr;  // Borrowed.
+    // True when the strategy came from SetGroupStrategy: it must
+    // survive the group emptying out (a later joiner gets the same
+    // policy), not be dropped with the last member.
+    bool pinned_strategy = false;
     std::set<std::string> members;
     uint64_t generation = 0;
     Assignment current;  // member -> partitions.

@@ -1,0 +1,63 @@
+// Capped exponential backoff with jitter for lazy reconnects, shared
+// by every client-side stub that dials a BusServer (RemoteBus
+// connections, meta::MetaClient): the first failed dial backs off for
+// `min_backoff`, doubling per consecutive failure up to `max_backoff`,
+// plus up to +25% jitter so a fleet of clients doesn't re-dial a
+// recovering broker in lockstep. While inside the window, callers fail
+// fast without touching the network.
+//
+// Not thread-safe: guard with the owning connection's mutex.
+#ifndef RAILGUN_MSG_REMOTE_BACKOFF_H_
+#define RAILGUN_MSG_REMOTE_BACKOFF_H_
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace railgun::msg::remote {
+
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff(Micros min_backoff, Micros max_backoff)
+      : min_backoff_(min_backoff),
+        max_backoff_(max_backoff),
+        // Seeded per instance so independent clients draw distinct
+        // jitter sequences.
+        jitter_(0x9e3779b97f4a7c15ull ^
+                reinterpret_cast<uint64_t>(this)) {}
+
+  // True when a dial may go out (i.e. the window elapsed).
+  bool CanDial(Micros now) const { return now >= next_dial_at_; }
+
+  void RecordFailure(Micros now) {
+    const int failures = ++consecutive_failures_;
+    Micros backoff = min_backoff_;
+    for (int i = 1; i < failures && backoff < max_backoff_; ++i) {
+      backoff *= 2;
+    }
+    if (backoff > max_backoff_) backoff = max_backoff_;
+    if (backoff > 0) {
+      backoff += static_cast<Micros>(
+          jitter_.Uniform(static_cast<uint64_t>(backoff) / 4 + 1));
+    }
+    next_dial_at_ = now + backoff;
+  }
+
+  void RecordSuccess() {
+    consecutive_failures_ = 0;
+    next_dial_at_ = 0;
+  }
+
+  // User-initiated connects skip any pending window.
+  void Clear() { next_dial_at_ = 0; }
+
+ private:
+  Micros min_backoff_;
+  Micros max_backoff_;
+  Random64 jitter_;
+  int consecutive_failures_ = 0;
+  Micros next_dial_at_ = 0;
+};
+
+}  // namespace railgun::msg::remote
+
+#endif  // RAILGUN_MSG_REMOTE_BACKOFF_H_

@@ -316,8 +316,13 @@ Frame BusServer::HandleRequest(const Frame& request) {
       PutVarint64(&result, bus_->rebalance_count());
       break;
     default:
-      status = Status::Corruption("unknown opcode " +
-                                  std::to_string(request.opcode));
+      if (extension_ == nullptr ||
+          !extension_(request.opcode, in, &status, &result)) {
+        // The frame passed CRC and framing, so this is a protocol
+        // mismatch (e.g. a newer client's RPC), not line corruption.
+        status = Status::NotSupported("unknown opcode " +
+                                      std::to_string(request.opcode));
+      }
       break;
   }
   if (!parsed) status = Status::Corruption("malformed request payload");

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,10 +55,24 @@ class BusServer {
     return options_.host + ":" + std::to_string(port_);
   }
 
+  // Hook for services co-hosted with the bus (the metadata service):
+  // called for any opcode the bus itself does not handle. Returns true
+  // when the opcode was recognized, filling *status and (on OK) the
+  // RPC-specific *result bytes; false falls through to the typed
+  // NotSupported unknown-opcode response. Must be installed before
+  // Start() — the server reads it from connection threads unlocked.
+  using ExtensionHandler = std::function<bool(
+      uint8_t opcode, const Slice& payload, Status* status,
+      std::string* result)>;
+  void SetExtension(ExtensionHandler extension) {
+    extension_ = std::move(extension);
+  }
+
   // Decodes one request and executes it against `bus`, producing the
   // response frame (same correlation id, opcode | kResponseBit).
-  // Malformed payloads and unknown opcodes yield a Corruption response;
-  // this never crashes on hostile input. Exposed for wire-level tests.
+  // Malformed payloads yield a Corruption response, unhandled opcodes a
+  // typed NotSupported one; this never crashes on hostile input.
+  // Exposed for wire-level tests.
   Frame HandleRequest(const Frame& request);
 
  private:
@@ -77,6 +92,7 @@ class BusServer {
 
   BusServerOptions options_;
   Bus* bus_;
+  ExtensionHandler extension_;  // Immutable after Start().
   int port_ = 0;
   std::atomic<bool> running_{false};
 

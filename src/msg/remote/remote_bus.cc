@@ -7,7 +7,10 @@
 
 namespace railgun::msg::remote {
 
-RemoteBus::RemoteBus(const RemoteBusOptions& options) : options_(options) {
+RemoteBus::RemoteBus(const RemoteBusOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : MonotonicClock::Default()) {
   address_status_ = ParseAddress(options_.address, &host_, &port_);
 }
 
@@ -23,18 +26,47 @@ Status RemoteBus::Connect() {
   RAILGUN_RETURN_IF_ERROR(address_status_);
   auto conn = ConnFor("");
   std::lock_guard<std::mutex> lock(conn->mu);
-  if (conn->connected) return Status::OK();
-  RAILGUN_ASSIGN_OR_RETURN(conn->sock, Socket::Connect(host_, port_));
-  conn->connected = true;
-  return Status::OK();
+  // An explicit Connect is user-initiated: skip any backoff window.
+  conn->backoff.Clear();
+  return EnsureConnectedLocked(conn.get());
 }
 
 std::shared_ptr<RemoteBus::Conn> RemoteBus::ConnFor(
     const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto& conn = conns_[key];
-  if (conn == nullptr) conn = std::make_shared<Conn>();
+  if (conn == nullptr) conn = std::make_shared<Conn>(options_);
   return conn;
+}
+
+Status RemoteBus::EnsureConnectedLocked(Conn* conn) const {
+  if (conn->connected) return Status::OK();
+  const Micros now = clock_->NowMicros();
+  if (!conn->backoff.CanDial(now)) {
+    // Inside the backoff window: fail fast without touching the
+    // network, so poll loops retrying every few milliseconds don't
+    // hammer a dead (or recovering) broker with SYNs.
+    return Status::Unavailable("broker unreachable: " + options_.address +
+                               " (reconnect backing off)");
+  }
+  dial_attempts_.fetch_add(1, std::memory_order_relaxed);
+  auto sock = Socket::Connect(host_, port_);
+  if (!sock.ok()) {
+    // Re-read the clock: a blackholed peer can block connect() for far
+    // longer than the backoff window, and anchoring at the pre-dial
+    // time would put the whole window in the past.
+    conn->backoff.RecordFailure(clock_->NowMicros());
+    return sock.status();
+  }
+  conn->sock = std::move(sock).value();
+  conn->connected = true;
+  conn->backoff.RecordSuccess();
+  return Status::OK();
+}
+
+Status RemoteBus::CallOpcode(uint8_t opcode, const std::string& payload,
+                             std::string* result) {
+  return CallControl(static_cast<OpCode>(opcode), payload, result);
 }
 
 Status RemoteBus::Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
@@ -42,14 +74,7 @@ Status RemoteBus::Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
                        std::string* result) const {
   RAILGUN_RETURN_IF_ERROR(address_status_);
   std::lock_guard<std::mutex> lock(conn->mu);
-  if (!conn->connected) {
-    // (Re)connect once per call: cheap when the server is back, a fast
-    // Unavailable when it is not.
-    auto sock = Socket::Connect(host_, port_);
-    if (!sock.ok()) return sock.status();
-    conn->sock = std::move(sock).value();
-    conn->connected = true;
-  }
+  RAILGUN_RETURN_IF_ERROR(EnsureConnectedLocked(conn.get()));
 
   Frame request;
   request.correlation_id = conn->next_correlation++;

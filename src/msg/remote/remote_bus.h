@@ -11,8 +11,11 @@
 // checked defensively).
 //
 // Failure model: any transport error marks the connection broken and
-// surfaces Status::Unavailable; subsequent calls retry the connect once
-// per call. Consumer-group state does not survive a server restart — the
+// surfaces Status::Unavailable. Reconnects are lazy with capped
+// exponential backoff plus jitter per connection: while a connection is
+// backing off, calls fail fast with Unavailable instead of re-dialing,
+// so a dead broker is not hammered by the engine's high-frequency poll
+// loops. Consumer-group state does not survive a server restart — the
 // engine's poll-error paths (backoff + request deadlines) handle that,
 // exactly as they would a fenced consumer.
 //
@@ -23,13 +26,16 @@
 #ifndef RAILGUN_MSG_REMOTE_REMOTE_BUS_H_
 #define RAILGUN_MSG_REMOTE_REMOTE_BUS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "msg/bus.h"
+#include "msg/remote/backoff.h"
 #include "msg/remote/socket.h"
 #include "msg/remote/wire.h"
 
@@ -37,6 +43,15 @@ namespace railgun::msg::remote {
 
 struct RemoteBusOptions {
   std::string address;  // "host:port" of a BusServer.
+  // Reconnect backoff window: the first failed dial backs a connection
+  // off for reconnect_backoff_min, doubling per consecutive failure up
+  // to reconnect_backoff_max, with up to +25% jitter so a fleet of
+  // clients doesn't re-dial a recovering broker in lockstep.
+  Micros reconnect_backoff_min = 50 * kMicrosPerMilli;
+  Micros reconnect_backoff_max = 2 * kMicrosPerSecond;
+  // Clock the backoff window is measured on (tests inject a simulated
+  // one). Defaults to the monotonic clock.
+  Clock* clock = nullptr;
 };
 
 class RemoteBus : public Bus {
@@ -94,17 +109,38 @@ class RemoteBus : public Bus {
       const std::string& consumer_id) override;
   uint64_t rebalance_count() const override;
 
+  // Total TCP connect attempts across all connections (introspection
+  // for tests and operators watching reconnect churn).
+  uint64_t dial_attempts() const {
+    return dial_attempts_.load(std::memory_order_relaxed);
+  }
+
+  // Generic RPC on the control connection, for stubs speaking opcodes
+  // the bus itself does not (the metadata service's kMeta* RPCs via
+  // meta::MetaClient): same correlation, reconnect-backoff and
+  // failure model as every built-in call.
+  Status CallOpcode(uint8_t opcode, const std::string& payload,
+                    std::string* result);
+
  private:
   struct Conn {
+    explicit Conn(const RemoteBusOptions& options)
+        : backoff(options.reconnect_backoff_min,
+                  options.reconnect_backoff_max) {}
+
     std::mutex mu;
     Socket sock;
     uint64_t next_correlation = 1;
     bool connected = false;
+    ReconnectBackoff backoff;  // Guarded by mu.
   };
 
   // Returns the connection for `key` ("" = control, else per-consumer),
   // creating and connecting it if needed.
   std::shared_ptr<Conn> ConnFor(const std::string& key) const;
+  // Dials conn->sock if disconnected, honoring the backoff window.
+  // Requires conn->mu held.
+  Status EnsureConnectedLocked(Conn* conn) const;
   // One RPC: send the request on `conn`, await its response, split off
   // the remote status; *result receives the RPC-specific fields (only
   // populated when the remote status is OK).
@@ -114,9 +150,11 @@ class RemoteBus : public Bus {
                      std::string* result) const;
 
   RemoteBusOptions options_;
+  Clock* clock_;
   std::string host_;
   int port_ = 0;
   Status address_status_;  // Result of parsing options_.address.
+  mutable std::atomic<uint64_t> dial_attempts_{0};
 
   mutable std::mutex mu_;  // Guards conns_ and listeners_.
   mutable std::map<std::string, std::shared_ptr<Conn>> conns_;

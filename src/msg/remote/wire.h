@@ -59,6 +59,16 @@ enum class OpCode : uint8_t {
   kAssignmentOf = 19,
   kCheckLiveness = 20,
   kRebalanceCount = 21,
+
+  // Metadata-service RPCs (src/meta/), answered by the BusServer's
+  // extension handler rather than the hosted bus. Opcodes stay below
+  // kResponseBit so the response-bit convention holds.
+  kMetaAnnounce = 32,
+  kMetaHeartbeat = 33,
+  kMetaLeave = 34,
+  kMetaGetView = 35,
+  kMetaGetStream = 36,
+  kMetaListStreams = 37,
 };
 
 struct Frame {

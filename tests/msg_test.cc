@@ -32,6 +32,43 @@ TEST(BusTest, TopicAdministration) {
   EXPECT_TRUE(bus.NumPartitions("t").status().IsNotFound());
 }
 
+TEST(BusTest, PinnedGroupStrategySurvivesAnEmptiedGroup) {
+  // A broker process pre-installs the engine's coordinator with
+  // SetGroupStrategy; remote subscribers pass nullptr. The pin must
+  // outlive the group emptying out (e.g. the last worker process
+  // leaving), or the next joiner would silently get the default
+  // round-robin policy.
+  struct CountingStrategy : AssignmentStrategy {
+    int calls = 0;
+    Assignment Assign(const std::vector<MemberInfo>& members,
+                      const std::vector<TopicPartition>& partitions)
+        override {
+      ++calls;
+      Assignment result;
+      for (const auto& member : members) {
+        result[member.member_id] = partitions;
+      }
+      return result;
+    }
+    std::string name() const override { return "counting"; }
+  };
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t", 2).ok());
+  CountingStrategy strategy;
+  bus.SetGroupStrategy("g", &strategy);
+
+  ASSERT_TRUE(bus.Subscribe("a", "g", {"t"}, "", nullptr, {}).ok());
+  EXPECT_EQ(strategy.calls, 1);
+  ASSERT_TRUE(bus.Unsubscribe("a").ok());
+
+  // The group emptied out; a fresh member must still be placed by the
+  // pinned strategy, not the default.
+  ASSERT_TRUE(bus.Subscribe("b", "g", {"t"}, "", nullptr, {}).ok());
+  EXPECT_EQ(strategy.calls, 2);
+  EXPECT_EQ(bus.AssignmentOf("b").size(), 2u);
+  ASSERT_TRUE(bus.Unsubscribe("b").ok());
+}
+
 TEST(BusTest, KeyedPartitioningIsStable) {
   MessageBus bus(FastBus());
   ASSERT_TRUE(bus.CreateTopic("t", 8).ok());

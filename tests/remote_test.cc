@@ -1,6 +1,7 @@
 // Tests for the remote transport: wire-protocol robustness (truncated
-// frames, flipped bits, unknown opcodes must yield Status::Corruption,
-// never crash), RemoteBus <-> BusServer behavior over a loopback socket
+// frames and flipped bits must yield Status::Corruption, unknown
+// opcodes a typed NotSupported response, never a crash),
+// RemoteBus <-> BusServer behavior over a loopback socket
 // (produce/poll, blocking poll wake-on-arrival, rebalance callback
 // streaming), the full remote api::Client quickstart flow, and
 // kill-the-server failure handling.
@@ -11,7 +12,9 @@
 
 #include "api/client.h"
 #include "api/remote_ddl.h"
+#include "common/clock.h"
 #include "engine/cluster.h"
+#include "meta/broker.h"
 #include "msg/broker.h"
 #include "msg/remote/bus_server.h"
 #include "msg/remote/remote_bus.h"
@@ -107,7 +110,7 @@ TEST(WireTest, MessageListRoundTrip) {
   }
 }
 
-TEST(BusServerTest, UnknownOpcodeReturnsCorruptionResponse) {
+TEST(BusServerTest, UnknownOpcodeReturnsNotSupportedResponse) {
   BusOptions options;
   options.delivery_delay = 0;
   InProcessBus bus(options);
@@ -122,7 +125,10 @@ TEST(BusServerTest, UnknownOpcodeReturnsCorruptionResponse) {
   Slice in(response.payload);
   Status remote;
   ASSERT_TRUE(GetStatus(&in, &remote));
-  EXPECT_TRUE(remote.IsCorruption());
+  // A CRC-valid frame with an unimplemented opcode is a typed protocol
+  // mismatch (api::Client::EnsureStream relies on this to distinguish
+  // "broker has no metadata service" from wire corruption).
+  EXPECT_TRUE(remote.IsNotSupported());
 }
 
 TEST(BusServerTest, MalformedPayloadReturnsCorruptionResponse) {
@@ -312,6 +318,49 @@ TEST_F(RemoteBusTest, ServerDeathSurfacesUnavailable) {
                   .IsUnavailable());
 }
 
+TEST(RemoteBusBackoffTest, DeadBrokerIsNotHammeredByRetryingCallers) {
+  // Grab a port with nothing listening on it.
+  auto listener_or = ListenSocket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener_or.ok());
+  const int dead_port = listener_or.value().port();
+  listener_or.value().Close();
+
+  SimulatedClock clock;  // Backoff windows never elapse on their own.
+  RemoteBusOptions options;
+  options.address = "127.0.0.1:" + std::to_string(dead_port);
+  options.clock = &clock;
+  RemoteBus remote(options);
+
+  // First call dials and fails; the next twenty — the shape of a poll
+  // loop retrying every few milliseconds — must fail fast inside the
+  // backoff window without touching the network again.
+  EXPECT_TRUE(remote.Produce("t", "k", "v").status().IsUnavailable());
+  EXPECT_EQ(remote.dial_attempts(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(remote.Produce("t", "k", "v").status().IsUnavailable());
+  }
+  EXPECT_EQ(remote.dial_attempts(), 1u);
+
+  // Once the (capped, jittered) window elapses, exactly one new dial
+  // goes out per window.
+  clock.Advance(options.reconnect_backoff_max * 2);
+  EXPECT_TRUE(remote.Produce("t", "k", "v").status().IsUnavailable());
+  EXPECT_EQ(remote.dial_attempts(), 2u);
+  EXPECT_TRUE(remote.Produce("t", "k", "v").status().IsUnavailable());
+  EXPECT_EQ(remote.dial_attempts(), 2u);
+
+  // An explicit Connect is user-initiated and skips the window.
+  EXPECT_FALSE(remote.Connect().ok());
+  EXPECT_EQ(remote.dial_attempts(), 3u);
+
+  // Per-consumer poll connections back off independently of control.
+  std::vector<Message> out;
+  EXPECT_TRUE(remote.Poll("c", 4, &out).IsUnavailable());
+  EXPECT_EQ(remote.dial_attempts(), 4u);
+  EXPECT_TRUE(remote.Poll("c", 4, &out).IsUnavailable());
+  EXPECT_EQ(remote.dial_attempts(), 4u);
+}
+
 }  // namespace
 }  // namespace railgun::msg::remote
 
@@ -326,35 +375,23 @@ constexpr const char* kCardMetric =
     "GROUP BY cardId OVER sliding 5 minutes";
 
 // One process playing both roles over a real loopback socket: the
-// serving side (cluster + BusServer + DdlService) and a remote client.
+// serving side (a meta::Broker with one colocated processing node —
+// cluster + BusServer + metadata/DDL service) and a remote client.
 struct RemoteHarness {
   explicit RemoteHarness(const std::string& name) {
-    engine::ClusterOptions options;
-    options.num_nodes = 1;
-    options.node.num_processor_units = 2;
-    options.base_dir = "/tmp/railgun-remote-test-" + name;
-    options.bus.delivery_delay = 0;
-    cluster = std::make_unique<engine::Cluster>(options);
-    server = std::make_unique<msg::remote::BusServer>(
-        msg::remote::BusServerOptions{}, cluster->bus());
-    ddl = std::make_unique<DdlService>(cluster.get());
+    meta::BrokerOptions options;
+    options.cluster.num_nodes = 1;
+    options.cluster.node.num_processor_units = 2;
+    options.cluster.base_dir = "/tmp/railgun-remote-test-" + name;
+    options.cluster.bus.delivery_delay = 0;
+    broker = std::make_unique<meta::Broker>(options);
   }
 
-  Status Start() {
-    RAILGUN_RETURN_IF_ERROR(cluster->Start());
-    RAILGUN_RETURN_IF_ERROR(server->Start());
-    return ddl->Start();
-  }
+  Status Start() { return broker->Start(); }
+  void Stop() { broker->Stop(); }
+  std::string address() const { return broker->address(); }
 
-  void Stop() {
-    ddl->Stop();
-    server->Stop();
-    cluster->Stop();
-  }
-
-  std::unique_ptr<engine::Cluster> cluster;
-  std::unique_ptr<msg::remote::BusServer> server;
-  std::unique_ptr<DdlService> ddl;
+  std::unique_ptr<meta::Broker> broker;
 };
 
 TEST(RemoteClientTest, QuickstartFlowOverTheLoopbackTransport) {
@@ -362,7 +399,7 @@ TEST(RemoteClientTest, QuickstartFlowOverTheLoopbackTransport) {
   ASSERT_TRUE(harness.Start().ok());
 
   ClientOptions options;
-  options.remote_address = harness.server->address();
+  options.remote_address = harness.address();
   Client client(options);
   ASSERT_TRUE(client.Start().ok());
   ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
@@ -392,9 +429,11 @@ TEST(RemoteClientTest, QuickstartFlowOverTheLoopbackTransport) {
   EXPECT_DOUBLE_EQ(second.Find("sum(amount)", "card1")->value.ToNumber(),
                    14.5);
 
-  // Remote mode has no local cluster to administer.
+  // Remote mode has no local cluster to mutate, but topology queries
+  // answer from the broker's metadata view (one broker-local node).
   EXPECT_TRUE(client.admin().AddNode().status().IsUnavailable());
-  EXPECT_EQ(client.admin().num_nodes(), 0);
+  EXPECT_EQ(client.admin().num_nodes(), 1);
+  EXPECT_TRUE(client.admin().NodeAlive(0));
 
   client.Stop();
   harness.Stop();
@@ -405,7 +444,7 @@ TEST(RemoteClientTest, BatchSubmissionOverTheWire) {
   ASSERT_TRUE(harness.Start().ok());
 
   ClientOptions options;
-  options.remote_address = harness.server->address();
+  options.remote_address = harness.address();
   Client client(options);
   ASSERT_TRUE(client.Start().ok());
   ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
@@ -440,7 +479,7 @@ TEST(RemoteClientTest, ReattachedClientCanSubmitToExistingStream) {
   ASSERT_TRUE(harness.Start().ok());
 
   ClientOptions options;
-  options.remote_address = harness.server->address();
+  options.remote_address = harness.address();
   {
     Client first(options);
     ASSERT_TRUE(first.Start().ok());
@@ -475,7 +514,7 @@ TEST(RemoteClientTest, ServerDeathTimesOutPendingRequestsCleanly) {
   ASSERT_TRUE(harness->Start().ok());
 
   ClientOptions options;
-  options.remote_address = harness->server->address();
+  options.remote_address = harness->address();
   options.request_timeout = kMicrosPerSecond;
   Client client(options);
   ASSERT_TRUE(client.Start().ok());

@@ -1,0 +1,90 @@
+// railgun_noded — the Railgun worker daemon. Joins a remote broker
+// (meta::Broker / BusServer + MetadataService), announces itself to the
+// membership service, fetches every registered stream, and runs its
+// processor units against the broker's message bus over TCP. A
+// deployment is 1 broker process + N of these + M api::Client
+// processes (the paper's N-machine topology).
+//
+//   railgun_noded <broker-host:port> [--node-id ID] [--units N]
+//                 [--dir PATH] [--heartbeat-ms MS] [--address ADDR]
+//
+// SIGTERM / SIGINT trigger a graceful departure: metadata Leave plus a
+// clean consumer-group unsubscribe (one rebalance, no lease wait).
+// Killing it abruptly exercises the lease-expiry path instead.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "meta/worker_node.h"
+
+using namespace railgun;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  fprintf(stderr,
+          "usage: %s <broker-host:port> [--node-id ID] [--units N] "
+          "[--dir PATH] [--heartbeat-ms MS] [--address ADDR]\n",
+          argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+
+  meta::WorkerNodeOptions options;
+  options.broker_address = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (strcmp(arg, "--node-id") == 0 && has_value) {
+      options.node_id = argv[++i];
+    } else if (strcmp(arg, "--units") == 0 && has_value) {
+      options.num_units = atoi(argv[++i]);
+    } else if (strcmp(arg, "--dir") == 0 && has_value) {
+      options.base_dir = argv[++i];
+    } else if (strcmp(arg, "--heartbeat-ms") == 0 && has_value) {
+      options.heartbeat_period = atoll(argv[++i]) * kMicrosPerMilli;
+    } else if (strcmp(arg, "--address") == 0 && has_value) {
+      options.address = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.num_units <= 0) {
+    fprintf(stderr, "--units must be positive\n");
+    return 2;
+  }
+
+  meta::WorkerNode worker(options);
+  const Status started = worker.Start();
+  if (!started.ok()) {
+    fprintf(stderr, "failed to join broker at %s: %s\n",
+            options.broker_address.c_str(), started.ToString().c_str());
+    return 1;
+  }
+  printf("railgun_noded %s: joined %s with %d unit(s), lease %lld ms "
+         "(SIGTERM to leave gracefully)\n",
+         worker.node_id().c_str(), options.broker_address.c_str(),
+         options.num_units,
+         static_cast<long long>(worker.lease_timeout() / kMicrosPerMilli));
+  fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_stop == 0) {
+    MonotonicClock::Default()->SleepMicros(50 * kMicrosPerMilli);
+  }
+
+  printf("railgun_noded %s: leaving\n", worker.node_id().c_str());
+  fflush(stdout);
+  worker.Stop();
+  return 0;
+}
