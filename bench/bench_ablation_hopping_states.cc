@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "baseline/hopping_engine.h"
 #include "storage/db.h"
 
@@ -31,6 +32,7 @@ int main() {
   };
   const int64_t base_events = EnvInt("RAILGUN_BENCH_EVENTS", 2000);
 
+  JsonResult json("bench_ablation_hopping_states");
   for (const auto& config : hops) {
     // Fewer samples for the pathological ratios: per-event cost grows
     // linearly, and the mean stabilizes quickly there.
@@ -66,7 +68,14 @@ int main() {
            static_cast<long long>(per_event.ValueAtPercentile(99)),
            static_cast<double>(events) / elapsed_s);
     fflush(stdout);
+    const std::string prefix = std::string("hop_") + config.label;
+    json.Add(prefix + "_states_per_event", engine.states_per_event())
+        .Add(prefix + "_mean_us", per_event.Mean())
+        .Add(prefix + "_p99_us",
+             static_cast<double>(per_event.ValueAtPercentile(99)))
+        .Add(prefix + "_eps", static_cast<double>(events) / elapsed_s);
   }
+  json.Write();
 
   printf("\nExpected: cost grows ~linearly with windowSize/hop; at hop=1s\n"
          "(3600 states/event) the engine cannot sustain 500 ev/s — the\n"

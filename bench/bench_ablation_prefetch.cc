@@ -3,6 +3,7 @@
 // scan a cold reservoir at a paced rate with prefetch on and off and
 // report the synchronous chunk loads plus the per-advance latency tail.
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/env.h"
 #include "reservoir/reservoir.h"
 #include "workload/generator.h"
@@ -68,6 +69,7 @@ int main() {
   printf("cold scan of the reservoir, paced reader, cache=4 chunks\n\n");
   printf("%-16s %12s %12s %12s %12s %12s\n", "config", "sync loads",
          "prefetches", "p50 us", "p99 us", "max us");
+  JsonResult json("bench_ablation_prefetch");
   for (const bool enabled : {true, false}) {
     const ScanResult result = RunScan(enabled);
     printf("%-16s %12llu %12llu %12lld %12lld %12lld\n",
@@ -78,7 +80,12 @@ int main() {
            static_cast<long long>(result.advance_latency.ValueAtPercentile(99)),
            static_cast<long long>(result.advance_latency.Max()));
     fflush(stdout);
+    const std::string prefix = enabled ? "prefetch_on" : "prefetch_off";
+    json.Add(prefix + "_sync_loads", result.sync_loads)
+        .Add(prefix + "_prefetches", result.prefetches)
+        .AddLatency(prefix + "_advance", result.advance_latency);
   }
+  json.Write();
   printf("\nExpected: prefetch ON turns chunk-boundary stalls (synchronous\n"
          "loads incl. decompression) into background work.\n");
   return 0;

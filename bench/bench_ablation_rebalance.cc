@@ -7,6 +7,7 @@
 #include <set>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "engine/sticky_assignment.h"
 #include "msg/assignment.h"
 
@@ -121,6 +122,14 @@ int main() {
   printf("%-14s %12d %16d %18.1f\n", "round-robin", rr.rebalances,
          rr.total_moves,
          static_cast<double>(rr.total_moves) / rr.rebalances);
+
+  JsonResult("bench_ablation_rebalance")
+      .Add("tasks", num_tasks)
+      .Add("sticky_rebalances", sticky.rebalances)
+      .Add("sticky_moves", sticky.total_moves)
+      .Add("round_robin_rebalances", rr.rebalances)
+      .Add("round_robin_moves", rr.total_moves)
+      .Write();
 
   printf("\nExpected: the sticky strategy moves a small fraction of the\n"
          "copies round-robin does (each move = a reservoir + state-store\n"

@@ -9,6 +9,7 @@
 
 #include "baseline/hopping_engine.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/random.h"
 #include "storage/db.h"
 
@@ -82,6 +83,8 @@ int main() {
       {"hop=10s", 10 * kMicrosPerSecond},
       {"hop=1s", kMicrosPerSecond},
   };
+  JsonResult json("bench_accuracy_fig1");
+  json.Add("trials", trials).Add("sliding_catch_rate", 100.0);
   for (const auto& config : hops) {
     int caught = 0;
     for (const auto& burst : bursts) {
@@ -90,7 +93,10 @@ int main() {
     printf("%-18s %10d/%-4d %15.1f%%\n", config.label, caught, trials,
            100.0 * caught / trials);
     fflush(stdout);
+    json.Add(std::string(config.label) + "_catch_rate",
+             100.0 * caught / trials);
   }
+  json.Write();
 
   printf("\nShape check vs paper: hopping misses bursts at every hop\n"
          "size (smaller hops help but never reach 100%% — Figure 1's\n"

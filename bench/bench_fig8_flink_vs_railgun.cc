@@ -16,6 +16,7 @@
 #include "baseline/hopping_engine.h"
 #include "baseline/worker.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -194,6 +195,7 @@ int main() {
       {"flink hop=10s", 10 * kMicrosPerSecond},
       {"flink hop=5s", 5 * kMicrosPerSecond},
   };
+  JsonResult json("bench_fig8_flink_vs_railgun");
   for (const auto& config : hops) {
     if (config.hop < min_hop) {
       printf("%-28s (skipped: below RAILGUN_BENCH_MIN_HOP_SECONDS; the "
@@ -202,9 +204,15 @@ int main() {
              static_cast<long long>(60 * kMicrosPerMinute / config.hop));
       continue;
     }
-    PrintPercentileRow(config.label, RunHopping(config.hop));
+    const LatencyHistogram hist = RunHopping(config.hop);
+    PrintPercentileRow(config.label, hist);
+    json.AddLatency("hop_" + std::to_string(config.hop / kMicrosPerSecond) +
+                        "s",
+                    hist);
   }
-  PrintPercentileRow("railgun sliding", RunRailgun());
+  const LatencyHistogram sliding = RunRailgun();
+  PrintPercentileRow("railgun sliding", sliding);
+  json.AddLatency("railgun_sliding", sliding).Write();
 
   printf("\nShape check vs paper: hopping latency grows as the hop\n"
          "shrinks (ws/hop state updates per event); Railgun's real-time\n"

@@ -10,6 +10,7 @@
 // Knobs: RAILGUN_BENCH_EVENTS (default 3000), RAILGUN_BENCH_RATE
 // (default 500), RAILGUN_BENCH_SEED_EVENTS (default 20000).
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -103,9 +104,13 @@ int main() {
       {"window=1day", "sliding 1 day", kMicrosPerDay},
       {"window=7days", "sliding 7 days", 7 * kMicrosPerDay},
   };
+  JsonResult json("bench_fig9a_window_size");
   for (const auto& w : windows) {
-    PrintPercentileRow(w.label, RunWindowSize(w.size, w.sql));
+    const LatencyHistogram hist = RunWindowSize(w.size, w.sql);
+    PrintPercentileRow(w.label, hist);
+    json.AddLatency(w.label, hist);
   }
+  json.Write();
 
   printf("\nShape check vs paper: all rows overlap — the window size is\n"
          "irrelevant to Railgun's latency (two iterators per window,\n"

@@ -12,6 +12,7 @@
 // (default 25 — kept low so the plan fan-out of 120 windows does not
 // saturate a core), RAILGUN_BENCH_SEED_EVENTS (default 20000).
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -137,13 +138,19 @@ int main() {
   // The paper's grid: 20, 40, 60, 110, 210, 240 iterators
   // (= 10, 20, 30, 55, 105, 120 misaligned windows).
   const int window_counts[] = {10, 20, 30, 55, 105, 120};
+  JsonResult json("bench_fig9b_iterators");
   for (int windows : window_counts) {
     const RunResult result = RunIterators(windows);
     char label[64];
     snprintf(label, sizeof(label), "%d iterators (sync=%llu)", windows * 2,
              static_cast<unsigned long long>(result.sync_loads));
     PrintPercentileRow(label, result.latencies);
+    const std::string prefix =
+        "iterators_" + std::to_string(windows * 2);
+    json.Add(prefix + "_sync_loads", result.sync_loads)
+        .AddLatency(prefix, result.latencies);
   }
+  json.Write();
 
   printf("\nShape check vs paper: flat latency while iterators fit the\n"
          "220-chunk cache; degradation (and a jump in synchronous chunk\n"

@@ -18,6 +18,7 @@
 
 #include "api/client.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "meta/broker.h"
@@ -59,6 +60,13 @@ PhaseResult DrivePhase(api::Client& client, int64_t events) {
                             static_cast<double>(elapsed);
   }
   return result;
+}
+
+void AddPhase(bench::JsonResult& json, const std::string& key,
+              const PhaseResult& result) {
+  json.Add(key + "_events_per_sec", result.events_per_sec)
+      .Add(key + "_failures", result.failures)
+      .AddLatency(key, result.latency);
 }
 
 void PrintRow(const char* label, const PhaseResult& result) {
@@ -123,7 +131,14 @@ int main() {
   // Warm the path (topic creation, first assignment, schema cache).
   DrivePhase(client, 64);
 
-  PrintRow("steady (1 worker)", DrivePhase(client, events));
+  bench::JsonResult json("bench_membership_churn");
+  json.Add("events_per_phase", events).Add("units_per_worker", units);
+
+  {
+    const PhaseResult steady1 = DrivePhase(client, events);
+    PrintRow("steady (1 worker)", steady1);
+    AddPhase(json, "steady_1w", steady1);
+  }
 
   // A second worker joins mid-stream: its units subscribe, the sticky
   // coordinator moves half the tasks over, and the new owner replays
@@ -138,13 +153,20 @@ int main() {
       }
       join_latency = clock->NowMicros() - begin;
     });
-    PrintRow("join in flight (1 -> 2)", DrivePhase(client, events));
+    const PhaseResult join_phase = DrivePhase(client, events);
+    PrintRow("join in flight (1 -> 2)", join_phase);
+    AddPhase(json, "join_in_flight", join_phase);
     joiner.join();
   }
   printf("%-28s %10.1f ms\n", "  join rebalance latency",
          static_cast<double>(join_latency) / kMicrosPerMilli);
+  json.Add("join_rebalance_us", join_latency);
 
-  PrintRow("steady (2 workers)", DrivePhase(client, events));
+  {
+    const PhaseResult steady2 = DrivePhase(client, events);
+    PrintRow("steady (2 workers)", steady2);
+    AddPhase(json, "steady_2w", steady2);
+  }
 
   // The second worker leaves gracefully mid-stream: metadata Leave +
   // clean unsubscribe, tasks rebalance back onto w1, which rebuilds
@@ -157,13 +179,21 @@ int main() {
       w2.Stop();
       leave_latency = clock->NowMicros() - begin;
     });
-    PrintRow("leave in flight (2 -> 1)", DrivePhase(client, events));
+    const PhaseResult leave_phase = DrivePhase(client, events);
+    PrintRow("leave in flight (2 -> 1)", leave_phase);
+    AddPhase(json, "leave_in_flight", leave_phase);
     leaver.join();
   }
   printf("%-28s %10.1f ms\n", "  leave rebalance latency",
          static_cast<double>(leave_latency) / kMicrosPerMilli);
+  json.Add("leave_rebalance_us", leave_latency);
 
-  PrintRow("steady (1 worker again)", DrivePhase(client, events));
+  {
+    const PhaseResult steady3 = DrivePhase(client, events);
+    PrintRow("steady (1 worker again)", steady3);
+    AddPhase(json, "steady_1w_again", steady3);
+  }
+  json.Write();
 
   client.Stop();
   w1.Stop();

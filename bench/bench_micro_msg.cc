@@ -2,6 +2,7 @@
 // fetch, group poll and rebalance costs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_main.h"
 #include "msg/broker.h"
 
 using namespace railgun;
@@ -85,4 +86,4 @@ BENCHMARK(BM_Rebalance)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RAILGUN_BENCH_MICRO_MAIN("bench_micro_msg")

@@ -3,6 +3,7 @@
 // event codec and iterator scans.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_main.h"
 #include "common/compression.h"
 #include "common/env.h"
 #include "reservoir/reservoir.h"
@@ -149,4 +150,4 @@ BENCHMARK(BM_ReservoirScan)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RAILGUN_BENCH_MICRO_MAIN("bench_micro_reservoir")

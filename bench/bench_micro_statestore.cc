@@ -3,6 +3,7 @@
 // point reads across levels, and checkpointing.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_main.h"
 #include "common/coding.h"
 #include "common/random.h"
 #include "storage/db.h"
@@ -120,4 +121,4 @@ BENCHMARK(BM_WriteBatchCommit)->Arg(1)->Arg(16)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RAILGUN_BENCH_MICRO_MAIN("bench_micro_statestore")

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "msg/broker.h"
@@ -121,18 +122,29 @@ int main() {
   printf("bench_remote_hop: %lld pipeline events, %lld latency pings\n",
          static_cast<long long>(events), static_cast<long long>(pings));
 
+  bench::JsonResult json("bench_remote_hop");
+  const auto add_series = [&json](const std::string& key,
+                                  const HopResult& result) {
+    json.Add(key + "_events_per_sec", result.events_per_sec)
+        .AddLatency(key + "_ping", result.latency);
+  };
+
   // (a) In-process broker, default simulated delivery delay.
   {
     msg::BusOptions options;  // delivery_delay = 500 us.
     msg::InProcessBus bus(options);
-    PrintRow("in-process (delay 500us)", DriveHop(&bus, &bus, pings, events));
+    const HopResult result = DriveHop(&bus, &bus, pings, events);
+    PrintRow("in-process (delay 500us)", result);
+    add_series("inprocess_delay500", result);
   }
   // (b) In-process broker, no simulated delay — the floor.
   {
     msg::BusOptions options;
     options.delivery_delay = 0;
     msg::InProcessBus bus(options);
-    PrintRow("in-process (no delay)", DriveHop(&bus, &bus, pings, events));
+    const HopResult result = DriveHop(&bus, &bus, pings, events);
+    PrintRow("in-process (no delay)", result);
+    add_series("inprocess_nodelay", result);
   }
   // (c) The same broker behind a real loopback TCP socket.
   {
@@ -151,9 +163,11 @@ int main() {
       fprintf(stderr, "failed to connect RemoteBus\n");
       return 1;
     }
-    PrintRow("remote (loopback TCP)",
-             DriveHop(&remote, &remote, pings, events));
+    const HopResult result = DriveHop(&remote, &remote, pings, events);
+    PrintRow("remote (loopback TCP)", result);
+    add_series("remote_loopback_tcp", result);
     server.Stop();
   }
+  json.Write();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "api/client.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 
 using namespace railgun;
 using namespace railgun::bench;
@@ -163,6 +164,16 @@ int main() {
   PrintRow("SubmitNoReply (pipeline)", noreply, false);
 
   const double ratio = batched.events_per_sec / single.events_per_sec;
+
+  JsonResult json("bench_throughput_pipeline");
+  json.Add("single_events_per_sec", single.events_per_sec)
+      .AddLatency("single", single.latencies)
+      .Add("batched_events_per_sec", batched.events_per_sec)
+      .AddLatency("batched", batched.latencies)
+      .Add("noreply_events_per_sec", noreply.events_per_sec)
+      .Add("batched_over_single_ratio", ratio)
+      .Write();
+
   printf("\nbatched/single throughput ratio: %.1fx (target >= 3x)\n", ratio);
   if (ratio < 3.0) {
     printf("FAIL: batched submission below 3x per-event throughput\n");

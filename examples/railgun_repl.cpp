@@ -8,6 +8,9 @@
 // In remote mode, `streams`, `stats` and `nodes` answer from the
 // broker's metadata service, so the console sees streams and worker
 // nodes other processes created; addnode/killnode need a local cluster.
+// `stats` additionally prints the engine's self-instrumentation series
+// from the built-in __railgun.internals stream — the same table in
+// local and remote mode.
 //
 // Commands (one per line; '#' comments):
 //   CREATE STREAM <name> (<field> <TYPE>, ...) PARTITION BY <f>[, ...]
@@ -152,6 +155,18 @@ int main(int argc, char** argv) {
       }
     } else if (command == "stats") {
       printf("%s", client.admin().Describe().c_str());
+      // The engine's own metrics, identical in local and remote mode:
+      // latest "__railgun.internals" sample per (node, metric).
+      auto samples = client.InternalsSnapshot();
+      if (!samples.ok()) {
+        printf("! internals: %s\n", samples.status().ToString().c_str());
+      } else if (!samples.value().empty()) {
+        printf("internals (%zu series):\n", samples.value().size());
+        for (const auto& s : samples.value()) {
+          printf("  %-12s %-32s %-10s %.3f\n", s.node.c_str(),
+                 s.metric.c_str(), s.kind.c_str(), s.value);
+        }
+      }
     } else if (command == "nodes") {
       printf("%s", client.admin().DescribeNodes().c_str());
     } else if (command == "addnode") {

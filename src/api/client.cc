@@ -41,6 +41,7 @@ engine::ClusterOptions ClientOptions::ToClusterOptions() const {
   out.replication_factor = replication_factor;
   out.base_dir = base_dir;
   out.node.frontend.request_timeout = request_timeout;
+  out.node.frontend.admission = admission;
   if (clock != nullptr) out.clock = clock;
   return out;
 }
@@ -69,6 +70,7 @@ Client::Client(const ClientOptions& options)
     remote_bus_.reset(new msg::remote::RemoteBus(bus_options));
     engine::FrontEndOptions frontend_options;
     frontend_options.request_timeout = options_.request_timeout;
+    frontend_options.admission = options_.admission;
     remote_frontend_.reset(new engine::FrontEnd(
         frontend_options, "client-" + client_id_, remote_bus_.get(),
         clock_));
@@ -77,6 +79,20 @@ Client::Client(const ClientOptions& options)
     // The stub shares the bus's control connection (and so its
     // reconnect backoff and clock domain).
     meta_.reset(new meta::MetaClient(remote_bus_.get()));
+  }
+  if (!remote()) {
+    // The built-in internals stream is queryable out of the box in
+    // local mode: preloading its definition lets AddMetric validate
+    // against it (the cluster-side registration rides along with the
+    // first metric). Remote mode instead resolves it like any foreign
+    // stream — the broker pre-registers it in the metadata service —
+    // so the client's front end learns the routing too.
+    engine::StreamDef internals = introspect::InternalsStreamDef();
+    streams_.emplace(internals.name, std::move(internals));
+  }
+  if (options_.noreply_tokens_per_sec > 0) {
+    noreply_bucket_ = std::make_unique<engine::TokenBucket>(
+        options_.noreply_tokens_per_sec, options_.noreply_burst, clock_);
   }
   admin_.reset(new Admin(cluster_, meta_.get()));
 }
@@ -90,6 +106,8 @@ Client::Client(engine::Cluster* cluster)
   // protection as the owning constructor's.
   client_id_ = RandomClientId();
   event_id_base_ = Hash64(client_id_);
+  engine::StreamDef internals = introspect::InternalsStreamDef();
+  streams_.emplace(internals.name, std::move(internals));
 }
 
 Client::~Client() { Stop(); }
@@ -258,7 +276,7 @@ Status Client::EnsureStream(const std::string& stream) {
          it != unknown_streams_.end();) {
       it = now < it->second ? std::next(it) : unknown_streams_.erase(it);
     }
-    unknown_streams_[stream] = now + kUnknownStreamTtl;
+    unknown_streams_[stream] = now + options_.unknown_stream_ttl;
     return Status::NotFound("unknown stream: " + stream + " (metadata: " +
                             status.ToString() + ")");
   }
@@ -528,6 +546,11 @@ EventResult Client::SubmitSync(const std::string& stream_name,
 }
 
 Status Client::SubmitNoReply(const std::string& stream_name, const Row& row) {
+  // Fail fast before binding: when the bucket is drained (or frozen by
+  // a server shed), the whole point is to not do per-event work.
+  if (noreply_bucket_ != nullptr) {
+    RAILGUN_RETURN_IF_ERROR(noreply_bucket_->Acquire());
+  }
   if (remote()) RAILGUN_RETURN_IF_ERROR(EnsureStream(stream_name));
   RAILGUN_ASSIGN_OR_RETURN(reservoir::Event event,
                            BindRow(stream_name, row));
@@ -535,7 +558,67 @@ Status Client::SubmitNoReply(const std::string& stream_name, const Row& row) {
   if (frontend == nullptr) {
     return Status::Unavailable("no alive node to submit to");
   }
-  return frontend->SubmitNoReply(stream_name, event);
+  const Status submitted = frontend->SubmitNoReply(stream_name, event);
+  if (submitted.IsOverloaded() && noreply_bucket_ != nullptr) {
+    // Honor the server's pacing hint: freeze refill so the flood backs
+    // off for the whole retry-after window instead of per-call luck.
+    noreply_bucket_->Penalize(engine::RetryAfterMicros(submitted));
+  }
+  return submitted;
+}
+
+uint64_t Client::noreply_rejected() const {
+  return noreply_bucket_ != nullptr ? noreply_bucket_->rejected_count() : 0;
+}
+
+StatusOr<std::vector<introspect::InternalsSample>> Client::InternalsSnapshot() {
+  msg::Bus* bus = remote() ? static_cast<msg::Bus*>(remote_bus_.get())
+                           : (cluster_ != nullptr ? cluster_->bus() : nullptr);
+  if (bus == nullptr || (remote() && !started_)) {
+    return Status::Unavailable("client not started");
+  }
+  const engine::StreamDef def = introspect::InternalsStreamDef();
+  const msg::TopicPartition tp{def.TopicFor(def.partitioners[0]), 0};
+  auto base = bus->BaseOffset(tp);
+  if (!base.ok()) {
+    // No publisher has created the topic yet: empty stats, not an
+    // error (e.g. a cluster with introspection disabled).
+    if (base.status().IsNotFound()) {
+      return std::vector<introspect::InternalsSample>{};
+    }
+    return base.status();
+  }
+  RAILGUN_ASSIGN_OR_RETURN(const uint64_t end, bus->EndOffset(tp));
+  const reservoir::Schema schema(0, def.fields);
+  // Offset order is publish order, so overwriting keeps the newest
+  // sample of each (node, metric) series.
+  std::map<std::pair<std::string, std::string>, introspect::InternalsSample>
+      latest;
+  uint64_t pos = base.value();
+  std::vector<msg::Message> batch;
+  while (pos < end) {
+    batch.clear();
+    RAILGUN_RETURN_IF_ERROR(bus->Fetch(tp, pos, 512, &batch));
+    if (batch.empty()) break;  // Retention raced us past `end`.
+    for (const msg::Message& message : batch) {
+      pos = message.offset + 1;
+      engine::EventEnvelope envelope;
+      if (!engine::DecodeEventEnvelope(Slice(message.payload), schema,
+                                       &envelope)
+               .ok()) {
+        continue;  // Foreign writer; skip rather than fail the snapshot.
+      }
+      introspect::InternalsSample sample;
+      if (!introspect::ParseInternalsEvent(envelope.event, &sample).ok()) {
+        continue;
+      }
+      latest[{sample.node, sample.metric}] = std::move(sample);
+    }
+  }
+  std::vector<introspect::InternalsSample> out;
+  out.reserve(latest.size());
+  for (auto& [key, sample] : latest) out.push_back(std::move(sample));
+  return out;
 }
 
 }  // namespace railgun::api

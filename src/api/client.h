@@ -31,7 +31,9 @@
 #include "api/admin.h"
 #include "api/result.h"
 #include "api/row.h"
+#include "engine/admission.h"
 #include "engine/cluster.h"
+#include "introspect/internals.h"
 
 namespace railgun::msg::remote {
 class RemoteBus;
@@ -65,6 +67,26 @@ struct ClientOptions {
   // metadata service; admin() answers node/stream listings from the
   // metadata view and mutating calls degrade to Unavailable.
   std::string remote_address;
+
+  // Remote mode: how long a metadata miss ("unknown stream") is cached
+  // before re-asking the broker. Bounds both the RPC rate of a
+  // misdirected producer and the lag until a freshly created foreign
+  // stream becomes submittable here.
+  Micros unknown_stream_ttl = kMicrosPerSecond;
+
+  // Admission-control ceilings (engine/admission.h); all-zero (the
+  // default) disables shedding. Local mode applies them to every owned
+  // node's front end, remote mode to the client's own front end — in
+  // both, a submission past a ceiling completes with a typed
+  // kOverloaded carrying a retry-after hint.
+  engine::AdmissionOptions admission;
+
+  // Client-side pacing of SubmitNoReply: a token bucket that fails fast
+  // with kOverloaded when drained, and freezes refill for the server's
+  // retry-after hint whenever the front end sheds. <= 0 disables (the
+  // default: every submit reaches the front end).
+  double noreply_tokens_per_sec = 0;
+  double noreply_burst = 64;
 
   // Escape hatch: advanced engine tuning on top of the fields above.
   // Applied first; the named fields then override.
@@ -140,6 +162,17 @@ class Client {
   // front-end submission queue, so this never waits on the broker.
   Status SubmitNoReply(const std::string& stream, const Row& row);
 
+  // --- Introspection -------------------------------------------------
+  // Latest self-instrumentation sample per (node, metric), read
+  // straight off the built-in "__railgun.internals" topic — the same
+  // events ADD METRIC aggregates. Works identically in local and remote
+  // mode (this is what unifies REPL `stats`); an engine whose publisher
+  // has not ticked yet yields an empty vector, not an error.
+  StatusOr<std::vector<introspect::InternalsSample>> InternalsSnapshot();
+
+  // SubmitNoReply calls refused client-side by the token bucket.
+  uint64_t noreply_rejected() const;
+
   // --- Administration ------------------------------------------------
   Admin& admin() { return *admin_; }
 
@@ -187,10 +220,8 @@ class Client {
   std::unique_ptr<RemoteDdlClient> remote_ddl_;
   std::unique_ptr<meta::MetaClient> meta_;
 
-  // How long a metadata miss is cached before re-asking the broker
-  // (bounds both the RPC rate of a misdirected producer and the lag
-  // until a freshly created foreign stream becomes submittable here).
-  static constexpr Micros kUnknownStreamTtl = kMicrosPerSecond;
+  // Null unless ClientOptions::noreply_tokens_per_sec > 0.
+  std::unique_ptr<engine::TokenBucket> noreply_bucket_;
 
   mutable std::mutex mu_;
   std::map<std::string, engine::StreamDef> streams_;

@@ -27,6 +27,8 @@ const char* CodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kOutOfRange = 8,
   kAlreadyExists = 9,
   kUnavailable = 10,
+  kOverloaded = 11,
 };
 
 // A Status encapsulates the result of an operation: success, or an error
@@ -67,6 +68,13 @@ class Status {
   static Status Unavailable(std::string msg = "") {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  // Admission control shed: the request was refused *before* entering
+  // the pipeline and is safe to retry after the embedded hint
+  // (engine::RetryAfterMicros). Distinct from kBusy (transient internal
+  // contention) and kUnavailable (component down).
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -81,6 +89,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

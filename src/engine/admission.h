@@ -1,0 +1,99 @@
+// Admission control (ROADMAP "self-instrumentation + admission
+// control"): refuse work at the door instead of letting queues grow
+// without bound. The FrontEnd consults an AdmissionController before
+// enqueuing each submission, watching the same signals the introspect
+// registry exports — its own pending-table depth, its submit-queue
+// length, and the broker's queue depth (surfaced by the kPoll response
+// backlog hint, msg::Bus::BacklogHint). A refused request gets a typed
+// kOverloaded status carrying a retry-after hint the client-side
+// TokenBucket honors, so overload degrades to explicit sheds with
+// bounded latency, never to collapse (bench_overload is the proof).
+//
+// Backpressure state machine (see DESIGN.md for the diagram):
+//   ACCEPT --[any watched depth >= its limit]--> SHED
+//   SHED   --[all watched depths back under their limits]--> ACCEPT
+// SHED is stateless-per-request: every admission decision re-reads the
+// live depths, so draining by one request is enough to let one in.
+#ifndef RAILGUN_ENGINE_ADMISSION_H_
+#define RAILGUN_ENGINE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace railgun::engine {
+
+struct AdmissionOptions {
+  // Per-signal ceilings; 0 disables that signal. All zero (the default)
+  // disables admission control entirely.
+  size_t max_pending = 0;       // FrontEnd pending-reply table depth.
+  size_t max_queue = 0;         // FrontEnd submit queue length.
+  uint64_t max_backlog = 0;     // Broker unconsumed-message hint.
+  // Hint embedded in the kOverloaded message for client retry pacing.
+  Micros retry_after = 50 * kMicrosPerMilli;
+
+  bool enabled() const {
+    return max_pending > 0 || max_queue > 0 || max_backlog > 0;
+  }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  // OK to admit, or kOverloaded naming the tripped signal with a
+  // "retry_after_us=<n>" suffix. Depths are sampled by the caller so
+  // one call site sees one consistent decision.
+  Status Admit(size_t pending, size_t queue, uint64_t backlog);
+
+  const AdmissionOptions& options() const { return options_; }
+  uint64_t shed_count() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<uint64_t> sheds_{0};
+};
+
+// Extracts the "retry_after_us=<n>" hint from a kOverloaded status
+// message; 0 when absent or not kOverloaded.
+Micros RetryAfterMicros(const Status& status);
+
+// Client-side pacing for SubmitNoReply floods: a token bucket that
+// fails fast with kOverloaded when tokens run out, and Penalize()
+// freezes refill for a server-provided retry-after interval so a
+// shedding server isn't hammered. Thread-safe; rate <= 0 means
+// unlimited (every Acquire succeeds).
+class TokenBucket {
+ public:
+  TokenBucket(double tokens_per_sec, double burst, Clock* clock);
+
+  // Takes one token, or returns kOverloaded with a retry hint.
+  Status Acquire();
+  // Applies a server shed hint: no refill until now + retry_after.
+  void Penalize(Micros retry_after);
+
+  uint64_t rejected_count() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double rate_;   // Tokens per microsecond.
+  const double burst_;  // Max accumulated tokens.
+  Clock* clock_;
+  std::mutex mu_;
+  double tokens_;
+  Micros last_refill_;
+  Micros frozen_until_ = 0;
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_ADMISSION_H_

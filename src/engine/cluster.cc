@@ -14,6 +14,67 @@ Cluster::Cluster(const ClusterOptions& options)
   // join over the network (whose strategy pointer cannot cross the
   // wire) then get the same placement as local units.
   bus_->SetGroupStrategy(kActiveGroup, coordinator_.get());
+
+  // Wire every node's layers into the cluster-wide metrics registry;
+  // instances sharing a name aggregate into one series.
+  options_.node.frontend.registry = &registry_;
+  options_.node.unit.registry = &registry_;
+
+  // Pull-style metrics: snapshots sample the live components. The
+  // lambdas capture `this` and the registry dies with the cluster, so
+  // lifetimes are enclosed by construction.
+  registry_.AddProbe("bus.rebalances", [this] {
+    return static_cast<double>(bus_->rebalance_count());
+  });
+  registry_.AddProbe("bus.backlog", [this] {
+    return static_cast<double>(bus_->BacklogHint());
+  });
+  registry_.AddProbe("bus.poll_parks", [this] {
+    return static_cast<double>(bus_->poll_park_count());
+  });
+  registry_.AddProbe("bus.poll_wakes", [this] {
+    return static_cast<double>(bus_->poll_wake_count());
+  });
+  registry_.AddProbe("frontend.pending", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0;
+    for (const auto& node : nodes_) {
+      if (node->alive()) {
+        total += static_cast<double>(node->frontend()->pending_count());
+      }
+    }
+    return total;
+  });
+  registry_.AddProbe("frontend.sheds", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0;
+    for (const auto& node : nodes_) {
+      total += static_cast<double>(node->frontend()->shed_count());
+    }
+    return total;
+  });
+  registry_.AddProbe("frontend.completed", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0;
+    for (const auto& node : nodes_) {
+      total += static_cast<double>(node->frontend()->completed_requests());
+    }
+    return total;
+  });
+  registry_.AddProbe("frontend.timed_out", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0;
+    for (const auto& node : nodes_) {
+      total += static_cast<double>(node->frontend()->timed_out_requests());
+    }
+    return total;
+  });
+  registry_.AddProbe("engine.active_messages", [this] {
+    return static_cast<double>(TotalStats().active_messages);
+  });
+  registry_.AddProbe("engine.process_failures", [this] {
+    return static_cast<double>(TotalStats().process_failures);
+  });
 }
 
 Cluster::~Cluster() { Stop(); }
@@ -24,14 +85,34 @@ Status Cluster::Start() {
         Env::Default()->RemoveDirRecursive(options_.base_dir));
   }
   RAILGUN_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.base_dir));
-  std::lock_guard<std::mutex> lock(mu_);
-  for (int i = 0; i < options_.num_nodes; ++i) {
-    RAILGUN_RETURN_IF_ERROR(AddNodeLocked().status());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      RAILGUN_RETURN_IF_ERROR(AddNodeLocked().status());
+    }
+  }
+  // Self-instrumentation: snapshots of the registry become ordinary
+  // events on the internals stream. The publisher only creates the
+  // topic — the stream is not auto-registered on the nodes, so no unit
+  // consumes it until someone asks for it via DDL (keeps task counts
+  // and quiescence accounting of instrumentation-unaware callers
+  // intact).
+  publisher_.reset(new introspect::Publisher(options_.introspect,
+                                             &registry_, bus_.get(),
+                                             clock_));
+  RAILGUN_RETURN_IF_ERROR(publisher_->Start());
+  if (options_.internals_retention > 0) {
+    RAILGUN_RETURN_IF_ERROR(bus_->SetTopicRetention(
+        introspect::InternalsStreamDef().TopicFor("node"),
+        options_.internals_retention));
   }
   return Status::OK();
 }
 
 void Cluster::Stop() {
+  // Stop the publisher before taking mu_: a snapshot in flight may be
+  // inside a probe that locks mu_ itself.
+  if (publisher_ != nullptr) publisher_->Stop();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& node : nodes_) {
     if (node->alive()) node->Stop();
@@ -107,6 +188,12 @@ uint64_t Cluster::WaitForQuiescence(Micros timeout) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (const auto& stream : streams_) {
+        // The internals stream is fed continuously by the publisher:
+        // counting its production would keep "quiescence" forever out
+        // of reach. Callers that registered it still drain at least all
+        // user events (processed is then an overcount, which only makes
+        // the wait return sooner — acceptable for a stats stream).
+        if (stream.name == introspect::kInternalsStream) continue;
         for (const auto& p : stream.partitioners) {
           for (const auto& tp : bus_->PartitionsOf(stream.TopicFor(p))) {
             auto end = bus_->EndOffset(tp);

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "engine/node.h"
+#include "introspect/publisher.h"
+#include "introspect/registry.h"
 #include "msg/broker.h"
 
 namespace railgun::engine {
@@ -22,6 +24,13 @@ struct ClusterOptions {
   std::string base_dir = "/tmp/railgun-cluster";
   Clock* clock = nullptr;  // Defaults to the monotonic clock.
   bool wipe_base_dir = true;
+  // Self-instrumentation: snapshot period and the `node` label for the
+  // cluster's "__railgun.internals" events (introspect/internals.h).
+  introspect::PublisherOptions introspect{kMicrosPerSecond, "engine"};
+  // Retention cap for the internals topic, set at Start so the
+  // self-stats log stays bounded even when the broker-wide retention is
+  // "keep everything for replay". 0 = no cap.
+  uint64_t internals_retention = 1 << 16;
 };
 
 class Cluster {
@@ -50,6 +59,11 @@ class Cluster {
   int num_nodes() const;
   msg::Bus* bus() { return bus_.get(); }
   Coordinator* coordinator() { return coordinator_.get(); }
+  // Every layer of this cluster records its metrics here; the publisher
+  // streams snapshots into "__railgun.internals". Borrowable by
+  // co-hosted services (meta::Broker adds its own probes).
+  introspect::Registry* registry() { return &registry_; }
+  introspect::Publisher* publisher() { return publisher_.get(); }
   // The clock every bus/engine duration is interpreted in (the
   // metadata service leases nodes on this same clock).
   Clock* clock() const { return clock_; }
@@ -69,6 +83,8 @@ class Cluster {
   Clock* clock_;
   std::unique_ptr<msg::InProcessBus> bus_;
   std::unique_ptr<Coordinator> coordinator_;
+  introspect::Registry registry_;
+  std::unique_ptr<introspect::Publisher> publisher_;
   // Guards the topology (nodes_, streams_) against concurrent
   // submission and admin operations (AddNode during Submit etc).
   mutable std::mutex mu_;

@@ -23,7 +23,9 @@ msg::Assignment Coordinator::Assign(
   input.tasks = partitions;
   input.replication_factor = replication_factor_;
   for (const auto& m : members) {
-    input.units.push_back({m.member_id, NodeOf(m.metadata)});
+    input.units.push_back(
+        {m.member_id, NodeOf(m.metadata),
+         std::set<std::string>(m.topics.begin(), m.topics.end())});
   }
   input.prev_active = prev_active_;
   input.prev_replicas = prev_replicas_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "introspect/internals.h"
 
 namespace railgun::engine {
 
@@ -13,7 +14,13 @@ FrontEnd::FrontEnd(const FrontEndOptions& options, std::string node_id,
       bus_(bus),
       clock_(clock),
       reply_topic_("replies." + node_id_),
-      consumer_id_("fe." + node_id_) {}
+      consumer_id_("fe." + node_id_),
+      admission_(options.admission) {
+  if (options_.registry != nullptr) {
+    submit_latency_ =
+        options_.registry->histogram("frontend.submit_latency_us");
+  }
+}
 
 FrontEnd::~FrontEnd() { Stop(); }
 
@@ -56,6 +63,8 @@ void FrontEnd::Stop() {
                           std::move(pending.results),
                           Status::Unavailable("front end stopped")});
     }
+    pending_count_.fetch_sub(shard.entries.size(),
+                             std::memory_order_relaxed);
     shard.entries.clear();
   }
   for (auto& completion : orphaned) {
@@ -112,10 +121,12 @@ Status FrontEnd::Enqueue(const Route& route, const reservoir::Event& event,
     Pending pending;
     pending.expected = static_cast<int>(route.targets.size());
     pending.callback = std::move(callback);
-    pending.deadline = clock_->NowMicros() + options_.request_timeout;
+    pending.submitted_at = clock_->NowMicros();
+    pending.deadline = pending.submitted_at + options_.request_timeout;
     PendingShard& shard = ShardFor(request_id);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.entries[request_id] = std::move(pending);
+    pending_count_.fetch_add(1, std::memory_order_relaxed);
   }
   envelope.event = event;
   EncodeEventEnvelope(envelope, route.schema, &submission.payload);
@@ -148,6 +159,22 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
     route = it->second;
   }
 
+  // Admission control: refuse at the door, synchronously and typed,
+  // before any pending entry or queue slot is taken. The internals
+  // stream is exempt so the engine's own health signal stays observable
+  // exactly when admission is shedding — the moment it matters most.
+  if (admission_.options().enabled() &&
+      stream_name != introspect::kInternalsStream) {
+    size_t queue_depth;
+    {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      queue_depth = submit_queue_.size();
+    }
+    RAILGUN_RETURN_IF_ERROR(admission_.Admit(
+        pending_count_.load(std::memory_order_relaxed), queue_depth,
+        backlog_hint_.load(std::memory_order_relaxed)));
+  }
+
   std::vector<Submission> prepared;
   prepared.reserve(events.size());
   for (size_t i = 0; i < events.size(); ++i) {
@@ -162,7 +189,9 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
         if (submission.request_id == 0) continue;
         PendingShard& shard = ShardFor(submission.request_id);
         std::lock_guard<std::mutex> lock(shard.mu);
-        shard.entries.erase(submission.request_id);
+        if (shard.entries.erase(submission.request_id) > 0) {
+          pending_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
       }
       return s;
     }
@@ -211,6 +240,7 @@ void FrontEnd::FailPending(uint64_t request_id, const Status& status) {
     completion = {std::move(it->second.callback),
                   std::move(it->second.results), status};
     shard.entries.erase(it);
+    pending_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (completion.callback) {
     completion.callback(completion.status, completion.results);
@@ -260,6 +290,10 @@ void FrontEnd::Run() {
   while (running_) {
     DrainSubmissions();
 
+    // Refresh the broker-depth admission signal once per cycle: cheap
+    // for RemoteBus (cached hint) and amortized for InProcessBus.
+    backlog_hint_.store(bus_->BacklogHint(), std::memory_order_relaxed);
+
     Micros wait = options_.poll_wait;
     {
       // Submissions raced in while draining: don't park on them.
@@ -290,9 +324,14 @@ void FrontEnd::Run() {
         pending.results.push_back(std::move(r));
       }
       if (++pending.received >= pending.expected) {
+        if (submit_latency_ != nullptr) {
+          submit_latency_->Record(clock_->NowMicros() -
+                                  pending.submitted_at);
+        }
         done.push_back({std::move(pending.callback),
                         std::move(pending.results), Status::OK()});
         shard.entries.erase(it);
+        pending_count_.fetch_sub(1, std::memory_order_relaxed);
         ++completed_;
       }
     }
@@ -314,6 +353,7 @@ void FrontEnd::Run() {
                               std::to_string(pending.expected) +
                               " partitioner replies arrived")});
           it = shard.entries.erase(it);
+          pending_count_.fetch_sub(1, std::memory_order_relaxed);
           ++timed_out_;
         } else {
           ++it;

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "engine/admission.h"
 #include "engine/stream_def.h"
+#include "introspect/registry.h"
 #include "msg/bus.h"
 
 namespace railgun::engine {
@@ -37,6 +39,14 @@ struct FrontEndOptions {
   // wake it immediately; this only bounds the idle park.
   Micros poll_wait = 5 * kMicrosPerMilli;
   size_t poll_max = 1024;
+  // Admission control ceilings; all-zero (the default) admits
+  // everything. See engine/admission.h.
+  AdmissionOptions admission;
+  // Optional metrics sink (borrowed; must outlive the front end). The
+  // front end records its submit-latency histogram here; depth-style
+  // metrics are exported by the owner as registry probes over the
+  // accessors below.
+  introspect::Registry* registry = nullptr;
 };
 
 class FrontEnd {
@@ -90,6 +100,16 @@ class FrontEnd {
   uint64_t completed_requests() const { return completed_; }
   uint64_t timed_out_requests() const { return timed_out_; }
   uint64_t publish_errors() const { return publish_errors_; }
+  // Live pending-reply table depth (admission signal / introspection).
+  size_t pending_count() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+  // Requests refused with kOverloaded by admission control.
+  uint64_t shed_count() const { return admission_.shed_count(); }
+  // Broker backlog as sampled by the last run-loop cycle.
+  uint64_t backlog_hint() const {
+    return backlog_hint_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -98,6 +118,7 @@ class FrontEnd {
     std::vector<MetricReply> results;
     ReplyCallback callback;
     Micros deadline = 0;
+    Micros submitted_at = 0;
   };
   // The pending table is sharded by request id so submitters, the reply
   // loop and the timeout scan contend at 1/kPendingShards granularity.
@@ -159,6 +180,15 @@ class FrontEnd {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> publish_errors_{0};
+
+  // Admission control state. pending_count_ mirrors the summed shard
+  // sizes (maintained at every insert/erase) so admission decisions
+  // never sweep the 16 shard locks; backlog_hint_ caches the broker
+  // depth sampled once per run-loop cycle.
+  AdmissionController admission_;
+  std::atomic<size_t> pending_count_{0};
+  std::atomic<uint64_t> backlog_hint_{0};
+  introspect::Histogram* submit_latency_ = nullptr;  // Null without registry.
 };
 
 }  // namespace railgun::engine

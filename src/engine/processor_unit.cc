@@ -15,7 +15,11 @@ ProcessorUnit::ProcessorUnit(const UnitOptions& options, std::string unit_id,
       dir_(std::move(dir)),
       bus_(bus),
       coordinator_(coordinator),
-      clock_(clock) {}
+      clock_(clock) {
+  if (options_.registry != nullptr) {
+    batch_size_ = options_.registry->histogram("unit.batch_size");
+  }
+}
 
 ProcessorUnit::~ProcessorUnit() {
   Stop();
@@ -381,6 +385,10 @@ void ProcessorUnit::Run() {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = replica_positions_.find(tp);
       if (it != replica_positions_.end()) it->second = pos;
+    }
+
+    if (batch_size_ != nullptr && !active_messages.empty()) {
+      batch_size_->Record(static_cast<int64_t>(active_messages.size()));
     }
 
     // Group active messages by task so each task processor handles its

@@ -19,6 +19,7 @@
 #include "engine/coordinator.h"
 #include "engine/stream_def.h"
 #include "engine/task_processor.h"
+#include "introspect/registry.h"
 #include "msg/bus.h"
 
 namespace railgun::engine {
@@ -31,6 +32,9 @@ struct UnitOptions {
   // loop wakes immediately when a message arrives (wake-on-arrival);
   // this only bounds the idle park.
   Micros poll_wait = 10 * kMicrosPerMilli;
+  // Optional metrics sink (borrowed; must outlive the unit): records
+  // the per-poll active batch size distribution.
+  introspect::Registry* registry = nullptr;
 };
 
 struct UnitStats {
@@ -116,6 +120,7 @@ class ProcessorUnit {
   std::map<msg::TopicPartition, uint64_t> replica_positions_;
   uint64_t seen_generation_ = 0;
   UnitStats stats_;
+  introspect::Histogram* batch_size_ = nullptr;  // Null without registry.
 };
 
 }  // namespace railgun::engine

@@ -23,6 +23,7 @@ class Assigner {
       remaining_[u.unit_id] = budget_;
       node_of_[u.unit_id] = u.node_id;
       load_[u.unit_id] = 0;
+      if (!u.topics.empty()) topics_of_[u.unit_id] = u.topics;
     }
   }
 
@@ -86,9 +87,17 @@ class Assigner {
     return it == in_.weights.end() ? 1.0 : it->second;
   }
 
+  // A unit that didn't subscribe to the task's topic would consume and
+  // drop its messages: never a candidate, not even as a fallback.
+  bool Subscribed(const TopicPartition& task, const std::string& unit) const {
+    auto it = topics_of_.find(unit);
+    return it == topics_of_.end() || it->second.count(task.topic) > 0;
+  }
+
   bool CanAssign(const TopicPartition& task, const std::string& unit) const {
     auto rem = remaining_.find(unit);
     if (rem == remaining_.end()) return false;  // Unit no longer exists.
+    if (!Subscribed(task, unit)) return false;
     if (rem->second < WeightOf(task)) return false;
     // Invariant 1: one copy per physical node.
     const std::string& node = node_of_.at(unit);
@@ -123,6 +132,7 @@ class Assigner {
     // loaded unit on a node without a copy, ignoring budget.
     if (best.empty()) {
       for (const auto& u : in_.units) {
+        if (!Subscribed(task, u.unit_id)) continue;
         const auto nodes = task_nodes_.find(task);
         if (nodes != task_nodes_.end() &&
             nodes->second.count(u.node_id) > 0) {
@@ -147,6 +157,7 @@ class Assigner {
   std::map<std::string, double> remaining_;
   std::map<std::string, double> load_;
   std::map<std::string, std::string> node_of_;
+  std::map<std::string, std::set<std::string>> topics_of_;
   std::map<TopicPartition, std::set<std::string>> task_nodes_;
 };
 

@@ -23,6 +23,9 @@ namespace railgun::engine {
 struct UnitDesc {
   std::string unit_id;
   std::string node_id;
+  // Topics this unit subscribed to; a task is only assignable to units
+  // subscribed to its topic (empty = all topics).
+  std::set<std::string> topics;
 };
 
 struct TaskAssignmentInput {

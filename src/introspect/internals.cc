@@ -1,0 +1,46 @@
+#include "introspect/internals.h"
+
+namespace railgun::introspect {
+
+engine::StreamDef InternalsStreamDef() {
+  engine::StreamDef def;
+  def.name = kInternalsStream;
+  def.fields = {
+      {"node", reservoir::FieldType::kString},
+      {"metric", reservoir::FieldType::kString},
+      {"kind", reservoir::FieldType::kString},
+      {"value", reservoir::FieldType::kDouble},
+  };
+  def.partitioners = {"node"};
+  def.partitions_per_topic = 1;
+  return def;
+}
+
+reservoir::Event MakeInternalsEvent(const InternalsSample& sample,
+                                    Micros timestamp, uint64_t id) {
+  reservoir::Event event;
+  event.timestamp = timestamp;
+  event.id = id;
+  event.values.reserve(4);
+  event.values.emplace_back(sample.node);
+  event.values.emplace_back(sample.metric);
+  event.values.emplace_back(sample.kind);
+  event.values.emplace_back(sample.value);
+  return event;
+}
+
+Status ParseInternalsEvent(const reservoir::Event& event,
+                           InternalsSample* sample) {
+  if (event.values.size() != 4 || !event.values[0].is_string() ||
+      !event.values[1].is_string() || !event.values[2].is_string() ||
+      !event.values[3].is_double()) {
+    return Status::Corruption("malformed __railgun.internals event");
+  }
+  sample->node = event.values[0].as_string();
+  sample->metric = event.values[1].as_string();
+  sample->kind = event.values[2].as_string();
+  sample->value = event.values[3].as_double();
+  return Status::OK();
+}
+
+}  // namespace railgun::introspect

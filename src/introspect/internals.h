@@ -1,0 +1,46 @@
+// The built-in "__railgun.internals" stream: the engine dogfoods its
+// own event path by publishing registry snapshots as ordinary events,
+// so REPL `stats`, ADD METRIC, and dashboards work on the engine itself
+// with zero new query machinery (cavalieri's `cavalieri::internals`
+// pattern). The double-underscore prefix keeps it out of the user
+// namespace; the tokenizer treats '.' as an identifier character, so
+// the name is usable directly in DDL.
+#ifndef RAILGUN_INTROSPECT_INTERNALS_H_
+#define RAILGUN_INTROSPECT_INTERNALS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/stream_def.h"
+
+namespace railgun::introspect {
+
+inline constexpr char kInternalsStream[] = "__railgun.internals";
+
+// Fixed schema: (node STRING, metric STRING, kind STRING, value DOUBLE)
+// PARTITION BY node PARTITIONS 1. One event per metric per snapshot
+// period, so `count(*) ... GROUP BY node` counts published samples and
+// `max(value) where metric == ...` reads a series.
+engine::StreamDef InternalsStreamDef();
+
+// One decoded internals event.
+struct InternalsSample {
+  std::string node;
+  std::string metric;
+  std::string kind;
+  double value = 0;
+};
+
+// Builds the event payload for one sample (field order must match
+// InternalsStreamDef). Exposed for the publisher and tests.
+reservoir::Event MakeInternalsEvent(const InternalsSample& sample,
+                                    Micros timestamp, uint64_t id);
+
+// Decodes an event produced by MakeInternalsEvent back into a sample.
+Status ParseInternalsEvent(const reservoir::Event& event,
+                           InternalsSample* sample);
+
+}  // namespace railgun::introspect
+
+#endif  // RAILGUN_INTROSPECT_INTERNALS_H_

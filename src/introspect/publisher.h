@@ -1,0 +1,77 @@
+// Periodic registry -> "__railgun.internals" snapshot publisher. Each
+// tick encodes every registry sample as an ordinary EventEnvelope
+// (request_id 0 = fire-and-forget) and produces one batch to the
+// internals topic, keyed by the node label, so the engine's own metrics
+// flow through the identical ingest path user events take.
+//
+// Threading follows MetadataService: the background loop only runs on a
+// real-time clock; under SimulatedClock tests call PublishOnce()
+// explicitly, which makes snapshot timing deterministic.
+#ifndef RAILGUN_INTROSPECT_PUBLISHER_H_
+#define RAILGUN_INTROSPECT_PUBLISHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "introspect/internals.h"
+#include "introspect/registry.h"
+#include "msg/bus.h"
+
+namespace railgun::introspect {
+
+struct PublisherOptions {
+  // Snapshot period. Benches shorten it to watch admission react.
+  Micros period = kMicrosPerSecond;
+  // The `node` column value for every sample this publisher emits.
+  std::string node = "node";
+};
+
+class Publisher {
+ public:
+  Publisher(const PublisherOptions& options, Registry* registry,
+            msg::Bus* bus, Clock* clock);
+  ~Publisher();
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  // Creates the internals topic (idempotent) and, on a real-time clock,
+  // starts the periodic loop.
+  Status Start();
+  void Stop();
+
+  // One snapshot -> one produced batch. Public so simulated-clock tests
+  // and shutdown flushes can drive publication without the thread.
+  Status PublishOnce();
+
+  uint64_t published_samples() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  PublisherOptions options_;
+  Registry* registry_;
+  msg::Bus* bus_;
+  Clock* clock_;
+  std::string topic_;
+  // Event ids must be unique per (node, sample): dedup keys collide
+  // across ticks otherwise and downstream tasks drop the repeats.
+  uint64_t id_base_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> published_{0};
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace railgun::introspect
+
+#endif  // RAILGUN_INTROSPECT_PUBLISHER_H_

@@ -1,0 +1,93 @@
+#include "introspect/registry.h"
+
+#include <algorithm>
+
+namespace railgun::introspect {
+
+namespace {
+
+template <typename Map, typename T = typename Map::mapped_type::element_type>
+T* GetOrCreate(std::mutex* mu, Map* map, const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(name, std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* Registry::counter(const std::string& name) {
+  return GetOrCreate(&mu_, &counters_, name);
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  return GetOrCreate(&mu_, &gauges_, name);
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  return GetOrCreate(&mu_, &histograms_, name);
+}
+
+void Registry::AddProbe(const std::string& name,
+                        std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.emplace_back(name, std::move(probe));
+}
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  // Copy the handle pointers (and probe callables) out under the lock,
+  // then read values lock-free: probes may themselves take component
+  // locks, and must not do so while holding the registry lock.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, std::function<double()>>> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    probes = probes_;
+  }
+
+  for (const auto& [name, c] : counters) {
+    out.push_back({name, "counter", static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges) {
+    out.push_back({name, "gauge", static_cast<double>(g->value())});
+  }
+  // Duplicate probe names (several components exporting one series) sum
+  // into a single row.
+  std::map<std::string, double> probe_totals;
+  for (const auto& [name, fn] : probes) probe_totals[name] += fn();
+  for (const auto& [name, total] : probe_totals) {
+    out.push_back({name, "probe", total});
+  }
+  for (const auto& [name, h] : histograms) {
+    LatencyHistogram snap = h->Snapshot();
+    out.push_back({name + ".count", "histogram",
+                   static_cast<double>(snap.Count())});
+    if (snap.Count() > 0) {
+      out.push_back({name + ".mean", "histogram", snap.Mean()});
+      out.push_back({name + ".p50", "histogram",
+                     static_cast<double>(snap.ValueAtPercentile(50.0))});
+      out.push_back({name + ".p99", "histogram",
+                     static_cast<double>(snap.ValueAtPercentile(99.0))});
+      out.push_back({name + ".p999", "histogram",
+                     static_cast<double>(snap.ValueAtPercentile(99.9))});
+      out.push_back(
+          {name + ".max", "histogram", static_cast<double>(snap.Max())});
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace railgun::introspect

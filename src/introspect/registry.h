@@ -1,0 +1,113 @@
+// Self-instrumentation registry (ROADMAP "self-instrumentation +
+// admission control"): every layer of the engine records counters,
+// gauges and latency histograms here, and introspect::Publisher turns
+// periodic snapshots into ordinary events on the built-in
+// "__railgun.internals" stream (see introspect/internals.h), so the
+// engine's own health is queryable with the same DDL as user data.
+//
+// Concurrency model: metric handles are individual atomics (histograms
+// carry a private mutex), so the hot paths never share a lock; the
+// registry's map lock is taken only on first lookup — callers cache the
+// returned pointer — and briefly by Snapshot(). Handles are owned by
+// the registry and stay address-stable for its lifetime. Two callers
+// asking for the same name share one handle, which is how per-node
+// instances of a layer aggregate into one cluster-wide series.
+#ifndef RAILGUN_INTROSPECT_REGISTRY_H_
+#define RAILGUN_INTROSPECT_REGISTRY_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace railgun::introspect {
+
+// Monotonic event count. Relaxed ordering: series are read by sampling,
+// never used for synchronization.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, connection count). Add() lets
+// several instances sharing one name maintain a correct aggregate.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Latency/size distribution. Record takes a short private lock (HDR
+// bucket increments), never the registry lock.
+class Histogram {
+ public:
+  void Record(int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+  LatencyHistogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+};
+
+// One snapshot row, matching the __railgun.internals schema (minus the
+// node column, which the publisher adds).
+struct Sample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "probe" | "histogram".
+  double value = 0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create; the returned handle is owned by the registry and
+  // valid for its lifetime. Same name -> same handle.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Pull-style metric sampled at snapshot time, for values that already
+  // live in a component's own atomics (bus rebalance counts, dial
+  // attempts). The callable must outlive the registry's last Snapshot —
+  // register probes only from owners whose lifetime encloses the
+  // registry's use. Duplicate names are summed.
+  void AddProbe(const std::string& name, std::function<double()> probe);
+
+  // Point-in-time copy of every series, sorted by name (deterministic
+  // given deterministic inputs). Histograms expand to
+  // <name>.count/.mean/.p50/.p99/.p999/.max rows.
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+};
+
+}  // namespace railgun::introspect
+
+#endif  // RAILGUN_INTROSPECT_REGISTRY_H_

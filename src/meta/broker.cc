@@ -1,5 +1,7 @@
 #include "meta/broker.h"
 
+#include "introspect/internals.h"
+
 namespace railgun::meta {
 
 Broker::Broker(const BrokerOptions& options) : options_(options) {
@@ -17,6 +19,25 @@ Broker::Broker(const BrokerOptions& options) : options_(options) {
              std::string* result) {
         return meta_->HandleWire(opcode, payload, status, result);
       });
+
+  // Control-plane metrics flow into the hosted cluster's registry, so
+  // one internals stream carries data-plane and control-plane health.
+  introspect::Registry* registry = cluster_->registry();
+  registry->AddProbe("meta.announces", [this] {
+    return static_cast<double>(meta_->announce_count());
+  });
+  registry->AddProbe("meta.heartbeats", [this] {
+    return static_cast<double>(meta_->heartbeat_count());
+  });
+  registry->AddProbe("meta.leases_expired", [this] {
+    return static_cast<double>(meta_->leases_expired());
+  });
+  registry->AddProbe("meta.ddl_executed", [this] {
+    return static_cast<double>(meta_->ddl_executed());
+  });
+  registry->AddProbe("server.connections", [this] {
+    return static_cast<double>(server_->live_connections());
+  });
 }
 
 Broker::~Broker() { Stop(); }
@@ -26,6 +47,11 @@ Status Broker::Start() {
   RAILGUN_RETURN_IF_ERROR(cluster_->Start());
   RAILGUN_RETURN_IF_ERROR(server_->Start());
   RAILGUN_RETURN_IF_ERROR(meta_->Start());
+  // Pre-register the built-in internals stream in the schema registry:
+  // remote clients EnsureStream("__railgun.internals") like any user
+  // stream and can immediately query the engine's own stats.
+  RAILGUN_RETURN_IF_ERROR(
+      meta_->RegisterStream(introspect::InternalsStreamDef()));
   started_ = true;
   return Status::OK();
 }

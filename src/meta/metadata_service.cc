@@ -103,7 +103,11 @@ int MetadataService::CheckLeasesLocked(Micros now,
     fenced->push_back(it->first);
     ++it;
   }
-  if (expired > 0) ++generation_;
+  if (expired > 0) {
+    ++generation_;
+    leases_expired_.fetch_add(static_cast<uint64_t>(expired),
+                              std::memory_order_relaxed);
+  }
   return expired;
 }
 
@@ -120,6 +124,7 @@ int MetadataService::CheckLeases() {
 
 StatusOr<AnnounceResult> MetadataService::Announce(
     const NodeAnnouncement& announcement) {
+  announces_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> fence, fenced;
   Status status;
   AnnounceResult result;
@@ -158,6 +163,7 @@ StatusOr<AnnounceResult> MetadataService::Announce(
 }
 
 StatusOr<uint64_t> MetadataService::Heartbeat(const std::string& node_id) {
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> fence, fenced;
   Status status;
   uint64_t generation = 0;
@@ -261,6 +267,7 @@ Status MetadataService::ExecuteDdl(const std::string& statement) {
   // reattaching declarer and the registry agree.
   const Status executed = client_.Execute(statement);
   if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
+  ddl_executed_.fetch_add(1, std::memory_order_relaxed);
 
   if (query::IsDdlStatement(statement)) {
     auto ddl = query::ParseDdl(statement);

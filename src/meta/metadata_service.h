@@ -103,6 +103,22 @@ class MetadataService {
   // registry, mirroring client reattachment semantics.
   Status ExecuteDdl(const std::string& statement);
 
+  // ----- Introspection -------------------------------------------------
+  // Cumulative control-plane activity, exported as registry probes by
+  // the hosting meta::Broker.
+  uint64_t announce_count() const {
+    return announces_.load(std::memory_order_relaxed);
+  }
+  uint64_t heartbeat_count() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  uint64_t leases_expired() const {
+    return leases_expired_.load(std::memory_order_relaxed);
+  }
+  uint64_t ddl_executed() const {
+    return ddl_executed_.load(std::memory_order_relaxed);
+  }
+
   // ----- Wire hook ----------------------------------------------------
   // BusServer extension: true when `opcode` is a kMeta* RPC (filling
   // *status and, on OK, *result), false to fall through.
@@ -147,6 +163,11 @@ class MetadataService {
   uint64_t generation_ = 1;
 
   std::mutex ddl_mu_;  // Serializes ExecuteDdl.
+
+  std::atomic<uint64_t> announces_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> leases_expired_{0};
+  std::atomic<uint64_t> ddl_executed_{0};
 
   std::atomic<bool> running_{false};
   std::thread ddl_thread_;

@@ -46,7 +46,19 @@ WorkerNode::WorkerNode(const WorkerNodeOptions& options)
       address_(options.address.empty() ? DefaultAddress()
                                        : options.address),
       dir_(options.base_dir.empty() ? "/tmp/railgun-noded-" + node_id_
-                                    : options.base_dir) {}
+                                    : options.base_dir) {
+  // The engine layers of this worker record into its private registry;
+  // snapshots carry node=<node_id>, so per-worker series stay separable
+  // at query time (GROUP BY node).
+  options_.node.frontend.registry = &registry_;
+  options_.node.unit.registry = &registry_;
+  registry_.AddProbe("bus.dial_attempts", [this] {
+    return bus_ != nullptr ? static_cast<double>(bus_->dial_attempts()) : 0.0;
+  });
+  registry_.AddProbe("bus.backlog", [this] {
+    return bus_ != nullptr ? static_cast<double>(bus_->BacklogHint()) : 0.0;
+  });
+}
 
 NodeAnnouncement WorkerNode::BuildAnnouncement() const {
   NodeAnnouncement announcement;
@@ -120,6 +132,19 @@ Status WorkerNode::Start() {
     return abandon(started);
   }
 
+  if (options_.introspect_period > 0) {
+    introspect::PublisherOptions pub_options;
+    pub_options.period = options_.introspect_period;
+    pub_options.node = node_id_;
+    publisher_ = std::make_unique<introspect::Publisher>(
+        pub_options, &registry_, bus_.get(), clock_);
+    started = publisher_->Start();
+    if (!started.ok()) {
+      node_->Stop();
+      return abandon(started);
+    }
+  }
+
   if (options_.auto_heartbeat && clock_->IsRealTime()) {
     heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
   }
@@ -136,6 +161,7 @@ void WorkerNode::Stop() {
   // Leave first so the view stops counting this node, then let the
   // units unsubscribe cleanly (one rebalance, no lease wait). Best
   // effort: a dead broker cannot be left politely anyway.
+  if (publisher_ != nullptr) publisher_->Stop();
   if (meta_ != nullptr) meta_->Leave(node_id_);
   if (node_ != nullptr) node_->Stop();
 }

@@ -33,6 +33,8 @@
 
 #include "engine/coordinator.h"
 #include "engine/node.h"
+#include "introspect/publisher.h"
+#include "introspect/registry.h"
 #include "meta/meta_client.h"
 #include "msg/remote/remote_bus.h"
 
@@ -56,6 +58,10 @@ struct WorkerNodeOptions {
   bool auto_heartbeat = true;
   engine::NodeOptions node;  // Unit / front-end tuning.
   Clock* clock = nullptr;    // Defaults to the monotonic clock.
+  // Period of this worker's "__railgun.internals" snapshots (published
+  // to the broker under node=<node_id>). 0 disables publication; the
+  // local registry still collects.
+  Micros introspect_period = kMicrosPerSecond;
 };
 
 class WorkerNode {
@@ -79,6 +85,9 @@ class WorkerNode {
 
   const std::string& node_id() const { return node_id_; }
   engine::RailgunNode* node() { return node_.get(); }
+  // This worker's metric registry (its publisher streams snapshots to
+  // the broker's internals topic under node=<node_id>).
+  introspect::Registry* registry() { return &registry_; }
   uint64_t view_generation() const {
     return last_generation_.load(std::memory_order_relaxed);
   }
@@ -106,6 +115,8 @@ class WorkerNode {
   std::unique_ptr<MetaClient> meta_;
   std::unique_ptr<engine::Coordinator> coordinator_;
   std::unique_ptr<engine::RailgunNode> node_;
+  introspect::Registry registry_;
+  std::unique_ptr<introspect::Publisher> publisher_;
 
   // Atomic: rewritten by the heartbeat thread on a lease-expiry rejoin
   // (AdoptLease) while the public accessor may read concurrently.

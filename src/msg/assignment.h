@@ -20,6 +20,12 @@ struct MemberInfo {
   std::string metadata;
   // Partitions this member held in the previous generation.
   std::vector<TopicPartition> previous_assignment;
+  // Topics this member subscribed to. Members of one group may be
+  // mid-transition on different topic sets (a stream created while
+  // some units haven't registered it yet); a strategy must never hand
+  // a partition to a member that didn't subscribe to its topic — the
+  // member would consume and drop the messages. Empty = all topics.
+  std::vector<std::string> topics;
 };
 
 using Assignment = std::map<std::string, std::vector<TopicPartition>>;

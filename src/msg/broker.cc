@@ -24,7 +24,54 @@ void InProcessBus::NotifyArrival() {
     std::lock_guard<std::mutex> lock(wake_mu_);
     ++wake_epoch_;
   }
+  poll_wakes_.fetch_add(1, std::memory_order_relaxed);
   wake_cv_.notify_all();
+}
+
+Status InProcessBus::SetTopicRetention(const std::string& topic,
+                                       uint64_t retention_messages) {
+  auto t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("no topic: " + topic);
+  for (auto& log : t->partitions) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->retention_override = retention_messages;
+    TruncateLocked(log.get());
+  }
+  return Status::OK();
+}
+
+uint64_t InProcessBus::BacklogHint() const {
+  // Collapse the live read positions to a per-partition minimum first
+  // (several group members or groups may track one partition), then
+  // read end offsets outside group_mu_ — the totals are a sampled hint,
+  // not a transactional snapshot.
+  std::map<TopicPartition, uint64_t> min_pos;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    for (const auto& [id, consumer] : consumers_) {
+      if (!consumer.alive) continue;
+      for (const auto& [tp, pos] : consumer.positions) {
+        auto it = min_pos.find(tp);
+        if (it == min_pos.end()) {
+          min_pos.emplace(tp, pos);
+        } else if (pos < it->second) {
+          it->second = pos;
+        }
+      }
+    }
+  }
+  uint64_t backlog = 0;
+  for (const auto& [tp, pos] : min_pos) {
+    auto t = FindTopic(tp.topic);
+    if (t == nullptr || tp.partition < 0 ||
+        static_cast<size_t>(tp.partition) >= t->partitions.size()) {
+      continue;
+    }
+    const uint64_t end = t->partitions[static_cast<size_t>(tp.partition)]
+                             ->end_offset.load(std::memory_order_acquire);
+    if (end > pos) backlog += end - pos;
+  }
+  return backlog;
 }
 
 Status InProcessBus::WakeConsumer(const std::string& consumer_id) {
@@ -123,11 +170,13 @@ void InProcessBus::AppendLocked(PartitionLog* log, const std::string& topic,
 }
 
 void InProcessBus::TruncateLocked(PartitionLog* log) {
-  if (options_.retention_messages == 0) return;
-  if (log->messages.size() <= options_.retention_messages) return;
+  const uint64_t cap = log->retention_override != 0
+                           ? log->retention_override
+                           : options_.retention_messages;
+  if (cap == 0) return;
+  if (log->messages.size() <= cap) return;
   const uint64_t cap_base =
-      log->end_offset.load(std::memory_order_relaxed) -
-      options_.retention_messages;
+      log->end_offset.load(std::memory_order_relaxed) - cap;
   const uint64_t floor =
       log->committed_floor.load(std::memory_order_acquire);
   const uint64_t new_base = std::min(cap_base, floor);
@@ -300,6 +349,7 @@ void InProcessBus::RebalanceGroupLocked(const std::string& group_name) {
     MemberInfo info;
     info.member_id = member_id;
     info.metadata = it->second.metadata;
+    info.topics = it->second.topics;
     auto prev = group.current.find(member_id);
     if (prev != group.current.end()) {
       info.previous_assignment = prev->second;
@@ -403,6 +453,7 @@ Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
     if (clock_->IsRealTime() && delta < slice) slice = delta;
     std::unique_lock<std::mutex> lock(wake_mu_);
     if (wake_epoch_ == epoch) {
+      poll_parks_.fetch_add(1, std::memory_order_relaxed);
       wake_cv_.wait_for(lock, std::chrono::microseconds(slice));
     }
   }

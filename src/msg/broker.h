@@ -154,10 +154,31 @@ class InProcessBus : public Bus {
   // Interrupts every consumer (shutdown sweep).
   void Wake() override;
 
+  // Per-topic retention override (introspect: the internals stream is
+  // bounded regardless of the broker-wide retention policy, which most
+  // deployments leave at 0 = keep everything for replay). 0 restores
+  // the broker-wide setting. Applies immediately to existing backlog.
+  Status SetTopicRetention(const std::string& topic,
+                           uint64_t retention_messages);
+
   // Introspection.
   std::vector<TopicPartition> AssignmentOf(
       const std::string& consumer_id) override;
   uint64_t rebalance_count() const override { return rebalance_count_; }
+  // Sum of (end offset - live read position) over every partition some
+  // alive consumer tracks: the broker-side queue depth admission
+  // control and the kPoll response hint report. Uses the in-place poll
+  // positions, not the committed floors — floors only move on Commit
+  // and would overstate backlog for consumers that batch commits.
+  uint64_t BacklogHint() const override;
+  // Blocking-poll park/wake-up counts (wake-on-arrival health: parks
+  // without wakes means idle, wakes without parks means busy-spinning).
+  uint64_t poll_park_count() const {
+    return poll_parks_.load(std::memory_order_relaxed);
+  }
+  uint64_t poll_wake_count() const {
+    return poll_wakes_.load(std::memory_order_relaxed);
+  }
   // The consumer's tracked position for a partition (its committed
   // floor contribution). NotFound when the consumer does not track it.
   StatusOr<uint64_t> PositionOf(const std::string& consumer_id,
@@ -173,6 +194,9 @@ class InProcessBus : public Bus {
     // partition; retention never truncates past it. UINT64_MAX when no
     // consumer tracks the partition (retention cap applies alone).
     std::atomic<uint64_t> committed_floor{UINT64_MAX};
+    // Per-topic retention override (guarded by mu); 0 = use the
+    // broker-wide BusOptions::retention_messages.
+    uint64_t retention_override = 0;
   };
   struct Topic {
     // unique_ptr elements keep per-partition mutexes address-stable.
@@ -243,6 +267,8 @@ class InProcessBus : public Bus {
   uint64_t wake_epoch_ = 0;  // Guarded by wake_mu_.
 
   std::atomic<uint64_t> rebalance_count_{0};
+  std::atomic<uint64_t> poll_parks_{0};
+  std::atomic<uint64_t> poll_wakes_{0};
 };
 
 // Historical name of the in-process broker, kept for call sites that

@@ -122,6 +122,11 @@ class Bus {
   virtual std::vector<TopicPartition> AssignmentOf(
       const std::string& consumer_id) = 0;
   virtual uint64_t rebalance_count() const = 0;
+  // Total messages produced but not yet consumed across all partitions —
+  // the broker-side queue-depth signal admission control watches.
+  // InProcessBus computes it live; RemoteBus reports the last hint a
+  // kPoll response carried (see wire.h). 0 = empty or unknown.
+  virtual uint64_t BacklogHint() const { return 0; }
 };
 
 }  // namespace railgun::msg

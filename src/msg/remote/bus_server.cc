@@ -242,6 +242,11 @@ Frame BusServer::HandleRequest(const Frame& request) {
           PutTopicPartitionList(&result, revoked);
           PutTopicPartitionList(&result, assigned);
           PutWireMessageList(&result, messages);
+          // Backlog hint: trailing varint appended after the original
+          // kPoll body. Old clients stop decoding before it; new
+          // clients treat it as optional — both directions stay
+          // compatible across versions.
+          PutVarint64(&result, bus_->BacklogHint());
         }
       }
       break;

@@ -68,6 +68,12 @@ class BusServer {
     extension_ = std::move(extension);
   }
 
+  // Connections currently being served (introspection).
+  size_t live_connections() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_connections_;
+  }
+
   // Decodes one request and executes it against `bus`, producing the
   // response frame (same correlation id, opcode | kResponseBit).
   // Malformed payloads yield a Corruption response, unhandled opcodes a
@@ -99,7 +105,7 @@ class BusServer {
   ListenSocket listener_;
   std::thread accept_thread_;
 
-  std::mutex mu_;  // Guards conns_, live_connections_, rebalances_.
+  mutable std::mutex mu_;  // Guards conns_, live_connections_, rebalances_.
   uint64_t next_conn_id_ = 1;
   std::map<uint64_t, std::shared_ptr<Socket>> conns_;
   size_t live_connections_ = 0;

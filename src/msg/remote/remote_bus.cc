@@ -266,6 +266,11 @@ Status RemoteBus::Poll(const std::string& consumer_id, size_t max_messages,
       !GetWireMessageList(&in, out)) {
     return Status::Corruption("malformed Poll response");
   }
+  // Optional trailing backlog hint (servers predating it send none).
+  uint64_t backlog = 0;
+  if (GetVarint64(&in, &backlog)) {
+    backlog_hint_.store(backlog, std::memory_order_relaxed);
+  }
   if (!revoked.empty() || !assigned.empty()) {
     RebalanceListener listener;
     {

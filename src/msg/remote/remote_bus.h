@@ -108,6 +108,11 @@ class RemoteBus : public Bus {
   std::vector<TopicPartition> AssignmentOf(
       const std::string& consumer_id) override;
   uint64_t rebalance_count() const override;
+  // Broker queue depth as of the last kPoll response this client saw
+  // (the trailing hint of wire.h's kPoll). 0 until the first poll.
+  uint64_t BacklogHint() const override {
+    return backlog_hint_.load(std::memory_order_relaxed);
+  }
 
   // Total TCP connect attempts across all connections (introspection
   // for tests and operators watching reconnect churn).
@@ -155,6 +160,7 @@ class RemoteBus : public Bus {
   int port_ = 0;
   Status address_status_;  // Result of parsing options_.address.
   mutable std::atomic<uint64_t> dial_attempts_{0};
+  std::atomic<uint64_t> backlog_hint_{0};
 
   mutable std::mutex mu_;  // Guards conns_ and listeners_.
   mutable std::map<std::string, std::shared_ptr<Conn>> conns_;

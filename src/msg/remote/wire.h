@@ -47,6 +47,10 @@ enum class OpCode : uint8_t {
   kProduceBatch = 7,
   kSubscribe = 8,
   kUnsubscribe = 9,
+  // kPoll responses carry [revoked tps][assigned tps][messages] plus an
+  // optional trailing varint64 backlog hint (Bus::BacklogHint at the
+  // server). Decoders written before the hint stop early and ignore it;
+  // decoders that know it treat absence as "no hint".
   kPoll = 10,
   kFetch = 11,
   kCommit = 12,

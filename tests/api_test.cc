@@ -220,7 +220,11 @@ TEST(ClientTest, ExecuteRoutesDdlAndListsStreams) {
                   .Execute("ADD METRIC SELECT count(*) FROM payments "
                            "GROUP BY cardId OVER sliding 1 hour")
                   .ok());
-  EXPECT_EQ(client.ListStreams(), std::vector<std::string>{"payments"});
+  // The built-in internals stream is queryable out of the box, so it
+  // shows up alongside user streams.
+  const std::vector<std::string> expected = {"__railgun.internals",
+                                             "payments"};
+  EXPECT_EQ(client.ListStreams(), expected);
 
   auto schema = client.GetSchema("payments");
   ASSERT_TRUE(schema.ok());

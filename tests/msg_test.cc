@@ -239,6 +239,38 @@ TEST(GroupTest, SeekRewindsConsumption) {
   EXPECT_EQ(out[0].payload, "2");
 }
 
+TEST(GroupTest, PartitionsOnlyAssignedToSubscribedMembers) {
+  // One group, heterogeneous topic sets mid-transition: a stream was
+  // just created and only c2 re-subscribed with its topic so far. t2's
+  // partitions must never land on c1 — a member that didn't subscribe
+  // would consume and drop the messages (offset advances, events lost).
+  MessageBus bus(FastBus());
+  ASSERT_TRUE(bus.CreateTopic("t1", 2).ok());
+  ASSERT_TRUE(bus.CreateTopic("t2", 2).ok());
+  ASSERT_TRUE(bus.Subscribe("c1", "g", {"t1"}, "", nullptr, {}).ok());
+  ASSERT_TRUE(
+      bus.Subscribe("c2", "g", {"t1", "t2"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Poll("c1", 10, &out).ok());
+  ASSERT_TRUE(bus.Poll("c2", 10, &out).ok());
+
+  for (const auto& tp : bus.AssignmentOf("c1")) {
+    EXPECT_NE(tp.topic, "t2") << "t2/" << tp.partition << " on c1";
+  }
+  std::set<int> t2_partitions;
+  for (const auto& tp : bus.AssignmentOf("c2")) {
+    if (tp.topic == "t2") t2_partitions.insert(tp.partition);
+  }
+  EXPECT_EQ(t2_partitions.size(), 2u);
+
+  // An event produced into the not-yet-universally-subscribed topic is
+  // delivered to the subscribed member, not dropped.
+  ASSERT_TRUE(bus.ProduceToPartition("t2", 0, "k", "first").ok());
+  ASSERT_TRUE(bus.Poll("c2", 10, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "first");
+}
+
 TEST(GroupTest, UnsubscribeTriggersRebalance) {
   MessageBus bus(FastBus());
   ASSERT_TRUE(bus.CreateTopic("t", 2).ok());

@@ -175,5 +175,57 @@ TEST(StickyAssignmentTest, EmptyClusterProducesEmptyAssignment) {
   EXPECT_TRUE(result.active.empty());
 }
 
+TEST(StickyAssignmentTest, TasksOnlyLandOnSubscribedUnits) {
+  // Mid-transition group: a new stream "fresh" exists but only half the
+  // units registered it yet. A unit that didn't subscribe would consume
+  // and drop the topic's messages, so it must never receive the task —
+  // not even through the budget-exhausted fallback.
+  TaskAssignmentInput in;
+  for (int i = 0; i < 4; ++i) in.tasks.push_back({"old", i});
+  for (int i = 0; i < 4; ++i) in.tasks.push_back({"fresh", i});
+  in.units = MakeUnits(2, 2);
+  in.units[0].topics = {"old"};
+  in.units[1].topics = {"old"};
+  in.units[2].topics = {"old", "fresh"};
+  in.units[3].topics = {"old", "fresh"};
+  const auto result = ComputeStickyAssignment(in);
+  ASSERT_EQ(result.active.size(), in.tasks.size());
+  for (const auto& [task, unit] : result.active) {
+    if (task.topic == "fresh") {
+      EXPECT_TRUE(unit == in.units[2].unit_id || unit == in.units[3].unit_id)
+          << task.topic << "/" << task.partition << " -> " << unit;
+    }
+  }
+
+  // Stickiness must also yield when an owner unsubscribes from a topic:
+  // the previous active is no longer eligible.
+  TaskAssignmentInput next = in;
+  next.prev_active = result.active;
+  next.units[2].topics = {"old"};
+  next.units[3].topics = {"old"};
+  next.units[0].topics = {"old", "fresh"};
+  next.units[1].topics = {"old", "fresh"};
+  const auto moved = ComputeStickyAssignment(next);
+  for (const auto& [task, unit] : moved.active) {
+    if (task.topic == "fresh") {
+      EXPECT_TRUE(unit == in.units[0].unit_id || unit == in.units[1].unit_id)
+          << task.topic << "/" << task.partition << " -> " << unit;
+    }
+  }
+}
+
+TEST(StickyAssignmentTest, NoSubscriberLeavesTaskUnassigned) {
+  TaskAssignmentInput in;
+  in.tasks = MakeTasks(2);
+  in.tasks.push_back({"orphan", 0});
+  in.units = MakeUnits(1, 2);
+  for (auto& u : in.units) u.topics = {"t"};
+  const auto result = ComputeStickyAssignment(in);
+  // "t" tasks assigned; the orphan topic waits for a subscriber instead
+  // of being consumed-and-dropped.
+  EXPECT_EQ(result.active.size(), 2u);
+  EXPECT_EQ(result.active.count({"orphan", 0}), 0u);
+}
+
 }  // namespace
 }  // namespace railgun::engine
