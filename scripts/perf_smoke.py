@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Warn-only perf smoke: diff fresh bench JSON against a checked-in baseline.
+
+Usage: perf_smoke.py <baseline.json> <fresh.json> [threshold]
+
+Compares every key ending in `_events_per_sec` that both files share and
+emits a GitHub Actions `::warning::` annotation when the fresh number
+falls more than `threshold` (default 10%) below the baseline. CI shared
+runners are far too noisy for a hard perf gate, so this always exits 0 —
+the annotations make regressions visible on the PR without flaking it.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} <baseline.json> <fresh.json> [threshold]")
+        return 0
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.10
+    try:
+        with open(sys.argv[1]) as f:
+            baseline = json.load(f)
+        with open(sys.argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::perf_smoke could not load results: {e}")
+        return 0
+
+    keys = [
+        k
+        for k in baseline
+        if k.endswith("_events_per_sec") and k in fresh
+    ]
+    if not keys:
+        print("::warning::perf_smoke found no comparable *_events_per_sec keys")
+        return 0
+
+    for key in sorted(keys):
+        base, now = float(baseline[key]), float(fresh[key])
+        if base <= 0:
+            continue
+        ratio = now / base
+        line = f"{key}: baseline {base:.0f} -> fresh {now:.0f} ({ratio:.2f}x)"
+        if ratio < 1.0 - threshold:
+            print(
+                f"::warning::perf regression (> {threshold:.0%}): {line}"
+            )
+        else:
+            print(f"perf_smoke ok: {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,28 @@ const char* AggKindName(AggKind kind) {
   return "?";
 }
 
+Status Aggregator::EnterColumn(const double* values, const uint64_t* offsets,
+                               size_t n, std::string* state,
+                               AggContext* ctx) {
+  Event event;
+  for (size_t i = 0; i < n; ++i) {
+    event.offset = offsets[i];
+    RAILGUN_RETURN_IF_ERROR(Enter(FieldValue(values[i]), event, state, ctx));
+  }
+  return Status::OK();
+}
+
+Status Aggregator::ExpireColumn(const double* values, const uint64_t* offsets,
+                                size_t n, std::string* state,
+                                AggContext* ctx) {
+  Event event;
+  for (size_t i = 0; i < n; ++i) {
+    event.offset = offsets[i];
+    RAILGUN_RETURN_IF_ERROR(Expire(FieldValue(values[i]), event, state, ctx));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 // -------------------------------------------------------- count
@@ -54,6 +76,14 @@ class CountAggregator : public Aggregator {
   Status Expire(const FieldValue&, const Event&, std::string* state,
                 AggContext*) override {
     return Bump(state, -1);
+  }
+  Status EnterColumn(const double*, const uint64_t*, size_t n,
+                     std::string* state, AggContext*) override {
+    return Bump(state, static_cast<int64_t>(n));
+  }
+  Status ExpireColumn(const double*, const uint64_t*, size_t n,
+                      std::string* state, AggContext*) override {
+    return Bump(state, -static_cast<int64_t>(n));
   }
   StatusOr<FieldValue> Result(const std::string& state) const override {
     int64_t n = 0;
@@ -88,6 +118,14 @@ class SumAggregator : public Aggregator {
                 AggContext*) override {
     return Bump(state, -v.ToNumber());
   }
+  Status EnterColumn(const double* values, const uint64_t*, size_t n,
+                     std::string* state, AggContext*) override {
+    return Bump(state, ColumnSum(values, n));
+  }
+  Status ExpireColumn(const double* values, const uint64_t*, size_t n,
+                      std::string* state, AggContext*) override {
+    return Bump(state, -ColumnSum(values, n));
+  }
   StatusOr<FieldValue> Result(const std::string& state) const override {
     double sum = 0;
     if (!state.empty()) {
@@ -98,6 +136,11 @@ class SumAggregator : public Aggregator {
   }
 
  private:
+  static double ColumnSum(const double* values, size_t n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) sum += values[i];
+    return sum;
+  }
   static Status Bump(std::string* state, double delta) {
     double sum = 0;
     if (!state->empty()) {
@@ -120,6 +163,18 @@ class AvgAggregator : public Aggregator {
   Status Expire(const FieldValue& v, const Event&, std::string* state,
                 AggContext*) override {
     return Bump(state, -v.ToNumber(), -1);
+  }
+  Status EnterColumn(const double* values, const uint64_t*, size_t n,
+                     std::string* state, AggContext*) override {
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) acc += values[i];
+    return Bump(state, acc, static_cast<int64_t>(n));
+  }
+  Status ExpireColumn(const double* values, const uint64_t*, size_t n,
+                      std::string* state, AggContext*) override {
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) acc += values[i];
+    return Bump(state, -acc, -static_cast<int64_t>(n));
   }
   StatusOr<FieldValue> Result(const std::string& state) const override {
     double sum = 0;
@@ -188,6 +243,46 @@ class StdDevAggregator : public Aggregator {
     Store(state, n - 1, mean_prev, m2);
     return Status::OK();
   }
+  // Welford updates run entirely in registers; the state round-trips
+  // through the blob once per run instead of once per event.
+  Status EnterColumn(const double* values, const uint64_t*, size_t count,
+                     std::string* state, AggContext*) override {
+    int64_t n;
+    double mean, m2;
+    RAILGUN_RETURN_IF_ERROR(Parse(*state, &n, &mean, &m2));
+    for (size_t i = 0; i < count; ++i) {
+      const double x = values[i];
+      ++n;
+      const double delta = x - mean;
+      mean += delta / static_cast<double>(n);
+      m2 += delta * (x - mean);
+    }
+    Store(state, n, mean, m2);
+    return Status::OK();
+  }
+  Status ExpireColumn(const double* values, const uint64_t*, size_t count,
+                      std::string* state, AggContext*) override {
+    int64_t n;
+    double mean, m2;
+    RAILGUN_RETURN_IF_ERROR(Parse(*state, &n, &mean, &m2));
+    for (size_t i = 0; i < count; ++i) {
+      const double x = values[i];
+      if (n <= 1) {
+        n = 0;
+        mean = 0;
+        m2 = 0;
+        continue;
+      }
+      const double mean_prev =
+          (static_cast<double>(n) * mean - x) / static_cast<double>(n - 1);
+      m2 -= (x - mean) * (x - mean_prev);
+      if (m2 < 0) m2 = 0;
+      mean = mean_prev;
+      --n;
+    }
+    Store(state, n, mean, m2);
+    return Status::OK();
+  }
   StatusOr<FieldValue> Result(const std::string& state) const override {
     int64_t n;
     double mean, m2;
@@ -242,6 +337,30 @@ class ExtremumAggregator : public Aggregator {
     std::deque<Entry> dq;
     RAILGUN_RETURN_IF_ERROR(Parse(*state, &dq));
     if (!dq.empty() && dq.front().offset == e.offset) dq.pop_front();
+    Store(state, dq);
+    return Status::OK();
+  }
+  // Parse the deque once, run every push/pop against it in memory,
+  // serialize once.
+  Status EnterColumn(const double* values, const uint64_t* offsets,
+                     size_t n, std::string* state, AggContext*) override {
+    std::deque<Entry> dq;
+    RAILGUN_RETURN_IF_ERROR(Parse(*state, &dq));
+    for (size_t i = 0; i < n; ++i) {
+      const double x = values[i];
+      while (!dq.empty() && Dominates(x, dq.back().value)) dq.pop_back();
+      dq.push_back({x, offsets[i]});
+    }
+    Store(state, dq);
+    return Status::OK();
+  }
+  Status ExpireColumn(const double*, const uint64_t* offsets, size_t n,
+                      std::string* state, AggContext*) override {
+    std::deque<Entry> dq;
+    RAILGUN_RETURN_IF_ERROR(Parse(*state, &dq));
+    for (size_t i = 0; i < n; ++i) {
+      if (!dq.empty() && dq.front().offset == offsets[i]) dq.pop_front();
+    }
     Store(state, dq);
     return Status::OK();
   }

@@ -58,6 +58,19 @@ class Aggregator {
                         const reservoir::Event& event, std::string* state,
                         AggContext* ctx) = 0;
 
+  // Columnar fast path: applies `n` entering values in one call, with
+  // `offsets[i]` supplying the ordering metadata Enter() reads from the
+  // event. Equivalent to n scalar Enter() calls; numeric aggregators
+  // override with a parse-once / tight-loop / store-once implementation
+  // so a batched caller pays one state (de)serialization per run instead
+  // of one per event. The default is the scalar loop.
+  virtual Status EnterColumn(const double* values, const uint64_t* offsets,
+                             size_t n, std::string* state, AggContext* ctx);
+
+  // Columnar expiry, mirror of EnterColumn.
+  virtual Status ExpireColumn(const double* values, const uint64_t* offsets,
+                              size_t n, std::string* state, AggContext* ctx);
+
   // Produces the current aggregation result from the state.
   virtual StatusOr<reservoir::FieldValue> Result(
       const std::string& state) const = 0;

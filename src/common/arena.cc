@@ -1,8 +1,9 @@
-#include "storage/arena.h"
+#include "common/arena.h"
 
 #include <cassert>
+#include <utility>
 
-namespace railgun::storage {
+namespace railgun {
 
 char* Arena::Allocate(size_t bytes) {
   assert(bytes > 0);
@@ -43,9 +44,31 @@ char* Arena::AllocateFallback(size_t bytes) {
 }
 
 char* Arena::AllocateNewBlock(size_t block_bytes) {
-  blocks_.emplace_back(new char[block_bytes]);
+  Block block;
+  block.data.reset(new char[block_bytes]);
+  block.size = block_bytes;
+  blocks_.push_back(std::move(block));
   memory_usage_ += block_bytes + sizeof(char*);
-  return blocks_.back().get();
+  return blocks_.back().data.get();
 }
 
-}  // namespace railgun::storage
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    alloc_ptr_ = nullptr;
+    alloc_bytes_remaining_ = 0;
+    memory_usage_ = 0;
+    return;
+  }
+  size_t largest = 0;
+  for (size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].size > blocks_[largest].size) largest = i;
+  }
+  Block kept = std::move(blocks_[largest]);
+  blocks_.clear();
+  alloc_ptr_ = kept.data.get();
+  alloc_bytes_remaining_ = kept.size;
+  memory_usage_ = kept.size + sizeof(char*);
+  blocks_.push_back(std::move(kept));
+}
+
+}  // namespace railgun

@@ -1,0 +1,51 @@
+// Bump-pointer allocator. Originally backing the memtable skip list
+// (all memory released at once when the memtable is dropped after a
+// flush); promoted to common/ so the message layer can pool receive
+// buffers on it without a storage dependency.
+#ifndef RAILGUN_COMMON_ARENA_H_
+#define RAILGUN_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace railgun {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  char* AllocateAligned(size_t bytes);
+
+  // Total memory footprint of the arena (used for flush triggers).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+  // Discards all allocations but keeps the single largest block for
+  // reuse, so a pooled owner (msg::BufferPool) reaches a steady state
+  // where repeated fill/drain cycles perform no heap allocation at all.
+  // Every pointer previously handed out is invalidated.
+  void Reset();
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+  std::vector<Block> blocks_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace railgun
+
+#endif  // RAILGUN_COMMON_ARENA_H_

@@ -1,0 +1,66 @@
+// Columnar decode of a batch of EventEnvelope payloads (the bus→unit
+// hot path). One pass over the wire bytes fills per-column contiguous
+// arrays: numeric fields land in tight int64/double vectors, strings
+// stay zero-copy Slices into the pooled poll buffer. All column storage
+// is reused across batches, so a warm ColumnBatch decodes an entire
+// poll result without a single heap allocation.
+#ifndef RAILGUN_ENGINE_COLUMN_BATCH_H_
+#define RAILGUN_ENGINE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "msg/batch.h"
+#include "reservoir/event.h"
+
+namespace railgun::engine {
+
+class ColumnBatch {
+ public:
+  struct Column {
+    reservoir::FieldType type = reservoir::FieldType::kInt64;
+    // Exactly one of these is populated, matching `type`.
+    std::vector<int64_t> ints;
+    std::vector<double> nums;
+    std::vector<Slice> strs;
+    std::vector<uint8_t> bools;
+  };
+
+  size_t size() const { return offsets_.size(); }
+  bool row_ok(size_t i) const { return ok_[i] != 0; }
+  uint64_t request_id(size_t i) const { return request_ids_[i]; }
+  // Views into the poll buffer — valid while the source batch is.
+  Slice reply_topic(size_t i) const { return reply_topics_[i]; }
+  uint64_t offset(size_t i) const { return offsets_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Decodes every message payload as an EventEnvelope against `schema`.
+  // Rows that fail to decode hold zero values with row_ok() false; the
+  // rest of the batch is unaffected. Returns the number of good rows.
+  // Slices in the result view into the messages' backing storage.
+  size_t Decode(const std::vector<msg::MessageView>& messages,
+                const reservoir::Schema& schema);
+
+  // Materializes row i into *event, reusing its value/string capacity.
+  void MaterializeRow(size_t i, reservoir::Event* event) const;
+
+ private:
+  void Reset(const reservoir::Schema& schema);
+  // Rewinds every column to exactly `rows` entries (a row that failed
+  // mid-decode leaves ragged columns behind).
+  void AlignRows(size_t rows);
+
+  std::vector<uint64_t> request_ids_;
+  std::vector<Slice> reply_topics_;
+  std::vector<Micros> timestamps_;
+  std::vector<uint64_t> ids_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint8_t> ok_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace railgun::engine
+
+#endif  // RAILGUN_ENGINE_COLUMN_BATCH_H_

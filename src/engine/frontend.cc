@@ -286,7 +286,7 @@ void FrontEnd::DrainSubmissions() {
 }
 
 void FrontEnd::Run() {
-  std::vector<msg::Message> batch;
+  msg::MessageBatch batch;
   while (running_) {
     DrainSubmissions();
 
@@ -300,19 +300,21 @@ void FrontEnd::Run() {
       std::lock_guard<std::mutex> lock(submit_mu_);
       if (!submit_queue_.empty()) wait = 0;
     }
+    // Zero-copy reply poll: views decode straight out of the transport's
+    // pooled receive buffer.
     const Status polled =
-        bus_->Poll(consumer_id_, options_.poll_max, &batch, wait);
+        bus_->PollBatch(consumer_id_, options_.poll_max, &batch, wait);
     if (!polled.ok()) {
       // Error-recovery path (consumer fenced), not the hot loop:
       // bounded backoff, then keep expiring deadlines below.
-      batch.clear();
+      batch.Clear();
       clock_->SleepMicros(options_.poll_wait);
     }
 
     std::vector<Completion> done;
-    for (const auto& message : batch) {
+    for (const auto& message : batch.views()) {
       ReplyEnvelope reply;
-      if (!DecodeReplyEnvelope(Slice(message.payload), &reply).ok()) {
+      if (!DecodeReplyEnvelope(message.payload, &reply).ok()) {
         continue;
       }
       PendingShard& shard = ShardFor(reply.request_id);

@@ -269,7 +269,8 @@ void ProcessorUnit::SyncReplicaTasks() {
 }
 
 void ProcessorUnit::ProcessGrouped(
-    const std::map<msg::TopicPartition, std::vector<msg::Message>>& groups,
+    const std::map<msg::TopicPartition, std::vector<msg::MessageView>>&
+        groups,
     bool active) {
   // Replies for active tasks are batched per reply topic and published
   // with one ProduceBatch each; replicas stay silent (Algorithm 1).
@@ -299,7 +300,7 @@ void ProcessorUnit::ProcessGrouped(
       std::string encoded;
       EncodeReplyEnvelope(reply, &encoded);
       reply_batches[reply.reply_topic].push_back(
-          {messages[i].key, std::move(encoded)});
+          {messages[i].key.ToString(), std::move(encoded)});
     }
   }
   for (auto& [topic, records] : reply_batches) {
@@ -334,9 +335,10 @@ void ProcessorUnit::Run() {
 
     // Active tasks: blocking poll through the consumer group. Acts as
     // the heartbeat and parks (wake-on-arrival) when nothing is ready.
-    std::vector<msg::Message> active_messages;
-    const Status poll_status = bus_->Poll(
-        unit_id_, options_.poll_max, &active_messages, options_.poll_wait);
+    // PollBatch hands back views into the transport's pooled buffer, so
+    // the hot path never copies event payloads into per-message strings.
+    const Status poll_status = bus_->PollBatch(
+        unit_id_, options_.poll_max, &active_batch_, options_.poll_wait);
     if (!poll_status.ok()) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -351,8 +353,11 @@ void ProcessorUnit::Run() {
       }
     }
 
-    // Replica tasks: direct fetch, tracked positions.
-    std::map<msg::TopicPartition, std::vector<msg::Message>> replica_groups;
+    // Replica tasks: direct fetch, tracked positions. Fetched messages
+    // are owned by keepalive batches so the grouped views stay valid.
+    std::map<msg::TopicPartition, std::vector<msg::MessageView>>
+        replica_groups;
+    std::deque<msg::MessageBatch> replica_keepalive;
     std::vector<std::pair<msg::TopicPartition, uint64_t>> replica_list;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -376,7 +381,9 @@ void ProcessorUnit::Run() {
         // clamped the fetch forward of pos (offsets are absolute).
         if (!batch.empty()) {
           pos = batch.back().offset + 1;
-          replica_groups[tp] = std::move(batch);
+          replica_keepalive.emplace_back();
+          replica_keepalive.back().Adopt(std::move(batch));
+          replica_groups[tp] = replica_keepalive.back().views();
         }
       } else {
         std::lock_guard<std::mutex> lock(mu_);
@@ -387,20 +394,22 @@ void ProcessorUnit::Run() {
       if (it != replica_positions_.end()) it->second = pos;
     }
 
-    if (batch_size_ != nullptr && !active_messages.empty()) {
-      batch_size_->Record(static_cast<int64_t>(active_messages.size()));
+    if (batch_size_ != nullptr && !active_batch_.empty()) {
+      batch_size_->Record(static_cast<int64_t>(active_batch_.size()));
     }
 
-    // Group active messages by task so each task processor handles its
-    // slice of the poll as one batch.
-    std::map<msg::TopicPartition, std::vector<msg::Message>> active_groups;
-    for (auto& message : active_messages) {
-      active_groups[{message.topic, message.partition}].push_back(
-          std::move(message));
+    // Group active message views by task so each task processor handles
+    // its slice of the poll as one batch. Views stay backed by
+    // active_batch_ (pooled wire buffer or adopted messages).
+    std::map<msg::TopicPartition, std::vector<msg::MessageView>>
+        active_groups;
+    for (const auto& view : active_batch_.views()) {
+      active_groups[view.topic_partition()].push_back(view);
     }
 
     ProcessGrouped(active_groups, /*active=*/true);
     ProcessGrouped(replica_groups, /*active=*/false);
+    active_batch_.Clear();
   }
 }
 

@@ -87,8 +87,11 @@ class ProcessorUnit {
 
  private:
   void Run();
+  // Groups are message *views*; their backing storage (the active poll
+  // batch or the replica fetch keepalive) must stay alive for the call.
   void ProcessGrouped(
-      const std::map<msg::TopicPartition, std::vector<msg::Message>>& groups,
+      const std::map<msg::TopicPartition, std::vector<msg::MessageView>>&
+          groups,
       bool active);
   void DrainOperationalRequests();
   void SyncReplicaTasks();
@@ -121,6 +124,10 @@ class ProcessorUnit {
   uint64_t seen_generation_ = 0;
   UnitStats stats_;
   introspect::Histogram* batch_size_ = nullptr;  // Null without registry.
+  // Poll scratch reused across loop iterations. Only touched by the unit
+  // thread; the active batch typically borrows the remote bus's pooled
+  // wire buffer (zero-copy poll).
+  msg::MessageBatch active_batch_;
 };
 
 }  // namespace railgun::engine

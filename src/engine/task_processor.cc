@@ -125,22 +125,30 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
       DecodeEventEnvelope(Slice(message.payload), *reservoir_->schema(),
                           &env));
   env.event.offset = message.offset;
-  reply->request_id = env.request_id;
-  reply->reply_topic = env.reply_topic;
+  return ApplyEvent(env.event, env.request_id, Slice(env.reply_topic),
+                    reply);
+}
 
-  const int64_t offset = static_cast<int64_t>(message.offset);
+Status TaskProcessor::ApplyEvent(const reservoir::Event& event,
+                                 uint64_t request_id,
+                                 const Slice& reply_topic,
+                                 ReplyEnvelope* reply) {
+  reply->request_id = request_id;
+  reply->reply_topic.assign(reply_topic.data(), reply_topic.size());
+
+  const int64_t offset = static_cast<int64_t>(event.offset);
   if (offset > reservoir_skip_threshold_) {
-    RAILGUN_RETURN_IF_ERROR(reservoir_->Append(env.event));
+    RAILGUN_RETURN_IF_ERROR(reservoir_->Append(event));
   }
   if (offset > plan_skip_threshold_) {
-    if (env.reply_topic.empty()) {
+    if (reply_topic.empty()) {
       // Fire-and-forget ingestion: update state, skip result reporting.
-      RAILGUN_RETURN_IF_ERROR(plan_->ProcessEvent(env.event, nullptr));
+      RAILGUN_RETURN_IF_ERROR(plan_->ProcessEvent(event, nullptr));
     } else {
-      std::vector<plan::MetricResult> results;
-      RAILGUN_RETURN_IF_ERROR(plan_->ProcessEvent(env.event, &results));
-      reply->results.reserve(results.size());
-      for (auto& r : results) {
+      scratch_results_.clear();
+      RAILGUN_RETURN_IF_ERROR(plan_->ProcessEvent(event, &scratch_results_));
+      reply->results.reserve(scratch_results_.size());
+      for (auto& r : scratch_results_) {
         reply->results.push_back(
             MetricReply{std::move(r.metric_name), std::move(r.group_key),
                         std::move(r.value)});
@@ -157,17 +165,26 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
   return Status::OK();
 }
 
-Status TaskProcessor::ProcessBatch(const std::vector<msg::Message>& messages,
-                                   std::vector<ReplyEnvelope>* replies,
-                                   size_t* failed) {
+Status TaskProcessor::ProcessBatch(
+    const std::vector<msg::MessageView>& messages,
+    std::vector<ReplyEnvelope>* replies, size_t* failed) {
   replies->clear();
   replies->resize(messages.size());
   *failed = 0;
+  // One columnar pass decodes every envelope in the batch; rows then
+  // materialize through a reused scratch event. A message that fails to
+  // decode or process is skipped — its reply slot keeps request_id 0,
+  // so no reply is routed for it — without aborting the rest.
+  column_batch_.Decode(messages, *reservoir_->schema());
   for (size_t i = 0; i < messages.size(); ++i) {
-    // A message that fails to decode or process is skipped — its reply
-    // slot keeps request_id 0, so no reply is routed for it — without
-    // aborting the rest of the batch.
-    if (!ProcessMessage(messages[i], &(*replies)[i]).ok()) {
+    if (!column_batch_.row_ok(i)) {
+      ++*failed;
+      continue;
+    }
+    column_batch_.MaterializeRow(i, &scratch_event_);
+    if (!ApplyEvent(scratch_event_, column_batch_.request_id(i),
+                    column_batch_.reply_topic(i), &(*replies)[i])
+             .ok()) {
       (*replies)[i] = ReplyEnvelope();
       ++*failed;
     }

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/column_batch.h"
 #include "engine/stream_def.h"
+#include "msg/batch.h"
 #include "msg/broker.h"
 #include "plan/task_plan.h"
 #include "reservoir/reservoir.h"
@@ -52,7 +54,11 @@ class TaskProcessor {
   // messages in arrival order and fills *replies 1:1 with the inputs
   // (entries with request_id 0 need no reply). Per-message failures are
   // counted in *failed and skipped instead of aborting the batch.
-  Status ProcessBatch(const std::vector<msg::Message>& messages,
+  // Message views typically point into the poll's pooled wire buffer;
+  // envelopes are decoded columnar in one pass (ColumnBatch) and events
+  // materialized through a reused scratch row — no per-event allocation
+  // once the batch machinery is warm.
+  Status ProcessBatch(const std::vector<msg::MessageView>& messages,
                       std::vector<ReplyEnvelope>* replies, size_t* failed);
 
   // Synchronized checkpoint of reservoir + state store (paper §4.1.3).
@@ -80,6 +86,10 @@ class TaskProcessor {
 
  private:
   Status RollBackToCheckpoint();
+  // Post-decode half of ProcessMessage: reservoir append + plan update +
+  // reply fill + checkpoint cadence for one already-decoded event.
+  Status ApplyEvent(const reservoir::Event& event, uint64_t request_id,
+                    const Slice& reply_topic, ReplyEnvelope* reply);
 
   TaskProcessorOptions options_;
   std::string dir_;
@@ -99,6 +109,11 @@ class TaskProcessor {
   int64_t last_processed_offset_ = -1;
   uint64_t processed_count_ = 0;
   uint64_t events_since_checkpoint_ = 0;
+
+  // Batch scratch, reused across ProcessBatch calls.
+  ColumnBatch column_batch_;
+  reservoir::Event scratch_event_;
+  std::vector<plan::MetricResult> scratch_results_;
 };
 
 }  // namespace railgun::engine

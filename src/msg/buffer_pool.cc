@@ -1,0 +1,59 @@
+#include "msg/buffer_pool.h"
+
+#include <utility>
+
+namespace railgun::msg {
+
+char* PooledBuffer::Resize(size_t bytes, bool* allocated) {
+  const size_t before = arena_.MemoryUsage();
+  arena_.Reset();
+  // Arena::Allocate asserts non-zero; an empty frame body still needs a
+  // valid (if degenerate) region for Slice views.
+  data_ = arena_.Allocate(bytes == 0 ? 1 : bytes);
+  size_ = bytes;
+  if (allocated != nullptr) *allocated = arena_.MemoryUsage() > before;
+  return data_;
+}
+
+BufferPool::BufferPool(size_t max_idle) : state_(std::make_shared<State>()) {
+  state_->max_idle = max_idle;
+}
+
+BufferRef BufferPool::Acquire(size_t bytes) {
+  std::unique_ptr<PooledBuffer> buffer;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->free_list.empty()) {
+      buffer = std::move(state_->free_list.back());
+      state_->free_list.pop_back();
+    }
+  }
+  const bool pooled = buffer != nullptr;
+  if (!pooled) buffer.reset(new PooledBuffer());
+  bool allocated = false;
+  buffer->Resize(bytes, &allocated);
+  if (pooled && !allocated) {
+    state_->hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    state_->misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  state_->bytes.fetch_add(bytes, std::memory_order_relaxed);
+
+  std::weak_ptr<State> weak_state = state_;
+  return BufferRef(buffer.release(), [weak_state](PooledBuffer* released) {
+    std::unique_ptr<PooledBuffer> owned(released);
+    if (auto state = weak_state.lock()) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->free_list.size() < state->max_idle) {
+        state->free_list.push_back(std::move(owned));
+      }
+    }
+  });
+}
+
+size_t BufferPool::idle() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->free_list.size();
+}
+
+}  // namespace railgun::msg

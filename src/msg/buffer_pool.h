@@ -1,0 +1,86 @@
+// Pooled, refcounted receive buffers for the remote wire hot path.
+//
+// A PooledBuffer is one contiguous region carved from a private arena;
+// Resize() rewinds the arena (keeping its largest block) before carving
+// again, so once a buffer has grown to the working frame size, refilling
+// it allocates nothing. The pool hands buffers out behind a shared_ptr
+// whose deleter returns them to a bounded freelist: decoded Slice views
+// (FrameView, MessageBatch) hold the ref, and the buffer recycles
+// exactly when the last view is dropped.
+//
+// Counters are plain atomics — msg/ does not depend on introspect;
+// owners (meta::Broker, meta::WorkerNode) export them as probes.
+#ifndef RAILGUN_MSG_BUFFER_POOL_H_
+#define RAILGUN_MSG_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/slice.h"
+
+namespace railgun::msg {
+
+class PooledBuffer {
+ public:
+  // Discards previous contents (and any views into them) and returns a
+  // writable region of exactly `bytes`. Sets *allocated when the arena
+  // had to grow — false once the buffer is warm.
+  char* Resize(size_t bytes, bool* allocated);
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  Slice slice() const { return Slice(data_, size_); }
+
+ private:
+  Arena arena_;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Shared handle to a pooled buffer; dropping the last ref returns the
+// buffer to its pool (or frees it if the pool is gone).
+using BufferRef = std::shared_ptr<PooledBuffer>;
+
+class BufferPool {
+ public:
+  // Up to `max_idle` buffers are retained for reuse; excess returns are
+  // freed.
+  explicit BufferPool(size_t max_idle = 8);
+
+  // Returns a buffer resized to `bytes`. A hit reuses a warm pooled
+  // buffer without any heap allocation; a miss constructed or grew one.
+  BufferRef Acquire(size_t bytes);
+
+  uint64_t hits() const { return state_->hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return state_->misses.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes() const {
+    return state_->bytes.load(std::memory_order_relaxed);
+  }
+  size_t idle() const;
+
+ private:
+  // Shared with the handed-out deleters so outstanding refs stay safe
+  // even if the pool itself is destroyed first.
+  struct State {
+    std::mutex mu;
+    size_t max_idle;
+    std::vector<std::unique_ptr<PooledBuffer>> free_list;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace railgun::msg
+
+#endif  // RAILGUN_MSG_BUFFER_POOL_H_

@@ -27,6 +27,7 @@
 
 #include "common/status.h"
 #include "msg/assignment.h"
+#include "msg/batch.h"
 #include "msg/message.h"
 
 namespace railgun::msg {
@@ -89,6 +90,20 @@ class Bus {
   // (wake-on-arrival) until data, a rebalance, a wake, or the deadline.
   virtual Status Poll(const std::string& consumer_id, size_t max_messages,
                       std::vector<Message>* out, Micros max_wait = 0) = 0;
+
+  // Batched poll into a view batch. Implementations that can avoid
+  // per-message copies (RemoteBus decodes poll responses zero-copy into
+  // a pooled receive buffer) override this; the default adopts the
+  // row-at-a-time Poll result so every Bus supports it.
+  virtual Status PollBatch(const std::string& consumer_id,
+                           size_t max_messages, MessageBatch* out,
+                           Micros max_wait = 0) {
+    std::vector<Message> messages;
+    const Status status = Poll(consumer_id, max_messages, &messages, max_wait);
+    out->Clear();
+    if (status.ok()) out->Adopt(std::move(messages));
+    return status;
+  }
 
   // Direct partition read outside any group (replay, replica shadowing).
   // Offsets below the retention-trimmed head clamp forward.

@@ -60,13 +60,18 @@ void BusServer::AcceptLoop() {
 
 void BusServer::ServeConnection(uint64_t conn_id,
                                 std::shared_ptr<Socket> sock) {
+  std::string encoded;
   while (running_) {
-    Frame request;
+    BufferRef buffer;
+    FrameView request;
     // A framing failure (bad length or checksum) means the byte stream
     // itself can't be trusted; drop the connection rather than guess.
-    if (!ReadFrame(sock.get(), &request).ok()) break;
+    // The body lands in a pooled buffer that recycles when `buffer`
+    // drops at the end of the iteration — per-frame heap traffic is
+    // zero once the pool is warm.
+    if (!ReadFramePooled(sock.get(), &pool_, &buffer, &request).ok()) break;
     const Frame response = HandleRequest(request);
-    std::string encoded;
+    encoded.clear();
     EncodeFrame(response, &encoded);
     if (!sock->SendAll(encoded.data(), encoded.size()).ok()) break;
   }
@@ -86,11 +91,19 @@ std::shared_ptr<BusServer::RebalanceBuffer> BusServer::BufferFor(
 }
 
 Frame BusServer::HandleRequest(const Frame& request) {
+  FrameView view;
+  view.correlation_id = request.correlation_id;
+  view.opcode = request.opcode;
+  view.payload = Slice(request.payload);
+  return HandleRequest(view);
+}
+
+Frame BusServer::HandleRequest(const FrameView& request) {
   Frame response;
   response.correlation_id = request.correlation_id;
   response.opcode = request.opcode | kResponseBit;
 
-  Slice in(request.payload);
+  Slice in = request.payload;
   Status status;
   std::string result;  // RPC-specific fields, appended after the status.
   bool parsed = true;
@@ -320,6 +333,57 @@ Frame BusServer::HandleRequest(const Frame& request) {
     case OpCode::kRebalanceCount:
       PutVarint64(&result, bus_->rebalance_count());
       break;
+    case OpCode::kPollColumnar: {
+      if (!options_.enable_columnar) {
+        // Mirror a server predating the columnar frames byte-for-byte
+        // so the client downgrade path sees the real thing.
+        status = Status::NotSupported("unknown opcode " +
+                                      std::to_string(request.opcode));
+        break;
+      }
+      Slice consumer;
+      uint64_t max_messages;
+      int64_t max_wait;
+      if ((parsed = GetLengthPrefixedSlice(&in, &consumer) &&
+                    GetVarint64(&in, &max_messages) &&
+                    GetVarsint64(&in, &max_wait))) {
+        std::vector<Message> messages;
+        status = bus_->Poll(consumer.ToString(),
+                            static_cast<size_t>(max_messages), &messages,
+                            max_wait);
+        if (status.ok()) {
+          std::vector<TopicPartition> revoked, assigned;
+          auto buffer = BufferFor(consumer.ToString());
+          {
+            std::lock_guard<std::mutex> lock(buffer->mu);
+            revoked.swap(buffer->revoked);
+            assigned.swap(buffer->assigned);
+          }
+          PutTopicPartitionList(&result, revoked);
+          PutTopicPartitionList(&result, assigned);
+          PutColumnarMessageList(&result, messages);
+          PutVarint64(&result, bus_->BacklogHint());
+          columnar_batches_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
+    case OpCode::kProduceColumnar: {
+      if (!options_.enable_columnar) {
+        status = Status::NotSupported("unknown opcode " +
+                                      std::to_string(request.opcode));
+        break;
+      }
+      std::string topic;
+      std::vector<ProduceRecord> records;
+      if ((parsed = GetColumnarProduceBatch(&in, &topic, &records))) {
+        status = bus_->ProduceBatch(topic, std::move(records));
+        if (status.ok()) {
+          columnar_batches_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
     default:
       if (extension_ == nullptr ||
           !extension_(request.opcode, in, &status, &result)) {

@@ -36,6 +36,10 @@ namespace railgun::msg::remote {
 struct BusServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = ephemeral; port() reports the bound one.
+  // Answer kPollColumnar/kProduceColumnar. Off simulates a server
+  // predating the columnar frames, exercising the client's
+  // NotSupported downgrade path.
+  bool enable_columnar = true;
 };
 
 class BusServer {
@@ -80,6 +84,20 @@ class BusServer {
   // typed NotSupported one; this never crashes on hostile input.
   // Exposed for wire-level tests.
   Frame HandleRequest(const Frame& request);
+  // Zero-copy form the connection threads use: the request payload
+  // views into the connection's pooled receive buffer and is only
+  // borrowed for the duration of the call.
+  Frame HandleRequest(const FrameView& request);
+
+  // Receive-path statistics (exported as introspect probes by owners —
+  // meta::Broker registers them next to server.connections).
+  uint64_t pool_hits() const { return pool_.hits(); }
+  uint64_t pool_misses() const { return pool_.misses(); }
+  uint64_t decode_bytes() const { return pool_.bytes(); }
+  // Columnar poll/produce batches served.
+  uint64_t columnar_batches() const {
+    return columnar_batches_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Revoke/assign lists buffered by the server-side listener until the
@@ -101,6 +119,11 @@ class BusServer {
   ExtensionHandler extension_;  // Immutable after Start().
   int port_ = 0;
   std::atomic<bool> running_{false};
+  // Receive buffers shared by all connection threads (BufferPool is
+  // internally synchronized); steady state serves every frame from a
+  // warm buffer with zero heap allocation.
+  BufferPool pool_;
+  std::atomic<uint64_t> columnar_batches_{0};
 
   ListenSocket listener_;
   std::thread accept_thread_;

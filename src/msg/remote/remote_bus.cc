@@ -72,6 +72,16 @@ Status RemoteBus::CallOpcode(uint8_t opcode, const std::string& payload,
 Status RemoteBus::Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
                        const std::string& payload,
                        std::string* result) const {
+  BufferRef buffer;
+  Slice in;
+  RAILGUN_RETURN_IF_ERROR(CallView(conn, opcode, payload, &buffer, &in));
+  if (result != nullptr) result->assign(in.data(), in.size());
+  return Status::OK();
+}
+
+Status RemoteBus::CallView(const std::shared_ptr<Conn>& conn, OpCode opcode,
+                           const std::string& payload, BufferRef* buffer,
+                           Slice* result) const {
   RAILGUN_RETURN_IF_ERROR(address_status_);
   std::lock_guard<std::mutex> lock(conn->mu);
   RAILGUN_RETURN_IF_ERROR(EnsureConnectedLocked(conn.get()));
@@ -92,21 +102,21 @@ Status RemoteBus::Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
   Status sent = conn->sock.SendAll(encoded.data(), encoded.size());
   if (!sent.ok()) return fail(std::move(sent));
 
-  Frame response;
-  Status received = ReadFrame(&conn->sock, &response);
+  FrameView response;
+  Status received = ReadFramePooled(&conn->sock, &pool_, buffer, &response);
   if (!received.ok()) return fail(std::move(received));
   if (response.correlation_id != request.correlation_id ||
       response.opcode != (request.opcode | kResponseBit)) {
     return fail(Status::Corruption("response does not match request"));
   }
 
-  Slice in(response.payload);
+  Slice in = response.payload;
   Status remote;
   if (!GetStatus(&in, &remote)) {
     return fail(Status::Corruption("malformed response status"));
   }
   RAILGUN_RETURN_IF_ERROR(remote);
-  if (result != nullptr) result->assign(in.data(), in.size());
+  *result = in;
   return Status::OK();
 }
 
@@ -196,6 +206,21 @@ StatusOr<uint64_t> RemoteBus::ProduceToPartition(const std::string& topic,
 
 Status RemoteBus::ProduceBatch(const std::string& topic,
                                std::vector<ProduceRecord> records) {
+  if (server_columnar_.load(std::memory_order_relaxed)) {
+    std::string payload;
+    PutColumnarProduceBatch(&payload, topic, records);
+    const Status status =
+        CallControl(OpCode::kProduceColumnar, payload, nullptr);
+    if (!status.IsNotSupported()) {
+      if (status.ok()) {
+        columnar_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return status;
+    }
+    // Old server: downgrade to row frames for good and retry below
+    // (NotSupported means the batch was never applied).
+    server_columnar_.store(false, std::memory_order_relaxed);
+  }
   std::string payload;
   PutLengthPrefixedSlice(&payload, topic);
   PutVarint32(&payload, static_cast<uint32_t>(records.size()));
@@ -249,40 +274,91 @@ Status RemoteBus::Unsubscribe(const std::string& consumer_id) {
 
 Status RemoteBus::Poll(const std::string& consumer_id, size_t max_messages,
                        std::vector<Message>* out, Micros max_wait) {
+  // Row-interface adapter over the zero-copy path: exactly one string
+  // construction per field, same as the old direct decode.
   out->clear();
-  std::string payload, result;
+  MessageBatch batch;
+  RAILGUN_RETURN_IF_ERROR(
+      PollBatch(consumer_id, max_messages, &batch, max_wait));
+  out->reserve(batch.size());
+  for (const MessageView& view : batch.views()) {
+    out->push_back(view.ToMessage());
+  }
+  return Status::OK();
+}
+
+void RemoteBus::DeliverRebalance(const std::string& consumer_id,
+                                 const std::vector<TopicPartition>& revoked,
+                                 const std::vector<TopicPartition>& assigned) {
+  if (revoked.empty() && assigned.empty()) return;
+  RebalanceListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(consumer_id);
+    if (it != listeners_.end()) listener = it->second;
+  }
+  if (!revoked.empty() && listener.on_revoked) listener.on_revoked(revoked);
+  if (!assigned.empty() && listener.on_assigned) {
+    listener.on_assigned(assigned);
+  }
+}
+
+Status RemoteBus::PollBatch(const std::string& consumer_id,
+                            size_t max_messages, MessageBatch* out,
+                            Micros max_wait) {
+  out->Clear();
+  std::string payload;
   PutLengthPrefixedSlice(&payload, consumer_id);
   PutVarint64(&payload, max_messages);
   PutVarsint64(&payload, max_wait);
   // The dedicated per-consumer connection lets the server park this
   // poll without stalling control traffic (wakes, produces, commits).
-  RAILGUN_RETURN_IF_ERROR(
-      Call(ConnFor(consumer_id), OpCode::kPoll, payload, &result));
+  auto conn = ConnFor(consumer_id);
 
-  Slice in(result);
+  if (server_columnar_.load(std::memory_order_relaxed)) {
+    BufferRef buffer;
+    Slice in;
+    const Status called =
+        CallView(conn, OpCode::kPollColumnar, payload, &buffer, &in);
+    if (called.ok()) {
+      std::vector<TopicPartition> revoked, assigned;
+      if (!GetTopicPartitionList(&in, &revoked) ||
+          !GetTopicPartitionList(&in, &assigned) ||
+          !GetColumnarMessageList(&in, out)) {
+        out->Clear();
+        return Status::Corruption("malformed Poll response");
+      }
+      out->BorrowBuffer(std::move(buffer));
+      uint64_t backlog = 0;
+      if (GetVarint64(&in, &backlog)) {
+        backlog_hint_.store(backlog, std::memory_order_relaxed);
+      }
+      columnar_batches_.fetch_add(1, std::memory_order_relaxed);
+      DeliverRebalance(consumer_id, revoked, assigned);
+      return Status::OK();
+    }
+    if (!called.IsNotSupported()) return called;
+    server_columnar_.store(false, std::memory_order_relaxed);
+  }
+
+  BufferRef buffer;
+  Slice in;
+  RAILGUN_RETURN_IF_ERROR(
+      CallView(conn, OpCode::kPoll, payload, &buffer, &in));
   std::vector<TopicPartition> revoked, assigned;
   if (!GetTopicPartitionList(&in, &revoked) ||
       !GetTopicPartitionList(&in, &assigned) ||
-      !GetWireMessageList(&in, out)) {
+      !GetWireMessageListViews(&in, out)) {
+    out->Clear();
     return Status::Corruption("malformed Poll response");
   }
+  out->BorrowBuffer(std::move(buffer));
   // Optional trailing backlog hint (servers predating it send none).
   uint64_t backlog = 0;
   if (GetVarint64(&in, &backlog)) {
     backlog_hint_.store(backlog, std::memory_order_relaxed);
   }
-  if (!revoked.empty() || !assigned.empty()) {
-    RebalanceListener listener;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = listeners_.find(consumer_id);
-      if (it != listeners_.end()) listener = it->second;
-    }
-    if (!revoked.empty() && listener.on_revoked) listener.on_revoked(revoked);
-    if (!assigned.empty() && listener.on_assigned) {
-      listener.on_assigned(assigned);
-    }
-  }
+  DeliverRebalance(consumer_id, revoked, assigned);
   return Status::OK();
 }
 

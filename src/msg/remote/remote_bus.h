@@ -89,6 +89,13 @@ class RemoteBus : public Bus {
 
   Status Poll(const std::string& consumer_id, size_t max_messages,
               std::vector<Message>* out, Micros max_wait = 0) override;
+  // Zero-copy poll: the response body stays in a pooled receive buffer
+  // and *out's views point straight into it (columnar frames when the
+  // server speaks them, row frames otherwise — both without copying a
+  // single key/payload byte). The first NotSupported answer to a
+  // columnar opcode permanently downgrades this client to row frames.
+  Status PollBatch(const std::string& consumer_id, size_t max_messages,
+                   MessageBatch* out, Micros max_wait = 0) override;
   Status Fetch(const TopicPartition& tp, uint64_t offset,
                size_t max_messages, std::vector<Message>* out) const override;
 
@@ -118,6 +125,20 @@ class RemoteBus : public Bus {
   // for tests and operators watching reconnect churn).
   uint64_t dial_attempts() const {
     return dial_attempts_.load(std::memory_order_relaxed);
+  }
+
+  // Receive-path statistics (exported as introspect probes by owners —
+  // meta::WorkerNode registers them next to bus.dial_attempts).
+  uint64_t pool_hits() const { return pool_.hits(); }
+  uint64_t pool_misses() const { return pool_.misses(); }
+  uint64_t decode_bytes() const { return pool_.bytes(); }
+  // Columnar poll responses decoded + columnar produce batches sent.
+  uint64_t columnar_batches() const {
+    return columnar_batches_.load(std::memory_order_relaxed);
+  }
+  // False once the server answered NotSupported to a columnar opcode.
+  bool columnar_enabled() const {
+    return server_columnar_.load(std::memory_order_relaxed);
   }
 
   // Generic RPC on the control connection, for stubs speaking opcodes
@@ -151,8 +172,18 @@ class RemoteBus : public Bus {
   // populated when the remote status is OK).
   Status Call(const std::shared_ptr<Conn>& conn, OpCode opcode,
               const std::string& payload, std::string* result) const;
+  // Zero-copy Call: the response lands in a buffer leased from pool_,
+  // *result views into it and *buffer keeps it alive (so do any views
+  // decoded from *result, via MessageBatch::BorrowBuffer).
+  Status CallView(const std::shared_ptr<Conn>& conn, OpCode opcode,
+                  const std::string& payload, BufferRef* buffer,
+                  Slice* result) const;
   Status CallControl(OpCode opcode, const std::string& payload,
                      std::string* result) const;
+  // Fires the consumer's rebalance listener for non-empty lists.
+  void DeliverRebalance(const std::string& consumer_id,
+                        const std::vector<TopicPartition>& revoked,
+                        const std::vector<TopicPartition>& assigned);
 
   RemoteBusOptions options_;
   Clock* clock_;
@@ -161,6 +192,12 @@ class RemoteBus : public Bus {
   Status address_status_;  // Result of parsing options_.address.
   mutable std::atomic<uint64_t> dial_attempts_{0};
   std::atomic<uint64_t> backlog_hint_{0};
+  // Receive buffers shared by all connections (BufferPool is internally
+  // synchronized). Optimistically assume the server speaks columnar
+  // frames until it proves otherwise.
+  mutable BufferPool pool_;
+  std::atomic<bool> server_columnar_{true};
+  std::atomic<uint64_t> columnar_batches_{0};
 
   mutable std::mutex mu_;  // Guards conns_ and listeners_.
   mutable std::map<std::string, std::shared_ptr<Conn>> conns_;

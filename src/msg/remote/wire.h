@@ -23,6 +23,9 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "msg/batch.h"
+#include "msg/bus.h"
+#include "msg/buffer_pool.h"
 #include "msg/message.h"
 #include "msg/remote/socket.h"
 
@@ -64,6 +67,16 @@ enum class OpCode : uint8_t {
   kCheckLiveness = 20,
   kRebalanceCount = 21,
 
+  // Columnar batch frames (PR 7). Same request payloads as kPoll /
+  // kProduceBatch but message data travels as per-column contiguous
+  // arrays (see PutColumnarMessageList / PutColumnarProduceBatch), and a
+  // kPollColumnar response is decoded zero-copy into Slice views over
+  // the pooled receive buffer. Negotiation rides the unknown-opcode
+  // fallback: a server predating these opcodes answers NotSupported and
+  // the client permanently downgrades to the row forms.
+  kPollColumnar = 22,
+  kProduceColumnar = 23,
+
   // Metadata-service RPCs (src/meta/), answered by the BusServer's
   // extension handler rather than the hosted bus. Opcodes stay below
   // kResponseBit so the response-bit convention holds.
@@ -81,6 +94,14 @@ struct Frame {
   std::string payload;
 };
 
+// Zero-copy variant: the payload is a view into storage the caller owns
+// (a pooled receive buffer, or the request body an Encode produced).
+struct FrameView {
+  uint64_t correlation_id = 0;
+  uint8_t opcode = 0;
+  Slice payload;
+};
+
 // Appends the full wire encoding (header + body) of one frame.
 void EncodeFrame(const Frame& frame, std::string* out);
 
@@ -95,6 +116,17 @@ Status DecodeBody(const Slice& body, uint32_t masked_crc, Frame* out);
 // body, checksum. Unavailable for transport failures, Corruption for
 // framing violations (after which the stream cannot be trusted).
 Status ReadFrame(Socket* sock, Frame* out);
+
+// Like DecodeBody but without copying the payload: *out views into
+// `body`, which must stay alive while *out is used.
+Status DecodeBodyView(const Slice& body, uint32_t masked_crc,
+                      FrameView* out);
+
+// Zero-copy ReadFrame: the body lands in a buffer leased from *pool and
+// *out views into it. The caller keeps *buffer alive for as long as any
+// view derived from *out is; dropping the last ref recycles the buffer.
+Status ReadFramePooled(Socket* sock, BufferPool* pool, BufferRef* buffer,
+                       FrameView* out);
 
 // ----- Payload building blocks shared by RemoteBus and BusServer -----
 
@@ -114,6 +146,42 @@ bool GetWireMessage(Slice* in, Message* message);
 void PutWireMessageList(std::string* out,
                         const std::vector<Message>& messages);
 bool GetWireMessageList(Slice* in, std::vector<Message>* messages);
+
+// Zero-copy decoders of the row wire forms: views point into *in's
+// underlying storage, which must outlive them.
+bool GetWireMessageView(Slice* in, MessageView* view);
+// Appends decoded views to out->mutable_views() (does not Clear).
+bool GetWireMessageListViews(Slice* in, MessageBatch* out);
+
+// ----- Columnar batch forms (kPollColumnar / kProduceColumnar) -----
+//
+// A columnar message list groups consecutive messages sharing
+// (topic, partition) — preserving global order — and transposes each
+// group into per-column arrays:
+//
+//   varint32 ngroups
+//   per group: [len-prefixed topic][varint32 partition][varint32 n]
+//     [varint64 offset_0][(n-1) x varsint64 offset delta]
+//     [varsint64 publish_0][(n-1) x varsint64 delta]
+//     [varsint64 visible_0][(n-1) x varsint64 delta]
+//     [n x varint32 key_len][concatenated key bytes]
+//     [n x varint32 payload_len][concatenated payload bytes]
+//
+// Every length is validated against the remaining input before any
+// array is walked; mismatched column lengths fail the decode (mapped to
+// Corruption by callers), never read out of bounds.
+void PutColumnarMessageList(std::string* out,
+                            const std::vector<Message>& messages);
+// Appends zero-copy views into out (topic shared per group). Storage
+// behind *in must outlive the batch's views.
+bool GetColumnarMessageList(Slice* in, MessageBatch* out);
+
+// Columnar produce payload: [len-prefixed topic][varint32 n]
+//   [n x varint32 key_len][key bytes][n x varint32 payload_len][bytes].
+void PutColumnarProduceBatch(std::string* out, const std::string& topic,
+                             const std::vector<ProduceRecord>& records);
+bool GetColumnarProduceBatch(Slice* in, std::string* topic,
+                             std::vector<ProduceRecord>* records);
 
 }  // namespace railgun::msg::remote
 

@@ -181,24 +181,96 @@ Status TaskPlan::ApplyDelta(const WindowDelta& delta, WindowNode* node) {
   const Micros epoch =
       node->spec.kind == WindowKind::kTumbling ? delta.epoch : 0;
   for (auto& fnode : node->filters) {
+    // Evaluate the filter once per event, then hand each group node the
+    // accepted run so same-group stretches collapse into columnar
+    // aggregator calls.
+    scratch_filtered_.clear();
     for (const Event* e : delta.entered) {
       if (fnode.expr != nullptr && !fnode.expr->EvalBool(*e)) continue;
-      for (auto& gnode : fnode.groups) {
-        for (auto& leaf : gnode.metrics) {
-          RAILGUN_RETURN_IF_ERROR(
-              ApplyEventToLeaf(*e, /*entering=*/true, epoch, gnode, &leaf));
-        }
-      }
+      scratch_filtered_.push_back(e);
     }
+    for (auto& gnode : fnode.groups) {
+      RAILGUN_RETURN_IF_ERROR(
+          ApplyEventRun(scratch_filtered_, /*entering=*/true, epoch, &gnode));
+    }
+
+    scratch_filtered_.clear();
     for (const Event* e : delta.expired) {
       if (fnode.expr != nullptr && !fnode.expr->EvalBool(*e)) continue;
-      for (auto& gnode : fnode.groups) {
-        for (auto& leaf : gnode.metrics) {
-          RAILGUN_RETURN_IF_ERROR(
-              ApplyEventToLeaf(*e, /*entering=*/false, epoch, gnode, &leaf));
-        }
-      }
+      scratch_filtered_.push_back(e);
     }
+    for (auto& gnode : fnode.groups) {
+      RAILGUN_RETURN_IF_ERROR(ApplyEventRun(scratch_filtered_,
+                                            /*entering=*/false, epoch,
+                                            &gnode));
+    }
+  }
+  return Status::OK();
+}
+
+Status TaskPlan::ApplyEventRun(const std::vector<const Event*>& events,
+                               bool entering, Micros epoch,
+                               GroupNode* gnode) {
+  size_t i = 0;
+  while (i < events.size()) {
+    const std::string group_key = GroupKeyOf(*events[i], *gnode);
+    size_t j = i + 1;
+    while (j < events.size() && GroupKeyOf(*events[j], *gnode) == group_key) {
+      ++j;
+    }
+    const size_t n = j - i;
+    if (n == 1) {
+      // Single-event runs take the scalar path; the columnar machinery
+      // only pays off when a state round-trip is amortized over >1 event.
+      for (auto& leaf : gnode->metrics) {
+        RAILGUN_RETURN_IF_ERROR(
+            ApplyEventToLeaf(*events[i], entering, epoch, *gnode, &leaf));
+      }
+      i = j;
+      continue;
+    }
+    scratch_offsets_.clear();
+    for (size_t r = i; r < j; ++r) {
+      scratch_offsets_.push_back(events[r]->offset);
+    }
+    for (auto& leaf : gnode->metrics) {
+      // countDistinct aggregates value *identity* (string keys in the
+      // aux column family), which the double column cannot carry.
+      if (leaf.kind == agg::AggKind::kCountDistinct) {
+        for (size_t r = i; r < j; ++r) {
+          RAILGUN_RETURN_IF_ERROR(
+              ApplyEventToLeaf(*events[r], entering, epoch, *gnode, &leaf));
+        }
+        continue;
+      }
+      scratch_values_.clear();
+      for (size_t r = i; r < j; ++r) {
+        scratch_values_.push_back(
+            leaf.field_index >= 0
+                ? events[r]->values[leaf.field_index].ToNumber()
+                : 1.0);
+      }
+      const std::string key = StateKey(leaf.metric_id, epoch, group_key);
+      std::string state;
+      Status s = db_->Get(storage::kDefaultColumnFamily, key, &state);
+      if (!s.ok() && !s.IsNotFound()) return s;
+      agg::AggContext ctx;
+      ctx.db = db_;
+      ctx.aux_cf = aux_cf_;
+      ctx.aux_key_prefix = key + "|";
+      if (entering) {
+        RAILGUN_RETURN_IF_ERROR(leaf.aggregator->EnterColumn(
+            scratch_values_.data(), scratch_offsets_.data(), n, &state,
+            &ctx));
+      } else {
+        RAILGUN_RETURN_IF_ERROR(leaf.aggregator->ExpireColumn(
+            scratch_values_.data(), scratch_offsets_.data(), n, &state,
+            &ctx));
+      }
+      RAILGUN_RETURN_IF_ERROR(
+          db_->Put(storage::kDefaultColumnFamily, key, state));
+    }
+    i = j;
   }
   return Status::OK();
 }

@@ -109,6 +109,11 @@ class TaskPlan {
   Status ProcessEventInIsland(const reservoir::Event& event, Island* island,
                               std::vector<MetricResult>* results);
   Status ApplyDelta(const window::WindowDelta& delta, WindowNode* node);
+  // Applies a filter-accepted event list to one group node, batching
+  // runs of consecutive events with the same group key into columnar
+  // EnterColumn/ExpireColumn calls (one state Get/Put per run per leaf).
+  Status ApplyEventRun(const std::vector<const reservoir::Event*>& events,
+                       bool entering, Micros epoch, GroupNode* gnode);
   Status ApplyEventToLeaf(const reservoir::Event& event, bool entering,
                           Micros epoch, const GroupNode& group,
                           MetricLeaf* leaf);
@@ -125,6 +130,11 @@ class TaskPlan {
   std::vector<std::unique_ptr<Island>> islands_;
   uint64_t next_metric_id_ = 1;
   size_t num_metrics_ = 0;
+
+  // Delta-application scratch, reused across events/batches.
+  std::vector<const reservoir::Event*> scratch_filtered_;
+  std::vector<double> scratch_values_;
+  std::vector<uint64_t> scratch_offsets_;
 };
 
 }  // namespace railgun::plan

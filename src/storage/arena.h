@@ -1,38 +1,14 @@
-// Bump-pointer allocator backing the memtable skip list. All memory is
-// released at once when the memtable is dropped after a flush.
+// Forwarding header: the arena moved to common/arena.h so the message
+// layer can pool receive buffers on it without a storage dependency.
+// Storage call sites keep using railgun::storage::Arena unchanged.
 #ifndef RAILGUN_STORAGE_ARENA_H_
 #define RAILGUN_STORAGE_ARENA_H_
 
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <vector>
+#include "common/arena.h"
 
 namespace railgun::storage {
 
-class Arena {
- public:
-  Arena() = default;
-  Arena(const Arena&) = delete;
-  Arena& operator=(const Arena&) = delete;
-
-  char* Allocate(size_t bytes);
-  char* AllocateAligned(size_t bytes);
-
-  // Total memory footprint of the arena (used for flush triggers).
-  size_t MemoryUsage() const { return memory_usage_; }
-
- private:
-  static constexpr size_t kBlockSize = 4096;
-
-  char* AllocateFallback(size_t bytes);
-  char* AllocateNewBlock(size_t block_bytes);
-
-  char* alloc_ptr_ = nullptr;
-  size_t alloc_bytes_remaining_ = 0;
-  std::vector<std::unique_ptr<char[]>> blocks_;
-  size_t memory_usage_ = 0;
-};
+using railgun::Arena;
 
 }  // namespace railgun::storage
 

@@ -279,5 +279,77 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, AggPropertyTest,
                                            AggKind::kMax, AggKind::kMin,
                                            AggKind::kLast));
 
+// The columnar batch entry points must be observationally equivalent to
+// the same values applied one scalar call at a time — the plan layer
+// switches between the two based on run length, so any divergence would
+// make results depend on message batching.
+class AggColumnTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(AggColumnTest, ColumnCallsMatchScalarLoops) {
+  const AggKind kind = GetParam();
+  auto scalar = Aggregator::Create(kind);
+  auto column = Aggregator::Create(kind);
+  std::string scalar_state, column_state;
+  Random64 rng(static_cast<uint64_t>(kind) + 999);
+
+  std::deque<std::pair<uint64_t, double>> window;  // (offset, value)
+  const size_t window_size = 17;
+  uint64_t offset = 0;
+  for (int round = 0; round < 60; ++round) {
+    // Enter a batch of 1..8 values (run lengths vary like real batches).
+    const size_t n = 1 + rng.Uniform(8);
+    std::vector<double> values;
+    std::vector<uint64_t> offsets;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(std::floor(rng.NextDouble() * 100) / 4.0);
+      offsets.push_back(offset++);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(scalar
+                      ->Enter(FieldValue(values[i]), MakeEvent(offsets[i]),
+                              &scalar_state, nullptr)
+                      .ok());
+      window.push_back({offsets[i], values[i]});
+    }
+    ASSERT_TRUE(column
+                    ->EnterColumn(values.data(), offsets.data(), n,
+                                  &column_state, nullptr)
+                    .ok());
+
+    // Expire down to the window size, also in one columnar call.
+    std::vector<double> old_values;
+    std::vector<uint64_t> old_offsets;
+    while (window.size() > window_size) {
+      old_values.push_back(window.front().second);
+      old_offsets.push_back(window.front().first);
+      window.pop_front();
+    }
+    for (size_t i = 0; i < old_values.size(); ++i) {
+      ASSERT_TRUE(scalar
+                      ->Expire(FieldValue(old_values[i]),
+                               MakeEvent(old_offsets[i]), &scalar_state,
+                               nullptr)
+                      .ok());
+    }
+    if (!old_values.empty()) {
+      ASSERT_TRUE(column
+                      ->ExpireColumn(old_values.data(), old_offsets.data(),
+                                     old_values.size(), &column_state,
+                                     nullptr)
+                      .ok());
+    }
+
+    ASSERT_NEAR(ResultOf(column.get(), column_state),
+                ResultOf(scalar.get(), scalar_state), 1e-9)
+        << AggKindName(kind) << " diverged at round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggColumnTest,
+                         ::testing::Values(AggKind::kCount, AggKind::kSum,
+                                           AggKind::kAvg, AggKind::kStdDev,
+                                           AggKind::kMax, AggKind::kMin,
+                                           AggKind::kLast, AggKind::kPrev));
+
 }  // namespace
 }  // namespace railgun::agg

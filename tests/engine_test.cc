@@ -150,6 +150,80 @@ TEST_F(TaskProcessorTest, ComputesOnlyQueriesRoutedToItsTopic) {
   EXPECT_EQ(reply.request_id, 1u);
 }
 
+TEST_F(TaskProcessorTest, ColumnarBatchMatchesScalarProcessing) {
+  // Same event stream through the scalar ProcessMessage path and the
+  // columnar ProcessBatch path must produce identical replies and state.
+  TaskProcessor scalar(options_, dir_ + "/scalar", stream_,
+                       "payments.cardId");
+  ASSERT_TRUE(scalar.Open().ok());
+  TaskProcessor columnar(options_, dir_ + "/columnar", stream_,
+                         "payments.cardId");
+  ASSERT_TRUE(columnar.Open().ok());
+
+  std::vector<msg::Message> messages;
+  const char* cards[] = {"cardA", "cardA", "cardB", "cardA", "cardB"};
+  for (uint64_t i = 0; i < 25; ++i) {
+    messages.push_back(MakeMessage(i, 1000 * static_cast<Micros>(i + 1),
+                                   i + 1, cards[i % 5],
+                                   0.25 * static_cast<double>(i)));
+  }
+
+  std::vector<ReplyEnvelope> scalar_replies(messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    ASSERT_TRUE(
+        scalar.ProcessMessage(messages[i], &scalar_replies[i]).ok());
+  }
+
+  msg::MessageBatch batch;
+  batch.Adopt(std::move(messages));
+  std::vector<ReplyEnvelope> batch_replies;
+  size_t failed = 7;
+  ASSERT_TRUE(
+      columnar.ProcessBatch(batch.views(), &batch_replies, &failed).ok());
+  EXPECT_EQ(failed, 0u);
+  ASSERT_EQ(batch_replies.size(), scalar_replies.size());
+  for (size_t i = 0; i < batch_replies.size(); ++i) {
+    EXPECT_EQ(batch_replies[i].request_id, scalar_replies[i].request_id);
+    EXPECT_EQ(batch_replies[i].reply_topic, scalar_replies[i].reply_topic);
+    ASSERT_EQ(batch_replies[i].results.size(),
+              scalar_replies[i].results.size());
+    for (size_t r = 0; r < batch_replies[i].results.size(); ++r) {
+      EXPECT_EQ(batch_replies[i].results[r].metric_name,
+                scalar_replies[i].results[r].metric_name);
+      EXPECT_EQ(batch_replies[i].results[r].group_key,
+                scalar_replies[i].results[r].group_key);
+      EXPECT_DOUBLE_EQ(batch_replies[i].results[r].value.ToNumber(),
+                       scalar_replies[i].results[r].value.ToNumber())
+          << "message " << i << " metric " << r;
+    }
+  }
+  EXPECT_EQ(columnar.processed_count(), scalar.processed_count());
+}
+
+TEST_F(TaskProcessorTest, BatchSkipsUndecodableMessagesAndCounts) {
+  TaskProcessor proc(options_, dir_, stream_, "payments.cardId");
+  ASSERT_TRUE(proc.Open().ok());
+
+  std::vector<msg::Message> messages;
+  messages.push_back(MakeMessage(0, 1000, 1, "cardA", 1.0));
+  msg::Message bad = MakeMessage(1, 2000, 2, "cardB", 2.0);
+  bad.payload = "not an envelope";
+  messages.push_back(std::move(bad));
+  messages.push_back(MakeMessage(2, 3000, 3, "cardA", 3.0));
+
+  msg::MessageBatch batch;
+  batch.Adopt(std::move(messages));
+  std::vector<ReplyEnvelope> replies;
+  size_t failed = 0;
+  ASSERT_TRUE(proc.ProcessBatch(batch.views(), &replies, &failed).ok());
+  EXPECT_EQ(failed, 1u);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].request_id, 1u);
+  EXPECT_EQ(replies[1].request_id, 0u);  // Skipped slot: no reply routed.
+  EXPECT_EQ(replies[2].request_id, 3u);
+  EXPECT_EQ(proc.processed_count(), 2u);
+}
+
 TEST_F(TaskProcessorTest, CheckpointAndRecoveryReplayIsExactlyOnce) {
   {
     TaskProcessor proc(options_, dir_, stream_, "payments.cardId");

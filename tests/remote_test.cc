@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "api/client.h"
@@ -108,6 +109,179 @@ TEST(WireTest, MessageListRoundTrip) {
     EXPECT_EQ(decoded[i].payload, messages[i].payload);
     EXPECT_EQ(decoded[i].visible_time, messages[i].visible_time);
   }
+}
+
+std::vector<Message> SampleColumnarMessages() {
+  // Three (topic, partition) runs with an interleaving that returns to
+  // an earlier pair, so grouping must preserve global order rather than
+  // coalesce by key.
+  std::vector<Message> messages;
+  const int partitions[] = {0, 0, 1, 0};
+  const char* topics[] = {"alpha", "alpha", "beta", "alpha"};
+  for (int i = 0; i < 4; ++i) {
+    Message m;
+    m.topic = topics[i];
+    m.partition = partitions[i];
+    m.offset = static_cast<uint64_t>(1000 + i * 3);
+    m.key = i == 2 ? "" : "key" + std::to_string(i);
+    m.payload = std::string(static_cast<size_t>(i) * 11, 'p');
+    m.publish_time = 500000 + i * 7;
+    m.visible_time = 500100 + i * 7;
+    messages.push_back(std::move(m));
+  }
+  return messages;
+}
+
+TEST(WireTest, ColumnarMessageListRoundTripPreservesOrder) {
+  const std::vector<Message> messages = SampleColumnarMessages();
+  std::string encoded;
+  PutColumnarMessageList(&encoded, messages);
+
+  Slice in(encoded);
+  MessageBatch batch;
+  ASSERT_TRUE(GetColumnarMessageList(&in, &batch));
+  EXPECT_TRUE(in.empty());
+  ASSERT_EQ(batch.size(), messages.size());
+  for (size_t i = 0; i < messages.size(); ++i) {
+    const MessageView& v = batch[i];
+    EXPECT_EQ(v.topic.ToString(), messages[i].topic) << i;
+    EXPECT_EQ(v.partition, messages[i].partition) << i;
+    EXPECT_EQ(v.offset, messages[i].offset) << i;
+    EXPECT_EQ(v.key.ToString(), messages[i].key) << i;
+    EXPECT_EQ(v.payload.ToString(), messages[i].payload) << i;
+    EXPECT_EQ(v.publish_time, messages[i].publish_time) << i;
+    EXPECT_EQ(v.visible_time, messages[i].visible_time) << i;
+  }
+}
+
+TEST(WireTest, ColumnarEveryTruncationFailsTheDecode) {
+  std::string encoded;
+  PutColumnarMessageList(&encoded, SampleColumnarMessages());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    const std::string prefix = encoded.substr(0, len);
+    Slice in(prefix);
+    MessageBatch batch;
+    EXPECT_FALSE(GetColumnarMessageList(&in, &batch))
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireTest, ColumnarBitFlipsNeverEscapeTheBuffer) {
+  // No CRC protects this layer (the frame's does); a flipped bit may
+  // still decode, but every resulting view must stay inside the input
+  // buffer — ASan turns any escape into a hard failure.
+  std::string encoded;
+  PutColumnarMessageList(&encoded, SampleColumnarMessages());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string mutated = encoded;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1 << (i % 8)));
+    Slice in(mutated);
+    MessageBatch batch;
+    if (!GetColumnarMessageList(&in, &batch)) continue;
+    const char* base = mutated.data();
+    const char* end = base + mutated.size();
+    for (const MessageView& v : batch.views()) {
+      for (const Slice& s : {v.topic, v.key, v.payload}) {
+        if (s.empty()) continue;
+        EXPECT_GE(s.data(), base) << "byte " << i;
+        EXPECT_LE(s.data() + s.size(), end) << "byte " << i;
+      }
+    }
+  }
+}
+
+TEST(WireTest, ColumnarColumnLengthMismatchIsRejected) {
+  // Hand-crafted group claiming a key column that overruns the input:
+  // the length pre-validation must fail the decode before any read.
+  std::string enc;
+  PutVarint32(&enc, 1);  // ngroups
+  PutLengthPrefixedSlice(&enc, "t");
+  PutVarint32(&enc, 0);  // partition
+  PutVarint32(&enc, 2);  // n
+  PutVarint64(&enc, 100);
+  PutVarsint64(&enc, 1);  // offsets
+  PutVarsint64(&enc, 10);
+  PutVarsint64(&enc, 0);  // publish
+  PutVarsint64(&enc, 11);
+  PutVarsint64(&enc, 0);  // visible
+  PutVarint32(&enc, 3);
+  PutVarint32(&enc, 1u << 30);  // key lens: second overruns everything.
+  enc.append("abcdefgh");
+  Slice in(enc);
+  MessageBatch batch;
+  EXPECT_FALSE(GetColumnarMessageList(&in, &batch));
+}
+
+TEST(WireTest, ColumnarHugeRowCountRejectedWithoutAllocating) {
+  std::string enc;
+  PutVarint32(&enc, 1);  // ngroups
+  PutLengthPrefixedSlice(&enc, "t");
+  PutVarint32(&enc, 0);           // partition
+  PutVarint32(&enc, 0x7fffffff);  // n: absurd for a 20-byte input.
+  enc.append(8, 'x');
+  Slice in(enc);
+  MessageBatch batch;
+  EXPECT_FALSE(GetColumnarMessageList(&in, &batch));
+}
+
+TEST(WireTest, ColumnarProduceBatchRoundTrip) {
+  std::vector<ProduceRecord> records;
+  records.push_back({"k1", "payload-one"});
+  records.push_back({"", std::string(300, 'z')});
+  records.push_back({"k3", ""});
+  std::string enc;
+  PutColumnarProduceBatch(&enc, "events", records);
+
+  Slice in(enc);
+  std::string topic;
+  std::vector<ProduceRecord> decoded;
+  ASSERT_TRUE(GetColumnarProduceBatch(&in, &topic, &decoded));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(topic, "events");
+  ASSERT_EQ(decoded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].key, records[i].key);
+    EXPECT_EQ(decoded[i].payload, records[i].payload);
+  }
+
+  for (size_t len = 0; len + 1 < enc.size(); ++len) {
+    const std::string prefix = enc.substr(0, len);
+    Slice trunc(prefix);
+    std::string t;
+    std::vector<ProduceRecord> r;
+    EXPECT_FALSE(GetColumnarProduceBatch(&trunc, &t, &r)) << len;
+  }
+}
+
+TEST(BufferPoolTest, RecyclesBuffersAfterWarmup) {
+  BufferPool pool(/*max_idle=*/2);
+  {
+    BufferRef a = pool.Acquire(128);
+    memset(a->data(), 7, a->size());
+    EXPECT_GE(a->size(), 128u);
+  }
+  EXPECT_EQ(pool.misses(), 1u);
+  const uint64_t warm_misses = pool.misses();
+  for (int i = 0; i < 10; ++i) {
+    BufferRef b = pool.Acquire(64);  // Fits the recycled block.
+    EXPECT_GE(b->size(), 64u);
+  }
+  EXPECT_EQ(pool.misses(), warm_misses);  // Steady state: all hits.
+  EXPECT_EQ(pool.hits(), 10u);
+  EXPECT_GE(pool.bytes(), 128u + 10u * 64u);
+}
+
+TEST(BufferPoolTest, OutstandingBuffersSurviveThePool) {
+  BufferRef survivor;
+  {
+    BufferPool pool(2);
+    survivor = pool.Acquire(32);
+    memset(survivor->data(), 1, survivor->size());
+  }
+  // The pool is gone; releasing the last ref must free, not return to a
+  // destroyed free list.
+  memset(survivor->data(), 2, survivor->size());
+  survivor.reset();
 }
 
 TEST(BusServerTest, UnknownOpcodeReturnsNotSupportedResponse) {
@@ -304,6 +478,115 @@ TEST_F(RemoteBusTest, RebalanceCallbacksStreamToTheRemoteClient) {
   ASSERT_TRUE(remote_->Poll("c1", 10, &out).ok());
   EXPECT_EQ(revoked_total.load(), 2);
   EXPECT_GT(remote_->rebalance_count(), 0u);
+}
+
+TEST_F(RemoteBusTest, ColumnarPollIsZeroCopyAndPoolStabilizes) {
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote_->Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  MessageBatch batch;
+  ASSERT_TRUE(remote_->PollBatch("c", 10, &batch).ok());  // Assignment.
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<ProduceRecord> records;
+    for (int i = 0; i < 4; ++i) {
+      records.push_back({"k", "r" + std::to_string(round) + "-m" +
+                                  std::to_string(i)});
+    }
+    ASSERT_TRUE(remote_->ProduceBatch("t", std::move(records)).ok());
+    ASSERT_TRUE(
+        remote_->PollBatch("c", 10, &batch, kMicrosPerSecond).ok());
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_TRUE(batch.zero_copy());  // Views into the pooled buffer.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(batch[i].topic.ToString(), "t");
+      EXPECT_EQ(batch[i].payload.ToString(),
+                "r" + std::to_string(round) + "-m" + std::to_string(i));
+      EXPECT_EQ(batch[i].offset,
+                static_cast<uint64_t>(round * 4 + i));
+    }
+    if (round == 3) {
+      // Warmed up: later rounds must recycle, not allocate.
+      const uint64_t misses = remote_->pool_misses();
+      for (int r2 = 0; r2 < 2; ++r2) {
+        ASSERT_TRUE(
+            remote_->PollBatch("c", 10, &batch, /*max_wait=*/0).ok());
+      }
+      EXPECT_EQ(remote_->pool_misses(), misses);
+    }
+  }
+  EXPECT_GT(remote_->columnar_batches(), 0u);
+  EXPECT_GT(server_->columnar_batches(), 0u);
+  EXPECT_TRUE(remote_->columnar_enabled());
+  EXPECT_GT(remote_->decode_bytes(), 0u);
+}
+
+TEST_F(RemoteBusTest, PollAdapterStillReturnsOwnedMessages) {
+  // The row-shaped Poll() now routes through PollBatch and copies out;
+  // callers that keep vectors of Messages stay correct.
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote_->Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  std::vector<Message> out;
+  ASSERT_TRUE(remote_->Poll("c", 10, &out).ok());
+  ASSERT_TRUE(remote_->ProduceToPartition("t", 0, "key", "value").ok());
+  ASSERT_TRUE(remote_->Poll("c", 10, &out, kMicrosPerSecond).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, "key");
+  EXPECT_EQ(out[0].payload, "value");
+  EXPECT_EQ(out[0].topic, "t");
+}
+
+TEST(RemoteBusFallbackTest, OldServerWithoutColumnarDowngradesOnce) {
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServerOptions server_options;
+  server_options.enable_columnar = false;  // Simulates a pre-PR-7 peer.
+  BusServer server(server_options, &bus);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Direct check of the negotiation seam: the columnar opcodes answer
+  // exactly like an unknown opcode on an old server.
+  Frame probe;
+  probe.correlation_id = 9;
+  probe.opcode = static_cast<uint8_t>(OpCode::kPollColumnar);
+  const Frame probe_response = server.HandleRequest(probe);
+  Slice probe_in(probe_response.payload);
+  Status probe_status;
+  ASSERT_TRUE(GetStatus(&probe_in, &probe_status));
+  EXPECT_TRUE(probe_status.IsNotSupported());
+
+  RemoteBusOptions remote_options;
+  remote_options.address = server.address();
+  RemoteBus remote(remote_options);
+  ASSERT_TRUE(remote.Connect().ok());
+  ASSERT_TRUE(remote.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(remote.Subscribe("c", "g", {"t"}, "", nullptr, {}).ok());
+  MessageBatch batch;
+  ASSERT_TRUE(remote.PollBatch("c", 10, &batch).ok());  // Assignment.
+
+  // Both columnar-first paths must fall back to the row forms and
+  // still deliver; afterwards the client remembers the downgrade.
+  std::vector<ProduceRecord> records;
+  records.push_back({"k0", "v0"});
+  records.push_back({"k1", "v1"});
+  ASSERT_TRUE(remote.ProduceBatch("t", std::move(records)).ok());
+  ASSERT_TRUE(remote.PollBatch("c", 10, &batch, kMicrosPerSecond).ok());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].payload.ToString(), "v0");
+  EXPECT_EQ(batch[1].payload.ToString(), "v1");
+  EXPECT_TRUE(batch.zero_copy());  // Row decode is still pooled.
+  EXPECT_FALSE(remote.columnar_enabled());
+  EXPECT_EQ(remote.columnar_batches(), 0u);
+  EXPECT_EQ(server.columnar_batches(), 0u);
+
+  // Downgrade is sticky: subsequent batches go straight to row forms.
+  std::vector<ProduceRecord> more;
+  more.push_back({"k2", "v2"});
+  ASSERT_TRUE(remote.ProduceBatch("t", std::move(more)).ok());
+  ASSERT_TRUE(remote.PollBatch("c", 10, &batch, kMicrosPerSecond).ok());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload.ToString(), "v2");
+  server.Stop();
 }
 
 TEST_F(RemoteBusTest, ServerDeathSurfacesUnavailable) {
