@@ -5,9 +5,10 @@
 // Figure 8 measures end to end.
 #include <algorithm>
 
+#include "baseline/hopping_engine.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
-#include "baseline/hopping_engine.h"
+#include "common/logging.h"
 #include "storage/db.h"
 
 using namespace railgun;
@@ -40,9 +41,9 @@ int main() {
     const int64_t events =
         states >= 360 ? std::max<int64_t>(100, base_events / 8)
                       : base_events;
-    storage::DestroyDB("/tmp/railgun-bench-hopstates");
+    (void)storage::DestroyDB("/tmp/railgun-bench-hopstates");
     std::unique_ptr<storage::DB> db;
-    storage::DB::Open({}, "/tmp/railgun-bench-hopstates", &db);
+    RAILGUN_CHECK_OK(storage::DB::Open({}, "/tmp/railgun-bench-hopstates", &db));
     baseline::HoppingOptions options;
     options.window_size = 60 * kMicrosPerMinute;
     options.hop = config.hop;
@@ -57,7 +58,7 @@ int main() {
                                                         // event time.
       baseline::BaselineResult result;
       const Micros start = clock->NowMicros();
-      engine.ProcessEvent(key, ts, 1.0, &result);
+      RAILGUN_CHECK_OK(engine.ProcessEvent(key, ts, 1.0, &result));
       per_event.Record(clock->NowMicros() - start);
     }
     const double elapsed_s =

@@ -5,6 +5,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "common/env.h"
+#include "common/logging.h"
 #include "reservoir/reservoir.h"
 #include "workload/generator.h"
 
@@ -21,7 +22,7 @@ struct ScanResult {
 
 ScanResult RunScan(bool prefetch_enabled) {
   const std::string dir = "/tmp/railgun-bench-prefetch";
-  Env::Default()->RemoveDirRecursive(dir);
+  (void)Env::Default()->RemoveDirRecursive(dir);
 
   reservoir::ReservoirOptions options;
   options.chunk_target_bytes = 16 * 1024;
@@ -33,13 +34,13 @@ ScanResult RunScan(bool prefetch_enabled) {
   options.schema_fields = generator.schema_fields();
 
   reservoir::Reservoir res(options, dir);
-  res.Open();
+  RAILGUN_CHECK_OK(res.Open());
   const uint64_t total =
       static_cast<uint64_t>(EnvInt("RAILGUN_BENCH_SEED_EVENTS", 40000));
   for (uint64_t i = 0; i < total; ++i) {
-    res.Append(generator.Next(static_cast<Micros>(i) * 1000));
+    RAILGUN_CHECK_OK(res.Append(generator.Next(static_cast<Micros>(i) * 1000)));
   }
-  res.Sync();
+  RAILGUN_CHECK_OK(res.Sync());
 
   ScanResult result;
   auto iter = res.NewIterator();

@@ -10,6 +10,7 @@
 #include "baseline/hopping_engine.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "storage/db.h"
 
@@ -21,16 +22,16 @@ namespace {
 // Returns true when the hopping engine fires the rule on the last event
 // of the burst.
 bool HoppingCatches(const std::vector<Micros>& burst, Micros hop) {
-  storage::DestroyDB("/tmp/railgun-bench-fig1");
+  (void)storage::DestroyDB("/tmp/railgun-bench-fig1");
   std::unique_ptr<storage::DB> db;
-  storage::DB::Open({}, "/tmp/railgun-bench-fig1", &db);
+  RAILGUN_CHECK_OK(storage::DB::Open({}, "/tmp/railgun-bench-fig1", &db));
   baseline::HoppingOptions options;
   options.window_size = 5 * kMicrosPerMinute;
   options.hop = hop;
   baseline::HoppingEngine engine(options, db.get());
   baseline::BaselineResult result;
   for (Micros ts : burst) {
-    engine.ProcessEvent("card", ts, 1.0, &result);
+    RAILGUN_CHECK_OK(engine.ProcessEvent("card", ts, 1.0, &result));
   }
   return result.count > 4;
 }

@@ -16,6 +16,7 @@
 
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "common/logging.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -47,7 +48,7 @@ ScalingPoint RunNodes(int nodes) {
   options.bus.delivery_delay = 200;
   options.base_dir = "/tmp/railgun-bench-fig10";
   engine::Cluster cluster(options);
-  cluster.Start();
+  RAILGUN_CHECK_OK(cluster.Start());
 
   workload::FraudStreamConfig config;
   config.num_cards = 100000;  // Real-world-ish dictionary cardinality.
@@ -66,7 +67,7 @@ ScalingPoint RunNodes(int nodes) {
                           "OVER sliding 5 minutes")
             .value()};
   }
-  cluster.RegisterStream(stream);
+  RAILGUN_CHECK_OK(cluster.RegisterStream(stream));
 
   const double per_node_rate = EnvDouble("RAILGUN_BENCH_NODE_RATE", 1000);
   const uint64_t events_per_node =
@@ -88,7 +89,7 @@ ScalingPoint RunNodes(int nodes) {
       injector_options.warmup_events = events_per_node / 8;
       workload::OpenLoopInjector injector(injector_options,
                                           MonotonicClock::Default());
-      injector.Run(
+      RAILGUN_CHECK_OK(injector.Run(
           &generator,
           [&, n](const reservoir::Event& event, std::function<void()> done) {
             return cluster.node(n)->frontend()->Submit(
@@ -98,7 +99,7 @@ ScalingPoint RunNodes(int nodes) {
                   done();
                 });
           },
-          &reports[static_cast<size_t>(n)]);
+          &reports[static_cast<size_t>(n)]));
     });
   }
   for (auto& t : injectors) t.join();

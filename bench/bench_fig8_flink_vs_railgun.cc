@@ -17,6 +17,7 @@
 #include "baseline/worker.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "common/logging.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -59,19 +60,20 @@ workload::InjectorOptions InjectorConfig() {
 
 // Measures one hopping configuration end to end.
 LatencyHistogram RunHopping(Micros hop) {
-  Env::Default()->RemoveDirRecursive("/tmp/railgun-bench-fig8-hop");
+  (void)Env::Default()->RemoveDirRecursive("/tmp/railgun-bench-fig8-hop");
   msg::BusOptions bus_options;
   bus_options.delivery_delay = 200;
   msg::MessageBus bus(bus_options);
 
   workload::FraudStreamGenerator generator(WorkloadConfig());
   engine::StreamDef stream = MakeStream(generator);
-  bus.CreateTopic("payments.cardId", stream.partitions_per_topic);
-  bus.CreateTopic("replies.injector", 1);
+  RAILGUN_CHECK_OK(bus.CreateTopic("payments.cardId", stream.partitions_per_topic));
+  RAILGUN_CHECK_OK(bus.CreateTopic("replies.injector", 1));
 
   storage::DBOptions db_options;
   std::unique_ptr<storage::DB> db;
-  storage::DB::Open(db_options, "/tmp/railgun-bench-fig8-hop/db", &db);
+  RAILGUN_CHECK_OK(
+      storage::DB::Open(db_options, "/tmp/railgun-bench-fig8-hop/db", &db));
   baseline::HoppingOptions hop_options;
   hop_options.window_size = 60 * kMicrosPerMinute;
   hop_options.hop = hop;
@@ -81,7 +83,7 @@ LatencyHistogram RunHopping(Micros hop) {
   baseline::BaselineWorker worker(worker_options, &bus, &engine, stream,
                                   "payments.cardId",
                                   MonotonicClock::Default());
-  worker.Start();
+  RAILGUN_CHECK_OK(worker.Start());
 
   // Injector: produce envelopes, collect replies from the reply topic.
   std::mutex mu;
@@ -91,7 +93,8 @@ LatencyHistogram RunHopping(Micros hop) {
     uint64_t pos = 0;
     std::vector<msg::Message> batch;
     while (running) {
-      bus.Fetch({"replies.injector", 0}, pos, 512, &batch);
+      // Failure leaves the batch empty; the drain loop just spins on.
+      (void)bus.Fetch({"replies.injector", 0}, pos, 512, &batch);
       pos += batch.size();
       for (const auto& m : batch) {
         engine::ReplyEnvelope reply;
@@ -117,7 +120,7 @@ LatencyHistogram RunHopping(Micros hop) {
   workload::OpenLoopInjector injector(InjectorConfig(),
                                       MonotonicClock::Default());
   workload::InjectorReport report;
-  injector.Run(
+  RAILGUN_CHECK_OK(injector.Run(
       &generator,
       [&](const reservoir::Event& event, std::function<void()> done) {
         engine::EventEnvelope envelope;
@@ -135,7 +138,7 @@ LatencyHistogram RunHopping(Micros hop) {
                      std::move(payload))
             .status();
       },
-      &report);
+      &report));
 
   running = false;
   reply_thread.join();
@@ -150,15 +153,15 @@ LatencyHistogram RunRailgun() {
   options.bus.delivery_delay = 200;
   options.base_dir = "/tmp/railgun-bench-fig8-railgun";
   engine::Cluster cluster(options);
-  cluster.Start();
+  RAILGUN_CHECK_OK(cluster.Start());
 
   workload::FraudStreamGenerator generator(WorkloadConfig());
-  cluster.RegisterStream(MakeStream(generator));
+  RAILGUN_CHECK_OK(cluster.RegisterStream(MakeStream(generator)));
 
   workload::OpenLoopInjector injector(InjectorConfig(),
                                       MonotonicClock::Default());
   workload::InjectorReport report;
-  injector.Run(
+  RAILGUN_CHECK_OK(injector.Run(
       &generator,
       [&](const reservoir::Event& event, std::function<void()> done) {
         return cluster.node(0)->frontend()->Submit(
@@ -166,7 +169,7 @@ LatencyHistogram RunRailgun() {
             [done = std::move(done)](
                 Status, const std::vector<engine::MetricReply>&) { done(); });
       },
-      &report);
+      &report));
   cluster.Stop();
   return report.latencies;
 }

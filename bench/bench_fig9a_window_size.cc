@@ -11,6 +11,7 @@
 // (default 500), RAILGUN_BENCH_SEED_EVENTS (default 20000).
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "common/logging.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -28,7 +29,7 @@ LatencyHistogram RunWindowSize(Micros window, const char* window_label) {
   options.bus.delivery_delay = 200;
   options.base_dir = "/tmp/railgun-bench-fig9a";
   engine::Cluster cluster(options);
-  cluster.Start();
+  RAILGUN_CHECK_OK(cluster.Start());
 
   workload::FraudStreamConfig config;
   config.num_cards = 20000;
@@ -44,7 +45,7 @@ LatencyHistogram RunWindowSize(Micros window, const char* window_label) {
            "SELECT sum(amount) FROM payments GROUP BY cardId OVER %s",
            window_label);
   stream.queries = {query::ParseQuery(sql).value()};
-  cluster.RegisterStream(stream);
+  RAILGUN_CHECK_OK(cluster.RegisterStream(stream));
 
   // Pre-seed: history spanning the window so tails iterate during the
   // measured run (fire-and-forget, full speed).
@@ -56,7 +57,8 @@ LatencyHistogram RunWindowSize(Micros window, const char* window_label) {
   for (uint64_t i = 0; i < seed_events; ++i) {
     reservoir::Event event =
         generator.Next(history_start + static_cast<Micros>(i) * step);
-    cluster.node(0)->frontend()->SubmitNoReply("payments", event);
+    // Fire-and-forget seeding: shed events are part of the modelled load.
+    (void)cluster.node(0)->frontend()->SubmitNoReply("payments", event);
   }
   cluster.WaitForQuiescence(60 * kMicrosPerSecond);
 
@@ -68,7 +70,7 @@ LatencyHistogram RunWindowSize(Micros window, const char* window_label) {
   workload::OpenLoopInjector injector(injector_options,
                                       MonotonicClock::Default());
   workload::InjectorReport report;
-  injector.Run(
+  RAILGUN_CHECK_OK(injector.Run(
       &generator,
       [&](const reservoir::Event& event, std::function<void()> done) {
         return cluster.node(0)->frontend()->Submit(
@@ -76,7 +78,7 @@ LatencyHistogram RunWindowSize(Micros window, const char* window_label) {
             [done = std::move(done)](
                 Status, const std::vector<engine::MetricReply>&) { done(); });
       },
-      &report);
+      &report));
   cluster.Stop();
   return report.latencies;
 }

@@ -13,6 +13,7 @@
 // saturate a core), RAILGUN_BENCH_SEED_EVENTS (default 20000).
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "common/logging.h"
 #include "engine/cluster.h"
 #include "workload/generator.h"
 #include "workload/injector.h"
@@ -40,7 +41,7 @@ RunResult RunIterators(int num_windows) {
   options.bus.delivery_delay = 200;
   options.base_dir = "/tmp/railgun-bench-fig9b";
   engine::Cluster cluster(options);
-  cluster.Start();
+  RAILGUN_CHECK_OK(cluster.Start());
 
   workload::FraudStreamConfig config;
   config.num_cards = 5000;
@@ -68,7 +69,7 @@ RunResult RunIterators(int num_windows) {
              size_seconds, delay_seconds);
     stream.queries.push_back(query::ParseQuery(sql).value());
   }
-  cluster.RegisterStream(stream);
+  RAILGUN_CHECK_OK(cluster.RegisterStream(stream));
 
   // Pre-seed history across the largest window span.
   const uint64_t seed_events =
@@ -76,7 +77,8 @@ RunResult RunIterators(int num_windows) {
   const Micros now = MonotonicClock::Default()->NowMicros();
   const Micros step = max_span / static_cast<Micros>(seed_events);
   for (uint64_t i = 0; i < seed_events; ++i) {
-    cluster.node(0)->frontend()->SubmitNoReply(
+    // Fire-and-forget seeding: shed events are part of the modelled load.
+    (void)cluster.node(0)->frontend()->SubmitNoReply(
         "payments",
         generator.Next(now - max_span + static_cast<Micros>(i) * step));
   }
@@ -91,7 +93,7 @@ RunResult RunIterators(int num_windows) {
     engine::TaskProcessor* proc = cluster.node(0)->unit(0)->FindProcessor(
         {"payments.cardId", 0});
     if (proc != nullptr) {
-      proc->Checkpoint();
+      RAILGUN_CHECK_OK(proc->Checkpoint());
       sync_before = proc->reservoir()->stats().sync_chunk_loads;
     }
   }
@@ -104,7 +106,7 @@ RunResult RunIterators(int num_windows) {
   workload::OpenLoopInjector injector(injector_options,
                                       MonotonicClock::Default());
   workload::InjectorReport report;
-  injector.Run(
+  RAILGUN_CHECK_OK(injector.Run(
       &generator,
       [&](const reservoir::Event& event, std::function<void()> done) {
         return cluster.node(0)->frontend()->Submit(
@@ -112,7 +114,7 @@ RunResult RunIterators(int num_windows) {
             [done = std::move(done)](
                 Status, const std::vector<engine::MetricReply>&) { done(); });
       },
-      &report);
+      &report));
 
   RunResult result;
   result.latencies = report.latencies;

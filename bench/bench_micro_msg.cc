@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_micro_main.h"
+#include "common/logging.h"
 #include "msg/broker.h"
 
 using namespace railgun;
@@ -18,7 +19,7 @@ BusOptions InstantBus() {
 
 void BM_Produce(benchmark::State& state) {
   MessageBus bus(InstantBus());
-  bus.CreateTopic("t", static_cast<int>(state.range(0)));
+  RAILGUN_CHECK_OK(bus.CreateTopic("t", static_cast<int>(state.range(0))));
   std::string payload(256, 'p');
   uint64_t i = 0;
   for (auto _ : state) {
@@ -31,9 +32,10 @@ BENCHMARK(BM_Produce)->Arg(1)->Arg(16)->Arg(64);
 
 void BM_FetchBatch(benchmark::State& state) {
   MessageBus bus(InstantBus());
-  bus.CreateTopic("t", 1);
+  RAILGUN_CHECK_OK(bus.CreateTopic("t", 1));
   for (int i = 0; i < 100000; ++i) {
-    bus.ProduceToPartition("t", 0, "k", std::string(128, 'm'));
+    RAILGUN_CHECK_OK(
+        bus.ProduceToPartition("t", 0, "k", std::string(128, 'm')).status());
   }
   uint64_t pos = 0;
   std::vector<Message> batch;
@@ -51,15 +53,15 @@ BENCHMARK(BM_FetchBatch)->Arg(16)->Arg(256);
 
 void BM_GroupPoll(benchmark::State& state) {
   MessageBus bus(InstantBus());
-  bus.CreateTopic("t", 8);
-  bus.Subscribe("c", "g", {"t"}, "", nullptr, {});
+  RAILGUN_CHECK_OK(bus.CreateTopic("t", 8));
+  RAILGUN_CHECK_OK(bus.Subscribe("c", "g", {"t"}, "", nullptr, {}));
   std::vector<Message> batch;
-  bus.Poll("c", 1, &batch);  // Absorb the initial assignment.
+  RAILGUN_CHECK_OK(bus.Poll("c", 1, &batch));  // Absorb the assignment.
   uint64_t produced = 0;
   for (auto _ : state) {
     if (produced % 64 == 0) {
       for (int i = 0; i < 64; ++i) {
-        bus.ProduceToPartition("t", i % 8, "k", "m");
+        RAILGUN_CHECK_OK(bus.ProduceToPartition("t", i % 8, "k", "m").status());
       }
     }
     produced += 64;
@@ -73,10 +75,11 @@ void BM_Rebalance(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     MessageBus bus(InstantBus());
-    bus.CreateTopic("t", static_cast<int>(state.range(0)) * 4);
+    RAILGUN_CHECK_OK(bus.CreateTopic("t", static_cast<int>(state.range(0)) * 4));
     state.ResumeTiming();
     for (int m = 0; m < state.range(0); ++m) {
-      bus.Subscribe("c" + std::to_string(m), "g", {"t"}, "", nullptr, {});
+      RAILGUN_CHECK_OK(
+          bus.Subscribe("c" + std::to_string(m), "g", {"t"}, "", nullptr, {}));
     }
     benchmark::DoNotOptimize(bus.rebalance_count());
   }

@@ -6,6 +6,7 @@
 #include "bench/bench_micro_main.h"
 #include "common/compression.h"
 #include "common/env.h"
+#include "common/logging.h"
 #include "reservoir/reservoir.h"
 #include "workload/generator.h"
 
@@ -24,7 +25,7 @@ workload::FraudStreamGenerator* SharedGenerator() {
 
 void BM_ReservoirAppend(benchmark::State& state) {
   const std::string dir = "/tmp/railgun-bench-micro-append";
-  Env::Default()->RemoveDirRecursive(dir);
+  (void)Env::Default()->RemoveDirRecursive(dir);
   reservoir::ReservoirOptions options;
   options.chunk_target_bytes = static_cast<size_t>(state.range(0));
   options.schema_fields = SharedGenerator()->schema_fields();
@@ -35,7 +36,7 @@ void BM_ReservoirAppend(benchmark::State& state) {
   }
   Micros ts = 0;
   for (auto _ : state) {
-    res.Append(SharedGenerator()->Next(ts));
+    RAILGUN_CHECK_OK(res.Append(SharedGenerator()->Next(ts)));
     ts += 2000;
   }
   state.SetItemsProcessed(state.iterations());
@@ -118,7 +119,7 @@ void BM_ReservoirScan(benchmark::State& state) {
   static bool seeded = false;
   static reservoir::Reservoir* res = nullptr;
   if (!seeded) {
-    Env::Default()->RemoveDirRecursive(dir);
+    (void)Env::Default()->RemoveDirRecursive(dir);
     reservoir::ReservoirOptions options;
     options.chunk_target_bytes = 64 * 1024;
     options.cache_capacity = 64;
@@ -129,9 +130,9 @@ void BM_ReservoirScan(benchmark::State& state) {
       return;
     }
     for (int i = 0; i < 50000; ++i) {
-      res->Append(SharedGenerator()->Next(i * 1000));
+      RAILGUN_CHECK_OK(res->Append(SharedGenerator()->Next(i * 1000)));
     }
-    res->Sync();
+    RAILGUN_CHECK_OK(res->Sync());
     seeded = true;
   }
   for (auto _ : state) {

@@ -5,6 +5,7 @@
 
 #include "bench/bench_micro_main.h"
 #include "common/coding.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "storage/db.h"
 
@@ -14,7 +15,7 @@ using namespace railgun::storage;
 namespace {
 
 std::unique_ptr<DB> OpenFresh(const std::string& dir) {
-  DestroyDB(dir);
+  (void)DestroyDB(dir);
   DBOptions options;
   options.write_buffer_size = 8 * 1024 * 1024;
   std::unique_ptr<DB> db;
@@ -62,7 +63,7 @@ BENCHMARK(BM_StateStoreReadModifyWrite);
 void BM_StateStoreGetAcrossLevels(benchmark::State& state) {
   static std::unique_ptr<DB> db;
   if (db == nullptr) {
-    DestroyDB("/tmp/railgun-bench-micro-get");
+    (void)DestroyDB("/tmp/railgun-bench-micro-get");
     DBOptions options;
     options.write_buffer_size = 256 * 1024;  // Force many tables.
     if (!DB::Open(options, "/tmp/railgun-bench-micro-get", &db).ok()) {
@@ -72,7 +73,7 @@ void BM_StateStoreGetAcrossLevels(benchmark::State& state) {
     char key[32];
     for (int i = 0; i < 200000; ++i) {
       snprintf(key, sizeof(key), "k%08d", i);
-      db->Put(0, key, "value-" + std::to_string(i));
+      RAILGUN_CHECK_OK(db->Put(0, key, "value-" + std::to_string(i)));
     }
   }
   Random64 rng(3);
@@ -92,7 +93,7 @@ void BM_StateStoreCheckpoint(benchmark::State& state) {
   char key[32];
   for (int i = 0; i < 20000; ++i) {
     snprintf(key, sizeof(key), "k%08d", i);
-    db->Put(0, key, "v");
+    RAILGUN_CHECK_OK(db->Put(0, key, "v"));
   }
   int round = 0;
   for (auto _ : state) {

@@ -16,6 +16,7 @@
 #include "bench/bench_json.h"
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "msg/broker.h"
 #include "msg/remote/bus_server.h"
 #include "msg/remote/remote_bus.h"
@@ -51,7 +52,8 @@ HopResult DriveHop(Bus* producer_bus, Bus* consumer_bus, int64_t pings,
     return result;
   }
   std::vector<Message> batch;
-  consumer_bus->Poll("hop-consumer", 16, &batch);  // Assignment.
+  RAILGUN_CHECK_OK(
+      consumer_bus->Poll("hop-consumer", 16, &batch));  // Assignment.
 
   // Phase 1: sequential produce -> blocking poll, per-event latency.
   for (int64_t i = 0; i < pings; ++i) {
@@ -96,7 +98,7 @@ HopResult DriveHop(Bus* producer_bus, Bus* consumer_bus, int64_t pings,
   }
   const Micros elapsed = clock->NowMicros() - start;
   producer.join();
-  consumer_bus->Unsubscribe("hop-consumer");
+  (void)consumer_bus->Unsubscribe("hop-consumer");  // Best effort teardown.
   if (elapsed > 0 && received > 0) {
     result.events_per_sec =
         static_cast<double>(received) * kMicrosPerSecond /

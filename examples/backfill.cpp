@@ -36,7 +36,7 @@ int main() {
   // Phase 1: a day of history with only count(*) computed.
   printf("phase 1: ingesting 5000 historical events (count(*) only)\n");
   for (int i = 0; i < 5000; ++i) {
-    client.SubmitNoReply(
+    (void)client.SubmitNoReply(  // Fire-and-forget by design.
         "payments",
         Row()
             .At(static_cast<Micros>(i) * 17 * kMicrosPerSecond)

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "api/client.h"
+#include "common/logging.h"
 
 using namespace railgun;
 using api::Client;
@@ -56,7 +57,7 @@ int main() {
   printf("count(card-vip) = %ld (expect 100)\n", last_count);
 
   printf("\nphase 2: killing node2 (replication factor 2 covers it)\n");
-  client.admin().KillNode(2);
+  RAILGUN_CHECK_OK(client.admin().KillNode(2));
 
   for (int i = 100; i < 200; ++i) submit(i);
   printf("\n--- task assignment after failure ---\n%s",

@@ -13,6 +13,7 @@
 
 #include "api/client.h"
 #include "baseline/hopping_engine.h"
+#include "common/logging.h"
 #include "storage/db.h"
 
 using namespace railgun;
@@ -42,7 +43,7 @@ int main() {
   }
 
   // --- Baseline: 5-minute hopping window, 1-minute hop.
-  Env::Default()->RemoveDirRecursive("/tmp/railgun-fraud-rules-hopdb");
+  (void)Env::Default()->RemoveDirRecursive("/tmp/railgun-fraud-rules-hopdb");
   std::unique_ptr<storage::DB> hop_db;
   if (!storage::DB::Open({}, "/tmp/railgun-fraud-rules-hopdb", &hop_db)
            .ok()) {
@@ -74,7 +75,7 @@ int main() {
         count != nullptr ? static_cast<int>(count->value.ToNumber()) : -1;
 
     baseline::BaselineResult hop_result;
-    hopping.ProcessEvent("card1", ts, 50.0, &hop_result);
+    RAILGUN_CHECK_OK(hopping.ProcessEvent("card1", ts, 50.0, &hop_result));
 
     char label[16];
     snprintf(label, sizeof(label), "e%llu@%.1fm",

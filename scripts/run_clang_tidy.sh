@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library sources.
+#
+# Changed-file aware by default: lints only the .cc files under src/
+# that differ from the merge base with $BASE_REF (origin/main, or
+# $GITHUB_BASE_REF on a pull request), so the CI gate scales with the
+# diff instead of the tree. `--all` lints every file under src/.
+#
+#   ./scripts/run_clang_tidy.sh [--all] [build-dir]
+#
+# build-dir (default: build) must contain compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always ON in this project).
+# The full log is written to clang-tidy.log next to the build dir so
+# CI can upload it as an artifact; exits non-zero on any finding.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+all=0
+if [[ "${1:-}" == "--all" ]]; then
+  all=1
+  shift
+fi
+build_dir="${1:-build}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy_bin not found; skipping" >&2
+  exit 0
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with cmake first" >&2
+  exit 1
+fi
+
+declare -a files
+if [[ $all -eq 1 ]]; then
+  mapfile -t files < <(find src -name '*.cc' | sort)
+else
+  base_ref="${BASE_REF:-${GITHUB_BASE_REF:+origin/$GITHUB_BASE_REF}}"
+  base_ref="${base_ref:-origin/main}"
+  if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+    echo "run_clang_tidy: base ref $base_ref not found; linting all" >&2
+    mapfile -t files < <(find src -name '*.cc' | sort)
+  else
+    merge_base="$(git merge-base HEAD "$base_ref")"
+    mapfile -t files < <(git diff --name-only --diff-filter=d \
+                             "$merge_base" -- 'src/*.cc' | sort)
+  fi
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no changed src/*.cc files; nothing to lint"
+  exit 0
+fi
+
+log="clang-tidy.log"
+: > "$log"
+echo "run_clang_tidy: linting ${#files[@]} file(s) -> $log"
+status=0
+for f in "${files[@]}"; do
+  echo "--- $f" | tee -a "$log"
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$f" 2>&1 | tee -a "$log"; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy: findings above (full log: $log)" >&2
+fi
+exit $status

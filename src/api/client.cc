@@ -143,7 +143,7 @@ void Client::Stop() {
 
 Status Client::AddStream(engine::StreamDef stream) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (streams_.count(stream.name) > 0) {
       return Status::AlreadyExists("stream already exists: " + stream.name);
     }
@@ -155,7 +155,7 @@ Status Client::AddStream(engine::StreamDef stream) {
 
 Status Client::AddMetric(query::QueryDef metric) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = streams_.find(metric.stream);
     if (it == streams_.end()) {
       return Status::NotFound("unknown stream: " + metric.stream);
@@ -182,7 +182,7 @@ Status Client::AddMetric(query::QueryDef metric) {
 Status Client::RemoteAddStream(const std::string& statement,
                                engine::StreamDef stream) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (streams_.count(stream.name) > 0) {
       return Status::AlreadyExists("stream already exists: " + stream.name);
     }
@@ -201,7 +201,7 @@ Status Client::RemoteAddStream(const std::string& statement,
   // creation over the remote bus is idempotent).
   RAILGUN_RETURN_IF_ERROR(remote_frontend_->RegisterStream(stream));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     streams_[stream.name] = std::move(stream);
   }
   return executed;
@@ -213,7 +213,7 @@ Status Client::RemoteAddMetric(const std::string& statement,
   // metadata service before validating the metric against it.
   RAILGUN_RETURN_IF_ERROR(EnsureStream(metric.stream));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = streams_.find(metric.stream);
     if (it == streams_.end()) {
       return Status::NotFound("unknown stream: " + metric.stream);
@@ -233,7 +233,7 @@ Status Client::RemoteAddMetric(const std::string& statement,
       remote_ddl_->Execute(statement, options_.request_timeout);
   if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = streams_.find(metric.stream);
     if (it != streams_.end()) {
       it->second.queries.push_back(std::move(metric));
@@ -245,7 +245,7 @@ Status Client::RemoteAddMetric(const std::string& statement,
 Status Client::EnsureStream(const std::string& stream) {
   const Micros now = clock_->NowMicros();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (streams_.count(stream) > 0) return Status::OK();
     // Negative cache: a producer stuck on a misspelled stream name
     // must keep failing on a map lookup, not turn every submit into a
@@ -268,7 +268,7 @@ Status Client::EnsureStream(const std::string& stream) {
     // resolved — keep the submit paths' typed NotFound.
     const Status& status = def_or.status();
     if (!status.IsNotFound() && !status.IsNotSupported()) return status;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // The negative cache is bounded: expired entries are swept on
     // insert, so it holds at most the distinct unknown names of the
     // last TTL window.
@@ -282,7 +282,7 @@ Status Client::EnsureStream(const std::string& stream) {
   }
   engine::StreamDef def = std::move(def_or).value();
   RAILGUN_RETURN_IF_ERROR(remote_frontend_->RegisterStream(def));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   streams_.emplace(def.name, std::move(def));
   unknown_streams_.erase(stream);
   return Status::OK();
@@ -368,7 +368,7 @@ Status Client::Execute(const std::string& statement) {
 std::vector<std::string> Client::ListStreams() const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     names.reserve(streams_.size());
     for (const auto& [name, stream] : streams_) names.push_back(name);
   }
@@ -388,7 +388,7 @@ std::vector<std::string> Client::ListStreams() const {
 
 StatusOr<reservoir::Schema> Client::GetSchema(const std::string& stream) {
   if (remote()) RAILGUN_RETURN_IF_ERROR(EnsureStream(stream));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream: " + stream);
@@ -402,7 +402,7 @@ StatusOr<reservoir::Event> Client::BindRow(const std::string& stream_name,
                                            const Row& row) const {
   std::vector<reservoir::SchemaField> fields;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = streams_.find(stream_name);
     if (it == streams_.end()) {
       return Status::NotFound("unknown stream: " + stream_name);

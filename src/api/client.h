@@ -24,13 +24,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/admin.h"
 #include "api/result.h"
 #include "api/row.h"
+#include "common/mutex.h"
 #include "engine/admission.h"
 #include "engine/cluster.h"
 #include "introspect/internals.h"
@@ -223,10 +223,10 @@ class Client {
   // Null unless ClientOptions::noreply_tokens_per_sec > 0.
   std::unique_ptr<engine::TokenBucket> noreply_bucket_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, engine::StreamDef> streams_;
+  mutable Mutex mu_{kRankApiClient};
+  std::map<std::string, engine::StreamDef> streams_ GUARDED_BY(mu_);
   // Stream name -> cache-entry expiry on clock_ (see EnsureStream).
-  std::map<std::string, Micros> unknown_streams_;
+  std::map<std::string, Micros> unknown_streams_ GUARDED_BY(mu_);
   // Auto-minted event ids count up from a random per-client base (see
   // BindRow): the reservoirs dedup by id, so two clients must never
   // mint the same one.

@@ -62,7 +62,7 @@ Status RemoteDdlClient::EnsureSubscribedLocked() {
 
 Status RemoteDdlClient::Execute(const std::string& statement,
                                 Micros timeout) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RAILGUN_RETURN_IF_ERROR(EnsureSubscribedLocked());
 
   DdlRequest request;
@@ -91,9 +91,9 @@ Status RemoteDdlClient::Execute(const std::string& statement,
 }
 
 void RemoteDdlClient::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!subscribed_) return;
-  bus_->Unsubscribe(consumer_id_);
+  (void)bus_->Unsubscribe(consumer_id_);  // Best effort on shutdown.
   subscribed_ = false;
 }
 

@@ -14,10 +14,10 @@
 #ifndef RAILGUN_API_REMOTE_DDL_H_
 #define RAILGUN_API_REMOTE_DDL_H_
 
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "msg/bus.h"
@@ -60,7 +60,7 @@ class RemoteDdlClient {
   void Shutdown();
 
  private:
-  Status EnsureSubscribedLocked();
+  Status EnsureSubscribedLocked() REQUIRES(mu_);
 
   msg::Bus* bus_;
   std::string client_id_;
@@ -68,9 +68,10 @@ class RemoteDdlClient {
   std::string consumer_id_;
   Clock* clock_;
 
-  std::mutex mu_;
-  bool subscribed_ = false;
-  uint64_t next_request_id_ = 1;
+  // Held across the produce/poll round trip, so it ranks above msg.
+  Mutex mu_{kRankApiRemoteDdl};
+  bool subscribed_ GUARDED_BY(mu_) = false;
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace railgun::api

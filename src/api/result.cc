@@ -47,19 +47,19 @@ std::string EventResult::ToString() const {
 
 bool ResultFuture::ready() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->ready;
 }
 
 bool ResultFuture::Wait(Micros timeout) const {
   if (state_ == nullptr) return false;
-  std::unique_lock<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   if (timeout < 0) {
-    state_->cv.wait(lock, [this] { return state_->ready; });
+    state_->cv.Wait(&state_->mu, [this] { return state_->ready; });
     return true;
   }
-  return state_->cv.wait_for(lock, std::chrono::microseconds(timeout),
-                             [this] { return state_->ready; });
+  return state_->cv.WaitFor(&state_->mu, timeout,
+                            [this] { return state_->ready; });
 }
 
 EventResult ResultFuture::Get(Micros timeout) const {
@@ -74,7 +74,7 @@ EventResult ResultFuture::Get(Micros timeout) const {
         Status::Unavailable("timed out waiting for the event result");
     return result;
   }
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->result;
 }
 
@@ -88,12 +88,12 @@ ResultFuture ResultFuture::Ready(EventResult result) {
 void ResultFuture::Complete(const std::shared_ptr<State>& state,
                             EventResult result) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->ready) return;  // At-most-once completion.
     state->result = std::move(result);
     state->ready = true;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 }  // namespace railgun::api

@@ -4,13 +4,12 @@
 #ifndef RAILGUN_API_RESULT_H_
 #define RAILGUN_API_RESULT_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "reservoir/event.h"
 
@@ -71,10 +70,10 @@ class ResultFuture {
   friend class Client;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    EventResult result;
+    Mutex mu{kRankApiResult};
+    CondVar cv;
+    bool ready GUARDED_BY(mu) = false;
+    EventResult result GUARDED_BY(mu);
   };
 
   explicit ResultFuture(std::shared_ptr<State> state)

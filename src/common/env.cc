@@ -26,7 +26,7 @@ class PosixWritableFile : public WritableFile {
   }
 
   ~PosixWritableFile() override {
-    if (fd_ >= 0) Close();
+    if (fd_ >= 0) (void)Close();  // Destructor: nowhere to report.
   }
 
   Status Append(const Slice& data) override {

@@ -25,8 +25,10 @@ enum class StatusCode : int {
 };
 
 // A Status encapsulates the result of an operation: success, or an error
-// code plus a human-readable message.
-class Status {
+// code plus a human-readable message. [[nodiscard]]: silently dropping an
+// error is always a bug here — callers that really mean it must say so
+// (assign to a named variable or cast to void with a comment).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -104,7 +106,7 @@ class Status {
 
 // StatusOr<T> holds either a value of type T or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit on purpose (error returns)
       : status_(std::move(status)) {

@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis attribute macros. Under clang these
+// expand to the TSA attributes so `-Wthread-safety` can prove locking
+// discipline at compile time; under GCC (which lacks the analysis)
+// they expand to nothing, so annotated code stays portable.
+//
+// Conventions (see DESIGN.md "Locking hierarchy & thread-safety
+// model"): every protected member carries GUARDED_BY(mu_); helpers
+// that expect the lock held are suffixed `Locked` and carry
+// REQUIRES(mu_); public entry points that take the lock themselves
+// carry EXCLUDES(mu_).
+#ifndef RAILGUN_COMMON_THREAD_ANNOTATIONS_H_
+#define RAILGUN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define RAILGUN_THREAD_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RAILGUN_THREAD_ATTRIBUTE(x)  // no-op
+#endif
+
+// Type attributes for lock-like classes.
+#define CAPABILITY(x) RAILGUN_THREAD_ATTRIBUTE(capability(x))
+#define SCOPED_CAPABILITY RAILGUN_THREAD_ATTRIBUTE(scoped_lockable)
+
+// Data annotations.
+#define GUARDED_BY(x) RAILGUN_THREAD_ATTRIBUTE(guarded_by(x))
+#define PT_GUARDED_BY(x) RAILGUN_THREAD_ATTRIBUTE(pt_guarded_by(x))
+
+// Lock ordering hints (checked statically by clang, dynamically by the
+// railgun lock-rank checker).
+#define ACQUIRED_BEFORE(...) \
+  RAILGUN_THREAD_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  RAILGUN_THREAD_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// Function preconditions.
+#define REQUIRES(...) \
+  RAILGUN_THREAD_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RAILGUN_THREAD_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) RAILGUN_THREAD_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function effects.
+#define ACQUIRE(...) \
+  RAILGUN_THREAD_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RAILGUN_THREAD_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  RAILGUN_THREAD_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RAILGUN_THREAD_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  RAILGUN_THREAD_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  RAILGUN_THREAD_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  RAILGUN_THREAD_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) RAILGUN_THREAD_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  RAILGUN_THREAD_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) RAILGUN_THREAD_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch for code whose locking the analysis cannot follow
+// (e.g. adopting a lock across an std::condition_variable wait).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RAILGUN_THREAD_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // RAILGUN_COMMON_THREAD_ANNOTATIONS_H_

@@ -60,7 +60,7 @@ TokenBucket::TokenBucket(double tokens_per_sec, double burst, Clock* clock)
 
 Status TokenBucket::Acquire() {
   if (rate_ <= 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Micros now = clock_->NowMicros();
   if (now >= frozen_until_) {
     // Refill accrues only outside the penalty window; time spent frozen
@@ -84,7 +84,7 @@ Status TokenBucket::Acquire() {
 
 void TokenBucket::Penalize(Micros retry_after) {
   if (retry_after <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   frozen_until_ =
       std::max(frozen_until_, clock_->NowMicros() + retry_after);
   tokens_ = 0;

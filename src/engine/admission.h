@@ -19,10 +19,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace railgun::engine {
@@ -87,10 +87,10 @@ class TokenBucket {
   const double rate_;   // Tokens per microsecond.
   const double burst_;  // Max accumulated tokens.
   Clock* clock_;
-  std::mutex mu_;
-  double tokens_;
-  Micros last_refill_;
-  Micros frozen_until_ = 0;
+  Mutex mu_{kRankEngineAdmission};
+  double tokens_ GUARDED_BY(mu_);
+  Micros last_refill_ GUARDED_BY(mu_);
+  Micros frozen_until_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> rejected_{0};
 };
 

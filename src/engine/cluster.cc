@@ -36,7 +36,7 @@ Cluster::Cluster(const ClusterOptions& options)
     return static_cast<double>(bus_->poll_wake_count());
   });
   registry_.AddProbe("frontend.pending", [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     double total = 0;
     for (const auto& node : nodes_) {
       if (node->alive()) {
@@ -46,7 +46,7 @@ Cluster::Cluster(const ClusterOptions& options)
     return total;
   });
   registry_.AddProbe("frontend.sheds", [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     double total = 0;
     for (const auto& node : nodes_) {
       total += static_cast<double>(node->frontend()->shed_count());
@@ -54,7 +54,7 @@ Cluster::Cluster(const ClusterOptions& options)
     return total;
   });
   registry_.AddProbe("frontend.completed", [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     double total = 0;
     for (const auto& node : nodes_) {
       total += static_cast<double>(node->frontend()->completed_requests());
@@ -62,7 +62,7 @@ Cluster::Cluster(const ClusterOptions& options)
     return total;
   });
   registry_.AddProbe("frontend.timed_out", [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     double total = 0;
     for (const auto& node : nodes_) {
       total += static_cast<double>(node->frontend()->timed_out_requests());
@@ -86,7 +86,7 @@ Status Cluster::Start() {
   }
   RAILGUN_RETURN_IF_ERROR(Env::Default()->CreateDir(options_.base_dir));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int i = 0; i < options_.num_nodes; ++i) {
       RAILGUN_RETURN_IF_ERROR(AddNodeLocked().status());
     }
@@ -113,24 +113,24 @@ void Cluster::Stop() {
   // Stop the publisher before taking mu_: a snapshot in flight may be
   // inside a probe that locks mu_ itself.
   if (publisher_ != nullptr) publisher_->Stop();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& node : nodes_) {
     if (node->alive()) node->Stop();
   }
 }
 
 RailgunNode* Cluster::node(int index) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_[static_cast<size_t>(index)].get();
 }
 
 int Cluster::num_nodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(nodes_.size());
 }
 
 StatusOr<RailgunNode*> Cluster::AddNode() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AddNodeLocked();
 }
 
@@ -148,19 +148,19 @@ StatusOr<RailgunNode*> Cluster::AddNodeLocked() {
 }
 
 Status Cluster::KillNode(int index, bool immediate_detection) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   nodes_[static_cast<size_t>(index)]->Kill(immediate_detection);
   return Status::OK();
 }
 
 Status Cluster::StopNode(int index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   nodes_[static_cast<size_t>(index)]->Stop();
   return Status::OK();
 }
 
 Status Cluster::RegisterStream(const StreamDef& stream) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Re-registration (e.g. a metric added to an existing stream) updates
   // in place; duplicate entries would double-count topics in
   // WaitForQuiescence.
@@ -186,7 +186,7 @@ uint64_t Cluster::WaitForQuiescence(Micros timeout) {
     uint64_t produced = 0;
     uint64_t processed = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (const auto& stream : streams_) {
         // The internals stream is fed continuously by the publisher:
         // counting its production would keep "quiescence" forever out
@@ -215,7 +215,7 @@ uint64_t Cluster::WaitForQuiescence(Micros timeout) {
 }
 
 UnitStats Cluster::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   UnitStats total;
   for (const auto& node : nodes_) {
     for (int u = 0; u < node->num_units(); ++u) {

@@ -5,10 +5,10 @@
 #define RAILGUN_ENGINE_CLUSTER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "engine/node.h"
 #include "introspect/publisher.h"
 #include "introspect/registry.h"
@@ -77,7 +77,7 @@ class Cluster {
   UnitStats TotalStats() const;
 
  private:
-  StatusOr<RailgunNode*> AddNodeLocked();
+  StatusOr<RailgunNode*> AddNodeLocked() REQUIRES(mu_);
 
   ClusterOptions options_;
   Clock* clock_;
@@ -87,10 +87,10 @@ class Cluster {
   std::unique_ptr<introspect::Publisher> publisher_;
   // Guards the topology (nodes_, streams_) against concurrent
   // submission and admin operations (AddNode during Submit etc).
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<RailgunNode>> nodes_;
-  std::vector<StreamDef> streams_;
-  int next_node_index_ = 0;
+  mutable Mutex mu_{kRankEngineCluster};
+  std::vector<std::unique_ptr<RailgunNode>> nodes_ GUARDED_BY(mu_);
+  std::vector<StreamDef> streams_ GUARDED_BY(mu_);
+  int next_node_index_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace railgun::engine

@@ -17,7 +17,7 @@ std::string NodeOf(const std::string& metadata) {
 msg::Assignment Coordinator::Assign(
     const std::vector<msg::MemberInfo>& members,
     const std::vector<msg::TopicPartition>& partitions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   TaskAssignmentInput input;
   input.tasks = partitions;
@@ -90,13 +90,13 @@ msg::Assignment Coordinator::Assign(
 
 void Coordinator::RegisterUnitDir(const std::string& unit_id,
                                   const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   unit_dirs_[unit_id] = dir;
 }
 
 std::vector<msg::TopicPartition> Coordinator::ReplicaTasksFor(
     const std::string& unit_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = replicas_by_unit_.find(unit_id);
   return it == replicas_by_unit_.end() ? std::vector<msg::TopicPartition>{}
                                        : it->second;
@@ -104,7 +104,7 @@ std::vector<msg::TopicPartition> Coordinator::ReplicaTasksFor(
 
 std::string Coordinator::FindDonorDir(const msg::TopicPartition& task,
                                       const std::string& requesting_unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto dir_of = [&](const std::string& unit) -> std::string {
     auto it = unit_dirs_.find(unit);
     if (it == unit_dirs_.end()) return "";

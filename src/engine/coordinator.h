@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "engine/sticky_assignment.h"
 #include "msg/assignment.h"
 
@@ -63,12 +63,16 @@ class Coordinator : public msg::AssignmentStrategy {
  private:
   const int replication_factor_;
 
-  std::mutex mu_;
-  std::map<msg::TopicPartition, std::string> prev_active_;
-  std::map<msg::TopicPartition, std::set<std::string>> prev_replicas_;
-  std::map<msg::TopicPartition, std::set<std::string>> stale_;
-  std::map<std::string, std::vector<msg::TopicPartition>> replicas_by_unit_;
-  std::map<std::string, std::string> unit_dirs_;
+  // Exception rank: assignment strategies run under the broker's group
+  // lock, so this mutex lives inside the msg band (see common/mutex.h).
+  Mutex mu_{kRankEngineStrategy};
+  std::map<msg::TopicPartition, std::string> prev_active_ GUARDED_BY(mu_);
+  std::map<msg::TopicPartition, std::set<std::string>> prev_replicas_
+      GUARDED_BY(mu_);
+  std::map<msg::TopicPartition, std::set<std::string>> stale_ GUARDED_BY(mu_);
+  std::map<std::string, std::vector<msg::TopicPartition>> replicas_by_unit_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::string> unit_dirs_ GUARDED_BY(mu_);
   std::atomic<uint64_t> generation_{0};
   std::atomic<int> total_moved_active_{0};
   std::atomic<int> total_moved_replicas_{0};

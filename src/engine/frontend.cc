@@ -36,7 +36,7 @@ Status FrontEnd::Start() {
     // A submit that raced a previous Stop may have left queued
     // submissions whose callbacks were already failed; never publish
     // them on restart.
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(&submit_mu_);
     submit_queue_.clear();
   }
   running_ = true;
@@ -46,18 +46,19 @@ Status FrontEnd::Start() {
 
 void FrontEnd::Stop() {
   running_ = false;
-  bus_->WakeConsumer(consumer_id_);  // Cut a parked reply poll short.
+  (void)bus_->WakeConsumer(consumer_id_);  // Cut a parked reply poll short.
   if (thread_.joinable()) thread_.join();
-  bus_->Unsubscribe(consumer_id_);  // NotFound when never started: fine.
+  // NotFound when never started: fine.
+  (void)bus_->Unsubscribe(consumer_id_);
   // Drop queued submissions and fail outstanding requests so no caller
   // blocks on a reply that can never arrive.
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(&submit_mu_);
     submit_queue_.clear();
   }
   std::vector<Completion> orphaned;
   for (auto& shard : pending_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (auto& [id, pending] : shard.entries) {
       orphaned.push_back({std::move(pending.callback),
                           std::move(pending.results),
@@ -90,7 +91,7 @@ Status FrontEnd::RegisterStream(const StreamDef& stream) {
     }
     route.targets.push_back({stream.TopicFor(p), field});
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   routes_[stream.name] = std::move(route);
   return Status::OK();
 }
@@ -124,7 +125,7 @@ Status FrontEnd::Enqueue(const Route& route, const reservoir::Event& event,
     pending.submitted_at = clock_->NowMicros();
     pending.deadline = pending.submitted_at + options_.request_timeout;
     PendingShard& shard = ShardFor(request_id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.entries[request_id] = std::move(pending);
     pending_count_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -151,7 +152,7 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
   }
   Route route;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = routes_.find(stream_name);
     if (it == routes_.end()) {
       return Status::NotFound("unknown stream: " + stream_name);
@@ -167,7 +168,7 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
       stream_name != introspect::kInternalsStream) {
     size_t queue_depth;
     {
-      std::lock_guard<std::mutex> lock(submit_mu_);
+      MutexLock lock(&submit_mu_);
       queue_depth = submit_queue_.size();
     }
     RAILGUN_RETURN_IF_ERROR(admission_.Admit(
@@ -188,7 +189,7 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
       for (const auto& submission : prepared) {
         if (submission.request_id == 0) continue;
         PendingShard& shard = ShardFor(submission.request_id);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(&shard.mu);
         if (shard.entries.erase(submission.request_id) > 0) {
           pending_count_.fetch_sub(1, std::memory_order_relaxed);
         }
@@ -198,7 +199,7 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
   }
 
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(&submit_mu_);
     submit_queue_.insert(submit_queue_.end(),
                          std::make_move_iterator(prepared.begin()),
                          std::make_move_iterator(prepared.end()));
@@ -207,7 +208,7 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
   // fans out one ProduceBatch per partitioner topic. Level-triggered,
   // so a wake landing between the thread's queue check and its park is
   // consumed by the next Poll, not lost.
-  bus_->WakeConsumer(consumer_id_);
+  (void)bus_->WakeConsumer(consumer_id_);
   if (!running_) {
     // Stopped while enqueueing: the run thread may already have drained
     // its last cycle, so complete the stragglers here (FailPending is
@@ -234,7 +235,7 @@ void FrontEnd::FailPending(uint64_t request_id, const Status& status) {
   Completion completion;
   {
     PendingShard& shard = ShardFor(request_id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.entries.find(request_id);
     if (it == shard.entries.end()) return;  // Already completed.
     completion = {std::move(it->second.callback),
@@ -250,7 +251,7 @@ void FrontEnd::FailPending(uint64_t request_id, const Status& status) {
 void FrontEnd::DrainSubmissions() {
   std::vector<Submission> drained;
   {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(&submit_mu_);
     drained.swap(submit_queue_);
   }
   if (drained.empty()) return;
@@ -297,7 +298,7 @@ void FrontEnd::Run() {
     Micros wait = options_.poll_wait;
     {
       // Submissions raced in while draining: don't park on them.
-      std::lock_guard<std::mutex> lock(submit_mu_);
+      MutexLock lock(&submit_mu_);
       if (!submit_queue_.empty()) wait = 0;
     }
     // Zero-copy reply poll: views decode straight out of the transport's
@@ -318,7 +319,7 @@ void FrontEnd::Run() {
         continue;
       }
       PendingShard& shard = ShardFor(reply.request_id);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       auto it = shard.entries.find(reply.request_id);
       if (it == shard.entries.end()) continue;  // Timed out already.
       Pending& pending = it->second;
@@ -343,7 +344,7 @@ void FrontEnd::Run() {
     // are discarded upstream, paper §5).
     const Micros now = clock_->NowMicros();
     for (auto& shard : pending_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       for (auto it = shard.entries.begin(); it != shard.entries.end();) {
         if (it->second.deadline <= now) {
           Pending& pending = it->second;

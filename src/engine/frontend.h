@@ -17,12 +17,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "engine/admission.h"
 #include "engine/stream_def.h"
 #include "introspect/registry.h"
@@ -124,8 +124,8 @@ class FrontEnd {
   // loop and the timeout scan contend at 1/kPendingShards granularity.
   static constexpr size_t kPendingShards = 16;
   struct PendingShard {
-    std::mutex mu;
-    std::map<uint64_t, Pending> entries;
+    Mutex mu{kRankEngineFrontEndPending};
+    std::map<uint64_t, Pending> entries GUARDED_BY(mu);
   };
   // Precomputed fan-out for one stream: the schema plus one
   // (topic, key-field index) per partitioner.
@@ -169,11 +169,11 @@ class FrontEnd {
   std::thread thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mu_;  // Guards streams_/routes_.
-  std::map<std::string, Route> routes_;
+  mutable Mutex mu_{kRankEngineFrontEnd};
+  std::map<std::string, Route> routes_ GUARDED_BY(mu_);
 
-  std::mutex submit_mu_;
-  std::vector<Submission> submit_queue_;
+  Mutex submit_mu_{kRankEngineFrontEndSubmit};
+  std::vector<Submission> submit_queue_ GUARDED_BY(submit_mu_);
 
   std::array<PendingShard, kPendingShards> pending_;
   std::atomic<uint64_t> next_request_id_{1};

@@ -38,7 +38,8 @@ void RailgunNode::Stop() {
 void RailgunNode::Kill(bool immediate_detection) {
   for (auto& unit : units_) {
     unit->Kill();
-    if (immediate_detection) bus_->KillConsumer(unit->unit_id());
+    // Best effort: simulating a crash, the consumer may be gone already.
+    if (immediate_detection) (void)bus_->KillConsumer(unit->unit_id());
   }
   frontend_->Stop();
   alive_ = false;

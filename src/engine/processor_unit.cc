@@ -37,14 +37,14 @@ void ProcessorUnit::Stop() {
     if (thread_.joinable()) thread_.join();
     return;
   }
-  op_cv_.notify_all();
+  op_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
-  bus_->Unsubscribe(unit_id_);
+  (void)bus_->Unsubscribe(unit_id_);  // Best effort on shutdown.
 }
 
 void ProcessorUnit::Kill() {
   running_ = false;
-  op_cv_.notify_all();
+  op_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   // No Unsubscribe: the bus discovers the death via heartbeat expiry
   // (or the harness calls KillConsumer for immediate detection).
@@ -52,35 +52,35 @@ void ProcessorUnit::Kill() {
 
 void ProcessorUnit::EnqueueRegisterStream(const StreamDef& stream) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_streams_.push_back(stream);
   }
-  op_cv_.notify_all();
+  op_cv_.NotifyAll();
   // A loop parked in a blocking bus poll applies the registration on
   // its next pass; interrupt it so DDL takes effect promptly (NotFound
   // before the first subscription: the op_cv_ park covers that phase).
-  bus_->WakeConsumer(unit_id_);
+  (void)bus_->WakeConsumer(unit_id_);
 }
 
 UnitStats ProcessorUnit::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 std::vector<msg::TopicPartition> ProcessorUnit::active_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return active_tasks_;
 }
 
 std::vector<msg::TopicPartition> ProcessorUnit::replica_tasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<msg::TopicPartition> result;
   for (const auto& [tp, pos] : replica_positions_) result.push_back(tp);
   return result;
 }
 
 TaskProcessor* ProcessorUnit::FindProcessor(const msg::TopicPartition& tp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = processors_.find(Coordinator::TaskSubdir(tp));
   return it == processors_.end() ? nullptr : it->second.get();
 }
@@ -98,14 +98,14 @@ const StreamDef* ProcessorUnit::StreamForTopic(
 void ProcessorUnit::DrainOperationalRequests() {
   std::deque<StreamDef> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.swap(pending_streams_);
   }
   if (pending.empty()) return;
 
   bool changed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& stream : pending) {
       streams_[stream.name] = std::move(stream);
       changed = true;
@@ -117,11 +117,13 @@ void ProcessorUnit::DrainOperationalRequests() {
   // queries added at runtime are planned and backfilled (paper §3.1
   // operational requests / §6 metric backfill).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [key, processor] : processors_) {
       const StreamDef* stream = StreamForTopic(processor->topic());
-      if (stream != nullptr) {
-        processor->SyncQueries(*stream);
+      if (stream != nullptr && !processor->SyncQueries(*stream).ok()) {
+        // A query whose backfill failed stays uninstalled; the next
+        // RegisterStream retries it. Count it like a rejected message.
+        ++stats_.process_failures;
       }
     }
   }
@@ -129,7 +131,7 @@ void ProcessorUnit::DrainOperationalRequests() {
   // (Re-)subscribe to the union of all event topics.
   std::vector<std::string> topics;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, stream] : streams_) {
       for (const auto& p : stream.partitioners) {
         topics.push_back(stream.TopicFor(p));
@@ -141,7 +143,7 @@ void ProcessorUnit::DrainOperationalRequests() {
     HandleAssigned(a);
   };
   listener.on_revoked = [this](const std::vector<msg::TopicPartition>& r) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& tp : r) {
       active_tasks_.erase(
           std::remove(active_tasks_.begin(), active_tasks_.end(), tp),
@@ -152,7 +154,7 @@ void ProcessorUnit::DrainOperationalRequests() {
       unit_id_, kActiveGroup, topics,
       "node=" + node_id_ + ";unit=" + unit_id_, coordinator_,
       std::move(listener));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (subscribed.ok()) {
     subscribed_ = true;
   } else {
@@ -166,8 +168,13 @@ void ProcessorUnit::HandleAssigned(
     uint64_t replay_offset = 0;
     auto proc_or = GetOrCreateProcessor(tp, &replay_offset);
     if (!proc_or.ok()) continue;
-    bus_->Seek(unit_id_, tp, replay_offset);
-    std::lock_guard<std::mutex> lock(mu_);
+    Status seek = bus_->Seek(unit_id_, tp, replay_offset);
+    MutexLock lock(&mu_);
+    if (!seek.ok()) {
+      // The poll continues from the committed position instead of the
+      // checkpointed one; surfaced like any other failed bus call.
+      ++stats_.poll_errors;
+    }
     if (std::find(active_tasks_.begin(), active_tasks_.end(), tp) ==
         active_tasks_.end()) {
       active_tasks_.push_back(tp);
@@ -179,7 +186,7 @@ StatusOr<TaskProcessor*> ProcessorUnit::GetOrCreateProcessor(
     const msg::TopicPartition& tp, uint64_t* replay_offset) {
   const std::string key = Coordinator::TaskSubdir(tp);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = processors_.find(key);
     if (it != processors_.end()) {
       *replay_offset = it->second->replay_offset();
@@ -189,7 +196,7 @@ StatusOr<TaskProcessor*> ProcessorUnit::GetOrCreateProcessor(
 
   const StreamDef* stream;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stream = StreamForTopic(tp.topic);
   }
   if (stream == nullptr) {
@@ -232,7 +239,7 @@ StatusOr<TaskProcessor*> ProcessorUnit::GetOrCreateProcessor(
 
   TaskProcessor* raw = processor.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     processors_[key] = std::move(processor);
     if (recovered_from_donor) {
       ++stats_.recoveries;
@@ -254,7 +261,7 @@ void ProcessorUnit::SyncReplicaTasks() {
 
   std::map<msg::TopicPartition, uint64_t> new_positions;
   for (const auto& tp : replicas) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = replica_positions_.find(tp);
     if (it != replica_positions_.end()) {
       new_positions[tp] = it->second;  // Keep progress.
@@ -263,7 +270,7 @@ void ProcessorUnit::SyncReplicaTasks() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     replica_positions_ = std::move(new_positions);
   }
 }
@@ -285,7 +292,7 @@ void ProcessorUnit::ProcessGrouped(
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.process_failures += failed;
       if (active) {
         stats_.active_messages += messages.size() - failed;
@@ -306,7 +313,7 @@ void ProcessorUnit::ProcessGrouped(
   for (auto& [topic, records] : reply_batches) {
     const uint64_t count = records.size();
     const Status published = bus_->ProduceBatch(topic, std::move(records));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (published.ok()) {
       stats_.replies_sent += count;
     } else {
@@ -321,13 +328,12 @@ void ProcessorUnit::Run() {
     SyncReplicaTasks();
 
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!subscribed_) {
         // Not yet a group member, so there is no consumer to block in:
         // park until the first stream registration (or shutdown).
         if (pending_streams_.empty() && running_) {
-          op_cv_.wait_for(lock, std::chrono::microseconds(
-                                    options_.poll_wait));
+          op_cv_.WaitFor(&mu_, options_.poll_wait);
         }
         continue;
       }
@@ -341,15 +347,14 @@ void ProcessorUnit::Run() {
         unit_id_, options_.poll_max, &active_batch_, options_.poll_wait);
     if (!poll_status.ok()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.poll_errors;
       }
       // A failed poll (e.g. fenced consumer) returns immediately: park
       // briefly so replica duty continues without hot-spinning.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (running_) {
-        op_cv_.wait_for(lock,
-                        std::chrono::microseconds(options_.poll_wait));
+        op_cv_.WaitFor(&mu_, options_.poll_wait);
       }
     }
 
@@ -360,7 +365,7 @@ void ProcessorUnit::Run() {
     std::deque<msg::MessageBatch> replica_keepalive;
     std::vector<std::pair<msg::TopicPartition, uint64_t>> replica_list;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (const auto& [tp, pos] : replica_positions_) {
         replica_list.push_back({tp, pos});
       }
@@ -386,10 +391,10 @@ void ProcessorUnit::Run() {
           replica_groups[tp] = replica_keepalive.back().views();
         }
       } else {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++stats_.poll_errors;
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = replica_positions_.find(tp);
       if (it != replica_positions_.end()) it->second = pos;
     }

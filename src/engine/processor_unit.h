@@ -6,16 +6,15 @@
 #define RAILGUN_ENGINE_PROCESSOR_UNIT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "engine/coordinator.h"
 #include "engine/stream_def.h"
 #include "engine/task_processor.h"
@@ -73,7 +72,7 @@ class ProcessorUnit {
   // True while an enqueued registration has not yet been applied by the
   // unit loop (used to make DDL synchronous at the API layer).
   bool has_pending_streams() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return !pending_streams_.empty();
   }
 
@@ -111,18 +110,19 @@ class ProcessorUnit {
   std::thread thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{kRankEngineUnit};
   // Parks the loop before its first subscription (no consumer to block
   // in yet); EnqueueRegisterStream and Stop/Kill notify it.
-  std::condition_variable op_cv_;
-  bool subscribed_ = false;
-  std::deque<StreamDef> pending_streams_;
-  std::map<std::string, StreamDef> streams_;  // By stream name.
-  std::map<std::string, std::unique_ptr<TaskProcessor>> processors_;
-  std::vector<msg::TopicPartition> active_tasks_;
-  std::map<msg::TopicPartition, uint64_t> replica_positions_;
-  uint64_t seen_generation_ = 0;
-  UnitStats stats_;
+  CondVar op_cv_;
+  bool subscribed_ GUARDED_BY(mu_) = false;
+  std::deque<StreamDef> pending_streams_ GUARDED_BY(mu_);
+  std::map<std::string, StreamDef> streams_ GUARDED_BY(mu_);  // By name.
+  std::map<std::string, std::unique_ptr<TaskProcessor>> processors_
+      GUARDED_BY(mu_);
+  std::vector<msg::TopicPartition> active_tasks_ GUARDED_BY(mu_);
+  std::map<msg::TopicPartition, uint64_t> replica_positions_ GUARDED_BY(mu_);
+  uint64_t seen_generation_ = 0;  // Unit-thread only.
+  UnitStats stats_ GUARDED_BY(mu_);
   introspect::Histogram* batch_size_ = nullptr;  // Null without registry.
   // Poll scratch reused across loop iterations. Only touched by the unit
   // thread; the active batch typically borrows the remote bus's pooled

@@ -36,8 +36,8 @@ Status Publisher::Start() {
 void Publisher::Stop() {
   if (!running_.exchange(false)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    MutexLock lock(&mu_);
+    cv_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
 }
@@ -66,16 +66,15 @@ Status Publisher::PublishOnce() {
 }
 
 void Publisher::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (running_.load()) {
-    cv_.wait_for(lock, std::chrono::microseconds(options_.period),
-                 [this] { return !running_.load(); });
+    cv_.WaitFor(&mu_, options_.period, [this] { return !running_.load(); });
     if (!running_.load()) break;
-    lock.unlock();
+    lock.Unlock();
     // Best-effort: a failed snapshot (e.g. bus shutting down) is
     // dropped; the next tick retries.
-    PublishOnce();
-    lock.lock();
+    (void)PublishOnce();
+    lock.Lock();
   }
 }
 

@@ -11,12 +11,11 @@
 #define RAILGUN_INTROSPECT_PUBLISHER_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "introspect/internals.h"
 #include "introspect/registry.h"
 #include "msg/bus.h"
@@ -68,8 +67,8 @@ class Publisher {
 
   std::thread thread_;
   std::atomic<bool> running_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_{kRankIntrospectPublisher};
+  CondVar cv_;
 };
 
 }  // namespace railgun::introspect

@@ -19,11 +19,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 
 namespace railgun::introspect {
 
@@ -55,17 +55,17 @@ class Gauge {
 class Histogram {
  public:
   void Record(int64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     hist_.Record(value);
   }
   LatencyHistogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return hist_;
   }
 
  private:
-  mutable std::mutex mu_;
-  LatencyHistogram hist_;
+  mutable Mutex mu_{kRankHistogram};
+  LatencyHistogram hist_ GUARDED_BY(mu_);
 };
 
 // One snapshot row, matching the __railgun.internals schema (minus the
@@ -101,11 +101,15 @@ class Registry {
   std::vector<Sample> Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  // Leaf: Snapshot copies handles/probes out and samples them unlocked
+  // (probes take component locks and must not nest inside this one).
+  mutable Mutex mu_{kRankIntrospectRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::function<double()>>> probes_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace railgun::introspect

@@ -49,13 +49,14 @@ Status MetadataService::Start() {
 void MetadataService::Stop() {
   if (!running_.exchange(false)) return;
   {
-    std::lock_guard<std::mutex> lock(sweep_mu_);
+    MutexLock lock(&sweep_mu_);
   }
-  sweep_cv_.notify_all();
-  bus_->WakeConsumer(ddl_consumer_id_);  // Cut a parked DDL poll short.
+  sweep_cv_.NotifyAll();
+  // Cut a parked DDL poll short (best effort).
+  (void)bus_->WakeConsumer(ddl_consumer_id_);
   if (ddl_thread_.joinable()) ddl_thread_.join();
   if (sweep_thread_.joinable()) sweep_thread_.join();
-  if (options_.run_ddl_service) bus_->Unsubscribe(ddl_consumer_id_);
+  if (options_.run_ddl_service) (void)bus_->Unsubscribe(ddl_consumer_id_);
 }
 
 // ----- Membership -----------------------------------------------------
@@ -64,9 +65,9 @@ void MetadataService::FenceUnits(const std::vector<std::string>& units,
                                  const std::vector<std::string>& fenced) {
   // Best effort: a unit that never subscribed answers NotFound, which
   // is exactly the desired end state.
-  for (const auto& unit : units) bus_->KillConsumer(unit);
+  for (const auto& unit : units) (void)bus_->KillConsumer(unit);
   if (fenced.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& node_id : fenced) {
     auto it = nodes_.find(node_id);
     if (it != nodes_.end()) it->second.fencing = false;
@@ -115,7 +116,7 @@ int MetadataService::CheckLeases() {
   std::vector<std::string> fence, fenced;
   int expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     expired = CheckLeasesLocked(clock_->NowMicros(), &fence, &fenced);
   }
   FenceUnits(fence, fenced);
@@ -129,7 +130,7 @@ StatusOr<AnnounceResult> MetadataService::Announce(
   Status status;
   AnnounceResult result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const Micros now = clock_->NowMicros();
     CheckLeasesLocked(now, &fence, &fenced);
     if (announcement.node_id.empty()) {
@@ -168,7 +169,7 @@ StatusOr<uint64_t> MetadataService::Heartbeat(const std::string& node_id) {
   Status status;
   uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const Micros now = clock_->NowMicros();
     CheckLeasesLocked(now, &fence, &fenced);
     auto it = nodes_.find(node_id);
@@ -188,7 +189,7 @@ StatusOr<uint64_t> MetadataService::Heartbeat(const std::string& node_id) {
 }
 
 Status MetadataService::Leave(const std::string& node_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(node_id);
   if (it == nodes_.end()) {
     return Status::NotFound("unknown node: " + node_id);
@@ -211,7 +212,7 @@ ClusterView MetadataService::View() const {
     view.nodes.push_back(
         {node->id(), "broker-local", node->num_units(), node->alive()});
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   view.generation = generation_;
   const Micros now = clock_->NowMicros();
   for (const auto& [node_id, record] : nodes_) {
@@ -233,7 +234,7 @@ Status MetadataService::RegisterStream(const engine::StreamDef& stream) {
   if (stream.name.empty()) {
     return Status::InvalidArgument("stream definition without a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   streams_[stream.name] = stream;
   ++generation_;
   return Status::OK();
@@ -241,7 +242,7 @@ Status MetadataService::RegisterStream(const engine::StreamDef& stream) {
 
 StatusOr<engine::StreamDef> MetadataService::GetStream(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status::NotFound("unknown stream: " + name);
@@ -250,7 +251,7 @@ StatusOr<engine::StreamDef> MetadataService::GetStream(
 }
 
 std::vector<engine::StreamDef> MetadataService::ListStreamDefs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<engine::StreamDef> defs;
   defs.reserve(streams_.size());
   for (const auto& [name, def] : streams_) defs.push_back(def);
@@ -260,7 +261,7 @@ std::vector<engine::StreamDef> MetadataService::ListStreamDefs() const {
 // ----- DDL ------------------------------------------------------------
 
 Status MetadataService::ExecuteDdl(const std::string& statement) {
-  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  MutexLock ddl_lock(&ddl_mu_);
   // The attached client is the source of validation and synchronization
   // (the statement is applied by every alive broker-local unit before
   // Execute returns). AlreadyExists still syncs the registry so a
@@ -279,7 +280,7 @@ Status MetadataService::ExecuteDdl(const std::string& statement) {
       def.fields = std::move(schema.fields);
       def.partitioners = std::move(schema.partitioners);
       def.partitions_per_topic = schema.partitions_per_topic;
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       // Keep registered metrics when the stream was already known.
       if (streams_.count(def.name) == 0) {
         streams_[def.name] = std::move(def);
@@ -296,7 +297,7 @@ Status MetadataService::ExecuteDdl(const std::string& statement) {
 }
 
 void MetadataService::AddMetricToRegistry(query::QueryDef metric) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(metric.stream);
   if (it == streams_.end()) return;
   for (const auto& existing : it->second.queries) {
@@ -330,8 +331,8 @@ void MetadataService::DdlLoop() {
       api::EncodeDdlReply(reply, &encoded);
       // Best effort: an unreachable reply topic means the client died;
       // it would have timed out anyway.
-      bus_->Produce(request.reply_topic, request.reply_topic,
-                    std::move(encoded));
+      (void)bus_->Produce(request.reply_topic, request.reply_topic,
+                          std::move(encoded));
     }
   }
 }
@@ -339,13 +340,13 @@ void MetadataService::DdlLoop() {
 void MetadataService::SweepLoop() {
   const Micros period =
       std::max<Micros>(options_.lease_timeout / 4, 10 * kMicrosPerMilli);
-  std::unique_lock<std::mutex> lock(sweep_mu_);
+  MutexLock lock(&sweep_mu_);
   while (running_) {
-    sweep_cv_.wait_for(lock, std::chrono::microseconds(period));
+    sweep_cv_.WaitFor(&sweep_mu_, period);
     if (!running_) break;
-    lock.unlock();
+    lock.Unlock();
     CheckLeases();
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -26,14 +26,13 @@
 #define RAILGUN_META_METADATA_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/client.h"
+#include "common/mutex.h"
 #include "engine/cluster.h"
 #include "engine/stream_def.h"
 #include "meta/cluster_view.h"
@@ -143,7 +142,7 @@ class MetadataService {
   // to *fenced (the caller must hand both to FenceUnits). Also prunes
   // tombstones past dead_node_retention. Requires mu_.
   int CheckLeasesLocked(Micros now, std::vector<std::string>* fence,
-                        std::vector<std::string>* fenced);
+                        std::vector<std::string>* fenced) REQUIRES(mu_);
   // Kills the listed unit consumers on the bus (never under mu_ — the
   // bus takes its own group lock and may run listeners), then clears
   // the named nodes' fencing flags, unblocking re-announces.
@@ -157,12 +156,14 @@ class MetadataService {
   Clock* clock_;  // The cluster's (= bus's) clock.
   api::Client client_;  // Attached to the cluster; executes DDL.
 
-  mutable std::mutex mu_;  // Guards nodes_, streams_, generation_.
-  std::map<std::string, NodeRecord> nodes_;
-  std::map<std::string, engine::StreamDef> streams_;
-  uint64_t generation_ = 1;
+  mutable Mutex mu_{kRankMetaService};
+  std::map<std::string, NodeRecord> nodes_ GUARDED_BY(mu_);
+  std::map<std::string, engine::StreamDef> streams_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 1;
 
-  std::mutex ddl_mu_;  // Serializes ExecuteDdl.
+  // Serializes ExecuteDdl. Exception rank: held while driving the
+  // embedded api::Client, so it sits above the api band (common/mutex.h).
+  Mutex ddl_mu_{kRankMetaDdlSerializer};
 
   std::atomic<uint64_t> announces_{0};
   std::atomic<uint64_t> heartbeats_{0};
@@ -172,8 +173,8 @@ class MetadataService {
   std::atomic<bool> running_{false};
   std::thread ddl_thread_;
   std::thread sweep_thread_;
-  std::mutex sweep_mu_;
-  std::condition_variable sweep_cv_;
+  Mutex sweep_mu_{kRankMetaSweep};
+  CondVar sweep_cv_;
   const std::string ddl_consumer_id_ = "ddl.svc";
 };
 

@@ -122,7 +122,7 @@ Status WorkerNode::Start() {
   // Past this point we hold a live lease: a failed start must leave it
   // gracefully or the node id stays blocked until the lease expires.
   auto abandon = [this](Status status) {
-    meta_->Leave(node_id_);  // Best effort.
+    (void)meta_->Leave(node_id_);  // Best effort.
     running_ = false;
     return status;
   };
@@ -169,20 +169,20 @@ Status WorkerNode::Start() {
 void WorkerNode::Stop() {
   if (!running_.exchange(false)) return;
   {
-    std::lock_guard<std::mutex> lock(hb_mu_);
+    MutexLock lock(&hb_mu_);
   }
-  hb_cv_.notify_all();
+  hb_cv_.NotifyAll();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   // Leave first so the view stops counting this node, then let the
   // units unsubscribe cleanly (one rebalance, no lease wait). Best
   // effort: a dead broker cannot be left politely anyway.
   if (publisher_ != nullptr) publisher_->Stop();
-  if (meta_ != nullptr) meta_->Leave(node_id_);
+  if (meta_ != nullptr) (void)meta_->Leave(node_id_);
   if (node_ != nullptr) node_->Stop();
 }
 
 Status WorkerNode::SyncStreams() {
-  std::lock_guard<std::mutex> lock(sync_mu_);
+  MutexLock lock(&sync_mu_);
   RAILGUN_ASSIGN_OR_RETURN(std::vector<engine::StreamDef> defs,
                            meta_->ListStreams());
   for (auto& def : defs) {
@@ -204,7 +204,7 @@ Status WorkerNode::AnnounceAndSync() {
   // their group membership needs refreshing regardless of stream
   // equality.
   {
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    MutexLock lock(&sync_mu_);
     registered_.clear();
   }
   RAILGUN_RETURN_IF_ERROR(SyncStreams());
@@ -236,15 +236,15 @@ Status WorkerNode::Heartbeat() {
 }
 
 void WorkerNode::HeartbeatLoop() {
-  std::unique_lock<std::mutex> lock(hb_mu_);
+  MutexLock lock(&hb_mu_);
   while (running_) {
-    hb_cv_.wait_for(lock, std::chrono::microseconds(heartbeat_period_));
+    hb_cv_.WaitFor(&hb_mu_, heartbeat_period_);
     if (!running_) break;
-    lock.unlock();
+    lock.Unlock();
     // Transient failures (broker restarting, backoff) are retried on
     // the next tick; the lease gives us lease_timeout of slack.
-    Heartbeat();
-    lock.lock();
+    (void)Heartbeat();
+    lock.Lock();
   }
 }
 

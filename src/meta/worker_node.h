@@ -24,13 +24,12 @@
 #define RAILGUN_META_WORKER_NODE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "engine/coordinator.h"
 #include "engine/node.h"
 #include "introspect/publisher.h"
@@ -126,13 +125,13 @@ class WorkerNode {
   std::atomic<uint64_t> last_generation_{0};
   // Encoded form of each registered stream, to skip no-op re-registers
   // (a re-register forces a group resubscribe).
-  std::map<std::string, std::string> registered_;
-  std::mutex sync_mu_;  // Serializes SyncStreams/Heartbeat.
+  std::map<std::string, std::string> registered_ GUARDED_BY(sync_mu_);
+  Mutex sync_mu_{kRankMetaWorkerSync};  // Serializes SyncStreams/Heartbeat.
 
   std::atomic<bool> running_{false};
   std::thread heartbeat_thread_;
-  std::mutex hb_mu_;
-  std::condition_variable hb_cv_;
+  Mutex hb_mu_{kRankMetaWorkerHeartbeat};
+  CondVar hb_cv_;
 };
 
 }  // namespace railgun::meta

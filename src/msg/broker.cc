@@ -14,18 +14,18 @@ InProcessBus::InProcessBus(const BusOptions& options)
 
 std::shared_ptr<InProcessBus::Topic> InProcessBus::FindTopic(
     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(topics_mu_);
+  MutexLock lock(&topics_mu_);
   auto it = topics_.find(topic);
   return it == topics_.end() ? nullptr : it->second;
 }
 
 void InProcessBus::NotifyArrival() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     ++wake_epoch_;
   }
   poll_wakes_.fetch_add(1, std::memory_order_relaxed);
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 }
 
 Status InProcessBus::SetTopicRetention(const std::string& topic,
@@ -33,7 +33,7 @@ Status InProcessBus::SetTopicRetention(const std::string& topic,
   auto t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("no topic: " + topic);
   for (auto& log : t->partitions) {
-    std::lock_guard<std::mutex> lock(log->mu);
+    MutexLock lock(&log->mu);
     log->retention_override = retention_messages;
     TruncateLocked(log.get());
   }
@@ -47,7 +47,7 @@ uint64_t InProcessBus::BacklogHint() const {
   // not a transactional snapshot.
   std::map<TopicPartition, uint64_t> min_pos;
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     for (const auto& [id, consumer] : consumers_) {
       if (!consumer.alive) continue;
       for (const auto& [tp, pos] : consumer.positions) {
@@ -76,7 +76,7 @@ uint64_t InProcessBus::BacklogHint() const {
 
 Status InProcessBus::WakeConsumer(const std::string& consumer_id) {
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     auto it = consumers_.find(consumer_id);
     if (it == consumers_.end()) return Status::NotFound("no consumer");
     it->second.interrupted = true;
@@ -87,7 +87,7 @@ Status InProcessBus::WakeConsumer(const std::string& consumer_id) {
 
 void InProcessBus::Wake() {
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     for (auto& [id, consumer] : consumers_) consumer.interrupted = true;
   }
   NotifyArrival();
@@ -98,7 +98,7 @@ Status InProcessBus::CreateTopic(const std::string& topic, int partitions) {
     return Status::InvalidArgument("partitions must be positive");
   }
   {
-    std::lock_guard<std::mutex> lock(topics_mu_);
+    MutexLock lock(&topics_mu_);
     if (topics_.count(topic) > 0) {
       return Status::AlreadyExists("topic exists: " + topic);
     }
@@ -111,7 +111,7 @@ Status InProcessBus::CreateTopic(const std::string& topic, int partitions) {
 
   // New partitions affect every group subscribed to this topic.
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     for (auto& [name, group] : groups_) {
       for (const auto& member : group.members) {
         const auto& consumer = consumers_[member];
@@ -128,7 +128,7 @@ Status InProcessBus::CreateTopic(const std::string& topic, int partitions) {
 }
 
 Status InProcessBus::DeleteTopic(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(topics_mu_);
+  MutexLock lock(&topics_mu_);
   if (topics_.erase(topic) == 0) {
     return Status::NotFound("no topic: " + topic);
   }
@@ -196,7 +196,7 @@ StatusOr<uint64_t> InProcessBus::Produce(const std::string& topic,
   PartitionLog* log = t->partitions[static_cast<size_t>(partition)].get();
   uint64_t offset;
   {
-    std::lock_guard<std::mutex> lock(log->mu);
+    MutexLock lock(&log->mu);
     AppendLocked(log, topic, partition, key, std::move(payload),
                  clock_->NowMicros());
     offset = log->end_offset.load(std::memory_order_relaxed) - 1;
@@ -218,7 +218,7 @@ StatusOr<uint64_t> InProcessBus::ProduceToPartition(const std::string& topic,
   PartitionLog* log = t->partitions[static_cast<size_t>(partition)].get();
   uint64_t offset;
   {
-    std::lock_guard<std::mutex> lock(log->mu);
+    MutexLock lock(&log->mu);
     AppendLocked(log, topic, partition, std::move(key), std::move(payload),
                  clock_->NowMicros());
     offset = log->end_offset.load(std::memory_order_relaxed) - 1;
@@ -244,7 +244,7 @@ Status InProcessBus::ProduceBatch(const std::string& topic,
   for (size_t p = 0; p < buckets.size(); ++p) {
     if (buckets[p].empty()) continue;
     PartitionLog* log = t->partitions[p].get();
-    std::lock_guard<std::mutex> lock(log->mu);
+    MutexLock lock(&log->mu);
     for (size_t i : buckets[p]) {
       AppendLocked(log, topic, static_cast<int>(p),
                    std::move(records[i].key), std::move(records[i].payload),
@@ -262,7 +262,7 @@ Status InProcessBus::Subscribe(const std::string& consumer_id,
                                AssignmentStrategy* strategy,
                                RebalanceListener listener) {
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     ConsumerState& consumer = consumers_[consumer_id];
     consumer.group = group;
     consumer.topics = topics;
@@ -284,7 +284,7 @@ Status InProcessBus::Subscribe(const std::string& consumer_id,
 
 void InProcessBus::SetGroupStrategy(const std::string& group,
                                     AssignmentStrategy* strategy) {
-  std::lock_guard<std::mutex> lock(group_mu_);
+  MutexLock lock(&group_mu_);
   Group& g = groups_[group];
   g.strategy = strategy;
   g.pinned_strategy = true;
@@ -292,7 +292,7 @@ void InProcessBus::SetGroupStrategy(const std::string& group,
 
 Status InProcessBus::Unsubscribe(const std::string& consumer_id) {
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     auto it = consumers_.find(consumer_id);
     if (it == consumers_.end()) return Status::NotFound("no consumer");
     const std::string group = it->second.group;
@@ -363,7 +363,7 @@ void InProcessBus::RebalanceGroupLocked(const std::string& group_name) {
 }
 
 void InProcessBus::CheckLiveness() {
-  std::lock_guard<std::mutex> lock(group_mu_);
+  MutexLock lock(&group_mu_);
   CheckLivenessLocked();
 }
 
@@ -421,7 +421,7 @@ Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
   for (;;) {
     uint64_t epoch;
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(&wake_mu_);
       epoch = wake_epoch_;
     }
     bool delivered_callbacks = false;
@@ -451,10 +451,10 @@ Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
     // Only a real-time clock's deltas are meaningful as condition-
     // variable wait bounds; a simulated clock re-checks each slice.
     if (clock_->IsRealTime() && delta < slice) slice = delta;
-    std::unique_lock<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     if (wake_epoch_ == epoch) {
       poll_parks_.fetch_add(1, std::memory_order_relaxed);
-      wake_cv_.wait_for(lock, std::chrono::microseconds(slice));
+      wake_cv_.WaitFor(&wake_mu_, slice);
     }
   }
 }
@@ -471,7 +471,7 @@ Status InProcessBus::PollOnce(const std::string& consumer_id,
   RebalanceListener listener;
 
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     auto it = consumers_.find(consumer_id);
     if (it == consumers_.end()) return Status::NotFound("no consumer");
     ConsumerState& consumer = it->second;
@@ -527,7 +527,7 @@ Status InProcessBus::PollOnce(const std::string& consumer_id,
         PartitionLog* log =
             t->partitions[static_cast<size_t>(tp.partition)].get();
         uint64_t& pos = consumer.positions[tp];
-        std::lock_guard<std::mutex> log_lock(log->mu);
+        MutexLock log_lock(&log->mu);
         if (pos < log->base_offset) pos = log->base_offset;  // Truncated.
         while (pos < log->end_offset.load(std::memory_order_relaxed) &&
                out->size() < max_messages) {
@@ -567,7 +567,7 @@ Status InProcessBus::Fetch(const TopicPartition& tp, uint64_t offset,
   }
   PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
   const Micros now = clock_->NowMicros();
-  std::lock_guard<std::mutex> lock(log->mu);
+  MutexLock lock(&log->mu);
   uint64_t pos = std::max(offset, log->base_offset);
   const uint64_t end = log->end_offset.load(std::memory_order_relaxed);
   while (pos < end && out->size() < max_messages) {
@@ -581,7 +581,7 @@ Status InProcessBus::Fetch(const TopicPartition& tp, uint64_t offset,
 
 Status InProcessBus::Commit(const std::string& consumer_id,
                             const TopicPartition& tp, uint64_t next_offset) {
-  std::lock_guard<std::mutex> lock(group_mu_);
+  MutexLock lock(&group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return Status::NotFound("no consumer");
   it->second.positions[tp] = next_offset;
@@ -599,7 +599,7 @@ Status InProcessBus::Seek(const std::string& consumer_id,
   if (t != nullptr && tp.partition >= 0 &&
       static_cast<size_t>(tp.partition) < t->partitions.size()) {
     PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
-    std::lock_guard<std::mutex> lock(log->mu);
+    MutexLock lock(&log->mu);
     offset = std::max(offset, log->base_offset);
   }
   return Commit(consumer_id, tp, offset);
@@ -624,13 +624,13 @@ StatusOr<uint64_t> InProcessBus::BaseOffset(const TopicPartition& tp) const {
     return Status::InvalidArgument("bad partition");
   }
   PartitionLog* log = t->partitions[static_cast<size_t>(tp.partition)].get();
-  std::lock_guard<std::mutex> lock(log->mu);
+  MutexLock lock(&log->mu);
   return log->base_offset;
 }
 
 Status InProcessBus::KillConsumer(const std::string& consumer_id) {
   {
-    std::lock_guard<std::mutex> lock(group_mu_);
+    MutexLock lock(&group_mu_);
     auto it = consumers_.find(consumer_id);
     if (it == consumers_.end()) return Status::NotFound("no consumer");
     it->second.alive = false;
@@ -649,7 +649,7 @@ Status InProcessBus::KillConsumer(const std::string& consumer_id) {
 
 StatusOr<uint64_t> InProcessBus::PositionOf(const std::string& consumer_id,
                                             const TopicPartition& tp) const {
-  std::lock_guard<std::mutex> lock(group_mu_);
+  MutexLock lock(&group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return Status::NotFound("no consumer");
   auto pos = it->second.positions.find(tp);
@@ -661,7 +661,7 @@ StatusOr<uint64_t> InProcessBus::PositionOf(const std::string& consumer_id,
 
 std::vector<TopicPartition> InProcessBus::AssignmentOf(
     const std::string& consumer_id) {
-  std::lock_guard<std::mutex> lock(group_mu_);
+  MutexLock lock(&group_mu_);
   auto it = consumers_.find(consumer_id);
   if (it == consumers_.end()) return {};
   const Group& group = groups_[it->second.group];

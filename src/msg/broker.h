@@ -20,17 +20,16 @@
 #define RAILGUN_MSG_BROKER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "msg/bus.h"
 #include "msg/message.h"
@@ -186,17 +185,18 @@ class InProcessBus : public Bus {
 
  private:
   struct PartitionLog {
-    mutable std::mutex mu;
-    std::deque<Message> messages;   // messages.front() is at base_offset.
-    uint64_t base_offset = 0;
+    mutable Mutex mu{kRankMsgPartition};
+    // messages.front() is at base_offset.
+    std::deque<Message> messages GUARDED_BY(mu);
+    uint64_t base_offset GUARDED_BY(mu) = 0;
     std::atomic<uint64_t> end_offset{0};  // Next offset to assign.
     // Minimum committed position across the consumers tracking this
     // partition; retention never truncates past it. UINT64_MAX when no
     // consumer tracks the partition (retention cap applies alone).
     std::atomic<uint64_t> committed_floor{UINT64_MAX};
-    // Per-topic retention override (guarded by mu); 0 = use the
-    // broker-wide BusOptions::retention_messages.
-    uint64_t retention_override = 0;
+    // Per-topic retention override; 0 = use the broker-wide
+    // BusOptions::retention_messages.
+    uint64_t retention_override GUARDED_BY(mu) = 0;
   };
   struct Topic {
     // unique_ptr elements keep per-partition mutexes address-stable.
@@ -229,12 +229,15 @@ class InProcessBus : public Bus {
   std::shared_ptr<Topic> FindTopic(const std::string& topic) const;
   void AppendLocked(PartitionLog* log, const std::string& topic,
                     int partition, std::string key, std::string payload,
-                    Micros now);
-  void TruncateLocked(PartitionLog* log);
-  void RebalanceGroupLocked(const std::string& group_name);
-  void CheckLivenessLocked();
-  void RecomputeCommittedFloorLocked(const TopicPartition& tp);
-  std::vector<TopicPartition> GroupPartitionsLocked(const Group& group) const;
+                    Micros now) REQUIRES(log->mu);
+  void TruncateLocked(PartitionLog* log) REQUIRES(log->mu);
+  void RebalanceGroupLocked(const std::string& group_name)
+      REQUIRES(group_mu_);
+  void CheckLivenessLocked() REQUIRES(group_mu_);
+  void RecomputeCommittedFloorLocked(const TopicPartition& tp)
+      REQUIRES(group_mu_);
+  std::vector<TopicPartition> GroupPartitionsLocked(const Group& group) const
+      REQUIRES(group_mu_);
   // One non-blocking poll attempt. On an empty result, *earliest_visible
   // is the soonest visible_time among the consumer's pending messages
   // (or 0 when it has none buffered). Consumes a pending WakeConsumer
@@ -251,20 +254,20 @@ class InProcessBus : public Bus {
   // Guards the topics_ map structure only; per-partition data is behind
   // each PartitionLog's own mutex. shared_ptr keeps a topic alive for
   // producers that looked it up concurrently with DeleteTopic.
-  mutable std::mutex topics_mu_;
-  std::map<std::string, std::shared_ptr<Topic>> topics_;
+  mutable Mutex topics_mu_{kRankMsgTopics};
+  std::map<std::string, std::shared_ptr<Topic>> topics_ GUARDED_BY(topics_mu_);
 
   // Group-coordination lock: consumers, groups, assignments, positions.
-  mutable std::mutex group_mu_;
-  std::map<std::string, ConsumerState> consumers_;
-  std::map<std::string, Group> groups_;
+  mutable Mutex group_mu_{kRankMsgGroup};
+  std::map<std::string, ConsumerState> consumers_ GUARDED_BY(group_mu_);
+  std::map<std::string, Group> groups_ GUARDED_BY(group_mu_);
 
   // Wake-on-arrival channel for blocking Poll: parked consumers re-scan
   // whenever the epoch advances (new message, rebalance, or a
   // WakeConsumer interrupt flagged in their ConsumerState).
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  uint64_t wake_epoch_ = 0;  // Guarded by wake_mu_.
+  Mutex wake_mu_{kRankMsgWake};
+  CondVar wake_cv_;
+  uint64_t wake_epoch_ GUARDED_BY(wake_mu_) = 0;
 
   std::atomic<uint64_t> rebalance_count_{0};
   std::atomic<uint64_t> poll_parks_{0};

@@ -22,7 +22,7 @@ BufferPool::BufferPool(size_t max_idle) : state_(std::make_shared<State>()) {
 BufferRef BufferPool::Acquire(size_t bytes) {
   std::unique_ptr<PooledBuffer> buffer;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(&state_->mu);
     if (!state_->free_list.empty()) {
       buffer = std::move(state_->free_list.back());
       state_->free_list.pop_back();
@@ -43,7 +43,7 @@ BufferRef BufferPool::Acquire(size_t bytes) {
   return BufferRef(buffer.release(), [weak_state](PooledBuffer* released) {
     std::unique_ptr<PooledBuffer> owned(released);
     if (auto state = weak_state.lock()) {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       if (state->free_list.size() < state->max_idle) {
         state->free_list.push_back(std::move(owned));
       }
@@ -52,7 +52,7 @@ BufferRef BufferPool::Acquire(size_t bytes) {
 }
 
 size_t BufferPool::idle() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return state_->free_list.size();
 }
 

@@ -17,10 +17,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 
 namespace railgun::msg {
@@ -70,9 +70,9 @@ class BufferPool {
   // Shared with the handed-out deleters so outstanding refs stay safe
   // even if the pool itself is destroyed first.
   struct State {
-    std::mutex mu;
+    Mutex mu{kRankMsgBufferPool};
     size_t max_idle;
-    std::vector<std::unique_ptr<PooledBuffer>> free_list;
+    std::vector<std::unique_ptr<PooledBuffer>> free_list GUARDED_BY(mu);
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> bytes{0};

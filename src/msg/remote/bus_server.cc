@@ -24,7 +24,7 @@ void BusServer::Stop() {
   if (!running_.exchange(false)) return;
   listener_.Close();  // Unblocks the parked accept.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [id, sock] : conns_) sock->ShutdownBoth();
   }
   // Unpark server-side blocking Polls so their connection threads notice
@@ -32,8 +32,8 @@ void BusServer::Stop() {
   // local consumers of the same bus just re-scan once.
   bus_->Wake();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::unique_lock<std::mutex> lock(mu_);
-  conns_drained_.wait(lock, [this] { return live_connections_ == 0; });
+  MutexLock lock(&mu_);
+  conns_drained_.Wait(&mu_, [this] { return live_connections_ == 0; });
 }
 
 void BusServer::AcceptLoop() {
@@ -44,7 +44,7 @@ void BusServer::AcceptLoop() {
       continue;  // Transient accept failure; keep serving.
     }
     auto sock = std::make_shared<Socket>(std::move(accepted).value());
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     const uint64_t conn_id = next_conn_id_++;
     conns_[conn_id] = sock;
@@ -76,15 +76,15 @@ void BusServer::ServeConnection(uint64_t conn_id,
     if (!sock->SendAll(encoded.data(), encoded.size()).ok()) break;
   }
   sock->Close();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   conns_.erase(conn_id);
   --live_connections_;
-  conns_drained_.notify_all();
+  conns_drained_.NotifyAll();
 }
 
 std::shared_ptr<BusServer::RebalanceBuffer> BusServer::BufferFor(
     const std::string& consumer_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& buffer = rebalances_[consumer_id];
   if (buffer == nullptr) buffer = std::make_shared<RebalanceBuffer>();
   return buffer;
@@ -208,13 +208,13 @@ Frame BusServer::HandleRequest(const FrameView& request) {
         RebalanceListener listener;
         listener.on_revoked =
             [buffer](const std::vector<TopicPartition>& revoked) {
-              std::lock_guard<std::mutex> lock(buffer->mu);
+              MutexLock lock(&buffer->mu);
               buffer->revoked.insert(buffer->revoked.end(), revoked.begin(),
                                      revoked.end());
             };
         listener.on_assigned =
             [buffer](const std::vector<TopicPartition>& assigned) {
-              std::lock_guard<std::mutex> lock(buffer->mu);
+              MutexLock lock(&buffer->mu);
               buffer->assigned.insert(buffer->assigned.end(),
                                       assigned.begin(), assigned.end());
             };
@@ -228,7 +228,7 @@ Frame BusServer::HandleRequest(const FrameView& request) {
       Slice consumer;
       if ((parsed = GetLengthPrefixedSlice(&in, &consumer))) {
         status = bus_->Unsubscribe(consumer.ToString());
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         rebalances_.erase(consumer.ToString());
       }
       break;
@@ -248,7 +248,7 @@ Frame BusServer::HandleRequest(const FrameView& request) {
           std::vector<TopicPartition> revoked, assigned;
           auto buffer = BufferFor(consumer.ToString());
           {
-            std::lock_guard<std::mutex> lock(buffer->mu);
+            MutexLock lock(&buffer->mu);
             revoked.swap(buffer->revoked);
             assigned.swap(buffer->assigned);
           }
@@ -355,7 +355,7 @@ Frame BusServer::HandleRequest(const FrameView& request) {
           std::vector<TopicPartition> revoked, assigned;
           auto buffer = BufferFor(consumer.ToString());
           {
-            std::lock_guard<std::mutex> lock(buffer->mu);
+            MutexLock lock(&buffer->mu);
             revoked.swap(buffer->revoked);
             assigned.swap(buffer->assigned);
           }

@@ -18,15 +18,14 @@
 #define RAILGUN_MSG_REMOTE_BUS_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "msg/bus.h"
 #include "msg/remote/socket.h"
 #include "msg/remote/wire.h"
@@ -74,7 +73,7 @@ class BusServer {
 
   // Connections currently being served (introspection).
   size_t live_connections() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return live_connections_;
   }
 
@@ -103,9 +102,9 @@ class BusServer {
   // Revoke/assign lists buffered by the server-side listener until the
   // consumer's next Poll response carries them to the client.
   struct RebalanceBuffer {
-    std::mutex mu;
-    std::vector<TopicPartition> revoked;
-    std::vector<TopicPartition> assigned;
+    Mutex mu{kRankMsgServerRebalance};
+    std::vector<TopicPartition> revoked GUARDED_BY(mu);
+    std::vector<TopicPartition> assigned GUARDED_BY(mu);
   };
 
   void AcceptLoop();
@@ -128,12 +127,13 @@ class BusServer {
   ListenSocket listener_;
   std::thread accept_thread_;
 
-  mutable std::mutex mu_;  // Guards conns_, live_connections_, rebalances_.
-  uint64_t next_conn_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<Socket>> conns_;
-  size_t live_connections_ = 0;
-  std::condition_variable conns_drained_;  // Stop waits for count == 0.
-  std::map<std::string, std::shared_ptr<RebalanceBuffer>> rebalances_;
+  mutable Mutex mu_{kRankMsgServer};
+  uint64_t next_conn_id_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, std::shared_ptr<Socket>> conns_ GUARDED_BY(mu_);
+  size_t live_connections_ GUARDED_BY(mu_) = 0;
+  CondVar conns_drained_;  // Stop waits for count == 0.
+  std::map<std::string, std::shared_ptr<RebalanceBuffer>> rebalances_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace railgun::msg::remote

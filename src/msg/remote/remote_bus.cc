@@ -15,9 +15,9 @@ RemoteBus::RemoteBus(const RemoteBusOptions& options)
 }
 
 RemoteBus::~RemoteBus() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, conn] : conns_) {
-    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    MutexLock conn_lock(&conn->mu);
     conn->sock.Close();
   }
 }
@@ -25,7 +25,7 @@ RemoteBus::~RemoteBus() {
 Status RemoteBus::Connect() {
   RAILGUN_RETURN_IF_ERROR(address_status_);
   auto conn = ConnFor("");
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(&conn->mu);
   // An explicit Connect is user-initiated: skip any backoff window.
   conn->backoff.Clear();
   return EnsureConnectedLocked(conn.get());
@@ -33,7 +33,7 @@ Status RemoteBus::Connect() {
 
 std::shared_ptr<RemoteBus::Conn> RemoteBus::ConnFor(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& conn = conns_[key];
   if (conn == nullptr) conn = std::make_shared<Conn>(options_);
   return conn;
@@ -83,7 +83,7 @@ Status RemoteBus::CallView(const std::shared_ptr<Conn>& conn, OpCode opcode,
                            const std::string& payload, BufferRef* buffer,
                            Slice* result) const {
   RAILGUN_RETURN_IF_ERROR(address_status_);
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(&conn->mu);
   RAILGUN_RETURN_IF_ERROR(EnsureConnectedLocked(conn.get()));
 
   Frame request;
@@ -249,12 +249,12 @@ Status RemoteBus::Subscribe(const std::string& consumer_id,
   {
     // Installed before the RPC: the first poll may already carry the
     // initial assignment.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     listeners_[consumer_id] = std::move(listener);
   }
   const Status subscribed = CallControl(OpCode::kSubscribe, payload, nullptr);
   if (!subscribed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     listeners_.erase(consumer_id);
   }
   return subscribed;
@@ -264,7 +264,7 @@ Status RemoteBus::Unsubscribe(const std::string& consumer_id) {
   std::string payload;
   PutLengthPrefixedSlice(&payload, consumer_id);
   const Status status = CallControl(OpCode::kUnsubscribe, payload, nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   listeners_.erase(consumer_id);
   conns_.erase(consumer_id);  // Drop the dedicated poll connection.
   return status;
@@ -293,7 +293,7 @@ void RemoteBus::DeliverRebalance(const std::string& consumer_id,
   if (revoked.empty() && assigned.empty()) return;
   RebalanceListener listener;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = listeners_.find(consumer_id);
     if (it != listeners_.end()) listener = it->second;
   }
@@ -427,7 +427,8 @@ Status RemoteBus::KillConsumer(const std::string& consumer_id) {
 }
 
 void RemoteBus::CheckLiveness() {
-  CallControl(OpCode::kCheckLiveness, "", nullptr);
+  // Probe only: failure surfaces through the next real call's status.
+  (void)CallControl(OpCode::kCheckLiveness, "", nullptr);
 }
 
 Status RemoteBus::WakeConsumer(const std::string& consumer_id) {
@@ -436,7 +437,7 @@ Status RemoteBus::WakeConsumer(const std::string& consumer_id) {
   return CallControl(OpCode::kWakeConsumer, payload, nullptr);
 }
 
-void RemoteBus::Wake() { CallControl(OpCode::kWake, "", nullptr); }
+void RemoteBus::Wake() { (void)CallControl(OpCode::kWake, "", nullptr); }
 
 std::vector<TopicPartition> RemoteBus::AssignmentOf(
     const std::string& consumer_id) {

@@ -29,11 +29,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "msg/bus.h"
 #include "msg/remote/backoff.h"
 #include "msg/remote/socket.h"
@@ -154,19 +154,18 @@ class RemoteBus : public Bus {
         : backoff(options.reconnect_backoff_min,
                   options.reconnect_backoff_max) {}
 
-    std::mutex mu;
-    Socket sock;
-    uint64_t next_correlation = 1;
-    bool connected = false;
-    ReconnectBackoff backoff;  // Guarded by mu.
+    Mutex mu{kRankMsgRemoteConn};
+    Socket sock GUARDED_BY(mu);
+    uint64_t next_correlation GUARDED_BY(mu) = 1;
+    bool connected GUARDED_BY(mu) = false;
+    ReconnectBackoff backoff GUARDED_BY(mu);
   };
 
   // Returns the connection for `key` ("" = control, else per-consumer),
   // creating and connecting it if needed.
   std::shared_ptr<Conn> ConnFor(const std::string& key) const;
   // Dials conn->sock if disconnected, honoring the backoff window.
-  // Requires conn->mu held.
-  Status EnsureConnectedLocked(Conn* conn) const;
+  Status EnsureConnectedLocked(Conn* conn) const REQUIRES(conn->mu);
   // One RPC: send the request on `conn`, await its response, split off
   // the remote status; *result receives the RPC-specific fields (only
   // populated when the remote status is OK).
@@ -199,9 +198,9 @@ class RemoteBus : public Bus {
   std::atomic<bool> server_columnar_{true};
   std::atomic<uint64_t> columnar_batches_{0};
 
-  mutable std::mutex mu_;  // Guards conns_ and listeners_.
-  mutable std::map<std::string, std::shared_ptr<Conn>> conns_;
-  std::map<std::string, RebalanceListener> listeners_;
+  mutable Mutex mu_{kRankMsgRemoteBus};
+  mutable std::map<std::string, std::shared_ptr<Conn>> conns_ GUARDED_BY(mu_);
+  std::map<std::string, RebalanceListener> listeners_ GUARDED_BY(mu_);
 };
 
 }  // namespace railgun::msg::remote

@@ -3,7 +3,7 @@
 namespace railgun::reservoir {
 
 void ChunkCache::Insert(const std::shared_ptr<Chunk>& chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const ChunkSeq seq = chunk->seq();
   auto it = map_.find(seq);
   if (it != map_.end()) {
@@ -25,7 +25,7 @@ void ChunkCache::Insert(const std::shared_ptr<Chunk>& chunk) {
 }
 
 std::shared_ptr<Chunk> ChunkCache::Get(ChunkSeq seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(seq);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -39,22 +39,22 @@ std::shared_ptr<Chunk> ChunkCache::Get(ChunkSeq seq) {
 }
 
 bool ChunkCache::Contains(ChunkSeq seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.count(seq) > 0;
 }
 
 size_t ChunkCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 
 ChunkCache::Stats ChunkCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void ChunkCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = Stats();
 }
 

@@ -8,9 +8,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "reservoir/chunk.h"
 
 namespace railgun::reservoir {
@@ -40,16 +40,16 @@ class ChunkCache {
   void ResetStats();
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{kRankStorageChunkCache};
   size_t capacity_;
   // MRU at front.
-  std::list<ChunkSeq> lru_;
+  std::list<ChunkSeq> lru_ GUARDED_BY(mu_);
   struct Entry {
     std::shared_ptr<Chunk> chunk;
     std::list<ChunkSeq>::iterator lru_pos;
   };
-  std::unordered_map<ChunkSeq, Entry> map_;
-  Stats stats_;
+  std::unordered_map<ChunkSeq, Entry> map_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace railgun::reservoir

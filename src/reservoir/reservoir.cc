@@ -16,19 +16,22 @@ Reservoir::Reservoir(const ReservoirOptions& options, std::string dir)
 
 Reservoir::~Reservoir() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  writer_cv_.notify_all();
-  prefetch_cv_.notify_all();
+  writer_cv_.NotifyAll();
+  prefetch_cv_.NotifyAll();
   if (writer_thread_.joinable()) writer_thread_.join();
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
-  // Drain anything the writer thread left behind.
+  // Drain anything the writer thread left behind. Both worker threads
+  // are joined, but the queue is guarded state: hold the lock so the
+  // access discipline stays machine-checkable.
+  MutexLock lock(&mu_);
   while (!write_queue_.empty()) {
-    WriteChunk(write_queue_.front());
+    (void)WriteChunk(write_queue_.front());  // Destructor: best effort.
     write_queue_.pop_front();
   }
-  if (writer_ != nullptr) writer_->Sync();
+  if (writer_ != nullptr) (void)writer_->Sync();
 }
 
 Status Reservoir::Open() {
@@ -85,7 +88,7 @@ Status Reservoir::Append(const Event& event, bool* accepted) {
   bool local_accepted = false;
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = AppendLocked(event, &local_accepted);
   }
   if (accepted != nullptr) *accepted = local_accepted;
@@ -96,7 +99,7 @@ Status Reservoir::Append(const Event& event, bool* accepted) {
     while (true) {
       std::shared_ptr<Chunk> chunk;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (write_queue_.empty()) break;
         chunk = write_queue_.front();
         write_queue_.pop_front();
@@ -215,7 +218,7 @@ void Reservoir::FinalizeChunkLocked(InMemoryChunk in_mem) {
   cache_.Insert(in_mem.chunk);
   in_flight_[in_mem.chunk->seq()] = in_mem.chunk;
   write_queue_.push_back(in_mem.chunk);
-  if (options_.async_io) writer_cv_.notify_one();
+  if (options_.async_io) writer_cv_.NotifyOne();
   // In synchronous mode Append drains the queue after releasing mu_.
 }
 
@@ -229,7 +232,7 @@ Status Reservoir::WriteChunk(const std::shared_ptr<Chunk>& chunk) {
   ChunkLocation location;
   RAILGUN_RETURN_IF_ERROR(writer_->Append(*chunk, payload, &location));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   index_.push_back(location);
   in_flight_.erase(chunk->seq());
   last_persisted_offset_ =
@@ -242,8 +245,8 @@ void Reservoir::WriterLoop() {
   while (true) {
     std::shared_ptr<Chunk> chunk;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      writer_cv_.wait(lock,
+      MutexLock lock(&mu_);
+      writer_cv_.Wait(&mu_,
                       [this] { return shutdown_ || !write_queue_.empty(); });
       if (write_queue_.empty()) {
         if (shutdown_) return;
@@ -253,7 +256,7 @@ void Reservoir::WriterLoop() {
       write_queue_.pop_front();
     }
     RAILGUN_CHECK_OK(WriteChunk(chunk));
-    writer_done_cv_.notify_all();
+    writer_done_cv_.NotifyAll();
   }
 }
 
@@ -261,9 +264,9 @@ void Reservoir::PrefetchLoop() {
   while (true) {
     ChunkSeq seq;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      prefetch_cv_.wait(
-          lock, [this] { return shutdown_ || !prefetch_queue_.empty(); });
+      MutexLock lock(&mu_);
+      prefetch_cv_.Wait(
+          &mu_, [this] { return shutdown_ || !prefetch_queue_.empty(); });
       if (shutdown_) return;
       seq = prefetch_queue_.front();
       prefetch_queue_.pop_front();
@@ -278,19 +281,19 @@ void Reservoir::SchedulePrefetch(ChunkSeq seq) {
   if (!options_.enable_prefetch) return;
   if (cache_.Contains(seq)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (seq >= next_chunk_seq_) return;
     ++stats_.prefetches_issued;
     if (!options_.async_io) return;  // Counted but not loaded.
     prefetch_queue_.push_back(seq);
   }
-  prefetch_cv_.notify_one();
+  prefetch_cv_.NotifyOne();
 }
 
 StatusOr<std::shared_ptr<Chunk>> Reservoir::GetChunk(ChunkSeq seq,
                                                      bool prefetch_next) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (open_.chunk != nullptr && open_.chunk->seq() == seq) {
       return open_.chunk;
     }
@@ -310,7 +313,7 @@ StatusOr<std::shared_ptr<Chunk>> Reservoir::GetChunk(ChunkSeq seq,
   auto chunk_or = LoadChunkFromDisk(seq);
   if (chunk_or.ok()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.sync_chunk_loads;
     }
     cache_.Insert(chunk_or.value());
@@ -322,7 +325,7 @@ StatusOr<std::shared_ptr<Chunk>> Reservoir::GetChunk(ChunkSeq seq,
 StatusOr<std::shared_ptr<Chunk>> Reservoir::LoadChunkFromDisk(ChunkSeq seq) {
   ChunkLocation location;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = std::lower_bound(index_.begin(), index_.end(), seq,
                                [](const ChunkLocation& loc, ChunkSeq s) {
                                  return loc.seq < s;
@@ -366,7 +369,7 @@ std::unique_ptr<ReservoirIterator> Reservoir::NewIterator() {
       std::unique_ptr<ReservoirIterator>(new ReservoirIterator(this));
   ChunkSeq oldest;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     oldest = OldestSeqLocked();
     ++live_iterators_;
   }
@@ -379,7 +382,7 @@ std::unique_ptr<ReservoirIterator> Reservoir::NewIteratorAt(Micros ts) {
       std::unique_ptr<ReservoirIterator>(new ReservoirIterator(this));
   ChunkSeq target;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++live_iterators_;
     // First persisted chunk with max_ts >= ts.
     auto it = std::lower_bound(index_.begin(), index_.end(), ts,
@@ -407,7 +410,7 @@ std::unique_ptr<ReservoirIterator> Reservoir::NewIteratorAtPosition(
   auto iter =
       std::unique_ptr<ReservoirIterator>(new ReservoirIterator(this));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++live_iterators_;
   }
   iter->PositionAt(seq, index);
@@ -415,19 +418,19 @@ std::unique_ptr<ReservoirIterator> Reservoir::NewIteratorAtPosition(
 }
 
 uint64_t Reservoir::LastPersistedOffset() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_persisted_offset_;
 }
 
 size_t Reservoir::NumPersistedChunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return index_.size();
 }
 
 Status Reservoir::Sync() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    writer_done_cv_.wait(lock, [this] {
+    MutexLock lock(&mu_);
+    writer_done_cv_.Wait(&mu_, [this] {
       return write_queue_.empty() && in_flight_.empty();
     });
   }
@@ -465,7 +468,7 @@ Status Reservoir::CopyMissingTo(const std::string& target_dir) {
 }
 
 Status Reservoir::TruncateBefore(Micros ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Group persisted chunks by file; a file is droppable when every chunk
   // in it is older than ts and it is not the file still being written.
   std::map<uint64_t, Micros> file_max_ts;
@@ -495,17 +498,17 @@ Status Reservoir::TruncateBefore(Micros ts) {
 }
 
 ReservoirStats Reservoir::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t Reservoir::num_live_iterators() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return live_iterators_;
 }
 
 Micros Reservoir::MaxTimestamp() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Micros result = last_closed_max_ts_;
   if (!open_.chunk->empty()) {
     result = std::max(result, open_.chunk->max_timestamp());
@@ -514,7 +517,7 @@ Micros Reservoir::MaxTimestamp() const {
 }
 
 uint64_t Reservoir::NumBufferedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t n = open_.chunk->num_events();
   for (const auto& t : transition_) n += t.chunk->num_events();
   for (const auto& [seq, chunk] : in_flight_) n += chunk->num_events();
@@ -528,7 +531,7 @@ ReservoirIterator::ReservoirIterator(Reservoir* reservoir)
     : reservoir_(reservoir) {}
 
 ReservoirIterator::~ReservoirIterator() {
-  std::lock_guard<std::mutex> lock(reservoir_->mu_);
+  MutexLock lock(&reservoir_->mu_);
   --reservoir_->live_iterators_;
 }
 

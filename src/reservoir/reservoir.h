@@ -8,11 +8,9 @@
 #ifndef RAILGUN_RESERVOIR_RESERVOIR_H_
 #define RAILGUN_RESERVOIR_RESERVOIR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -20,6 +18,7 @@
 
 #include "common/clock.h"
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "reservoir/chunk.h"
 #include "reservoir/chunk_cache.h"
@@ -169,10 +168,10 @@ class Reservoir {
     std::unordered_set<uint64_t> ids;  // Dedup probe set.
   };
 
-  Status AppendLocked(const Event& event, bool* accepted);
-  void CloseOpenChunkLocked();
-  void MaybeCloseTransitionsLocked(Micros newest_ts);
-  void FinalizeChunkLocked(InMemoryChunk in_mem);
+  Status AppendLocked(const Event& event, bool* accepted) REQUIRES(mu_);
+  void CloseOpenChunkLocked() REQUIRES(mu_);
+  void MaybeCloseTransitionsLocked(Micros newest_ts) REQUIRES(mu_);
+  void FinalizeChunkLocked(InMemoryChunk in_mem) REQUIRES(mu_);
   Status WriteChunk(const std::shared_ptr<Chunk>& chunk);
   void WriterLoop();
   void PrefetchLoop();
@@ -183,7 +182,7 @@ class Reservoir {
                                             bool prefetch_next);
   StatusOr<std::shared_ptr<Chunk>> LoadChunkFromDisk(ChunkSeq seq);
   // Oldest chunk seq that still exists (after truncation).
-  ChunkSeq OldestSeqLocked() const;
+  ChunkSeq OldestSeqLocked() const REQUIRES(mu_);
 
   ReservoirOptions options_;
   std::string dir_;
@@ -194,26 +193,28 @@ class Reservoir {
   std::unique_ptr<SegmentReader> reader_;
   ChunkCache cache_;
 
-  mutable std::mutex mu_;
-  InMemoryChunk open_;
-  std::deque<InMemoryChunk> transition_;
+  mutable Mutex mu_{kRankStorageReservoir};
+  InMemoryChunk open_ GUARDED_BY(mu_);
+  std::deque<InMemoryChunk> transition_ GUARDED_BY(mu_);
   // Closed but not yet persisted, by seq.
-  std::deque<std::shared_ptr<Chunk>> write_queue_;
-  std::unordered_map<ChunkSeq, std::shared_ptr<Chunk>> in_flight_;
-  std::vector<ChunkLocation> index_;  // Persisted chunks, seq-ascending.
-  ChunkSeq next_chunk_seq_ = 1;
-  Micros last_closed_max_ts_ = -1;
-  uint64_t last_persisted_offset_ = 0;
-  ReservoirStats stats_;
-  size_t live_iterators_ = 0;
+  std::deque<std::shared_ptr<Chunk>> write_queue_ GUARDED_BY(mu_);
+  std::unordered_map<ChunkSeq, std::shared_ptr<Chunk>> in_flight_
+      GUARDED_BY(mu_);
+  // Persisted chunks, seq-ascending.
+  std::vector<ChunkLocation> index_ GUARDED_BY(mu_);
+  ChunkSeq next_chunk_seq_ GUARDED_BY(mu_) = 1;
+  Micros last_closed_max_ts_ GUARDED_BY(mu_) = -1;
+  uint64_t last_persisted_offset_ GUARDED_BY(mu_) = 0;
+  ReservoirStats stats_ GUARDED_BY(mu_);
+  size_t live_iterators_ GUARDED_BY(mu_) = 0;
 
-  std::condition_variable writer_cv_;
-  std::condition_variable writer_done_cv_;
+  CondVar writer_cv_;
+  CondVar writer_done_cv_;
   std::thread writer_thread_;
-  std::deque<ChunkSeq> prefetch_queue_;
-  std::condition_variable prefetch_cv_;
+  std::deque<ChunkSeq> prefetch_queue_ GUARDED_BY(mu_);
+  CondVar prefetch_cv_;
   std::thread prefetch_thread_;
-  bool shutdown_ = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace railgun::reservoir

@@ -11,11 +11,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/dbformat.h"
@@ -106,9 +106,9 @@ class DB {
 
   Status Recover();
   Status ReplayLog(uint64_t log_number);
-  Status WriteLocked(WriteBatch* batch);
+  Status WriteLocked(WriteBatch* batch) REQUIRES(mu_);
   Status MaybeScheduleFlush();
-  Status FlushLocked();
+  Status FlushLocked() REQUIRES(mu_);
   Status FlushMemTable(uint32_t cf_id, MemTable* mem);
   Status MaybeCompact(uint32_t cf_id);
   Status CompactRange(uint32_t cf_id, int level,
@@ -123,13 +123,13 @@ class DB {
   std::string dbname_;
   Env* env_;
 
-  std::mutex mu_;
-  std::map<uint32_t, std::unique_ptr<MemTable>> mems_;
-  std::unique_ptr<VersionSet> versions_;
-  std::unique_ptr<WritableFile> log_file_;
-  std::unique_ptr<log::Writer> log_;
-  uint64_t log_number_ = 0;
-  std::map<uint64_t, std::unique_ptr<Table>> table_cache_;
+  Mutex mu_{kRankStorageDb};
+  std::map<uint32_t, std::unique_ptr<MemTable>> mems_ GUARDED_BY(mu_);
+  std::unique_ptr<VersionSet> versions_ GUARDED_BY(mu_);
+  std::unique_ptr<WritableFile> log_file_ GUARDED_BY(mu_);
+  std::unique_ptr<log::Writer> log_ GUARDED_BY(mu_);
+  uint64_t log_number_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, std::unique_ptr<Table>> table_cache_ GUARDED_BY(mu_);
   friend class DBIterImpl;
 };
 

@@ -6,9 +6,9 @@
 #include <memory>
 #include <string>
 
+#include "common/arena.h"
 #include "common/slice.h"
 #include "common/status.h"
-#include "storage/arena.h"
 #include "storage/dbformat.h"
 #include "storage/skiplist.h"
 

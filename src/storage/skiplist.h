@@ -8,8 +8,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "common/arena.h"
 #include "common/random.h"
-#include "storage/arena.h"
 
 namespace railgun::storage {
 

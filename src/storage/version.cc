@@ -101,7 +101,8 @@ Status VersionSet::LogAndApply() {
     snprintf(keep, sizeof(keep), "MANIFEST-%06" PRIu64, manifest_number);
     for (const auto& child : children) {
       if (child.rfind("MANIFEST-", 0) == 0 && child != keep) {
-        env_->RemoveFile(dbname_ + "/" + child);
+        // Best effort: stale manifests are harmless until the next GC.
+        (void)env_->RemoveFile(dbname_ + "/" + child);
       }
     }
   }

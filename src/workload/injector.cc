@@ -1,7 +1,8 @@
 #include "workload/injector.h"
 
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace railgun::workload {
 
@@ -12,9 +13,9 @@ Status OpenLoopInjector::Run(FraudStreamGenerator* generator,
       static_cast<Micros>(1e6 / options_.events_per_second);
 
   struct Shared {
-    std::mutex mu;
-    LatencyHistogram hist;
-    uint64_t completed = 0;
+    Mutex mu{kRankWorkloadInjector};
+    LatencyHistogram hist GUARDED_BY(mu);
+    uint64_t completed GUARDED_BY(mu) = 0;
   };
   auto shared = std::make_shared<Shared>();
 
@@ -31,7 +32,7 @@ Status OpenLoopInjector::Run(FraudStreamGenerator* generator,
     Clock* clock = clock_;
     auto done = [shared, scheduled, measured, clock]() {
       const Micros latency = clock->NowMicros() - scheduled;
-      std::lock_guard<std::mutex> lock(shared->mu);
+      MutexLock lock(&shared->mu);
       if (measured) shared->hist.Record(latency);
       ++shared->completed;
     };
@@ -44,14 +45,14 @@ Status OpenLoopInjector::Run(FraudStreamGenerator* generator,
       clock_->NowMicros() + options_.completion_timeout;
   while (clock_->NowMicros() < drain_deadline) {
     {
-      std::lock_guard<std::mutex> lock(shared->mu);
+      MutexLock lock(&shared->mu);
       if (shared->completed >= submitted) break;
     }
     clock_->SleepMicros(5000);
   }
 
   const Micros elapsed = clock_->NowMicros() - start;
-  std::lock_guard<std::mutex> lock(shared->mu);
+  MutexLock lock(&shared->mu);
   report->latencies = shared->hist;
   report->submitted = submitted;
   report->completed = shared->completed;

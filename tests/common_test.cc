@@ -318,7 +318,7 @@ TEST(EnvTest, FileRoundTripAndListing) {
 TEST(EnvTest, AppendableFilePreservesContent) {
   Env* env = Env::Default();
   const std::string path = "/tmp/railgun_env_append_test";
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
   {
     std::unique_ptr<WritableFile> f;
     ASSERT_TRUE(env->NewWritableFile(path, &f).ok());
@@ -335,7 +335,7 @@ TEST(EnvTest, AppendableFilePreservesContent) {
   std::string content;
   ASSERT_TRUE(ReadFileToString(env, path, &content).ok());
   EXPECT_EQ(content, "part1part2");
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
 }
 
 TEST(EnvTest, RandomAccessReads) {
@@ -351,7 +351,7 @@ TEST(EnvTest, RandomAccessReads) {
   // Reading past EOF returns the available bytes.
   ASSERT_TRUE(f->Read(8, 8, &result, scratch).ok());
   EXPECT_EQ(result.ToString(), "89");
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
 }
 
 }  // namespace

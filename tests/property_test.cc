@@ -30,7 +30,7 @@ TEST_P(LzFuzzTest, DecompressorNeverCrashesOnGarbage) {
     }
     std::string out;
     // Must return a Status (usually Corruption), never crash or hang.
-    LzUncompress(garbage, &out);
+    (void)LzUncompress(garbage, &out);
   }
   SUCCEED();
 }

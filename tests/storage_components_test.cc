@@ -6,9 +6,9 @@
 #include <set>
 #include <string>
 
+#include "common/arena.h"
 #include "common/env.h"
 #include "common/random.h"
-#include "storage/arena.h"
 #include "storage/block.h"
 #include "storage/block_builder.h"
 #include "storage/dbformat.h"
@@ -136,7 +136,7 @@ class WalTest : public ::testing::Test {
   void SetUp() override {
     env_ = Env::Default();
     path_ = "/tmp/railgun_wal_test.log";
-    env_->RemoveFile(path_);
+    (void)env_->RemoveFile(path_);
   }
   Env* env_;
   std::string path_;
@@ -290,7 +290,7 @@ TEST(BlockTest, BuildAndIterate) {
 TEST(TableTest, BuildWriteReadBack) {
   Env* env = Env::Default();
   const std::string path = "/tmp/railgun_table_test.sst";
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
 
   std::map<std::string, std::string> entries;
   {
@@ -341,7 +341,7 @@ TEST(TableTest, BuildWriteReadBack) {
     iter.Next();
   }
   EXPECT_EQ(expected, entries.end());
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
 }
 
 TEST(TableTest, OpenRejectsGarbage) {
@@ -353,7 +353,7 @@ TEST(TableTest, OpenRejectsGarbage) {
   ASSERT_TRUE(env->NewRandomAccessFile(path, &file).ok());
   std::unique_ptr<Table> table;
   EXPECT_FALSE(Table::Open(std::move(file), &table).ok());
-  env->RemoveFile(path);
+  (void)env->RemoveFile(path);
 }
 
 }  // namespace
