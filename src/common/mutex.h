@@ -188,11 +188,20 @@ class CondVar {
   // Returns false on timeout (like std::cv_status::timeout).
   bool WaitFor(Mutex* mu, Micros timeout) REQUIRES(mu);
 
-  // Returns pred() on exit, std::condition_variable semantics.
+  // Returns pred() on exit, std::condition_variable semantics: the
+  // timeout bounds the *total* wait, so spurious wakeups and notifies
+  // that leave pred() false only consume the remaining budget.
   template <typename Pred>
   bool WaitFor(Mutex* mu, Micros timeout, Pred pred) REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout);
     while (!pred()) {
-      if (!WaitFor(mu, timeout)) return pred();
+      const Micros remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) return pred();
+      (void)WaitFor(mu, remaining);
     }
     return true;
   }

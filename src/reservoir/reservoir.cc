@@ -23,13 +23,19 @@ Reservoir::~Reservoir() {
   prefetch_cv_.NotifyAll();
   if (writer_thread_.joinable()) writer_thread_.join();
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
-  // Drain anything the writer thread left behind. Both worker threads
-  // are joined, but the queue is guarded state: hold the lock so the
-  // access discipline stays machine-checkable.
-  MutexLock lock(&mu_);
-  while (!write_queue_.empty()) {
-    (void)WriteChunk(write_queue_.front());  // Destructor: best effort.
-    write_queue_.pop_front();
+  // Drain anything the writer thread left behind. The queue is guarded
+  // state, but WriteChunk() re-acquires mu_ to publish the location, so
+  // pop under a short-lived lock and write with it released — the same
+  // shape as WriterLoop.
+  while (true) {
+    std::shared_ptr<Chunk> chunk;
+    {
+      MutexLock lock(&mu_);
+      if (write_queue_.empty()) break;
+      chunk = write_queue_.front();
+      write_queue_.pop_front();
+    }
+    (void)WriteChunk(chunk);  // Destructor: best effort.
   }
   if (writer_ != nullptr) (void)writer_->Sync();
 }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace railgun {
@@ -62,6 +63,38 @@ TEST(MutexTest, CondVarWaitForTimesOut) {
   CondVar cv;
   MutexLock lock(&mu);
   EXPECT_FALSE(cv.WaitFor(&mu, 2 * kMicrosPerMilli, [] { return false; }));
+}
+
+TEST(MutexTest, CondVarWaitForTimeoutBoundsTotalWait) {
+  // Notifies that leave the predicate false must consume the timeout
+  // budget, not restart it: with a notifier firing every few millis,
+  // a 50ms predicated wait has to return well before the notifier
+  // stops (a per-wakeup restart would pin the waiter for the full
+  // notifier lifetime).
+  Mutex mu(kRankTestOuter);
+  CondVar cv;
+  std::atomic<bool> stop{false};
+  std::thread notifier([&] {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (!stop && std::chrono::steady_clock::now() < until) {
+      cv.NotifyAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  bool result;
+  {
+    MutexLock lock(&mu);
+    result = cv.WaitFor(&mu, 50 * kMicrosPerMilli, [] { return false; });
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stop = true;
+  notifier.join();
+  EXPECT_FALSE(result);
+  // Generous bound for noisy CI runners; still far below the 2s the
+  // restart bug would take.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
 }
 
 TEST(MutexTest, CondVarWaitRestoresHeldRecord) {
