@@ -20,6 +20,8 @@
 #include "msg/broker.h"
 #include "msg/remote/bus_server.h"
 #include "msg/remote/remote_bus.h"
+#include "trace/trace_context.h"
+#include "trace/tracer.h"
 
 using namespace railgun;
 using msg::Bus;
@@ -34,8 +36,11 @@ struct HopResult {
 };
 
 // Sequential ping latency + batched pipeline throughput over any Bus.
+// With `traced`, every pipeline batch carries a freshly minted trace
+// context (the tracer decides span sampling), so the wire trailer and
+// the server-side append span path are on the measured path.
 HopResult DriveHop(Bus* producer_bus, Bus* consumer_bus, int64_t pings,
-                   int64_t events) {
+                   int64_t events, bool traced = false) {
   HopResult result;
   Clock* clock = MonotonicClock::Default();
   const char* kTopic = "hop";
@@ -74,12 +79,16 @@ HopResult DriveHop(Bus* producer_bus, Bus* consumer_bus, int64_t pings,
   // batches; the consumer drains through blocking polls.
   const size_t kBatch = 256;
   std::thread producer([&] {
+    trace::Tracer* tracer = trace::Tracer::Global();
     std::vector<ProduceRecord> records;
     for (int64_t sent = 0; sent < events;) {
       records.clear();
       for (size_t b = 0; b < kBatch && sent < events; ++b, ++sent) {
         records.push_back({"k" + std::to_string(sent % 64), "payload"});
       }
+      const trace::TraceContext ctx =
+          traced ? tracer->Mint() : trace::TraceContext();
+      const trace::ScopedTraceContext scope(ctx);
       if (!producer_bus->ProduceBatch(kTopic, std::move(records)).ok()) {
         return;
       }
@@ -168,6 +177,23 @@ int main() {
     const HopResult result = DriveHop(&remote, &remote, pings, events);
     PrintRow("remote (loopback TCP)", result);
     add_series("remote_loopback_tcp", result);
+    // The tracer is compiled in and disabled here, so this run *is* the
+    // trace_off variant: emit it under that name for the perf gate.
+    add_series("trace_off", result);
+
+    // (d) Same loopback hop with sampled tracing on: contexts minted
+    // per batch, trailers on the wire, 1-in-1024 batches record spans.
+    trace::TracerOptions trace_options;
+    trace_options.sample_every = 1024;
+    trace::Tracer::Global()->Enable(trace_options);
+    const HopResult traced =
+        DriveHop(&remote, &remote, pings, events, /*traced=*/true);
+    trace::Tracer::Global()->Disable();
+    trace::Tracer::Global()->Clear();
+    PrintRow("remote traced 1/1024", traced);
+    add_series("trace_sampled_1_in_1024", traced);
+    printf("tracing overhead vs trace_off: sampled %+.2f%%\n",
+           (1.0 - traced.events_per_sec / result.events_per_sec) * 100.0);
     server.Stop();
   }
   json.Write();

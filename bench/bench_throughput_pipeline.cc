@@ -10,11 +10,17 @@
 // RAILGUN_BENCH_DELAY_US (default 200 — the simulated broker/network
 // hop, same as the figure benches; per-event submission pays it per
 // round trip, batches amortize it).
+// Two tracing variants ride along (same batched workload, fresh
+// cluster each): trace_off — the instrumented hot path with the tracer
+// disabled, the configuration the ≤1%-overhead gate in
+// scripts/perf_smoke.py holds to — and trace_sampled_1_in_1024, the
+// recommended production sampling rate (≤5%, warn-only).
 #include <cinttypes>
 
 #include "api/client.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "trace/tracer.h"
 
 using namespace railgun;
 using namespace railgun::bench;
@@ -159,10 +165,39 @@ int main() {
     noreply = RunNoReply(client.get(), events);
     client->Stop();
   }
+  // Tracing variants, batched workload. trace_off re-measures the same
+  // configuration as `batched` with the tracer explicitly disabled —
+  // the delta is the cost of the compiled-in instrumentation (one
+  // relaxed load per hop) plus run-to-run noise.
+  RunResult trace_off, trace_sampled;
+  {
+    auto client = StartClient(partitions);
+    if (client == nullptr) return 1;
+    trace::Tracer::Global()->Disable();
+    trace_off = RunBatched(client.get(), events, batch_size);
+    client->Stop();
+  }
+  {
+    auto client = StartClient(partitions);
+    if (client == nullptr) return 1;
+    trace::TracerOptions trace_options;
+    trace_options.sample_every = 1024;
+    trace::Tracer::Global()->Enable(trace_options);
+    trace_sampled = RunBatched(client.get(), events, batch_size);
+    trace::Tracer::Global()->Disable();
+    trace::Tracer::Global()->Clear();
+    client->Stop();
+  }
 
   PrintRow("SubmitSync (1-by-1)", single, true);
   PrintRow("SubmitBatch", batched, true);
   PrintRow("SubmitNoReply (pipeline)", noreply, false);
+  PrintRow("SubmitBatch trace off", trace_off, true);
+  PrintRow("SubmitBatch trace 1/1024", trace_sampled, true);
+  printf("tracing overhead vs batched: off %+.2f%%, sampled %+.2f%%\n",
+         (1.0 - trace_off.events_per_sec / batched.events_per_sec) * 100.0,
+         (1.0 - trace_sampled.events_per_sec / batched.events_per_sec) *
+             100.0);
 
   const double ratio = batched.events_per_sec / single.events_per_sec;
 
@@ -172,6 +207,11 @@ int main() {
       .Add("batched_events_per_sec", batched.events_per_sec)
       .AddLatency("batched", batched.latencies)
       .Add("noreply_events_per_sec", noreply.events_per_sec)
+      .Add("trace_off_events_per_sec", trace_off.events_per_sec)
+      .AddLatency("trace_off", trace_off.latencies)
+      .Add("trace_sampled_1_in_1024_events_per_sec",
+           trace_sampled.events_per_sec)
+      .AddLatency("trace_sampled_1_in_1024", trace_sampled.latencies)
       .Add("batched_over_single_ratio", ratio)
       .Write();
 

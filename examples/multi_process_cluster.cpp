@@ -25,12 +25,14 @@
 //            (the survivor replayed the partition logs), and new
 //            submissions keep flowing.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "api/client.h"
 #include "meta/broker.h"
 #include "meta/worker_node.h"
+#include "trace/tracer.h"
 
 using namespace railgun;
 using api::Client;
@@ -213,6 +215,17 @@ int main(int argc, char** argv) {
         (argc >= 5 && strcmp(argv[3], "--phase") == 0) ? argv[4] : "first";
     const int failures = phase == "second" ? RunPhaseSecond(address)
                                            : RunPhaseFirst(address);
+    // With RAILGUN_TRACE=1 (the client enables itself from the env) a
+    // path in RAILGUN_TRACE_EXPORT receives this process's span capture
+    // as Chrome-trace JSON — the client-side half of the distributed
+    // trace; workers export their own on graceful shutdown.
+    const char* trace_export = std::getenv("RAILGUN_TRACE_EXPORT");
+    if (trace_export != nullptr && trace_export[0] != '\0') {
+      const Status exported =
+          trace::Tracer::Global()->ExportToFile(trace_export);
+      printf("trace export to %s: %s\n", trace_export,
+             exported.ToString().c_str());
+    }
     if (failures == 0) {
       printf("phase %s OK\n", phase.c_str());
       return 0;

@@ -17,7 +17,8 @@
 //       [PARTITIONS <n>]
 //   ADD METRIC SELECT ...            (or a bare SELECT statement)
 //   event <stream> ts=<seconds> <field>=<value> ...
-//   streams | stats | nodes | addnode | killnode <i>
+//   streams | stats [prefix] | nodes | addnode | killnode <i>
+//   trace on|off|dump [file]
 //   quit
 //
 // Example session (also works piped from a file):
@@ -35,6 +36,7 @@
 #include <sstream>
 
 #include "api/client.h"
+#include "trace/tracer.h"
 
 using namespace railgun;
 using api::Client;
@@ -117,7 +119,8 @@ int main(int argc, char** argv) {
   const bool interactive = isatty(0);
   if (interactive) {
     printf("railgun shell%s — CREATE STREAM / ADD METRIC / SELECT, "
-           "event, streams, stats, nodes, addnode, killnode, quit\n",
+           "event, streams, stats [prefix], trace on|off|dump, nodes, "
+           "addnode, killnode, quit\n",
            options.remote_address.empty()
                ? ""
                : (" @ " + options.remote_address).c_str());
@@ -154,18 +157,54 @@ int main(int argc, char** argv) {
         printf("  %s\n", name.c_str());
       }
     } else if (command == "stats") {
-      printf("%s", client.admin().Describe().c_str());
+      // Optional prefix filters the internals series: `stats trace.`
+      // shows only the tracer's stage histograms and counters.
+      std::string prefix;
+      in >> prefix;
+      if (prefix.empty()) printf("%s", client.admin().Describe().c_str());
       // The engine's own metrics, identical in local and remote mode:
       // latest "__railgun.internals" sample per (node, metric).
       auto samples = client.InternalsSnapshot();
       if (!samples.ok()) {
         printf("! internals: %s\n", samples.status().ToString().c_str());
-      } else if (!samples.value().empty()) {
-        printf("internals (%zu series):\n", samples.value().size());
+      } else {
+        size_t shown = 0;
         for (const auto& s : samples.value()) {
+          if (s.metric.compare(0, prefix.size(), prefix) != 0) continue;
+          if (shown++ == 0) printf("internals:\n");
           printf("  %-12s %-32s %-10s %.3f\n", s.node.c_str(),
                  s.metric.c_str(), s.kind.c_str(), s.value);
         }
+        if (!prefix.empty() && shown == 0) {
+          printf("no internals series match '%s'\n", prefix.c_str());
+        }
+      }
+    } else if (command == "trace") {
+      std::string action;
+      in >> action;
+      trace::Tracer* tracer = trace::Tracer::Global();
+      if (action == "on") {
+        trace::TracerOptions topt;
+        topt.sample_every = 1;  // Sample everything: the REPL is manual.
+        tracer->Enable(topt);
+        printf("tracing on (every request sampled)\n");
+      } else if (action == "off") {
+        tracer->Disable();
+        printf("tracing off\n");
+      } else if (action == "dump") {
+        std::string path;
+        in >> path;
+        if (path.empty()) path = "/tmp/railgun-trace.json";
+        const Status s = tracer->ExportToFile(path);
+        if (s.ok()) {
+          printf("wrote %zu span(s) to %s (load in chrome://tracing or "
+                 "ui.perfetto.dev)\n",
+                 tracer->collected_size(), path.c_str());
+        } else {
+          printf("! %s\n", s.ToString().c_str());
+        }
+      } else {
+        printf("! usage: trace on|off|dump [file]\n");
       }
     } else if (command == "nodes") {
       printf("%s", client.admin().DescribeNodes().c_str());

@@ -8,10 +8,15 @@
 # a graceful worker leave rebalances without losing acked events.
 #
 #   BUILD_DIR=build ./scripts/multi_process_smoke.sh
+#
+# Phase second runs with distributed tracing on (every request
+# sampled); the client's span capture lands at TRACE_OUT (default
+# inside the scratch dir) so CI can upload it as an artifact.
 set -u
 
 BUILD_DIR=${BUILD_DIR:-build}
 WORK=$(mktemp -d /tmp/railgun-smoke.XXXXXX)
+TRACE_OUT=${TRACE_OUT:-${WORK}/client-trace.json}
 PIDS=()
 
 fail() {
@@ -74,8 +79,13 @@ kill -TERM "${W2_PID}" || fail "w2 already dead"
 wait "${W2_PID}"
 [ "$?" -eq 0 ] || fail "w2 did not exit cleanly"
 
-echo "== phase second: acked events survive the leave"
+echo "== phase second: acked events survive the leave (tracing on)"
+RAILGUN_TRACE=1 RAILGUN_TRACE_SAMPLE=1 \
+RAILGUN_TRACE_EXPORT="${TRACE_OUT}" \
 timeout 60 "${BUILD_DIR}/multi_process_cluster" client "${ADDRESS}" \
     --phase second || fail "phase second"
+grep -q '"client.submit"' "${TRACE_OUT}" \
+    || fail "trace export has no client.submit spans (${TRACE_OUT})"
+echo "== trace capture at ${TRACE_OUT}"
 
 echo "SUCCESS: multi-process smoke passed"

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Warn-only perf smoke: diff fresh bench JSON against a checked-in baseline.
+"""Perf smoke: diff fresh bench JSON against a checked-in baseline.
 
 Usage: perf_smoke.py <baseline.json> <fresh.json> [threshold]
 
 Compares every key ending in `_events_per_sec` that both files share and
 emits a GitHub Actions `::warning::` annotation when the fresh number
 falls more than `threshold` (default 10%) below the baseline. CI shared
-runners are far too noisy for a hard perf gate, so this always exits 0 —
-the annotations make regressions visible on the PR without flaking it.
+runners are far too noisy for a hard cross-run perf gate, so baseline
+comparisons always pass — the annotations make regressions visible on
+the PR without flaking it.
+
+Tracing overhead gates (within the *fresh* file, so runner speed cancels
+out): when the fresh results carry the tracing variants, the
+tracer-disabled run must stay within 1% of the untraced reference
+(`batched_events_per_sec` or, for the hop bench, the loopback series) —
+this one is HARD and fails the job, since a disabled tracer is supposed
+to cost one relaxed atomic load per hop. The 1-in-1024 sampled run gets
+a warn-only 5% allowance.
 """
 
 import json
@@ -49,7 +58,44 @@ def main() -> int:
             )
         else:
             print(f"perf_smoke ok: {line}")
-    return 0
+
+    return trace_gates(fresh)
+
+
+def trace_gates(fresh: dict) -> int:
+    """Hard 1% gate on trace_off, warn-only 5% on sampled tracing."""
+    reference = None
+    for ref_key in ("batched_events_per_sec",
+                    "remote_loopback_tcp_events_per_sec"):
+        if ref_key in fresh and float(fresh[ref_key]) > 0:
+            reference = (ref_key, float(fresh[ref_key]))
+            break
+    if reference is None:
+        return 0
+    ref_key, ref = reference
+
+    failed = 0
+    for key, budget, hard in (
+        ("trace_off_events_per_sec", 0.01, True),
+        ("trace_sampled_1_in_1024_events_per_sec", 0.05, False),
+    ):
+        if key not in fresh:
+            continue
+        now = float(fresh[key])
+        overhead = 1.0 - now / ref
+        line = (
+            f"{key}: {now:.0f} vs {ref_key} {ref:.0f} "
+            f"(overhead {overhead:+.1%}, budget {budget:.0%})"
+        )
+        if overhead > budget:
+            if hard:
+                print(f"::error::tracing overhead gate failed: {line}")
+                failed = 1
+            else:
+                print(f"::warning::tracing overhead above budget: {line}")
+        else:
+            print(f"trace_gate ok: {line}")
+    return failed
 
 
 if __name__ == "__main__":

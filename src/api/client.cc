@@ -8,10 +8,12 @@
 
 #include "api/remote_ddl.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "meta/meta_client.h"
 #include "msg/remote/remote_bus.h"
 #include "query/ddl.h"
+#include "trace/tracer.h"
 
 namespace railgun::api {
 
@@ -32,6 +34,28 @@ std::string RandomClientId() {
   return buf;
 }
 
+// Completes a request's root span: records client.submit — forced when
+// the request crossed the slow threshold — and logs slow requests the
+// head sampler would otherwise have skipped.
+void FinishRootSpan(const trace::TraceContext& ctx, Micros start_us,
+                    const std::string& stream_name) {
+  trace::Tracer* tracer = trace::Tracer::Global();
+  if (!ctx.valid() || !tracer->enabled()) return;
+  const Micros end = tracer->NowMicros();
+  const Micros elapsed = end >= start_us ? end - start_us : 0;
+  const bool slow = tracer->SlowExceeded(elapsed);
+  tracer->RecordRoot(trace::Stage::kClientSubmit, ctx, start_us, end, slow);
+  if (slow) {
+    RAILGUN_LOG(kWarn, "trace",
+                "slow request on %s: %lld us (threshold %lld us), trace "
+                "%016llx%016llx force-sampled",
+                stream_name.c_str(), static_cast<long long>(elapsed),
+                static_cast<long long>(tracer->slow_threshold_us()),
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo));
+  }
+}
+
 }  // namespace
 
 engine::ClusterOptions ClientOptions::ToClusterOptions() const {
@@ -50,6 +74,7 @@ Client::Client(const ClientOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : MonotonicClock::Default()) {
+  trace::Tracer::InitFromEnvOnce();
   client_id_ = RandomClientId();
   // Reservoirs deduplicate events by id (paper §4.1.1), so ids minted
   // by independent clients sharing one cluster must not collide: each
@@ -104,6 +129,7 @@ Client::Client(engine::Cluster* cluster)
   // Attached clients share the cluster with other clients by
   // definition — their auto-minted event ids need the same collision
   // protection as the owning constructor's.
+  trace::Tracer::InitFromEnvOnce();
   client_id_ = RandomClientId();
   event_id_base_ = Hash64(client_id_);
   engine::StreamDef internals = introspect::InternalsStreamDef();
@@ -454,11 +480,17 @@ ResultFuture Client::Submit(const std::string& stream_name, const Row& row) {
     return reject(Status::Unavailable("no alive node to submit to"));
   }
 
+  // Root of the distributed trace: minted here, carried through the
+  // event envelope, completed when the reply lands.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  const trace::TraceContext trace_ctx = tracer->Mint();
+  const Micros trace_start = trace_ctx.valid() ? tracer->NowMicros() : 0;
+
   auto state = std::make_shared<ResultFuture::State>();
   const Status submitted = frontend->Submit(
       stream_name, event_or.value(),
-      [state](Status status,
-              const std::vector<engine::MetricReply>& replies) {
+      [state, trace_ctx, trace_start, stream_name](
+          Status status, const std::vector<engine::MetricReply>& replies) {
         EventResult result;
         result.status = std::move(status);
         result.metrics.reserve(replies.size());
@@ -466,8 +498,10 @@ ResultFuture Client::Submit(const std::string& stream_name, const Row& row) {
           result.metrics.push_back(
               {reply.metric_name, reply.group_key, reply.value});
         }
+        FinishRootSpan(trace_ctx, trace_start, stream_name);
         ResultFuture::Complete(state, std::move(result));
-      });
+      },
+      trace_ctx);
   if (!submitted.ok()) return reject(submitted);
   return ResultFuture(std::move(state));
 }
@@ -490,8 +524,10 @@ std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
   }
   // Bind every row up front; individual binding failures complete that
   // row's future without sinking the batch.
+  trace::Tracer* tracer = trace::Tracer::Global();
   std::vector<reservoir::Event> events;
   std::vector<engine::FrontEnd::ReplyCallback> callbacks;
+  std::vector<trace::TraceContext> traces;
   std::vector<size_t> accepted;  // Index into rows/futures.
   events.reserve(rows.size());
   callbacks.reserve(rows.size());
@@ -505,9 +541,13 @@ std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
     futures[i] = ResultFuture(state);
     accepted.push_back(i);
     events.push_back(std::move(event_or).value());
+    // Each row is its own trace: the head sampler decides per root.
+    const trace::TraceContext trace_ctx = tracer->Mint();
+    const Micros trace_start = trace_ctx.valid() ? tracer->NowMicros() : 0;
+    traces.push_back(trace_ctx);
     callbacks.push_back(
-        [state](Status status,
-                const std::vector<engine::MetricReply>& replies) {
+        [state, trace_ctx, trace_start, stream_name](
+            Status status, const std::vector<engine::MetricReply>& replies) {
           EventResult result;
           result.status = std::move(status);
           result.metrics.reserve(replies.size());
@@ -515,6 +555,7 @@ std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
             result.metrics.push_back(
                 {reply.metric_name, reply.group_key, reply.value});
           }
+          FinishRootSpan(trace_ctx, trace_start, stream_name);
           ResultFuture::Complete(state, std::move(result));
         });
   }
@@ -527,8 +568,8 @@ std::vector<ResultFuture> Client::SubmitBatch(const std::string& stream_name,
     for (size_t i : accepted) futures[i] = reject(unavailable);
     return futures;
   }
-  const Status submitted =
-      frontend->SubmitBatch(stream_name, events, std::move(callbacks));
+  const Status submitted = frontend->SubmitBatch(
+      stream_name, events, std::move(callbacks), traces);
   if (!submitted.ok()) {
     // Synchronous rejection: no callback fires for this batch.
     for (size_t i : accepted) futures[i] = reject(submitted);

@@ -1,0 +1,165 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstring>
+
+namespace railgun {
+
+namespace {
+
+// Lines per second each call site may emit before suppression kicks in.
+// Generous for operational messages, tight enough that a per-event
+// failure loop cannot saturate the sink.
+constexpr uint32_t kMaxLinesPerSecondPerSite = 32;
+
+int64_t CoarseNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("RAILGUN_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+void StderrSink(LogLevel level, const char* component, const char* message,
+                void* /*arg*/) {
+  // One fprintf per line: stdio's internal lock keeps concurrent lines
+  // whole without a railgun::Mutex (mutex.cc logs through this path).
+  std::fprintf(stderr, "[railgun %s] %s: %s\n", LogLevelName(level),
+               component, message);
+}
+
+struct SinkSlot {
+  LogSink sink;
+  void* arg;
+};
+
+std::atomic<LogSink> g_sink{&StderrSink};
+std::atomic<void*> g_sink_arg{nullptr};
+std::atomic<int> g_min_level{static_cast<int>(LevelFromEnv())};
+
+thread_local uint64_t t_trace_hi = 0;
+thread_local uint64_t t_trace_lo = 0;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink, void* arg) {
+  // arg first: a racing logger pairing the new sink with the old arg is
+  // avoided for the common install-at-startup case; concurrent installs
+  // mid-flight are documented as unsupported.
+  g_sink_arg.store(arg, std::memory_order_release);
+  g_sink.store(sink != nullptr ? sink : &StderrSink,
+               std::memory_order_release);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogTraceId(uint64_t hi, uint64_t lo) {
+  t_trace_hi = hi;
+  t_trace_lo = lo;
+}
+
+void GetLogTraceId(uint64_t* hi, uint64_t* lo) {
+  *hi = t_trace_hi;
+  *lo = t_trace_lo;
+}
+
+namespace logging_internal {
+
+bool Admit(RateLimitState* state, uint64_t* suppressed) {
+  const int64_t now = CoarseNowMicros();
+  int64_t start = state->window_start_us.load(std::memory_order_relaxed);
+  if (now - start >= 1'000'000) {
+    // One winner rolls the window; losers keep counting against the new
+    // one (emitted may briefly overshoot by a few lines — acceptable).
+    if (state->window_start_us.compare_exchange_strong(
+            start, now, std::memory_order_relaxed)) {
+      state->emitted.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (state->emitted.fetch_add(1, std::memory_order_relaxed) <
+      kMaxLinesPerSecondPerSite) {
+    *suppressed = state->suppressed.exchange(0, std::memory_order_relaxed);
+    return true;
+  }
+  state->suppressed.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Log(LogLevel level, const char* component, const char* file, int line,
+         uint64_t suppressed, const char* fmt, ...) {
+  char body[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+
+  char message[768];
+  size_t n = 0;
+  n += static_cast<size_t>(
+      std::snprintf(message + n, sizeof(message) - n, "%s", body));
+  if (n < sizeof(message) && (t_trace_hi | t_trace_lo) != 0) {
+    n += static_cast<size_t>(std::snprintf(
+        message + n, sizeof(message) - n, " trace=%016llx%016llx",
+        static_cast<unsigned long long>(t_trace_hi),
+        static_cast<unsigned long long>(t_trace_lo)));
+  }
+  if (n < sizeof(message) && suppressed > 0) {
+    n += static_cast<size_t>(std::snprintf(
+        message + n, sizeof(message) - n, " (suppressed %llu similar)",
+        static_cast<unsigned long long>(suppressed)));
+  }
+  if (n < sizeof(message)) {
+    std::snprintf(message + n, sizeof(message) - n, " (%s:%d)", file, line);
+  }
+
+  LogSink sink = g_sink.load(std::memory_order_acquire);
+  sink(level, component, message, g_sink_arg.load(std::memory_order_acquire));
+}
+
+void CheckFail(const char* file, int line, const char* what) {
+  // Not rate limited and never filtered: an abort's last words must
+  // always reach the sink.
+  char message[768];
+  std::snprintf(message, sizeof(message), "%s at %s:%d", what, file, line);
+  if ((t_trace_hi | t_trace_lo) != 0) {
+    const size_t n = std::strlen(message);
+    std::snprintf(message + n, sizeof(message) - n, " trace=%016llx%016llx",
+                  static_cast<unsigned long long>(t_trace_hi),
+                  static_cast<unsigned long long>(t_trace_lo));
+  }
+  LogSink sink = g_sink.load(std::memory_order_acquire);
+  sink(LogLevel::kError, "check", message,
+       g_sink_arg.load(std::memory_order_acquire));
+  abort();
+}
+
+}  // namespace logging_internal
+}  // namespace railgun

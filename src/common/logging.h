@@ -1,28 +1,121 @@
-// Minimal assertion/logging macros. CHECK failures abort: they indicate
-// invariant violations, never expected runtime errors (those use Status).
+// Structured leveled logging plus the assertion macros. CHECK failures
+// abort: they indicate invariant violations, never expected runtime
+// errors (those use Status) — but they emit through the log sink first,
+// so crash logs carry component and trace id like every other line.
+//
+// RAILGUN_LOG(kWarn, "component", "fmt", ...) is the one logging entry
+// point: printf-formatted, rate-limited per call site (a hot loop that
+// starts failing cannot flood stderr — suppressed lines are counted and
+// reported on the next emitted one), and trace-aware (when the calling
+// thread carries a trace id, the line is stamped with it so logs and
+// span exports correlate). The sink is pluggable per process; the
+// default writes one line to stderr per message.
+//
+// Layering: this header sits at the very bottom of common/ — it uses
+// only <atomic> and the C library, never railgun::Mutex (mutex.cc logs
+// through it) or Clock.
 #ifndef RAILGUN_COMMON_LOGGING_H_
 #define RAILGUN_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
-#define RAILGUN_CHECK(cond)                                              \
-  do {                                                                   \
-    if (!(cond)) {                                                       \
-      fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
-              #cond);                                                    \
-      abort();                                                           \
-    }                                                                    \
+namespace railgun {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "DEBUG" / "INFO" / "WARN" / "ERROR".
+const char* LogLevelName(LogLevel level);
+
+// One fully formatted message (no trailing newline). Sinks must be
+// callable from any thread and must not call back into RAILGUN_LOG.
+using LogSink = void (*)(LogLevel level, const char* component,
+                         const char* message, void* arg);
+
+// Replaces the process-wide sink (nullptr restores the stderr default).
+// Typically installed once at startup, before threads spin up.
+void SetLogSink(LogSink sink, void* arg);
+
+// Lines below this level are compiled in but skipped at runtime. The
+// initial value honors RAILGUN_LOG_LEVEL (debug|info|warn|error),
+// defaulting to kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// Thread-local trace correlation: the tracer stamps the id of the
+// context it is working under; (0, 0) means none. Lives here (not in
+// trace/) so the formatter can read it without a layering cycle.
+void SetLogTraceId(uint64_t hi, uint64_t lo);
+void GetLogTraceId(uint64_t* hi, uint64_t* lo);
+
+namespace logging_internal {
+
+// Per-call-site limiter state: a one-second window with a fixed emit
+// budget. All-atomic — sites are touched from hot paths.
+struct RateLimitState {
+  std::atomic<int64_t> window_start_us{0};
+  std::atomic<uint32_t> emitted{0};
+  std::atomic<uint64_t> suppressed{0};
+};
+
+// True when this call may emit; *suppressed receives the number of
+// lines this site swallowed since it last emitted.
+bool Admit(RateLimitState* state, uint64_t* suppressed);
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RAILGUN_PRINTF_ATTR(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define RAILGUN_PRINTF_ATTR(fmt_idx, arg_idx)
+#endif
+
+// Formats and dispatches one line to the installed sink.
+void Log(LogLevel level, const char* component, const char* file, int line,
+         uint64_t suppressed, const char* fmt, ...)
+    RAILGUN_PRINTF_ATTR(6, 7);
+
+// Emits `what` at kError through the sink, then aborts.
+[[noreturn]] void CheckFail(const char* file, int line, const char* what);
+
+}  // namespace logging_internal
+}  // namespace railgun
+
+// Usage: RAILGUN_LOG(kWarn, "frontend", "publish failed: %s", msg).
+// `level` is a bare LogLevel enumerator name (kDebug..kError).
+#define RAILGUN_LOG(level, component, ...)                                  \
+  do {                                                                      \
+    if (static_cast<int>(::railgun::LogLevel::level) >=                     \
+        static_cast<int>(::railgun::MinLogLevel())) {                       \
+      static ::railgun::logging_internal::RateLimitState _railgun_log_rl;   \
+      uint64_t _railgun_log_suppressed = 0;                                 \
+      if (::railgun::logging_internal::Admit(&_railgun_log_rl,              \
+                                             &_railgun_log_suppressed)) {   \
+        ::railgun::logging_internal::Log(::railgun::LogLevel::level,        \
+                                         (component), __FILE__, __LINE__,   \
+                                         _railgun_log_suppressed,           \
+                                         __VA_ARGS__);                      \
+      }                                                                     \
+    }                                                                       \
   } while (0)
 
-#define RAILGUN_CHECK_OK(expr)                                             \
-  do {                                                                     \
-    const ::railgun::Status _st = (expr);                                  \
-    if (!_st.ok()) {                                                       \
-      fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,          \
-              __LINE__, _st.ToString().c_str());                           \
-      abort();                                                             \
-    }                                                                      \
+#define RAILGUN_CHECK(cond)                                          \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::railgun::logging_internal::CheckFail(__FILE__, __LINE__,     \
+                                             "CHECK failed: " #cond); \
+    }                                                                \
+  } while (0)
+
+#define RAILGUN_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    const ::railgun::Status _st = (expr);                               \
+    if (!_st.ok()) {                                                    \
+      ::railgun::logging_internal::CheckFail(                           \
+          __FILE__, __LINE__,                                           \
+          ("CHECK_OK failed: " + _st.ToString()).c_str());              \
+    }                                                                   \
   } while (0)
 
 #endif  // RAILGUN_COMMON_LOGGING_H_

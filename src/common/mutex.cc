@@ -6,6 +6,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+
+// Safe here: the logging layer is lock-free (atomics only), so these
+// fatal reports cannot re-enter the mutex being diagnosed.
+#include "common/logging.h"
 #endif
 
 namespace railgun {
@@ -38,6 +42,7 @@ HeldStack& Held() {
 
 const char* RankName(int rank) {
   switch (rank) {
+    case kRankTraceCollector: return "TraceCollector";
     case kRankHistogram: return "Histogram";
     case kRankIntrospectRegistry: return "IntrospectRegistry";
     case kRankIntrospectPublisher: return "IntrospectPublisher";
@@ -76,13 +81,15 @@ const char* RankName(int rank) {
 }
 
 [[noreturn]] void ReportInversion(const Mutex* mu, const HeldLock& held) {
-  std::fprintf(
-      stderr,
-      "\n=== railgun lock-rank inversion ===\n"
-      "acquiring %s (rank %d) while holding %s (rank %d);\n"
-      "locks must be acquired in strictly decreasing rank order.\n"
-      "--- acquisition attempted at:\n",
-      RankName(mu->rank()), mu->rank(), RankName(held.rank), held.rank);
+  RAILGUN_LOG(kError, "mutex",
+              "lock-rank inversion: acquiring %s (rank %d) while holding "
+              "%s (rank %d); locks must be acquired in strictly "
+              "decreasing rank order (backtraces on stderr)",
+              RankName(mu->rank()), mu->rank(), RankName(held.rank),
+              held.rank);
+  // Backtraces bypass the sink: backtrace_symbols_fd is async-signal-
+  // safe and needs a raw fd.
+  std::fprintf(stderr, "--- acquisition attempted at:\n");
   std::fflush(stderr);
   void* frames[kMaxFrames];
   int n = ::backtrace(frames, kMaxFrames);
@@ -105,10 +112,10 @@ void RecordAcquire(const Mutex* mu, bool check_order) {
     }
   }
   if (held.depth >= kMaxHeld) {
-    std::fprintf(stderr,
-                 "railgun lock-rank checker: more than %d locks held by one "
-                 "thread (acquiring rank %d)\n",
-                 kMaxHeld, mu->rank());
+    RAILGUN_LOG(kError, "mutex",
+                "lock-rank checker: more than %d locks held by one "
+                "thread (acquiring rank %d)",
+                kMaxHeld, mu->rank());
     std::abort();
   }
   HeldLock& entry = held.entries[held.depth++];
@@ -129,10 +136,10 @@ void RecordRelease(const Mutex* mu) {
     --held.depth;
     return;
   }
-  std::fprintf(stderr,
-               "railgun lock-rank checker: releasing rank %d (%s) not held "
-               "by this thread\n",
-               mu->rank(), RankName(mu->rank()));
+  RAILGUN_LOG(kError, "mutex",
+              "lock-rank checker: releasing rank %d (%s) not held by "
+              "this thread",
+              mu->rank(), RankName(mu->rank()));
   std::abort();
 }
 
@@ -167,10 +174,10 @@ bool Mutex::TryLock() {
 
 void Mutex::AssertHeld() {
   if (IsHeld(this)) return;
-  std::fprintf(stderr,
-               "railgun lock-rank checker: AssertHeld on rank %d (%s) not "
-               "held by this thread\n",
-               rank_, RankName(rank_));
+  RAILGUN_LOG(kError, "mutex",
+              "lock-rank checker: AssertHeld on rank %d (%s) not held "
+              "by this thread",
+              rank_, RankName(rank_));
   std::abort();
 }
 

@@ -52,6 +52,9 @@ enum LockRank : int {
   // and the state mutex never wraps another lock.
   kRankApiResult = 105,
   kRankHistogram = 110,          // introspect::Histogram::mu_
+  kRankTraceCollector = 120,     // trace::Tracer ring registry + export
+                                 // (above kRankHistogram: the drain
+                                 // feeds stage histograms while held)
   kRankIntrospectRegistry = 130, // introspect::Registry::mu_ (leaf:
                                  // probes run outside the lock)
   kRankIntrospectPublisher = 150,// introspect::Publisher cadence park

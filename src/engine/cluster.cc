@@ -1,5 +1,7 @@
 #include "engine/cluster.h"
 
+#include "trace/tracer.h"
+
 namespace railgun::engine {
 
 Cluster::Cluster(const ClusterOptions& options)
@@ -75,9 +77,19 @@ Cluster::Cluster(const ClusterOptions& options)
   registry_.AddProbe("engine.process_failures", [this] {
     return static_cast<double>(TotalStats().process_failures);
   });
+
+  // Per-stage trace latency histograms + trace.* counters flow into the
+  // same registry (and through the publisher into __railgun.internals).
+  trace::Tracer::InitFromEnvOnce();
+  trace::Tracer::Global()->AttachRegistry(&registry_);
 }
 
-Cluster::~Cluster() { Stop(); }
+Cluster::~Cluster() {
+  Stop();
+  // The stage histograms live in registry_; the global tracer must not
+  // outlive them holding the pointers.
+  trace::Tracer::Global()->DetachRegistry(&registry_);
+}
 
 Status Cluster::Start() {
   if (options_.wipe_base_dir) {

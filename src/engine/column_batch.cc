@@ -9,6 +9,7 @@ using reservoir::FieldType;
 void ColumnBatch::Reset(const reservoir::Schema& schema) {
   request_ids_.clear();
   reply_topics_.clear();
+  trailers_.clear();
   timestamps_.clear();
   ids_.clear();
   offsets_.clear();
@@ -28,6 +29,7 @@ void ColumnBatch::Reset(const reservoir::Schema& schema) {
 void ColumnBatch::AlignRows(size_t rows) {
   request_ids_.resize(rows, 0);
   reply_topics_.resize(rows, Slice());
+  trailers_.resize(rows, Slice());
   timestamps_.resize(rows, 0);
   ids_.resize(rows, 0);
   offsets_.resize(rows, 0);
@@ -100,6 +102,7 @@ size_t ColumnBatch::Decode(const std::vector<msg::MessageView>& messages,
         }
         if (!row_ok) break;
       }
+      if (row_ok) trailers_.push_back(in);  // Unconsumed trailer bytes.
     }
     // A partial row leaves ragged columns; rewind them to a zero-filled
     // row so every column stays index-aligned.

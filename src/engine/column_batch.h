@@ -33,6 +33,9 @@ class ColumnBatch {
   uint64_t request_id(size_t i) const { return request_ids_[i]; }
   // Views into the poll buffer — valid while the source batch is.
   Slice reply_topic(size_t i) const { return reply_topics_[i]; }
+  // Unconsumed bytes after row i's column values — the trace-context
+  // trailer when the producer appended one (empty otherwise).
+  Slice trailer(size_t i) const { return trailers_[i]; }
   uint64_t offset(size_t i) const { return offsets_[i]; }
   const std::vector<Column>& columns() const { return columns_; }
 
@@ -54,6 +57,7 @@ class ColumnBatch {
 
   std::vector<uint64_t> request_ids_;
   std::vector<Slice> reply_topics_;
+  std::vector<Slice> trailers_;
   std::vector<Micros> timestamps_;
   std::vector<uint64_t> ids_;
   std::vector<uint64_t> offsets_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "introspect/internals.h"
+#include "trace/trace_context.h"
 
 namespace railgun::engine {
 
@@ -98,7 +100,10 @@ Status FrontEnd::RegisterStream(const StreamDef& stream) {
 
 Status FrontEnd::Enqueue(const Route& route, const reservoir::Event& event,
                          ReplyCallback callback,
+                         const trace::TraceContext& trace_ctx,
                          std::vector<Submission>* out) {
+  trace::Tracer* tracer = trace::Tracer::Global();
+  const Micros trace_start = trace_ctx.valid() ? tracer->NowMicros() : 0;
   Submission submission;
   submission.targets.reserve(route.targets.size());
   for (const auto& [topic, field] : route.targets) {
@@ -131,22 +136,33 @@ Status FrontEnd::Enqueue(const Route& route, const reservoir::Event& event,
   }
   envelope.event = event;
   EncodeEventEnvelope(envelope, route.schema, &submission.payload);
+  if (trace_ctx.valid()) {
+    // Record the enqueue hop and ship the advanced context in the
+    // envelope trailer: every downstream hop parents under it.
+    submission.trace =
+        tracer->Record(trace::Stage::kFrontendEnqueue, trace_ctx,
+                       trace_start, tracer->NowMicros());
+    trace::AppendTraceTrailer(submission.trace, &submission.payload);
+  }
   out->push_back(std::move(submission));
   return Status::OK();
 }
 
 Status FrontEnd::Submit(const std::string& stream_name,
                         const reservoir::Event& event,
-                        ReplyCallback callback) {
+                        ReplyCallback callback,
+                        const trace::TraceContext& trace_ctx) {
   std::vector<reservoir::Event> events = {event};
   std::vector<ReplyCallback> callbacks;
   callbacks.push_back(std::move(callback));
-  return SubmitBatch(stream_name, events, std::move(callbacks));
+  return SubmitBatch(stream_name, events, std::move(callbacks),
+                     {trace_ctx});
 }
 
 Status FrontEnd::SubmitBatch(const std::string& stream_name,
                              const std::vector<reservoir::Event>& events,
-                             std::vector<ReplyCallback> callbacks) {
+                             std::vector<ReplyCallback> callbacks,
+                             const std::vector<trace::TraceContext>& traces) {
   if (!running_) {
     return Status::Unavailable("front end is not running");
   }
@@ -181,8 +197,9 @@ Status FrontEnd::SubmitBatch(const std::string& stream_name,
   for (size_t i = 0; i < events.size(); ++i) {
     ReplyCallback callback =
         i < callbacks.size() ? std::move(callbacks[i]) : nullptr;
-    const Status s = Enqueue(route, events[i], std::move(callback),
-                             &prepared);
+    const Status s = Enqueue(
+        route, events[i], std::move(callback),
+        i < traces.size() ? traces[i] : trace::TraceContext{}, &prepared);
     if (!s.ok()) {
       // Roll back this batch's already-registered pendings: the caller
       // sees the typed error synchronously, so no callback may fire.
@@ -260,10 +277,16 @@ void FrontEnd::DrainSubmissions() {
   // partitioner topics with one ProduceBatch per topic per cycle.
   std::map<std::string, std::vector<msg::ProduceRecord>> batches;
   std::map<std::string, std::vector<uint64_t>> requests_by_topic;
+  // First traced submission per topic: the produce hop records under
+  // it (a batch shares one wire call, so it shares one span).
+  std::map<std::string, trace::TraceContext> trace_by_topic;
   for (auto& submission : drained) {
     for (size_t t = 0; t < submission.targets.size(); ++t) {
       auto& [topic, key] = submission.targets[t];
       const bool last_target = t + 1 == submission.targets.size();
+      if (submission.trace.valid() && trace_by_topic.count(topic) == 0) {
+        trace_by_topic[topic] = submission.trace;
+      }
       batches[topic].push_back(
           {std::move(key), last_target ? std::move(submission.payload)
                                        : submission.payload});
@@ -272,10 +295,29 @@ void FrontEnd::DrainSubmissions() {
       }
     }
   }
+  trace::Tracer* tracer = trace::Tracer::Global();
   for (auto& [topic, records] : batches) {
-    const Status published = bus_->ProduceBatch(topic, std::move(records));
+    trace::TraceContext produce_ctx;
+    if (auto it = trace_by_topic.find(topic); it != trace_by_topic.end()) {
+      produce_ctx = it->second;
+    }
+    const Micros trace_start =
+        produce_ctx.valid() ? tracer->NowMicros() : 0;
+    Status published;
+    {
+      // Ambient context: the broker (in-process or via the remote bus's
+      // wire trailer) records its append span under the produce hop.
+      trace::ScopedTraceContext scope(produce_ctx);
+      published = bus_->ProduceBatch(topic, std::move(records));
+    }
+    if (produce_ctx.valid()) {
+      tracer->Record(trace::Stage::kFrontendProduce, produce_ctx,
+                     trace_start, tracer->NowMicros());
+    }
     if (published.ok()) continue;
     ++publish_errors_;
+    RAILGUN_LOG(kWarn, "frontend", "publish to %s failed: %s",
+                topic.c_str(), published.ToString().c_str());
     // Fail every request that fanned out to this topic; their other
     // topics' late replies are discarded (the pending entry is gone).
     auto it = requests_by_topic.find(topic);
@@ -313,29 +355,45 @@ void FrontEnd::Run() {
     }
 
     std::vector<Completion> done;
+    trace::Tracer* tracer = trace::Tracer::Global();
     for (const auto& message : batch.views()) {
+      const Micros trace_start =
+          tracer->enabled() ? tracer->NowMicros() : 0;
       ReplyEnvelope reply;
-      if (!DecodeReplyEnvelope(message.payload, &reply).ok()) {
+      Slice reply_rest;
+      if (!DecodeReplyEnvelope(message.payload, &reply, &reply_rest).ok()) {
         continue;
       }
-      PendingShard& shard = ShardFor(reply.request_id);
-      MutexLock lock(&shard.mu);
-      auto it = shard.entries.find(reply.request_id);
-      if (it == shard.entries.end()) continue;  // Timed out already.
-      Pending& pending = it->second;
-      for (auto& r : reply.results) {
-        pending.results.push_back(std::move(r));
-      }
-      if (++pending.received >= pending.expected) {
-        if (submit_latency_ != nullptr) {
-          submit_latency_->Record(clock_->NowMicros() -
-                                  pending.submitted_at);
+      // Trace context forwarded by the unit as a reply trailer: record
+      // the completion hop so the trace covers reply delivery too.
+      const trace::TraceContext reply_ctx =
+          trace::ParseTraceTrailer(reply_rest);
+      bool completed_request = false;
+      {
+        PendingShard& shard = ShardFor(reply.request_id);
+        MutexLock lock(&shard.mu);
+        auto it = shard.entries.find(reply.request_id);
+        if (it == shard.entries.end()) continue;  // Timed out already.
+        Pending& pending = it->second;
+        for (auto& r : reply.results) {
+          pending.results.push_back(std::move(r));
         }
-        done.push_back({std::move(pending.callback),
-                        std::move(pending.results), Status::OK()});
-        shard.entries.erase(it);
-        pending_count_.fetch_sub(1, std::memory_order_relaxed);
-        ++completed_;
+        if (++pending.received >= pending.expected) {
+          if (submit_latency_ != nullptr) {
+            submit_latency_->Record(clock_->NowMicros() -
+                                    pending.submitted_at);
+          }
+          done.push_back({std::move(pending.callback),
+                          std::move(pending.results), Status::OK()});
+          shard.entries.erase(it);
+          pending_count_.fetch_sub(1, std::memory_order_relaxed);
+          ++completed_;
+          completed_request = true;
+        }
+      }
+      if (completed_request && reply_ctx.valid()) {
+        tracer->Record(trace::Stage::kFrontendComplete, reply_ctx,
+                       trace_start, tracer->NowMicros());
       }
     }
 

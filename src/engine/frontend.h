@@ -27,6 +27,7 @@
 #include "engine/stream_def.h"
 #include "introspect/registry.h"
 #include "msg/bus.h"
+#include "trace/tracer.h"
 
 namespace railgun::engine {
 
@@ -79,16 +80,22 @@ class FrontEnd {
   // front-end thread with OK when all expected replies arrived, or with
   // Unavailable and the partial set on timeout, publish failure or Stop
   // — every accepted request completes exactly once.
+  // trace_ctx (optional) is the root context minted by api::Client: the
+  // enqueue hop records under it and the advanced context travels in
+  // the event envelope's trailer.
   Status Submit(const std::string& stream_name,
-                const reservoir::Event& event, ReplyCallback callback);
+                const reservoir::Event& event, ReplyCallback callback,
+                const trace::TraceContext& trace_ctx = {});
 
   // Batch submission: accepts all events under one queue lock and one
   // wake-up. callbacks[i] belongs to events[i] and follows the same
   // exactly-once contract; with fewer callbacks than events the
-  // remainder are fire-and-forget.
+  // remainder are fire-and-forget. traces[i] (optional) is events[i]'s
+  // trace context.
   Status SubmitBatch(const std::string& stream_name,
                      const std::vector<reservoir::Event>& events,
-                     std::vector<ReplyCallback> callbacks);
+                     std::vector<ReplyCallback> callbacks,
+                     const std::vector<trace::TraceContext>& traces = {});
 
   // Fire-and-forget fast path: the event is pipelined through the same
   // submission queue (no reply requested), so callers never wait on the
@@ -139,6 +146,9 @@ class FrontEnd {
     uint64_t request_id = 0;  // 0 = fire-and-forget.
     std::string payload;
     std::vector<std::pair<std::string, std::string>> targets;  // topic,key
+    // Context after the enqueue span (invalid when untraced); the
+    // produce hop parents under it.
+    trace::TraceContext trace;
   };
   struct Completion {
     ReplyCallback callback;
@@ -151,6 +161,7 @@ class FrontEnd {
   // pending entry when callback is non-null.
   Status Enqueue(const Route& route, const reservoir::Event& event,
                  ReplyCallback callback,
+                 const trace::TraceContext& trace_ctx,
                  std::vector<Submission>* out);
   // Publishes every queued submission, one ProduceBatch per topic.
   void DrainSubmissions();

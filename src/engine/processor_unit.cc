@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/tracer.h"
+
 namespace railgun::engine {
 
 ProcessorUnit::ProcessorUnit(const UnitOptions& options, std::string unit_id,
@@ -282,6 +284,8 @@ void ProcessorUnit::ProcessGrouped(
   // Replies for active tasks are batched per reply topic and published
   // with one ProduceBatch each; replicas stay silent (Algorithm 1).
   std::map<std::string, std::vector<msg::ProduceRecord>> reply_batches;
+  // First traced reply per topic anchors that topic's publish span.
+  std::map<std::string, trace::TraceContext> reply_trace_ctx;
   for (const auto& [tp, messages] : groups) {
     uint64_t replay_offset = 0;
     auto proc_or = GetOrCreateProcessor(tp, &replay_offset);
@@ -306,13 +310,33 @@ void ProcessorUnit::ProcessGrouped(
       if (reply.request_id == 0 || reply.reply_topic.empty()) continue;
       std::string encoded;
       EncodeReplyEnvelope(reply, &encoded);
+      // The trailer forwards the unit-side context so the front end's
+      // completion span links into the same trace.
+      trace::AppendTraceTrailer(reply.trace, &encoded);
+      if (reply.trace.valid() &&
+          !reply_trace_ctx.count(reply.reply_topic)) {
+        reply_trace_ctx[reply.reply_topic] = reply.trace;
+      }
       reply_batches[reply.reply_topic].push_back(
           {messages[i].key.ToString(), std::move(encoded)});
     }
   }
+  trace::Tracer* tracer = trace::Tracer::Global();
   for (auto& [topic, records] : reply_batches) {
     const uint64_t count = records.size();
-    const Status published = bus_->ProduceBatch(topic, std::move(records));
+    const trace::TraceContext publish_ctx = reply_trace_ctx[topic];
+    const Micros publish_start =
+        tracer->enabled() ? tracer->NowMicros() : 0;
+    Status published;
+    {
+      // Ambient context for the in-process broker's append span.
+      trace::ScopedTraceContext scope(publish_ctx);
+      published = bus_->ProduceBatch(topic, std::move(records));
+    }
+    if (publish_start != 0) {
+      tracer->Record(trace::Stage::kReplyPublish, publish_ctx,
+                     publish_start, tracer->NowMicros());
+    }
     MutexLock lock(&mu_);
     if (published.ok()) {
       stats_.replies_sent += count;
@@ -343,8 +367,16 @@ void ProcessorUnit::Run() {
     // the heartbeat and parks (wake-on-arrival) when nothing is ready.
     // PollBatch hands back views into the transport's pooled buffer, so
     // the hot path never copies event payloads into per-message strings.
+    trace::Tracer* tracer = trace::Tracer::Global();
+    const Micros poll_start = tracer->enabled() ? tracer->NowMicros() : 0;
     const Status poll_status = bus_->PollBatch(
         unit_id_, options_.poll_max, &active_batch_, options_.poll_wait);
+    if (poll_start != 0 && !active_batch_.empty()) {
+      // No context yet at poll time: histogram-only hop (park-to-batch
+      // latency; empty polls are just the idle park, skip them).
+      tracer->Record(trace::Stage::kUnitPoll, trace::TraceContext(),
+                     poll_start, tracer->NowMicros());
+    }
     if (!poll_status.ok()) {
       {
         MutexLock lock(&mu_);

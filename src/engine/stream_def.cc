@@ -106,7 +106,7 @@ void EncodeEventEnvelope(const EventEnvelope& env,
 
 Status DecodeEventEnvelope(const Slice& data,
                            const reservoir::Schema& schema,
-                           EventEnvelope* env) {
+                           EventEnvelope* env, Slice* rest) {
   Slice in = data;
   uint64_t request_id;
   Slice reply_topic;
@@ -117,7 +117,9 @@ Status DecodeEventEnvelope(const Slice& data,
   env->request_id = request_id;
   env->reply_topic = reply_topic.ToString();
   const reservoir::EventCodec codec(&schema);
-  return codec.Decode(&in, /*base_ts=*/0, &env->event);
+  RAILGUN_RETURN_IF_ERROR(codec.Decode(&in, /*base_ts=*/0, &env->event));
+  if (rest != nullptr) *rest = in;  // Unconsumed trailer bytes, if any.
+  return Status::OK();
 }
 
 namespace {
@@ -183,7 +185,8 @@ void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out) {
   }
 }
 
-Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env) {
+Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env,
+                           Slice* rest) {
   Slice in = data;
   uint64_t request_id;
   uint32_t count;
@@ -205,6 +208,7 @@ Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env) {
     RAILGUN_RETURN_IF_ERROR(DecodeFieldValue(&in, &r.value));
     env->results.push_back(std::move(r));
   }
+  if (rest != nullptr) *rest = in;  // Unconsumed trailer bytes, if any.
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "query/query.h"
 #include "reservoir/event.h"
+#include "trace/trace_context.h"
 
 namespace railgun::engine {
 
@@ -51,11 +52,15 @@ struct EventEnvelope {
   reservoir::Event event;
 };
 
+// Envelopes may carry a trace-context trailer after the codec bytes
+// (see trace/trace_context.h). Decoders ignore unconsumed bytes, so the
+// trailer interops with peers predating it; pass `rest` to receive the
+// remainder and recover the context with trace::ParseTraceTrailer.
 void EncodeEventEnvelope(const EventEnvelope& env,
                          const reservoir::Schema& schema, std::string* out);
 Status DecodeEventEnvelope(const Slice& data,
                            const reservoir::Schema& schema,
-                           EventEnvelope* env);
+                           EventEnvelope* env, Slice* rest = nullptr);
 
 // Aggregation reply from a task processor to the originating front-end.
 struct MetricReply {
@@ -70,10 +75,14 @@ struct ReplyEnvelope {
   // event envelope; not part of the encoded reply wire format.
   std::string reply_topic;
   std::vector<MetricReply> results;
+  // Trace context carried forward from the event envelope (encoded as a
+  // trailer by the unit so the front end's completion span links).
+  trace::TraceContext trace;
 };
 
 void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out);
-Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env);
+Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env,
+                           Slice* rest = nullptr);
 
 }  // namespace railgun::engine
 

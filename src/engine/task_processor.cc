@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "trace/tracer.h"
 
 namespace railgun::engine {
 
@@ -121,26 +122,32 @@ Status TaskProcessor::ProcessMessage(const msg::Message& message,
   reply->reply_topic.clear();
 
   EventEnvelope env;
+  Slice rest;
   RAILGUN_RETURN_IF_ERROR(
       DecodeEventEnvelope(Slice(message.payload), *reservoir_->schema(),
-                          &env));
+                          &env, &rest));
   env.event.offset = message.offset;
   return ApplyEvent(env.event, env.request_id, Slice(env.reply_topic),
-                    reply);
+                    trace::ParseTraceTrailer(rest), reply);
 }
 
 Status TaskProcessor::ApplyEvent(const reservoir::Event& event,
                                  uint64_t request_id,
                                  const Slice& reply_topic,
+                                 const trace::TraceContext& trace_ctx,
                                  ReplyEnvelope* reply) {
   reply->request_id = request_id;
   reply->reply_topic.assign(reply_topic.data(), reply_topic.size());
+  reply->trace = trace_ctx;
 
   const int64_t offset = static_cast<int64_t>(event.offset);
   if (offset > reservoir_skip_threshold_) {
     RAILGUN_RETURN_IF_ERROR(reservoir_->Append(event));
   }
   if (offset > plan_skip_threshold_) {
+    trace::Tracer* tracer = trace::Tracer::Global();
+    const Micros apply_start =
+        tracer->enabled() ? tracer->NowMicros() : 0;
     if (reply_topic.empty()) {
       // Fire-and-forget ingestion: update state, skip result reporting.
       RAILGUN_RETURN_IF_ERROR(plan_->ProcessEvent(event, nullptr));
@@ -153,6 +160,12 @@ Status TaskProcessor::ApplyEvent(const reservoir::Event& event,
             MetricReply{std::move(r.metric_name), std::move(r.group_key),
                         std::move(r.value)});
       }
+    }
+    if (apply_start != 0) {
+      // The reply chain parents under the window-apply span.
+      reply->trace = tracer->Record(trace::Stage::kUnitWindowApply,
+                                    trace_ctx, apply_start,
+                                    tracer->NowMicros());
     }
   }
   last_processed_offset_ = offset;
@@ -175,19 +188,41 @@ Status TaskProcessor::ProcessBatch(
   // materialize through a reused scratch event. A message that fails to
   // decode or process is skipped — its reply slot keeps request_id 0,
   // so no reply is routed for it — without aborting the rest.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  const Micros batch_start = tracer->enabled() ? tracer->NowMicros() : 0;
   column_batch_.Decode(messages, *reservoir_->schema());
+  // Batch-level spans (decode, whole-batch process) attach to the first
+  // traced row's context; per-row spans use each row's own trailer.
+  trace::TraceContext batch_ctx;
+  if (batch_start != 0) {
+    for (size_t i = 0; i < messages.size() && !batch_ctx.valid(); ++i) {
+      if (column_batch_.row_ok(i)) {
+        batch_ctx = trace::ParseTraceTrailer(column_batch_.trailer(i));
+      }
+    }
+    tracer->Record(trace::Stage::kUnitDecode, batch_ctx, batch_start,
+                   tracer->NowMicros());
+  }
   for (size_t i = 0; i < messages.size(); ++i) {
     if (!column_batch_.row_ok(i)) {
       ++*failed;
       continue;
     }
     column_batch_.MaterializeRow(i, &scratch_event_);
+    const trace::TraceContext row_ctx =
+        batch_start != 0
+            ? trace::ParseTraceTrailer(column_batch_.trailer(i))
+            : trace::TraceContext();
     if (!ApplyEvent(scratch_event_, column_batch_.request_id(i),
-                    column_batch_.reply_topic(i), &(*replies)[i])
+                    column_batch_.reply_topic(i), row_ctx, &(*replies)[i])
              .ok()) {
       (*replies)[i] = ReplyEnvelope();
       ++*failed;
     }
+  }
+  if (batch_start != 0) {
+    tracer->Record(trace::Stage::kUnitProcess, batch_ctx, batch_start,
+                   tracer->NowMicros());
   }
   return Status::OK();
 }

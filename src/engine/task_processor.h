@@ -88,8 +88,13 @@ class TaskProcessor {
   Status RollBackToCheckpoint();
   // Post-decode half of ProcessMessage: reservoir append + plan update +
   // reply fill + checkpoint cadence for one already-decoded event.
+  // trace_ctx is the context recovered from the envelope trailer
+  // (invalid when untraced); the advanced context lands in reply->trace
+  // so the reply path keeps the chain.
   Status ApplyEvent(const reservoir::Event& event, uint64_t request_id,
-                    const Slice& reply_topic, ReplyEnvelope* reply);
+                    const Slice& reply_topic,
+                    const trace::TraceContext& trace_ctx,
+                    ReplyEnvelope* reply);
 
   TaskProcessorOptions options_;
   std::string dir_;

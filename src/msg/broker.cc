@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/hash.h"
+#include "trace/tracer.h"
 
 namespace railgun::msg {
 
@@ -240,6 +241,10 @@ Status InProcessBus::ProduceBatch(const std::string& topic,
     buckets[Hash64(records[i].key) % t->partitions.size()].push_back(i);
   }
 
+  // The producer (front end / unit) leaves its trace context ambient so
+  // the append hop records under the same trace.
+  trace::Tracer* tracer = trace::Tracer::Global();
+  const Micros append_start = tracer->enabled() ? tracer->NowMicros() : 0;
   const Micros now = clock_->NowMicros();
   for (size_t p = 0; p < buckets.size(); ++p) {
     if (buckets[p].empty()) continue;
@@ -250,6 +255,11 @@ Status InProcessBus::ProduceBatch(const std::string& topic,
                    std::move(records[i].key), std::move(records[i].payload),
                    now);
     }
+  }
+  if (append_start != 0) {
+    tracer->Record(trace::Stage::kBrokerAppend,
+                   trace::CurrentTraceContext(), append_start,
+                   tracer->NowMicros());
   }
   NotifyArrival();
   return Status::OK();
@@ -418,6 +428,9 @@ Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
   // waiting on virtual-time visibility (or vice versa).
   const Micros deadline =
       clock_->NowMicros() + std::max<Micros>(max_wait, 0);
+  trace::Tracer* tracer = trace::Tracer::Global();
+  const Micros trace_poll_start =
+      tracer->enabled() ? tracer->NowMicros() : 0;
   for (;;) {
     uint64_t epoch;
     {
@@ -432,6 +445,12 @@ Status InProcessBus::Poll(const std::string& consumer_id, size_t max_messages,
                                      &earliest_visible, &interrupted));
     if (!out->empty() || delivered_callbacks || interrupted ||
         max_wait <= 0) {
+      if (trace_poll_start != 0 && !out->empty()) {
+        // Park-to-delivery latency; no context travels into a park, so
+        // this hop is histogram-only.
+        tracer->Record(trace::Stage::kBrokerPoll, trace::TraceContext(),
+                       trace_poll_start, tracer->NowMicros());
+      }
       return Status::OK();
     }
     const Micros now = clock_->NowMicros();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/coding.h"
+#include "trace/trace_context.h"
 
 namespace railgun::msg::remote {
 
@@ -183,8 +184,16 @@ Frame BusServer::HandleRequest(const FrameView& request) {
           records.push_back({key.ToString(), payload.ToString()});
         }
       }
-      if (parsed) status = bus_->ProduceBatch(topic.ToString(),
-                                              std::move(records));
+      if (parsed) {
+        // A trace trailer may follow the last record (see kTraceHello);
+        // make it ambient so the hosted bus's append span links. A
+        // corrupt trailer degrades to an untraced produce, never an
+        // error.
+        const trace::ScopedTraceContext scope(
+            options_.enable_trace ? trace::ParseTraceTrailer(in)
+                                  : trace::TraceContext());
+        status = bus_->ProduceBatch(topic.ToString(), std::move(records));
+      }
       break;
     }
     case OpCode::kSubscribe: {
@@ -377,6 +386,9 @@ Frame BusServer::HandleRequest(const FrameView& request) {
       std::string topic;
       std::vector<ProduceRecord> records;
       if ((parsed = GetColumnarProduceBatch(&in, &topic, &records))) {
+        const trace::ScopedTraceContext scope(
+            options_.enable_trace ? trace::ParseTraceTrailer(in)
+                                  : trace::TraceContext());
         status = bus_->ProduceBatch(topic, std::move(records));
         if (status.ok()) {
           columnar_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -384,6 +396,14 @@ Frame BusServer::HandleRequest(const FrameView& request) {
       }
       break;
     }
+    case OpCode::kTraceHello:
+      if (!options_.enable_trace) {
+        // Mirror a server predating trace propagation byte-for-byte so
+        // the client downgrade path sees the real thing.
+        status = Status::NotSupported("unknown opcode " +
+                                      std::to_string(request.opcode));
+      }
+      break;
     default:
       if (extension_ == nullptr ||
           !extension_(request.opcode, in, &status, &result)) {

@@ -39,6 +39,10 @@ struct BusServerOptions {
   // predating the columnar frames, exercising the client's
   // NotSupported downgrade path.
   bool enable_columnar = true;
+  // Answer kTraceHello (and honor produce trace trailers). Off
+  // simulates a server predating trace propagation, exercising the
+  // client's NotSupported downgrade path.
+  bool enable_trace = true;
 };
 
 class BusServer {

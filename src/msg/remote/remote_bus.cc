@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/coding.h"
+#include "trace/tracer.h"
 
 namespace railgun::msg::remote {
 
@@ -206,9 +207,19 @@ StatusOr<uint64_t> RemoteBus::ProduceToPartition(const std::string& topic,
 
 Status RemoteBus::ProduceBatch(const std::string& topic,
                                std::vector<ProduceRecord> records) {
+  // When the producer left a trace context ambient, forward it as a
+  // request trailer so the server-side append span joins the trace —
+  // but only once the kTraceHello handshake confirmed the server
+  // understands trailers.
+  trace::TraceContext trace_ctx = trace::CurrentTraceContext();
+  if (trace_ctx.valid() && (!trace::Tracer::Global()->enabled() ||
+                            !TraceTrailerNegotiated())) {
+    trace_ctx = trace::TraceContext();
+  }
   if (server_columnar_.load(std::memory_order_relaxed)) {
     std::string payload;
     PutColumnarProduceBatch(&payload, topic, records);
+    trace::AppendTraceTrailer(trace_ctx, &payload);
     const Status status =
         CallControl(OpCode::kProduceColumnar, payload, nullptr);
     if (!status.IsNotSupported()) {
@@ -228,7 +239,24 @@ Status RemoteBus::ProduceBatch(const std::string& topic,
     PutLengthPrefixedSlice(&payload, record.key);
     PutLengthPrefixedSlice(&payload, record.payload);
   }
+  trace::AppendTraceTrailer(trace_ctx, &payload);
   return CallControl(OpCode::kProduceBatch, payload, nullptr);
+}
+
+bool RemoteBus::TraceTrailerNegotiated() {
+  const int state = server_trace_.load(std::memory_order_relaxed);
+  if (state != 0) return state > 0;
+  const Status hello =
+      CallControl(OpCode::kTraceHello, std::string(), nullptr);
+  if (hello.ok()) {
+    server_trace_.store(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (hello.IsNotSupported()) {
+    server_trace_.store(-1, std::memory_order_relaxed);
+    return false;
+  }
+  return false;  // Transport hiccup: stay unknown, retry next produce.
 }
 
 // --- Group management ------------------------------------------------

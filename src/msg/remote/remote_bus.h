@@ -140,6 +140,12 @@ class RemoteBus : public Bus {
   bool columnar_enabled() const {
     return server_columnar_.load(std::memory_order_relaxed);
   }
+  // True once the server answered the kTraceHello handshake OK (i.e.
+  // produce requests may carry trace trailers). False while unknown or
+  // after a NotSupported downgrade.
+  bool trace_negotiated() const {
+    return server_trace_.load(std::memory_order_relaxed) > 0;
+  }
 
   // Generic RPC on the control connection, for stubs speaking opcodes
   // the bus itself does not (the metadata service's kMeta* RPCs via
@@ -179,6 +185,10 @@ class RemoteBus : public Bus {
                   Slice* result) const;
   Status CallControl(OpCode opcode, const std::string& payload,
                      std::string* result) const;
+  // Lazily runs the kTraceHello handshake on the first traced produce.
+  // OK caches yes, NotSupported caches a permanent downgrade; transport
+  // errors stay unknown and retry on a later produce.
+  bool TraceTrailerNegotiated();
   // Fires the consumer's rebalance listener for non-empty lists.
   void DeliverRebalance(const std::string& consumer_id,
                         const std::vector<TopicPartition>& revoked,
@@ -197,6 +207,9 @@ class RemoteBus : public Bus {
   mutable BufferPool pool_;
   std::atomic<bool> server_columnar_{true};
   std::atomic<uint64_t> columnar_batches_{0};
+  // Trace-trailer handshake state: 0 unknown, 1 negotiated, -1 the
+  // server answered NotSupported (permanent downgrade).
+  std::atomic<int> server_trace_{0};
 
   mutable Mutex mu_{kRankMsgRemoteBus};
   mutable std::map<std::string, std::shared_ptr<Conn>> conns_ GUARDED_BY(mu_);

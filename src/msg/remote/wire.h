@@ -77,6 +77,15 @@ enum class OpCode : uint8_t {
   kPollColumnar = 22,
   kProduceColumnar = 23,
 
+  // Trace-context negotiation (PR 9). An empty-payload hello: a server
+  // that understands the optional trace trailer appended after produce
+  // payloads answers OK; older servers answer NotSupported through the
+  // unknown-opcode fallback and the client never appends trailers. The
+  // trailer itself is trace::kTraceTrailerSize checksummed bytes after
+  // the last record of kProduceBatch / kProduceColumnar (decoders parse
+  // front-to-back, so peers that predate it skip it untouched).
+  kTraceHello = 24,
+
   // Metadata-service RPCs (src/meta/), answered by the BusServer's
   // extension handler rather than the hosted bus. Opcodes stay below
   // kResponseBit so the response-bit convention holds.

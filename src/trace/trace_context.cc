@@ -1,0 +1,65 @@
+#include "trace/trace_context.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace railgun::trace {
+
+namespace {
+
+uint8_t TrailerChecksum(const char* bytes, size_t n) {
+  uint8_t x = 0x5a;
+  for (size_t i = 0; i < n; ++i) x ^= static_cast<uint8_t>(bytes[i]);
+  return x;
+}
+
+thread_local TraceContext t_current;
+
+}  // namespace
+
+void AppendTraceTrailer(const TraceContext& ctx, std::string* out) {
+  if (!ctx.valid()) return;
+  const size_t base = out->size();
+  out->push_back(static_cast<char>(kTraceTrailerMagic));
+  PutFixed64(out, ctx.trace_hi);
+  PutFixed64(out, ctx.trace_lo);
+  PutFixed64(out, ctx.span_id);
+  out->push_back(static_cast<char>(ctx.flags));
+  out->push_back(static_cast<char>(
+      TrailerChecksum(out->data() + base, kTraceTrailerSize - 1)));
+}
+
+TraceContext ParseTraceTrailer(const Slice& rest) {
+  TraceContext none;
+  if (rest.size() < kTraceTrailerSize) return none;
+  const char* t = rest.data() + rest.size() - kTraceTrailerSize;
+  if (static_cast<uint8_t>(t[0]) != kTraceTrailerMagic) return none;
+  if (static_cast<uint8_t>(t[kTraceTrailerSize - 1]) !=
+      TrailerChecksum(t, kTraceTrailerSize - 1)) {
+    return none;
+  }
+  Slice in(t + 1, kTraceTrailerSize - 2);
+  TraceContext ctx;
+  if (!GetFixed64(&in, &ctx.trace_hi) || !GetFixed64(&in, &ctx.trace_lo) ||
+      !GetFixed64(&in, &ctx.span_id)) {
+    return none;
+  }
+  ctx.flags = static_cast<uint8_t>(t[kTraceTrailerSize - 2]);
+  if (!ctx.valid()) return none;  // A zero trace id is no trace at all.
+  return ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(t_current) {
+  t_current = ctx;
+  SetLogTraceId(ctx.trace_hi, ctx.trace_lo);
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_current = saved_;
+  SetLogTraceId(saved_.trace_hi, saved_.trace_lo);
+}
+
+const TraceContext& CurrentTraceContext() { return t_current; }
+
+}  // namespace railgun::trace

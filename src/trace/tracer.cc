@@ -1,0 +1,367 @@
+#include "trace/tracer.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace railgun::trace {
+
+namespace {
+
+// Collected spans are bounded: a capture nobody exports must not grow
+// without limit. Overflow evicts the oldest spans (counted as drops).
+constexpr size_t kMaxCollected = 1u << 17;
+
+uint64_t ThreadSeed() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  static std::atomic<uint64_t> salt{0};
+  return static_cast<uint64_t>(now.count()) ^
+         (static_cast<uint64_t>(::getpid()) << 32) ^
+         (salt.fetch_add(0x9e3779b97f4a7c15ull) | 1);
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientSubmit:
+      return "client.submit";
+    case Stage::kFrontendEnqueue:
+      return "frontend.enqueue";
+    case Stage::kFrontendProduce:
+      return "frontend.produce";
+    case Stage::kBrokerAppend:
+      return "broker.append";
+    case Stage::kBrokerPoll:
+      return "broker.poll";
+    case Stage::kUnitPoll:
+      return "unit.poll";
+    case Stage::kUnitDecode:
+      return "unit.decode";
+    case Stage::kUnitProcess:
+      return "unit.process";
+    case Stage::kUnitWindowApply:
+      return "unit.window_apply";
+    case Stage::kReplyPublish:
+      return "reply.publish";
+    case Stage::kFrontendComplete:
+      return "frontend.complete";
+    case Stage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+// SPSC ring: the owning thread pushes at head, the collector drains at
+// tail. Collector calls are serialized by the tracer mutex.
+struct Tracer::ThreadRing {
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> tail{0};
+  Span slots[kRingCapacity];
+};
+
+namespace {
+struct TlsRingCache {
+  Tracer* owner = nullptr;
+  uint64_t epoch = 0;
+  std::shared_ptr<Tracer::ThreadRing> ring;
+};
+thread_local TlsRingCache t_ring;
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer::~Tracer() = default;
+
+Tracer* Tracer::Global() {
+  // Leaked: instrumented threads may record during static destruction.
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* on = std::getenv("RAILGUN_TRACE");
+    if (on == nullptr || std::strcmp(on, "0") == 0 ||
+        std::strcmp(on, "") == 0 || std::strcmp(on, "off") == 0) {
+      return;
+    }
+    TracerOptions options;
+    if (const char* sample = std::getenv("RAILGUN_TRACE_SAMPLE")) {
+      const long long n = std::atoll(sample);
+      options.sample_every = n > 0 ? static_cast<uint64_t>(n) : 1;
+    }
+    if (const char* slow = std::getenv("RAILGUN_TRACE_SLOW_US")) {
+      options.slow_threshold_us = std::atoll(slow);
+    }
+    Global()->Enable(options);
+    RAILGUN_LOG(kInfo, "trace",
+                "tracing enabled (sample 1-in-%llu, slow threshold %lld us)",
+                static_cast<unsigned long long>(options.sample_every),
+                static_cast<long long>(options.slow_threshold_us));
+  });
+}
+
+void Tracer::Enable(const TracerOptions& options) {
+  sample_every_.store(options.sample_every > 0 ? options.sample_every : 1,
+                      std::memory_order_relaxed);
+  slow_threshold_us_.store(options.slow_threshold_us,
+                           std::memory_order_relaxed);
+  clock_.store(options.clock, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+Micros Tracer::NowMicros() const {
+  if (!enabled()) return 0;
+  Clock* clock = clock_.load(std::memory_order_relaxed);
+  if (clock == nullptr) clock = MonotonicClock::Default();
+  return clock->NowMicros();
+}
+
+uint64_t Tracer::NewId() {
+  thread_local Random64 rng(ThreadSeed());
+  uint64_t id;
+  do {
+    id = rng.Next();
+  } while (id == 0);
+  return id;
+}
+
+TraceContext Tracer::Mint() {
+  TraceContext ctx;
+  if (!enabled()) return ctx;
+  ctx.trace_hi = NewId();
+  ctx.trace_lo = NewId();
+  ctx.span_id = NewId();
+  const uint64_t n = sample_every_.load(std::memory_order_relaxed);
+  if (sample_counter_.fetch_add(1, std::memory_order_relaxed) % n == 0) {
+    ctx.flags |= TraceContext::kSampledFlag;
+  }
+  return ctx;
+}
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (t_ring.owner != this || t_ring.epoch != epoch) {
+    auto ring = std::make_shared<ThreadRing>();
+    {
+      MutexLock lock(&mu_);
+      rings_.push_back(ring);
+    }
+    t_ring.owner = this;
+    t_ring.epoch = epoch;
+    t_ring.ring = std::move(ring);
+  }
+  return t_ring.ring.get();
+}
+
+void Tracer::Push(const Span& span) {
+  ThreadRing* ring = RingForThisThread();
+  const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  const uint64_t tail = ring->tail.load(std::memory_order_acquire);
+  if (head - tail >= kRingCapacity) {
+    // Never block the hot path on a lagging collector: drop + count.
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->slots[head & (kRingCapacity - 1)] = span;
+  ring->head.store(head + 1, std::memory_order_release);
+  spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::FeedHistogram(Stage stage, Micros duration_us) {
+  introspect::Histogram* hist =
+      stage_hist_[static_cast<size_t>(stage)].load(std::memory_order_relaxed);
+  if (hist != nullptr) hist->Record(duration_us);
+}
+
+TraceContext Tracer::Record(Stage stage, const TraceContext& ctx,
+                            Micros start_us, Micros end_us, bool force) {
+  if (!enabled()) return ctx;
+  const Micros duration = end_us >= start_us ? end_us - start_us : 0;
+  FeedHistogram(stage, duration);
+  if (!ctx.valid() || (!ctx.sampled() && !force)) return ctx;
+
+  Span span;
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = NewId();
+  span.parent_id = ctx.span_id;
+  span.start_us = start_us;
+  span.duration_us = duration;
+  span.stage = stage;
+  span.forced = force && !ctx.sampled() ? 1 : 0;
+  Push(span);
+
+  TraceContext advanced = ctx;
+  advanced.span_id = span.span_id;
+  return advanced;
+}
+
+void Tracer::RecordRoot(Stage stage, const TraceContext& ctx, Micros start_us,
+                        Micros end_us, bool force) {
+  if (!enabled()) return;
+  const Micros duration = end_us >= start_us ? end_us - start_us : 0;
+  FeedHistogram(stage, duration);
+  if (!ctx.valid() || (!ctx.sampled() && !force)) return;
+  if (force && !ctx.sampled()) {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Span span;
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = ctx.span_id;
+  span.parent_id = 0;
+  span.start_us = start_us;
+  span.duration_us = duration;
+  span.stage = stage;
+  span.forced = force && !ctx.sampled() ? 1 : 0;
+  Push(span);
+}
+
+bool Tracer::SlowExceeded(Micros elapsed) const {
+  if (!enabled()) return false;
+  const Micros threshold = slow_threshold_us_.load(std::memory_order_relaxed);
+  return threshold > 0 && elapsed >= threshold;
+}
+
+Micros Tracer::slow_threshold_us() const {
+  return slow_threshold_us_.load(std::memory_order_relaxed);
+}
+
+size_t Tracer::Drain() {
+  MutexLock lock(&mu_);
+  size_t moved = 0;
+  for (const auto& ring : rings_) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      collected_.push_back(ring->slots[tail & (kRingCapacity - 1)]);
+      ++moved;
+    }
+    ring->tail.store(head, std::memory_order_release);
+  }
+  if (collected_.size() > kMaxCollected) {
+    const size_t excess = collected_.size() - kMaxCollected;
+    collected_.erase(collected_.begin(),
+                     collected_.begin() + static_cast<ptrdiff_t>(excess));
+    spans_dropped_.fetch_add(excess, std::memory_order_relaxed);
+  }
+  return moved;
+}
+
+size_t Tracer::collected_size() const {
+  MutexLock lock(&mu_);
+  return collected_.size();
+}
+
+std::vector<Span> Tracer::CollectedSpans() const {
+  MutexLock lock(&mu_);
+  return collected_;
+}
+
+std::string Tracer::ExportChromeJson() {
+  Drain();
+  MutexLock lock(&mu_);
+  std::string out;
+  out.reserve(64 + collected_.size() * 224);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const int pid = static_cast<int>(::getpid());
+  char buf[320];
+  for (size_t i = 0; i < collected_.size(); ++i) {
+    const Span& span = collected_[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"railgun\",\"ph\":\"X\","
+        "\"ts\":%lld,\"dur\":%lld,\"pid\":%d,\"tid\":%d,\"args\":{"
+        "\"trace_id\":\"%016llx%016llx\",\"span_id\":\"%llx\","
+        "\"parent_span_id\":\"%llx\",\"forced\":%s}}",
+        i == 0 ? "" : ",", StageName(span.stage),
+        static_cast<long long>(span.start_us),
+        static_cast<long long>(span.duration_us > 0 ? span.duration_us : 1),
+        pid, static_cast<int>(span.stage) + 1,
+        static_cast<unsigned long long>(span.trace_hi),
+        static_cast<unsigned long long>(span.trace_lo),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_id),
+        span.forced ? "true" : "false");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status Tracer::ExportToFile(const std::string& path) {
+  const std::string json = ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace export file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0) {
+    return Status::IOError("short write to trace export file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  MutexLock lock(&mu_);
+  collected_.clear();
+}
+
+void Tracer::AttachRegistry(introspect::Registry* registry) {
+  if (registry == nullptr ||
+      registry_.load(std::memory_order_acquire) == registry) {
+    return;
+  }
+  for (size_t i = 0; i < static_cast<size_t>(Stage::kCount); ++i) {
+    const std::string name =
+        std::string("trace.stage.") + StageName(static_cast<Stage>(i)) +
+        "_us";
+    stage_hist_[i].store(registry->histogram(name),
+                         std::memory_order_release);
+  }
+  registry->AddProbe("trace.spans_recorded", [this] {
+    return static_cast<double>(spans_recorded());
+  });
+  registry->AddProbe("trace.spans_dropped", [this] {
+    return static_cast<double>(spans_dropped());
+  });
+  registry->AddProbe("trace.slow_requests", [this] {
+    return static_cast<double>(slow_requests());
+  });
+  registry_.store(registry, std::memory_order_release);
+}
+
+void Tracer::DetachRegistry(introspect::Registry* registry) {
+  if (registry_.load(std::memory_order_acquire) != registry) return;
+  for (auto& hist : stage_hist_) {
+    hist.store(nullptr, std::memory_order_release);
+  }
+  registry_.store(nullptr, std::memory_order_release);
+}
+
+void Tracer::ResetForTest() {
+  Disable();
+  DetachRegistry(registry_.load(std::memory_order_acquire));
+  MutexLock lock(&mu_);
+  rings_.clear();
+  collected_.clear();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  sample_counter_.store(0, std::memory_order_relaxed);
+  spans_recorded_.store(0, std::memory_order_relaxed);
+  spans_dropped_.store(0, std::memory_order_relaxed);
+  slow_requests_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace railgun::trace

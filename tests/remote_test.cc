@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #include "api/client.h"
@@ -21,6 +22,8 @@
 #include "msg/remote/remote_bus.h"
 #include "msg/remote/socket.h"
 #include "msg/remote/wire.h"
+#include "trace/trace_context.h"
+#include "trace/tracer.h"
 
 namespace railgun::msg::remote {
 namespace {
@@ -589,6 +592,87 @@ TEST(RemoteBusFallbackTest, OldServerWithoutColumnarDowngradesOnce) {
   server.Stop();
 }
 
+TEST_F(RemoteBusTest, TraceTrailerCrossesTheWireToTheHostedBroker) {
+  trace::Tracer* tracer = trace::Tracer::Global();
+  tracer->ResetForTest();
+  trace::TracerOptions trace_options;
+  trace_options.sample_every = 1;
+  tracer->Enable(trace_options);
+
+  ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
+  const trace::TraceContext ctx = tracer->Mint();
+  ASSERT_TRUE(ctx.sampled());
+  {
+    // The produce path reads the ambient context (as the front end's
+    // drain loop does) and rides it across as a frame trailer.
+    trace::ScopedTraceContext scope(ctx);
+    std::vector<ProduceRecord> records;
+    records.push_back({"k", "v"});
+    ASSERT_TRUE(remote_->ProduceBatch("t", std::move(records)).ok());
+  }
+  EXPECT_TRUE(remote_->trace_negotiated());
+
+  // The hosted bus (the "server process" of this loopback pair)
+  // recorded its append under the wire-carried context: same trace,
+  // parented directly under ctx.span_id.
+  tracer->Drain();
+  bool found = false;
+  for (const auto& span : tracer->CollectedSpans()) {
+    if (span.stage != trace::Stage::kBrokerAppend) continue;
+    EXPECT_EQ(span.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(span.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(span.parent_id, ctx.span_id);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  tracer->ResetForTest();
+}
+
+TEST(RemoteBusFallbackTest, OldServerWithoutTraceDowngradesToUntraced) {
+  trace::Tracer* tracer = trace::Tracer::Global();
+  tracer->ResetForTest();
+  trace::TracerOptions trace_options;
+  trace_options.sample_every = 1;
+  tracer->Enable(trace_options);
+
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServerOptions server_options;
+  server_options.enable_trace = false;  // Simulates a pre-trace peer.
+  BusServer server(server_options, &bus);
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteBusOptions remote_options;
+  remote_options.address = server.address();
+  RemoteBus remote(remote_options);
+  ASSERT_TRUE(remote.Connect().ok());
+  ASSERT_TRUE(remote.CreateTopic("t", 1).ok());
+
+  const trace::TraceContext ctx = tracer->Mint();
+  ASSERT_TRUE(ctx.sampled());
+  {
+    trace::ScopedTraceContext scope(ctx);
+    std::vector<ProduceRecord> records;
+    records.push_back({"k", "v"});
+    ASSERT_TRUE(remote.ProduceBatch("t", std::move(records)).ok());
+  }
+  // kTraceHello answered NotSupported; the downgrade is sticky and
+  // delivery is unaffected — the append just has no trace context.
+  EXPECT_FALSE(remote.trace_negotiated());
+  std::vector<Message> out;
+  ASSERT_TRUE(bus.Fetch({"t", 0}, 0, 10, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "v");
+
+  tracer->Drain();
+  for (const auto& span : tracer->CollectedSpans()) {
+    EXPECT_NE(span.parent_id, ctx.span_id);  // Nothing linked under it.
+  }
+  server.Stop();
+  tracer->ResetForTest();
+}
+
 TEST_F(RemoteBusTest, ServerDeathSurfacesUnavailable) {
   ASSERT_TRUE(remote_->CreateTopic("t", 1).ok());
   server_->Stop();
@@ -833,6 +917,91 @@ TEST(RemoteClientTest, ServerDeathTimesOutPendingRequestsCleanly) {
                             "GROUP BY merchantId OVER sliding 5 minutes")
                    .ok());
   client.Stop();
+}
+
+TEST(RemoteClientTest, TracedSubmitYieldsOneParentLinkedTrace) {
+  trace::Tracer* tracer = trace::Tracer::Global();
+  tracer->ResetForTest();
+  trace::TracerOptions trace_options;
+  trace_options.sample_every = 1;  // Sample everything.
+  tracer->Enable(trace_options);
+
+  RemoteHarness harness("trace");
+  ASSERT_TRUE(harness.Start().ok());
+  ClientOptions options;
+  options.remote_address = harness.address();
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client.Query(kCardMetric).ok());
+
+  EventResult result = client.SubmitSync(
+      "payments", Row()
+                      .At(1 * kMicrosPerMinute)
+                      .Set("cardId", "cardT")
+                      .Set("merchantId", "m1")
+                      .Set("amount", 3.0));
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  // The tail spans (frontend.complete, the client.submit root) record
+  // moments after the future fires; poll until the capture quiesces.
+  std::vector<trace::Span> spans;
+  const Micros deadline =
+      MonotonicClock::Default()->NowMicros() + 5 * kMicrosPerSecond;
+  std::set<trace::Stage> stages;
+  while (MonotonicClock::Default()->NowMicros() < deadline) {
+    tracer->Drain();
+    spans = tracer->CollectedSpans();
+    stages.clear();
+    for (const auto& span : spans) stages.insert(span.stage);
+    if (stages.count(trace::Stage::kClientSubmit) > 0 &&
+        stages.count(trace::Stage::kFrontendComplete) > 0 &&
+        stages.size() >= 6) {
+      break;
+    }
+    MonotonicClock::Default()->SleepMicros(20 * kMicrosPerMilli);
+  }
+
+  // One submission, one trace, covering client, front end, broker, unit
+  // and reply layers: at least six stages, every span on the same
+  // 128-bit trace id, every non-root span parented at another recorded
+  // span, exactly one root.
+  ASSERT_GE(stages.size(), 6u);
+  EXPECT_EQ(stages.count(trace::Stage::kClientSubmit), 1u);
+  EXPECT_EQ(stages.count(trace::Stage::kFrontendEnqueue), 1u);
+  EXPECT_EQ(stages.count(trace::Stage::kBrokerAppend), 1u);
+  EXPECT_EQ(stages.count(trace::Stage::kUnitProcess), 1u);
+  EXPECT_EQ(stages.count(trace::Stage::kReplyPublish), 1u);
+  EXPECT_EQ(stages.count(trace::Stage::kFrontendComplete), 1u);
+  ASSERT_FALSE(spans.empty());
+  std::set<uint64_t> span_ids;
+  int roots = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_hi, spans[0].trace_hi);
+    EXPECT_EQ(span.trace_lo, spans[0].trace_lo);
+    span_ids.insert(span.span_id);
+    if (span.parent_id == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+  for (const auto& span : spans) {
+    if (span.parent_id == 0) {
+      EXPECT_EQ(span.stage, trace::Stage::kClientSubmit);
+      continue;
+    }
+    EXPECT_EQ(span_ids.count(span.parent_id), 1u)
+        << "orphaned span " << trace::StageName(span.stage);
+  }
+
+  // The capture exports as loadable Chrome-trace JSON.
+  const std::string json = tracer->ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(json.find("\"name\":\"client.submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit.window_apply\""), std::string::npos);
+
+  client.Stop();
+  harness.Stop();
+  tracer->ResetForTest();
 }
 
 }  // namespace

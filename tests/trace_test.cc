@@ -1,0 +1,334 @@
+// Tests for the distributed-tracing substrate: trace-context trailer
+// round-trip and robustness (truncation and bit flips degrade to "no
+// context", never an error), span recording semantics (parent linkage,
+// sampling, slow-request force recording on a simulated clock),
+// ring-overflow drop accounting, Chrome-trace JSON export shape, and
+// the registry integration (per-stage histograms + trace.* probes).
+#include "trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "introspect/registry.h"
+#include "trace/trace_context.h"
+
+namespace railgun::trace {
+namespace {
+
+TraceContext SampleContext() {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefull;
+  ctx.trace_lo = 0xfedcba9876543210ull;
+  ctx.span_id = 0xdeadbeefcafef00dull;
+  ctx.flags = TraceContext::kSampledFlag;
+  return ctx;
+}
+
+// The global tracer is process-wide state; every test starts and ends
+// from a clean slate so ordering between suites cannot matter.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Global()->ResetForTest(); }
+  void TearDown() override { Tracer::Global()->ResetForTest(); }
+};
+
+TEST(TraceContextTest, TrailerRoundTrip) {
+  const TraceContext ctx = SampleContext();
+  std::string payload = "payload-front-matter";
+  AppendTraceTrailer(ctx, &payload);
+  ASSERT_EQ(payload.size(), 20 + kTraceTrailerSize);
+
+  // The decoder consumed the front matter; the trailer is the rest.
+  const Slice rest(payload.data() + 20, payload.size() - 20);
+  const TraceContext parsed = ParseTraceTrailer(rest);
+  EXPECT_TRUE(parsed.valid());
+  EXPECT_TRUE(parsed.sampled());
+  EXPECT_EQ(parsed.trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, ctx.trace_lo);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+}
+
+TEST(TraceContextTest, InvalidContextAppendsNothing) {
+  std::string payload = "untouched";
+  AppendTraceTrailer(TraceContext(), &payload);
+  EXPECT_EQ(payload, "untouched");
+  EXPECT_FALSE(ParseTraceTrailer(Slice(payload)).valid());
+}
+
+TEST(TraceContextTest, UnknownFutureFieldsBeforeTheTrailerAreTolerated) {
+  // A newer peer may insert fields between the known payload and the
+  // trailer; the parser anchors on the *last* kTraceTrailerSize bytes.
+  std::string rest = "future-extension-bytes";
+  AppendTraceTrailer(SampleContext(), &rest);
+  const TraceContext parsed = ParseTraceTrailer(Slice(rest));
+  EXPECT_TRUE(parsed.valid());
+  EXPECT_EQ(parsed.span_id, SampleContext().span_id);
+}
+
+TEST(TraceContextTest, EveryTruncationYieldsInvalidContextNeverAnError) {
+  std::string trailer;
+  AppendTraceTrailer(SampleContext(), &trailer);
+  ASSERT_EQ(trailer.size(), kTraceTrailerSize);
+  for (size_t len = 0; len < trailer.size(); ++len) {
+    const std::string prefix = trailer.substr(0, len);
+    EXPECT_FALSE(ParseTraceTrailer(Slice(prefix)).valid())
+        << "prefix length " << len;
+  }
+}
+
+TEST(TraceContextTest, EveryBitFlipFailsVerificationToUnsampled) {
+  std::string trailer;
+  AppendTraceTrailer(SampleContext(), &trailer);
+  for (size_t byte = 0; byte < trailer.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = trailer;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const TraceContext parsed = ParseTraceTrailer(Slice(mutated));
+      // Magic, id, flag or checksum corruption: all collapse to an
+      // invalid (hence unsampled) context.
+      EXPECT_FALSE(parsed.valid()) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(TraceContextTest, ScopedContextNestsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    ScopedTraceContext outer(SampleContext());
+    EXPECT_EQ(CurrentTraceContext().span_id, SampleContext().span_id);
+    {
+      TraceContext inner_ctx = SampleContext();
+      inner_ctx.span_id = 42;
+      ScopedTraceContext inner(inner_ctx);
+      EXPECT_EQ(CurrentTraceContext().span_id, 42u);
+    }
+    EXPECT_EQ(CurrentTraceContext().span_id, SampleContext().span_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST_F(TracerTest, DisabledTracerIsInert) {
+  Tracer* tracer = Tracer::Global();
+  EXPECT_FALSE(tracer->enabled());
+  EXPECT_EQ(tracer->NowMicros(), 0);
+  EXPECT_FALSE(tracer->Mint().valid());
+  const TraceContext ctx = SampleContext();
+  const TraceContext out = tracer->Record(Stage::kUnitProcess, ctx, 0, 10);
+  EXPECT_EQ(out.span_id, ctx.span_id);  // Unchanged: nothing recorded.
+  EXPECT_EQ(tracer->spans_recorded(), 0u);
+}
+
+TEST_F(TracerTest, MintSamplesOneInN) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 4;
+  tracer->Enable(options);
+  int sampled = 0;
+  for (int i = 0; i < 16; ++i) {
+    const TraceContext ctx = tracer->Mint();
+    EXPECT_TRUE(ctx.valid());
+    if (ctx.sampled()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 4);
+}
+
+TEST_F(TracerTest, RecordChainsParentLinkage) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1;
+  tracer->Enable(options);
+
+  const TraceContext root = tracer->Mint();
+  ASSERT_TRUE(root.sampled());
+  const TraceContext after_enqueue =
+      tracer->Record(Stage::kFrontendEnqueue, root, 10, 20);
+  EXPECT_NE(after_enqueue.span_id, root.span_id);
+  const TraceContext after_process =
+      tracer->Record(Stage::kUnitProcess, after_enqueue, 30, 45);
+  tracer->RecordRoot(Stage::kClientSubmit, root, 0, 50);
+
+  ASSERT_EQ(tracer->Drain(), 3u);
+  const std::string json = tracer->ExportChromeJson();
+  EXPECT_NE(json.find("frontend.enqueue"), std::string::npos);
+  EXPECT_NE(json.find("unit.process"), std::string::npos);
+  EXPECT_NE(json.find("client.submit"), std::string::npos);
+
+  // The chain: root (parent 0) <- enqueue <- process.
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "\"parent_span_id\":\"%llx\"",
+                static_cast<unsigned long long>(after_enqueue.span_id));
+  EXPECT_NE(json.find(expect), std::string::npos);
+  std::snprintf(expect, sizeof(expect), "\"span_id\":\"%llx\"",
+                static_cast<unsigned long long>(after_process.span_id));
+  EXPECT_NE(json.find(expect), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0\""), std::string::npos);
+}
+
+TEST_F(TracerTest, UnsampledContextAdvancesNothingAndRecordsNothing) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1u << 30;
+  tracer->Enable(options);
+  (void)tracer->Mint();                        // Mint 0: sampled.
+  const TraceContext ctx = tracer->Mint();     // Mint 1: not sampled.
+  ASSERT_FALSE(ctx.sampled());
+  const TraceContext out = tracer->Record(Stage::kUnitProcess, ctx, 0, 10);
+  EXPECT_EQ(out.span_id, ctx.span_id);
+  EXPECT_EQ(tracer->spans_recorded(), 0u);
+  EXPECT_EQ(tracer->Drain(), 0u);
+}
+
+TEST_F(TracerTest, SlowRequestForceSamplingOnSimulatedClock) {
+  SimulatedClock clock(1000);
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1u << 30;
+  options.slow_threshold_us = 500;
+  options.clock = &clock;
+  tracer->Enable(options);
+
+  (void)tracer->Mint();                        // Burn the sampled mint.
+  const TraceContext ctx = tracer->Mint();
+  ASSERT_FALSE(ctx.sampled());
+
+  const Micros start = tracer->NowMicros();
+  EXPECT_EQ(start, 1000);
+  clock.Advance(499);
+  EXPECT_FALSE(tracer->SlowExceeded(tracer->NowMicros() - start));
+  clock.Advance(1);
+  const Micros end = tracer->NowMicros();
+  ASSERT_TRUE(tracer->SlowExceeded(end - start));
+
+  // The head sampler said no, but the slow path records the root anyway
+  // and counts it.
+  tracer->RecordRoot(Stage::kClientSubmit, ctx, start, end, /*force=*/true);
+  EXPECT_EQ(tracer->slow_requests(), 1u);
+  EXPECT_EQ(tracer->spans_recorded(), 1u);
+  ASSERT_EQ(tracer->Drain(), 1u);
+  const std::string json = tracer->ExportChromeJson();
+  EXPECT_NE(json.find("\"forced\":true"), std::string::npos);
+}
+
+TEST_F(TracerTest, FullRingDropsSpansAndCountsThemWithoutBlocking) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1;
+  tracer->Enable(options);
+  const TraceContext ctx = tracer->Mint();
+  ASSERT_TRUE(ctx.sampled());
+
+  const size_t overflow = 100;
+  for (size_t i = 0; i < Tracer::kRingCapacity + overflow; ++i) {
+    tracer->Record(Stage::kUnitProcess, ctx, 0, 1);
+  }
+  EXPECT_EQ(tracer->spans_recorded(), Tracer::kRingCapacity);
+  EXPECT_EQ(tracer->spans_dropped(), overflow);
+
+  // Draining frees the ring; recording resumes without loss.
+  EXPECT_EQ(tracer->Drain(), Tracer::kRingCapacity);
+  tracer->Record(Stage::kUnitProcess, ctx, 0, 1);
+  EXPECT_EQ(tracer->spans_dropped(), overflow);
+  EXPECT_EQ(tracer->Drain(), 1u);
+}
+
+TEST_F(TracerTest, DrainCollectsSpansFromEveryThread) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1;
+  tracer->Enable(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([tracer] {
+      const TraceContext ctx = tracer->Mint();
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer->Record(Stage::kBrokerAppend, ctx, i, i + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer->Drain(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer->collected_size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  tracer->Clear();
+  EXPECT_EQ(tracer->collected_size(), 0u);
+}
+
+TEST_F(TracerTest, ExportedJsonHasChromeTraceShape) {
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1;
+  tracer->Enable(options);
+  const TraceContext ctx = tracer->Mint();
+  tracer->Record(Stage::kReplyPublish, ctx, 100, 250);
+
+  const std::string json = tracer->ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"reply.publish\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":150"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  // Braces balance (no nesting surprises from snprintf truncation).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(TracerTest, RegistryGetsStageHistogramsAndProbes) {
+  introspect::Registry registry;
+  Tracer* tracer = Tracer::Global();
+  TracerOptions options;
+  options.sample_every = 1;
+  tracer->Enable(options);
+  tracer->AttachRegistry(&registry);
+
+  const TraceContext ctx = tracer->Mint();
+  tracer->Record(Stage::kUnitProcess, ctx, 0, 40);
+  // Unsampled and invalid contexts still feed the histogram: the
+  // latency population is complete even at 1-in-N span sampling.
+  tracer->Record(Stage::kUnitProcess, TraceContext(), 0, 80);
+
+  bool saw_hist = false;
+  bool saw_recorded = false;
+  for (const auto& sample : registry.Snapshot()) {
+    if (sample.name == "trace.stage.unit.process_us.count") {
+      saw_hist = true;
+      EXPECT_DOUBLE_EQ(sample.value, 2.0);
+    }
+    if (sample.name == "trace.spans_recorded") {
+      saw_recorded = true;
+      EXPECT_DOUBLE_EQ(sample.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+  EXPECT_TRUE(saw_recorded);
+  tracer->DetachRegistry(&registry);
+}
+
+TEST_F(TracerTest, LogLinesInsideAScopeCarryTheTraceId) {
+  // The scoped context stamps the logging layer's thread trace id so a
+  // RAILGUN_LOG line emitted mid-request can be joined to its trace.
+  const TraceContext ctx = SampleContext();
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  {
+    ScopedTraceContext scope(ctx);
+    GetLogTraceId(&hi, &lo);
+    EXPECT_EQ(hi, ctx.trace_hi);
+    EXPECT_EQ(lo, ctx.trace_lo);
+  }
+  GetLogTraceId(&hi, &lo);
+  EXPECT_EQ(hi | lo, 0u);
+}
+
+}  // namespace
+}  // namespace railgun::trace

@@ -16,7 +16,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.h"
 #include "meta/worker_node.h"
+#include "trace/tracer.h"
 
 using namespace railgun;
 
@@ -59,23 +61,29 @@ int main(int argc, char** argv) {
     }
   }
   if (options.num_units <= 0) {
-    fprintf(stderr, "--units must be positive\n");
+    RAILGUN_LOG(kError, "noded", "--units must be positive");
     return 2;
   }
+
+  // RAILGUN_TRACE=1 turns on span recording; RAILGUN_TRACE_EXPORT=path
+  // dumps the capture as Chrome-trace JSON on graceful shutdown.
+  trace::Tracer::InitFromEnvOnce();
 
   meta::WorkerNode worker(options);
   const Status started = worker.Start();
   if (!started.ok()) {
-    fprintf(stderr, "failed to join broker at %s: %s\n",
-            options.broker_address.c_str(), started.ToString().c_str());
+    RAILGUN_LOG(kError, "noded", "failed to join broker at %s: %s",
+                options.broker_address.c_str(),
+                started.ToString().c_str());
     return 1;
   }
-  printf("railgun_noded %s: joined %s with %d unit(s), lease %lld ms "
-         "(SIGTERM to leave gracefully)\n",
-         worker.node_id().c_str(), options.broker_address.c_str(),
-         options.num_units,
-         static_cast<long long>(worker.lease_timeout() / kMicrosPerMilli));
-  fflush(stdout);
+  RAILGUN_LOG(kInfo, "noded",
+              "%s joined %s with %d unit(s), lease %lld ms (SIGTERM to "
+              "leave gracefully)",
+              worker.node_id().c_str(), options.broker_address.c_str(),
+              options.num_units,
+              static_cast<long long>(worker.lease_timeout() /
+                                     kMicrosPerMilli));
 
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
@@ -83,8 +91,21 @@ int main(int argc, char** argv) {
     MonotonicClock::Default()->SleepMicros(50 * kMicrosPerMilli);
   }
 
-  printf("railgun_noded %s: leaving\n", worker.node_id().c_str());
-  fflush(stdout);
+  RAILGUN_LOG(kInfo, "noded", "%s leaving", worker.node_id().c_str());
   worker.Stop();
+
+  const char* trace_export = std::getenv("RAILGUN_TRACE_EXPORT");
+  if (trace_export != nullptr && trace_export[0] != '\0') {
+    const Status exported =
+        trace::Tracer::Global()->ExportToFile(trace_export);
+    if (exported.ok()) {
+      RAILGUN_LOG(kInfo, "noded", "%s wrote trace to %s",
+                  worker.node_id().c_str(), trace_export);
+    } else {
+      RAILGUN_LOG(kWarn, "noded", "%s trace export to %s failed: %s",
+                  worker.node_id().c_str(), trace_export,
+                  exported.ToString().c_str());
+    }
+  }
   return 0;
 }
