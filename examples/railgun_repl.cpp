@@ -16,8 +16,10 @@
 //   CREATE STREAM <name> (<field> <TYPE>, ...) PARTITION BY <f>[, ...]
 //       [PARTITIONS <n>]
 //   ADD METRIC SELECT ...            (or a bare SELECT statement)
+//   ADD PIPELINE <name> ON <stream> | filter(...) | by(...) | ...
+//   SUBSCRIBE SELECT ...             (streams rows live; Ctrl-C stops)
 //   event <stream> ts=<seconds> <field>=<value> ...
-//   streams | stats [prefix] | nodes | addnode | killnode <i>
+//   streams | pipelines | stats [prefix] | nodes | addnode | killnode <i>
 //   trace on|off|dump [file]
 //   quit
 //
@@ -29,13 +31,16 @@
 //   event payments ts=60 cardId=card1 merchantId=m1 amount=10.5
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 #include "api/client.h"
+#include "ops/pipeline.h"
 #include "trace/tracer.h"
 
 using namespace railgun;
@@ -99,6 +104,79 @@ bool HandleEvent(Client& client, std::istringstream& in) {
   return true;
 }
 
+// Set by Ctrl-C while a `subscribe` tail is streaming; checked per poll.
+std::atomic<bool> g_interrupt{false};
+void OnInterrupt(int) { g_interrupt.store(true); }
+
+// Streams a live tail to stdout until Ctrl-C (interactive) or the tail
+// goes idle (scripted input, so piped sessions terminate).
+void HandleSubscribe(Client& client, const std::string& statement,
+                     bool interactive) {
+  auto sub = client.Subscribe(statement);
+  if (!sub.ok()) {
+    printf("! %s\n", sub.status().ToString().c_str());
+    return;
+  }
+  printf("subscribed (id %llu)%s\n",
+         static_cast<unsigned long long>(sub.value()->id()),
+         interactive ? " — Ctrl-C to stop" : "");
+  g_interrupt.store(false);
+  auto previous = signal(SIGINT, OnInterrupt);
+  std::vector<ops::SubRecord> records;
+  int idle = 0;
+  while (!g_interrupt.load() && (interactive || idle < 4)) {
+    const Status s = sub.value()->Next(&records, 250 * kMicrosPerMilli);
+    if (!s.ok()) {
+      printf("! %s%s\n", s.ToString().c_str(),
+             s.IsNotFound() ? " (hub restarted; re-subscribe)" : "");
+      break;
+    }
+    idle = records.empty() ? idle + 1 : 0;
+    for (const auto& record : records) {
+      printf("  #%llu @%.3fs", static_cast<unsigned long long>(record.seq),
+             static_cast<double>(record.timestamp) / kMicrosPerSecond);
+      for (const auto& [name, value] : record.fields) {
+        printf(" %s=%s", name.c_str(), value.ToString().c_str());
+      }
+      printf("\n");
+    }
+    fflush(stdout);
+  }
+  signal(SIGINT, previous);
+  (void)sub.value()->Cancel();
+  printf("unsubscribed (dropped %llu, lag %llu)\n",
+         static_cast<unsigned long long>(sub.value()->dropped_total()),
+         static_cast<unsigned long long>(sub.value()->lag()));
+}
+
+// Lists registered pipelines with per-operator flow counters from the
+// internals stream (`ops.pipeline.<name>.opN.<kind>.{in,out,dropped}`).
+void HandlePipelines(Client& client) {
+  const std::vector<query::PipelineSpec> pipelines = client.ListPipelines();
+  if (pipelines.empty()) {
+    printf("no pipelines registered\n");
+    return;
+  }
+  std::map<std::string, double> series;
+  auto samples = client.InternalsSnapshot();
+  if (samples.ok()) {
+    for (const auto& s : samples.value()) {
+      series[s.metric] += s.value;  // Sum across nodes.
+    }
+  }
+  for (const auto& pipeline : pipelines) {
+    printf("%s ON %s\n", pipeline.name.c_str(), pipeline.stream.c_str());
+    for (size_t i = 0; i < pipeline.ops.size(); ++i) {
+      const std::string base = "ops.pipeline." + pipeline.name + ".op" +
+                               std::to_string(i) + "." +
+                               query::OpKindName(pipeline.ops[i].kind);
+      printf("  | %-40s in=%-8.0f out=%-8.0f dropped=%.0f\n",
+             pipeline.ops[i].raw.c_str(), series[base + ".in"],
+             series[base + ".out"], series[base + ".dropped"]);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,9 +196,9 @@ int main(int argc, char** argv) {
 
   const bool interactive = isatty(0);
   if (interactive) {
-    printf("railgun shell%s — CREATE STREAM / ADD METRIC / SELECT, "
-           "event, streams, stats [prefix], trace on|off|dump, nodes, "
-           "addnode, killnode, quit\n",
+    printf("railgun shell%s — CREATE STREAM / ADD METRIC / ADD PIPELINE / "
+           "SELECT / SUBSCRIBE, event, streams, pipelines, stats [prefix], "
+           "trace on|off|dump, nodes, addnode, killnode, quit\n",
            options.remote_address.empty()
                ? ""
                : (" @ " + options.remote_address).c_str());
@@ -150,6 +228,10 @@ int main(int argc, char** argv) {
       } else {
         printf("ok\n");
       }
+    } else if (command == "subscribe") {
+      HandleSubscribe(client, line, interactive);
+    } else if (command == "pipelines") {
+      HandlePipelines(client);
     } else if (command == "event") {
       HandleEvent(client, in);
     } else if (command == "streams") {

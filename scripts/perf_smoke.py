@@ -59,7 +59,32 @@ def main() -> int:
         else:
             print(f"perf_smoke ok: {line}")
 
-    return trace_gates(fresh)
+    return trace_gates(fresh) or ops_hook_gate(fresh)
+
+
+def ops_hook_gate(fresh: dict) -> int:
+    """Hard 1% gate: registering a pipeline on another stream must not
+    tax this stream's publish path. Gated on the process-CPU-time rate
+    (both series from the same bench_subscribe_fanout run), which holds
+    still when co-tenants steal cycles mid-run — wall-clock on shared
+    runners swings far more than the 1% budget."""
+    plain_key = "fanout_plain_publish_cpu_events_per_sec"
+    hooked_key = "fanout_foreign_pipeline_publish_cpu_events_per_sec"
+    if plain_key not in fresh or hooked_key not in fresh:
+        return 0
+    plain, hooked = float(fresh[plain_key]), float(fresh[hooked_key])
+    if plain <= 0:
+        return 0
+    overhead = 1.0 - hooked / plain
+    line = (
+        f"{hooked_key}: {hooked:.0f} vs {plain_key} {plain:.0f} "
+        f"(overhead {overhead:+.1%}, budget 1%)"
+    )
+    if overhead > 0.01:
+        print(f"::error::idle pipeline-hook overhead gate failed: {line}")
+        return 1
+    print(f"ops_gate ok: {line}")
+    return 0
 
 
 def trace_gates(fresh: dict) -> int:

@@ -12,6 +12,8 @@
 #include "common/random.h"
 #include "meta/meta_client.h"
 #include "msg/remote/remote_bus.h"
+#include "msg/remote/wire.h"
+#include "ops/pipeline.h"
 #include "query/ddl.h"
 #include "trace/tracer.h"
 
@@ -205,6 +207,126 @@ Status Client::AddMetric(query::QueryDef metric) {
   return WaitForRegistration(options_.request_timeout);
 }
 
+Status Client::AddPipelineLocal(query::PipelineSpec pipeline) {
+  {
+    MutexLock lock(&mu_);
+    auto it = streams_.find(pipeline.stream);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + pipeline.stream);
+    }
+    engine::StreamDef updated = it->second;
+    for (const auto& existing : updated.pipelines) {
+      if (existing.raw == pipeline.raw) {
+        return Status::AlreadyExists("pipeline already registered: " +
+                                     pipeline.raw);
+      }
+    }
+    // Compile-validate against the source schema before shipping (the
+    // throwaway instance's counters are pipeline-local).
+    RAILGUN_RETURN_IF_ERROR(
+        ops::Pipeline::Compile(pipeline.raw,
+                               reservoir::Schema(0, updated.fields),
+                               /*registry=*/nullptr)
+            .status());
+    updated.pipelines.push_back(std::move(pipeline));
+    RAILGUN_RETURN_IF_ERROR(cluster_->RegisterStream(updated));
+    it->second = std::move(updated);
+  }
+  return WaitForRegistration(options_.request_timeout);
+}
+
+Status Client::RemoteAddPipeline(const std::string& statement,
+                                 query::PipelineSpec pipeline) {
+  RAILGUN_RETURN_IF_ERROR(EnsureStream(pipeline.stream));
+  {
+    MutexLock lock(&mu_);
+    auto it = streams_.find(pipeline.stream);
+    if (it == streams_.end()) {
+      return Status::NotFound("unknown stream: " + pipeline.stream);
+    }
+    for (const auto& existing : it->second.pipelines) {
+      if (existing.raw == pipeline.raw) {
+        return Status::AlreadyExists("pipeline already registered: " +
+                                     pipeline.raw);
+      }
+    }
+    RAILGUN_RETURN_IF_ERROR(
+        ops::Pipeline::Compile(pipeline.raw,
+                               reservoir::Schema(0, it->second.fields),
+                               /*registry=*/nullptr)
+            .status());
+  }
+  // As with streams/metrics, AlreadyExists still syncs the local view.
+  const Status executed =
+      remote_ddl_->Execute(statement, options_.request_timeout);
+  if (!executed.ok() && !executed.IsAlreadyExists()) return executed;
+  {
+    MutexLock lock(&mu_);
+    auto it = streams_.find(pipeline.stream);
+    if (it != streams_.end()) {
+      bool known = false;
+      for (const auto& existing : it->second.pipelines) {
+        known = known || existing.raw == pipeline.raw;
+      }
+      if (!known) it->second.pipelines.push_back(std::move(pipeline));
+    }
+  }
+  return executed;
+}
+
+Status Client::AddPipeline(const std::string& statement) {
+  RAILGUN_ASSIGN_OR_RETURN(query::DdlStatement ddl,
+                           query::ParseDdl(statement));
+  if (ddl.kind != query::DdlKind::kAddPipeline) {
+    return Status::InvalidArgument(
+        "AddPipeline() takes ADD PIPELINE statements");
+  }
+  if (remote()) return RemoteAddPipeline(statement, std::move(ddl.pipeline));
+  return AddPipelineLocal(std::move(ddl.pipeline));
+}
+
+std::vector<query::PipelineSpec> Client::ListPipelines() const {
+  MutexLock lock(&mu_);
+  std::vector<query::PipelineSpec> out;
+  for (const auto& [name, stream] : streams_) {
+    out.insert(out.end(), stream.pipelines.begin(), stream.pipelines.end());
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Subscription>> Client::Subscribe(
+    const std::string& statement) {
+  if (!started_) return Status::Unavailable("client not started");
+  if (remote()) {
+    if (subscribe_unsupported_.load(std::memory_order_relaxed)) {
+      return Status::NotSupported(
+          "server predates live subscriptions (sticky downgrade)");
+    }
+    ops::SubCreateRequest request;
+    request.statement = statement;
+    std::string payload, result;
+    ops::EncodeSubCreateRequest(request, &payload);
+    const Status created = remote_bus_->CallOpcode(
+        static_cast<uint8_t>(msg::remote::OpCode::kSubCreate), payload,
+        &result);
+    if (created.IsNotSupported()) {
+      subscribe_unsupported_.store(true, std::memory_order_relaxed);
+      return created;
+    }
+    RAILGUN_RETURN_IF_ERROR(created);
+    ops::SubCreateReply reply;
+    RAILGUN_RETURN_IF_ERROR(ops::DecodeSubCreateReply(Slice(result), &reply));
+    return std::unique_ptr<Subscription>(
+        new Subscription(remote_bus_.get(), reply.sub_id));
+  }
+  ops::SubscriptionHub* hub = cluster_->subscription_hub();
+  if (hub == nullptr) {
+    return Status::NotSupported("cluster has no subscription hub");
+  }
+  RAILGUN_ASSIGN_OR_RETURN(const uint64_t id, hub->Create(statement));
+  return std::unique_ptr<Subscription>(new Subscription(hub, id));
+}
+
 Status Client::RemoteAddStream(const std::string& statement,
                                engine::StreamDef stream) {
   {
@@ -382,8 +504,18 @@ Status Client::Execute(const std::string& statement) {
       if (remote()) return RemoteAddStream(statement, std::move(stream));
       return AddStream(std::move(stream));
     }
+    if (ddl.kind == query::DdlKind::kAddPipeline) {
+      if (remote()) {
+        return RemoteAddPipeline(statement, std::move(ddl.pipeline));
+      }
+      return AddPipelineLocal(std::move(ddl.pipeline));
+    }
     if (remote()) return RemoteAddMetric(statement, std::move(ddl.metric));
     return AddMetric(std::move(ddl.metric));
+  }
+  if (query::IsSubscribeStatement(statement)) {
+    return Status::InvalidArgument(
+        "SUBSCRIBE returns a live tail; use Client::Subscribe()");
   }
   RAILGUN_ASSIGN_OR_RETURN(query::QueryDef metric,
                            query::ParseQuery(statement));

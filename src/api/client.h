@@ -30,6 +30,7 @@
 #include "api/admin.h"
 #include "api/result.h"
 #include "api/row.h"
+#include "api/subscription.h"
 #include "common/mutex.h"
 #include "engine/admission.h"
 #include "engine/cluster.h"
@@ -124,9 +125,32 @@ class Client {
   // backfills the new metric from reservoir history on live tasks.
   Status Query(const std::string& statement);
 
-  // Routes any statement (CREATE STREAM / ADD METRIC / SELECT) to the
-  // right handler — the REPL's single entry point.
+  // Routes any statement (CREATE STREAM / ADD METRIC / ADD PIPELINE /
+  // SELECT) to the right handler — the REPL's single entry point.
+  // SUBSCRIBE statements need a result handle; use Subscribe().
   Status Execute(const std::string& statement);
+
+  // --- Operator pipelines & live subscriptions ------------------------
+
+  // Registers an operator pipeline: "ADD PIPELINE <name> ON <stream>
+  // | filter(...) | by(...) | ...". Synthesize the statement with
+  // ops::PipelineBuilder for the programmatic (fluent) form. Synchronous
+  // like the other DDL; the route_to_stream target must be created
+  // (and registered on the cluster) separately.
+  Status AddPipeline(const std::string& statement);
+
+  // Pipelines registered on the streams this client knows, in stream
+  // order. Per-operator counters live in the internals stream
+  // (`ops.pipeline.<name>.*` via InternalsSnapshot()).
+  std::vector<query::PipelineSpec> ListPipelines() const;
+
+  // Opens a live tail: "SUBSCRIBE SELECT * FROM s [WHERE ...]" or a
+  // metric tail "SUBSCRIBE SELECT agg(...) FROM s ... [OVER infinite |
+  // sliding N events]". Remote servers predating the subscription
+  // opcodes answer NotSupported — sticky: later calls fail fast
+  // without another RPC.
+  StatusOr<std::unique_ptr<Subscription>> Subscribe(
+      const std::string& statement);
 
   // In remote mode the listing merges the metadata service's view with
   // locally declared streams, so foreign streams show up too.
@@ -183,6 +207,9 @@ class Client {
  private:
   Status AddStream(engine::StreamDef stream);
   Status AddMetric(query::QueryDef metric);
+  Status AddPipelineLocal(query::PipelineSpec pipeline);
+  Status RemoteAddPipeline(const std::string& statement,
+                           query::PipelineSpec pipeline);
   // Remote-mode DDL: ships the raw statement to the broker's metadata
   // service, then applies the already-parsed definition to the
   // client's local registry and front end.
@@ -233,6 +260,9 @@ class Client {
   uint64_t event_id_base_ = 0;
   mutable std::atomic<uint64_t> next_event_id_{1};
   std::atomic<uint64_t> next_frontend_{0};
+  // Sticky downgrade: set after a remote kSubCreate came back
+  // NotSupported (the server will not grow the opcode mid-connection).
+  std::atomic<bool> subscribe_unsupported_{false};
 };
 
 }  // namespace railgun::api

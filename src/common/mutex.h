@@ -58,6 +58,9 @@ enum LockRank : int {
   kRankIntrospectRegistry = 130, // introspect::Registry::mu_ (leaf:
                                  // probes run outside the lock)
   kRankIntrospectPublisher = 150,// introspect::Publisher cadence park
+  kRankOpsSubQueue = 160,        // ops::SubscriptionHub per-subscription
+                                 // record queue (leaf-ish: only trace /
+                                 // histogram leaves nest inside)
 
   // --- storage (2xx) -----------------------------------------------
   kRankStorageChunkCache = 220,  // reservoir::ChunkCache::mu_
@@ -86,6 +89,8 @@ enum LockRank : int {
   kRankEngineFrontEndPending = 440,  // FrontEnd pending-reply shards
   kRankEngineFrontEndSubmit = 445,   // FrontEnd submit queue
   kRankEngineFrontEnd = 450,     // FrontEnd routes/streams
+  kRankOpsSubscriptionHub = 460, // ops::SubscriptionHub table (held
+                                 // across bus Subscribe/Leave calls)
   kRankEngineCluster = 480,      // Cluster node table (held across
                                  // RegisterStream into frontend/bus)
 
@@ -97,6 +102,8 @@ enum LockRank : int {
   kRankMetaSweep = 565,          // MetadataService sweeper park
 
   // --- api (6xx) ------------------------------------------------------
+  kRankApiSubscription = 605,    // api::Subscription stub (held across
+                                 // RemoteBus subscription RPCs)
   kRankApiRemoteDdl = 610,       // RemoteDdlClient (held across bus
                                  // produce/poll round trips)
   kRankApiClient = 620,          // api::Client registration state

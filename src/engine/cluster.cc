@@ -78,6 +78,24 @@ Cluster::Cluster(const ClusterOptions& options)
     return static_cast<double>(TotalStats().process_failures);
   });
 
+  // Live SUBSCRIBE tails resolve streams from the registered set.
+  subscription_hub_.reset(new ops::SubscriptionHub(
+      bus_.get(),
+      [this](const std::string& name) -> StatusOr<StreamDef> {
+        MutexLock lock(&mu_);
+        for (const auto& stream : streams_) {
+          if (stream.name == name) return stream;
+        }
+        return Status::NotFound("unknown stream: " + name);
+      },
+      &registry_));
+  registry_.AddProbe("subscribe.subscribers", [this] {
+    return static_cast<double>(subscription_hub_->subscriber_count());
+  });
+  registry_.AddProbe("subscribe.queue.depth", [this] {
+    return static_cast<double>(subscription_hub_->TotalQueueDepth());
+  });
+
   // Per-stage trace latency histograms + trace.* counters flow into the
   // same registry (and through the publisher into __railgun.internals).
   trace::Tracer::InitFromEnvOnce();
@@ -123,8 +141,10 @@ Status Cluster::Start() {
 
 void Cluster::Stop() {
   // Stop the publisher before taking mu_: a snapshot in flight may be
-  // inside a probe that locks mu_ itself.
+  // inside a probe that locks mu_ itself. Likewise the hub: its Create
+  // path resolves streams through a lookup that locks mu_.
   if (publisher_ != nullptr) publisher_->Stop();
+  if (subscription_hub_ != nullptr) subscription_hub_->Stop();
   MutexLock lock(&mu_);
   for (auto& node : nodes_) {
     if (node->alive()) node->Stop();
@@ -241,6 +261,8 @@ UnitStats Cluster::TotalStats() const {
       total.poll_errors += s.poll_errors;
       total.publish_errors += s.publish_errors;
       total.process_failures += s.process_failures;
+      total.routed_events += s.routed_events;
+      total.routed_drops += s.routed_drops;
     }
   }
   return total;

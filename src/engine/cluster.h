@@ -13,6 +13,7 @@
 #include "introspect/publisher.h"
 #include "introspect/registry.h"
 #include "msg/broker.h"
+#include "ops/subscription.h"
 
 namespace railgun::engine {
 
@@ -64,6 +65,9 @@ class Cluster {
   // co-hosted services (meta::Broker adds its own probes).
   introspect::Registry* registry() { return &registry_; }
   introspect::Publisher* publisher() { return publisher_.get(); }
+  // Live SUBSCRIBE tails (src/ops/subscription.h) served against this
+  // cluster's bus; stream definitions resolve from the registered set.
+  ops::SubscriptionHub* subscription_hub() { return subscription_hub_.get(); }
   // The clock every bus/engine duration is interpreted in (the
   // metadata service leases nodes on this same clock).
   Clock* clock() const { return clock_; }
@@ -85,6 +89,9 @@ class Cluster {
   std::unique_ptr<Coordinator> coordinator_;
   introspect::Registry registry_;
   std::unique_ptr<introspect::Publisher> publisher_;
+  // Declared after bus_ so it stops (joining pump threads that poll the
+  // bus) before the bus is torn down.
+  std::unique_ptr<ops::SubscriptionHub> subscription_hub_;
   // Guards the topology (nodes_, streams_) against concurrent
   // submission and admin operations (AddNode during Submit etc).
   mutable Mutex mu_{kRankEngineCluster};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/hash.h"
 #include "trace/tracer.h"
 
 namespace railgun::engine {
@@ -20,7 +21,11 @@ ProcessorUnit::ProcessorUnit(const UnitOptions& options, std::string unit_id,
       clock_(clock) {
   if (options_.registry != nullptr) {
     batch_size_ = options_.registry->histogram("unit.batch_size");
+    routed_published_ = options_.registry->counter("ops.routed.published");
+    routed_dropped_ = options_.registry->counter("ops.routed.dropped");
   }
+  // Pipeline counters register against the same registry.
+  options_.task.registry = options_.registry;
 }
 
 ProcessorUnit::~ProcessorUnit() {
@@ -277,6 +282,115 @@ void ProcessorUnit::SyncReplicaTasks() {
   }
 }
 
+namespace {
+// Binds a routed field value to the target schema's declared type.
+// Numeric widening/narrowing is allowed; anything is stringifiable;
+// bools only accept bools and ints.
+bool CoerceTo(reservoir::FieldType type, const reservoir::FieldValue& v,
+              reservoir::FieldValue* out) {
+  switch (type) {
+    case reservoir::FieldType::kInt64:
+      if (v.is_string()) return false;
+      *out = reservoir::FieldValue(static_cast<int64_t>(v.ToNumber()));
+      return true;
+    case reservoir::FieldType::kDouble:
+      if (v.is_string()) return false;
+      *out = reservoir::FieldValue(v.ToNumber());
+      return true;
+    case reservoir::FieldType::kString:
+      *out = reservoir::FieldValue(v.ToString());
+      return true;
+    case reservoir::FieldType::kBool:
+      if (v.is_bool()) {
+        *out = v;
+      } else if (v.is_int()) {
+        *out = reservoir::FieldValue(v.as_int() != 0);
+      } else {
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+void ProcessorUnit::PublishRouted(std::vector<ops::RoutedEvent> routed) {
+  if (routed.empty()) return;
+  std::map<std::string, std::vector<msg::ProduceRecord>> batches;
+  uint64_t dropped = 0;
+  uint64_t prepared = 0;
+  for (auto& re : routed) {
+    StreamDef target;
+    {
+      MutexLock lock(&mu_);
+      auto it = streams_.find(re.target);
+      if (it == streams_.end()) {
+        // Target stream unknown on this node: typed drop, not a crash —
+        // registration may still be propagating.
+        ++dropped;
+        continue;
+      }
+      target = it->second;
+    }
+    const reservoir::Schema schema(0, target.fields);
+    EventEnvelope envelope;  // request_id 0: fire-and-forget.
+    envelope.event.timestamp = re.timestamp;
+    // Deterministic derived id: a replayed source event re-derives the
+    // same id, so the target reservoir's dedup keeps routing idempotent.
+    envelope.event.id = MixHash64(Hash64(re.target) ^ re.source_id);
+    envelope.event.values.reserve(target.fields.size());
+    bool bound = true;
+    for (const auto& field : target.fields) {
+      const reservoir::FieldValue* found = nullptr;
+      for (const auto& [name, value] : re.fields) {
+        if (name == field.name) {
+          found = &value;
+          break;
+        }
+      }
+      reservoir::FieldValue coerced;
+      if (found == nullptr || !CoerceTo(field.type, *found, &coerced)) {
+        bound = false;
+        break;
+      }
+      envelope.event.values.push_back(std::move(coerced));
+    }
+    if (!bound) {
+      ++dropped;
+      continue;
+    }
+    std::string payload;
+    EncodeEventEnvelope(envelope, schema, &payload);
+    bool keyed = true;
+    for (const auto& p : target.partitioners) {
+      const int field = schema.FieldIndex(p);
+      if (field < 0) {
+        keyed = false;
+        break;
+      }
+      batches[target.TopicFor(p)].push_back(
+          {envelope.event.values[field].ToString(), payload});
+    }
+    if (keyed) {
+      ++prepared;
+    } else {
+      ++dropped;
+    }
+  }
+  uint64_t publish_errors = 0;
+  for (auto& [topic, records] : batches) {
+    if (!bus_->ProduceBatch(topic, std::move(records)).ok()) {
+      ++publish_errors;
+    }
+  }
+  if (routed_published_ != nullptr) routed_published_->Add(prepared);
+  if (routed_dropped_ != nullptr) routed_dropped_->Add(dropped);
+  MutexLock lock(&mu_);
+  stats_.routed_events += prepared;
+  stats_.routed_drops += dropped;
+  stats_.publish_errors += publish_errors;
+}
+
 void ProcessorUnit::ProcessGrouped(
     const std::map<msg::TopicPartition, std::vector<msg::MessageView>>&
         groups,
@@ -295,6 +409,11 @@ void ProcessorUnit::ProcessGrouped(
     if (!proc_or.value()->ProcessBatch(messages, &replies, &failed).ok()) {
       continue;
     }
+    // Drain pipeline-routed events every batch (bounded memory). Only
+    // the active task publishes; a replica ran the pipeline merely to
+    // keep state warm, and its outputs would be duplicates.
+    std::vector<ops::RoutedEvent> routed = proc_or.value()->TakeRouted();
+    if (active) PublishRouted(std::move(routed));
     {
       MutexLock lock(&mu_);
       stats_.process_failures += failed;

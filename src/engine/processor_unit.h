@@ -46,6 +46,8 @@ struct UnitStats {
   uint64_t poll_errors = 0;      // Failed bus polls / replica fetches.
   uint64_t publish_errors = 0;   // Failed reply publishes.
   uint64_t process_failures = 0;  // Messages a task processor rejected.
+  uint64_t routed_events = 0;    // Pipeline-derived events published.
+  uint64_t routed_drops = 0;     // Routed events with no usable target.
 };
 
 class ProcessorUnit {
@@ -94,6 +96,9 @@ class ProcessorUnit {
       bool active);
   void DrainOperationalRequests();
   void SyncReplicaTasks();
+  // Publishes pipeline-routed events (fire-and-forget, deterministic
+  // derived ids) into their target streams' partitioner topics.
+  void PublishRouted(std::vector<ops::RoutedEvent> routed);
   StatusOr<TaskProcessor*> GetOrCreateProcessor(
       const msg::TopicPartition& tp, uint64_t* replay_offset);
   const StreamDef* StreamForTopic(const std::string& topic) const;
@@ -124,6 +129,8 @@ class ProcessorUnit {
   uint64_t seen_generation_ = 0;  // Unit-thread only.
   UnitStats stats_ GUARDED_BY(mu_);
   introspect::Histogram* batch_size_ = nullptr;  // Null without registry.
+  introspect::Counter* routed_published_ = nullptr;  // ops.routed.published.
+  introspect::Counter* routed_dropped_ = nullptr;    // ops.routed.dropped.
   // Poll scratch reused across loop iterations. Only touched by the unit
   // thread; the active batch typically borrows the remote bus's pooled
   // wire buffer (zero-copy poll).

@@ -37,6 +37,9 @@ void EncodeStreamDef(const StreamDef& def, std::string* out) {
   PutVarint32(out, static_cast<uint32_t>(def.partitions_per_topic));
   PutVarint32(out, static_cast<uint32_t>(def.queries.size()));
   for (const auto& q : def.queries) PutLengthPrefixedSlice(out, q.raw);
+  // Pipelines travel as raw statements, exactly like metric queries.
+  PutVarint32(out, static_cast<uint32_t>(def.pipelines.size()));
+  for (const auto& p : def.pipelines) PutLengthPrefixedSlice(out, p.raw);
 }
 
 Status DecodeStreamDef(Slice* in, StreamDef* def) {
@@ -93,6 +96,24 @@ Status DecodeStreamDef(Slice* in, StreamDef* def) {
     }
     def->queries.push_back(std::move(metric).value());
   }
+  def->pipelines.clear();
+  uint32_t num_pipelines;
+  if (!GetVarint32(in, &num_pipelines)) {
+    return Status::Corruption("malformed stream definition");
+  }
+  for (uint32_t i = 0; i < num_pipelines; ++i) {
+    Slice raw;
+    if (!GetLengthPrefixedSlice(in, &raw)) {
+      return Status::Corruption("malformed stream pipeline");
+    }
+    auto pipeline = query::ParsePipeline(raw.ToString());
+    if (!pipeline.ok()) {
+      return Status::Corruption(
+          "stream definition carries an unparseable pipeline: " +
+          pipeline.status().ToString());
+    }
+    def->pipelines.push_back(std::move(pipeline).value());
+  }
   return Status::OK();
 }
 
@@ -122,7 +143,6 @@ Status DecodeEventEnvelope(const Slice& data,
   return Status::OK();
 }
 
-namespace {
 void EncodeFieldValue(const reservoir::FieldValue& v, std::string* out) {
   if (v.is_int()) {
     out->push_back(0);
@@ -173,7 +193,6 @@ Status DecodeFieldValue(Slice* in, reservoir::FieldValue* v) {
   }
   return Status::Corruption("unknown field value tag");
 }
-}  // namespace
 
 void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out) {
   PutFixed64(out, env.request_id);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "query/pipeline.h"
 #include "query/query.h"
 #include "reservoir/event.h"
 #include "trace/trace_context.h"
@@ -25,6 +26,9 @@ struct StreamDef {
   int partitions_per_topic = 1;
   // Registered metric statements over this stream.
   std::vector<query::QueryDef> queries;
+  // Registered operator pipelines sourced from this stream (see
+  // src/ops/). Like queries they travel as raw statements.
+  std::vector<query::PipelineSpec> pipelines;
 
   std::string TopicFor(const std::string& partitioner) const {
     return name + "." + partitioner;
@@ -83,6 +87,12 @@ struct ReplyEnvelope {
 void EncodeReplyEnvelope(const ReplyEnvelope& env, std::string* out);
 Status DecodeReplyEnvelope(const Slice& data, ReplyEnvelope* env,
                            Slice* rest = nullptr);
+
+// Self-describing field-value codec (1-byte type tag + payload), shared
+// by the reply envelope above and the subscription push records
+// (ops/sub_wire.h).
+void EncodeFieldValue(const reservoir::FieldValue& v, std::string* out);
+Status DecodeFieldValue(Slice* in, reservoir::FieldValue* v);
 
 }  // namespace railgun::engine
 

@@ -51,6 +51,7 @@ Status TaskProcessor::Open() {
       installed_queries_.insert(q.raw);
     }
   }
+  RAILGUN_RETURN_IF_ERROR(InstallPipelines(stream_));
 
   // Restore checkpointed positions, if any.
   std::string value;
@@ -94,6 +95,30 @@ Status TaskProcessor::Open() {
         static_cast<int64_t>(reservoir_->LastPersistedOffset());
   }
   return Status::OK();
+}
+
+Status TaskProcessor::InstallPipelines(const StreamDef& def) {
+  // Pipelines run on the first partitioner's topic only: every event is
+  // produced to every partitioner topic, so executing on exactly one of
+  // them runs each pipeline once per event.
+  if (def.partitioners.empty()) return Status::OK();
+  if (def.TopicFor(def.partitioners[0]) != topic_) return Status::OK();
+  const reservoir::Schema source(0, def.fields);
+  for (const auto& p : def.pipelines) {
+    if (installed_pipelines_.count(p.raw) > 0) continue;
+    RAILGUN_ASSIGN_OR_RETURN(
+        std::unique_ptr<ops::Pipeline> compiled,
+        ops::Pipeline::Compile(p.raw, source, options_.registry));
+    pipelines_.push_back(std::move(compiled));
+    installed_pipelines_.insert(p.raw);
+  }
+  return Status::OK();
+}
+
+std::vector<ops::RoutedEvent> TaskProcessor::TakeRouted() {
+  std::vector<ops::RoutedEvent> routed;
+  routed.swap(pending_routed_);
+  return routed;
 }
 
 Status TaskProcessor::RollBackToCheckpoint() {
@@ -167,6 +192,16 @@ Status TaskProcessor::ApplyEvent(const reservoir::Event& event,
                                     trace_ctx, apply_start,
                                     tracer->NowMicros());
     }
+    if (!pipelines_.empty()) {
+      const Micros pipe_start = apply_start != 0 ? tracer->NowMicros() : 0;
+      for (auto& pipeline : pipelines_) {
+        pipeline->Process(event, &pending_routed_);
+      }
+      if (pipe_start != 0) {
+        tracer->Record(trace::Stage::kUnitPipeline, trace_ctx, pipe_start,
+                       tracer->NowMicros());
+      }
+    }
   }
   last_processed_offset_ = offset;
   ++processed_count_;
@@ -236,6 +271,7 @@ Status TaskProcessor::SyncQueries(const StreamDef& updated) {
     RAILGUN_RETURN_IF_ERROR(plan_->AddQueryBackfilled(q));
     installed_queries_.insert(q.raw);
   }
+  RAILGUN_RETURN_IF_ERROR(InstallPipelines(updated));
   stream_ = updated;
   return Status::OK();
 }

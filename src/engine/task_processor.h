@@ -15,8 +15,10 @@
 #include "common/status.h"
 #include "engine/column_batch.h"
 #include "engine/stream_def.h"
+#include "introspect/registry.h"
 #include "msg/batch.h"
 #include "msg/broker.h"
+#include "ops/pipeline.h"
 #include "plan/task_plan.h"
 #include "reservoir/reservoir.h"
 #include "storage/db.h"
@@ -28,6 +30,8 @@ struct TaskProcessorOptions {
   storage::DBOptions db;
   // Take a synchronized checkpoint every this many processed messages.
   uint64_t checkpoint_interval_events = 50000;
+  // Operator-pipeline counters register here when set (may be null).
+  introspect::Registry* registry = nullptr;
 };
 
 class TaskProcessor {
@@ -67,8 +71,18 @@ class TaskProcessor {
   // Installs any queries from the updated stream definition that are
   // routed to this task's topic and not yet planned, backfilling their
   // aggregation state from the reservoir (runtime metric addition,
-  // paper §3.1 operational requests + §6 backfill).
+  // paper §3.1 operational requests + §6 backfill). Also installs any
+  // new operator pipelines (no backfill: pipelines are forward-only).
   Status SyncQueries(const StreamDef& updated);
+
+  // Drains the events routed by pipelines (route_to_stream) since the
+  // last call. The owning unit publishes them to their target streams.
+  std::vector<ops::RoutedEvent> TakeRouted();
+
+  // Installed operator chains (for counter listing / tests).
+  const std::vector<std::unique_ptr<ops::Pipeline>>& pipelines() const {
+    return pipelines_;
+  }
 
   uint64_t replay_offset() const { return replay_offset_; }
   uint64_t processed_count() const { return processed_count_; }
@@ -86,6 +100,10 @@ class TaskProcessor {
 
  private:
   Status RollBackToCheckpoint();
+  // Compiles + installs stream pipelines routed to this task's topic
+  // (the first partitioner's, so exactly one task per partition runs
+  // each pipeline) that are not yet installed.
+  Status InstallPipelines(const StreamDef& def);
   // Post-decode half of ProcessMessage: reservoir append + plan update +
   // reply fill + checkpoint cadence for one already-decoded event.
   // trace_ctx is the context recovered from the envelope trailer
@@ -102,10 +120,14 @@ class TaskProcessor {
   std::string topic_;
   Env* env_;
   std::set<std::string> installed_queries_;  // By raw statement text.
+  std::set<std::string> installed_pipelines_;  // By raw statement text.
 
   std::unique_ptr<reservoir::Reservoir> reservoir_;
   std::unique_ptr<storage::DB> db_;
   std::unique_ptr<plan::TaskPlan> plan_;
+  std::vector<std::unique_ptr<ops::Pipeline>> pipelines_;
+  // Events routed by pipelines since the last TakeRouted() drain.
+  std::vector<ops::RoutedEvent> pending_routed_;
 
   uint64_t replay_offset_ = 0;
   // Offsets at or below these thresholds are skipped on replay.

@@ -12,11 +12,17 @@ Broker::Broker(const BrokerOptions& options) : options_(options) {
   server_ = std::make_unique<msg::remote::BusServer>(server_options,
                                                      cluster_->bus());
   meta_ = std::make_unique<MetadataService>(options_.meta, cluster_.get());
-  // Route the kMeta* opcodes into the metadata service (installed
-  // before Start: the server reads the hook unlocked).
+  // Route the kMeta* opcodes into the metadata service and the kSub*
+  // opcodes into the cluster's subscription hub (installed before
+  // Start: the server reads the hook unlocked). Opcodes neither claims
+  // fall through to the server's NotSupported unknown-opcode reply.
   server_->SetExtension(
       [this](uint8_t opcode, const Slice& payload, Status* status,
              std::string* result) {
+        if (cluster_->subscription_hub()->HandleWire(opcode, payload,
+                                                     status, result)) {
+          return true;
+        }
         return meta_->HandleWire(opcode, payload, status, result);
       });
 

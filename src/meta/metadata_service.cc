@@ -288,6 +288,10 @@ Status MetadataService::ExecuteDdl(const std::string& statement) {
       }
       return executed;
     }
+    if (ddl.value().kind == query::DdlKind::kAddPipeline) {
+      AddPipelineToRegistry(std::move(ddl.value().pipeline));
+      return executed;
+    }
     AddMetricToRegistry(std::move(ddl.value().metric));
     return executed;
   }
@@ -304,6 +308,17 @@ void MetadataService::AddMetricToRegistry(query::QueryDef metric) {
     if (existing.raw == metric.raw) return;
   }
   it->second.queries.push_back(std::move(metric));
+  ++generation_;
+}
+
+void MetadataService::AddPipelineToRegistry(query::PipelineSpec pipeline) {
+  MutexLock lock(&mu_);
+  auto it = streams_.find(pipeline.stream);
+  if (it == streams_.end()) return;
+  for (const auto& existing : it->second.pipelines) {
+    if (existing.raw == pipeline.raw) return;
+  }
+  it->second.pipelines.push_back(std::move(pipeline));
   ++generation_;
 }
 

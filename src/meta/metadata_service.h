@@ -149,6 +149,7 @@ class MetadataService {
   void FenceUnits(const std::vector<std::string>& units,
                   const std::vector<std::string>& fenced);
   void AddMetricToRegistry(query::QueryDef metric);
+  void AddPipelineToRegistry(query::PipelineSpec pipeline);
 
   MetadataServiceOptions options_;
   engine::Cluster* cluster_;

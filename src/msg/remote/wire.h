@@ -86,6 +86,15 @@ enum class OpCode : uint8_t {
   // front-to-back, so peers that predate it skip it untouched).
   kTraceHello = 24,
 
+  // Live subscriptions (src/ops/subscription.h), answered by the
+  // BusServer's extension handler. Payloads are defined in
+  // ops/sub_wire.h; servers predating them answer NotSupported through
+  // the unknown-opcode fallback and the client sticky-downgrades
+  // (api::Client::Subscribe returns NotSupported thereafter).
+  kSubCreate = 40,
+  kSubFetch = 41,
+  kSubCancel = 42,
+
   // Metadata-service RPCs (src/meta/), answered by the BusServer's
   // extension handler rather than the hosted bus. Opcodes stay below
   // kResponseBit so the response-bit convention holds.

@@ -1,0 +1,320 @@
+#include "ops/pipeline.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace railgun::ops {
+
+namespace {
+
+// Group keys join field values with a separator no ToString produces.
+constexpr char kKeySep = '\x1f';
+
+}  // namespace
+
+introspect::Counter* Pipeline::MakeCounter(introspect::Registry* registry,
+                                           const std::string& name) {
+  if (registry != nullptr) return registry->counter(name);
+  owned_counters_.push_back(std::make_unique<introspect::Counter>());
+  return owned_counters_.back().get();
+}
+
+StatusOr<std::unique_ptr<Pipeline>> Pipeline::Compile(
+    const std::string& statement, const reservoir::Schema& source,
+    introspect::Registry* registry) {
+  RAILGUN_ASSIGN_OR_RETURN(query::PipelineSpec spec,
+                           query::ParsePipeline(statement));
+
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->spec_ = std::move(spec);
+  pipeline->effective_fields_ = source.fields();
+
+  auto field_index = [&](const std::string& name) {
+    for (size_t i = 0; i < pipeline->effective_fields_.size(); ++i) {
+      if (pipeline->effective_fields_[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  auto ensure_field = [&](const std::string& name,
+                          reservoir::FieldType type) {
+    int index = field_index(name);
+    if (index >= 0) return index;
+    pipeline->effective_fields_.push_back({name, type});
+    return static_cast<int>(pipeline->effective_fields_.size() - 1);
+  };
+
+  const std::string prefix = "ops.pipeline." + pipeline->spec_.name;
+  pipeline->events_in_ = pipeline->MakeCounter(registry, prefix + ".in");
+  pipeline->events_routed_ =
+      pipeline->MakeCounter(registry, prefix + ".routed");
+
+  for (size_t i = 0; i < pipeline->spec_.ops.size(); ++i) {
+    // The parse in *this* call produced the Expr instances, so they are
+    // private to this Pipeline and safe to Bind here.
+    query::OpSpec& op_spec = pipeline->spec_.ops[i];
+    CompiledOp op;
+    op.spec = op_spec;
+    op.expr = nullptr;
+
+    // Operators bind against the schema as extended by everything
+    // upstream, so a filter can reference a mapped field.
+    const reservoir::Schema effective(source.id(),
+                                      pipeline->effective_fields_);
+    switch (op_spec.kind) {
+      case query::OpKind::kFilter: {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<query::Expr> expr,
+                                 query::ParseExpr(op_spec.expr->ToString()));
+        RAILGUN_RETURN_IF_ERROR(expr->Bind(effective));
+        op.expr = std::move(expr);
+        break;
+      }
+      case query::OpKind::kMap: {
+        RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<query::Expr> expr,
+                                 query::ParseExpr(op_spec.expr->ToString()));
+        RAILGUN_RETURN_IF_ERROR(expr->Bind(effective));
+        op.expr = std::move(expr);
+        op.field_index =
+            ensure_field(op_spec.field, reservoir::FieldType::kDouble);
+        break;
+      }
+      case query::OpKind::kBy: {
+        for (const auto& key : op_spec.keys) {
+          const int index = field_index(key);
+          if (index < 0) {
+            return Status::InvalidArgument("by key is not a field of " +
+                                           pipeline->spec_.stream + ": " +
+                                           key);
+          }
+          op.key_indices.push_back(index);
+        }
+        break;
+      }
+      case query::OpKind::kRate:
+        op.field_index = ensure_field("rate", reservoir::FieldType::kDouble);
+        break;
+      case query::OpKind::kWindowCount:
+        op.field_index =
+            ensure_field("window_count", reservoir::FieldType::kInt64);
+        break;
+      case query::OpKind::kThreshold:
+      case query::OpKind::kChanged: {
+        op.field_index = field_index(op_spec.field);
+        if (op.field_index < 0) {
+          return Status::InvalidArgument(
+              std::string(query::OpKindName(op_spec.kind)) +
+              " field is not a field of " + pipeline->spec_.stream + ": " +
+              op_spec.field);
+        }
+        break;
+      }
+      case query::OpKind::kRouteToStream:
+        break;
+    }
+
+    char op_prefix[64];
+    snprintf(op_prefix, sizeof(op_prefix), ".op%zu.", i);
+    const std::string base =
+        prefix + op_prefix + query::OpKindName(op_spec.kind);
+    op.in = pipeline->MakeCounter(registry, base + ".in");
+    op.out = pipeline->MakeCounter(registry, base + ".out");
+    op.dropped = pipeline->MakeCounter(registry, base + ".dropped");
+    pipeline->ops_.push_back(std::move(op));
+  }
+  return pipeline;
+}
+
+Pipeline::KeyedState* Pipeline::StateFor(CompiledOp* op,
+                                         const std::string& key) {
+  auto it = op->state.find(key);
+  if (it != op->state.end()) return &it->second;
+  if (op->state.size() >= kMaxTrackedKeys) return nullptr;
+  return &op->state[key];
+}
+
+void Pipeline::Process(const reservoir::Event& event,
+                       std::vector<RoutedEvent>* routed) {
+  events_in_->Add(1);
+  reservoir::Event row = event;
+  row.values.resize(effective_fields_.size());
+
+  std::string key;  // Empty until a `by` rebinds it.
+  for (auto& op : ops_) {
+    op.in->Add(1);
+    switch (op.spec.kind) {
+      case query::OpKind::kFilter: {
+        if (!op.expr->EvalBool(row)) return;
+        break;
+      }
+      case query::OpKind::kMap: {
+        StatusOr<reservoir::FieldValue> value = op.expr->Eval(row);
+        if (!value.ok()) {
+          op.dropped->Add(1);
+          return;
+        }
+        row.values[op.field_index] = std::move(value).value();
+        break;
+      }
+      case query::OpKind::kBy: {
+        key.clear();
+        for (const int index : op.key_indices) {
+          key += row.values[index].ToString();
+          key += kKeySep;
+        }
+        break;
+      }
+      case query::OpKind::kRate: {
+        KeyedState* state = StateFor(&op, key);
+        if (state == nullptr) {
+          op.dropped->Add(1);
+          return;
+        }
+        if (state->rate_start == 0) {
+          state->rate_start = row.timestamp;
+          state->count = 1;
+          return;
+        }
+        ++state->count;
+        const Micros elapsed = row.timestamp - state->rate_start;
+        const Micros interval =
+            static_cast<Micros>(op.spec.count) * kMicrosPerSecond;
+        if (elapsed < interval) return;
+        row.values[op.field_index] = reservoir::FieldValue(
+            static_cast<double>(state->count) * kMicrosPerSecond /
+            static_cast<double>(elapsed));
+        state->rate_start = row.timestamp;
+        state->count = 0;
+        break;
+      }
+      case query::OpKind::kWindowCount: {
+        KeyedState* state = StateFor(&op, key);
+        if (state == nullptr) {
+          op.dropped->Add(1);
+          return;
+        }
+        ++state->count;
+        if (state->count % op.spec.count != 0) return;
+        row.values[op.field_index] = reservoir::FieldValue(
+            static_cast<int64_t>(op.spec.count));
+        break;
+      }
+      case query::OpKind::kThreshold: {
+        if (row.values[op.field_index].ToNumber() <= op.spec.limit) return;
+        break;
+      }
+      case query::OpKind::kChanged: {
+        KeyedState* state = StateFor(&op, key);
+        if (state == nullptr) {
+          op.dropped->Add(1);
+          return;
+        }
+        const reservoir::FieldValue& current = row.values[op.field_index];
+        if (state->has_last && state->last == current) return;
+        state->last = current;
+        state->has_last = true;
+        break;
+      }
+      case query::OpKind::kRouteToStream: {
+        RoutedEvent out;
+        out.target = op.spec.target;
+        out.timestamp = row.timestamp;
+        out.source_id = row.id;
+        out.fields.reserve(effective_fields_.size());
+        for (size_t i = 0; i < effective_fields_.size(); ++i) {
+          out.fields.emplace_back(effective_fields_[i].name, row.values[i]);
+        }
+        routed->push_back(std::move(out));
+        events_routed_->Add(1);
+        op.out->Add(1);
+        return;  // Terminal (and guaranteed last by the parser).
+      }
+    }
+    op.out->Add(1);
+  }
+}
+
+std::vector<OpCounters> Pipeline::CountersSnapshot() const {
+  std::vector<OpCounters> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) {
+    OpCounters counters;
+    counters.label = op.spec.raw;
+    counters.in = op.in->value();
+    counters.out = op.out->value();
+    counters.dropped = op.dropped->value();
+    out.push_back(std::move(counters));
+  }
+  return out;
+}
+
+// ----- PipelineBuilder ------------------------------------------------
+
+PipelineBuilder::PipelineBuilder(std::string name, std::string stream) {
+  statement_ = "ADD PIPELINE " + name + " ON " + stream;
+}
+
+PipelineBuilder& PipelineBuilder::Filter(const std::string& predicate) {
+  statement_ += " | filter(" + predicate + ")";
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Map(const std::string& field,
+                                      const std::string& expr) {
+  statement_ += " | map(" + field + " = " + expr + ")";
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::By(const std::vector<std::string>& keys) {
+  statement_ += " | by(";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) statement_ += ", ";
+    statement_ += keys[i];
+  }
+  statement_ += ")";
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Rate(uint64_t interval_seconds) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), " | rate(%" PRIu64 ")", interval_seconds);
+  statement_ += buf;
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WindowCount(uint64_t events) {
+  char buf[56];
+  snprintf(buf, sizeof(buf), " | window_count(%" PRIu64 ")", events);
+  statement_ += buf;
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Threshold(const std::string& field,
+                                            double limit) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), ", %g)", limit);
+  statement_ += " | threshold(" + field + buf;
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Changed(const std::string& field) {
+  statement_ += " | changed(" + field + ")";
+  has_op_ = true;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::RouteToStream(const std::string& target) {
+  statement_ += " | route_to_stream(" + target + ")";
+  has_op_ = true;
+  return *this;
+}
+
+std::string PipelineBuilder::Statement() const { return statement_; }
+
+}  // namespace railgun::ops

@@ -1,0 +1,150 @@
+// Compiled stream-operator pipelines (the combinator layer the ROADMAP
+// calls out, modeled on cavalieri's `by >> rate >> prn` chains). A
+// textual `ADD PIPELINE` statement compiles — against the source
+// stream's schema — into an executable chain of typed operators that
+// TaskProcessor runs next to the aggregation plan, one instance per
+// (pipeline, partition task).
+//
+// Execution model: each source event flows through the operators in
+// order; an operator either forwards the (possibly annotated) event or
+// absorbs it. `by(...)` rebinds the key that downstream stateful
+// operators (`rate`, `window_count`, `changed`) partition their state
+// on; with no upstream `by` they keep one global state per task.
+// `route_to_stream(target)` is the only terminal with an external
+// effect: it emits a RoutedEvent the owning ProcessorUnit republishes
+// into the target stream (deterministic derived event id, so reservoir
+// dedup makes replay/redelivery idempotent).
+//
+// Counters: every operator keeps in/out/dropped totals. When a
+// registry is attached they are get-or-create by name
+// (`ops.pipeline.<name>.opN.<kind>.{in,out,dropped}`), so instances of
+// the same pipeline across tasks and nodes aggregate into one
+// cluster-wide series on `__railgun.internals`. `dropped` counts
+// errors (failed evals, state-capacity hits) — events a filter-like
+// operator absorbs on purpose are just `in - out`.
+#ifndef RAILGUN_OPS_PIPELINE_H_
+#define RAILGUN_OPS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "introspect/registry.h"
+#include "query/pipeline.h"
+#include "reservoir/event.h"
+
+namespace railgun::ops {
+
+// Output of a route_to_stream terminal: a derived event addressed to
+// another stream, carried as named fields so the publisher can bind it
+// to the target schema by name (with numeric coercion).
+struct RoutedEvent {
+  std::string target;
+  Micros timestamp = 0;
+  uint64_t source_id = 0;  // Id of the event that produced this one.
+  std::vector<std::pair<std::string, reservoir::FieldValue>> fields;
+};
+
+// Per-operator counter snapshot for `pipelines` listings.
+struct OpCounters {
+  std::string label;  // e.g. "filter(amount > 100)".
+  uint64_t in = 0;
+  uint64_t out = 0;
+  uint64_t dropped = 0;
+};
+
+class Pipeline {
+ public:
+  // Bound, per-task state per stateful operator is capped; keys beyond
+  // the cap are absorbed and counted as drops.
+  static constexpr size_t kMaxTrackedKeys = 1 << 16;
+
+  // Parses and compiles `statement` against the source stream schema.
+  // `registry` may be null (tests); counters then stay pipeline-local.
+  static StatusOr<std::unique_ptr<Pipeline>> Compile(
+      const std::string& statement, const reservoir::Schema& source,
+      introspect::Registry* registry);
+
+  // Runs one source event through the chain, appending any routed
+  // outputs. Single-threaded per instance (the owning task's thread).
+  void Process(const reservoir::Event& event,
+               std::vector<RoutedEvent>* routed);
+
+  const query::PipelineSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  std::vector<OpCounters> CountersSnapshot() const;
+
+ private:
+  Pipeline() = default;
+
+  struct KeyedState {
+    Micros rate_start = 0;   // rate: current interval start.
+    uint64_t count = 0;      // rate / window_count event count.
+    reservoir::FieldValue last;  // changed: previous value.
+    bool has_last = false;
+  };
+
+  struct CompiledOp {
+    query::OpSpec spec;
+    std::unique_ptr<query::Expr> expr;  // filter predicate / map value.
+    int field_index = -1;               // map target, threshold/changed.
+    std::vector<int> key_indices;       // by.
+    introspect::Counter* in = nullptr;
+    introspect::Counter* out = nullptr;
+    introspect::Counter* dropped = nullptr;
+    std::unordered_map<std::string, KeyedState> state;
+  };
+
+  introspect::Counter* MakeCounter(introspect::Registry* registry,
+                                   const std::string& name);
+  KeyedState* StateFor(CompiledOp* op, const std::string& key);
+
+  query::PipelineSpec spec_;
+  // Source schema extended with fields synthesized by map/rate/
+  // window_count; routed events carry all of it.
+  std::vector<reservoir::SchemaField> effective_fields_;
+  std::vector<CompiledOp> ops_;
+  // Fallback counter storage when no registry is attached.
+  std::vector<std::unique_ptr<introspect::Counter>> owned_counters_;
+  introspect::Counter* events_in_ = nullptr;
+  introspect::Counter* events_routed_ = nullptr;
+};
+
+// Fluent builder for programmatic registration: synthesizes the ADD
+// PIPELINE statement, which is the canonical form every layer (DDL
+// shipping, StreamDef distribution, replay) already transports.
+//
+//   client->Execute(ops::PipelineBuilder("alerts", "payments")
+//                       .Filter("amount > 100")
+//                       .By({"cardId"})
+//                       .Threshold("amount", 500)
+//                       .RouteToStream("big_payments")
+//                       .Statement());
+class PipelineBuilder {
+ public:
+  PipelineBuilder(std::string name, std::string stream);
+
+  PipelineBuilder& Filter(const std::string& predicate);
+  PipelineBuilder& Map(const std::string& field, const std::string& expr);
+  PipelineBuilder& By(const std::vector<std::string>& keys);
+  PipelineBuilder& Rate(uint64_t interval_seconds);
+  PipelineBuilder& WindowCount(uint64_t events);
+  PipelineBuilder& Threshold(const std::string& field, double limit);
+  PipelineBuilder& Changed(const std::string& field);
+  PipelineBuilder& RouteToStream(const std::string& target);
+
+  std::string Statement() const;
+
+ private:
+  std::string statement_;
+  bool has_op_ = false;
+};
+
+}  // namespace railgun::ops
+
+#endif  // RAILGUN_OPS_PIPELINE_H_

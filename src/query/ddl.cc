@@ -142,19 +142,29 @@ StatusOr<DdlStatement> ParseDdl(const std::string& statement) {
     return ddl;
   }
   if (tokens.TryConsume("add")) {
-    RAILGUN_RETURN_IF_ERROR(tokens.Expect("metric"));
-    // The remainder is a plain SELECT statement; hand the unconsumed
-    // suffix to the query parser so both grammars stay identical.
-    if (tokens.Peek().text != "select") {
-      return Status::InvalidArgument("expected SELECT after ADD METRIC");
+    if (tokens.TryConsume("metric")) {
+      // The remainder is a plain SELECT statement; hand the unconsumed
+      // suffix to the query parser so both grammars stay identical.
+      if (tokens.Peek().text != "select") {
+        return Status::InvalidArgument("expected SELECT after ADD METRIC");
+      }
+      ddl.kind = DdlKind::kAddMetric;
+      RAILGUN_ASSIGN_OR_RETURN(
+          ddl.metric, ParseQuery(statement.substr(tokens.NextTokenOffset())));
+      return ddl;
     }
-    ddl.kind = DdlKind::kAddMetric;
-    RAILGUN_ASSIGN_OR_RETURN(
-        ddl.metric, ParseQuery(statement.substr(tokens.NextTokenOffset())));
-    return ddl;
+    if (tokens.Peek().text == "pipeline") {
+      ddl.kind = DdlKind::kAddPipeline;
+      RAILGUN_ASSIGN_OR_RETURN(ddl.pipeline, ParsePipeline(statement));
+      return ddl;
+    }
+    return Status::InvalidArgument(
+        "expected METRIC or PIPELINE after ADD, found '" +
+        tokens.Peek().raw + "'");
   }
   return Status::InvalidArgument(
-      "expected a DDL statement (CREATE STREAM or ADD METRIC), found '" +
+      "expected a DDL statement (CREATE STREAM, ADD METRIC or ADD "
+      "PIPELINE), found '" +
       tokens.Peek().raw + "'");
 }
 

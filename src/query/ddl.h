@@ -8,6 +8,9 @@
 //
 //   ADD METRIC SELECT sum(amount) FROM payments
 //     GROUP BY cardId OVER sliding 5 minutes
+//
+//   ADD PIPELINE alerts ON payments | filter(amount > 100) | by(cardId)
+//     | threshold(amount, 500) | route_to_stream(big_payments)
 #ifndef RAILGUN_QUERY_DDL_H_
 #define RAILGUN_QUERY_DDL_H_
 
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "query/pipeline.h"
 #include "query/query.h"
 #include "reservoir/event.h"
 
@@ -32,12 +36,14 @@ struct StreamSchemaDef {
 enum class DdlKind : uint8_t {
   kCreateStream = 0,
   kAddMetric = 1,
+  kAddPipeline = 2,
 };
 
 struct DdlStatement {
   DdlKind kind = DdlKind::kCreateStream;
   StreamSchemaDef create_stream;  // Valid when kind == kCreateStream.
   QueryDef metric;                // Valid when kind == kAddMetric.
+  PipelineSpec pipeline;          // Valid when kind == kAddPipeline.
 };
 
 // True when the statement starts with a DDL verb (CREATE or ADD),

@@ -1,0 +1,232 @@
+#include "query/pipeline.h"
+
+#include <cctype>
+
+#include "query/tokenizer.h"
+
+namespace railgun::query {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFilter:
+      return "filter";
+    case OpKind::kMap:
+      return "map";
+    case OpKind::kBy:
+      return "by";
+    case OpKind::kRate:
+      return "rate";
+    case OpKind::kWindowCount:
+      return "window_count";
+    case OpKind::kThreshold:
+      return "threshold";
+    case OpKind::kChanged:
+      return "changed";
+    case OpKind::kRouteToStream:
+      return "route_to_stream";
+  }
+  return "unknown";
+}
+
+namespace {
+
+StatusOr<OpSpec> ParseOp(Tokenizer* tokens) {
+  RAILGUN_ASSIGN_OR_RETURN(Token name,
+                           tokens->ExpectIdentifier("operator name"));
+  OpSpec op;
+  if (name.text == "filter") {
+    op.kind = OpKind::kFilter;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr,
+                             ParseExprFrom(tokens));
+    op.expr = std::shared_ptr<Expr>(std::move(expr));
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "map") {
+    op.kind = OpKind::kMap;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(Token field,
+                             tokens->ExpectIdentifier("map target field"));
+    op.field = field.raw;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("="));
+    RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr,
+                             ParseExprFrom(tokens));
+    op.expr = std::shared_ptr<Expr>(std::move(expr));
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "by") {
+    op.kind = OpKind::kBy;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    while (true) {
+      RAILGUN_ASSIGN_OR_RETURN(Token key,
+                               tokens->ExpectIdentifier("by key field"));
+      for (const auto& existing : op.keys) {
+        if (existing == key.raw) {
+          return Status::InvalidArgument("duplicate by key: " + key.raw);
+        }
+      }
+      op.keys.push_back(key.raw);
+      if (!tokens->TryConsume(",")) break;
+    }
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "rate" || name.text == "window_count") {
+    op.kind = name.text == "rate" ? OpKind::kRate : OpKind::kWindowCount;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(
+        int64_t count,
+        tokens->ExpectInteger(name.text == "rate" ? "rate interval seconds"
+                                                  : "window event count"));
+    if (count < 1) {
+      return Status::InvalidArgument(name.text + " count must be >= 1");
+    }
+    op.count = static_cast<uint64_t>(count);
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "threshold") {
+    op.kind = OpKind::kThreshold;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(Token field,
+                             tokens->ExpectIdentifier("threshold field"));
+    op.field = field.raw;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(","));
+    bool negative = tokens->TryConsume("-");
+    const Token limit = tokens->Next();
+    if (limit.type != TokenType::kNumber) {
+      return Status::InvalidArgument("expected numeric threshold limit");
+    }
+    op.limit = negative ? -limit.number : limit.number;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "changed") {
+    op.kind = OpKind::kChanged;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(Token field,
+                             tokens->ExpectIdentifier("changed field"));
+    op.field = field.raw;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else if (name.text == "route_to_stream") {
+    op.kind = OpKind::kRouteToStream;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect("("));
+    RAILGUN_ASSIGN_OR_RETURN(Token target,
+                             tokens->ExpectIdentifier("target stream"));
+    op.target = target.raw;
+    RAILGUN_RETURN_IF_ERROR(tokens->Expect(")"));
+  } else {
+    return Status::InvalidArgument("unknown pipeline operator: " + name.raw);
+  }
+  return op;
+}
+
+// Reconstructs each op's `raw` display form from the statement text
+// spanning its tokens (trimmed).
+std::string TrimmedSlice(const std::string& statement, size_t begin,
+                         size_t end) {
+  while (begin < end &&
+         isspace(static_cast<unsigned char>(statement[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         isspace(static_cast<unsigned char>(statement[end - 1]))) {
+    --end;
+  }
+  return statement.substr(begin, end - begin);
+}
+
+}  // namespace
+
+StatusOr<PipelineSpec> ParsePipeline(const std::string& statement) {
+  Tokenizer tokens(statement);
+  RAILGUN_RETURN_IF_ERROR(tokens.status());
+
+  PipelineSpec spec;
+  spec.raw = statement;
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("add"));
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("pipeline"));
+  RAILGUN_ASSIGN_OR_RETURN(Token name,
+                           tokens.ExpectIdentifier("pipeline name"));
+  spec.name = name.raw;
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("on"));
+  RAILGUN_ASSIGN_OR_RETURN(Token stream,
+                           tokens.ExpectIdentifier("source stream"));
+  spec.stream = stream.raw;
+
+  if (!tokens.TryConsume("|")) {
+    return Status::InvalidArgument(
+        "ADD PIPELINE requires at least one '| operator(...)'");
+  }
+  while (true) {
+    const size_t op_start = tokens.NextTokenOffset();
+    RAILGUN_ASSIGN_OR_RETURN(OpSpec op, ParseOp(&tokens));
+    op.raw = TrimmedSlice(statement, op_start, tokens.NextTokenOffset());
+    spec.ops.push_back(std::move(op));
+    if (!tokens.TryConsume("|")) break;
+  }
+  if (!tokens.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after pipeline: '" +
+                                   tokens.Peek().raw + "'");
+  }
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    if (spec.ops[i].kind == OpKind::kRouteToStream &&
+        i + 1 != spec.ops.size()) {
+      return Status::InvalidArgument(
+          "route_to_stream must be the last operator");
+    }
+  }
+  return spec;
+}
+
+bool IsSubscribeStatement(const std::string& statement) {
+  Tokenizer tokens(statement);
+  const Token& first = tokens.Peek();
+  return first.type == TokenType::kIdentifier && first.text == "subscribe";
+}
+
+StatusOr<SubscribeSpec> ParseSubscribe(const std::string& statement) {
+  Tokenizer tokens(statement);
+  RAILGUN_RETURN_IF_ERROR(tokens.status());
+
+  SubscribeSpec spec;
+  spec.raw = statement;
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("subscribe"));
+  RAILGUN_RETURN_IF_ERROR(tokens.Expect("select"));
+
+  if (tokens.TryConsume("*")) {
+    // Raw-event tail: SELECT * FROM stream [WHERE expr].
+    spec.raw_tail = true;
+    RAILGUN_RETURN_IF_ERROR(tokens.Expect("from"));
+    RAILGUN_ASSIGN_OR_RETURN(Token stream,
+                             tokens.ExpectIdentifier("stream name"));
+    spec.stream = stream.raw;
+    if (tokens.TryConsume("where")) {
+      RAILGUN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> filter,
+                               ParseExprFrom(&tokens));
+      spec.filter = std::shared_ptr<Expr>(std::move(filter));
+    }
+    if (!tokens.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after SUBSCRIBE: '" +
+                                     tokens.Peek().raw + "'");
+    }
+    return spec;
+  }
+
+  // Metric tail: the remainder (from SELECT onwards) is an ad-hoc
+  // query. OVER defaults to infinite so `SUBSCRIBE SELECT sum(x) FROM
+  // s` reads naturally.
+  Tokenizer rescan(statement);
+  RAILGUN_RETURN_IF_ERROR(rescan.Expect("subscribe"));
+  std::string select = statement.substr(rescan.NextTokenOffset());
+  bool has_over = false;
+  {
+    Tokenizer probe(select);
+    while (!probe.AtEnd()) {
+      const Token t = probe.Next();
+      if (t.type == TokenType::kIdentifier && t.text == "over") {
+        has_over = true;
+        break;
+      }
+    }
+  }
+  if (!has_over) select += " OVER infinite";
+  RAILGUN_ASSIGN_OR_RETURN(spec.query, ParseQuery(select));
+  spec.stream = spec.query.stream;
+  spec.filter = spec.query.filter;
+  return spec;
+}
+
+}  // namespace railgun::query

@@ -1,0 +1,91 @@
+// Textual surface for the stream-operator combinator layer (src/ops/)
+// and for live subscriptions. Two statement forms are parsed here:
+//
+//   ADD PIPELINE big_spenders ON payments
+//     | filter(amount > 100)
+//     | by(cardId)
+//     | threshold(amount, 500)
+//     | route_to_stream(alerts)
+//
+//   SUBSCRIBE SELECT * FROM payments [WHERE amount > 100]
+//   SUBSCRIBE SELECT sum(amount) FROM payments
+//     [WHERE ...] [GROUP BY cardId] [OVER infinite | sliding N events]
+//
+// A pipeline is a '|'-separated chain of operators applied to every
+// event of the source stream; the compiled form (ops::Pipeline) runs
+// inside TaskProcessor next to the aggregation plan. A subscription is
+// a live tail — raw events (SELECT *) or incremental metric updates —
+// served by ops::SubscriptionHub.
+#ifndef RAILGUN_QUERY_PIPELINE_H_
+#define RAILGUN_QUERY_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/expr.h"
+#include "query/query.h"
+
+namespace railgun::query {
+
+enum class OpKind : uint8_t {
+  kFilter = 0,        // filter(expr): drop events where expr is false.
+  kMap = 1,           // map(name = expr): add/overwrite a field.
+  kBy = 2,            // by(f1, ...): split downstream state by key.
+  kRate = 3,          // rate(N): emit once per N seconds per key, with
+                      // an added `rate` field (events/sec observed).
+  kWindowCount = 4,   // window_count(N): emit every Nth event per key,
+                      // with an added `window_count` field.
+  kThreshold = 5,     // threshold(field, limit): pass field > limit.
+  kChanged = 6,       // changed(field): pass only value transitions.
+  kRouteToStream = 7, // route_to_stream(target): terminal republish.
+};
+
+const char* OpKindName(OpKind kind);
+
+struct OpSpec {
+  OpKind kind = OpKind::kFilter;
+  // filter: the predicate; map: the value expression. Shared so specs
+  // stay copyable alongside QueryDef's filter.
+  std::shared_ptr<Expr> expr;
+  std::string field;              // map target, threshold/changed field.
+  std::vector<std::string> keys;  // by.
+  uint64_t count = 0;             // rate seconds / window_count events.
+  double limit = 0;               // threshold limit.
+  std::string target;             // route_to_stream target stream.
+  std::string raw;                // `op(args)` spelling, for display.
+};
+
+struct PipelineSpec {
+  std::string name;
+  std::string stream;
+  std::vector<OpSpec> ops;
+  std::string raw;  // Full original statement (travels in StreamDef).
+};
+
+// Parses the ADD PIPELINE form. Validates: at least one operator, `by`
+// before any stateful operator is optional but `route_to_stream` (if
+// present) must be last, rate/window_count counts >= 1.
+StatusOr<PipelineSpec> ParsePipeline(const std::string& statement);
+
+struct SubscribeSpec {
+  bool raw_tail = false;   // True for SELECT *.
+  std::string stream;
+  // Raw tails: optional WHERE filter. Shared: specs are copied around.
+  std::shared_ptr<Expr> filter;
+  // Metric tails: the parsed SELECT (aggs/filter/group_by/window).
+  QueryDef query;
+  std::string raw;
+};
+
+// Parses the SUBSCRIBE form. Metric tails default to OVER infinite when
+// no window clause is given.
+StatusOr<SubscribeSpec> ParseSubscribe(const std::string& statement);
+
+// True when the statement starts with the SUBSCRIBE verb.
+bool IsSubscribeStatement(const std::string& statement);
+
+}  // namespace railgun::query
+
+#endif  // RAILGUN_QUERY_PIPELINE_H_

@@ -48,10 +48,14 @@ const char* StageName(Stage stage) {
       return "unit.process";
     case Stage::kUnitWindowApply:
       return "unit.window_apply";
+    case Stage::kUnitPipeline:
+      return "unit.pipeline";
     case Stage::kReplyPublish:
       return "reply.publish";
     case Stage::kFrontendComplete:
       return "frontend.complete";
+    case Stage::kSubscribePush:
+      return "subscribe.push";
     case Stage::kCount:
       break;
   }

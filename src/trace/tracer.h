@@ -48,8 +48,10 @@ enum class Stage : uint8_t {
   kUnitDecode,        // unit.decode: columnar envelope decode.
   kUnitProcess,       // unit.process: one TaskProcessor::ProcessBatch.
   kUnitWindowApply,   // unit.window_apply: plan ProcessEvent (per event).
+  kUnitPipeline,      // unit.pipeline: operator-chain run (per event).
   kReplyPublish,      // reply.publish: reply-topic ProduceBatch.
   kFrontendComplete,  // frontend.complete: reply decode to callback.
+  kSubscribePush,     // subscribe.push: hub decode to queue handoff.
   kCount,
 };
 

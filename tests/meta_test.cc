@@ -36,6 +36,11 @@ engine::StreamDef SampleStreamDef() {
       query::ParseQuery("SELECT sum(amount), count(*) FROM payments "
                         "GROUP BY cardId OVER sliding 5 minutes")
           .value());
+  def.pipelines.push_back(
+      query::ParsePipeline("ADD PIPELINE big ON payments "
+                           "| filter(amount > 100) | by(cardId) "
+                           "| route_to_stream(alerts)")
+          .value());
   return def;
 }
 
@@ -62,6 +67,12 @@ TEST(MetaWireTest, StreamDefRoundTrip) {
   EXPECT_EQ(decoded.queries[0].stream, "payments");
   EXPECT_EQ(decoded.queries[0].group_by,
             std::vector<std::string>{"cardId"});
+  // Pipelines travel the same way: raw statements, re-parsed on decode.
+  ASSERT_EQ(decoded.pipelines.size(), 1u);
+  EXPECT_EQ(decoded.pipelines[0].raw, def.pipelines[0].raw);
+  EXPECT_EQ(decoded.pipelines[0].name, "big");
+  ASSERT_EQ(decoded.pipelines[0].ops.size(), 3u);
+  EXPECT_EQ(decoded.pipelines[0].ops.back().target, "alerts");
 }
 
 TEST(MetaWireTest, StreamDefTruncationsAreCorruptionNeverACrash) {

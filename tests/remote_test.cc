@@ -22,6 +22,7 @@
 #include "msg/remote/remote_bus.h"
 #include "msg/remote/socket.h"
 #include "msg/remote/wire.h"
+#include "ops/sub_wire.h"
 #include "trace/trace_context.h"
 #include "trace/tracer.h"
 
@@ -728,6 +729,168 @@ TEST(RemoteBusBackoffTest, DeadBrokerIsNotHammeredByRetryingCallers) {
   EXPECT_EQ(remote.dial_attempts(), 4u);
 }
 
+// ----- Subscription opcodes (kSubCreate/kSubFetch/kSubCancel) --------
+
+ops::SubFetchReply SampleSubFetchReply() {
+  ops::SubFetchReply reply;
+  reply.dropped_total = 7;
+  reply.lag = 3;
+  for (int i = 0; i < 3; ++i) {
+    ops::SubRecord record;
+    record.seq = static_cast<uint64_t>(10 + i);
+    record.timestamp = 1000 + i;
+    record.fields.emplace_back("cardId",
+                               reservoir::FieldValue(std::string("c1")));
+    record.fields.emplace_back("amount", reservoir::FieldValue(12.5 + i));
+    record.fields.emplace_back("hits", reservoir::FieldValue(int64_t{4}));
+    record.fields.emplace_back("flag", reservoir::FieldValue(true));
+    reply.records.push_back(std::move(record));
+  }
+  return reply;
+}
+
+TEST(SubWireTest, AllMessagesRoundTrip) {
+  ops::SubCreateRequest create;
+  create.statement = "SUBSCRIBE SELECT * FROM payments WHERE amount > 1";
+  std::string wire;
+  ops::EncodeSubCreateRequest(create, &wire);
+  ops::SubCreateRequest create2;
+  ASSERT_TRUE(ops::DecodeSubCreateRequest(Slice(wire), &create2).ok());
+  EXPECT_EQ(create2.statement, create.statement);
+
+  ops::SubCreateReply created;
+  created.sub_id = 0xfeedface;
+  wire.clear();
+  ops::EncodeSubCreateReply(created, &wire);
+  ops::SubCreateReply created2;
+  ASSERT_TRUE(ops::DecodeSubCreateReply(Slice(wire), &created2).ok());
+  EXPECT_EQ(created2.sub_id, created.sub_id);
+
+  ops::SubFetchRequest fetch;
+  fetch.sub_id = 42;
+  fetch.acked_seq = 17;
+  fetch.max_records = 128;
+  fetch.max_wait_us = kMicrosPerSecond;
+  wire.clear();
+  ops::EncodeSubFetchRequest(fetch, &wire);
+  ops::SubFetchRequest fetch2;
+  ASSERT_TRUE(ops::DecodeSubFetchRequest(Slice(wire), &fetch2).ok());
+  EXPECT_EQ(fetch2.sub_id, fetch.sub_id);
+  EXPECT_EQ(fetch2.acked_seq, fetch.acked_seq);
+  EXPECT_EQ(fetch2.max_records, fetch.max_records);
+  EXPECT_EQ(fetch2.max_wait_us, fetch.max_wait_us);
+
+  const ops::SubFetchReply reply = SampleSubFetchReply();
+  wire.clear();
+  ops::EncodeSubFetchReply(reply, &wire);
+  ops::SubFetchReply reply2;
+  ASSERT_TRUE(ops::DecodeSubFetchReply(Slice(wire), &reply2).ok());
+  EXPECT_EQ(reply2.dropped_total, reply.dropped_total);
+  EXPECT_EQ(reply2.lag, reply.lag);
+  ASSERT_EQ(reply2.records.size(), reply.records.size());
+  for (size_t i = 0; i < reply.records.size(); ++i) {
+    EXPECT_EQ(reply2.records[i].seq, reply.records[i].seq);
+    EXPECT_EQ(reply2.records[i].timestamp, reply.records[i].timestamp);
+    ASSERT_EQ(reply2.records[i].fields.size(),
+              reply.records[i].fields.size());
+    for (size_t j = 0; j < reply.records[i].fields.size(); ++j) {
+      EXPECT_EQ(reply2.records[i].fields[j].first,
+                reply.records[i].fields[j].first);
+      EXPECT_EQ(reply2.records[i].fields[j].second.ToString(),
+                reply.records[i].fields[j].second.ToString());
+    }
+  }
+
+  ops::SubCancelRequest cancel;
+  cancel.sub_id = 99;
+  wire.clear();
+  ops::EncodeSubCancelRequest(cancel, &wire);
+  ops::SubCancelRequest cancel2;
+  ASSERT_TRUE(ops::DecodeSubCancelRequest(Slice(wire), &cancel2).ok());
+  EXPECT_EQ(cancel2.sub_id, cancel.sub_id);
+}
+
+TEST(SubWireTest, EveryTruncationIsCorruptionNeverACrash) {
+  std::string create_wire, fetch_wire, reply_wire;
+  ops::SubCreateRequest create;
+  create.statement = "SUBSCRIBE SELECT * FROM payments";
+  ops::EncodeSubCreateRequest(create, &create_wire);
+  ops::SubFetchRequest fetch;
+  fetch.sub_id = 42;
+  fetch.acked_seq = 17;
+  ops::EncodeSubFetchRequest(fetch, &fetch_wire);
+  ops::EncodeSubFetchReply(SampleSubFetchReply(), &reply_wire);
+
+  for (size_t len = 0; len < create_wire.size(); ++len) {
+    ops::SubCreateRequest out;
+    EXPECT_TRUE(ops::DecodeSubCreateRequest(
+                    Slice(create_wire.substr(0, len)), &out)
+                    .IsCorruption())
+        << "create prefix " << len;
+  }
+  for (size_t len = 0; len < fetch_wire.size(); ++len) {
+    ops::SubFetchRequest out;
+    EXPECT_TRUE(
+        ops::DecodeSubFetchRequest(Slice(fetch_wire.substr(0, len)), &out)
+            .IsCorruption())
+        << "fetch prefix " << len;
+  }
+  for (size_t len = 0; len < reply_wire.size(); ++len) {
+    ops::SubFetchReply out;
+    EXPECT_TRUE(
+        ops::DecodeSubFetchReply(Slice(reply_wire.substr(0, len)), &out)
+            .IsCorruption())
+        << "reply prefix " << len;
+  }
+}
+
+TEST(SubWireTest, BitFlipsYieldTypedStatusesNeverACrash) {
+  // The frame layer owns integrity (CRC); the payload codecs only
+  // guarantee memory safety and typed errors under mutation. Flipped
+  // counts must not trigger huge allocations either — the codecs bound
+  // allocations by the remaining input.
+  std::string wire;
+  ops::EncodeSubFetchReply(SampleSubFetchReply(), &wire);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = wire;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      ops::SubFetchReply out;
+      const Status status = ops::DecodeSubFetchReply(Slice(mutated), &out);
+      EXPECT_TRUE(status.ok() || status.IsCorruption())
+          << "byte " << i << " bit " << bit << ": " << status.ToString();
+    }
+  }
+}
+
+TEST(BusServerTest, SubscriptionOpcodesOnAPlainServerAreNotSupported) {
+  // A BusServer without the broker's extension handler — the shape of a
+  // pre-subscription peer — answers the new opcodes exactly like any
+  // unknown opcode: typed NotSupported, never Corruption or a crash.
+  BusOptions options;
+  options.delivery_delay = 0;
+  InProcessBus bus(options);
+  BusServer server(BusServerOptions(), &bus);
+  ASSERT_TRUE(server.Start().ok());
+  for (const OpCode opcode :
+       {OpCode::kSubCreate, OpCode::kSubFetch, OpCode::kSubCancel}) {
+    Frame frame;
+    frame.correlation_id = 77;
+    frame.opcode = static_cast<uint8_t>(opcode);
+    ops::SubCreateRequest request;
+    request.statement = "SUBSCRIBE SELECT * FROM payments";
+    ops::EncodeSubCreateRequest(request, &frame.payload);
+    const Frame response = server.HandleRequest(frame);
+    Slice in(response.payload);
+    Status status;
+    ASSERT_TRUE(GetStatus(&in, &status));
+    EXPECT_TRUE(status.IsNotSupported())
+        << "opcode " << static_cast<int>(opcode) << ": "
+        << status.ToString();
+  }
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace railgun::msg::remote
 
@@ -1002,6 +1165,130 @@ TEST(RemoteClientTest, TracedSubmitYieldsOneParentLinkedTrace) {
   client.Stop();
   harness.Stop();
   tracer->ResetForTest();
+}
+
+TEST(RemoteClientTest, PipelineRoutesAndSubscriptionTailsEndToEnd) {
+  // The PR's acceptance path: a remote client registers an operator
+  // pipeline over the wire, the broker-side units materialize the
+  // derived events into the target stream, and a remote SUBSCRIBE
+  // receives them live over the new opcodes.
+  RemoteHarness harness("ops-e2e");
+  ASSERT_TRUE(harness.Start().ok());
+  ClientOptions options;
+  options.remote_address = harness.address();
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ASSERT_TRUE(client.CreateStream(kPaymentsDdl).ok());
+  ASSERT_TRUE(client
+                  .CreateStream("CREATE STREAM alerts (cardId STRING, "
+                                "amount DOUBLE) PARTITION BY cardId "
+                                "PARTITIONS 2")
+                  .ok());
+  const Status added = client.Execute(
+      "ADD PIPELINE big ON payments | filter(amount > 100) | by(cardId) "
+      "| threshold(amount, 150) | route_to_stream(alerts)");
+  ASSERT_TRUE(added.ok()) << added.ToString();
+  std::vector<query::PipelineSpec> pipelines = client.ListPipelines();
+  ASSERT_EQ(pipelines.size(), 1u);
+  EXPECT_EQ(pipelines[0].name, "big");
+
+  auto sub = client.Subscribe("SUBSCRIBE SELECT * FROM alerts");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  // 60 and 120 die in the chain; 200 and 300 route into alerts.
+  for (const double amount : {60.0, 120.0, 200.0, 300.0}) {
+    ASSERT_TRUE(client
+                    .SubmitSync("payments", Row()
+                                                .Set("cardId", "cardP")
+                                                .Set("merchantId", "m1")
+                                                .Set("amount", amount))
+                    .ok());
+  }
+  std::vector<ops::SubRecord> records;
+  std::vector<ops::SubRecord> batch;
+  for (int i = 0; i < 40 && records.size() < 2; ++i) {
+    ASSERT_TRUE(sub.value()->Next(&batch, 250 * kMicrosPerMilli).ok());
+    records.insert(records.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& record : records) {
+    double amount = 0;
+    for (const auto& [name, value] : record.fields) {
+      if (name == "amount") amount = value.ToNumber();
+    }
+    EXPECT_GT(amount, 150.0);
+  }
+  EXPECT_TRUE(sub.value()->Cancel().ok());
+
+  // Slow-consumer flood: a second tail on payments is never fetched
+  // while well over queue_capacity events arrive. The queue must shed
+  // the oldest records (typed, counted) instead of growing.
+  auto slow = client.Subscribe("SUBSCRIBE SELECT * FROM payments");
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 300; ++i) {
+      rows.push_back(Row()
+                         .Set("cardId", "flood")
+                         .Set("merchantId", "m")
+                         .Set("amount", 1.0));
+    }
+    for (auto& future : client.SubmitBatch("payments", rows)) {
+      ASSERT_TRUE(future.Get().ok());
+    }
+  }
+  ASSERT_TRUE(slow.value()->Next(&batch, 100 * kMicrosPerMilli).ok());
+  EXPECT_GT(slow.value()->dropped_total(), 0u);
+
+  // The drops are observable cluster-wide: the hub's counters flow
+  // through "__railgun.internals" like any engine metric.
+  bool saw_dropped = false;
+  const Micros deadline =
+      MonotonicClock::Default()->NowMicros() + 10 * kMicrosPerSecond;
+  while (!saw_dropped && MonotonicClock::Default()->NowMicros() < deadline) {
+    auto samples = client.InternalsSnapshot();
+    ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+    for (const auto& sample : samples.value()) {
+      if (sample.metric == "subscribe.records.dropped" && sample.value > 0) {
+        saw_dropped = true;
+      }
+    }
+    if (!saw_dropped) {
+      MonotonicClock::Default()->SleepMicros(100 * kMicrosPerMilli);
+    }
+  }
+  EXPECT_TRUE(saw_dropped);
+
+  EXPECT_TRUE(slow.value()->Cancel().ok());
+  client.Stop();
+  harness.Stop();
+}
+
+TEST(RemoteClientTest, SubscribeDowngradesStickilyOnOldServers) {
+  // A plain BusServer (no broker extension) is the shape of a peer
+  // predating the subscription opcodes: the first Subscribe gets the
+  // server's typed NotSupported, and the client never asks again.
+  msg::BusOptions bus_options;
+  bus_options.delivery_delay = 0;
+  msg::InProcessBus bus(bus_options);
+  msg::remote::BusServer server(msg::remote::BusServerOptions(), &bus);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions options;
+  options.remote_address = server.address();
+  Client client(options);
+  ASSERT_TRUE(client.Start().ok());
+  EXPECT_TRUE(client.Subscribe("SUBSCRIBE SELECT * FROM payments")
+                  .status()
+                  .IsNotSupported());
+
+  // Sticky: with the server gone, a second Subscribe still answers
+  // NotSupported — proof it failed fast locally instead of dialing.
+  server.Stop();
+  EXPECT_TRUE(client.Subscribe("SUBSCRIBE SELECT * FROM payments")
+                  .status()
+                  .IsNotSupported());
+  client.Stop();
 }
 
 }  // namespace
